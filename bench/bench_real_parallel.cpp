@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Google-benchmark microbenches of the REAL matchers on host threads
+ * (E9): serial Rete (shared and private networks), TREAT, naive, and
+ * the fine-grain parallel matcher at several worker counts.
+ *
+ * Note: with tasks of 50-100 "instructions" the software scheduling
+ * overhead on a stock CPU dominates unless many cores are available
+ * — measured here deliberately, because it is exactly the effect
+ * that motivates the paper's hardware task scheduler. The simulated
+ * PSM results live in the fig6_* binaries.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "core/parallel_matcher.hpp"
+#include "core/production_parallel.hpp"
+#include "rete/matcher.hpp"
+#include "treat/naive.hpp"
+#include "treat/treat.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/presets.hpp"
+
+using namespace psm;
+
+namespace {
+
+/** Pre-generated batch schedule shared by all benchmarks. */
+struct Workload
+{
+    std::shared_ptr<const ops5::Program> program;
+    ops5::WorkingMemory wm;
+    std::vector<std::vector<ops5::WmeChange>> batches;
+    std::uint64_t total_changes = 0;
+
+    explicit Workload(int n_batches)
+    {
+        auto preset = workloads::presetByName("daa");
+        program = workloads::generateProgram(preset.config);
+        workloads::ChangeStream stream(*program, wm, preset.config, 99);
+        for (int b = 0; b < n_batches; ++b) {
+            batches.push_back(
+                stream.nextBatch(preset.changes_per_firing, 0.5));
+            total_changes += batches.back().size();
+        }
+    }
+
+    static const Workload &
+    instance()
+    {
+        static Workload w(400);
+        return w;
+    }
+};
+
+/**
+ * Each timed iteration replays the whole batch schedule on a FRESH
+ * matcher (match state is cumulative; replaying on a warm matcher
+ * would corrupt it). Construction happens outside the timed region.
+ */
+void
+runBatches(benchmark::State &state,
+           const std::function<std::unique_ptr<core::Matcher>()> &make)
+{
+    const Workload &w = Workload::instance();
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::unique_ptr<core::Matcher> matcher = make();
+        state.ResumeTiming();
+        for (const auto &batch : w.batches)
+            matcher->processChanges(batch);
+        benchmark::DoNotOptimize(matcher->conflictSet().size());
+        state.PauseTiming();
+        matcher.reset();
+        state.ResumeTiming();
+    }
+    state.counters["wme_changes_per_sec"] = benchmark::Counter(
+        static_cast<double>(w.total_changes * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_SerialReteShared(benchmark::State &state)
+{
+    runBatches(state, [] {
+        return std::make_unique<rete::ReteMatcher>(
+            std::make_shared<rete::Network>(
+                Workload::instance().program,
+                rete::NetworkOptions::fullSharing()));
+    });
+}
+
+void
+BM_SerialRetePrivate(benchmark::State &state)
+{
+    runBatches(state, [] {
+        return std::make_unique<rete::ReteMatcher>(
+            std::make_shared<rete::Network>(
+                Workload::instance().program,
+                rete::NetworkOptions::privateState()));
+    });
+}
+
+void
+BM_SerialReteHashed(benchmark::State &state)
+{
+    runBatches(state, [] {
+        return std::make_unique<rete::ReteMatcher>(
+            std::make_shared<rete::Network>(
+                Workload::instance().program),
+            rete::CostModel{}, /*hash_joins=*/true);
+    });
+}
+
+void
+BM_Treat(benchmark::State &state)
+{
+    runBatches(state, [] {
+        return std::make_unique<treat::TreatMatcher>(
+            Workload::instance().program);
+    });
+}
+
+void
+BM_ProductionParallel(benchmark::State &state)
+{
+    std::size_t workers = static_cast<std::size_t>(state.range(0));
+    runBatches(state, [workers] {
+        return std::make_unique<core::ProductionParallelMatcher>(
+            Workload::instance().program, workers);
+    });
+}
+
+void
+BM_ParallelRete(benchmark::State &state)
+{
+    std::size_t workers = static_cast<std::size_t>(state.range(0));
+    runBatches(state, [workers] {
+        core::ParallelOptions opt;
+        opt.n_workers = workers;
+        return std::make_unique<core::ParallelReteMatcher>(
+            Workload::instance().program, opt);
+    });
+}
+
+} // namespace
+
+BENCHMARK(BM_SerialReteShared)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SerialRetePrivate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SerialReteHashed)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Treat)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProductionParallel)
+    ->Arg(0)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelRete)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Scheduler ablation (E9): the cost of dispatching fine-grain tasks
+ * through software queues — the overhead the paper's hardware task
+ * scheduler exists to remove.
+ *
+ * Microbenches: raw push/pop throughput of the central locked queue
+ * vs the work-stealing pool, single-threaded and contended; plus the
+ * full parallel matcher under each scheduler.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/parallel_matcher.hpp"
+#include "core/task_queue.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/presets.hpp"
+
+using namespace psm;
+
+namespace {
+
+void
+BM_CentralQueuePushPop(benchmark::State &state)
+{
+    core::CentralTaskQueue<int> q;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            q.push(i);
+        for (int i = 0; i < 64; ++i)
+            benchmark::DoNotOptimize(q.tryPop());
+    }
+    state.counters["tasks_per_sec"] = benchmark::Counter(
+        64.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_StealingPoolPushPop(benchmark::State &state)
+{
+    core::StealingTaskPool<int> pool(4);
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            pool.push(i, 0);
+        for (int i = 0; i < 64; ++i)
+            benchmark::DoNotOptimize(pool.tryPop(0));
+    }
+    state.counters["tasks_per_sec"] = benchmark::Counter(
+        64.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_CentralQueueContended(benchmark::State &state)
+{
+    // Two producer/consumer threads hammering one queue: the serial
+    // dispatch section the paper warns about.
+    core::CentralTaskQueue<int> q;
+    std::atomic<bool> stop{false};
+    std::thread other([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            q.push(1);
+            benchmark::DoNotOptimize(q.tryPop());
+        }
+    });
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            q.push(i);
+            benchmark::DoNotOptimize(q.tryPop());
+        }
+    }
+    stop = true;
+    other.join();
+    state.counters["tasks_per_sec"] = benchmark::Counter(
+        64.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_StealingPoolContended(benchmark::State &state)
+{
+    core::StealingTaskPool<int> pool(2);
+    std::atomic<bool> stop{false};
+    std::thread other([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            pool.push(1, 1);
+            benchmark::DoNotOptimize(pool.tryPop(1));
+        }
+    });
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            pool.push(i, 0);
+            benchmark::DoNotOptimize(pool.tryPop(0));
+        }
+    }
+    stop = true;
+    other.join();
+    state.counters["tasks_per_sec"] = benchmark::Counter(
+        64.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+/** Full matcher under each scheduler kind. */
+void
+matcherBench(benchmark::State &state, core::SchedulerKind kind,
+             std::size_t workers)
+{
+    auto preset = workloads::tinyPreset(8);
+    auto program = workloads::generateProgram(preset.config);
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*program, wm, preset.config, 7);
+    std::vector<std::vector<ops5::WmeChange>> batches;
+    std::uint64_t changes = 0;
+    for (int b = 0; b < 200; ++b) {
+        batches.push_back(stream.nextBatch(4, 0.5));
+        changes += batches.back().size();
+    }
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        core::ParallelOptions opt;
+        opt.n_workers = workers;
+        opt.scheduler = kind;
+        auto matcher = std::make_unique<core::ParallelReteMatcher>(
+            program, opt);
+        state.ResumeTiming();
+        for (const auto &batch : batches)
+            matcher->processChanges(batch);
+        state.PauseTiming();
+        matcher.reset();
+        state.ResumeTiming();
+    }
+    state.counters["wme_changes_per_sec"] = benchmark::Counter(
+        static_cast<double>(changes * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_MatcherCentral(benchmark::State &state)
+{
+    matcherBench(state, core::SchedulerKind::Central,
+                 static_cast<std::size_t>(state.range(0)));
+}
+
+void
+BM_MatcherStealing(benchmark::State &state)
+{
+    matcherBench(state, core::SchedulerKind::Stealing,
+                 static_cast<std::size_t>(state.range(0)));
+}
+
+} // namespace
+
+BENCHMARK(BM_CentralQueuePushPop);
+BENCHMARK(BM_StealingPoolPushPop);
+BENCHMARK(BM_CentralQueueContended);
+BENCHMARK(BM_StealingPoolContended);
+BENCHMARK(BM_MatcherCentral)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatcherStealing)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness binaries.
+ *
+ * Every figure/table binary regenerates one table or figure of the
+ * paper: it captures the calibrated workloads, simulates or analyses
+ * them, and prints the paper's rows/series side by side with the
+ * reproduction's numbers. Absolute agreement is not the goal (our
+ * substrate is a simulator over synthetic-but-calibrated workloads);
+ * the SHAPE — who wins, where curves saturate, where crossovers fall
+ * — is what EXPERIMENTS.md records.
+ */
+
+#ifndef PSM_BENCH_BENCH_UTIL_HPP
+#define PSM_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "psm/analysis.hpp"
+#include "psm/capture.hpp"
+#include "workloads/presets.hpp"
+
+namespace psm::bench {
+
+/** Capture settings shared by all experiment binaries. */
+struct CaptureSettings
+{
+    int batches = 120;
+    double remove_fraction = 0.5; ///< keeps WM size stable
+};
+
+/** One captured paper system, plus its preset metadata. */
+struct SystemRun
+{
+    workloads::SystemPreset preset;
+    sim::CapturedRun run;
+    sim::WorkloadStats stats;
+};
+
+/** Captures all six paper systems (Section 6 workloads). */
+inline std::vector<SystemRun>
+captureAllSystems(const CaptureSettings &settings = {})
+{
+    std::vector<SystemRun> out;
+    for (const workloads::SystemPreset &preset :
+         workloads::paperSystems()) {
+        SystemRun sr;
+        sr.preset = preset;
+        auto program = workloads::generateProgram(preset.config);
+        sr.run = sim::captureStreamRun(
+            program, preset.config, preset.config.seed * 7 + 1,
+            settings.batches, preset.changes_per_firing,
+            settings.remove_fraction);
+        sr.stats = sim::analyzeWorkload(sr.run);
+        out.push_back(std::move(sr));
+    }
+    return out;
+}
+
+/** One preset captured under several stream seeds (for averaging). */
+inline std::vector<sim::CapturedRun>
+captureSeeds(const workloads::SystemPreset &preset, int n_seeds,
+             const CaptureSettings &settings = {})
+{
+    std::vector<sim::CapturedRun> out;
+    for (int s = 0; s < n_seeds; ++s) {
+        auto program = workloads::generateProgram(preset.config);
+        out.push_back(sim::captureStreamRun(
+            program, preset.config,
+            preset.config.seed * 7 + 1 + static_cast<std::uint64_t>(s),
+            settings.batches, preset.changes_per_firing,
+            settings.remove_fraction));
+    }
+    return out;
+}
+
+/** Standard banner naming the experiment and its paper artifact. */
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s — %s\n", id, title);
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+/** The processor counts the paper's figures sweep. */
+inline const std::vector<int> &
+processorSweep()
+{
+    static const std::vector<int> sweep = {1, 2, 4, 8, 16, 24, 32,
+                                           48, 64};
+    return sweep;
+}
+
+} // namespace psm::bench
+
+#endif // PSM_BENCH_BENCH_UTIL_HPP

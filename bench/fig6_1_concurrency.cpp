@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 6-1: average concurrency (processors kept busy) as a
+ * function of processor count, for the six production systems plus
+ * the parallel-firings variants of R1-Soar and EP-Soar.
+ *
+ * Paper reference points: most systems need no more than 32-64
+ * processors; the 32-processor average across systems is 15.92.
+ */
+
+#include "bench_util.hpp"
+#include "psm/simulator.hpp"
+
+using namespace psm;
+using namespace psm::bench;
+
+int
+main()
+{
+    banner("E1 / Figure 6-1",
+           "concurrency vs number of processors (2 MIPS, hardware "
+           "scheduler)");
+
+    // Three stream seeds per system; reported values are means.
+    const int kSeeds = 3;
+    const auto &sweep = processorSweep();
+
+    // Header.
+    std::printf("%-22s", "system");
+    for (int p : sweep)
+        std::printf("%8s", ("P=" + std::to_string(p)).c_str());
+    std::printf("%10s\n", "paper@32");
+
+    double sum32 = 0;
+    int curves = 0;
+    auto print_curve = [&](const std::string &name,
+                           const std::vector<rete::TraceRecorder> &traces,
+                           double paper_at_32) {
+        std::printf("%-22s", name.c_str());
+        for (int p : sweep) {
+            double mean = 0;
+            for (const auto &trace : traces) {
+                sim::Simulator simulator(trace);
+                sim::MachineConfig m;
+                m.n_processors = p;
+                mean += simulator.run(m).concurrency;
+            }
+            mean /= static_cast<double>(traces.size());
+            std::printf("%8.2f", mean);
+            if (p == 32) {
+                sum32 += mean;
+                ++curves;
+            }
+        }
+        if (paper_at_32 > 0)
+            std::printf("%9.1f*", paper_at_32);
+        std::printf("\n");
+    };
+
+    for (const workloads::SystemPreset &preset :
+         workloads::paperSystems()) {
+        auto runs = captureSeeds(preset, kSeeds);
+        std::vector<rete::TraceRecorder> traces, merged;
+        for (auto &run : runs) {
+            // Parallel firings: the WM changes of two consecutive
+            // firings enter the match phase together.
+            merged.push_back(sim::mergeCycles(run.trace, 2));
+            traces.push_back(std::move(run.trace));
+        }
+        print_curve(preset.name, traces, preset.paper_concurrency_32);
+        if (preset.has_parallel_firings_variant) {
+            print_curve(preset.name + " (par firings)", merged,
+                        preset.paper_concurrency_32 * 2.0);
+        }
+    }
+
+    std::printf("\naverage concurrency at 32 processors: %.2f "
+                "(paper: 15.92)\n",
+                sum32 / curves);
+    std::printf("* paper columns are approximate read-offs of the "
+                "published figure\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 6-2: execution speed (working-memory changes per second) as
+ * a function of processor count with 2 MIPS processors.
+ *
+ * Paper reference points: 32-processor average 9400 wme-changes/sec,
+ * about 3800 production firings/sec.
+ */
+
+#include "bench_util.hpp"
+#include "psm/simulator.hpp"
+
+using namespace psm;
+using namespace psm::bench;
+
+int
+main()
+{
+    banner("E2 / Figure 6-2",
+           "execution speed vs number of processors (2 MIPS, hardware "
+           "scheduler)");
+
+    const int kSeeds = 3;
+    const auto &sweep = processorSweep();
+
+    std::printf("%-22s", "system");
+    for (int p : sweep)
+        std::printf("%8s", ("P=" + std::to_string(p)).c_str());
+    std::printf("%10s\n", "paper@32");
+
+    double sum_speed32 = 0, sum_firings32 = 0;
+    int curves = 0;
+    auto print_curve = [&](const std::string &name,
+                           const std::vector<rete::TraceRecorder> &traces,
+                           double paper_at_32) {
+        std::printf("%-22s", name.c_str());
+        for (int p : sweep) {
+            double speed = 0, firings = 0;
+            for (const auto &trace : traces) {
+                sim::Simulator simulator(trace);
+                sim::MachineConfig m;
+                m.n_processors = p;
+                sim::SimResult r = simulator.run(m);
+                speed += r.wme_changes_per_sec;
+                firings += r.cycles_per_sec;
+            }
+            speed /= static_cast<double>(traces.size());
+            firings /= static_cast<double>(traces.size());
+            std::printf("%8.0f", speed);
+            if (p == 32) {
+                sum_speed32 += speed;
+                sum_firings32 += firings;
+                ++curves;
+            }
+        }
+        if (paper_at_32 > 0)
+            std::printf("%9.0f*", paper_at_32);
+        std::printf("\n");
+    };
+
+    for (const workloads::SystemPreset &preset :
+         workloads::paperSystems()) {
+        auto runs = captureSeeds(preset, kSeeds);
+        std::vector<rete::TraceRecorder> traces, merged;
+        for (auto &run : runs) {
+            merged.push_back(sim::mergeCycles(run.trace, 2));
+            traces.push_back(std::move(run.trace));
+        }
+        print_curve(preset.name, traces, preset.paper_speed_32_wmeps);
+        if (preset.has_parallel_firings_variant) {
+            print_curve(preset.name + " (par firings)", merged,
+                        preset.paper_speed_32_wmeps * 1.8);
+        }
+    }
+
+    std::printf("\naverage at 32 processors: %.0f wme-changes/sec "
+                "(paper: 9400), %.0f firings/sec (paper: ~3800)\n",
+                sum_speed32 / curves, sum_firings32 / curves);
+    std::printf("* paper columns are approximate read-offs of the "
+                "published figure\n");
+    return 0;
+}

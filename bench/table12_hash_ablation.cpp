@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Ablation: hashed join memories on the serial Rete matcher — the
+ * style of "further optimizations to the OPS compiler" the paper
+ * projects would lift the serial VAX from ~200 to 400-800
+ * wme-changes/sec (Section 2.2).
+ *
+ * Identical change streams through the scanning matcher and the
+ * hashing matcher; reported per system: candidate comparisons per
+ * change, cost-model instructions per change (c1), the implied serial
+ * VAX speed, and host wall-clock throughput.
+ */
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "rete/matcher.hpp"
+
+using namespace psm;
+using namespace psm::bench;
+
+namespace {
+
+struct Run
+{
+    double cmp_per_change;
+    double c1;
+    double wall_wme_per_sec;
+};
+
+Run
+runMatcher(rete::ReteMatcher &m, const workloads::SystemPreset &preset,
+           const std::shared_ptr<const ops5::Program> &program)
+{
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*program, wm, preset.config,
+                                   preset.config.seed * 7 + 1);
+    std::vector<std::vector<ops5::WmeChange>> batches;
+    std::uint64_t changes = 0;
+    for (int b = 0; b < 150; ++b) {
+        batches.push_back(
+            stream.nextBatch(preset.changes_per_firing, 0.5));
+        changes += batches.back().size();
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto &batch : batches)
+        m.processChanges(batch);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    Run r;
+    r.cmp_per_change = static_cast<double>(m.stats().comparisons) /
+                       static_cast<double>(changes);
+    r.c1 = static_cast<double>(m.stats().instructions) /
+           static_cast<double>(changes);
+    r.wall_wme_per_sec = static_cast<double>(changes) / secs;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("E13 / Section 2.2 ablation",
+           "hashed join memories on the serial Rete matcher");
+
+    std::printf("%-10s | %10s %8s %10s | %10s %8s %10s | %8s\n",
+                "system", "scan cmp", "c1", "VAX wme/s", "hash cmp",
+                "c1", "VAX wme/s", "speedup");
+
+    for (const auto &preset : workloads::paperSystems()) {
+        auto program = workloads::generateProgram(preset.config);
+        rete::ReteMatcher scan(std::make_shared<rete::Network>(program));
+        rete::ReteMatcher hashed(std::make_shared<rete::Network>(program),
+                                 rete::CostModel{}, /*hash_joins=*/true);
+        Run a = runMatcher(scan, preset, program);
+        Run b = runMatcher(hashed, preset, program);
+
+        // Implied serial speed on the paper's ~1 MIPS VAX-11/780.
+        double vax_a = 1.0e6 / a.c1;
+        double vax_b = 1.0e6 / b.c1;
+        std::printf("%-10s | %10.1f %8.0f %10.0f | %10.1f %8.0f "
+                    "%10.0f | %7.2fx\n",
+                    preset.name.c_str(), a.cmp_per_change, a.c1, vax_a,
+                    b.cmp_per_change, b.c1, vax_b, a.c1 / b.c1);
+    }
+
+    std::printf("\n-> at the paper's operating point the memories hold "
+                "only a handful of entries,\n   so scanning is already "
+                "cheap and index maintenance roughly breaks even --\n"
+                "   an honest negative at this scale. The win appears "
+                "as memories grow:\n\n");
+
+    // Part 2: sweep working-memory size. Bigger memories mean longer
+    // scans; the hash index turns them into bucket probes.
+    std::printf("%10s | %10s %10s | %8s\n", "live WMEs", "scan c1",
+                "hash c1", "speedup");
+    for (int wmes : {30, 120, 480}) {
+        workloads::GeneratorConfig cfg =
+            workloads::presetByName("daa").config;
+        cfg.initial_wmes_per_class = wmes;
+        // The hash-win regime: big alpha memories (long scans) but
+        // highly selective joins (values spread over a wide symbol
+        // space), so the token population stays bounded while scans
+        // grow linearly with working memory.
+        // Scale the value space with the memory so expected join
+        // matches stay constant while scan length grows.
+        cfg.symbols_per_attr = std::max(32, wmes / 4);
+        cfg.types_per_class = 8;
+        cfg.join_var_prob = 0.6;
+        cfg.expensive_fraction = 0.0; // no weak-selectivity outliers
+        auto program = workloads::generateProgram(cfg);
+
+        auto measure = [&](bool hash) {
+            rete::ReteMatcher m(std::make_shared<rete::Network>(program),
+                                rete::CostModel{}, hash);
+            ops5::WorkingMemory wm;
+            workloads::ChangeStream stream(*program, wm, cfg, 77);
+            // Pre-populate to the target size, unmeasured.
+            m.processChanges(stream.nextBatch(wmes * cfg.n_classes, 0.0));
+            auto before = m.stats().instructions;
+            std::uint64_t changes = 0;
+            for (int b = 0; b < 40; ++b) {
+                auto batch = stream.nextBatch(4, 0.5);
+                changes += batch.size();
+                m.processChanges(batch);
+            }
+            return static_cast<double>(m.stats().instructions - before) /
+                   static_cast<double>(changes);
+        };
+        double scan_c1 = measure(false);
+        double hash_c1 = measure(true);
+        std::printf("%10d | %10.0f %10.0f | %7.2fx\n",
+                    wmes * cfg.n_classes, scan_c1, hash_c1,
+                    scan_c1 / hash_c1);
+    }
+
+    std::printf("\n-> hashing composes with (not replaces) the "
+                "parallel speed-up, and matters for\n   working "
+                "memories an order of magnitude beyond the paper's "
+                "1000-element regime\n");
+    return 0;
+}

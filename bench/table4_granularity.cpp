@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Section 4: why the paper rejects coarse production-level
+ * parallelism in favour of fine-grain node-activation parallelism.
+ *
+ * For each system: the affected-production count (~30 in the paper —
+ * the ceiling for production parallelism), the per-production cost
+ * variation that keeps production parallelism near 5-fold even with
+ * unbounded processors, and the node-granularity speed-ups with and
+ * without processing multiple WM changes in parallel.
+ */
+
+#include "bench_util.hpp"
+#include "psm/simulator.hpp"
+
+using namespace psm;
+using namespace psm::bench;
+
+namespace {
+
+/** Node-level true speed-up at @p procs for a trace. */
+double
+nodeSpeedup(const sim::CapturedRun &run,
+            const rete::TraceRecorder &trace, int procs)
+{
+    sim::MachineConfig m;
+    m.n_processors = procs;
+    sim::Simulator simulator(trace);
+    sim::SimResult r = simulator.run(m);
+    return sim::trueSpeedup(run, r, m).true_speedup;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("E5 / Section 4",
+           "production-level vs node-activation-level parallelism");
+
+    auto systems = captureAllSystems();
+
+    std::printf("%-10s %9s %7s | %9s %9s | %9s %9s %10s\n", "system",
+                "affected", "costCV", "prod@inf", "prod@32",
+                "node@32", "node@inf", "node@1chg");
+
+    double sum_aff = 0, sum_pp = 0, sum_node32 = 0;
+    for (const SystemRun &sr : systems) {
+        double pp_inf = sim::productionParallelSpeedup(sr.run, 0);
+        double pp_32 = sim::productionParallelSpeedup(sr.run, 32);
+        double node_32 = nodeSpeedup(sr.run, sr.run.trace, 32);
+        double node_inf = nodeSpeedup(sr.run, sr.run.trace, 4096);
+
+        // Single-change-at-a-time node parallelism: what is lost when
+        // multiple WM changes cannot overlap (Oflazer's drawback).
+        auto &cap = sr.run;
+        auto preset = sr.preset;
+        auto program = workloads::generateProgram(preset.config);
+        auto single = sim::captureStreamRun(
+            program, preset.config, preset.config.seed * 7 + 1,
+            120 * preset.changes_per_firing, 1, 0.5);
+        double node_1chg = nodeSpeedup(single, single.trace, 32);
+        (void)cap;
+
+        std::printf("%-10s %9.1f %7.2f | %9.2f %9.2f | %9.2f %9.2f "
+                    "%10.2f\n",
+                    sr.preset.name.c_str(),
+                    sr.stats.avg_affected_productions,
+                    sr.stats.per_production_cost_cv, pp_inf, pp_32,
+                    node_32, node_inf, node_1chg);
+        sum_aff += sr.stats.avg_affected_productions;
+        sum_pp += pp_inf;
+        sum_node32 += node_32;
+    }
+    double n = static_cast<double>(systems.size());
+    std::printf("%-10s %9.1f %7s | %9.2f %9s | %9.2f\n", "AVERAGE",
+                sum_aff / n, "", sum_pp / n, "", sum_node32 / n);
+
+    std::printf("\npaper reference: ~30 affected productions bound "
+                "production parallelism,\n"
+                "yet its realised speed-up is only ~5-fold (unbounded "
+                "processors) because of\n"
+                "cost variation; node granularity with parallel WM "
+                "changes reaches 8.25 true\n"
+                "speed-up at 32 processors. Single-change node "
+                "parallelism (node@1chg) shows\n"
+                "why overlapping changes matters.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Section 6's true-speedup accounting at 32 processors: concurrency
+ * vs true speed-up over the best serial implementation, and the
+ * decomposition of the lost factor into (1) loss of node sharing,
+ * (2) scheduling overhead, (3) synchronisation/remainder.
+ *
+ * Paper reference: concurrency 15.92, true speed-up 8.25, lost factor
+ * 1.93.
+ */
+
+#include "bench_util.hpp"
+
+using namespace psm;
+using namespace psm::bench;
+
+int
+main()
+{
+    banner("E3 / Section 6",
+           "concurrency vs true speed-up at 32 processors, lost-factor "
+           "decomposition");
+
+    auto systems = captureAllSystems();
+
+    std::printf("%-12s %6s %12s %12s %6s %9s %9s %7s\n", "system", "c1",
+                "concurrency", "true-speedup", "lost", "sharing",
+                "scheduling", "sync");
+
+    double sum_conc = 0, sum_true = 0, sum_lost = 0;
+    for (const SystemRun &sr : systems) {
+        sim::MachineConfig m;
+        m.n_processors = 32;
+        sim::Simulator simulator(sr.run.trace);
+        sim::SimResult r = simulator.run(m);
+        sim::TrueSpeedup ts = sim::trueSpeedup(sr.run, r, m);
+        std::printf("%-12s %6.0f %12.2f %12.2f %6.2f %9.2f %9.2f %7.2f\n",
+                    sr.preset.name.c_str(),
+                    sr.stats.serial_instr_per_change, ts.concurrency,
+                    ts.true_speedup, ts.lost_factor, ts.sharing_loss,
+                    ts.scheduling_loss, ts.sync_loss);
+        sum_conc += ts.concurrency;
+        sum_true += ts.true_speedup;
+        sum_lost += ts.lost_factor;
+    }
+    double n = static_cast<double>(systems.size());
+    std::printf("%-12s %6s %12.2f %12.2f %6.2f\n", "AVERAGE", "",
+                sum_conc / n, sum_true / n, sum_lost / n);
+    std::printf("%-12s %6s %12.2f %12.2f %6.2f\n", "paper", "", 15.92,
+                8.25, 1.93);
+    std::printf("\nlost = concurrency / true-speedup = sharing x "
+                "scheduling x sync (multiplicative)\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Section 7: the cross-architecture comparison. The PSM (this
+ * paper's machine) is simulated on the captured workloads; DADO,
+ * NON-VON, Oflazer's machine, and PESA-1 are analytic models fed the
+ * same measured workload statistics.
+ *
+ * Paper reference values (wme-changes/sec): DADO-Rete 175, DADO-TREAT
+ * 215, NON-VON 2000, Oflazer 4500-7000, PSM ~9400.
+ */
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "psm/rivals.hpp"
+#include "psm/simulator.hpp"
+
+using namespace psm;
+using namespace psm::bench;
+
+int
+main()
+{
+    banner("E6 / Section 7", "comparison to other proposed machines");
+
+    auto systems = captureAllSystems();
+
+    // Average workload statistics over the six systems.
+    sim::WorkloadStats avg;
+    double psm_speed = 0;
+    for (const SystemRun &sr : systems) {
+        avg.serial_instr_per_change +=
+            sr.stats.serial_instr_per_change;
+        avg.avg_affected_productions +=
+            sr.stats.avg_affected_productions;
+        sim::MachineConfig m;
+        m.n_processors = 32;
+        sim::Simulator simulator(sr.run.trace);
+        psm_speed += simulator.run(m).wme_changes_per_sec;
+    }
+    double n = static_cast<double>(systems.size());
+    avg.serial_instr_per_change /= n;
+    avg.avg_affected_productions /= n;
+    psm_speed /= n;
+
+    std::printf("workload: avg c1 = %.0f instr/change, avg affected "
+                "productions = %.1f\n\n",
+                avg.serial_instr_per_change,
+                avg.avg_affected_productions);
+
+    std::printf("%-10s %-28s %8s %7s %12s %10s\n", "machine",
+                "algorithm", "procs", "MIPS", "wme-chg/sec", "paper");
+
+    for (const sim::RivalEstimate &e : sim::allRivals(avg)) {
+        std::printf("%-10s %-28s %8d %7.1f ", e.machine.c_str(),
+                    e.algorithm.c_str(), e.n_processors,
+                    e.processor_mips);
+        if (std::isnan(e.wme_changes_per_sec))
+            std::printf("%12s %10s", "n/a", "n/a");
+        else
+            std::printf("%12.0f %10.0f", e.wme_changes_per_sec,
+                        e.paper_value);
+        std::printf("   %s\n", e.notes.c_str());
+    }
+    std::printf("%-10s %-28s %8d %7.1f %12.0f %10.0f   %s\n", "PSM",
+                "parallel Rete (this paper)", 32, 2.0, psm_speed,
+                9400.0, "simulated on the captured traces");
+
+    std::printf("\nshape checks: PSM > Oflazer > NON-VON >> DADO; "
+                "DADO-TREAT and DADO-Rete within ~25%%\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Blocks-world tower builder: a richer multi-rule program showing
+ * negated condition elements, numeric predicates, MEA conflict
+ * resolution, and the firing observer.
+ *
+ * The program stacks all blocks into a single tower in size order
+ * (largest at the bottom), one move at a time:
+ *   - a block may move if nothing is on top of it;
+ *   - it goes onto the largest clear block that is smaller-than-none
+ *     and larger than it; the table hosts the largest block first.
+ */
+
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "ops5/parser.hpp"
+#include "rete/matcher.hpp"
+
+namespace {
+
+constexpr const char *kProgram = R"(
+(strategy mea)
+(literalize block id size on)
+(literalize phase name)
+
+; Move the largest unstacked clear block onto the table first.
+(p base-block
+    (phase ^name build)
+    (block ^id <b> ^size <s> ^on heap)
+    -(block ^on heap ^size > <s>)
+    -(block ^on table)
+    -->
+    (write block <b> goes on the table)
+    (modify 2 ^on table))
+
+; Stack: the largest heap block goes onto the current tower top.
+; The tower top is a placed block with nothing on it.
+(p stack-block
+    (phase ^name build)
+    (block ^id <b> ^size <s> ^on heap)
+    -(block ^on heap ^size > <s>)
+    (block ^id <top> ^size > <s> ^on <> heap)
+    -(block ^on <top>)
+    -->
+    (write block <b> goes on block <top>)
+    (modify 2 ^on <top>))
+
+; All blocks placed: nothing remains on the heap.
+(p tower-done
+    (phase ^name build)
+    -(block ^on heap)
+    -->
+    (write tower complete)
+    (halt))
+
+(make block ^id a ^size 3 ^on heap)
+(make block ^id b ^size 5 ^on heap)
+(make block ^id c ^size 1 ^on heap)
+(make block ^id d ^size 4 ^on heap)
+(make block ^id e ^size 2 ^on heap)
+(make phase ^name build)
+)";
+
+} // namespace
+
+int
+main()
+{
+    auto parsed = psm::ops5::parseProgram(kProgram);
+    auto program = parsed.program;
+    psm::rete::ReteMatcher matcher(program);
+    psm::core::Engine engine(program, matcher,
+                             parsed.strategy ==
+                                     psm::ops5::StrategyKind::Mea
+                                 ? psm::ops5::Strategy::Mea
+                                 : psm::ops5::Strategy::Lex);
+    engine.setOutput(&std::cout);
+
+    int moves = 0;
+    engine.setFiringObserver(
+        [&](const psm::ops5::Instantiation &inst,
+            const psm::ops5::FiringResult &) {
+            if (inst.production->name() != "tower-done")
+                ++moves;
+        });
+
+    engine.loadInitialWorkingMemory();
+    psm::core::RunResult result = engine.run(50);
+
+    std::cout << "moves: " << moves << " (5 expected)\n";
+    return result.halted && moves == 5 ? 0 : 1;
+}

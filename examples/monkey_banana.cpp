@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Monkey-and-bananas: the classic planning benchmark for production
+ * systems, run here with the TREAT matcher to show that matchers are
+ * interchangeable behind the Engine.
+ */
+
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "ops5/parser.hpp"
+#include "treat/treat.hpp"
+
+namespace {
+
+constexpr const char *kProgram = R"(
+(literalize monkey at on holds)
+(literalize thing name at)
+(literalize goal wants)
+
+; Walk to the ladder when the monkey is elsewhere (and empty-handed).
+(p walk-to-ladder
+    (goal ^wants bananas)
+    (monkey ^at <m> ^on floor ^holds nothing)
+    (thing ^name ladder ^at { <l> <> <m> })
+    -->
+    (write monkey walks from <m> to <l>)
+    (modify 2 ^at <l>))
+
+; Push the ladder under the bananas.
+(p push-ladder
+    (goal ^wants bananas)
+    (monkey ^at <l> ^on floor ^holds nothing)
+    (thing ^name ladder ^at <l>)
+    (thing ^name bananas ^at { <b> <> <l> })
+    -->
+    (write monkey pushes ladder from <l> to <b>)
+    (modify 3 ^at <b>)
+    (modify 2 ^at <b>))
+
+; Climb once the ladder is under the bananas.
+(p climb
+    (goal ^wants bananas)
+    (monkey ^at <b> ^on floor ^holds nothing)
+    (thing ^name ladder ^at <b>)
+    (thing ^name bananas ^at <b>)
+    -->
+    (write monkey climbs the ladder)
+    (modify 2 ^on ladder))
+
+; Grab!
+(p grab
+    (goal ^wants bananas)
+    (monkey ^at <b> ^on ladder ^holds nothing)
+    (thing ^name bananas ^at <b>)
+    -->
+    (write monkey grabs the bananas)
+    (modify 2 ^holds bananas)
+    (halt))
+
+(make monkey ^at door ^on floor ^holds nothing)
+(make thing ^name ladder ^at window)
+(make thing ^name bananas ^at center)
+(make goal ^wants bananas)
+)";
+
+} // namespace
+
+int
+main()
+{
+    auto program = psm::ops5::parse(kProgram);
+    psm::treat::TreatMatcher matcher(program);
+    psm::core::Engine engine(program, matcher);
+    engine.setOutput(&std::cout);
+    engine.loadInitialWorkingMemory();
+
+    psm::core::RunResult result = engine.run(20);
+    std::cout << "plan length: " << result.firings << " firings\n";
+    return result.halted ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * network_info: prints Rete network statistics for each paper-system
+ * preset — node counts by kind, sharing factors, and the cost of
+ * giving sharing up — the measurements behind Sections 3 and 6.
+ *
+ * Usage: network_info [preset-name ...]   (default: all six)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rete/network.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+void
+report(const psm::workloads::SystemPreset &preset)
+{
+    auto program = psm::workloads::generateProgram(preset.config);
+    psm::rete::Network shared(program,
+                              psm::rete::NetworkOptions::fullSharing());
+    psm::rete::Network priv(program,
+                            psm::rete::NetworkOptions::privateState());
+
+    const auto &s = shared.buildStats();
+    const auto &p = priv.buildStats();
+
+    std::printf("%s (%zu productions)\n", preset.name.c_str(),
+                program->productions().size());
+    std::printf("  %-22s %10s %10s\n", "", "shared", "private");
+    auto row = [](const char *name, int a, int b) {
+        std::printf("  %-22s %10d %10d\n", name, a, b);
+    };
+    row("constant-test nodes", s.const_tests, p.const_tests);
+    row("alpha memories", s.alpha_memories, p.alpha_memories);
+    row("join nodes", s.joins, p.joins);
+    row("not nodes", s.nots, p.nots);
+    row("beta memories", s.beta_memories, p.beta_memories);
+    row("terminal nodes", s.terminals, p.terminals);
+    row("total nodes", s.total(), p.total());
+    std::printf("  %-22s %10d %10s\n", "reused const tests",
+                s.reused_const_tests, "-");
+    std::printf("  %-22s %10d %10s\n", "reused alpha memories",
+                s.reused_alpha_memories, "-");
+    std::printf("  %-22s %10d %10s\n", "reused two-input",
+                s.reused_two_input, "-");
+
+    // How many nodes serve more than one production (the sharing the
+    // parallel implementation gives up).
+    int multi_owner = 0;
+    for (const auto &node : shared.nodes()) {
+        if (shared.productionsOf(node->id).size() > 1)
+            ++multi_owner;
+    }
+    std::printf("  %-22s %9.1f%%\n\n", "nodes shared by >1 prod",
+                100.0 * multi_owner / shared.nodes().size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+
+    if (names.empty()) {
+        for (const auto &preset : psm::workloads::paperSystems())
+            report(preset);
+        return 0;
+    }
+    for (const std::string &name : names) {
+        try {
+            report(psm::workloads::presetByName(name));
+        } catch (const std::out_of_range &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    }
+    return 0;
+}

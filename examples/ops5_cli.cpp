@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ops5_cli: run an OPS5 program from a file.
+ *
+ *     ops5_cli <program.ops> [options]
+ *
+ * Options:
+ *     --matcher rete|treat|naive|fullstate|parallel   (default rete)
+ *     --workers N          worker threads for --matcher parallel
+ *     --max-cycles N       firing limit (default 10000)
+ *     --trace FILE         save the activation trace (rete only)
+ *     --stats              print match statistics
+ *     --quiet              suppress (write ...) output
+ *
+ * Exits 0 on halt or quiescence, 1 on errors.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "core/parallel_matcher.hpp"
+#include "ops5/parser.hpp"
+#include "psm/trace_io.hpp"
+#include "rete/matcher.hpp"
+#include "treat/fullstate.hpp"
+#include "treat/naive.hpp"
+#include "treat/treat.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " <program.ops> [--matcher rete|treat|naive|fullstate|"
+                 "parallel] [--workers N]\n"
+                 "       [--max-cycles N] [--trace FILE] [--stats] "
+                 "[--quiet]\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+
+    std::string path = argv[1];
+    std::string matcher_name = "rete";
+    std::string trace_path;
+    std::uint64_t max_cycles = 10000;
+    std::size_t workers = 0;
+    bool stats = false, quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--matcher") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            matcher_name = v;
+        } else if (arg == "--workers") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            workers = std::strtoul(v, nullptr, 10);
+        } else if (arg == "--max-cycles") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            max_cycles = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--trace") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            trace_path = v;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::ifstream file(path);
+    if (!file) {
+        std::cerr << "error: cannot open " << path << "\n";
+        return 1;
+    }
+    std::ostringstream source;
+    source << file.rdbuf();
+
+    try {
+        psm::ops5::ParsedProgram parsed =
+            psm::ops5::parseProgram(source.str());
+        auto program = parsed.program;
+
+        std::unique_ptr<psm::core::Matcher> matcher;
+        psm::rete::TraceRecorder trace;
+        if (matcher_name == "rete") {
+            auto m = std::make_unique<psm::rete::ReteMatcher>(program);
+            if (!trace_path.empty())
+                m->setTraceSink(&trace);
+            matcher = std::move(m);
+        } else if (matcher_name == "treat") {
+            matcher = std::make_unique<psm::treat::TreatMatcher>(program);
+        } else if (matcher_name == "naive") {
+            matcher = std::make_unique<psm::treat::NaiveMatcher>(program);
+        } else if (matcher_name == "fullstate") {
+            matcher =
+                std::make_unique<psm::treat::FullStateMatcher>(program);
+        } else if (matcher_name == "parallel") {
+            psm::core::ParallelOptions opt;
+            opt.n_workers = workers;
+            matcher = std::make_unique<psm::core::ParallelReteMatcher>(
+                program, opt);
+        } else {
+            return usage(argv[0]);
+        }
+
+        psm::core::Engine engine(program, *matcher,
+                                 parsed.strategy ==
+                                         psm::ops5::StrategyKind::Mea
+                                     ? psm::ops5::Strategy::Mea
+                                     : psm::ops5::Strategy::Lex);
+        if (!quiet)
+            engine.setOutput(&std::cout);
+
+        engine.loadInitialWorkingMemory();
+        psm::core::RunResult result = engine.run(max_cycles);
+
+        std::cout << "---\n"
+                  << "matcher:     " << matcher->name() << "\n"
+                  << "firings:     " << result.firings << "\n"
+                  << "wme changes: " << result.wme_changes << "\n"
+                  << "end state:   "
+                  << (result.halted ? "halt"
+                                    : result.quiescent ? "quiescent"
+                                                       : "cycle limit")
+                  << "\n";
+        if (stats) {
+            auto s = matcher->stats();
+            std::cout << "activations: " << s.activations << "\n"
+                      << "comparisons: " << s.comparisons << "\n"
+                      << "instructions (cost model): " << s.instructions
+                      << "\n";
+        }
+        if (!trace_path.empty()) {
+            if (psm::sim::saveTraceFile(trace, trace_path))
+                std::cout << "trace saved: " << trace_path << "\n";
+            else
+                std::cerr << "error: failed writing " << trace_path
+                          << "\n";
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * psm_sim_cli: run the Production System Machine simulator over a
+ * saved activation trace (see ops5_cli --trace).
+ *
+ *     psm_sim_cli <trace-file> [options]
+ *
+ * Options:
+ *     --procs N            processors (default 32)
+ *     --mips X             per-processor MIPS (default 2.0)
+ *     --software-queues N  software scheduler with N queues
+ *                          (default: hardware scheduler)
+ *     --clusters N         hierarchical clusters (default 1)
+ *     --latency X          inter-cluster latency, instructions
+ *     --sweep              sweep processors 1..64 instead
+ *     --merge K            merge every K cycles (parallel firings)
+ *     --spans FILE         write the schedule as CSV (id,start,end,
+ *                          cluster) for timeline plotting
+ *     --profile [N]        print an N-bucket ASCII concurrency
+ *                          profile of the schedule (default 64)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "psm/simulator.hpp"
+#include "psm/trace_io.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <trace-file> [--procs N] [--mips X] "
+                 "[--software-queues N]\n"
+                 "       [--clusters N] [--latency X] [--sweep] "
+                 "[--merge K] [--spans FILE]\n",
+                 argv0);
+    return 1;
+}
+
+void
+printResult(const psm::sim::SimResult &r)
+{
+    std::printf("  activations:        %llu\n",
+                static_cast<unsigned long long>(r.n_activations));
+    std::printf("  wme changes:        %llu over %llu cycles\n",
+                static_cast<unsigned long long>(r.n_changes),
+                static_cast<unsigned long long>(r.n_cycles));
+    std::printf("  makespan:           %.0f instr (%.6f s)\n",
+                r.makespan_instr, r.seconds);
+    std::printf("  concurrency:        %.2f processors busy\n",
+                r.concurrency);
+    std::printf("  speed:              %.0f wme-changes/sec, %.0f "
+                "cycles/sec\n",
+                r.wme_changes_per_sec, r.cycles_per_sec);
+    std::printf("  bus utilisation:    %.2f (slowdown %.2f)\n",
+                r.bus_utilization, r.contention_slowdown);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+
+    psm::sim::MachineConfig machine;
+    bool sweep = false;
+    int merge = 1;
+    int profile_buckets = 0;
+    std::string spans_path;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next_d = [&](double &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = std::strtod(argv[++i], nullptr);
+            return true;
+        };
+        double v = 0;
+        if (arg == "--procs" && next_d(v)) {
+            machine.n_processors = static_cast<int>(v);
+        } else if (arg == "--mips" && next_d(v)) {
+            machine.mips = v;
+        } else if (arg == "--software-queues" && next_d(v)) {
+            machine.scheduler = psm::sim::SchedulerModel::Software;
+            machine.n_software_queues = static_cast<int>(v);
+        } else if (arg == "--clusters" && next_d(v)) {
+            machine.n_clusters = static_cast<int>(v);
+        } else if (arg == "--latency" && next_d(v)) {
+            machine.inter_cluster_latency_instr = v;
+        } else if (arg == "--merge" && next_d(v)) {
+            merge = static_cast<int>(v);
+        } else if (arg == "--spans" && i + 1 < argc) {
+            spans_path = argv[++i];
+        } else if (arg == "--profile") {
+            profile_buckets = 64;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                profile_buckets = std::atoi(argv[++i]);
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    try {
+        psm::rete::TraceRecorder trace =
+            psm::sim::loadTraceFile(argv[1]);
+        if (merge > 1)
+            trace = psm::sim::mergeCycles(trace, merge);
+        psm::sim::Simulator simulator(trace);
+
+        if (sweep) {
+            std::printf("%8s %12s %14s %14s\n", "procs", "concurrency",
+                        "wme-chg/sec", "bus util");
+            for (int p : {1, 2, 4, 8, 16, 24, 32, 48, 64}) {
+                psm::sim::MachineConfig m = machine;
+                m.n_processors = p;
+                psm::sim::SimResult r = simulator.run(m);
+                std::printf("%8d %12.2f %14.0f %14.2f\n", p,
+                            r.concurrency, r.wme_changes_per_sec,
+                            r.bus_utilization);
+            }
+        } else {
+            std::printf("machine: %d procs x %.1f MIPS, %s scheduler, "
+                        "%d cluster(s)\n",
+                        machine.n_processors, machine.mips,
+                        machine.scheduler ==
+                                psm::sim::SchedulerModel::Hardware
+                            ? "hardware"
+                            : "software",
+                        machine.n_clusters);
+            if (spans_path.empty() && profile_buckets <= 0) {
+                printResult(simulator.run(machine));
+            } else {
+                std::vector<psm::sim::TaskSpan> spans;
+                printResult(simulator.run(machine, spans));
+                if (!spans_path.empty()) {
+                    std::ofstream out(spans_path);
+                    out << "activation_id,start,end,cluster\n";
+                    for (const auto &s : spans) {
+                        out << s.activation_id << "," << s.start << ","
+                            << s.end << "," << s.cluster << "\n";
+                    }
+                    std::printf("  schedule spans:     %zu rows -> "
+                                "%s\n",
+                                spans.size(), spans_path.c_str());
+                }
+                if (profile_buckets > 0 && !spans.empty()) {
+                    // Concurrency-over-time profile: busy processor
+                    // time aggregated into equal buckets.
+                    double horizon = 0;
+                    for (const auto &s : spans)
+                        horizon = std::max(horizon, s.end);
+                    std::vector<double> busy(
+                        static_cast<std::size_t>(profile_buckets), 0.0);
+                    double width = horizon / profile_buckets;
+                    for (const auto &s : spans) {
+                        int b0 = static_cast<int>(s.start / width);
+                        int b1 = static_cast<int>(s.end / width);
+                        for (int b = b0; b <= b1 &&
+                                         b < profile_buckets; ++b) {
+                            double lo = std::max(s.start, b * width);
+                            double hi =
+                                std::min(s.end, (b + 1) * width);
+                            if (hi > lo)
+                                busy[static_cast<std::size_t>(b)] +=
+                                    hi - lo;
+                        }
+                    }
+                    double peak = 0;
+                    for (double &v : busy) {
+                        v /= width; // average busy processors
+                        peak = std::max(peak, v);
+                    }
+                    static const char *glyphs[] = {" ", ".", ":", "-",
+                                                   "=", "+", "*", "#"};
+                    std::printf("  concurrency profile (peak %.1f "
+                                "busy):\n  |",
+                                peak);
+                    for (double v : busy) {
+                        int g = peak > 0 ? static_cast<int>(
+                                               v / peak * 7.0)
+                                         : 0;
+                        std::printf("%s", glyphs[g]);
+                    }
+                    std::printf("|\n");
+                }
+            }
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

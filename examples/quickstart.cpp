@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: the paper's own example (Figure 2-1).
+ *
+ * Parses a two-rule OPS5 program, loads working memory, runs the
+ * recognize-act loop with the serial Rete matcher, and prints what
+ * fired. This is the smallest end-to-end use of the library:
+ *
+ *     parse -> ReteMatcher -> Engine -> run
+ */
+
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "ops5/parser.hpp"
+#include "rete/matcher.hpp"
+
+namespace {
+
+constexpr const char *kProgram = R"(
+(literalize goal type color)
+(literalize block id color selected)
+
+; The paper's Figure 2-1 production: find a block of the requested
+; color that is not yet selected, and select it.
+(p find-colored-blk
+    (goal ^type find-blk ^color <c>)
+    (block ^id <i> ^color <c> ^selected no)
+    -->
+    (write selected block <i>)
+    (modify 2 ^selected yes))
+
+; Once no unselected block of the requested color remains, finish.
+(p all-found
+    (goal ^type find-blk ^color <c>)
+    -(block ^color <c> ^selected no)
+    -->
+    (write done)
+    (halt))
+
+(make block ^id 1 ^color red  ^selected no)
+(make block ^id 2 ^color blue ^selected no)
+(make block ^id 3 ^color red  ^selected no)
+(make goal ^type find-blk ^color red)
+)";
+
+} // namespace
+
+int
+main()
+{
+    auto program = psm::ops5::parse(kProgram);
+    psm::rete::ReteMatcher matcher(program);
+    psm::core::Engine engine(program, matcher);
+    engine.setOutput(&std::cout);
+
+    engine.loadInitialWorkingMemory();
+    psm::core::RunResult result = engine.run(100);
+
+    std::cout << "firings:     " << result.firings << "\n"
+              << "wme changes: " << result.wme_changes << "\n"
+              << "halted:      " << (result.halted ? "yes" : "no")
+              << "\n";
+
+    auto stats = matcher.stats();
+    std::cout << "match work:  " << stats.activations
+              << " node activations, " << stats.instructions
+              << " cost-model instructions\n";
+    return result.halted ? 0 : 1;
+}

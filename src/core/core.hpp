@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Umbrella header for the engine and the parallel matchers.
+ */
+
+#ifndef PSM_CORE_CORE_HPP
+#define PSM_CORE_CORE_HPP
+
+#include "core/engine.hpp"               // IWYU pragma: export
+#include "core/matcher.hpp"              // IWYU pragma: export
+#include "core/parallel_matcher.hpp"     // IWYU pragma: export
+#include "core/production_parallel.hpp"  // IWYU pragma: export
+#include "core/task_queue.hpp"           // IWYU pragma: export
+
+#endif // PSM_CORE_CORE_HPP

@@ -1,0 +1,109 @@
+#include "core/engine.hpp"
+
+#include <chrono>
+
+namespace psm::core {
+
+Engine::Engine(std::shared_ptr<const ops5::Program> program,
+               Matcher &matcher, ops5::Strategy strategy)
+    : program_(std::move(program)), matcher_(matcher), strategy_(strategy)
+{}
+
+void
+Engine::loadInitialWorkingMemory()
+{
+    std::vector<ops5::WmeChange> changes;
+    for (const ops5::Program::InitialWme &init : program_->initialWmes()) {
+        const ops5::Wme *wme = wm_.insert(init.cls, init.fields);
+        changes.push_back({ops5::ChangeKind::Insert, wme});
+    }
+    totals_.wme_changes += changes.size();
+    matcher_.processChanges(changes);
+}
+
+const ops5::Wme *
+Engine::assertWme(ops5::SymbolId cls, std::vector<ops5::Value> fields)
+{
+    const ops5::Wme *wme = wm_.insert(cls, std::move(fields));
+    ops5::WmeChange change{ops5::ChangeKind::Insert, wme};
+    ++totals_.wme_changes;
+    matcher_.processChanges({&change, 1});
+    return wme;
+}
+
+bool
+Engine::retractWme(const ops5::Wme *wme)
+{
+    // No garbage collection here: the retracted element stays parked
+    // (alive but dead) until the next step(), so callers holding the
+    // pointer — including a repeated retract of the same element —
+    // read valid memory and get a clean `false` back.
+    if (!wm_.remove(wme))
+        return false;
+    ops5::WmeChange change{ops5::ChangeKind::Remove, wme};
+    ++totals_.wme_changes;
+    matcher_.processChanges({&change, 1});
+    return true;
+}
+
+bool
+Engine::step()
+{
+    using Clock = std::chrono::steady_clock;
+    if (halted_)
+        return false;
+
+    // Conflict resolution.
+    auto t0 = Clock::now();
+    auto chosen = matcher_.conflictSet().select(strategy_);
+    auto t1 = Clock::now();
+    phase_times_.resolve_seconds +=
+        std::chrono::duration<double>(t1 - t0).count();
+    if (!chosen) {
+        totals_.quiescent = true;
+        return false;
+    }
+    matcher_.conflictSet().markFired(*chosen);
+
+    // Act.
+    ops5::RhsExecutor executor(*program_, wm_, out_);
+    ops5::FiringResult result = executor.fire(*chosen);
+    auto t2 = Clock::now();
+    phase_times_.act_seconds +=
+        std::chrono::duration<double>(t2 - t1).count();
+    ++totals_.cycles;
+    ++totals_.firings;
+    totals_.wme_changes += result.changes.size();
+    if (observer_)
+        observer_(*chosen, result);
+    if (result.halted) {
+        halted_ = true;
+        totals_.halted = true;
+    }
+
+    // Match (the next cycle's recognize phase).
+    matcher_.processChanges(result.changes);
+    phase_times_.match_seconds +=
+        std::chrono::duration<double>(Clock::now() - t2).count();
+    wm_.collectGarbage();
+    return !halted_;
+}
+
+RunResult
+Engine::run(std::uint64_t max_cycles)
+{
+    RunResult before = totals_;
+    for (std::uint64_t i = 0; i < max_cycles; ++i) {
+        if (!step())
+            break;
+    }
+    RunResult delta;
+    delta.cycles = totals_.cycles - before.cycles;
+    delta.firings = totals_.firings - before.firings;
+    delta.wme_changes = totals_.wme_changes - before.wme_changes;
+    delta.halted = totals_.halted;
+    delta.quiescent = totals_.quiescent;
+    return delta;
+}
+
+} // namespace psm::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The recognize-act engine: match, conflict-resolution, act
+ * (Section 2.1 of the paper), generic over the Matcher.
+ */
+
+#ifndef PSM_CORE_ENGINE_HPP
+#define PSM_CORE_ENGINE_HPP
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+
+#include "core/matcher.hpp"
+#include "ops5/rhs.hpp"
+
+namespace psm::core {
+
+/** Outcome of an Engine run. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;      ///< recognize-act cycles executed
+    std::uint64_t firings = 0;     ///< production firings (== cycles)
+    std::uint64_t wme_changes = 0; ///< WM inserts + removes processed
+    bool halted = false;           ///< a (halt) action ran
+    bool quiescent = false;        ///< conflict set emptied
+};
+
+/**
+ * Drives the recognize-act cycle over one Program with a pluggable
+ * matcher and conflict-resolution strategy.
+ */
+class Engine
+{
+  public:
+    /**
+     * @param program  the rule base; the engine owns working memory
+     * @param matcher  match-phase implementation (not owned)
+     * @param strategy LEX or MEA
+     */
+    Engine(std::shared_ptr<const ops5::Program> program, Matcher &matcher,
+           ops5::Strategy strategy = ops5::Strategy::Lex);
+
+    /**
+     * Loads the program's top-level (make ...) forms into working
+     * memory and runs the resulting changes through the matcher as
+     * cycle zero.
+     */
+    void loadInitialWorkingMemory();
+
+    /** Inserts one WME programmatically and matches it. */
+    const ops5::Wme *assertWme(ops5::SymbolId cls,
+                               std::vector<ops5::Value> fields);
+
+    /**
+     * Removes one WME programmatically and matches the retraction.
+     * The element object stays parked (not freed) until the next
+     * step(), so a repeated retract of the same pointer safely
+     * returns false.
+     */
+    bool retractWme(const ops5::Wme *wme);
+
+    /**
+     * Runs recognize-act cycles until halt, quiescence, or
+     * @p max_cycles firings.
+     */
+    RunResult run(std::uint64_t max_cycles);
+
+    /** Executes exactly one cycle. @return false when nothing fired. */
+    bool step();
+
+    ops5::WorkingMemory &workingMemory() { return wm_; }
+    Matcher &matcher() { return matcher_; }
+    const ops5::Program &program() const { return *program_; }
+
+    /** Sink for (write ...) actions; null discards. */
+    void setOutput(std::ostream *out) { out_ = out; }
+
+    /** Observer called after each firing with the chosen
+     *  instantiation; useful for tests and tracing. */
+    using FiringObserver =
+        std::function<void(const ops5::Instantiation &,
+                           const ops5::FiringResult &)>;
+    void setFiringObserver(FiringObserver obs) { observer_ = std::move(obs); }
+
+    const RunResult &totals() const { return totals_; }
+
+    /**
+     * Cumulative wall-clock time per recognize-act phase — the
+     * measurement behind the paper's "match constitutes around 90% of
+     * the interpretation time" (Section 2.2).
+     */
+    struct PhaseTimes
+    {
+        double match_seconds = 0;   ///< Matcher::processChanges
+        double resolve_seconds = 0; ///< ConflictSet::select
+        double act_seconds = 0;     ///< RHS execution
+
+        double
+        matchFraction() const
+        {
+            double total =
+                match_seconds + resolve_seconds + act_seconds;
+            return total > 0 ? match_seconds / total : 0.0;
+        }
+    };
+
+    const PhaseTimes &phaseTimes() const { return phase_times_; }
+
+  private:
+    std::shared_ptr<const ops5::Program> program_;
+    Matcher &matcher_;
+    ops5::Strategy strategy_;
+    ops5::WorkingMemory wm_;
+    std::ostream *out_ = nullptr;
+    FiringObserver observer_;
+    RunResult totals_;
+    PhaseTimes phase_times_;
+    bool halted_ = false;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_ENGINE_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The abstract match-phase interface every matcher implements.
+ *
+ * The recognize-act Engine drives any Matcher: serial Rete, TREAT,
+ * the naive non-state-saving matcher, or the parallel Rete matcher
+ * that is this library's primary contribution. A matcher consumes
+ * working-memory changes and maintains the conflict set.
+ */
+
+#ifndef PSM_CORE_MATCHER_HPP
+#define PSM_CORE_MATCHER_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "ops5/conflict.hpp"
+
+namespace psm::core {
+
+/** Aggregate counters every matcher reports. */
+struct MatchStats
+{
+    std::uint64_t changes_processed = 0;  ///< WME inserts + removes seen
+    std::uint64_t activations = 0;        ///< node activations executed
+    std::uint64_t comparisons = 0;        ///< pairwise token/WME tests
+    std::uint64_t tokens_built = 0;       ///< tokens created by joins
+    std::uint64_t instructions = 0;       ///< cost-model instruction count
+
+    void
+    operator+=(const MatchStats &o)
+    {
+        changes_processed += o.changes_processed;
+        activations += o.activations;
+        comparisons += o.comparisons;
+        tokens_built += o.tokens_built;
+        instructions += o.instructions;
+    }
+};
+
+/**
+ * Match-phase engine interface.
+ *
+ * processChanges() receives the complete set of WME changes made by
+ * one production firing (or by initial working-memory loading) and
+ * must bring the conflict set to the corresponding fixpoint before
+ * returning — the per-cycle synchronisation barrier of the paper.
+ */
+class Matcher
+{
+  public:
+    virtual ~Matcher() = default;
+
+    /** Processes one batch of WME changes to fixpoint. */
+    virtual void processChanges(std::span<const ops5::WmeChange> changes) = 0;
+
+    /** The conflict set this matcher maintains. */
+    virtual ops5::ConflictSet &conflictSet() = 0;
+    virtual const ops5::ConflictSet &conflictSet() const = 0;
+
+    /** Cumulative statistics since construction. */
+    virtual MatchStats stats() const = 0;
+
+    /** Short human-readable matcher name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_MATCHER_HPP

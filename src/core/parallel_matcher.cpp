@@ -1,0 +1,455 @@
+#include "core/parallel_matcher.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace psm::core {
+
+using rete::AlphaMemoryNode;
+using rete::BetaMemoryNode;
+using rete::ConstTestNode;
+using rete::JoinNode;
+using rete::Node;
+using rete::NodeKind;
+using rete::NotNode;
+using rete::Side;
+using rete::TerminalNode;
+using rete::Token;
+
+ParallelReteMatcher::ParallelReteMatcher(
+    std::shared_ptr<const ops5::Program> program, ParallelOptions options,
+    rete::CostModel cost_model)
+    : program_(std::move(program)), options_(options), cost_(cost_model),
+      network_(std::make_shared<rete::Network>(
+          program_, rete::NetworkOptions::privateState())),
+      worker_stats_(options.n_workers + 1)
+{
+    // The private-state invariant the composite tasks rely on: every
+    // alpha/beta memory (except the dummy top) has exactly one
+    // successor, so the memory update can fold into that successor's
+    // activation.
+    for (const auto &node : network_->nodes()) {
+        if (node->kind == NodeKind::AlphaMemory) {
+            auto *am = static_cast<AlphaMemoryNode *>(node.get());
+            if (am->successors.size() != 1)
+                throw std::logic_error(
+                    "private-state network violated: shared alpha memory");
+        }
+        if (node->kind == NodeKind::BetaMemory &&
+            node.get() != network_->top()) {
+            auto *bm = static_cast<BetaMemoryNode *>(node.get());
+            if (bm->successors.size() != 1)
+                throw std::logic_error(
+                    "private-state network violated: shared beta memory");
+        }
+    }
+
+    if (options_.scheduler == SchedulerKind::Stealing)
+        stealing_ = std::make_unique<StealingTaskPool<PTask>>(
+            options_.n_workers + 1);
+
+    threads_.reserve(options_.n_workers);
+    for (std::size_t i = 0; i < options_.n_workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i + 1); });
+}
+
+ParallelReteMatcher::~ParallelReteMatcher()
+{
+    stop_.store(true);
+    {
+        std::lock_guard lock(idle_mutex_);
+        idle_cv_.notify_all();
+    }
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+std::string
+ParallelReteMatcher::name() const
+{
+    return options_.scheduler == SchedulerKind::Central
+               ? "rete-parallel-central"
+               : "rete-parallel-stealing";
+}
+
+MatchStats
+ParallelReteMatcher::stats() const
+{
+    MatchStats total;
+    for (const WorkerStats &ws : worker_stats_)
+        total += ws.stats;
+    return total;
+}
+
+void
+ParallelReteMatcher::spawn(PTask task, std::size_t worker)
+{
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    if (stealing_)
+        stealing_->push(std::move(task), worker);
+    else
+        central_.push(std::move(task));
+}
+
+bool
+ParallelReteMatcher::tryRunOne(std::size_t worker)
+{
+    std::optional<PTask> task = stealing_ ? stealing_->tryPop(worker)
+                                          : central_.tryPop(worker);
+    if (!task)
+        return false;
+    runTask(*task, worker);
+    // Release order so the submitter's pending_ == 0 read observes
+    // every side effect of the batch.
+    pending_.fetch_sub(1, std::memory_order_release);
+    return true;
+}
+
+void
+ParallelReteMatcher::workerLoop(std::size_t worker)
+{
+    std::uint64_t seen_gen = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        if (tryRunOne(worker))
+            continue;
+        if (pending_.load(std::memory_order_acquire) > 0) {
+            // Batch active but queue momentarily empty: spin politely.
+            std::this_thread::yield();
+            continue;
+        }
+        // No batch in flight: park until the next one (or shutdown).
+        std::unique_lock lock(idle_mutex_);
+        idle_cv_.wait(lock, [&] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   batch_gen_.load(std::memory_order_acquire) != seen_gen;
+        });
+        seen_gen = batch_gen_.load(std::memory_order_acquire);
+    }
+}
+
+void
+ParallelReteMatcher::processChanges(
+    std::span<const ops5::WmeChange> changes)
+{
+    // Within one batch an insert and a remove of the SAME element
+    // cancel: the element is invisible at the cycle barrier either
+    // way. OPS5 act semantics never produce such conjugate pairs (a
+    // remove can only target an element matched by the fired
+    // instantiation, i.e. one inserted in an earlier cycle), but
+    // synthetic change streams can; processing them concurrently
+    // would let the remove overtake the insert at an alpha memory.
+    // All other inversions are between *derived* tokens, which the
+    // beta-memory/conflict-set tombstones absorb.
+    std::vector<const ops5::Wme *> cancelled;
+    for (const ops5::WmeChange &change : changes) {
+        if (change.kind != ops5::ChangeKind::Remove)
+            continue;
+        for (const ops5::WmeChange &other : changes) {
+            if (other.kind == ops5::ChangeKind::Insert &&
+                other.wme == change.wme) {
+                cancelled.push_back(change.wme);
+                break;
+            }
+        }
+    }
+    auto is_cancelled = [&](const ops5::Wme *wme) {
+        return std::find(cancelled.begin(), cancelled.end(), wme) !=
+               cancelled.end();
+    };
+
+    // Seed: all changes of the firing enter the network concurrently
+    // (the paper's "multiple changes to working memory are processed
+    // in parallel").
+    for (const ops5::WmeChange &change : changes) {
+        ++worker_stats_[0].stats.changes_processed;
+        if (is_cancelled(change.wme))
+            continue;
+        worker_stats_[0].stats.instructions += cost_.root_dispatch;
+        ++worker_stats_[0].stats.activations;
+        bool insert = change.kind == ops5::ChangeKind::Insert;
+        for (Node *head : network_->classRoots(change.wme->className())) {
+            PTask task;
+            task.node = head;
+            task.insert = insert;
+            task.wme = change.wme;
+            spawn(std::move(task), 0);
+        }
+    }
+
+    // Wake parked workers.
+    {
+        std::lock_guard lock(idle_mutex_);
+        batch_gen_.fetch_add(1, std::memory_order_release);
+        idle_cv_.notify_all();
+    }
+
+    // The submitter works too; this also makes n_workers == 0 a fully
+    // functional (serial) configuration.
+    while (pending_.load(std::memory_order_acquire) > 0) {
+        if (!tryRunOne(0))
+            std::this_thread::yield();
+    }
+
+    // Cycle barrier: drop tombstones left by conjugate races.
+    for (const auto &node : network_->nodes()) {
+        if (node->kind == NodeKind::BetaMemory) {
+            auto *bm = static_cast<BetaMemoryNode *>(node.get());
+            if (!bm->tombstones.empty()) {
+                tombstone_events_.fetch_add(bm->tombstones.size(),
+                                            std::memory_order_relaxed);
+                bm->clearTombstones();
+            }
+        }
+    }
+    tombstone_events_.fetch_add(conflict_set_.pendingTombstones(),
+                                std::memory_order_relaxed);
+    conflict_set_.clearTombstones();
+}
+
+void
+ParallelReteMatcher::runTask(const PTask &task, std::size_t worker)
+{
+    ++worker_stats_[worker].stats.activations;
+    switch (task.node->kind) {
+      case NodeKind::ConstTest:
+        processConstTest(task, worker);
+        break;
+      case NodeKind::AlphaMemory:
+        processAlphaArrive(task, worker);
+        break;
+      case NodeKind::BetaMemory:
+        processBetaArrive(task, worker);
+        break;
+      default:
+        assert(false && "unexpected task target");
+        break;
+    }
+}
+
+void
+ParallelReteMatcher::processConstTest(const PTask &task,
+                                      std::size_t worker)
+{
+    // Constant tests are stateless and a few instructions each, far
+    // below profitable task granularity; one task walks the whole
+    // chain inline and only the stateful two-input composites behind
+    // the alpha memories are dispatched as fresh tasks.
+    MatchStats &st = worker_stats_[worker].stats;
+    const ops5::SymbolTable &syms = program_->symbols();
+    std::vector<Node *> stack{task.node};
+    while (!stack.empty()) {
+        Node *node = stack.back();
+        stack.pop_back();
+        if (node->kind == NodeKind::AlphaMemory) {
+            PTask next;
+            next.node = node;
+            next.insert = task.insert;
+            next.wme = task.wme;
+            spawn(std::move(next), worker);
+            continue;
+        }
+        auto *ct = static_cast<ConstTestNode *>(node);
+        st.instructions += cost_.const_test;
+        ++st.comparisons;
+        if (!ct->test.eval(*task.wme, syms))
+            continue;
+        for (Node *succ : ct->successors)
+            stack.push_back(succ);
+    }
+}
+
+void
+ParallelReteMatcher::processAlphaArrive(const PTask &task,
+                                        std::size_t worker)
+{
+    auto *am = static_cast<AlphaMemoryNode *>(task.node);
+    Node *succ = am->successors.front();
+    MatchStats &st = worker_stats_[worker].stats;
+    const ops5::SymbolTable &syms = program_->symbols();
+
+    auto emit = [&](const Token &token, const ops5::Wme *wme,
+                    BetaMemoryNode *output, bool insert) {
+        PTask next;
+        next.node = output;
+        next.insert = insert;
+        next.token = token.extend(wme);
+        spawn(std::move(next), worker);
+    };
+
+    if (succ->kind == NodeKind::Join) {
+        auto *join = static_cast<JoinNode *>(succ);
+        rete::DirectionalGuard guard(join->lock, Side::Right);
+        // Composite activation: update the memory, then scan the
+        // (quiescent) opposite memory — atomically w.r.t. the left
+        // side thanks to the directional lock.
+        if (task.insert)
+            am->insertWme(task.wme);
+        else
+            am->removeWme(task.wme);
+        st.instructions += task.insert ? cost_.alpha_insert
+                                       : cost_.alpha_remove_base;
+        std::uint64_t candidates = 0, outputs = 0;
+        for (const Token &token : join->left->tokens) {
+            ++candidates;
+            if (rete::evalJoinTests(join->tests, token, *task.wme, syms)) {
+                ++outputs;
+                emit(token, task.wme, join->output, task.insert);
+            }
+        }
+        st.comparisons += candidates;
+        st.tokens_built += outputs;
+        st.instructions += cost_.joinActivation(
+            candidates, candidates * join->tests.size(), outputs);
+        return;
+    }
+
+    auto *not_node = static_cast<NotNode *>(succ);
+    std::lock_guard lock(not_node->mutex);
+    if (task.insert)
+        am->insertWme(task.wme);
+    else
+        am->removeWme(task.wme);
+    st.instructions += task.insert ? cost_.alpha_insert
+                                   : cost_.alpha_remove_base;
+    std::uint64_t candidates = 0;
+    for (NotNode::Entry &entry : not_node->entries) {
+        ++candidates;
+        if (!rete::evalJoinTests(not_node->tests, entry.token, *task.wme,
+                                 syms)) {
+            continue;
+        }
+        if (task.insert) {
+            if (++entry.count == 1) {
+                PTask next;
+                next.node = not_node->output;
+                next.insert = false;
+                next.token = entry.token;
+                spawn(std::move(next), worker);
+            }
+        } else {
+            if (--entry.count == 0) {
+                PTask next;
+                next.node = not_node->output;
+                next.insert = true;
+                next.token = entry.token;
+                spawn(std::move(next), worker);
+            }
+        }
+    }
+    st.comparisons += candidates;
+    st.instructions += cost_.not_base +
+        candidates * (cost_.not_per_entry +
+                      not_node->tests.size() * cost_.join_per_test);
+}
+
+void
+ParallelReteMatcher::processBetaArrive(const PTask &task,
+                                       std::size_t worker)
+{
+    auto *bm = static_cast<BetaMemoryNode *>(task.node);
+    MatchStats &st = worker_stats_[worker].stats;
+    const ops5::SymbolTable &syms = program_->symbols();
+    Node *succ = bm->successors.empty() ? nullptr : bm->successors.front();
+
+    if (!succ || succ->kind == NodeKind::Terminal) {
+        bool forward = task.insert ? bm->insertToken(task.token)
+                                   : bm->removeToken(task.token);
+        st.instructions += task.insert ? cost_.beta_insert
+                                       : cost_.beta_remove_base;
+        if (!forward || !succ)
+            return;
+        st.instructions += cost_.terminal;
+        auto *term = static_cast<TerminalNode *>(succ);
+        ops5::Instantiation inst;
+        inst.production = term->production;
+        inst.wmes = task.token.wmes;
+        if (task.insert)
+            conflict_set_.insert(std::move(inst));
+        else
+            conflict_set_.remove(inst);
+        return;
+    }
+
+    if (succ->kind == NodeKind::Join) {
+        auto *join = static_cast<JoinNode *>(succ);
+        rete::DirectionalGuard guard(join->lock, Side::Left);
+        bool forward = task.insert ? bm->insertToken(task.token)
+                                   : bm->removeToken(task.token);
+        st.instructions += task.insert ? cost_.beta_insert
+                                       : cost_.beta_remove_base;
+        if (!forward)
+            return;
+        std::uint64_t candidates = 0, outputs = 0;
+        for (const ops5::Wme *wme : join->right->items) {
+            ++candidates;
+            if (rete::evalJoinTests(join->tests, task.token, *wme, syms)) {
+                ++outputs;
+                PTask next;
+                next.node = join->output;
+                next.insert = task.insert;
+                next.token = task.token.extend(wme);
+                spawn(std::move(next), worker);
+            }
+        }
+        st.comparisons += candidates;
+        st.tokens_built += outputs;
+        st.instructions += cost_.joinActivation(
+            candidates, candidates * join->tests.size(), outputs);
+        return;
+    }
+
+    auto *not_node = static_cast<NotNode *>(succ);
+    std::lock_guard lock(not_node->mutex);
+    bool forward = task.insert ? bm->insertToken(task.token)
+                               : bm->removeToken(task.token);
+    st.instructions += task.insert ? cost_.beta_insert
+                                   : cost_.beta_remove_base;
+    if (!forward)
+        return;
+    if (task.insert) {
+        int count = 0;
+        std::uint64_t candidates = 0;
+        for (const ops5::Wme *wme : not_node->right->items) {
+            ++candidates;
+            if (rete::evalJoinTests(not_node->tests, task.token, *wme,
+                                    syms)) {
+                ++count;
+            }
+        }
+        st.comparisons += candidates;
+        st.instructions += cost_.not_base + candidates *
+            (cost_.not_per_entry +
+             not_node->tests.size() * cost_.join_per_test);
+        not_node->entries.push_back({task.token, count});
+        if (count == 0) {
+            PTask next;
+            next.node = not_node->output;
+            next.insert = true;
+            next.token = task.token;
+            spawn(std::move(next), worker);
+        }
+    } else {
+        auto it = std::find_if(not_node->entries.begin(),
+                               not_node->entries.end(),
+                               [&](const NotNode::Entry &e) {
+                                   return e.token == task.token;
+                               });
+        st.instructions += cost_.not_base +
+            not_node->entries.size() * cost_.not_per_entry;
+        if (it != not_node->entries.end()) {
+            bool was_clear = it->count == 0;
+            *it = std::move(not_node->entries.back());
+            not_node->entries.pop_back();
+            if (was_clear) {
+                PTask next;
+                next.node = not_node->output;
+                next.insert = false;
+                next.token = task.token;
+                spawn(std::move(next), worker);
+            }
+        }
+    }
+}
+
+} // namespace psm::core

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The fine-grain parallel Rete matcher — the paper's primary
+ * contribution, realised on host threads.
+ *
+ * Parallelism follows Section 4: node activations are the task unit;
+ * multiple activations of the same node may run in parallel (same
+ * side); all WME changes of one firing are processed in parallel; and
+ * node sharing across productions is given up (the network is built
+ * with NetworkOptions::privateState()), trading extra computation for
+ * independence — exactly the loss the paper charges against the
+ * parallel implementation in Section 6.
+ *
+ * Interference control (the job of the paper's hardware scheduler):
+ *  - each two-input node's activation folds the adjacent memory
+ *    update and the opposite-memory scan into one unit under the
+ *    node's DirectionalLock (same-side concurrent, opposite-side
+ *    exclusive);
+ *  - not-nodes use a plain mutex (their counts are read-modify-write);
+ *  - out-of-order conjugate insert/remove pairs are absorbed by
+ *    anti-token tombstones in beta memories and the conflict set,
+ *    cleared at every cycle barrier.
+ */
+
+#ifndef PSM_CORE_PARALLEL_MATCHER_HPP
+#define PSM_CORE_PARALLEL_MATCHER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.hpp"
+#include "core/task_queue.hpp"
+#include "rete/cost_model.hpp"
+#include "rete/network.hpp"
+
+namespace psm::core {
+
+/** Configuration of the parallel matcher. */
+struct ParallelOptions
+{
+    /** Worker threads in addition to the submitting thread (which
+     *  also executes tasks while waiting). 0 = run everything on the
+     *  submitter, useful for deterministic debugging. */
+    std::size_t n_workers = 0;
+
+    SchedulerKind scheduler = SchedulerKind::Central;
+
+    /** Fill in hardware_concurrency - 1 workers. */
+    static ParallelOptions
+    hostDefaults()
+    {
+        ParallelOptions o;
+        unsigned hc = std::thread::hardware_concurrency();
+        o.n_workers = hc > 1 ? hc - 1 : 0;
+        return o;
+    }
+};
+
+/**
+ * Fine-grain parallel Rete matcher over a private-state network.
+ */
+class ParallelReteMatcher : public Matcher
+{
+  public:
+    explicit ParallelReteMatcher(
+        std::shared_ptr<const ops5::Program> program,
+        ParallelOptions options = {}, rete::CostModel cost_model = {});
+
+    ~ParallelReteMatcher() override;
+
+    ParallelReteMatcher(const ParallelReteMatcher &) = delete;
+    ParallelReteMatcher &operator=(const ParallelReteMatcher &) = delete;
+
+    void processChanges(std::span<const ops5::WmeChange> changes) override;
+
+    ops5::ConflictSet &conflictSet() override { return conflict_set_; }
+    const ops5::ConflictSet &
+    conflictSet() const override
+    {
+        return conflict_set_;
+    }
+
+    MatchStats stats() const override;
+    std::string name() const override;
+
+    rete::Network &network() { return *network_; }
+    const ParallelOptions &options() const { return options_; }
+
+    /** Tombstones absorbed since construction (conjugate races). */
+    std::uint64_t tombstoneEvents() const { return tombstone_events_; }
+
+  private:
+    /** One fine-grain task: a node activation. */
+    struct PTask
+    {
+        rete::Node *node = nullptr;
+        bool insert = true;
+        rete::Token token;
+        const ops5::Wme *wme = nullptr;
+    };
+
+    void workerLoop(std::size_t worker);
+    void runTask(const PTask &task, std::size_t worker);
+    void spawn(PTask task, std::size_t worker);
+    bool tryRunOne(std::size_t worker);
+
+    void processConstTest(const PTask &task, std::size_t worker);
+    void processAlphaArrive(const PTask &task, std::size_t worker);
+    void processBetaArrive(const PTask &task, std::size_t worker);
+
+    /** Per-worker statistics slot, padded against false sharing. */
+    struct alignas(64) WorkerStats
+    {
+        MatchStats stats;
+    };
+
+    std::shared_ptr<const ops5::Program> program_;
+    ParallelOptions options_;
+    rete::CostModel cost_;
+    std::shared_ptr<rete::Network> network_;
+    ops5::ConflictSet conflict_set_;
+
+    CentralTaskQueue<PTask> central_;
+    std::unique_ptr<StealingTaskPool<PTask>> stealing_;
+
+    std::vector<std::thread> threads_;
+    std::vector<WorkerStats> worker_stats_;
+    std::atomic<bool> stop_{false};
+    std::atomic<long> pending_{0};
+    std::atomic<std::uint64_t> batch_gen_{0};
+    std::atomic<std::uint64_t> tombstone_events_{0};
+    std::mutex idle_mutex_;
+    std::condition_variable idle_cv_;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_PARALLEL_MATCHER_HPP

@@ -1,0 +1,217 @@
+#include "core/production_parallel.hpp"
+
+#include <algorithm>
+
+#include "rete/nodes.hpp"
+
+namespace psm::core {
+
+ProductionParallelMatcher::ProductionParallelMatcher(
+    std::shared_ptr<const ops5::Program> program, std::size_t n_workers)
+    : program_(std::move(program)), worker_stats_(n_workers + 1)
+{
+    for (const auto &p : program_->productions()) {
+        ProdState ps;
+        ps.lhs = rete::compileLhs(*p);
+        ps.alpha.resize(ps.lhs.ces.size());
+        prods_.push_back(std::move(ps));
+    }
+    threads_.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i + 1); });
+}
+
+ProductionParallelMatcher::~ProductionParallelMatcher()
+{
+    stop_.store(true);
+    {
+        std::lock_guard lock(idle_mutex_);
+        idle_cv_.notify_all();
+    }
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+MatchStats
+ProductionParallelMatcher::stats() const
+{
+    MatchStats total;
+    for (const WorkerStats &ws : worker_stats_)
+        total += ws.stats;
+    return total;
+}
+
+void
+ProductionParallelMatcher::drainTasks(std::size_t worker)
+{
+    MatchStats &st = worker_stats_[worker].stats;
+    while (true) {
+        std::size_t prod =
+            cursor_.fetch_add(1, std::memory_order_acquire);
+        if (prod >= prods_.size())
+            return;
+        matchProduction(prod, current_changes_, st);
+        remaining_.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+void
+ProductionParallelMatcher::workerLoop(std::size_t worker)
+{
+    std::uint64_t seen_gen = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        std::unique_lock lock(idle_mutex_);
+        idle_cv_.wait(lock, [&] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   batch_gen_.load(std::memory_order_acquire) != seen_gen;
+        });
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        seen_gen = batch_gen_.load(std::memory_order_acquire);
+        lock.unlock();
+        drainTasks(worker);
+    }
+}
+
+void
+ProductionParallelMatcher::processChanges(
+    std::span<const ops5::WmeChange> changes)
+{
+    worker_stats_[0].stats.changes_processed += changes.size();
+    // Publication order matters for stragglers still inside an old
+    // drainTasks loop: they acquire on the cursor fetch_add, so the
+    // batch data and the completion counter must be written before
+    // the cursor is released back to zero.
+    current_changes_ = changes;
+    remaining_.store(static_cast<long>(prods_.size()),
+                     std::memory_order_relaxed);
+    cursor_.store(0, std::memory_order_release);
+    {
+        std::lock_guard lock(idle_mutex_);
+        batch_gen_.fetch_add(1, std::memory_order_release);
+        idle_cv_.notify_all();
+    }
+    drainTasks(0);
+    while (remaining_.load(std::memory_order_acquire) > 0)
+        std::this_thread::yield();
+}
+
+void
+ProductionParallelMatcher::matchProduction(
+    std::size_t prod, std::span<const ops5::WmeChange> changes,
+    MatchStats &st)
+{
+    ProdState &ps = prods_[prod];
+    for (const ops5::WmeChange &change : changes) {
+        if (change.kind == ops5::ChangeKind::Insert)
+            handleInsert(ps, change.wme, st);
+        else
+            handleRemove(ps, change.wme, st);
+    }
+}
+
+void
+ProductionParallelMatcher::handleInsert(ProdState &ps,
+                                        const ops5::Wme *wme,
+                                        MatchStats &st)
+{
+    const ops5::SymbolTable &syms = program_->symbols();
+
+    // Which CEs does this WME satisfy?
+    std::vector<std::size_t> hits;
+    for (std::size_t ce = 0; ce < ps.lhs.ces.size(); ++ce) {
+        const rete::CompiledCe &cce = ps.lhs.ces[ce];
+        if (wme->className() != cce.cls)
+            continue;
+        ++st.comparisons;
+        bool pass = std::all_of(cce.alpha_tests.begin(),
+                                cce.alpha_tests.end(),
+                                [&](const rete::AlphaTest &t) {
+                                    return t.eval(*wme, syms);
+                                });
+        if (pass) {
+            ps.alpha[ce].push_back(wme);
+            hits.push_back(ce);
+        }
+    }
+    if (hits.empty())
+        return;
+
+    treat::CandidateLists lists;
+    lists.reserve(ps.alpha.size());
+    for (const auto &mem : ps.alpha)
+        lists.push_back(&mem);
+
+    for (std::size_t ce : hits) {
+        const rete::CompiledCe &cce = ps.lhs.ces[ce];
+        if (cce.negated) {
+            conflict_set_.removeIf([&](const ops5::Instantiation &inst) {
+                if (inst.production != ps.lhs.production)
+                    return false;
+                rete::Token tok;
+                tok.wmes = inst.wmes;
+                return rete::evalJoinTests(cce.join_tests, tok, *wme,
+                                           syms);
+            });
+            continue;
+        }
+        treat::JoinStats js = treat::enumerateJoins(
+            ps.lhs, lists, syms, static_cast<int>(ce), wme,
+            [&](const std::vector<const ops5::Wme *> &tuple) {
+                ops5::Instantiation inst;
+                inst.production = ps.lhs.production;
+                inst.wmes = tuple;
+                conflict_set_.insert(std::move(inst));
+            });
+        st.comparisons += js.comparisons;
+        st.tokens_built += js.tuples;
+        st.instructions += js.comparisons * 8 + js.tuples * 60;
+    }
+}
+
+void
+ProductionParallelMatcher::handleRemove(ProdState &ps,
+                                        const ops5::Wme *wme,
+                                        MatchStats &st)
+{
+    const ops5::SymbolTable &syms = program_->symbols();
+    bool positive_hit = false, negated_hit = false;
+    for (std::size_t ce = 0; ce < ps.lhs.ces.size(); ++ce) {
+        auto &mem = ps.alpha[ce];
+        auto it = std::find(mem.begin(), mem.end(), wme);
+        st.instructions += mem.size();
+        if (it == mem.end())
+            continue;
+        *it = mem.back();
+        mem.pop_back();
+        (ps.lhs.ces[ce].negated ? negated_hit : positive_hit) = true;
+    }
+
+    if (positive_hit) {
+        conflict_set_.removeIf([&](const ops5::Instantiation &inst) {
+            return inst.production == ps.lhs.production &&
+                   std::find(inst.wmes.begin(), inst.wmes.end(), wme) !=
+                       inst.wmes.end();
+        });
+    }
+    if (negated_hit) {
+        // The removed blocker may unblock tuples: recompute this
+        // production's joins (the conflict set deduplicates).
+        treat::CandidateLists lists;
+        lists.reserve(ps.alpha.size());
+        for (const auto &mem : ps.alpha)
+            lists.push_back(&mem);
+        treat::JoinStats js = treat::enumerateJoins(
+            ps.lhs, lists, syms, -1, nullptr,
+            [&](const std::vector<const ops5::Wme *> &tuple) {
+                ops5::Instantiation inst;
+                inst.production = ps.lhs.production;
+                inst.wmes = tuple;
+                conflict_set_.insert(std::move(inst));
+            });
+        st.comparisons += js.comparisons;
+        st.instructions += js.comparisons * 8 + js.tuples * 60;
+    }
+}
+
+} // namespace psm::core

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Task queues for fine-grain node activations.
+ *
+ * The paper argues that serial enqueue/dequeue of hundreds of
+ * 50-100-instruction tasks becomes the bottleneck unless a hardware
+ * task scheduler (one bus cycle per dispatch) is used, and mentions
+ * software task queues as the alternative under investigation. We
+ * provide both ends of that axis for real-thread execution:
+ *
+ *  - CentralTaskQueue: one mutex-protected deque (the "multiple
+ *    software task schedulers" degenerate case of a single queue);
+ *  - StealingTaskPool: per-worker deques with randomized stealing,
+ *    the closest software approximation of a non-serialising
+ *    hardware dispatcher.
+ *
+ * Both are templates over the task type so the hot path stays free
+ * of virtual dispatch and std::function allocation.
+ */
+
+#ifndef PSM_CORE_TASK_QUEUE_HPP
+#define PSM_CORE_TASK_QUEUE_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace psm::core {
+
+/** Which scheduler structure a parallel matcher uses. */
+enum class SchedulerKind : std::uint8_t {
+    Central,  ///< single locked queue
+    Stealing, ///< per-worker deques with work stealing
+};
+
+/**
+ * Single global locked FIFO.
+ *
+ * push/tryPop are safe from any thread. Pops are non-blocking;
+ * workers spin-yield on emptiness (batches are short-lived and the
+ * submitter needs a fast completion barrier).
+ */
+template <typename Task>
+class CentralTaskQueue
+{
+  public:
+    void
+    push(Task task, std::size_t /*worker_hint*/ = 0)
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+
+    std::optional<Task>
+    tryPop(std::size_t /*worker*/ = 0)
+    {
+        std::lock_guard lock(mutex_);
+        if (queue_.empty())
+            return std::nullopt;
+        Task t = std::move(queue_.front());
+        queue_.pop_front();
+        return t;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::deque<Task> queue_;
+};
+
+/**
+ * Per-worker deques with stealing.
+ *
+ * Owners push/pop the back of their own deque (LIFO for locality);
+ * thieves take from the front of a victim chosen round-robin. Each
+ * deque has its own mutex — contention is only owner-vs-thief.
+ */
+template <typename Task>
+class StealingTaskPool
+{
+  public:
+    explicit StealingTaskPool(std::size_t n_workers)
+        : queues_(n_workers ? n_workers : 1)
+    {}
+
+    void
+    push(Task task, std::size_t worker_hint)
+    {
+        Lane &lane = queues_[worker_hint % queues_.size()];
+        std::lock_guard lock(lane.mutex);
+        lane.deque.push_back(std::move(task));
+    }
+
+    std::optional<Task>
+    tryPop(std::size_t worker)
+    {
+        Lane &own = queues_[worker % queues_.size()];
+        {
+            std::lock_guard lock(own.mutex);
+            if (!own.deque.empty()) {
+                Task t = std::move(own.deque.back());
+                own.deque.pop_back();
+                return t;
+            }
+        }
+        // Steal: front of the next non-empty victim.
+        for (std::size_t i = 1; i < queues_.size(); ++i) {
+            Lane &victim = queues_[(worker + i) % queues_.size()];
+            std::lock_guard lock(victim.mutex);
+            if (!victim.deque.empty()) {
+                Task t = std::move(victim.deque.front());
+                victim.deque.pop_front();
+                return t;
+            }
+        }
+        return std::nullopt;
+    }
+
+  private:
+    struct Lane
+    {
+        std::mutex mutex;
+        std::deque<Task> deque;
+    };
+
+    std::vector<Lane> queues_;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_TASK_QUEUE_HPP

@@ -1,0 +1,135 @@
+#include "condition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psm::ops5 {
+
+bool
+AtomicTest::operator==(const AtomicTest &o) const
+{
+    return pred == o.pred && operand == o.operand &&
+           constant == o.constant && set == o.set && var == o.var;
+}
+
+void
+ConditionElement::addTest(int field, AtomicTest test)
+{
+    auto it = std::find_if(fields.begin(), fields.end(),
+                           [field](const FieldTests &f) {
+                               return f.field == field;
+                           });
+    if (it == fields.end()) {
+        FieldTests ft;
+        ft.field = field;
+        ft.tests.push_back(std::move(test));
+        auto pos = std::lower_bound(fields.begin(), fields.end(), field,
+                                    [](const FieldTests &f, int v) {
+                                        return f.field < v;
+                                    });
+        fields.insert(pos, std::move(ft));
+    } else {
+        it->tests.push_back(std::move(test));
+    }
+}
+
+bool
+ConditionElement::matchesConstants(const Wme &wme,
+                                   const SymbolTable &syms) const
+{
+    if (wme.className() != cls)
+        return false;
+    for (const FieldTests &ft : fields) {
+        const Value &actual = wme.field(ft.field);
+        for (const AtomicTest &t : ft.tests) {
+            switch (t.operand) {
+              case OperandKind::Constant:
+                if (!evalPredicate(t.pred, actual, t.constant, syms))
+                    return false;
+                break;
+              case OperandKind::ConstantSet: {
+                bool member = std::any_of(
+                    t.set.begin(), t.set.end(),
+                    [&](const Value &v) { return actual == v; });
+                if (t.pred == Predicate::Eq ? !member : member)
+                    return false;
+                break;
+              }
+              case OperandKind::Variable:
+                break; // needs binding context; handled by join tests
+            }
+        }
+    }
+    return true;
+}
+
+int
+ConditionElement::testCount() const
+{
+    int n = 1; // the class test itself
+    for (const FieldTests &ft : fields)
+        n += static_cast<int>(ft.tests.size());
+    return n;
+}
+
+std::string
+ConditionElement::toString(const SymbolTable &syms,
+                           const TypeRegistry &reg) const
+{
+    std::ostringstream os;
+    if (negated)
+        os << "-";
+    os << "(" << syms.name(cls);
+    const ClassSchema *schema = reg.findSchema(cls);
+    for (const FieldTests &ft : fields) {
+        os << " ^";
+        if (schema && ft.field < schema->fieldCount())
+            os << syms.name(schema->attributeAt(ft.field));
+        else
+            os << ft.field;
+        for (const AtomicTest &t : ft.tests) {
+            os << " ";
+            if (t.pred != Predicate::Eq)
+                os << predicateName(t.pred) << " ";
+            switch (t.operand) {
+              case OperandKind::Constant:
+                os << t.constant.toString(syms);
+                break;
+              case OperandKind::ConstantSet:
+                os << "<<";
+                for (const Value &v : t.set)
+                    os << " " << v.toString(syms);
+                os << " >>";
+                break;
+              case OperandKind::Variable:
+                os << syms.name(t.var);
+                break;
+            }
+        }
+    }
+    os << ")";
+    return os.str();
+}
+
+bool
+VariableBindings::define(SymbolId var, VarLocation loc)
+{
+    for (const auto &[v, l] : vars_) {
+        if (v == var)
+            return false;
+    }
+    vars_.emplace_back(var, loc);
+    return true;
+}
+
+const VarLocation *
+VariableBindings::find(SymbolId var) const
+{
+    for (const auto &[v, l] : vars_) {
+        if (v == var)
+            return &l;
+    }
+    return nullptr;
+}
+
+} // namespace psm::ops5

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Condition elements: the compiled form of a production's left-hand
+ * side patterns.
+ *
+ * A ConditionElement is a partial description of a WME: a class name
+ * plus per-field test lists. Each test compares the field against a
+ * constant, a constant set (OPS5 `<< .. >>` disjunction), or a
+ * variable occurrence. Variable consistency across fields and across
+ * condition elements is what the Rete two-input nodes enforce.
+ */
+
+#ifndef PSM_OPS5_CONDITION_HPP
+#define PSM_OPS5_CONDITION_HPP
+
+#include <string>
+#include <vector>
+
+#include "value.hpp"
+#include "wme.hpp"
+
+namespace psm::ops5 {
+
+/** What a test's right operand is. */
+enum class OperandKind : std::uint8_t {
+    Constant,     ///< compare against a literal Value
+    ConstantSet,  ///< membership in a literal set (only with Eq/Ne)
+    Variable,     ///< compare against a bound variable's value
+};
+
+/**
+ * One atomic test on one field of a condition element.
+ *
+ * Variables are identified by their interned symbol (e.g. "<x>").
+ * The *first* textual occurrence of a variable in a production's LHS
+ * binds it; every further occurrence, including this test when
+ * `operand == Variable`, constrains it via `pred`.
+ */
+struct AtomicTest
+{
+    Predicate pred = Predicate::Eq;
+    OperandKind operand = OperandKind::Constant;
+    Value constant{};               ///< valid when operand == Constant
+    std::vector<Value> set;         ///< valid when operand == ConstantSet
+    SymbolId var = kNilSymbol;      ///< valid when operand == Variable
+
+    static AtomicTest
+    constant_eq(Value v)
+    {
+        AtomicTest t;
+        t.constant = v;
+        return t;
+    }
+
+    static AtomicTest
+    variable(SymbolId v, Predicate p = Predicate::Eq)
+    {
+        AtomicTest t;
+        t.pred = p;
+        t.operand = OperandKind::Variable;
+        t.var = v;
+        return t;
+    }
+
+    bool operator==(const AtomicTest &o) const;
+};
+
+/** All tests applied to one field of a condition element. */
+struct FieldTests
+{
+    int field = 0;                  ///< field index within the class
+    std::vector<AtomicTest> tests;  ///< conjunction (OPS5 `{ ... }`)
+};
+
+/**
+ * A compiled condition element.
+ *
+ * `negated` marks OPS5 `-` (absence) elements. Field test lists are
+ * kept sorted by field index so structurally identical CEs compare
+ * equal, which the Rete compiler exploits for node sharing.
+ */
+struct ConditionElement
+{
+    SymbolId cls = kNilSymbol;
+    bool negated = false;
+    std::vector<FieldTests> fields;
+
+    /** Adds @p test to the list for @p field (kept sorted). */
+    void addTest(int field, AtomicTest test);
+
+    /**
+     * Does @p wme satisfy every constant test of this CE?
+     * Variable tests are ignored here; they need binding context.
+     */
+    bool matchesConstants(const Wme &wme, const SymbolTable &syms) const;
+
+    /** Total number of atomic tests (the OPS5 specificity measure). */
+    int testCount() const;
+
+    std::string toString(const SymbolTable &syms,
+                         const TypeRegistry &reg) const;
+};
+
+/**
+ * The location of one variable occurrence inside an LHS:
+ * condition-element index and field index.
+ */
+struct VarLocation
+{
+    int ce = 0;
+    int field = 0;
+
+    bool
+    operator==(const VarLocation &o) const
+    {
+        return ce == o.ce && field == o.field;
+    }
+};
+
+/**
+ * Binding table for a production's LHS: for each distinct variable,
+ * its first (defining) occurrence in a *non-negated* CE.
+ *
+ * Built left-to-right by the parser/compiler. Occurrences after the
+ * defining one become consistency tests (intra-CE or join tests).
+ */
+class VariableBindings
+{
+  public:
+    /**
+     * Records that @p var occurs at @p loc.
+     * @return true if this was the defining occurrence.
+     */
+    bool define(SymbolId var, VarLocation loc);
+
+    /** Defining location, or nullptr when @p var was never bound. */
+    const VarLocation *find(SymbolId var) const;
+
+    std::size_t size() const { return vars_.size(); }
+
+  private:
+    std::vector<std::pair<SymbolId, VarLocation>> vars_;
+};
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_CONDITION_HPP

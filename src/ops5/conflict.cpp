@@ -1,0 +1,231 @@
+#include "conflict.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psm::ops5 {
+
+std::vector<TimeTag>
+Instantiation::sortedTags() const
+{
+    if (!sorted_tags.empty() || wmes.empty())
+        return sorted_tags;
+    std::vector<TimeTag> tags;
+    tags.reserve(wmes.size());
+    for (const Wme *w : wmes)
+        tags.push_back(w->timeTag());
+    std::sort(tags.begin(), tags.end(), std::greater<>());
+    return tags;
+}
+
+void
+Instantiation::cacheSortedTags()
+{
+    if (sorted_tags.empty())
+        sorted_tags = sortedTags();
+}
+
+std::string
+Instantiation::toString(const SymbolTable &syms) const
+{
+    std::ostringstream os;
+    os << production->name() << " [";
+    for (std::size_t i = 0; i < wmes.size(); ++i) {
+        if (i)
+            os << " ";
+        os << wmes[i]->timeTag();
+    }
+    os << "]";
+    (void)syms;
+    return os.str();
+}
+
+InstantiationKey
+InstantiationKey::of(const Instantiation &inst)
+{
+    InstantiationKey k;
+    k.production_id = inst.production->id();
+    k.tags.reserve(inst.wmes.size());
+    for (const Wme *w : inst.wmes)
+        k.tags.push_back(w->timeTag());
+    return k;
+}
+
+namespace {
+
+/** Lexicographic compare of descending-sorted tag vectors. */
+int
+compareRecency(const std::vector<TimeTag> &a, const std::vector<TimeTag> &b)
+{
+    std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i])
+            return a[i] > b[i] ? 1 : -1;
+    }
+    // OPS5 LEX: the instantiation with surplus time tags dominates.
+    if (a.size() != b.size())
+        return a.size() > b.size() ? 1 : -1;
+    return 0;
+}
+
+/** Deterministic arbitrary tiebreak so runs are reproducible. */
+int
+compareArbitrary(const Instantiation &a, const Instantiation &b)
+{
+    if (a.production->id() != b.production->id())
+        return a.production->id() < b.production->id() ? 1 : -1;
+    InstantiationKey ka = InstantiationKey::of(a);
+    InstantiationKey kb = InstantiationKey::of(b);
+    if (ka.tags != kb.tags)
+        return ka.tags < kb.tags ? -1 : 1;
+    return 0;
+}
+
+/**
+ * The cached recency key when present (the conflict set fills it on
+ * insertion); otherwise computed into @p storage. No copy on the
+ * cached path — select() runs this over the whole set every cycle.
+ */
+const std::vector<TimeTag> &
+recencyKey(const Instantiation &inst, std::vector<TimeTag> &storage)
+{
+    if (!inst.sorted_tags.empty() || inst.wmes.empty())
+        return inst.sorted_tags;
+    storage = inst.sortedTags();
+    return storage;
+}
+
+} // namespace
+
+int
+compareLex(const Instantiation &a, const Instantiation &b)
+{
+    std::vector<TimeTag> fa, fb;
+    if (int c = compareRecency(recencyKey(a, fa), recencyKey(b, fb));
+        c != 0)
+        return c;
+    int sa = a.production->specificity();
+    int sb = b.production->specificity();
+    if (sa != sb)
+        return sa > sb ? 1 : -1;
+    return compareArbitrary(a, b);
+}
+
+int
+compareMea(const Instantiation &a, const Instantiation &b)
+{
+    TimeTag fa = a.wmes.empty() ? 0 : a.wmes.front()->timeTag();
+    TimeTag fb = b.wmes.empty() ? 0 : b.wmes.front()->timeTag();
+    if (fa != fb)
+        return fa > fb ? 1 : -1;
+    return compareLex(a, b);
+}
+
+void
+ConflictSet::insert(Instantiation inst)
+{
+    inst.cacheSortedTags(); // done outside comparisons, once
+    std::lock_guard lock(mutex_);
+    InstantiationKey key = InstantiationKey::of(inst);
+    if (tombstones_.erase(key) > 0)
+        return; // annihilated by an earlier out-of-order removal
+    live_.emplace(std::move(key), std::move(inst));
+}
+
+void
+ConflictSet::remove(const InstantiationKey &key)
+{
+    std::lock_guard lock(mutex_);
+    auto it = live_.find(key);
+    if (it == live_.end()) {
+        tombstones_.insert(key);
+        return;
+    }
+    live_.erase(it);
+    fired_.erase(key);
+}
+
+void
+ConflictSet::remove(const Instantiation &inst)
+{
+    remove(InstantiationKey::of(inst));
+}
+
+std::optional<Instantiation>
+ConflictSet::select(Strategy strategy) const
+{
+    std::lock_guard lock(mutex_);
+    const Instantiation *best = nullptr;
+    for (const auto &[key, inst] : live_) {
+        if (fired_.count(key))
+            continue;
+        if (!best) {
+            best = &inst;
+            continue;
+        }
+        int c = strategy == Strategy::Lex ? compareLex(inst, *best)
+                                          : compareMea(inst, *best);
+        if (c > 0)
+            best = &inst;
+    }
+    if (!best)
+        return std::nullopt;
+    return *best;
+}
+
+bool
+ConflictSet::contains(const InstantiationKey &key) const
+{
+    std::lock_guard lock(mutex_);
+    return live_.count(key) > 0;
+}
+
+void
+ConflictSet::markFired(const Instantiation &inst)
+{
+    std::lock_guard lock(mutex_);
+    fired_.insert(InstantiationKey::of(inst));
+}
+
+std::vector<Instantiation>
+ConflictSet::contents() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<Instantiation> out;
+    out.reserve(live_.size());
+    for (const auto &[key, inst] : live_)
+        out.push_back(inst);
+    return out;
+}
+
+std::size_t
+ConflictSet::size() const
+{
+    std::lock_guard lock(mutex_);
+    return live_.size();
+}
+
+std::size_t
+ConflictSet::pendingTombstones() const
+{
+    std::lock_guard lock(mutex_);
+    return tombstones_.size();
+}
+
+void
+ConflictSet::clearTombstones()
+{
+    std::lock_guard lock(mutex_);
+    tombstones_.clear();
+}
+
+void
+ConflictSet::clear()
+{
+    std::lock_guard lock(mutex_);
+    live_.clear();
+    tombstones_.clear();
+    fired_.clear();
+}
+
+} // namespace psm::ops5

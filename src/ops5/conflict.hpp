@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Conflict set, instantiations, and the LEX / MEA conflict-resolution
+ * strategies with refraction.
+ *
+ * The conflict set is the output of the match phase: one
+ * Instantiation per (production, WME tuple) whose LHS is satisfied.
+ * Because the parallel matcher's terminal-node activations may deliver
+ * a removal before the matching insertion (conjugate activation races,
+ * Section 5 of the paper), the conflict set absorbs out-of-order pairs
+ * with anti-token tombstones: a removal that finds nothing parks a
+ * tombstone that annihilates the late insertion.
+ */
+
+#ifndef PSM_OPS5_CONFLICT_HPP
+#define PSM_OPS5_CONFLICT_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "production.hpp"
+
+namespace psm::ops5 {
+
+/**
+ * A satisfied production: the production plus the WMEs matched by its
+ * positive condition elements, in LHS order.
+ */
+struct Instantiation
+{
+    const Production *production = nullptr;
+    std::vector<const Wme *> wmes;
+
+    /**
+     * Cached LEX recency key (descending time tags); filled by
+     * cacheSortedTags(). The conflict set fills it on insertion so
+     * conflict resolution compares without recomputing/allocating —
+     * select() is called every recognize-act cycle over the whole set.
+     */
+    std::vector<TimeTag> sorted_tags;
+
+    /** Fills sorted_tags if not already cached. */
+    void cacheSortedTags();
+
+    /** Time tags sorted descending (cached or computed). */
+    std::vector<TimeTag> sortedTags() const;
+
+    std::string toString(const SymbolTable &syms) const;
+};
+
+/** Hashable identity of an instantiation. */
+struct InstantiationKey
+{
+    int production_id = -1;
+    std::vector<TimeTag> tags; ///< in positive-CE order (not sorted)
+
+    static InstantiationKey of(const Instantiation &inst);
+
+    bool
+    operator==(const InstantiationKey &o) const
+    {
+        return production_id == o.production_id && tags == o.tags;
+    }
+};
+
+struct InstantiationKeyHash
+{
+    std::size_t
+    operator()(const InstantiationKey &k) const
+    {
+        std::size_t h = std::hash<int>()(k.production_id);
+        for (TimeTag t : k.tags)
+            h = h * 0x9e3779b97f4a7c15ULL + std::hash<TimeTag>()(t);
+        return h;
+    }
+};
+
+/** Conflict-resolution strategy (OPS5 `lex` / `mea`). */
+enum class Strategy : std::uint8_t { Lex, Mea };
+
+/**
+ * Three-way LEX order: positive when @p a dominates @p b.
+ * Recency of sorted time tags, then specificity, then a deterministic
+ * arbitrary tiebreak (production id, then tag vector).
+ */
+int compareLex(const Instantiation &a, const Instantiation &b);
+
+/** Three-way MEA order: first-CE recency first, then LEX. */
+int compareMea(const Instantiation &a, const Instantiation &b);
+
+/**
+ * The conflict set.
+ *
+ * All mutating entry points take an internal mutex so the parallel
+ * matcher's terminal activations can call insert/remove directly; the
+ * serial matcher pays one uncontended lock per conflict-set change,
+ * which is noise next to the match itself.
+ */
+class ConflictSet
+{
+  public:
+    /** Adds an instantiation (or annihilates a parked tombstone). */
+    void insert(Instantiation inst);
+
+    /**
+     * Removes the instantiation with @p key; if it is not present,
+     * parks a tombstone that will annihilate the late insert.
+     */
+    void remove(const InstantiationKey &key);
+
+    /** Convenience removal from production + wme tuple. */
+    void remove(const Instantiation &inst);
+
+    /**
+     * Picks the dominant unfired instantiation under @p strategy, or
+     * nullopt when the set is empty / everything already fired
+     * (refraction). Does not mark anything fired.
+     */
+    std::optional<Instantiation> select(Strategy strategy) const;
+
+    /** Records that @p inst fired, so refraction suppresses it. */
+    void markFired(const Instantiation &inst);
+
+    /**
+     * Removes every live instantiation for which @p pred is true and
+     * returns how many were removed. TREAT's delete path uses this:
+     * retracting a WME simply sweeps the conflict set.
+     */
+    template <typename Pred>
+    std::size_t
+    removeIf(Pred pred)
+    {
+        std::lock_guard lock(mutex_);
+        std::size_t removed = 0;
+        for (auto it = live_.begin(); it != live_.end();) {
+            if (pred(it->second)) {
+                fired_.erase(it->first);
+                it = live_.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+        return removed;
+    }
+
+    /** True when an instantiation with @p key is live. */
+    bool contains(const InstantiationKey &key) const;
+
+    /** Live instantiations (snapshot, unordered). */
+    std::vector<Instantiation> contents() const;
+
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+
+    /** Number of parked tombstones; must be zero at cycle barriers. */
+    std::size_t pendingTombstones() const;
+
+    /**
+     * Discards parked tombstones. Called at every cycle barrier: any
+     * tombstone still parked once the batch reached fixpoint was a
+     * spurious removal from a conjugate-pair race whose insertion was
+     * never produced, and must not leak into later cycles.
+     */
+    void clearTombstones();
+
+    void clear();
+
+  private:
+    using Map = std::unordered_map<InstantiationKey, Instantiation,
+                                   InstantiationKeyHash>;
+
+    mutable std::mutex mutex_;
+    Map live_;
+    std::unordered_set<InstantiationKey, InstantiationKeyHash> tombstones_;
+    std::unordered_set<InstantiationKey, InstantiationKeyHash> fired_;
+};
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_CONFLICT_HPP

@@ -1,0 +1,216 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace psm::ops5 {
+
+ParseError::ParseError(const std::string &msg, int line, int col)
+    : std::runtime_error(msg + " (line " + std::to_string(line) +
+                         ", col " + std::to_string(col) + ")"),
+      line_(line), col_(col)
+{}
+
+namespace {
+
+/** Character classifier: ends an atom / variable name. */
+bool
+isDelimiter(char c)
+{
+    return std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+           c == ')' || c == '{' || c == '}' || c == '^' || c == ';';
+}
+
+/** Scanner state over the source text. */
+class Scanner
+{
+  public:
+    explicit Scanner(std::string_view src) : src_(src) {}
+
+    bool atEnd() const { return pos_ >= src_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    int line() const { return line_; }
+    int col() const { return col_; }
+
+  private:
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+/** True when @p text parses fully as an integer or float literal. */
+bool
+classifyNumber(const std::string &text, Token &tok)
+{
+    if (text.empty())
+        return false;
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    long long iv = std::strtoll(begin, &end, 10);
+    if (end == begin + text.size()) {
+        tok.kind = TokenKind::Int;
+        tok.int_val = iv;
+        return true;
+    }
+    double fv = std::strtod(begin, &end);
+    if (end == begin + text.size()) {
+        tok.kind = TokenKind::Float;
+        tok.float_val = fv;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(std::string_view source)
+{
+    std::vector<Token> out;
+    Scanner s(source);
+
+    auto push = [&](TokenKind kind, int line, int col) -> Token & {
+        Token tok;
+        tok.kind = kind;
+        tok.line = line;
+        tok.col = col;
+        out.push_back(std::move(tok));
+        return out.back();
+    };
+
+    while (!s.atEnd()) {
+        char c = s.peek();
+        int line = s.line(), col = s.col();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            s.advance();
+            continue;
+        }
+        if (c == ';') { // comment to end of line
+            while (!s.atEnd() && s.peek() != '\n')
+                s.advance();
+            continue;
+        }
+        if (c == '(') { s.advance(); push(TokenKind::LParen, line, col); continue; }
+        if (c == ')') { s.advance(); push(TokenKind::RParen, line, col); continue; }
+        if (c == '{') { s.advance(); push(TokenKind::LBrace, line, col); continue; }
+        if (c == '}') { s.advance(); push(TokenKind::RBrace, line, col); continue; }
+        if (c == '^') { s.advance(); push(TokenKind::Hat, line, col); continue; }
+
+        if (c == '=') {
+            s.advance();
+            push(TokenKind::Pred, line, col).pred = Predicate::Eq;
+            continue;
+        }
+
+        if (c == '<') {
+            // One of: <=> <= <> << <var> or bare `<`.
+            if (s.peek(1) == '=' && s.peek(2) == '>') {
+                s.advance(); s.advance(); s.advance();
+                push(TokenKind::Pred, line, col).pred = Predicate::SameType;
+                continue;
+            }
+            if (s.peek(1) == '=') {
+                s.advance(); s.advance();
+                push(TokenKind::Pred, line, col).pred = Predicate::Le;
+                continue;
+            }
+            if (s.peek(1) == '>') {
+                s.advance(); s.advance();
+                push(TokenKind::Pred, line, col).pred = Predicate::Ne;
+                continue;
+            }
+            if (s.peek(1) == '<') {
+                s.advance(); s.advance();
+                push(TokenKind::LDisj, line, col);
+                continue;
+            }
+            // Try `<name>`: identifier chars then `>`.
+            std::size_t k = 1;
+            while (!isDelimiter(s.peek(k)) && s.peek(k) != '>' &&
+                   s.peek(k) != '<' && s.peek(k) != '\0') {
+                ++k;
+            }
+            if (k > 1 && s.peek(k) == '>') {
+                std::string name;
+                for (std::size_t i = 0; i <= k; ++i)
+                    name.push_back(s.advance());
+                push(TokenKind::Var, line, col).text = std::move(name);
+                continue;
+            }
+            s.advance();
+            push(TokenKind::Pred, line, col).pred = Predicate::Lt;
+            continue;
+        }
+
+        if (c == '>') {
+            if (s.peek(1) == '=') {
+                s.advance(); s.advance();
+                push(TokenKind::Pred, line, col).pred = Predicate::Ge;
+                continue;
+            }
+            if (s.peek(1) == '>') {
+                s.advance(); s.advance();
+                push(TokenKind::RDisj, line, col);
+                continue;
+            }
+            s.advance();
+            push(TokenKind::Pred, line, col).pred = Predicate::Gt;
+            continue;
+        }
+
+        if (c == '-') {
+            // `-->` arrow, `-(` negation, or a negative number / atom.
+            if (s.peek(1) == '-' && s.peek(2) == '>') {
+                s.advance(); s.advance(); s.advance();
+                push(TokenKind::Arrow, line, col);
+                continue;
+            }
+            if (s.peek(1) == '(') {
+                s.advance();
+                push(TokenKind::Minus, line, col);
+                continue;
+            }
+            // fall through to atom/number scanning below
+        }
+
+        // Atom or number: scan to the next delimiter.
+        std::string text;
+        while (!s.atEnd() && !isDelimiter(s.peek()))
+            text.push_back(s.advance());
+        if (text.empty())
+            throw ParseError("unexpected character '" +
+                             std::string(1, c) + "'", line, col);
+        Token tok;
+        tok.line = line;
+        tok.col = col;
+        if (!classifyNumber(text, tok)) {
+            tok.kind = TokenKind::Atom;
+            tok.text = std::move(text);
+        }
+        out.push_back(std::move(tok));
+    }
+
+    push(TokenKind::End, s.line(), s.col());
+    return out;
+}
+
+} // namespace psm::ops5

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tokenizer for the OPS5 surface syntax.
+ *
+ * Handles the quirky lexical forms of OPS5: `^attr` operators,
+ * variables written `<x>`, the predicate family `= <> < <= > >= <=>`,
+ * disjunction brackets `<< ... >>`, conjunction braces `{ ... }`, the
+ * rule arrow `-->`, and `;` comments.
+ */
+
+#ifndef PSM_OPS5_LEXER_HPP
+#define PSM_OPS5_LEXER_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "value.hpp"
+
+namespace psm::ops5 {
+
+/** Kinds of lexical tokens. */
+enum class TokenKind : std::uint8_t {
+    LParen, RParen,
+    LBrace, RBrace,
+    LDisj, RDisj,      ///< `<<` and `>>`
+    Hat,               ///< `^`
+    Arrow,             ///< `-->`
+    Minus,             ///< `-` immediately before `(` (CE negation)
+    Atom,              ///< bare symbol
+    Int, Float,
+    Var,               ///< `<name>`
+    Pred,              ///< one of = <> < <= > >= <=>
+    End,
+};
+
+/** One token with position information for error reporting. */
+struct Token
+{
+    TokenKind kind = TokenKind::End;
+    std::string text;        ///< atom / variable spelling
+    std::int64_t int_val = 0;
+    double float_val = 0.0;
+    Predicate pred = Predicate::Eq;
+    int line = 0;
+    int col = 0;
+};
+
+/** Error thrown on malformed OPS5 source. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string &msg, int line, int col);
+
+    int line() const { return line_; }
+    int col() const { return col_; }
+
+  private:
+    int line_;
+    int col_;
+};
+
+/** Tokenizes @p source completely, appending a trailing End token. */
+std::vector<Token> tokenize(std::string_view source);
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_LEXER_HPP

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Umbrella header for the OPS5 language substrate.
+ */
+
+#ifndef PSM_OPS5_OPS5_HPP
+#define PSM_OPS5_OPS5_HPP
+
+#include "condition.hpp"   // IWYU pragma: export
+#include "conflict.hpp"    // IWYU pragma: export
+#include "lexer.hpp"       // IWYU pragma: export
+#include "parser.hpp"      // IWYU pragma: export
+#include "production.hpp"  // IWYU pragma: export
+#include "rhs.hpp"         // IWYU pragma: export
+#include "symbol.hpp"      // IWYU pragma: export
+#include "value.hpp"       // IWYU pragma: export
+#include "wme.hpp"         // IWYU pragma: export
+
+#endif // PSM_OPS5_OPS5_HPP

@@ -1,0 +1,552 @@
+#include "parser.hpp"
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+
+namespace psm::ops5 {
+
+namespace {
+
+/** Recursive-descent parser over a token stream. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view source)
+        : tokens_(tokenize(source)),
+          parsed_{std::make_shared<Program>(), StrategyKind::Lex}
+    {}
+
+    ParsedProgram
+    run()
+    {
+        while (!check(TokenKind::End))
+            parseForm();
+        return std::move(parsed_);
+    }
+
+  private:
+    Program &prog() { return *parsed_.program; }
+    SymbolTable &syms() { return prog().symbols(); }
+
+    // --- token helpers ---------------------------------------------------
+
+    const Token &peek() const { return tokens_[pos_]; }
+    bool check(TokenKind k) const { return peek().kind == k; }
+
+    const Token &
+    advance()
+    {
+        const Token &t = tokens_[pos_];
+        if (t.kind != TokenKind::End)
+            ++pos_;
+        return t;
+    }
+
+    bool
+    match(TokenKind k)
+    {
+        if (!check(k))
+            return false;
+        advance();
+        return true;
+    }
+
+    const Token &
+    expect(TokenKind k, const char *what)
+    {
+        if (!check(k))
+            fail(std::string("expected ") + what);
+        return advance();
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw ParseError(msg, peek().line, peek().col);
+    }
+
+    std::string
+    expectAtom(const char *what)
+    {
+        return expect(TokenKind::Atom, what).text;
+    }
+
+    // --- grammar ---------------------------------------------------------
+
+    void
+    parseForm()
+    {
+        expect(TokenKind::LParen, "'('");
+        std::string head = expectAtom("form head");
+        if (head == "literalize")
+            parseLiteralize();
+        else if (head == "p")
+            parseProduction();
+        else if (head == "make")
+            parseTopLevelMake();
+        else if (head == "strategy")
+            parseStrategy();
+        else if (head == "vector-attribute")
+            parseVectorAttribute();
+        else
+            fail("unknown top-level form '" + head + "'");
+    }
+
+    void
+    parseLiteralize()
+    {
+        SymbolId cls = syms().intern(expectAtom("class name"));
+        ClassSchema &schema = prog().types().schema(cls);
+        while (check(TokenKind::Atom))
+            schema.fieldOf(syms().intern(advance().text));
+        expect(TokenKind::RParen, "')'");
+    }
+
+    void
+    parseVectorAttribute()
+    {
+        // (vector-attribute attr ...): each named attribute consumes
+        // a sequence of values in WME-pattern positions. OPS5 declares
+        // this globally per attribute name; classes using it should
+        // literalize it last so the tail fields are free.
+        if (!check(TokenKind::Atom))
+            fail("vector-attribute needs at least one attribute name");
+        while (check(TokenKind::Atom))
+            prog().markVectorAttribute(syms().intern(advance().text));
+        expect(TokenKind::RParen, "')'");
+    }
+
+    void
+    parseStrategy()
+    {
+        std::string which = expectAtom("strategy name");
+        if (which == "lex")
+            parsed_.strategy = StrategyKind::Lex;
+        else if (which == "mea")
+            parsed_.strategy = StrategyKind::Mea;
+        else
+            fail("unknown strategy '" + which + "'");
+        expect(TokenKind::RParen, "')'");
+    }
+
+    /** Parses a literal value token; variables are not allowed here. */
+    Value
+    parseLiteralValue()
+    {
+        const Token &t = advance();
+        switch (t.kind) {
+          case TokenKind::Atom:
+            return Value::symbol(syms().intern(t.text));
+          case TokenKind::Int:
+            return Value::integer(t.int_val);
+          case TokenKind::Float:
+            return Value::real(t.float_val);
+          default:
+            fail("expected a constant value");
+        }
+    }
+
+    void
+    parseTopLevelMake()
+    {
+        SymbolId cls = syms().intern(expectAtom("class name"));
+        ClassSchema &schema = prog().types().schema(cls);
+        std::vector<Value> fields;
+        int positional = 0;
+
+        auto set_field = [&](int idx, Value v) {
+            if (idx >= static_cast<int>(fields.size()))
+                fields.resize(idx + 1);
+            fields[idx] = v;
+        };
+
+        while (!check(TokenKind::RParen)) {
+            if (match(TokenKind::Hat)) {
+                SymbolId attr = syms().intern(expectAtom("attribute"));
+                int base = schema.fieldOf(attr);
+                if (prog().isVectorAttribute(attr)) {
+                    int k = 0;
+                    while (!check(TokenKind::RParen) &&
+                           !check(TokenKind::Hat)) {
+                        set_field(base + k++, parseLiteralValue());
+                    }
+                } else {
+                    set_field(base, parseLiteralValue());
+                }
+            } else {
+                set_field(positional++, parseLiteralValue());
+            }
+        }
+        expect(TokenKind::RParen, "')'");
+        prog().initialWmes().push_back({cls, std::move(fields)});
+    }
+
+    // --- productions -----------------------------------------------------
+
+    void
+    parseProduction()
+    {
+        std::string name = expectAtom("production name");
+        if (prog().findProduction(name))
+            fail("duplicate production '" + name + "'");
+        Production &p = prog().addProduction(name);
+
+        while (!check(TokenKind::Arrow)) {
+            bool negated = match(TokenKind::Minus);
+            p.lhs().push_back(parseConditionElement(negated));
+        }
+        expect(TokenKind::Arrow, "'-->'");
+
+        while (!check(TokenKind::RParen))
+            p.rhs().push_back(parseAction(p));
+        expect(TokenKind::RParen, "')'");
+
+        analyzeProduction(p);
+    }
+
+    ConditionElement
+    parseConditionElement(bool negated)
+    {
+        expect(TokenKind::LParen, "'(' of condition element");
+        ConditionElement ce;
+        ce.negated = negated;
+        ce.cls = syms().intern(expectAtom("class name"));
+        ClassSchema &schema = prog().types().schema(ce.cls);
+
+        int positional = 0;
+        while (!check(TokenKind::RParen)) {
+            if (match(TokenKind::Hat)) {
+                SymbolId attr = syms().intern(expectAtom("attribute"));
+                int base = schema.fieldOf(attr);
+                if (prog().isVectorAttribute(attr)) {
+                    // A vector attribute matches a SEQUENCE of value
+                    // positions starting at its own field.
+                    int k = 0;
+                    while (!check(TokenKind::RParen) &&
+                           !check(TokenKind::Hat)) {
+                        parseValueSpec(ce, base + k++);
+                    }
+                } else {
+                    parseValueSpec(ce, base);
+                }
+            } else {
+                parseValueSpec(ce, positional++);
+            }
+        }
+        expect(TokenKind::RParen, "')'");
+        return ce;
+    }
+
+    /** One value position: single test, `{...}`, or `<<...>>`. */
+    void
+    parseValueSpec(ConditionElement &ce, int field)
+    {
+        if (match(TokenKind::LBrace)) {
+            if (check(TokenKind::RBrace))
+                fail("empty '{ }' conjunction");
+            while (!check(TokenKind::RBrace))
+                ce.addTest(field, parseSingleTest());
+            expect(TokenKind::RBrace, "'}'");
+            return;
+        }
+        ce.addTest(field, parseSingleTest());
+    }
+
+    AtomicTest
+    parseSingleTest()
+    {
+        Predicate pred = Predicate::Eq;
+        if (check(TokenKind::Pred))
+            pred = advance().pred;
+
+        if (match(TokenKind::LDisj)) {
+            if (pred != Predicate::Eq && pred != Predicate::Ne)
+                fail("'<< >>' only combines with = or <>");
+            AtomicTest t;
+            t.pred = pred;
+            t.operand = OperandKind::ConstantSet;
+            while (!check(TokenKind::RDisj))
+                t.set.push_back(parseLiteralValue());
+            expect(TokenKind::RDisj, "'>>'");
+            if (t.set.empty())
+                fail("empty '<< >>' disjunction");
+            return t;
+        }
+
+        const Token &t = peek();
+        switch (t.kind) {
+          case TokenKind::Var: {
+            advance();
+            return AtomicTest::variable(syms().intern(t.text), pred);
+          }
+          case TokenKind::Atom:
+          case TokenKind::Int:
+          case TokenKind::Float: {
+            AtomicTest test;
+            test.pred = pred;
+            test.constant = parseLiteralValue();
+            return test;
+          }
+          default:
+            fail("expected a value, variable, or '<< >>' set");
+        }
+    }
+
+    // --- actions ----------------------------------------------------------
+
+    RhsTerm
+    parseRhsTerm()
+    {
+        if (check(TokenKind::Var)) {
+            const Token &t = advance();
+            return RhsTerm::variable(syms().intern(t.text));
+        }
+        if (check(TokenKind::LParen)) {
+            advance();
+            std::string head = expectAtom("(compute ...)");
+            if (head != "compute")
+                fail("only (compute ...) may appear as an RHS value");
+            RhsTerm t = parseComputeExpr();
+            expect(TokenKind::RParen, "')' after compute");
+            return t;
+        }
+        return RhsTerm::literal(parseLiteralValue());
+    }
+
+    /** One operand of a compute expression. */
+    RhsTerm
+    parseComputeOperand()
+    {
+        if (check(TokenKind::Var)) {
+            const Token &t = advance();
+            return RhsTerm::variable(syms().intern(t.text));
+        }
+        if (match(TokenKind::LParen)) {
+            RhsTerm t = parseComputeExpr();
+            expect(TokenKind::RParen, "')'");
+            return t;
+        }
+        return RhsTerm::literal(parseLiteralValue());
+    }
+
+    /** Maps an operator atom to a ComputeOp; nullopt when not one. */
+    std::optional<ComputeOp>
+    computeOp() const
+    {
+        if (!check(TokenKind::Atom))
+            return std::nullopt;
+        const std::string &s = peek().text;
+        if (s == "+")
+            return ComputeOp::Add;
+        if (s == "-")
+            return ComputeOp::Sub;
+        if (s == "*")
+            return ComputeOp::Mul;
+        if (s == "//")
+            return ComputeOp::Div;
+        if (s == "\\\\" || s == "\\" || s == "mod")
+            return ComputeOp::Mod;
+        return std::nullopt;
+    }
+
+    /**
+     * OPS5 arithmetic: right-associative, no precedence
+     * (`2 + 3 * 4` is `2 + (3 * 4)`).
+     */
+    RhsTerm
+    parseComputeExpr()
+    {
+        RhsTerm lhs = parseComputeOperand();
+        std::optional<ComputeOp> op = computeOp();
+        if (!op)
+            return lhs;
+        advance();
+        auto node = std::make_shared<ComputeNode>();
+        node->op = *op;
+        node->lhs = std::move(lhs);
+        node->rhs = parseComputeExpr();
+        RhsTerm t;
+        t.kind = RhsTermKind::Compute;
+        t.compute = std::move(node);
+        return t;
+    }
+
+    Action
+    parseAction(Production &p)
+    {
+        expect(TokenKind::LParen, "'(' of action");
+        std::string head = expectAtom("action name");
+        Action a;
+
+        auto parse_assigns = [&](SymbolId cls) {
+            ClassSchema &schema = prog().types().schema(cls);
+            int positional = 0;
+            while (!check(TokenKind::RParen)) {
+                if (match(TokenKind::Hat)) {
+                    SymbolId attr = syms().intern(expectAtom("attribute"));
+                    int base = schema.fieldOf(attr);
+                    if (prog().isVectorAttribute(attr)) {
+                        int k = 0;
+                        while (!check(TokenKind::RParen) &&
+                               !check(TokenKind::Hat)) {
+                            FieldAssign fa;
+                            fa.field = base + k++;
+                            fa.term = parseRhsTerm();
+                            a.assigns.push_back(std::move(fa));
+                        }
+                        continue;
+                    }
+                    FieldAssign fa;
+                    fa.field = base;
+                    fa.term = parseRhsTerm();
+                    a.assigns.push_back(std::move(fa));
+                } else {
+                    FieldAssign fa;
+                    fa.field = positional++;
+                    fa.term = parseRhsTerm();
+                    a.assigns.push_back(std::move(fa));
+                }
+            }
+        };
+
+        if (head == "make") {
+            a.kind = ActionKind::Make;
+            a.cls = syms().intern(expectAtom("class name"));
+            parse_assigns(a.cls);
+        } else if (head == "remove") {
+            a.kind = ActionKind::Remove;
+            a.ce = static_cast<int>(
+                expect(TokenKind::Int, "condition-element number").int_val);
+        } else if (head == "modify") {
+            a.kind = ActionKind::Modify;
+            a.ce = static_cast<int>(
+                expect(TokenKind::Int, "condition-element number").int_val);
+            if (a.ce < 1 || a.ce > static_cast<int>(p.lhs().size()))
+                fail("modify index out of range");
+            parse_assigns(p.lhs()[a.ce - 1].cls);
+        } else if (head == "bind") {
+            a.kind = ActionKind::Bind;
+            a.var = syms().intern(expect(TokenKind::Var, "variable").text);
+            a.terms.push_back(parseRhsTerm());
+        } else if (head == "write") {
+            a.kind = ActionKind::Write;
+            while (!check(TokenKind::RParen))
+                a.terms.push_back(parseRhsTerm());
+        } else if (head == "halt") {
+            a.kind = ActionKind::Halt;
+        } else {
+            fail("unknown action '" + head + "'");
+        }
+
+        expect(TokenKind::RParen, "')'");
+        return a;
+    }
+
+    // --- semantic analysis -------------------------------------------------
+
+    /**
+     * Validates a parsed production and fills its variable-binding
+     * table: defining occurrences come only from positive condition
+     * elements; non-equality variable tests need a prior binding;
+     * remove/modify must target positive condition elements; RHS
+     * variables must be bound by the LHS or a preceding bind.
+     */
+    void
+    analyzeProduction(Production &p)
+    {
+        if (p.lhs().empty())
+            fail("production '" + p.name() + "' has an empty LHS");
+        if (p.lhs().front().negated)
+            fail("production '" + p.name() +
+                 "': first condition element must be positive");
+
+        for (int ce_idx = 0;
+             ce_idx < static_cast<int>(p.lhs().size()); ++ce_idx) {
+            const ConditionElement &ce = p.lhs()[ce_idx];
+
+            // Pass 1: a variable is bound within this CE if it has an
+            // equality occurrence anywhere in the CE (condition
+            // elements are conjunctions — occurrence order carries no
+            // meaning). Record the first Eq occurrence per variable.
+            std::unordered_set<SymbolId> local;
+            for (const FieldTests &ft : ce.fields) {
+                for (const AtomicTest &t : ft.tests) {
+                    if (t.operand == OperandKind::Variable &&
+                        t.pred == Predicate::Eq &&
+                        !p.bindings().find(t.var) &&
+                        local.insert(t.var).second && !ce.negated) {
+                        p.bindings().define(
+                            t.var, VarLocation{ce_idx, ft.field});
+                    }
+                }
+            }
+
+            // Pass 2: every variable occurrence must now be bound.
+            for (const FieldTests &ft : ce.fields) {
+                for (const AtomicTest &t : ft.tests) {
+                    if (t.operand != OperandKind::Variable)
+                        continue;
+                    if (!p.bindings().find(t.var) && !local.count(t.var))
+                        fail("variable " + syms().name(t.var) +
+                             " used with a predicate but never bound "
+                             "in '" + p.name() + "'");
+                }
+            }
+        }
+
+        std::unordered_set<SymbolId> rhs_bound;
+        for (const Action &a : p.rhs()) {
+            std::function<void(const RhsTerm &)> check_term =
+                [&](const RhsTerm &t) {
+                    if (t.kind == RhsTermKind::Compute) {
+                        check_term(t.compute->lhs);
+                        check_term(t.compute->rhs);
+                        return;
+                    }
+                    if (t.kind != RhsTermKind::Variable)
+                        return;
+                    if (!p.bindings().find(t.var) &&
+                        !rhs_bound.count(t.var)) {
+                        fail("unbound variable " + syms().name(t.var) +
+                             " on RHS of '" + p.name() + "'");
+                    }
+                };
+            for (const FieldAssign &fa : a.assigns)
+                check_term(fa.term);
+            for (const RhsTerm &t : a.terms)
+                check_term(t);
+            if (a.kind == ActionKind::Bind)
+                rhs_bound.insert(a.var);
+            if (a.kind == ActionKind::Remove ||
+                a.kind == ActionKind::Modify) {
+                if (a.ce < 1 || a.ce > static_cast<int>(p.lhs().size()))
+                    fail("remove/modify index out of range in '" +
+                         p.name() + "'");
+                if (p.lhs()[a.ce - 1].negated)
+                    fail("remove/modify of a negated condition element "
+                         "in '" + p.name() + "'");
+            }
+        }
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    ParsedProgram parsed_;
+};
+
+} // namespace
+
+ParsedProgram
+parseProgram(std::string_view source)
+{
+    return Parser(source).run();
+}
+
+std::shared_ptr<Program>
+parse(std::string_view source)
+{
+    return parseProgram(source).program;
+}
+
+} // namespace psm::ops5

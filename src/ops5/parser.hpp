@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Recursive-descent parser producing compiled Programs from OPS5
+ * source text.
+ *
+ * Accepted top-level forms:
+ *
+ *     (literalize class attr1 attr2 ...)
+ *     (p name ce+ --> action*)
+ *     (make class ^attr value ...)        ; initial working memory
+ *     (strategy lex|mea)
+ *
+ * Condition elements support constants, variables, all OPS5
+ * predicates, `{ ... }` conjunctions, `<< ... >>` disjunctions, and
+ * `-` negation. Actions: make, remove, modify, bind, write, halt.
+ */
+
+#ifndef PSM_OPS5_PARSER_HPP
+#define PSM_OPS5_PARSER_HPP
+
+#include <memory>
+#include <string_view>
+
+#include "lexer.hpp"
+#include "production.hpp"
+
+namespace psm::ops5 {
+
+/** Conflict-resolution strategy selected by a (strategy ...) form. */
+enum class StrategyKind : std::uint8_t { Lex, Mea };
+
+/** A parsed program plus source-level options. */
+struct ParsedProgram
+{
+    std::shared_ptr<Program> program;
+    StrategyKind strategy = StrategyKind::Lex;
+};
+
+/**
+ * Parses complete OPS5 source text.
+ * @throws ParseError on any lexical or syntactic problem, including
+ *         semantic checks the OPS5 compiler performs (first condition
+ *         element must be positive; a variable may not be constrained
+ *         by a non-equality predicate before it is bound; remove /
+ *         modify indices must name positive condition elements).
+ */
+ParsedProgram parseProgram(std::string_view source);
+
+/** Convenience: parse and return just the Program. */
+std::shared_ptr<Program> parse(std::string_view source);
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_PARSER_HPP

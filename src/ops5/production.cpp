@@ -1,0 +1,45 @@
+#include "production.hpp"
+
+#include <algorithm>
+
+namespace psm::ops5 {
+
+int
+Production::positiveCeCount() const
+{
+    return static_cast<int>(
+        std::count_if(lhs_.begin(), lhs_.end(),
+                      [](const ConditionElement &ce) {
+                          return !ce.negated;
+                      }));
+}
+
+int
+Production::specificity() const
+{
+    int n = 0;
+    for (const ConditionElement &ce : lhs_)
+        n += ce.testCount();
+    return n;
+}
+
+Production &
+Program::addProduction(std::string name)
+{
+    int id = static_cast<int>(productions_.size());
+    productions_.push_back(
+        std::make_unique<Production>(std::move(name), id));
+    return *productions_.back();
+}
+
+const Production *
+Program::findProduction(std::string_view name) const
+{
+    for (const auto &p : productions_) {
+        if (p->name() == name)
+            return p.get();
+    }
+    return nullptr;
+}
+
+} // namespace psm::ops5

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Productions: compiled if-then rules, their right-hand-side actions,
+ * and the Program container holding a whole rule base.
+ */
+
+#ifndef PSM_OPS5_PRODUCTION_HPP
+#define PSM_OPS5_PRODUCTION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "condition.hpp"
+
+namespace psm::ops5 {
+
+/** Kind of a right-hand-side value term. */
+enum class RhsTermKind : std::uint8_t {
+    Constant,   ///< literal value
+    Variable,   ///< value bound by the LHS (or a prior `bind`)
+    FieldCopy,  ///< value of field N of the CE being modified
+    Compute,    ///< arithmetic (compute ...) expression
+};
+
+struct ComputeNode;
+
+/** A value expression on the right-hand side of a production. */
+struct RhsTerm
+{
+    RhsTermKind kind = RhsTermKind::Constant;
+    Value constant{};
+    SymbolId var = kNilSymbol;
+    int field = 0;
+    std::shared_ptr<const ComputeNode> compute; ///< Compute payload
+
+    static RhsTerm
+    literal(Value v)
+    {
+        RhsTerm t;
+        t.constant = v;
+        return t;
+    }
+
+    static RhsTerm
+    variable(SymbolId v)
+    {
+        RhsTerm t;
+        t.kind = RhsTermKind::Variable;
+        t.var = v;
+        return t;
+    }
+};
+
+/** Arithmetic operators of OPS5 (compute ...). */
+enum class ComputeOp : std::uint8_t {
+    Add,  ///< +
+    Sub,  ///< -
+    Mul,  ///< *
+    Div,  ///< // (integer division when both operands are integers)
+    Mod,  ///< \\ (modulus)
+};
+
+/**
+ * One binary node of a (compute ...) expression. OPS5 arithmetic is
+ * right-associative with no precedence: `a + b * c` parses as
+ * `a + (b * c)` regardless of the operators involved.
+ */
+struct ComputeNode
+{
+    ComputeOp op = ComputeOp::Add;
+    RhsTerm lhs;
+    RhsTerm rhs;
+};
+
+/** Kind of a right-hand-side action. */
+enum class ActionKind : std::uint8_t {
+    Make,    ///< create a new WME
+    Remove,  ///< retract the WME matched by CE #ce
+    Modify,  ///< retract CE #ce's WME and re-make it with edits
+    Bind,    ///< bind a variable to a computed value
+    Write,   ///< print terms (diagnostic I/O)
+    Halt,    ///< stop the recognize-act loop
+};
+
+/** One field assignment inside a Make or Modify action. */
+struct FieldAssign
+{
+    int field = 0;
+    RhsTerm term;
+};
+
+/** A compiled right-hand-side action. */
+struct Action
+{
+    ActionKind kind = ActionKind::Make;
+    SymbolId cls = kNilSymbol;        ///< Make: class of the new WME
+    int ce = 0;                       ///< Remove/Modify: 1-based CE index
+    SymbolId var = kNilSymbol;        ///< Bind: variable to set
+    std::vector<FieldAssign> assigns; ///< Make/Modify field values
+    std::vector<RhsTerm> terms;       ///< Write/Bind operands
+};
+
+/**
+ * A compiled production: name, ordered condition elements, variable
+ * binding table, and actions.
+ */
+class Production
+{
+  public:
+    Production(std::string name, int id) : name_(std::move(name)), id_(id) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Dense id within the owning Program. */
+    int id() const { return id_; }
+
+    const std::vector<ConditionElement> &lhs() const { return lhs_; }
+    std::vector<ConditionElement> &lhs() { return lhs_; }
+
+    const std::vector<Action> &rhs() const { return rhs_; }
+    std::vector<Action> &rhs() { return rhs_; }
+
+    const VariableBindings &bindings() const { return bindings_; }
+    VariableBindings &bindings() { return bindings_; }
+
+    /** Number of non-negated condition elements. */
+    int positiveCeCount() const;
+
+    /** Total atomic test count across the LHS (OPS5 specificity). */
+    int specificity() const;
+
+  private:
+    std::string name_;
+    int id_;
+    std::vector<ConditionElement> lhs_;
+    std::vector<Action> rhs_;
+    VariableBindings bindings_;
+};
+
+/**
+ * A whole OPS5 program: symbol table, class schemas, productions, and
+ * the WME patterns of top-level `make` forms (the initial working
+ * memory).
+ *
+ * Program owns the SymbolTable that every Value in its productions
+ * refers into, so it is non-copyable and handed around by reference
+ * or shared_ptr.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    Program(const Program &) = delete;
+    Program &operator=(const Program &) = delete;
+
+    SymbolTable &symbols() { return symbols_; }
+    const SymbolTable &symbols() const { return symbols_; }
+
+    TypeRegistry &types() { return types_; }
+    const TypeRegistry &types() const { return types_; }
+
+    /** Adds a production, assigning it the next dense id. */
+    Production &addProduction(std::string name);
+
+    const std::vector<std::unique_ptr<Production>> &
+    productions() const
+    {
+        return productions_;
+    }
+
+    /** Looks a production up by name; nullptr when absent. */
+    const Production *findProduction(std::string_view name) const;
+
+    /** Initial working memory: (class, fields) pairs in source order. */
+    struct InitialWme
+    {
+        SymbolId cls;
+        std::vector<Value> fields;
+    };
+
+    std::vector<InitialWme> &initialWmes() { return initial_; }
+    const std::vector<InitialWme> &initialWmes() const { return initial_; }
+
+    /**
+     * Declares @p attr a vector attribute (OPS5 `vector-attribute`):
+     * in WME-pattern positions it consumes a SEQUENCE of values
+     * mapped to consecutive fields starting at its own.
+     */
+    void markVectorAttribute(SymbolId attr) { vector_attrs_.insert(attr); }
+
+    bool
+    isVectorAttribute(SymbolId attr) const
+    {
+        return vector_attrs_.count(attr) > 0;
+    }
+
+  private:
+    SymbolTable symbols_;
+    TypeRegistry types_;
+    std::vector<std::unique_ptr<Production>> productions_;
+    std::vector<InitialWme> initial_;
+    std::set<SymbolId> vector_attrs_;
+};
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_PRODUCTION_HPP

@@ -1,0 +1,182 @@
+#include "rhs.hpp"
+
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace psm::ops5 {
+
+namespace {
+
+/**
+ * Evaluates one (compute ...) node with OPS5 numeric rules: integer
+ * arithmetic when both operands are integers (// is then integer
+ * division), double otherwise. Non-numeric operands make the whole
+ * expression nil, matching OPS5's lenient runtime.
+ */
+Value
+evalCompute(const ComputeNode &node,
+            const std::function<Value(const RhsTerm &)> &eval)
+{
+    Value a = eval(node.lhs);
+    Value b = eval(node.rhs);
+    if (!a.isNumeric() || !b.isNumeric())
+        return Value{};
+    bool ints = a.kind() == ValueKind::Int && b.kind() == ValueKind::Int;
+    if (ints) {
+        std::int64_t x = a.asInt(), y = b.asInt();
+        switch (node.op) {
+          case ComputeOp::Add: return Value::integer(x + y);
+          case ComputeOp::Sub: return Value::integer(x - y);
+          case ComputeOp::Mul: return Value::integer(x * y);
+          case ComputeOp::Div:
+            return y == 0 ? Value{} : Value::integer(x / y);
+          case ComputeOp::Mod:
+            return y == 0 ? Value{} : Value::integer(x % y);
+        }
+    }
+    double x = a.asDouble(), y = b.asDouble();
+    switch (node.op) {
+      case ComputeOp::Add: return Value::real(x + y);
+      case ComputeOp::Sub: return Value::real(x - y);
+      case ComputeOp::Mul: return Value::real(x * y);
+      case ComputeOp::Div:
+        return y == 0.0 ? Value{} : Value::real(x / y);
+      case ComputeOp::Mod:
+        return Value{}; // modulus is integer-only in OPS5
+    }
+    return Value{};
+}
+
+} // namespace
+
+int
+positiveOrdinal(const Production &p, int ce_index)
+{
+    if (ce_index < 1 || ce_index > static_cast<int>(p.lhs().size()))
+        return -1;
+    if (p.lhs()[ce_index - 1].negated)
+        return -1;
+    int ordinal = 0;
+    for (int i = 0; i < ce_index - 1; ++i) {
+        if (!p.lhs()[i].negated)
+            ++ordinal;
+    }
+    return ordinal;
+}
+
+FiringResult
+RhsExecutor::fire(const Instantiation &inst)
+{
+    const Production &p = *inst.production;
+    FiringResult result;
+    std::unordered_map<SymbolId, Value> local_binds;
+
+    // Value of an LHS-bound or RHS-bound variable.
+    auto var_value = [&](SymbolId var) -> Value {
+        if (auto it = local_binds.find(var); it != local_binds.end())
+            return it->second;
+        const VarLocation *loc = p.bindings().find(var);
+        if (!loc)
+            throw std::logic_error("unbound RHS variable");
+        int ordinal = positiveOrdinal(p, loc->ce + 1);
+        return inst.wmes.at(ordinal)->field(loc->field);
+    };
+
+    std::function<Value(const RhsTerm &)> eval_term =
+        [&](const RhsTerm &t) -> Value {
+        switch (t.kind) {
+          case RhsTermKind::Constant:
+            return t.constant;
+          case RhsTermKind::Variable:
+            return var_value(t.var);
+          case RhsTermKind::FieldCopy:
+            return Value{}; // only reachable through Modify's base copy
+          case RhsTermKind::Compute:
+            return evalCompute(*t.compute, eval_term);
+        }
+        return Value{};
+    };
+
+    // WMEs this firing already retracted (a remove then a modify of
+    // the same element must not double-retract).
+    std::vector<const Wme *> retracted;
+    auto already_retracted = [&](const Wme *w) {
+        for (const Wme *r : retracted) {
+            if (r == w)
+                return true;
+        }
+        return false;
+    };
+
+    for (const Action &a : p.rhs()) {
+        switch (a.kind) {
+          case ActionKind::Make: {
+            std::vector<Value> fields;
+            for (const FieldAssign &fa : a.assigns) {
+                if (fa.field >= static_cast<int>(fields.size()))
+                    fields.resize(fa.field + 1);
+                fields[fa.field] = eval_term(fa.term);
+            }
+            const Wme *wme = wm_.insert(a.cls, std::move(fields));
+            result.changes.push_back({ChangeKind::Insert, wme});
+            break;
+          }
+          case ActionKind::Remove: {
+            int ordinal = positiveOrdinal(p, a.ce);
+            const Wme *victim = inst.wmes.at(ordinal);
+            if (already_retracted(victim))
+                break;
+            if (wm_.remove(victim)) {
+                retracted.push_back(victim);
+                result.changes.push_back({ChangeKind::Remove, victim});
+            }
+            break;
+          }
+          case ActionKind::Modify: {
+            int ordinal = positiveOrdinal(p, a.ce);
+            const Wme *old = inst.wmes.at(ordinal);
+            if (already_retracted(old))
+                break;
+            std::vector<Value> fields;
+            fields.reserve(old->fieldCount());
+            for (int i = 0; i < old->fieldCount(); ++i)
+                fields.push_back(old->field(i));
+            for (const FieldAssign &fa : a.assigns) {
+                if (fa.field >= static_cast<int>(fields.size()))
+                    fields.resize(fa.field + 1);
+                fields[fa.field] = eval_term(fa.term);
+            }
+            if (wm_.remove(old)) {
+                retracted.push_back(old);
+                result.changes.push_back({ChangeKind::Remove, old});
+            }
+            const Wme *wme = wm_.insert(old->className(),
+                                        std::move(fields));
+            result.changes.push_back({ChangeKind::Insert, wme});
+            break;
+          }
+          case ActionKind::Bind:
+            local_binds[a.var] = eval_term(a.terms.at(0));
+            break;
+          case ActionKind::Write:
+            if (out_) {
+                for (std::size_t i = 0; i < a.terms.size(); ++i) {
+                    if (i)
+                        *out_ << " ";
+                    *out_ << eval_term(a.terms[i])
+                                 .toString(program_.symbols());
+                }
+                *out_ << "\n";
+            }
+            break;
+          case ActionKind::Halt:
+            result.halted = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace psm::ops5

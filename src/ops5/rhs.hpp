@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Right-hand-side execution: the act phase of the recognize-act cycle.
+ */
+
+#ifndef PSM_OPS5_RHS_HPP
+#define PSM_OPS5_RHS_HPP
+
+#include <iosfwd>
+#include <vector>
+
+#include "conflict.hpp"
+
+namespace psm::ops5 {
+
+/** What one production firing did to working memory. */
+struct FiringResult
+{
+    std::vector<WmeChange> changes; ///< inserts/removes in action order
+    bool halted = false;            ///< a (halt) action ran
+};
+
+/**
+ * Executes production right-hand sides against a WorkingMemory.
+ *
+ * `modify` follows OPS5 semantics: the old element is removed and a
+ * fresh element (new time tag) is made with the edited fields, so the
+ * match phase sees it as a remove/insert pair.
+ */
+class RhsExecutor
+{
+  public:
+    /**
+     * @param program the rule base (for schemas and symbol names)
+     * @param wm      working memory to mutate
+     * @param out     sink for (write ...) actions; null discards
+     */
+    RhsExecutor(const Program &program, WorkingMemory &wm,
+                std::ostream *out = nullptr)
+        : program_(program), wm_(wm), out_(out)
+    {}
+
+    /** Runs every action of @p inst, collecting the WM changes. */
+    FiringResult fire(const Instantiation &inst);
+
+  private:
+    const Program &program_;
+    WorkingMemory &wm_;
+    std::ostream *out_;
+};
+
+/**
+ * Maps a 1-based LHS condition-element index to the index of that CE's
+ * WME within an instantiation (which stores only positive CEs).
+ * @return -1 when @p ce_index names a negated CE or is out of range.
+ */
+int positiveOrdinal(const Production &p, int ce_index);
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_RHS_HPP

@@ -1,0 +1,37 @@
+#include "symbol.hpp"
+
+namespace psm::ops5 {
+
+SymbolTable::SymbolTable()
+{
+    // Reserve id 0 for the distinguished symbol "nil".
+    names_.emplace_back("nil");
+    ids_.emplace("nil", kNilSymbol);
+}
+
+SymbolId
+SymbolTable::intern(std::string_view text)
+{
+    auto it = ids_.find(std::string(text));
+    if (it != ids_.end())
+        return it->second;
+    SymbolId id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(text);
+    ids_.emplace(names_.back(), id);
+    return id;
+}
+
+SymbolId
+SymbolTable::find(std::string_view text) const
+{
+    auto it = ids_.find(std::string(text));
+    return it == ids_.end() ? kNilSymbol : it->second;
+}
+
+int
+SymbolTable::compare(SymbolId a, SymbolId b) const
+{
+    return names_.at(a).compare(names_.at(b));
+}
+
+} // namespace psm::ops5

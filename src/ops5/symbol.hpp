@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Interned symbols for the OPS5 substrate.
+ *
+ * Every identifier that appears in an OPS5 program (class names,
+ * attribute names, symbolic constants, variable names like "<x>") is
+ * interned into a SymbolTable and referred to by a dense 32-bit id.
+ * Interning makes symbol equality a single integer compare, which is
+ * what the Rete constant-test nodes execute millions of times.
+ */
+
+#ifndef PSM_OPS5_SYMBOL_HPP
+#define PSM_OPS5_SYMBOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace psm::ops5 {
+
+/** Dense id of an interned symbol. Id 0 is reserved for "nil". */
+using SymbolId = std::uint32_t;
+
+/** The reserved id of the distinguished symbol "nil". */
+inline constexpr SymbolId kNilSymbol = 0;
+
+/**
+ * Append-only intern table mapping strings to dense SymbolIds.
+ *
+ * The table is not thread safe for interning; programs are parsed and
+ * compiled before any parallel match phase begins, and lookup by id
+ * (name()) touches only immutable storage after that point.
+ */
+class SymbolTable
+{
+  public:
+    SymbolTable();
+
+    /** Intern @p text, returning the existing id if already present. */
+    SymbolId intern(std::string_view text);
+
+    /**
+     * Look up an already-interned symbol.
+     * @return the id, or kNilSymbol if the text was never interned.
+     */
+    SymbolId find(std::string_view text) const;
+
+    /** Spelling of symbol @p id. @pre id < size(). */
+    const std::string &name(SymbolId id) const { return names_.at(id); }
+
+    /** Number of interned symbols (including "nil"). */
+    std::size_t size() const { return names_.size(); }
+
+    /**
+     * Lexicographic three-way comparison of two symbols' spellings,
+     * used by relational predicates applied to symbolic values.
+     */
+    int compare(SymbolId a, SymbolId b) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, SymbolId> ids_;
+};
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_SYMBOL_HPP

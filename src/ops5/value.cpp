@@ -1,0 +1,90 @@
+#include "value.hpp"
+
+#include <sstream>
+
+namespace psm::ops5 {
+
+std::string
+Value::toString(const SymbolTable &syms) const
+{
+    switch (kind_) {
+      case ValueKind::Nil:
+        return "nil";
+      case ValueKind::Symbol:
+        return syms.name(sym_);
+      case ValueKind::Int:
+        return std::to_string(int_);
+      case ValueKind::Float: {
+        std::ostringstream os;
+        os << float_;
+        return os.str();
+      }
+    }
+    return "?";
+}
+
+const char *
+predicateName(Predicate p)
+{
+    switch (p) {
+      case Predicate::Eq: return "=";
+      case Predicate::Ne: return "<>";
+      case Predicate::Lt: return "<";
+      case Predicate::Le: return "<=";
+      case Predicate::Gt: return ">";
+      case Predicate::Ge: return ">=";
+      case Predicate::SameType: return "<=>";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Three-way comparison for relational predicates.
+ * @return -1/0/+1, or 2 when the operands are not comparable.
+ */
+int
+compareValues(const Value &lhs, const Value &rhs, const SymbolTable &syms)
+{
+    if (lhs.isNumeric() && rhs.isNumeric()) {
+        double a = lhs.asDouble(), b = rhs.asDouble();
+        return a < b ? -1 : a > b ? 1 : 0;
+    }
+    if (lhs.isSymbol() && rhs.isSymbol()) {
+        int c = syms.compare(lhs.asSymbol(), rhs.asSymbol());
+        return c < 0 ? -1 : c > 0 ? 1 : 0;
+    }
+    return 2;
+}
+
+} // namespace
+
+bool
+evalPredicate(Predicate pred, const Value &lhs, const Value &rhs,
+              const SymbolTable &syms)
+{
+    switch (pred) {
+      case Predicate::Eq:
+        return lhs == rhs;
+      case Predicate::Ne:
+        return lhs != rhs;
+      case Predicate::SameType:
+        return (lhs.isNumeric() && rhs.isNumeric()) ||
+               lhs.kind() == rhs.kind();
+      default:
+        break;
+    }
+    int c = compareValues(lhs, rhs, syms);
+    if (c == 2)
+        return false;
+    switch (pred) {
+      case Predicate::Lt: return c < 0;
+      case Predicate::Le: return c <= 0;
+      case Predicate::Gt: return c > 0;
+      case Predicate::Ge: return c >= 0;
+      default: return false;
+    }
+}
+
+} // namespace psm::ops5

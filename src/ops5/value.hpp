@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tagged scalar values and match predicates.
+ *
+ * OPS5 working-memory attribute values are symbols, integers, or
+ * floating-point numbers. A Value is a small tagged scalar; equality
+ * is exact for symbols and numeric (with int/float promotion) for
+ * numbers, matching OPS5 semantics.
+ */
+
+#ifndef PSM_OPS5_VALUE_HPP
+#define PSM_OPS5_VALUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "symbol.hpp"
+
+namespace psm::ops5 {
+
+/** Discriminator for Value. */
+enum class ValueKind : std::uint8_t {
+    Nil,     ///< absent attribute (matches like the symbol "nil")
+    Symbol,  ///< interned symbolic constant
+    Int,     ///< 64-bit signed integer
+    Float,   ///< double-precision float
+};
+
+/**
+ * A small tagged scalar: nil, interned symbol, integer, or float.
+ *
+ * Values are trivially copyable 16-byte objects; they are stored by
+ * value in WMEs and compared billions of times during match, so there
+ * is deliberately no heap indirection here.
+ */
+class Value
+{
+  public:
+    /** Constructs nil. */
+    constexpr Value() : kind_(ValueKind::Nil), int_(0) {}
+
+    static constexpr Value
+    symbol(SymbolId id)
+    {
+        Value v;
+        // "nil" the symbol and nil the absent value unify, as in OPS5.
+        if (id == kNilSymbol)
+            return v;
+        v.kind_ = ValueKind::Symbol;
+        v.sym_ = id;
+        return v;
+    }
+
+    static constexpr Value
+    integer(std::int64_t i)
+    {
+        Value v;
+        v.kind_ = ValueKind::Int;
+        v.int_ = i;
+        return v;
+    }
+
+    static constexpr Value
+    real(double f)
+    {
+        Value v;
+        v.kind_ = ValueKind::Float;
+        v.float_ = f;
+        return v;
+    }
+
+    constexpr ValueKind kind() const { return kind_; }
+    constexpr bool isNil() const { return kind_ == ValueKind::Nil; }
+    constexpr bool isSymbol() const { return kind_ == ValueKind::Symbol; }
+
+    constexpr bool
+    isNumeric() const
+    {
+        return kind_ == ValueKind::Int || kind_ == ValueKind::Float;
+    }
+
+    /** @pre isSymbol() or isNil(); nil reads as kNilSymbol. */
+    constexpr SymbolId
+    asSymbol() const
+    {
+        return kind_ == ValueKind::Symbol ? sym_ : kNilSymbol;
+    }
+
+    /** Numeric view with int->double promotion. @pre isNumeric(). */
+    constexpr double
+    asDouble() const
+    {
+        return kind_ == ValueKind::Int ? static_cast<double>(int_) : float_;
+    }
+
+    /** @pre kind() == ValueKind::Int. */
+    constexpr std::int64_t asInt() const { return int_; }
+
+    /** OPS5 equality: symbols by id, numbers numerically. */
+    constexpr bool
+    operator==(const Value &o) const
+    {
+        if (isNumeric() && o.isNumeric()) {
+            if (kind_ == ValueKind::Int && o.kind_ == ValueKind::Int)
+                return int_ == o.int_;
+            return asDouble() == o.asDouble();
+        }
+        if (kind_ != o.kind_)
+            return false;
+        switch (kind_) {
+          case ValueKind::Nil:
+            return true;
+          case ValueKind::Symbol:
+            return sym_ == o.sym_;
+          default:
+            return false; // unreachable; numerics handled above
+        }
+    }
+
+    constexpr bool operator!=(const Value &o) const { return !(*this == o); }
+
+    /** Hash consistent with operator== (ints and equal floats collide). */
+    std::size_t
+    hash() const
+    {
+        switch (kind_) {
+          case ValueKind::Nil:
+            return 0x9e3779b9;
+          case ValueKind::Symbol:
+            return std::hash<std::uint32_t>()(sym_) ^ 0x517cc1b7;
+          default:
+            return std::hash<double>()(asDouble());
+        }
+    }
+
+    /** Human-readable rendering, resolving symbols through @p syms. */
+    std::string toString(const SymbolTable &syms) const;
+
+  private:
+    ValueKind kind_;
+    union {
+        std::int64_t int_;
+        double float_;
+        SymbolId sym_;
+    };
+};
+
+static_assert(sizeof(Value) <= 16, "Value must stay a small scalar");
+
+/** Match predicates usable in condition-element value positions. */
+enum class Predicate : std::uint8_t {
+    Eq,        ///< =   (also the implicit predicate of a bare constant)
+    Ne,        ///< <>
+    Lt,        ///< <
+    Le,        ///< <=
+    Gt,        ///< >
+    Ge,        ///< >=
+    SameType,  ///< <=> (same value kind)
+};
+
+/** Spelling of a predicate as it appears in OPS5 source. */
+const char *predicateName(Predicate p);
+
+/**
+ * Evaluates `lhs pred rhs` with OPS5 coercion rules.
+ *
+ * Relational predicates require two numbers or two symbols; symbols
+ * compare lexicographically through @p syms. A relational predicate
+ * applied across kinds is simply false (OPS5 treats it as a failed
+ * match rather than an error during match).
+ */
+bool evalPredicate(Predicate pred, const Value &lhs, const Value &rhs,
+                   const SymbolTable &syms);
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_VALUE_HPP

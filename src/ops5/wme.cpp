@@ -1,0 +1,124 @@
+#include "wme.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psm::ops5 {
+
+int
+ClassSchema::fieldOf(SymbolId attr)
+{
+    auto it = index_.find(attr);
+    if (it != index_.end())
+        return it->second;
+    int idx = static_cast<int>(attrs_.size());
+    attrs_.push_back(attr);
+    index_.emplace(attr, idx);
+    return idx;
+}
+
+int
+ClassSchema::findField(SymbolId attr) const
+{
+    auto it = index_.find(attr);
+    return it == index_.end() ? -1 : it->second;
+}
+
+ClassSchema &
+TypeRegistry::schema(SymbolId cls)
+{
+    auto it = schemas_.find(cls);
+    if (it == schemas_.end())
+        it = schemas_.emplace(cls, std::make_unique<ClassSchema>(cls)).first;
+    return *it->second;
+}
+
+const ClassSchema *
+TypeRegistry::findSchema(SymbolId cls) const
+{
+    auto it = schemas_.find(cls);
+    return it == schemas_.end() ? nullptr : it->second.get();
+}
+
+bool
+Wme::sameContents(const Wme &o) const
+{
+    if (cls_ != o.cls_)
+        return false;
+    int n = std::max(fieldCount(), o.fieldCount());
+    for (int i = 0; i < n; ++i) {
+        if (field(i) != o.field(i))
+            return false;
+    }
+    return true;
+}
+
+std::string
+Wme::toString(const SymbolTable &syms, const TypeRegistry &reg) const
+{
+    std::ostringstream os;
+    os << "(" << syms.name(cls_);
+    const ClassSchema *schema = reg.findSchema(cls_);
+    for (int i = 0; i < fieldCount(); ++i) {
+        if (fields_[i].isNil())
+            continue;
+        os << " ^";
+        if (schema && i < schema->fieldCount())
+            os << syms.name(schema->attributeAt(i));
+        else
+            os << i;
+        os << " " << fields_[i].toString(syms);
+    }
+    os << ")";
+    return os.str();
+}
+
+const Wme *
+WorkingMemory::insert(SymbolId cls, std::vector<Value> fields)
+{
+    TimeTag tag = next_tag_++;
+    auto wme = std::make_unique<Wme>(cls, tag, std::move(fields));
+    const Wme *raw = wme.get();
+    live_.emplace(tag, std::move(wme));
+    return raw;
+}
+
+bool
+WorkingMemory::remove(const Wme *wme)
+{
+    auto it = live_.find(wme->timeTag());
+    if (it == live_.end() || it->second.get() != wme)
+        return false;
+    retired_.push_back(std::move(it->second));
+    live_.erase(it);
+    return true;
+}
+
+const Wme *
+WorkingMemory::findByTag(TimeTag tag) const
+{
+    auto it = live_.find(tag);
+    return it == live_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Wme *>
+WorkingMemory::liveElements() const
+{
+    std::vector<const Wme *> out;
+    out.reserve(live_.size());
+    for (const auto &[tag, wme] : live_)
+        out.push_back(wme.get());
+    std::sort(out.begin(), out.end(),
+              [](const Wme *a, const Wme *b) {
+                  return a->timeTag() < b->timeTag();
+              });
+    return out;
+}
+
+void
+WorkingMemory::collectGarbage()
+{
+    retired_.clear();
+}
+
+} // namespace psm::ops5

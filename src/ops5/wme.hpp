@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Working-memory elements, class schemas, and the working memory.
+ *
+ * OPS5 WMEs are flat records: a class symbol plus attribute/value
+ * pairs. Attribute names map to dense field indices through a per-class
+ * schema declared with `literalize` (or grown implicitly on first use),
+ * so a WME is stored as a fixed vector of Values and attribute access
+ * during match is a single indexed load — the representation the
+ * paper's cost model assumes.
+ */
+
+#ifndef PSM_OPS5_WME_HPP
+#define PSM_OPS5_WME_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "value.hpp"
+
+namespace psm::ops5 {
+
+/** Monotonic recency stamp assigned to each WME on insertion. */
+using TimeTag = std::uint64_t;
+
+/**
+ * Per-class attribute layout: maps attribute symbols to field indices.
+ */
+class ClassSchema
+{
+  public:
+    explicit ClassSchema(SymbolId cls) : cls_(cls) {}
+
+    SymbolId className() const { return cls_; }
+
+    /** Index of @p attr, adding a new field if unseen. */
+    int fieldOf(SymbolId attr);
+
+    /** Index of @p attr, or -1 if the class has no such attribute. */
+    int findField(SymbolId attr) const;
+
+    /** Attribute symbol stored at field @p index. */
+    SymbolId attributeAt(int index) const { return attrs_.at(index); }
+
+    int fieldCount() const { return static_cast<int>(attrs_.size()); }
+
+  private:
+    SymbolId cls_;
+    std::vector<SymbolId> attrs_;
+    std::unordered_map<SymbolId, int> index_;
+};
+
+/**
+ * Registry of class schemas for one program (the `literalize` table).
+ */
+class TypeRegistry
+{
+  public:
+    /** Schema for @p cls, creating an empty one on first reference. */
+    ClassSchema &schema(SymbolId cls);
+
+    /** Read-only lookup; nullptr when the class was never declared. */
+    const ClassSchema *findSchema(SymbolId cls) const;
+
+    std::size_t classCount() const { return schemas_.size(); }
+
+  private:
+    std::unordered_map<SymbolId, std::unique_ptr<ClassSchema>> schemas_;
+};
+
+/**
+ * A working-memory element: class, time tag, and dense field vector.
+ *
+ * WMEs are immutable after creation (OPS5 `modify` is remove + make),
+ * which is what makes sharing raw Wme pointers across parallel match
+ * tasks safe.
+ */
+class Wme
+{
+  public:
+    Wme(SymbolId cls, TimeTag tag, std::vector<Value> fields)
+        : cls_(cls), tag_(tag), fields_(std::move(fields))
+    {}
+
+    SymbolId className() const { return cls_; }
+    TimeTag timeTag() const { return tag_; }
+
+    /** Value of field @p index; fields beyond the vector read as nil. */
+    const Value &
+    field(int index) const
+    {
+        static const Value nil{};
+        if (index < 0 || index >= static_cast<int>(fields_.size()))
+            return nil;
+        return fields_[index];
+    }
+
+    int fieldCount() const { return static_cast<int>(fields_.size()); }
+
+    /** Structural equality ignoring the time tag. */
+    bool sameContents(const Wme &o) const;
+
+    /** Renders "(class ^attr val ...)" using @p reg for field names. */
+    std::string toString(const SymbolTable &syms,
+                         const TypeRegistry &reg) const;
+
+  private:
+    SymbolId cls_;
+    TimeTag tag_;
+    std::vector<Value> fields_;
+};
+
+/** Direction of a working-memory change. */
+enum class ChangeKind : std::uint8_t { Insert, Remove };
+
+/**
+ * One change to working memory, the unit the match phase consumes.
+ * The Wme is owned by the WorkingMemory; a Remove change carries the
+ * pointer of the element being retracted.
+ */
+struct WmeChange
+{
+    ChangeKind kind;
+    const Wme *wme;
+};
+
+/**
+ * The working memory: owns live WMEs and stamps time tags.
+ *
+ * Removal does not destroy the Wme object immediately — retracted
+ * elements are parked until collectGarbage() so that match tasks and
+ * conflict-set instantiations holding pointers never dangle within a
+ * recognize-act cycle.
+ */
+class WorkingMemory
+{
+  public:
+    /** Creates and inserts a new WME; returns the owned element. */
+    const Wme *insert(SymbolId cls, std::vector<Value> fields);
+
+    /**
+     * Retracts @p wme.
+     * @return false when the element was not live (already removed).
+     */
+    bool remove(const Wme *wme);
+
+    /** Finds a live element with the given time tag, or nullptr. */
+    const Wme *findByTag(TimeTag tag) const;
+
+    /** All live elements in insertion order. */
+    std::vector<const Wme *> liveElements() const;
+
+    std::size_t liveCount() const { return live_.size(); }
+    TimeTag nextTag() const { return next_tag_; }
+
+    /** Destroys retracted elements parked since the last collection. */
+    void collectGarbage();
+
+  private:
+    TimeTag next_tag_ = 1;
+    std::unordered_map<TimeTag, std::unique_ptr<Wme>> live_;
+    std::vector<std::unique_ptr<Wme>> retired_;
+};
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_WME_HPP

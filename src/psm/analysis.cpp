@@ -1,0 +1,262 @@
+#include "psm/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace psm::sim {
+
+using rete::ActivationRecord;
+using rete::NodeKind;
+
+namespace {
+
+/** Key of one WM change within the run. */
+using ChangeKey = std::pair<std::uint32_t, std::uint32_t>;
+
+bool
+isTwoInput(NodeKind kind)
+{
+    return kind == NodeKind::Join || kind == NodeKind::Not;
+}
+
+} // namespace
+
+WorkloadStats
+analyzeWorkload(const CapturedRun &run)
+{
+    WorkloadStats out;
+    const auto &records = run.trace.records();
+    const rete::Network &net = *run.private_network;
+
+    std::map<ChangeKey, std::set<int>> affected;
+    std::map<ChangeKey, std::uint64_t> activations;
+    std::map<ChangeKey, std::uint64_t> two_input;
+    std::map<ChangeKey, std::map<int, double>> prod_cost;
+
+    for (const ActivationRecord &rec : records) {
+        ChangeKey key{rec.cycle, rec.change};
+        ++activations[key];
+        if (rec.node_id < 0)
+            continue;
+        const std::vector<int> &owners = net.productionsOf(rec.node_id);
+        if (isTwoInput(rec.kind)) {
+            ++two_input[key];
+            for (int p : owners)
+                affected[key].insert(p);
+        }
+        for (int p : owners)
+            prod_cost[key][p] += rec.cost;
+    }
+
+    if (!activations.empty()) {
+        double sum_aff = 0, sum_act = 0, sum_two = 0, sum_cv = 0;
+        double n_cv = 0;
+        for (const auto &[key, acts] : activations) {
+            sum_act += static_cast<double>(acts);
+            auto ait = affected.find(key);
+            double aff = ait == affected.end()
+                             ? 0.0
+                             : static_cast<double>(ait->second.size());
+            sum_aff += aff;
+            out.max_affected_productions =
+                std::max(out.max_affected_productions, aff);
+            auto tit = two_input.find(key);
+            sum_two += tit == two_input.end()
+                           ? 0.0
+                           : static_cast<double>(tit->second);
+
+            auto pit = prod_cost.find(key);
+            if (pit != prod_cost.end() && pit->second.size() > 1) {
+                double mean = 0, m2 = 0;
+                double n = static_cast<double>(pit->second.size());
+                for (const auto &[p, c] : pit->second)
+                    mean += c;
+                mean /= n;
+                for (const auto &[p, c] : pit->second)
+                    m2 += (c - mean) * (c - mean);
+                if (mean > 0) {
+                    sum_cv += std::sqrt(m2 / n) / mean;
+                    n_cv += 1;
+                }
+            }
+        }
+        double n = static_cast<double>(activations.size());
+        out.avg_affected_productions = sum_aff / n;
+        out.avg_activations_per_change = sum_act / n;
+        out.avg_two_input_per_change = sum_two / n;
+        if (n_cv > 0)
+            out.per_production_cost_cv = sum_cv / n_cv;
+    }
+
+    out.avg_changes_per_cycle =
+        run.n_cycles == 0 ? 0.0
+                          : static_cast<double>(run.n_changes) /
+                                static_cast<double>(run.n_cycles);
+    out.serial_instr_per_change = run.serialInstrPerChange();
+    return out;
+}
+
+double
+productionParallelSpeedup(const CapturedRun &run, int n_processors)
+{
+    const auto &records = run.trace.records();
+    const rete::Network &net = *run.private_network;
+    std::size_t n_productions = net.program().productions().size();
+
+    // Per-cycle per-production cost. Costs on nodes used by several
+    // productions (shared constant tests) are charged to each — under
+    // production parallelism each production's matcher repeats them.
+    std::map<std::uint32_t, std::map<int, double>> cycle_prod_cost;
+    std::map<std::uint32_t, std::uint32_t> cycle_changes;
+
+    for (const ActivationRecord &rec : records) {
+        cycle_changes[rec.cycle] =
+            std::max(cycle_changes[rec.cycle], rec.change + 1);
+        if (rec.node_id < 0)
+            continue; // root dispatch handled below
+        for (int p : net.productionsOf(rec.node_id))
+            cycle_prod_cost[rec.cycle][p] += rec.cost;
+    }
+
+    // Every production's matcher must at least class-test every
+    // change (the root dispatch is replicated in an unshared world).
+    const double root_cost = 12.0;
+    double makespan = 0;
+    for (auto &[cycle, prod_cost] : cycle_prod_cost) {
+        double per_prod_floor =
+            root_cost * static_cast<double>(cycle_changes[cycle]);
+        if (n_processors <= 0 ||
+            n_processors >= static_cast<int>(n_productions)) {
+            double worst = per_prod_floor;
+            for (const auto &[p, c] : prod_cost)
+                worst = std::max(worst, c + per_prod_floor);
+            makespan += worst;
+        } else {
+            // LPT packing of per-production costs onto P processors.
+            std::vector<double> costs;
+            costs.reserve(prod_cost.size());
+            for (const auto &[p, c] : prod_cost)
+                costs.push_back(c + per_prod_floor);
+            // Unaffected productions still pay the floor.
+            double idle_floor =
+                per_prod_floor *
+                std::ceil(static_cast<double>(n_productions -
+                                              prod_cost.size()) /
+                          n_processors);
+            std::sort(costs.rbegin(), costs.rend());
+            std::vector<double> load(n_processors, 0.0);
+            for (double c : costs) {
+                auto it = std::min_element(load.begin(), load.end());
+                *it += c;
+            }
+            makespan +=
+                std::max(*std::max_element(load.begin(), load.end()),
+                         idle_floor);
+        }
+    }
+
+    if (makespan <= 0)
+        return 0;
+    return static_cast<double>(run.shared_stats.instructions) / makespan;
+}
+
+VarianceEffect
+varianceEffect(const CapturedRun &run)
+{
+    const auto &records = run.trace.records();
+    const rete::Network &net = *run.private_network;
+
+    struct ChangeInfo
+    {
+        double total = 0;
+        double crit = 0;
+        std::map<int, double> per_prod;
+    };
+    std::map<ChangeKey, ChangeInfo> changes;
+    // Records are emitted in topological order (a child is always
+    // recorded after its parent), so one forward pass computes the
+    // cost-weighted longest path.
+    std::unordered_map<std::uint64_t, double> path;
+    for (const ActivationRecord &rec : records) {
+        ChangeInfo &ci = changes[{rec.cycle, rec.change}];
+        ci.total += rec.cost;
+        double depth = rec.cost;
+        if (rec.parent != 0) {
+            auto it = path.find(rec.parent);
+            if (it != path.end())
+                depth += it->second;
+        }
+        path[rec.id] = depth;
+        ci.crit = std::max(ci.crit, depth);
+        if (rec.node_id >= 0) {
+            const auto &owners = net.productionsOf(rec.node_id);
+            if (owners.size() == 1)
+                ci.per_prod[owners[0]] += rec.cost;
+        }
+    }
+
+    struct Point
+    {
+        double concentration;
+        double parallelism;
+    };
+    std::vector<Point> points;
+    for (const auto &[key, ci] : changes) {
+        if (ci.total <= 0 || ci.per_prod.empty())
+            continue;
+        double max_share = 0;
+        for (const auto &[p, c] : ci.per_prod)
+            max_share = std::max(max_share, c / ci.total);
+        points.push_back({max_share, ci.total / std::max(1.0, ci.crit)});
+    }
+    std::sort(points.begin(), points.end(),
+              [](const Point &a, const Point &b) {
+                  return a.concentration < b.concentration;
+              });
+
+    VarianceEffect out;
+    const std::size_t q = 4;
+    for (std::size_t i = 0; i < q; ++i) {
+        std::size_t lo = points.size() * i / q;
+        std::size_t hi = points.size() * (i + 1) / q;
+        VarianceEffect::Bucket b;
+        for (std::size_t j = lo; j < hi; ++j) {
+            b.avg_concentration += points[j].concentration;
+            b.avg_parallelism += points[j].parallelism;
+            ++b.n;
+        }
+        if (b.n > 0) {
+            b.avg_concentration /= b.n;
+            b.avg_parallelism /= b.n;
+        }
+        out.buckets.push_back(b);
+    }
+    return out;
+}
+
+TrueSpeedup
+trueSpeedup(const CapturedRun &run, const SimResult &sim,
+            const MachineConfig &machine)
+{
+    TrueSpeedup out;
+    out.concurrency = sim.concurrency;
+    double serial = run.serialSeconds(machine.mips);
+    out.true_speedup = sim.seconds > 0 ? serial / sim.seconds : 0;
+    out.lost_factor = out.true_speedup > 0
+                          ? out.concurrency / out.true_speedup
+                          : 0;
+    out.sharing_loss = run.sharingLossFactor();
+
+    double raw = static_cast<double>(run.private_stats.instructions);
+    double busy_unstretched = sim.contention_slowdown > 0
+                                  ? sim.busy_instr / sim.contention_slowdown
+                                  : sim.busy_instr;
+    out.scheduling_loss = raw > 0 ? busy_unstretched / raw : 1.0;
+    double explained = out.sharing_loss * out.scheduling_loss;
+    out.sync_loss = explained > 0 ? out.lost_factor / explained : 0;
+    return out;
+}
+
+} // namespace psm::sim

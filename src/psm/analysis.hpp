@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload analyses over captured traces: the measurements the paper
+ * quotes (affected productions per change, activations per change,
+ * production-level-parallelism speed-up bound, true speed-up and its
+ * loss decomposition).
+ */
+
+#ifndef PSM_PSM_ANALYSIS_HPP
+#define PSM_PSM_ANALYSIS_HPP
+
+#include "psm/capture.hpp"
+#include "psm/simulator.hpp"
+
+namespace psm::sim {
+
+/** Per-change workload statistics (Section 4's measurements). */
+struct WorkloadStats
+{
+    double avg_affected_productions = 0; ///< paper: ~30
+    double max_affected_productions = 0;
+    double avg_activations_per_change = 0;
+    double avg_two_input_per_change = 0;
+    double avg_changes_per_cycle = 0;
+    double serial_instr_per_change = 0;  ///< paper's c1 ~ 1800
+
+    /** Coefficient of variation of per-production processing cost —
+     *  the variance the paper blames for the production-parallelism
+     *  ceiling. */
+    double per_production_cost_cv = 0;
+};
+
+/** Computes workload statistics from a captured run. */
+WorkloadStats analyzeWorkload(const CapturedRun &run);
+
+/**
+ * Speed-up achievable with production-level parallelism (Section 4):
+ * every production's processing for a cycle runs serially on its own
+ * processor; node sharing is given up (costs on nodes used by k
+ * productions are paid k times).
+ *
+ * @param n_processors 0 = unbounded; otherwise productions are packed
+ *        onto processors with greedy LPT scheduling.
+ * @return speed-up relative to the shared serial Rete baseline.
+ */
+double productionParallelSpeedup(const CapturedRun &run,
+                                 int n_processors = 0);
+
+/**
+ * The variance effect of Section 4/8: per WM change, how the
+ * concentration of processing cost in one production relates to the
+ * parallelism available in that change's activation DAG
+ * (total work / critical path). Changes are bucketed by
+ * concentration quartile; the paper's claim is that high
+ * concentration means low exploitable parallelism.
+ */
+struct VarianceEffect
+{
+    struct Bucket
+    {
+        double avg_concentration = 0; ///< max production share of work
+        double avg_parallelism = 0;   ///< work / critical path
+        int n = 0;
+    };
+
+    std::vector<Bucket> buckets; ///< 4 quartiles by concentration
+};
+
+VarianceEffect varianceEffect(const CapturedRun &run);
+
+/** True speed-up and its decomposition (Section 6's lost factor). */
+struct TrueSpeedup
+{
+    double concurrency = 0;      ///< processors kept busy
+    double true_speedup = 0;     ///< vs best serial implementation
+    double lost_factor = 0;      ///< concurrency / true_speedup
+    double sharing_loss = 0;     ///< component (1): unshared network
+    double scheduling_loss = 0;  ///< component (2): dispatch overhead
+    double sync_loss = 0;        ///< component (3): remainder
+};
+
+/** Combines a simulation result with its capture's serial baseline. */
+TrueSpeedup trueSpeedup(const CapturedRun &run, const SimResult &sim,
+                        const MachineConfig &machine);
+
+} // namespace psm::sim
+
+#endif // PSM_PSM_ANALYSIS_HPP

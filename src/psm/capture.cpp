@@ -1,0 +1,72 @@
+#include "psm/capture.hpp"
+
+#include "core/engine.hpp"
+
+namespace psm::sim {
+
+CapturedRun
+captureStreamRun(std::shared_ptr<const ops5::Program> program,
+                 const workloads::GeneratorConfig &cfg,
+                 std::uint64_t stream_seed, int batches,
+                 int changes_per_batch, double remove_fraction,
+                 rete::CostModel cost_model)
+{
+    CapturedRun run;
+    run.private_network = std::make_shared<rete::Network>(
+        program, rete::NetworkOptions::privateState());
+    run.shared_network = std::make_shared<rete::Network>(program);
+
+    rete::ReteMatcher priv(run.private_network, cost_model);
+    rete::ReteMatcher shared(run.shared_network, cost_model);
+    priv.setTraceSink(&run.trace);
+
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*program, wm, cfg, stream_seed);
+    for (int b = 0; b < batches; ++b) {
+        std::vector<ops5::WmeChange> batch =
+            stream.nextBatch(changes_per_batch, remove_fraction);
+        priv.processChanges(batch);
+        shared.processChanges(batch);
+        run.n_changes += batch.size();
+        ++run.n_cycles;
+    }
+
+    run.private_stats = priv.stats();
+    run.shared_stats = shared.stats();
+    return run;
+}
+
+CapturedRun
+captureEngineRun(std::shared_ptr<const ops5::Program> program,
+                 std::uint64_t max_cycles, rete::CostModel cost_model)
+{
+    CapturedRun run;
+    run.private_network = std::make_shared<rete::Network>(
+        program, rete::NetworkOptions::privateState());
+    run.shared_network = std::make_shared<rete::Network>(program);
+
+    // The traced run drives the recognize-act loop; conflict
+    // resolution is deterministic, so replaying the same program with
+    // the shared matcher yields the identical workload for the serial
+    // baseline.
+    {
+        rete::ReteMatcher priv(run.private_network, cost_model);
+        priv.setTraceSink(&run.trace);
+        core::Engine engine(program, priv);
+        engine.loadInitialWorkingMemory();
+        engine.run(max_cycles);
+        run.private_stats = priv.stats();
+        run.n_changes = engine.totals().wme_changes;
+        run.n_cycles = engine.totals().cycles + 1; // + initial load
+    }
+    {
+        rete::ReteMatcher shared(run.shared_network, cost_model);
+        core::Engine engine(program, shared);
+        engine.loadInitialWorkingMemory();
+        engine.run(max_cycles);
+        run.shared_stats = shared.stats();
+    }
+    return run;
+}
+
+} // namespace psm::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace capture: turns a workload (full recognize-act run or a raw
+ * change stream) into the simulator's inputs, together with the
+ * serial-Rete baseline the paper's *true speed-up* is measured
+ * against.
+ *
+ * Two matcher runs happen per capture:
+ *  - a serial Rete run over a *private-state* network with a
+ *    TraceRecorder attached: this is the parallel implementation's
+ *    workload (sharing given up, Section 6's loss factor (1));
+ *  - a serial Rete run over the *fully shared* network: the "best
+ *    known uniprocessor implementation" whose cost defines true
+ *    speed-up.
+ */
+
+#ifndef PSM_PSM_CAPTURE_HPP
+#define PSM_PSM_CAPTURE_HPP
+
+#include <memory>
+
+#include "core/matcher.hpp"
+#include "rete/matcher.hpp"
+#include "rete/network.hpp"
+#include "rete/trace.hpp"
+#include "workloads/generator.hpp"
+
+namespace psm::sim {
+
+/** Everything the experiments need about one captured workload. */
+struct CapturedRun
+{
+    rete::TraceRecorder trace; ///< private-network activation trace
+
+    /** Networks kept alive so analyses can map nodes to productions. */
+    std::shared_ptr<rete::Network> private_network;
+    std::shared_ptr<rete::Network> shared_network;
+
+    core::MatchStats private_stats; ///< cost of the unshared workload
+    core::MatchStats shared_stats;  ///< cost of the shared serial Rete
+
+    std::uint64_t n_changes = 0;
+    std::uint64_t n_cycles = 0;
+
+    /** Section 6 loss factor (1): extra work from giving up sharing. */
+    double
+    sharingLossFactor() const
+    {
+        return shared_stats.instructions == 0
+                   ? 1.0
+                   : static_cast<double>(private_stats.instructions) /
+                         static_cast<double>(shared_stats.instructions);
+    }
+
+    /** Serial Rete instructions per WM change (the paper's c1). */
+    double
+    serialInstrPerChange() const
+    {
+        return n_changes == 0
+                   ? 0.0
+                   : static_cast<double>(shared_stats.instructions) /
+                         static_cast<double>(n_changes);
+    }
+
+    /** Best-serial-implementation run time at @p mips. */
+    double
+    serialSeconds(double mips) const
+    {
+        return static_cast<double>(shared_stats.instructions) /
+               (mips * 1.0e6);
+    }
+};
+
+/**
+ * Captures a matcher-only workload: @p batches batches of
+ * @p changes_per_batch WM changes from a ChangeStream, each batch
+ * processed as one recognize-act cycle.
+ */
+CapturedRun captureStreamRun(std::shared_ptr<const ops5::Program> program,
+                             const workloads::GeneratorConfig &cfg,
+                             std::uint64_t stream_seed, int batches,
+                             int changes_per_batch,
+                             double remove_fraction = 0.3,
+                             rete::CostModel cost_model = {});
+
+/**
+ * Captures a full recognize-act run of @p program (initial WM load
+ * plus up to @p max_cycles firings under LEX).
+ */
+CapturedRun captureEngineRun(std::shared_ptr<const ops5::Program> program,
+                             std::uint64_t max_cycles,
+                             rete::CostModel cost_model = {});
+
+} // namespace psm::sim
+
+#endif // PSM_PSM_CAPTURE_HPP

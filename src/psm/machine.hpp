@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Machine model of the Production System Machine (Section 5 of the
+ * paper): a bus-based shared-memory multiprocessor with 32-64 high
+ * performance processors, per-processor caches, and a hardware task
+ * scheduler dispatching node activations in one bus cycle.
+ */
+
+#ifndef PSM_PSM_MACHINE_HPP
+#define PSM_PSM_MACHINE_HPP
+
+#include <cstdint>
+
+namespace psm::sim {
+
+/** Task-scheduler variants (Section 5, fourth requirement). */
+enum class SchedulerModel : std::uint8_t {
+    Hardware, ///< one bus cycle per dispatch, no serialisation
+    Software, ///< central queue; enqueue/dequeue serialise on a lock
+};
+
+/**
+ * Parameters of the simulated multiprocessor.
+ *
+ * All costs are expressed in machine instructions of the individual
+ * processors, matching the cost model the activation traces carry.
+ */
+struct MachineConfig
+{
+    int n_processors = 32;
+    double mips = 2.0; ///< per-processor speed, million instr/sec
+
+    SchedulerModel scheduler = SchedulerModel::Hardware;
+
+    /** Dispatch cost charged to the task itself (hardware scheduler:
+     *  roughly one bus cycle). */
+    double hw_dispatch_instr = 2.0;
+
+    /** Critical-section length of a software queue operation; every
+     *  dispatch serialises on this, which is exactly why the paper
+     *  wants the scheduler in hardware. */
+    double sw_dispatch_instr = 30.0;
+
+    /** Serial work between match phases (conflict resolution + act).
+     *  The paper parallelises only match; this is the Amdahl term at
+     *  each cycle barrier. */
+    double cycle_overhead_instr = 150.0;
+
+    /** Number of independent software queues when scheduler ==
+     *  Software (the paper's "multiple software task schedulers"
+     *  alternative, Section 5). Dispatches serialise per queue;
+     *  activations map to queues by node id. */
+    int n_software_queues = 1;
+
+    // --- hierarchical multiprocessor (Section 5's proposal for
+    // 100-1000 processors) ---------------------------------------------
+
+    /** Number of clusters the processors are split into. 1 = the
+     *  flat bus-based machine of the paper's main proposal. */
+    int n_clusters = 1;
+
+    /** Extra latency (instructions) when an activation runs in a
+     *  different cluster than the activation that spawned it —
+     *  crossing the inter-cluster interconnect. */
+    double inter_cluster_latency_instr = 40.0;
+
+    /** Enforce the per-node interference rules (join opposite-side
+     *  exclusion, exclusive memory/not/terminal nodes). Turning this
+     *  off simulates an (unsafe) scheduler with no interference
+     *  control — an upper bound that quantifies what the hardware
+     *  scheduler's guarantee costs in concurrency. */
+    bool enforce_node_interference = true;
+
+    // --- memory / bus contention (the paper: "a simple model of
+    // memory-contention is also included") -----------------------------
+
+    bool model_contention = true;
+
+    /** Fraction of memory references hitting the private cache. The
+     *  paper argues a single bus suffices for ~32 processors
+     *  "provided that reasonable cache-hit ratios are obtained". */
+    double cache_hit_ratio = 0.92;
+
+    /** Memory references per instruction (loads/compares dominate). */
+    double refs_per_instr = 0.35;
+
+    /** Bus capacity in shared-memory references per second. */
+    double bus_refs_per_sec = 4.0e6;
+
+    /** Seconds per instruction at the configured MIPS. */
+    double
+    secondsPerInstr() const
+    {
+        return 1.0 / (mips * 1.0e6);
+    }
+};
+
+} // namespace psm::sim
+
+#endif // PSM_PSM_MACHINE_HPP

@@ -1,0 +1,136 @@
+#include "psm/rivals.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace psm::sim {
+
+namespace {
+
+/** Falls back to the paper's c1 when a trace measured nothing. */
+double
+instrPerChange(const WorkloadStats &w)
+{
+    return w.serial_instr_per_change > 0 ? w.serial_instr_per_change
+                                         : 1800.0;
+}
+
+} // namespace
+
+RivalEstimate
+dadoRete(const WorkloadStats &w)
+{
+    RivalEstimate e;
+    e.machine = "DADO";
+    e.algorithm = "Rete";
+    e.n_processors = 16384;
+    e.processor_mips = 0.5;
+    e.paper_value = 175.0;
+
+    // The prototype's Intel 8751 processing elements are 8-bit
+    // microcontrollers interpreting OPS5 structures out of 8K external
+    // RAM: each "machine instruction" of the cost model expands to
+    // several byte-wide, interpreted steps. Gupta's own DADO analysis
+    // (ICPP'84) arrives at ~175 wme-changes/sec; that corresponds to
+    // an expansion factor near 12 with roughly 8-fold effective
+    // parallelism inside the WM-subtrees, which is what we encode.
+    const double expansion_8bit = 12.0;
+    const double subtree_parallelism = 7.5;
+
+    double instr = instrPerChange(w) * expansion_8bit;
+    e.wme_changes_per_sec =
+        e.processor_mips * 1.0e6 * subtree_parallelism / instr;
+    e.notes = "tree machine; PM-level processors serialise partitions";
+    return e;
+}
+
+RivalEstimate
+dadoTreat(const WorkloadStats &w)
+{
+    RivalEstimate e = dadoRete(w);
+    e.algorithm = "TREAT";
+    e.paper_value = 215.0;
+    // TREAT recomputes joins but exploits the WM-subtree to test
+    // condition elements associatively and skips beta-state
+    // maintenance; on DADO this nets out slightly ahead of Rete
+    // (215 vs 175 in Miranker's estimate) — a ~1.23 factor.
+    e.wme_changes_per_sec *= 215.0 / 175.0;
+    e.notes = "no beta state; joins recomputed associatively in subtree";
+    return e;
+}
+
+RivalEstimate
+nonVon(const WorkloadStats &w)
+{
+    RivalEstimate e;
+    e.machine = "NON-VON";
+    e.algorithm = "Rete";
+    e.n_processors = 16384 + 32;
+    e.processor_mips = 3.0;
+    e.paper_value = 2000.0;
+
+    // Same algorithm family as the DADO port, but the SPEs/LPEs run
+    // at 3 MIPS (the paper itself attributes the gap "partly to the
+    // fact that the NON-VON processing elements are six times
+    // faster") and the LPE/SPE split supports MSIMD associative
+    // probing, roughly halving the interpretation expansion.
+    const double expansion = 6.0;
+    const double parallelism = 8.0;
+
+    double instr = instrPerChange(w) * expansion;
+    e.wme_changes_per_sec =
+        e.processor_mips * 1.0e6 * parallelism / instr;
+    e.notes = "MSIMD tree; 32-bit LPEs drive 8-bit SPE leaves";
+    return e;
+}
+
+RivalEstimate
+oflazer(const WorkloadStats &w)
+{
+    RivalEstimate e;
+    e.machine = "Oflazer";
+    e.algorithm = "full-state (all CE combinations)";
+    e.n_processors = 512;
+    e.processor_mips = 7.5; // "5-10 MIPS each"
+    e.paper_value = 5750.0; // midpoint of 4500-7000
+
+    // Storing tokens for ALL combinations of condition elements makes
+    // each WM change's interactions independent (high parallelism
+    // within one change) but inflates state-update work (~1.6x) and
+    // adds garbage-collection overhead (~1.25x); and the design
+    // processes one WM change at a time (the drawback Section 7.5
+    // calls "quite serious"), capping parallelism at the per-change
+    // interaction count.
+    const double state_inflation = 1.6;
+    const double gc_overhead = 1.25;
+    const double per_change_parallelism = 2.4;
+
+    double instr = instrPerChange(w) * state_inflation * gc_overhead;
+    e.wme_changes_per_sec =
+        e.processor_mips * 1.0e6 * per_change_parallelism / instr;
+    e.notes = "tree of powerful processors; no multi-change overlap";
+    return e;
+}
+
+RivalEstimate
+pesa1(const WorkloadStats &w)
+{
+    (void)w;
+    RivalEstimate e;
+    e.machine = "PESA-1";
+    e.algorithm = "dataflow Rete";
+    e.n_processors = 0;
+    e.processor_mips = 0;
+    e.wme_changes_per_sec = std::numeric_limits<double>::quiet_NaN();
+    e.paper_value = std::numeric_limits<double>::quiet_NaN();
+    e.notes = "no performance estimates available (Section 7.4)";
+    return e;
+}
+
+std::vector<RivalEstimate>
+allRivals(const WorkloadStats &w)
+{
+    return {dadoRete(w), dadoTreat(w), nonVon(w), oflazer(w), pesa1(w)};
+}
+
+} // namespace psm::sim

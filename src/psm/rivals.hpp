@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic models of the rival architectures of Section 7: DADO
+ * (Rete and TREAT), NON-VON, Oflazer's machine, and PESA-1.
+ *
+ * None of these machines was ever built at the scale the papers
+ * describe; the numbers in Section 7 are the original authors'
+ * predictions. We reconstruct each prediction from the published
+ * structural parameters (processor count, per-processor MIPS, word
+ * width, partitioning scheme) and the workload statistics measured on
+ * our traces. Constants that the original analyses left implicit
+ * (interpretation overhead of the 8-bit prototype processors,
+ * effective subtree parallelism, Oflazer's garbage-collection factor)
+ * are documented at their definition and pinned by tests to keep each
+ * model inside the published range.
+ */
+
+#ifndef PSM_PSM_RIVALS_HPP
+#define PSM_PSM_RIVALS_HPP
+
+#include <string>
+#include <vector>
+
+#include "psm/analysis.hpp"
+
+namespace psm::sim {
+
+/** One machine's predicted performance on the measured workload. */
+struct RivalEstimate
+{
+    std::string machine;
+    std::string algorithm;
+    int n_processors = 0;
+    double processor_mips = 0;
+    double wme_changes_per_sec = 0; ///< NaN when no prediction exists
+    double paper_value = 0;         ///< Section 7's published figure
+    std::string notes;
+};
+
+/** DADO: 16K 0.5-MIPS 8-bit processors, 32 partitions, Rete. */
+RivalEstimate dadoRete(const WorkloadStats &w);
+
+/** DADO running TREAT (no beta state, recomputed joins). */
+RivalEstimate dadoTreat(const WorkloadStats &w);
+
+/** NON-VON: 32 LPEs + 16K SPEs at 3 MIPS. */
+RivalEstimate nonVon(const WorkloadStats &w);
+
+/** Oflazer: 512 16-bit 5-10 MIPS processors, full-state algorithm. */
+RivalEstimate oflazer(const WorkloadStats &w);
+
+/** PESA-1: dataflow; the paper had no numbers to compare. */
+RivalEstimate pesa1(const WorkloadStats &w);
+
+/** All Section 7 rivals in the paper's order. */
+std::vector<RivalEstimate> allRivals(const WorkloadStats &w);
+
+} // namespace psm::sim
+
+#endif // PSM_PSM_RIVALS_HPP

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for the Production System Machine simulator.
+ */
+
+#ifndef PSM_PSM_SIM_HPP
+#define PSM_PSM_SIM_HPP
+
+#include "psm/analysis.hpp"   // IWYU pragma: export
+#include "psm/capture.hpp"    // IWYU pragma: export
+#include "psm/machine.hpp"    // IWYU pragma: export
+#include "psm/rivals.hpp"     // IWYU pragma: export
+#include "psm/simulator.hpp"  // IWYU pragma: export
+#include "psm/trace_io.hpp"   // IWYU pragma: export
+
+#endif // PSM_PSM_SIM_HPP

@@ -1,0 +1,383 @@
+#include "psm/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace psm::sim {
+
+using rete::ActivationRecord;
+using rete::NodeKind;
+using rete::Side;
+
+Simulator::Simulator(const rete::TraceRecorder &trace) : trace_(trace)
+{
+    const auto &marks = trace.cycles();
+    const auto &records = trace.records();
+    for (std::size_t i = 0; i < marks.size(); ++i) {
+        std::size_t first = marks[i].first_record;
+        std::size_t last = i + 1 < marks.size() ? marks[i + 1].first_record
+                                                : records.size();
+        spans_.push_back({first, last - first, marks[i].n_changes});
+    }
+    if (marks.empty() && !records.empty())
+        spans_.push_back({0, records.size(), 0});
+}
+
+namespace {
+
+/** Per-node interference bookkeeping during list scheduling. */
+struct NodeState
+{
+    double left_end = 0;  ///< latest end of a left-side activation
+    double right_end = 0; ///< latest end of a right-side activation
+    double busy_end = 0;  ///< exclusive nodes: latest end overall
+};
+
+bool
+isExclusive(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::AlphaMemory:
+      case NodeKind::BetaMemory:
+      case NodeKind::Not:
+      case NodeKind::Terminal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+double
+Simulator::simulateOnce(const MachineConfig &machine, double slowdown,
+                        std::vector<TaskSpan> *spans) const
+{
+    if (spans) {
+        spans->clear();
+        spans->reserve(trace_.records().size());
+    }
+    const auto &records = trace_.records();
+    double now = 0;
+
+    const int n_clusters = std::max(1, machine.n_clusters);
+    const int n_queues = std::max(1, machine.n_software_queues);
+    const int n_processors = std::max(1, machine.n_processors);
+
+    for (const CycleSpan &span : spans_) {
+        // Serial inter-cycle work: conflict resolution + act.
+        now += machine.cycle_overhead_instr * slowdown;
+
+        // Dependency bookkeeping within the cycle.
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+            children;
+        for (std::size_t i = span.first; i < span.first + span.count;
+             ++i) {
+            const ActivationRecord &rec = records[i];
+            if (rec.parent != 0)
+                children[rec.parent].push_back(i);
+        }
+
+        // Ready heap ordered by ready time; entries carry the cluster
+        // of the spawning activation (-1 for change roots).
+        struct Ready
+        {
+            double at;
+            std::size_t idx;
+            int parent_cluster;
+
+            bool
+            operator>(const Ready &o) const
+            {
+                return at > o.at;
+            }
+        };
+        std::priority_queue<Ready, std::vector<Ready>, std::greater<>>
+            ready;
+        for (std::size_t i = span.first; i < span.first + span.count;
+             ++i) {
+            if (records[i].parent == 0)
+                ready.push({now, i, -1});
+        }
+
+        // Per-cluster processor pools (min-heaps of free times).
+        std::vector<std::priority_queue<double, std::vector<double>,
+                                        std::greater<>>>
+            clusters(n_clusters);
+        for (int p = 0; p < n_processors; ++p)
+            clusters[p % n_clusters].push(now);
+
+        std::unordered_map<int, NodeState> node_state;
+        std::vector<double> sched_free(n_queues, now);
+        double cycle_end = now;
+
+        while (!ready.empty()) {
+            Ready r = ready.top();
+            ready.pop();
+            const ActivationRecord &rec = records[r.idx];
+
+            // Pick the cluster giving the earliest start: the parent's
+            // cluster is latency-free, others pay the interconnect.
+            int best_cluster = 0;
+            double best_avail = 1e300;
+            for (int c = 0; c < n_clusters; ++c) {
+                if (clusters[c].empty())
+                    continue;
+                double penalty =
+                    (r.parent_cluster >= 0 && c != r.parent_cluster)
+                        ? machine.inter_cluster_latency_instr * slowdown
+                        : 0.0;
+                double avail =
+                    std::max(r.at + penalty, clusters[c].top() + penalty);
+                if (avail < best_avail ||
+                    (avail == best_avail && c == r.parent_cluster)) {
+                    best_avail = avail;
+                    best_cluster = c;
+                }
+            }
+            clusters[best_cluster].pop();
+            double start = best_avail;
+
+            // Interference constraints the hardware scheduler enforces.
+            if (machine.enforce_node_interference && rec.node_id >= 0) {
+                NodeState &ns = node_state[rec.node_id];
+                if (rec.kind == NodeKind::Join) {
+                    start = std::max(start, rec.side == Side::Left
+                                                ? ns.right_end
+                                                : ns.left_end);
+                } else if (isExclusive(rec.kind)) {
+                    start = std::max(start, ns.busy_end);
+                }
+            }
+
+            double dispatch =
+                machine.scheduler == SchedulerModel::Hardware
+                    ? machine.hw_dispatch_instr
+                    : machine.sw_dispatch_instr;
+            if (machine.scheduler == SchedulerModel::Software) {
+                // The dequeue critical section serialises dispatches
+                // within one queue; activations hash to queues by
+                // node (the "multiple software task schedulers" of
+                // Section 5).
+                int q = rec.node_id >= 0 ? rec.node_id % n_queues : 0;
+                start = std::max(start, sched_free[q]);
+                sched_free[q] = start + dispatch * slowdown;
+                start = sched_free[q];
+            }
+
+            double dur = (rec.cost + (machine.scheduler ==
+                                              SchedulerModel::Hardware
+                                          ? dispatch
+                                          : 0.0)) *
+                         slowdown;
+            double end = start + dur;
+
+            if (rec.node_id >= 0) {
+                NodeState &ns = node_state[rec.node_id];
+                if (rec.kind == NodeKind::Join) {
+                    double &side_end = rec.side == Side::Left
+                                           ? ns.left_end
+                                           : ns.right_end;
+                    side_end = std::max(side_end, end);
+                } else if (isExclusive(rec.kind)) {
+                    ns.busy_end = end;
+                }
+            }
+
+            clusters[best_cluster].push(end);
+            if (spans)
+                spans->push_back({rec.id, start, end, best_cluster});
+            cycle_end = std::max(cycle_end, end);
+
+            auto it = children.find(rec.id);
+            if (it != children.end()) {
+                for (std::size_t child : it->second)
+                    ready.push({end, child, best_cluster});
+            }
+        }
+        now = cycle_end;
+    }
+    return now;
+}
+
+SimResult
+Simulator::run(const MachineConfig &machine) const
+{
+    std::vector<TaskSpan> unused;
+    return run(machine, unused);
+}
+
+SimResult
+Simulator::run(const MachineConfig &machine,
+               std::vector<TaskSpan> &spans) const
+{
+    const auto &records = trace_.records();
+
+    double raw_busy = 0;
+    for (const ActivationRecord &rec : records)
+        raw_busy += rec.cost;
+
+    double dispatch_per_task =
+        machine.scheduler == SchedulerModel::Hardware
+            ? machine.hw_dispatch_instr
+            : machine.sw_dispatch_instr;
+    double busy_per_slowdown =
+        raw_busy + dispatch_per_task * static_cast<double>(records.size());
+
+    double slowdown = 1.0;
+    double makespan = simulateOnce(machine, slowdown, &spans);
+    double utilization = 0;
+
+    if (machine.model_contention) {
+        for (int iter = 0; iter < 6; ++iter) {
+            // Real instruction throughput at this stretch factor.
+            double seconds = makespan * machine.secondsPerInstr();
+            double instr_per_sec =
+                seconds > 0 ? busy_per_slowdown / seconds : 0;
+            double demand = instr_per_sec * machine.refs_per_instr *
+                            (1.0 - machine.cache_hit_ratio);
+            utilization = demand / machine.bus_refs_per_sec;
+            double target = std::max(1.0, utilization);
+            if (std::abs(target - slowdown) < 0.02 * slowdown)
+                break;
+            // Damped update for stability.
+            slowdown = 0.5 * slowdown + 0.5 * target;
+            makespan = simulateOnce(machine, slowdown, &spans);
+        }
+    }
+
+    SimResult res;
+    res.makespan_instr = makespan;
+    res.busy_instr = busy_per_slowdown * slowdown;
+    res.concurrency = makespan > 0 ? res.busy_instr / makespan : 0;
+    res.seconds = makespan * machine.secondsPerInstr();
+    res.contention_slowdown = slowdown;
+    res.bus_utilization = utilization;
+    res.n_activations = records.size();
+    res.n_cycles = spans_.size();
+    for (const CycleSpan &span : spans_)
+        res.n_changes += span.n_changes;
+    if (res.seconds > 0) {
+        res.wme_changes_per_sec =
+            static_cast<double>(res.n_changes) / res.seconds;
+        res.cycles_per_sec =
+            static_cast<double>(res.n_cycles) / res.seconds;
+    }
+    return res;
+}
+
+rete::TraceRecorder
+mergeCycles(const rete::TraceRecorder &trace, int k)
+{
+    rete::TraceRecorder merged;
+    const auto &marks = trace.cycles();
+    const auto &records = trace.records();
+    if (k <= 1) {
+        // Identity: preserve the original cycle structure (the marks
+        // index into the record stream, so interleave the copies).
+        for (std::size_t m = 0; m < marks.size(); ++m) {
+            std::size_t end = m + 1 < marks.size()
+                                  ? marks[m + 1].first_record
+                                  : records.size();
+            merged.beginCycle(marks[m].cycle, marks[m].n_changes);
+            for (std::size_t i = marks[m].first_record; i < end; ++i)
+                merged.record(records[i]);
+        }
+        return merged;
+    }
+    if (marks.empty()) {
+        merged.beginCycle(1, 0);
+        for (const ActivationRecord &rec : records)
+            merged.record(rec);
+        return merged;
+    }
+
+    std::uint32_t out_cycle = 0;
+    for (std::size_t g = 0; g < marks.size();
+         g += static_cast<std::size_t>(k)) {
+        std::size_t last_mark =
+            std::min(marks.size(), g + static_cast<std::size_t>(k));
+        std::size_t first_rec = marks[g].first_record;
+        std::size_t end_rec = last_mark < marks.size()
+                                  ? marks[last_mark].first_record
+                                  : records.size();
+        std::size_t n_changes = 0;
+        for (std::size_t m = g; m < last_mark; ++m)
+            n_changes += marks[m].n_changes;
+
+        ++out_cycle;
+        merged.beginCycle(out_cycle, n_changes);
+        for (std::size_t i = first_rec; i < end_rec; ++i) {
+            ActivationRecord rec = records[i];
+            rec.cycle = out_cycle;
+            merged.record(rec);
+        }
+    }
+    return merged;
+}
+
+
+rete::TraceRecorder
+coalesceChains(const rete::TraceRecorder &trace, std::uint32_t min_cost)
+{
+    const auto &marks = trace.cycles();
+    const auto &records = trace.records();
+    rete::TraceRecorder out;
+
+    for (std::size_t m = 0; m < marks.size(); ++m) {
+        std::size_t first = marks[m].first_record;
+        std::size_t end = m + 1 < marks.size() ? marks[m + 1].first_record
+                                               : records.size();
+        out.beginCycle(marks[m].cycle, marks[m].n_changes);
+
+        // Work on a mutable copy of the cycle's records.
+        std::vector<rete::ActivationRecord> recs(
+            records.begin() + static_cast<std::ptrdiff_t>(first),
+            records.begin() + static_cast<std::ptrdiff_t>(end));
+
+        // id -> index, child lists.
+        std::unordered_map<std::uint64_t, std::size_t> index;
+        for (std::size_t i = 0; i < recs.size(); ++i)
+            index[recs[i].id] = i;
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+            children;
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            if (recs[i].parent != 0 && index.count(recs[i].parent))
+                children[recs[i].parent].push_back(i);
+        }
+
+        std::vector<bool> dead(recs.size(), false);
+        // Records are topologically ordered; fold single-child chains
+        // front to back until each survivor reaches min_cost.
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            if (dead[i])
+                continue;
+            while (recs[i].cost < min_cost) {
+                auto it = children.find(recs[i].id);
+                if (it == children.end() || it->second.size() != 1)
+                    break;
+                std::size_t c = it->second[0];
+                if (dead[c])
+                    break;
+                recs[i].cost += recs[c].cost;
+                dead[c] = true;
+                // Adopt the grandchildren.
+                auto gc = children.find(recs[c].id);
+                children[recs[i].id] =
+                    gc == children.end() ? std::vector<std::size_t>{}
+                                         : gc->second;
+                for (std::size_t g : children[recs[i].id])
+                    recs[g].parent = recs[i].id;
+            }
+        }
+
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            if (!dead[i])
+                out.record(recs[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace psm::sim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Trace-driven discrete-event simulator of the Production System
+ * Machine.
+ *
+ * Reimplements the paper's methodology (Section 6): inputs are (1) a
+ * detailed node-activation trace with dependencies from an actual
+ * match run, (2) the cost model embedded in the trace's per-activation
+ * instruction counts, and (3) a machine specification (processors,
+ * scheduler type, bus parameters). Outputs are concurrency, execution
+ * speed, speed-up, and overhead decomposition.
+ *
+ * Scheduling is greedy list scheduling over the activation DAG with
+ * three resource constraints:
+ *  - P processors;
+ *  - per-node interference rules (join nodes: same side may overlap,
+ *    opposite sides exclude each other; memory / not / terminal
+ *    nodes: exclusive) — the invariant the paper's hardware scheduler
+ *    enforces;
+ *  - the scheduler itself (software queues serialise dispatches).
+ *
+ * Memory contention uses the paper's style of simple model: the run
+ * is simulated, average bus demand is computed from the achieved
+ * concurrency, and if demand exceeds bus capacity all durations are
+ * stretched and the run re-simulated (two passes converge for the
+ * regimes of interest).
+ */
+
+#ifndef PSM_PSM_SIMULATOR_HPP
+#define PSM_PSM_SIMULATOR_HPP
+
+#include <vector>
+
+#include "psm/machine.hpp"
+#include "rete/trace.hpp"
+
+namespace psm::sim {
+
+/** Results of simulating one trace on one machine configuration. */
+struct SimResult
+{
+    double makespan_instr = 0;   ///< end-to-end time, instruction units
+    double busy_instr = 0;       ///< total processor-busy instructions
+    double concurrency = 0;      ///< busy / makespan: avg processors used
+    double seconds = 0;          ///< makespan at the configured MIPS
+    double wme_changes_per_sec = 0;
+    double cycles_per_sec = 0;   ///< recognize-act cycles (firings)/sec
+    double bus_utilization = 0;  ///< demand / capacity at convergence
+    double contention_slowdown = 1.0;
+    std::uint64_t n_activations = 0;
+    std::uint64_t n_changes = 0;
+    std::uint64_t n_cycles = 0;
+};
+
+/** One scheduled activation in the simulated timeline. */
+struct TaskSpan
+{
+    std::uint64_t activation_id = 0;
+    double start = 0; ///< instruction-time units
+    double end = 0;
+    int cluster = 0;
+};
+
+/**
+ * The trace-driven simulator.
+ *
+ * The trace is borrowed; one Simulator can run many machine
+ * configurations over the same workload (that is the point of the
+ * trace-driven design).
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const rete::TraceRecorder &trace);
+
+    /** Simulates the whole trace on @p machine. */
+    SimResult run(const MachineConfig &machine) const;
+
+    /**
+     * Like run(), additionally returning the full schedule (one span
+     * per activation, at the converged contention slowdown) for
+     * timeline analyses and schedule-validity checks.
+     */
+    SimResult run(const MachineConfig &machine,
+                  std::vector<TaskSpan> &spans) const;
+
+  private:
+    double simulateOnce(const MachineConfig &machine, double slowdown,
+                        std::vector<TaskSpan> *spans = nullptr) const;
+
+    const rete::TraceRecorder &trace_;
+
+    /** Records grouped per recognize-act cycle (indices into the
+     *  trace's record vector). */
+    struct CycleSpan
+    {
+        std::size_t first;
+        std::size_t count;
+        std::size_t n_changes;
+    };
+
+    std::vector<CycleSpan> spans_;
+};
+
+/**
+ * Merges every @p k consecutive cycles of @p trace into one, modelling
+ * the "parallel firings" variants of Figures 6-1/6-2 (multiple rule
+ * firings' WM changes processed within one match phase).
+ */
+rete::TraceRecorder mergeCycles(const rete::TraceRecorder &trace, int k);
+
+/**
+ * Coarsens task granularity: repeatedly folds an activation's ONLY
+ * child into it until every task reaches @p min_cost instructions (or
+ * no single-child chain remains). Dependencies are preserved — only
+ * linear chains merge, so the DAG's parallel structure survives while
+ * the scheduler sees fewer, bigger tasks.
+ *
+ * This realises Section 8's granularity trade-off: finer tasks expose
+ * more parallelism but pay more scheduling overhead; coarser tasks
+ * amortise dispatch but lengthen serial chains.
+ */
+rete::TraceRecorder coalesceChains(const rete::TraceRecorder &trace,
+                                   std::uint32_t min_cost);
+
+} // namespace psm::sim
+
+#endif // PSM_PSM_SIMULATOR_HPP

@@ -1,0 +1,106 @@
+#include "psm/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace psm::sim {
+
+namespace {
+
+constexpr const char *kMagic = "# psm-trace v1";
+
+} // namespace
+
+bool
+saveTrace(const rete::TraceRecorder &trace, std::ostream &out)
+{
+    out << kMagic << "\n";
+    const auto &marks = trace.cycles();
+    const auto &records = trace.records();
+    for (std::size_t m = 0; m < marks.size(); ++m) {
+        std::size_t end = m + 1 < marks.size()
+                              ? marks[m + 1].first_record
+                              : records.size();
+        out << "C " << marks[m].cycle << " " << marks[m].n_changes
+            << "\n";
+        for (std::size_t i = marks[m].first_record; i < end; ++i) {
+            const rete::ActivationRecord &r = records[i];
+            out << "A " << r.id << " " << r.parent << " " << r.node_id
+                << " " << static_cast<int>(r.kind) << " "
+                << static_cast<int>(r.side) << " " << (r.insert ? 1 : 0)
+                << " " << r.cost << " " << r.change << "\n";
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+saveTraceFile(const rete::TraceRecorder &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    return out && saveTrace(trace, out);
+}
+
+rete::TraceRecorder
+loadTrace(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        throw std::runtime_error("not a psm-trace file");
+
+    rete::TraceRecorder trace;
+    std::uint32_t current_cycle = 0;
+    int line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char tag;
+        ls >> tag;
+        if (tag == 'C') {
+            std::uint32_t cycle;
+            std::size_t n_changes;
+            if (!(ls >> cycle >> n_changes))
+                throw std::runtime_error(
+                    "bad cycle line " + std::to_string(line_no));
+            current_cycle = cycle;
+            trace.beginCycle(cycle, n_changes);
+        } else if (tag == 'A') {
+            rete::ActivationRecord r;
+            int kind, side, insert;
+            if (!(ls >> r.id >> r.parent >> r.node_id >> kind >> side >>
+                  insert >> r.cost >> r.change))
+                throw std::runtime_error(
+                    "bad activation line " + std::to_string(line_no));
+            if (kind < 0 ||
+                kind > static_cast<int>(rete::NodeKind::Terminal))
+                throw std::runtime_error(
+                    "bad node kind on line " + std::to_string(line_no));
+            if (side < 0 || side > 1)
+                throw std::runtime_error(
+                    "bad side on line " + std::to_string(line_no));
+            r.kind = static_cast<rete::NodeKind>(kind);
+            r.side = static_cast<rete::Side>(side);
+            r.insert = insert != 0;
+            r.cycle = current_cycle;
+            trace.record(r);
+        } else {
+            throw std::runtime_error("unknown tag on line " +
+                                     std::to_string(line_no));
+        }
+    }
+    return trace;
+}
+
+rete::TraceRecorder
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+    return loadTrace(in);
+}
+
+} // namespace psm::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Activation-trace serialisation.
+ *
+ * Traces are the interface between match runs and the PSM simulator
+ * (the paper's own methodology). Persisting them decouples the two:
+ * capture once on a big workload, sweep machine configurations later
+ * or elsewhere. The format is a line-oriented text format:
+ *
+ *     # psm-trace v1
+ *     C <cycle> <n_changes>
+ *     A <id> <parent> <node_id> <kind> <side> <insert> <cost> <change>
+ *
+ * with one C line starting each recognize-act cycle and one A line
+ * per activation, in trace order.
+ */
+
+#ifndef PSM_PSM_TRACE_IO_HPP
+#define PSM_PSM_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "rete/trace.hpp"
+
+namespace psm::sim {
+
+/** Writes @p trace to @p out. @return false on stream failure. */
+bool saveTrace(const rete::TraceRecorder &trace, std::ostream &out);
+
+/** Convenience: writes to @p path. */
+bool saveTraceFile(const rete::TraceRecorder &trace,
+                   const std::string &path);
+
+/**
+ * Parses a trace written by saveTrace.
+ * @throws std::runtime_error on malformed input (bad magic, bad
+ *         record fields, out-of-range enum values).
+ */
+rete::TraceRecorder loadTrace(std::istream &in);
+
+/** Convenience: reads from @p path. */
+rete::TraceRecorder loadTraceFile(const std::string &path);
+
+} // namespace psm::sim
+
+#endif // PSM_PSM_TRACE_IO_HPP

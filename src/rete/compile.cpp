@@ -1,0 +1,127 @@
+#include "rete/compile.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace psm::rete {
+
+namespace {
+
+/** Canonical order so structurally equal CEs share alpha chains. */
+void
+canonicalize(std::vector<AlphaTest> &tests)
+{
+    std::stable_sort(tests.begin(), tests.end(),
+                     [](const AlphaTest &a, const AlphaTest &b) {
+                         if (a.field != b.field)
+                             return a.field < b.field;
+                         if (a.kind != b.kind)
+                             return a.kind < b.kind;
+                         return a.pred < b.pred;
+                     });
+}
+
+} // namespace
+
+CompiledLhs
+compileLhs(const ops5::Production &production)
+{
+    CompiledLhs out;
+    out.production = &production;
+
+    // Variable -> (positive ordinal, field) of its defining occurrence.
+    std::map<ops5::SymbolId, std::pair<int, int>> global;
+    int positive_ordinal = 0;
+
+    for (const ops5::ConditionElement &ce : production.lhs()) {
+        CompiledCe cce;
+        cce.cls = ce.cls;
+        cce.negated = ce.negated;
+
+        // Variable -> field of its defining occurrence within this CE.
+        // Resolved in a pre-pass over the whole CE: the defining
+        // occurrence is the first equality occurrence in field order,
+        // so a predicate occurrence in an earlier FIELD may still use
+        // a variable bound at a later field (condition elements are
+        // conjunctions; occurrence order carries no meaning).
+        std::map<ops5::SymbolId, int> local;
+        for (const ops5::FieldTests &ft : ce.fields) {
+            for (const ops5::AtomicTest &t : ft.tests) {
+                if (t.operand == ops5::OperandKind::Variable &&
+                    t.pred == ops5::Predicate::Eq &&
+                    global.find(t.var) == global.end()) {
+                    local.try_emplace(t.var, ft.field);
+                }
+            }
+        }
+        // Which local definitions have been consumed (skipped) so a
+        // second Eq occurrence at the same field still emits a test.
+        std::map<ops5::SymbolId, bool> defined;
+
+        for (const ops5::FieldTests &ft : ce.fields) {
+            for (const ops5::AtomicTest &t : ft.tests) {
+                switch (t.operand) {
+                  case ops5::OperandKind::Constant: {
+                    AlphaTest at;
+                    at.kind = AlphaTest::Kind::Constant;
+                    at.pred = t.pred;
+                    at.field = ft.field;
+                    at.constant = t.constant;
+                    cce.alpha_tests.push_back(std::move(at));
+                    break;
+                  }
+                  case ops5::OperandKind::ConstantSet: {
+                    AlphaTest at;
+                    at.kind = AlphaTest::Kind::ConstantSet;
+                    at.pred = t.pred;
+                    at.field = ft.field;
+                    at.set = t.set;
+                    cce.alpha_tests.push_back(std::move(at));
+                    break;
+                  }
+                  case ops5::OperandKind::Variable: {
+                    auto g = global.find(t.var);
+                    if (g != global.end()) {
+                        JoinTest jt;
+                        jt.pred = t.pred;
+                        jt.wme_field = ft.field;
+                        jt.token_ce = g->second.first;
+                        jt.token_field = g->second.second;
+                        cce.join_tests.push_back(jt);
+                        break;
+                    }
+                    auto l = local.find(t.var);
+                    if (l == local.end())
+                        break; // unbound non-Eq: parser rejects this
+                    if (l->second == ft.field &&
+                        t.pred == ops5::Predicate::Eq &&
+                        !defined[t.var]) {
+                        // The defining occurrence: no test emitted.
+                        defined[t.var] = true;
+                        break;
+                    }
+                    AlphaTest at;
+                    at.kind = AlphaTest::Kind::IntraField;
+                    at.pred = t.pred;
+                    at.field = ft.field;
+                    at.other_field = l->second;
+                    cce.alpha_tests.push_back(std::move(at));
+                    break;
+                  }
+                }
+            }
+        }
+
+        canonicalize(cce.alpha_tests);
+
+        if (!ce.negated) {
+            for (const auto &[var, field] : local)
+                global.try_emplace(var, positive_ordinal, field);
+            ++positive_ordinal;
+        }
+        out.ces.push_back(std::move(cce));
+    }
+    return out;
+}
+
+} // namespace psm::rete

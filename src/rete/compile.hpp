@@ -1,0 +1,51 @@
+/**
+ * @file
+ * LHS compilation shared by every matcher.
+ *
+ * Turns each production's condition elements into (a) alpha tests a
+ * WME can be checked against in isolation and (b) join tests that
+ * need binding context from earlier condition elements. Both the
+ * shared-network Rete builder and the TREAT matcher consume this,
+ * so variable-binding semantics live in exactly one place.
+ */
+
+#ifndef PSM_RETE_COMPILE_HPP
+#define PSM_RETE_COMPILE_HPP
+
+#include <vector>
+
+#include "ops5/production.hpp"
+#include "rete/nodes.hpp"
+
+namespace psm::rete {
+
+/** One condition element lowered to alpha + join tests. */
+struct CompiledCe
+{
+    ops5::SymbolId cls = ops5::kNilSymbol;
+    bool negated = false;
+    std::vector<AlphaTest> alpha_tests; ///< canonical (sorted) order
+    std::vector<JoinTest> join_tests;   ///< vs earlier positive CEs
+};
+
+/** A production's whole LHS in lowered form. */
+struct CompiledLhs
+{
+    const ops5::Production *production = nullptr;
+    std::vector<CompiledCe> ces;
+};
+
+/**
+ * Lowers @p production's LHS.
+ *
+ * Binding rules (OPS5): the first occurrence of a variable in a
+ * positive CE binds it for later CEs; a variable first seen inside a
+ * negated CE is local to that CE; repeated occurrences within one CE
+ * become IntraField alpha tests; occurrences of variables bound by
+ * earlier CEs become join tests against (positive ordinal, field).
+ */
+CompiledLhs compileLhs(const ops5::Production &production);
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_COMPILE_HPP

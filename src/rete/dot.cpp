@@ -1,0 +1,236 @@
+#include "rete/dot.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace psm::rete {
+
+namespace {
+
+/** Escapes a label for DOT. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+class DotWriter
+{
+  public:
+    DotWriter(const Network &net, std::ostream &out,
+              const DotOptions &opt)
+        : net_(net), out_(out), opt_(opt)
+    {}
+
+    void
+    run()
+    {
+        out_ << "digraph rete {\n"
+             << "  rankdir=TB;\n"
+             << "  node [fontsize=10];\n";
+        for (const auto &node : net_.nodes()) {
+            if (!included(node.get()))
+                continue;
+            emitNode(node.get());
+            emitEdges(node.get());
+        }
+        // Root class-dispatch pseudo-edges.
+        emitRoots();
+        out_ << "}\n";
+    }
+
+  private:
+    bool
+    included(const Node *node) const
+    {
+        if (opt_.production < 0)
+            return true;
+        const auto &owners = net_.productionsOf(node->id);
+        return std::find(owners.begin(), owners.end(),
+                         opt_.production) != owners.end();
+    }
+
+    std::string
+    name(const Node *node) const
+    {
+        return "n" + std::to_string(node->id);
+    }
+
+    void
+    emitNode(const Node *node)
+    {
+        const ops5::SymbolTable &syms = net_.program().symbols();
+        std::ostringstream label;
+        std::string shape = "box", style;
+        switch (node->kind) {
+          case NodeKind::ConstTest: {
+            auto *ct = static_cast<const ConstTestNode *>(node);
+            label << "test f" << ct->test.field << " "
+                  << ops5::predicateName(ct->test.pred);
+            if (ct->test.kind == AlphaTest::Kind::Constant)
+                label << " " << ct->test.constant.toString(syms);
+            else if (ct->test.kind == AlphaTest::Kind::IntraField)
+                label << " f" << ct->test.other_field;
+            else
+                label << " <<...>>";
+            shape = "ellipse";
+            break;
+          }
+          case NodeKind::AlphaMemory: {
+            label << "alpha";
+            if (opt_.show_counts) {
+                label << " ("
+                      << static_cast<const AlphaMemoryNode *>(node)
+                             ->items.size()
+                      << ")";
+            }
+            style = "filled";
+            break;
+          }
+          case NodeKind::BetaMemory: {
+            label << (node == net_.top() ? "top" : "beta");
+            if (opt_.show_counts) {
+                label << " ("
+                      << static_cast<const BetaMemoryNode *>(node)
+                             ->tokens.size()
+                      << ")";
+            }
+            style = "filled";
+            break;
+          }
+          case NodeKind::Join: {
+            auto *j = static_cast<const JoinNode *>(node);
+            label << "join";
+            if (!j->tests.empty())
+                label << " [" << j->tests.size() << " tests]";
+            shape = "trapezium";
+            break;
+          }
+          case NodeKind::Not: {
+            auto *n = static_cast<const NotNode *>(node);
+            label << "not";
+            if (!n->tests.empty())
+                label << " [" << n->tests.size() << " tests]";
+            shape = "invtrapezium";
+            break;
+          }
+          case NodeKind::Terminal: {
+            auto *t = static_cast<const TerminalNode *>(node);
+            label << "P: " << t->production->name();
+            shape = "doubleoctagon";
+            break;
+          }
+          case NodeKind::Root:
+            break;
+        }
+        out_ << "  " << name(node) << " [label=\""
+             << escape(label.str()) << "\", shape=" << shape;
+        if (!style.empty())
+            out_ << ", style=" << style << ", fillcolor=lightgray";
+        if (node->shared_by > 1)
+            out_ << ", color=blue, penwidth=2";
+        out_ << "];\n";
+    }
+
+    void
+    edge(const Node *from, const Node *to, const char *label = nullptr)
+    {
+        if (!included(from) || !included(to))
+            return;
+        out_ << "  " << name(from) << " -> " << name(to);
+        if (label)
+            out_ << " [label=\"" << label << "\", fontsize=8]";
+        out_ << ";\n";
+    }
+
+    void
+    emitEdges(const Node *node)
+    {
+        switch (node->kind) {
+          case NodeKind::ConstTest:
+            for (Node *succ :
+                 static_cast<const ConstTestNode *>(node)->successors)
+                edge(node, succ);
+            break;
+          case NodeKind::AlphaMemory:
+            for (Node *succ :
+                 static_cast<const AlphaMemoryNode *>(node)->successors)
+                edge(node, succ, "right");
+            break;
+          case NodeKind::BetaMemory:
+            for (Node *succ :
+                 static_cast<const BetaMemoryNode *>(node)->successors) {
+                edge(node, succ,
+                     succ->kind == NodeKind::Terminal ? nullptr
+                                                      : "left");
+            }
+            break;
+          case NodeKind::Join:
+            edge(node, static_cast<const JoinNode *>(node)->output);
+            break;
+          case NodeKind::Not:
+            edge(node, static_cast<const NotNode *>(node)->output);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    emitRoots()
+    {
+        const ops5::SymbolTable &syms = net_.program().symbols();
+        // One pseudo-node per class that has chains.
+        int cls_node = 0;
+        for (std::size_t s = 0; s < syms.size(); ++s) {
+            const auto &heads =
+                net_.classRoots(static_cast<ops5::SymbolId>(s));
+            if (heads.empty())
+                continue;
+            bool any = std::any_of(heads.begin(), heads.end(),
+                                   [&](Node *h) {
+                                       return included(h);
+                                   });
+            if (!any)
+                continue;
+            std::string id = "cls" + std::to_string(cls_node++);
+            out_ << "  " << id << " [label=\"class "
+                 << escape(syms.name(static_cast<ops5::SymbolId>(s)))
+                 << "\", shape=plaintext];\n";
+            for (Node *head : heads) {
+                if (included(head))
+                    out_ << "  " << id << " -> " << name(head) << ";\n";
+            }
+        }
+    }
+
+    const Network &net_;
+    std::ostream &out_;
+    const DotOptions &opt_;
+};
+
+} // namespace
+
+void
+writeDot(const Network &network, std::ostream &out,
+         const DotOptions &options)
+{
+    DotWriter(network, out, options).run();
+}
+
+std::string
+toDot(const Network &network, const DotOptions &options)
+{
+    std::ostringstream os;
+    writeDot(network, os, options);
+    return os.str();
+}
+
+} // namespace psm::rete

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Graphviz (DOT) export of Rete networks — the diagrams of the
+ * paper's Figure 2-2, generated from real compiled networks.
+ */
+
+#ifndef PSM_RETE_DOT_HPP
+#define PSM_RETE_DOT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "rete/network.hpp"
+
+namespace psm::rete {
+
+/** Options for the DOT rendering. */
+struct DotOptions
+{
+    /** Include current memory contents (token/WME counts) in labels. */
+    bool show_counts = false;
+
+    /** Limit output to the subnetwork of one production id
+     *  (-1 = whole network). */
+    int production = -1;
+};
+
+/** Writes the network as a DOT digraph to @p out. */
+void writeDot(const Network &network, std::ostream &out,
+              const DotOptions &options = {});
+
+/** Convenience: renders to a string. */
+std::string toDot(const Network &network, const DotOptions &options = {});
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_DOT_HPP

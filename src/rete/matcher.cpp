@@ -1,0 +1,466 @@
+#include "rete/matcher.hpp"
+
+#include <algorithm>
+
+namespace psm::rete {
+
+ReteMatcher::ReteMatcher(std::shared_ptr<Network> network,
+                         CostModel cost_model, bool hash_joins)
+    : network_(std::move(network)), cost_(cost_model),
+      hash_joins_(hash_joins)
+{
+    if (!hash_joins_)
+        return;
+    // Pre-create an index for every equality-only join with at least
+    // one test (a test-free join has a single bucket anyway).
+    for (const auto &node : network_->nodes()) {
+        if (node->kind != NodeKind::Join)
+            continue;
+        auto *join = static_cast<JoinNode *>(node.get());
+        if (join->tests.empty())
+            continue;
+        bool all_eq = std::all_of(join->tests.begin(),
+                                  join->tests.end(),
+                                  [](const JoinTest &t) {
+                                      return t.pred ==
+                                             ops5::Predicate::Eq;
+                                  });
+        if (all_eq)
+            indexes_.emplace(join->id, JoinIndex{});
+    }
+}
+
+ReteMatcher::ReteMatcher(std::shared_ptr<const ops5::Program> program,
+                         CostModel cost_model, bool hash_joins)
+    : ReteMatcher(std::make_shared<Network>(std::move(program)),
+                  cost_model, hash_joins)
+{}
+
+namespace {
+
+/** FNV-style value-hash combiner shared by both key directions. */
+std::uint64_t
+combineHash(std::uint64_t h, const ops5::Value &v)
+{
+    return (h ^ v.hash()) * 0x100000001b3ULL;
+}
+
+} // namespace
+
+std::uint64_t
+ReteMatcher::keyOfWme(const JoinNode &join, const ops5::Wme &wme)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const JoinTest &t : join.tests)
+        h = combineHash(h, wme.field(t.wme_field));
+    return h;
+}
+
+std::uint64_t
+ReteMatcher::keyOfToken(const JoinNode &join, const Token &token)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const JoinTest &t : join.tests)
+        h = combineHash(h, token.wmes[t.token_ce]->field(t.token_field));
+    return h;
+}
+
+ReteMatcher::JoinIndex *
+ReteMatcher::indexOf(const JoinNode *join)
+{
+    if (!hash_joins_)
+        return nullptr;
+    auto it = indexes_.find(join->id);
+    return it == indexes_.end() ? nullptr : &it->second;
+}
+
+void
+ReteMatcher::indexInsertWme(const AlphaMemoryNode *am,
+                            const ops5::Wme *wme, bool insert)
+{
+    for (Node *succ : am->successors) {
+        if (succ->kind != NodeKind::Join)
+            continue;
+        auto *join = static_cast<JoinNode *>(succ);
+        JoinIndex *index = indexOf(join);
+        if (!index)
+            continue;
+        auto &bucket = index->right[keyOfWme(*join, *wme)];
+        if (insert) {
+            bucket.push_back(wme);
+        } else {
+            auto it = std::find(bucket.begin(), bucket.end(), wme);
+            if (it != bucket.end()) {
+                *it = bucket.back();
+                bucket.pop_back();
+            }
+        }
+        stats_.instructions += 6; // hash + bucket maintenance
+    }
+}
+
+void
+ReteMatcher::indexInsertToken(const BetaMemoryNode *bm,
+                              const Token &token, bool insert)
+{
+    for (Node *succ : bm->successors) {
+        if (succ->kind != NodeKind::Join)
+            continue;
+        auto *join = static_cast<JoinNode *>(succ);
+        JoinIndex *index = indexOf(join);
+        if (!index)
+            continue;
+        auto &bucket = index->left[keyOfToken(*join, token)];
+        if (insert) {
+            bucket.push_back(token);
+        } else {
+            auto it = std::find(bucket.begin(), bucket.end(), token);
+            if (it != bucket.end()) {
+                *it = std::move(bucket.back());
+                bucket.pop_back();
+            }
+        }
+        stats_.instructions += 6;
+    }
+}
+
+std::uint64_t
+ReteMatcher::recordActivation(const WorkItem &item, NodeKind kind,
+                              std::uint32_t cost)
+{
+    std::uint64_t id = next_activation_id_++;
+    ++stats_.activations;
+    stats_.instructions += cost;
+    if (sink_) {
+        ActivationRecord rec;
+        rec.id = id;
+        rec.parent = item.parent;
+        rec.node_id = item.node ? item.node->id : -1;
+        rec.kind = kind;
+        rec.side = item.side;
+        rec.insert = item.insert;
+        rec.cost = cost;
+        rec.change = change_index_;
+        rec.cycle = cycle_;
+        sink_->record(rec);
+    }
+    return id;
+}
+
+void
+ReteMatcher::emit(WorkItem item, std::uint64_t parent)
+{
+    item.parent = parent;
+    queue_.push_back(std::move(item));
+}
+
+void
+ReteMatcher::processChanges(std::span<const ops5::WmeChange> changes)
+{
+    ++cycle_;
+    if (sink_)
+        sink_->beginCycle(cycle_, changes.size());
+
+    change_index_ = 0;
+    for (const ops5::WmeChange &change : changes) {
+        ++stats_.changes_processed;
+        bool insert = change.kind == ops5::ChangeKind::Insert;
+
+        // Root dispatch: hash the class, fan out to the alpha chains.
+        WorkItem root;
+        root.side = Side::Right;
+        root.insert = insert;
+        root.wme = change.wme;
+        std::uint64_t root_id =
+            recordActivation(root, NodeKind::Root, cost_.root_dispatch);
+
+        for (Node *head : network_->classRoots(change.wme->className())) {
+            WorkItem item;
+            item.node = head;
+            item.side = Side::Right;
+            item.insert = insert;
+            item.wme = change.wme;
+            emit(std::move(item), root_id);
+        }
+
+        // Sequential semantics: drain each change to fixpoint before
+        // starting the next (the trace keeps per-change attribution).
+        //
+        // Depth-first (LIFO) order is load-bearing, not a preference:
+        // when one WME feeds BOTH inputs of a join (it matches two
+        // condition elements of a production), exactly-once pairing
+        // requires that each two-input activation runs while the
+        // conjugate side's memory still holds its pre-change contents.
+        // Depth-first gives that (each alpha subtree completes before
+        // the next memory update), mirroring the recursive procedure
+        // calls of Forgy's interpreter; breadth-first would emit the
+        // self-join pair twice on insert and zero times on delete.
+        while (!queue_.empty()) {
+            WorkItem item = std::move(queue_.back());
+            queue_.pop_back();
+            processItem(item);
+        }
+        ++change_index_;
+    }
+
+    // Cycle barrier: no tombstone may survive into the next cycle.
+    for (const auto &node : network_->nodes()) {
+        if (node->kind == NodeKind::BetaMemory)
+            static_cast<BetaMemoryNode *>(node.get())->clearTombstones();
+    }
+    conflict_set_.clearTombstones();
+}
+
+void
+ReteMatcher::processItem(const WorkItem &item)
+{
+    switch (item.node->kind) {
+      case NodeKind::ConstTest:
+        processConstTest(item);
+        break;
+      case NodeKind::AlphaMemory:
+        processAlphaMemory(item);
+        break;
+      case NodeKind::BetaMemory:
+        processBetaMemory(item);
+        break;
+      case NodeKind::Join:
+        processJoin(item);
+        break;
+      case NodeKind::Not:
+        processNot(item);
+        break;
+      case NodeKind::Terminal:
+        processTerminal(item);
+        break;
+      case NodeKind::Root:
+        break; // never queued
+    }
+}
+
+void
+ReteMatcher::processConstTest(const WorkItem &item)
+{
+    auto *node = static_cast<ConstTestNode *>(item.node);
+    std::uint64_t id =
+        recordActivation(item, NodeKind::ConstTest, cost_.const_test);
+    ++stats_.comparisons;
+    if (!node->test.eval(*item.wme, network_->program().symbols()))
+        return;
+    for (Node *succ : node->successors) {
+        WorkItem next = item;
+        next.node = succ;
+        emit(std::move(next), id);
+    }
+}
+
+void
+ReteMatcher::processAlphaMemory(const WorkItem &item)
+{
+    auto *node = static_cast<AlphaMemoryNode *>(item.node);
+    std::uint32_t cost;
+    if (item.insert) {
+        node->insertWme(item.wme);
+        cost = cost_.alpha_insert;
+    } else {
+        std::size_t scanned = node->size();
+        node->removeWme(item.wme);
+        cost = cost_.alpha_remove_base +
+               static_cast<std::uint32_t>(scanned *
+                                          cost_.alpha_scan_per_item);
+    }
+    if (hash_joins_)
+        indexInsertWme(node, item.wme, item.insert);
+    std::uint64_t id = recordActivation(item, NodeKind::AlphaMemory, cost);
+    for (Node *succ : node->successors) {
+        WorkItem next = item;
+        next.node = succ;
+        next.side = Side::Right;
+        emit(std::move(next), id);
+    }
+}
+
+void
+ReteMatcher::processBetaMemory(const WorkItem &item)
+{
+    auto *node = static_cast<BetaMemoryNode *>(item.node);
+    bool forward;
+    std::uint32_t cost;
+    if (item.insert) {
+        forward = node->insertToken(item.token);
+        cost = cost_.beta_insert;
+    } else {
+        std::size_t scanned = node->size();
+        forward = node->removeToken(item.token);
+        cost = cost_.beta_remove_base +
+               static_cast<std::uint32_t>(scanned *
+                                          cost_.beta_scan_per_item);
+    }
+    if (hash_joins_ && forward)
+        indexInsertToken(node, item.token, item.insert);
+    std::uint64_t id = recordActivation(item, NodeKind::BetaMemory, cost);
+    if (!forward)
+        return;
+    for (Node *succ : node->successors) {
+        WorkItem next = item;
+        next.node = succ;
+        next.side = Side::Left;
+        emit(std::move(next), id);
+    }
+}
+
+void
+ReteMatcher::processJoin(const WorkItem &item)
+{
+    auto *node = static_cast<JoinNode *>(item.node);
+    const ops5::SymbolTable &syms = network_->program().symbols();
+    std::uint64_t candidates = 0, outputs = 0;
+    std::vector<WorkItem> produced;
+
+    JoinIndex *index = indexOf(node);
+    static const std::vector<const ops5::Wme *> kNoWmes;
+    static const std::vector<Token> kNoTokens;
+
+    if (item.side == Side::Left) {
+        const std::vector<const ops5::Wme *> *cands =
+            &node->right->items;
+        if (index) {
+            auto it = index->right.find(keyOfToken(*node, item.token));
+            cands = it == index->right.end() ? &kNoWmes : &it->second;
+        }
+        for (const ops5::Wme *wme : *cands) {
+            ++candidates;
+            if (evalJoinTests(node->tests, item.token, *wme, syms)) {
+                ++outputs;
+                WorkItem next;
+                next.node = node->output;
+                next.side = Side::Left;
+                next.insert = item.insert;
+                next.token = item.token.extend(wme);
+                produced.push_back(std::move(next));
+            }
+        }
+    } else {
+        const std::vector<Token> *cands = &node->left->tokens;
+        if (index) {
+            auto it = index->left.find(keyOfWme(*node, *item.wme));
+            cands = it == index->left.end() ? &kNoTokens : &it->second;
+        }
+        for (const Token &token : *cands) {
+            ++candidates;
+            if (evalJoinTests(node->tests, token, *item.wme, syms)) {
+                ++outputs;
+                WorkItem next;
+                next.node = node->output;
+                next.side = Side::Left;
+                next.insert = item.insert;
+                next.token = token.extend(item.wme);
+                produced.push_back(std::move(next));
+            }
+        }
+    }
+
+    std::uint32_t cost = cost_.joinActivation(
+        candidates, candidates * node->tests.size(), outputs);
+    std::uint64_t id = recordActivation(item, NodeKind::Join, cost);
+    stats_.comparisons += candidates;
+    stats_.tokens_built += outputs;
+    for (WorkItem &next : produced)
+        emit(std::move(next), id);
+}
+
+void
+ReteMatcher::processNot(const WorkItem &item)
+{
+    auto *node = static_cast<NotNode *>(item.node);
+    const ops5::SymbolTable &syms = network_->program().symbols();
+    std::uint64_t candidates = 0;
+    std::vector<WorkItem> produced;
+
+    auto forward = [&](const Token &token, bool insert) {
+        WorkItem next;
+        next.node = node->output;
+        next.side = Side::Left;
+        next.insert = insert;
+        next.token = token;
+        produced.push_back(std::move(next));
+    };
+
+    if (item.side == Side::Left) {
+        if (item.insert) {
+            int count = 0;
+            for (const ops5::Wme *wme : node->right->items) {
+                ++candidates;
+                if (evalJoinTests(node->tests, item.token, *wme, syms))
+                    ++count;
+            }
+            node->entries.push_back({item.token, count});
+            if (count == 0)
+                forward(item.token, true);
+        } else {
+            auto it = std::find_if(node->entries.begin(),
+                                   node->entries.end(),
+                                   [&](const NotNode::Entry &e) {
+                                       return e.token == item.token;
+                                   });
+            candidates = node->entries.size();
+            if (it != node->entries.end()) {
+                bool was_clear = it->count == 0;
+                *it = std::move(node->entries.back());
+                node->entries.pop_back();
+                if (was_clear)
+                    forward(item.token, false);
+            }
+        }
+    } else {
+        for (NotNode::Entry &entry : node->entries) {
+            ++candidates;
+            if (!evalJoinTests(node->tests, entry.token, *item.wme, syms))
+                continue;
+            if (item.insert) {
+                if (++entry.count == 1)
+                    forward(entry.token, false);
+            } else {
+                if (--entry.count == 0)
+                    forward(entry.token, true);
+            }
+        }
+    }
+
+    std::uint32_t cost = cost_.not_base +
+        static_cast<std::uint32_t>(candidates * cost_.not_per_entry +
+                                   candidates * node->tests.size() *
+                                       cost_.join_per_test);
+    std::uint64_t id = recordActivation(item, NodeKind::Not, cost);
+    stats_.comparisons += candidates;
+    for (WorkItem &next : produced)
+        emit(std::move(next), id);
+}
+
+void
+ReteMatcher::processTerminal(const WorkItem &item)
+{
+    auto *node = static_cast<TerminalNode *>(item.node);
+    recordActivation(item, NodeKind::Terminal, cost_.terminal);
+    ops5::Instantiation inst;
+    inst.production = node->production;
+    inst.wmes = item.token.wmes;
+    if (item.insert)
+        conflict_set_.insert(std::move(inst));
+    else
+        conflict_set_.remove(inst);
+}
+
+std::size_t
+ReteMatcher::pendingTombstones() const
+{
+    std::size_t n = conflict_set_.pendingTombstones();
+    for (const auto &node : network_->nodes()) {
+        if (node->kind == NodeKind::BetaMemory)
+            n += static_cast<const BetaMemoryNode *>(node.get())
+                     ->tombstones.size();
+    }
+    return n;
+}
+
+} // namespace psm::rete

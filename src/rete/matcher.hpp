@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The sequential Rete matcher — the paper's "best known uniprocessor
+ * implementation" baseline, and the trace generator for the PSM
+ * simulator.
+ */
+
+#ifndef PSM_RETE_MATCHER_HPP
+#define PSM_RETE_MATCHER_HPP
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "core/matcher.hpp"
+#include "rete/cost_model.hpp"
+#include "rete/network.hpp"
+#include "rete/trace.hpp"
+
+namespace psm::rete {
+
+/**
+ * One pending node activation while draining the match queue.
+ * Alpha-side items carry a WME, beta-side items a token.
+ */
+struct WorkItem
+{
+    Node *node = nullptr;
+    Side side = Side::Right;
+    bool insert = true;
+    Token token;
+    const ops5::Wme *wme = nullptr;
+    std::uint64_t parent = 0; ///< trace id of the spawning activation
+};
+
+/**
+ * Sequential Rete matcher over a (usually fully shared) Network.
+ *
+ * Processes each WM change to fixpoint with a stack of node
+ * activations (depth-first — load-bearing for self-join pairing, see
+ * docs/ARCHITECTURE.md §2), updating memories, not-node counts, and
+ * the conflict set. With a TraceSink attached it emits one
+ * ActivationRecord per activation, carrying dependency edges and
+ * cost-model instruction counts — the input format of the PSM
+ * simulator.
+ *
+ * With `hash_joins` enabled, every join whose tests are all
+ * equalities gets matcher-local hash indexes over both input
+ * memories, so an activation probes one bucket instead of scanning
+ * the whole opposite memory — the style of "further optimization to
+ * the OPS compiler" behind the paper's 400-800 wme-changes/sec serial
+ * projection (Section 2.2). Indexing never changes results, only the
+ * work done (asserted by the equivalence suite).
+ */
+class ReteMatcher : public core::Matcher
+{
+  public:
+    explicit ReteMatcher(std::shared_ptr<Network> network,
+                         CostModel cost_model = {},
+                         bool hash_joins = false);
+
+    /** Convenience: builds a fully shared network for @p program. */
+    explicit ReteMatcher(std::shared_ptr<const ops5::Program> program,
+                         CostModel cost_model = {},
+                         bool hash_joins = false);
+
+    void processChanges(std::span<const ops5::WmeChange> changes) override;
+
+    ops5::ConflictSet &conflictSet() override { return conflict_set_; }
+    const ops5::ConflictSet &
+    conflictSet() const override
+    {
+        return conflict_set_;
+    }
+
+    core::MatchStats stats() const override { return stats_; }
+
+    std::string
+    name() const override
+    {
+        return hash_joins_ ? "rete-serial-hashed" : "rete-serial";
+    }
+
+    Network &network() { return *network_; }
+
+    /** Attaches a trace sink (nullptr detaches). Not owned. */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+
+    /** Recognize-act cycles processed so far. */
+    std::uint32_t cycle() const { return cycle_; }
+
+    /**
+     * Tombstones parked across all beta memories. Always zero after
+     * a sequential fixpoint; exposed so tests can assert it.
+     */
+    std::size_t pendingTombstones() const;
+
+  private:
+    void processItem(const WorkItem &item);
+    void emit(WorkItem item, std::uint64_t parent);
+
+    std::uint64_t
+    recordActivation(const WorkItem &item, NodeKind kind,
+                     std::uint32_t cost);
+
+    void processConstTest(const WorkItem &item);
+    void processAlphaMemory(const WorkItem &item);
+    void processBetaMemory(const WorkItem &item);
+    void processJoin(const WorkItem &item);
+    void processNot(const WorkItem &item);
+    void processTerminal(const WorkItem &item);
+
+    /** Matcher-local hash indexes for an equality-only join. */
+    struct JoinIndex
+    {
+        std::unordered_map<std::uint64_t,
+                           std::vector<const ops5::Wme *>> right;
+        std::unordered_map<std::uint64_t, std::vector<Token>> left;
+    };
+
+    /** Combined hash of the join-key values on the WME side. */
+    static std::uint64_t keyOfWme(const JoinNode &join,
+                                  const ops5::Wme &wme);
+
+    /** Combined hash of the join-key values on the token side. */
+    static std::uint64_t keyOfToken(const JoinNode &join,
+                                    const Token &token);
+
+    /** Index for @p join, or nullptr when it is not equality-only
+     *  (or hashing is disabled). */
+    JoinIndex *indexOf(const JoinNode *join);
+
+    void indexInsertWme(const AlphaMemoryNode *am, const ops5::Wme *wme,
+                        bool insert);
+    void indexInsertToken(const BetaMemoryNode *bm, const Token &token,
+                          bool insert);
+
+    std::shared_ptr<Network> network_;
+    CostModel cost_;
+    bool hash_joins_;
+    ops5::ConflictSet conflict_set_;
+    core::MatchStats stats_;
+    TraceSink *sink_ = nullptr;
+    std::unordered_map<int, JoinIndex> indexes_;
+
+    std::deque<WorkItem> queue_;
+    std::uint64_t next_activation_id_ = 1;
+    std::uint64_t current_parent_ = 0; ///< id of the item in flight
+    std::uint32_t cycle_ = 0;
+    std::uint32_t change_index_ = 0;
+};
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_MATCHER_HPP

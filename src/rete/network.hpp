@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Rete network: node storage, root dispatch, and the compiler
+ * that builds the network from a Program with configurable node
+ * sharing.
+ *
+ * Sharing matters to the paper twice over: the serial Rete exploits
+ * it ("sharing evaluation of common tests amongst multiple
+ * productions"), while the parallel implementation gives up memory /
+ * two-input sharing — one of the three components of the lost factor
+ * in Section 6. Building the same program with sharing on and off
+ * quantifies that loss.
+ */
+
+#ifndef PSM_RETE_NETWORK_HPP
+#define PSM_RETE_NETWORK_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ops5/production.hpp"
+#include "rete/compile.hpp"
+#include "rete/nodes.hpp"
+
+namespace psm::rete {
+
+/** Build-time options controlling node sharing. */
+struct NetworkOptions
+{
+    /** Share constant-test chains between productions. Stateless, so
+     *  even the parallel matcher keeps this on. */
+    bool share_const_tests = true;
+
+    /** Share alpha memories between productions. */
+    bool share_alpha = true;
+
+    /** Share two-input nodes (and their output memories) between
+     *  productions with a common CE prefix. */
+    bool share_two_input = true;
+
+    static NetworkOptions
+    fullSharing()
+    {
+        return {};
+    }
+
+    /** The parallel configuration: private state per production. */
+    static NetworkOptions
+    privateState()
+    {
+        NetworkOptions o;
+        o.share_alpha = false;
+        o.share_two_input = false;
+        return o;
+    }
+};
+
+/** Counts of created vs shared nodes, for the sharing-factor report. */
+struct BuildStats
+{
+    int const_tests = 0;
+    int alpha_memories = 0;
+    int joins = 0;
+    int nots = 0;
+    int beta_memories = 0;
+    int terminals = 0;
+    int reused_const_tests = 0;
+    int reused_alpha_memories = 0;
+    int reused_two_input = 0;
+
+    int
+    total() const
+    {
+        return const_tests + alpha_memories + joins + nots +
+               beta_memories + terminals;
+    }
+};
+
+/**
+ * A compiled Rete network over one Program.
+ *
+ * The network is immutable in structure after construction; only the
+ * memory-node contents change during match. It can therefore back any
+ * number of sequential runs, and (when built with privateState
+ * options) the fine-grain parallel matcher.
+ */
+class Network
+{
+  public:
+    Network(std::shared_ptr<const ops5::Program> program,
+            NetworkOptions options = {});
+
+    const ops5::Program &program() const { return *program_; }
+    const NetworkOptions &options() const { return options_; }
+    const BuildStats &buildStats() const { return build_stats_; }
+
+    /** All nodes; index == Node::id. */
+    const std::vector<std::unique_ptr<Node>> &nodes() const
+    {
+        return nodes_;
+    }
+
+    /** Alpha-chain heads for a WME class (empty when untested). */
+    const std::vector<Node *> &classRoots(ops5::SymbolId cls) const;
+
+    /** Dummy top beta memory holding the single empty token. */
+    BetaMemoryNode *top() const { return top_; }
+
+    const std::vector<TerminalNode *> &terminals() const
+    {
+        return terminals_;
+    }
+
+    /** Production ids using node @p node_id (sorted, deduplicated). */
+    const std::vector<int> &productionsOf(int node_id) const
+    {
+        return node_productions_.at(node_id);
+    }
+
+    /** Drops all match state (memories, counts, tombstones). */
+    void resetState();
+
+  private:
+    friend class NetworkBuilder;
+
+    std::shared_ptr<const ops5::Program> program_;
+    NetworkOptions options_;
+    BuildStats build_stats_;
+
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::unordered_map<ops5::SymbolId, std::vector<Node *>> class_roots_;
+    BetaMemoryNode *top_ = nullptr;
+    std::vector<TerminalNode *> terminals_;
+    std::vector<std::vector<int>> node_productions_;
+};
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_NETWORK_HPP

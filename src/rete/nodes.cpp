@@ -1,0 +1,120 @@
+#include "rete/nodes.hpp"
+
+#include <algorithm>
+
+namespace psm::rete {
+
+const char *
+nodeKindName(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::Root: return "root";
+      case NodeKind::ConstTest: return "const-test";
+      case NodeKind::AlphaMemory: return "alpha-mem";
+      case NodeKind::Join: return "join";
+      case NodeKind::Not: return "not";
+      case NodeKind::BetaMemory: return "beta-mem";
+      case NodeKind::Terminal: return "terminal";
+    }
+    return "?";
+}
+
+bool
+AlphaTest::eval(const ops5::Wme &wme, const ops5::SymbolTable &syms) const
+{
+    const ops5::Value &actual = wme.field(field);
+    switch (kind) {
+      case Kind::Constant:
+        return ops5::evalPredicate(pred, actual, constant, syms);
+      case Kind::ConstantSet: {
+        bool member = std::any_of(set.begin(), set.end(),
+                                  [&](const ops5::Value &v) {
+                                      return actual == v;
+                                  });
+        return pred == ops5::Predicate::Eq ? member : !member;
+      }
+      case Kind::IntraField:
+        return ops5::evalPredicate(pred, actual, wme.field(other_field),
+                                   syms);
+    }
+    return false;
+}
+
+bool
+AlphaTest::operator==(const AlphaTest &o) const
+{
+    return kind == o.kind && pred == o.pred && field == o.field &&
+           constant == o.constant && set == o.set &&
+           other_field == o.other_field;
+}
+
+void
+AlphaMemoryNode::insertWme(const ops5::Wme *wme)
+{
+    std::lock_guard lock(mutex);
+    items.push_back(wme);
+}
+
+bool
+AlphaMemoryNode::removeWme(const ops5::Wme *wme)
+{
+    std::lock_guard lock(mutex);
+    auto it = std::find(items.begin(), items.end(), wme);
+    if (it == items.end())
+        return false;
+    // Order-insensitive erase: memories are sets, not sequences.
+    *it = items.back();
+    items.pop_back();
+    return true;
+}
+
+bool
+BetaMemoryNode::insertToken(Token token)
+{
+    std::lock_guard lock(mutex);
+    auto it = std::find(tombstones.begin(), tombstones.end(), token);
+    if (it != tombstones.end()) {
+        *it = std::move(tombstones.back());
+        tombstones.pop_back();
+        return false;
+    }
+    tokens.push_back(std::move(token));
+    return true;
+}
+
+bool
+BetaMemoryNode::removeToken(const Token &token)
+{
+    std::lock_guard lock(mutex);
+    auto it = std::find(tokens.begin(), tokens.end(), token);
+    if (it == tokens.end()) {
+        tombstones.push_back(token);
+        return false;
+    }
+    *it = std::move(tokens.back());
+    tokens.pop_back();
+    return true;
+}
+
+void
+BetaMemoryNode::clearTombstones()
+{
+    std::lock_guard lock(mutex);
+    tombstones.clear();
+}
+
+bool
+evalJoinTests(const std::vector<JoinTest> &tests, const Token &token,
+              const ops5::Wme &wme, const ops5::SymbolTable &syms)
+{
+    for (const JoinTest &t : tests) {
+        const ops5::Value &lhs = wme.field(t.wme_field);
+        const ops5::Value &rhs =
+            token.wmes[t.token_ce]->field(t.token_field);
+        if (!ops5::evalPredicate(t.pred, lhs, rhs, syms))
+            return false;
+    }
+    return true;
+}
+
+} // namespace psm::rete

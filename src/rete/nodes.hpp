@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Node types of the Rete network.
+ *
+ * The network follows Forgy's four node families (Section 2.2 of the
+ * paper): constant-test nodes, memory nodes (alpha for single WMEs,
+ * beta for tokens), two-input nodes (joins and negated-CE "not"
+ * nodes), and terminal nodes. Memory contents carry their own small
+ * mutexes and two-input nodes carry directional locks so the same
+ * network object can be driven by the serial matcher or by the
+ * fine-grain parallel matcher.
+ */
+
+#ifndef PSM_RETE_NODES_HPP
+#define PSM_RETE_NODES_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "ops5/condition.hpp"
+#include "rete/sync.hpp"
+#include "rete/token.hpp"
+
+namespace psm::ops5 {
+class Production;
+}
+
+namespace psm::rete {
+
+/** Discriminator for Node. */
+enum class NodeKind : std::uint8_t {
+    Root, ///< pseudo-node: per-change class dispatch (trace records only)
+    ConstTest,
+    AlphaMemory,
+    Join,
+    Not,
+    BetaMemory,
+    Terminal,
+};
+
+const char *nodeKindName(NodeKind k);
+
+/** Base of all network nodes. */
+struct Node
+{
+    NodeKind kind;
+    int id = -1;          ///< dense id within the Network
+    int shared_by = 1;    ///< number of productions using this node
+
+    explicit Node(NodeKind k) : kind(k) {}
+    virtual ~Node() = default;
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+};
+
+/**
+ * A test a constant-test node applies to one WME.
+ *
+ * IntraField implements within-CE variable consistency (the second
+ * occurrence of a variable inside one condition element), which OPS5
+ * compiles into the alpha network because it needs no join context.
+ */
+struct AlphaTest
+{
+    enum class Kind : std::uint8_t { Constant, ConstantSet, IntraField };
+
+    Kind kind = Kind::Constant;
+    ops5::Predicate pred = ops5::Predicate::Eq;
+    int field = 0;
+    ops5::Value constant{};
+    std::vector<ops5::Value> set; ///< ConstantSet members
+    int other_field = 0;          ///< IntraField: compare `field` vs this
+
+    bool eval(const ops5::Wme &wme, const ops5::SymbolTable &syms) const;
+    bool operator==(const AlphaTest &o) const;
+};
+
+/** Constant-test node: filters WMEs flowing down an alpha chain. */
+struct ConstTestNode : Node
+{
+    ConstTestNode() : Node(NodeKind::ConstTest) {}
+
+    AlphaTest test;
+    std::vector<Node *> successors; ///< ConstTestNode or AlphaMemoryNode
+};
+
+/** Alpha memory: stores WMEs that pass one CE's constant tests. */
+struct AlphaMemoryNode : Node
+{
+    AlphaMemoryNode() : Node(NodeKind::AlphaMemory) {}
+
+    std::vector<const ops5::Wme *> items;
+    std::mutex mutex;                 ///< guards items (parallel mode)
+    std::vector<Node *> successors;   ///< Join / Not, right side
+
+    /** Appends @p wme. Thread safe. */
+    void insertWme(const ops5::Wme *wme);
+
+    /** Erases @p wme. @return false when absent. Thread safe. */
+    bool removeWme(const ops5::Wme *wme);
+
+    /** Unlocked snapshot size (approximate under concurrency). */
+    std::size_t size() const { return items.size(); }
+};
+
+/**
+ * Beta memory: stores tokens matching a CE prefix, and absorbs
+ * out-of-order insert/remove pairs with anti-token tombstones (see
+ * DESIGN.md). Tombstones are cleared at every cycle barrier.
+ */
+struct BetaMemoryNode : Node
+{
+    BetaMemoryNode() : Node(NodeKind::BetaMemory) {}
+
+    std::vector<Token> tokens;
+    std::vector<Token> tombstones;
+    std::mutex mutex;
+    std::vector<Node *> successors; ///< Join / Not (left side), Terminal
+
+    /**
+     * Inserts @p token unless a tombstone annihilates it.
+     * @return true when actually stored (callers forward downstream
+     *         only in that case).
+     */
+    bool insertToken(Token token);
+
+    /**
+     * Removes @p token; parks a tombstone when absent.
+     * @return true when a live token was removed (forward downstream
+     *         only then).
+     */
+    bool removeToken(const Token &token);
+
+    void clearTombstones();
+    std::size_t size() const { return tokens.size(); }
+};
+
+/** One consistency test a two-input node performs at join time. */
+struct JoinTest
+{
+    ops5::Predicate pred = ops5::Predicate::Eq;
+    int wme_field = 0;   ///< field of the WME on the right input
+    int token_ce = 0;    ///< positive-CE ordinal within the left token
+    int token_field = 0; ///< field within that WME
+
+    bool operator==(const JoinTest &o) const = default;
+};
+
+/** Evaluates every test of @p tests on (token, wme). */
+bool evalJoinTests(const std::vector<JoinTest> &tests, const Token &token,
+                   const ops5::Wme &wme, const ops5::SymbolTable &syms);
+
+/**
+ * Two-input join node ("and" node): pairs left tokens with right WMEs
+ * whose variable bindings are consistent.
+ */
+struct JoinNode : Node
+{
+    JoinNode() : Node(NodeKind::Join) {}
+
+    BetaMemoryNode *left = nullptr;   ///< left input memory
+    AlphaMemoryNode *right = nullptr; ///< right input memory
+    std::vector<JoinTest> tests;
+    BetaMemoryNode *output = nullptr;
+
+    /** Same-side concurrency, opposite-side exclusion. */
+    DirectionalLock lock;
+};
+
+/**
+ * Negated-CE node: forwards a left token only while no right WME
+ * matches it; per-token match counts are the node's own state.
+ */
+struct NotNode : Node
+{
+    NotNode() : Node(NodeKind::Not) {}
+
+    struct Entry
+    {
+        Token token;
+        int count = 0;
+    };
+
+    BetaMemoryNode *left = nullptr;
+    AlphaMemoryNode *right = nullptr;
+    std::vector<JoinTest> tests;
+    BetaMemoryNode *output = nullptr;
+
+    std::vector<Entry> entries;
+    std::mutex mutex; ///< exclusive: counts are read-modify-write
+};
+
+/** Terminal node: reports conflict-set changes for one production. */
+struct TerminalNode : Node
+{
+    TerminalNode() : Node(NodeKind::Terminal) {}
+
+    const ops5::Production *production = nullptr;
+};
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_NODES_HPP

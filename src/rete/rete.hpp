@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Umbrella header for the Rete match engine.
+ */
+
+#ifndef PSM_RETE_RETE_HPP
+#define PSM_RETE_RETE_HPP
+
+#include "rete/compile.hpp"     // IWYU pragma: export
+#include "rete/cost_model.hpp"  // IWYU pragma: export
+#include "rete/dot.hpp"         // IWYU pragma: export
+#include "rete/matcher.hpp"     // IWYU pragma: export
+#include "rete/network.hpp"     // IWYU pragma: export
+#include "rete/nodes.hpp"       // IWYU pragma: export
+#include "rete/sync.hpp"        // IWYU pragma: export
+#include "rete/token.hpp"       // IWYU pragma: export
+#include "rete/trace.hpp"       // IWYU pragma: export
+#include "rete/validate.hpp"    // IWYU pragma: export
+
+#endif // PSM_RETE_RETE_HPP

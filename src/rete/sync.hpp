@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synchronisation primitives for fine-grain parallel match.
+ *
+ * The paper's hardware task scheduler guarantees that "multiple node
+ * activations assigned to be processed in parallel cannot interfere
+ * with each other". In software we enforce the same invariant with a
+ * directional lock per two-input node: activations arriving on the
+ * SAME side may run concurrently (each reads the opposite, quiescent
+ * memory), while activations on OPPOSITE sides exclude each other —
+ * otherwise an insert on each side could both miss (or both produce)
+ * the joint pair.
+ */
+
+#ifndef PSM_RETE_SYNC_HPP
+#define PSM_RETE_SYNC_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace psm::rete {
+
+/** Which input of a two-input node an activation arrives on. */
+enum class Side : std::uint8_t { Left, Right };
+
+/**
+ * Reader-writer-style lock keyed by side instead of read/write:
+ * any number of same-side holders, never both sides at once.
+ *
+ * Fairness: a side waits only while the other side is active; with
+ * task granularity of 50-100 instructions, hold times are tiny and a
+ * simple condition variable suffices.
+ */
+class DirectionalLock
+{
+  public:
+    void
+    acquire(Side side)
+    {
+        std::unique_lock lock(mutex_);
+        int &mine = side == Side::Left ? left_ : right_;
+        int &theirs = side == Side::Left ? right_ : left_;
+        cv_.wait(lock, [&] { return theirs == 0; });
+        ++mine;
+    }
+
+    void
+    release(Side side)
+    {
+        std::lock_guard lock(mutex_);
+        int &mine = side == Side::Left ? left_ : right_;
+        if (--mine == 0)
+            cv_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    int left_ = 0;
+    int right_ = 0;
+};
+
+/** RAII holder for a DirectionalLock. */
+class DirectionalGuard
+{
+  public:
+    DirectionalGuard(DirectionalLock &lock, Side side)
+        : lock_(lock), side_(side)
+    {
+        lock_.acquire(side_);
+    }
+
+    ~DirectionalGuard() { lock_.release(side_); }
+
+    DirectionalGuard(const DirectionalGuard &) = delete;
+    DirectionalGuard &operator=(const DirectionalGuard &) = delete;
+
+  private:
+    DirectionalLock &lock_;
+    Side side_;
+};
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_SYNC_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Match tokens: ordered tuples of WME pointers.
+ *
+ * A token records the WMEs matching a prefix of a production's
+ * positive condition elements. Tokens here are flat pointer vectors
+ * rather than parent-linked chains: joins copy a handful of pointers,
+ * and deletion matches tokens by value, so memory-node state is
+ * self-contained and safe to mutate from fine-grain parallel tasks
+ * without cross-token lifetime coupling.
+ */
+
+#ifndef PSM_RETE_TOKEN_HPP
+#define PSM_RETE_TOKEN_HPP
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "ops5/wme.hpp"
+
+namespace psm::rete {
+
+/** An ordered tuple of WMEs matching a CE prefix. */
+struct Token
+{
+    std::vector<const ops5::Wme *> wmes;
+
+    Token() = default;
+
+    explicit Token(const ops5::Wme *wme) : wmes{wme} {}
+
+    /** Token extended by one WME (the join operation). */
+    Token
+    extend(const ops5::Wme *wme) const
+    {
+        Token t;
+        t.wmes.reserve(wmes.size() + 1);
+        t.wmes = wmes;
+        t.wmes.push_back(wme);
+        return t;
+    }
+
+    std::size_t size() const { return wmes.size(); }
+    bool operator==(const Token &o) const { return wmes == o.wmes; }
+};
+
+/** Hash over the WME pointer tuple. */
+struct TokenHash
+{
+    std::size_t
+    operator()(const Token &t) const
+    {
+        std::size_t h = 0x51ed270b;
+        for (const ops5::Wme *w : t.wmes)
+            h = h * 0x9e3779b97f4a7c15ULL +
+                std::hash<const void *>()(w);
+        return h;
+    }
+};
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_TOKEN_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Activation traces: the interface between a match run and the PSM
+ * multiprocessor simulator.
+ *
+ * This mirrors the paper's methodology (Section 6): the simulator's
+ * input is "a detailed trace of node activations from an actual run
+ * of a production system (the trace contains information about the
+ * dependencies between node activations)". Each record names its
+ * node, side, direction, instruction cost, the activation that
+ * spawned it, and the WM change / recognize-act cycle it belongs to.
+ */
+
+#ifndef PSM_RETE_TRACE_HPP
+#define PSM_RETE_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "rete/nodes.hpp"
+
+namespace psm::rete {
+
+/** One node activation, as the simulator consumes it. */
+struct ActivationRecord
+{
+    std::uint64_t id = 0;      ///< unique, > 0
+    std::uint64_t parent = 0;  ///< spawning activation; 0 = WM change
+    int node_id = -1;
+    NodeKind kind = NodeKind::ConstTest;
+    Side side = Side::Right;
+    bool insert = true;
+    std::uint32_t cost = 0;    ///< instructions (CostModel units)
+    std::uint32_t change = 0;  ///< WM-change ordinal within the cycle
+    std::uint32_t cycle = 0;   ///< recognize-act cycle number
+};
+
+/** Receiver of activation records during a match run. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void record(const ActivationRecord &rec) = 0;
+
+    /** Called once per recognize-act cycle before its activations. */
+    virtual void beginCycle(std::uint32_t cycle, std::size_t n_changes)
+    {
+        (void)cycle;
+        (void)n_changes;
+    }
+};
+
+/** TraceSink that stores everything in memory. */
+class TraceRecorder : public TraceSink
+{
+  public:
+    void record(const ActivationRecord &rec) override
+    {
+        records_.push_back(rec);
+    }
+
+    void
+    beginCycle(std::uint32_t cycle, std::size_t n_changes) override
+    {
+        cycles_.push_back({cycle, n_changes, records_.size()});
+    }
+
+    /** Per-cycle index: cycle number, WM changes, first record. */
+    struct CycleMark
+    {
+        std::uint32_t cycle;
+        std::size_t n_changes;
+        std::size_t first_record;
+    };
+
+    const std::vector<ActivationRecord> &records() const
+    {
+        return records_;
+    }
+    const std::vector<CycleMark> &cycles() const { return cycles_; }
+
+    void
+    clear()
+    {
+        records_.clear();
+        cycles_.clear();
+    }
+
+  private:
+    std::vector<ActivationRecord> records_;
+    std::vector<CycleMark> cycles_;
+};
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_TRACE_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Network state validation: recomputes, from first principles, what
+ * every memory node SHOULD contain given the live working memory, and
+ * diffs that against the actual incremental state.
+ *
+ * This is the strongest internal-consistency oracle the test suite
+ * has: conflict-set equivalence can miss corrupted intermediate state
+ * that happens not to surface yet; this cannot.
+ */
+
+#ifndef PSM_RETE_VALIDATE_HPP
+#define PSM_RETE_VALIDATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "rete/network.hpp"
+
+namespace psm::rete {
+
+/** Outcome of a validation pass. */
+struct ValidationResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/**
+ * Checks every alpha memory, beta memory, and not-node count in
+ * @p network against a ground-truth recomputation over @p live_wmes.
+ * The network's state is not modified.
+ */
+ValidationResult validateNetworkState(
+    const Network &network,
+    const std::vector<const ops5::Wme *> &live_wmes);
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_VALIDATE_HPP

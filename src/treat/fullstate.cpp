@@ -1,0 +1,283 @@
+#include "treat/fullstate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rete/nodes.hpp"
+#include "rete/token.hpp"
+
+namespace psm::treat {
+
+namespace {
+
+int
+popcount(unsigned mask)
+{
+    return __builtin_popcount(mask);
+}
+
+} // namespace
+
+FullStateMatcher::FullStateMatcher(
+    std::shared_ptr<const ops5::Program> program, int max_positive_ces)
+    : program_(std::move(program))
+{
+    for (const auto &p : program_->productions()) {
+        ProdState ps;
+        ps.lhs = rete::compileLhs(*p);
+        for (int i = 0; i < static_cast<int>(ps.lhs.ces.size()); ++i) {
+            if (ps.lhs.ces[i].negated)
+                ps.negated.push_back(i);
+            else
+                ps.positive.push_back(i);
+        }
+        int k = static_cast<int>(ps.positive.size());
+        if (k > max_positive_ces)
+            throw std::invalid_argument(
+                "production '" + p->name() + "' has " +
+                std::to_string(k) +
+                " positive condition elements; the full-state matcher "
+                "stores 2^k subset memories");
+        ps.mems.resize(std::size_t{1} << k);
+        ps.neg_mems.resize(ps.negated.size());
+        prods_.push_back(std::move(ps));
+    }
+}
+
+bool
+FullStateMatcher::wmePassesAlpha(const rete::CompiledCe &ce,
+                                 const ops5::Wme *wme) const
+{
+    if (wme->className() != ce.cls)
+        return false;
+    const ops5::SymbolTable &syms = program_->symbols();
+    return std::all_of(ce.alpha_tests.begin(), ce.alpha_tests.end(),
+                       [&](const rete::AlphaTest &t) {
+                           return t.eval(*wme, syms);
+                       });
+}
+
+bool
+FullStateMatcher::consistent(const ProdState &ps, const Tuple &tuple,
+                             int pos, const ops5::Wme *wme)
+{
+    const ops5::SymbolTable &syms = program_->symbols();
+    int k = static_cast<int>(ps.positive.size());
+
+    // Tests attached to positive CE j constrain (wme at j) against
+    // earlier positive ordinals. Evaluate every test with both
+    // endpoints present where one endpoint is `pos`.
+    for (int j = 0; j < k; ++j) {
+        const ops5::Wme *wj = j == pos ? wme : tuple[j];
+        if (!wj)
+            continue;
+        const rete::CompiledCe &ce = ps.lhs.ces[ps.positive[j]];
+        for (const rete::JoinTest &t : ce.join_tests) {
+            if (t.token_ce >= k)
+                continue;
+            const ops5::Wme *we =
+                t.token_ce == pos ? wme : tuple[t.token_ce];
+            if (!we)
+                continue;
+            if (j != pos && t.token_ce != pos)
+                continue; // both endpoints old: already validated
+            ++stats_.comparisons;
+            stats_.instructions += kPerComparison;
+            if (!ops5::evalPredicate(t.pred, wj->field(t.wme_field),
+                                     we->field(t.token_field), syms))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+FullStateMatcher::blocked(const ProdState &ps, const Tuple &t)
+{
+    const ops5::SymbolTable &syms = program_->symbols();
+    rete::Token token;
+    token.wmes = t;
+    for (std::size_t n = 0; n < ps.negated.size(); ++n) {
+        const rete::CompiledCe &ce = ps.lhs.ces[ps.negated[n]];
+        for (const ops5::Wme *b : ps.neg_mems[n]) {
+            ++stats_.comparisons;
+            stats_.instructions += kPerComparison;
+            if (rete::evalJoinTests(ce.join_tests, token, *b, syms))
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+FullStateMatcher::insertInstantiation(const ProdState &ps, const Tuple &t)
+{
+    ops5::Instantiation inst;
+    inst.production = ps.lhs.production;
+    inst.wmes = t;
+    conflict_set_.insert(std::move(inst));
+}
+
+void
+FullStateMatcher::processChanges(std::span<const ops5::WmeChange> changes)
+{
+    for (const ops5::WmeChange &change : changes) {
+        ++stats_.changes_processed;
+        if (change.kind == ops5::ChangeKind::Insert)
+            handleInsert(change.wme);
+        else
+            handleRemove(change.wme);
+    }
+}
+
+void
+FullStateMatcher::handleInsert(const ops5::Wme *wme)
+{
+    for (ProdState &ps : prods_) {
+        int k = static_cast<int>(ps.positive.size());
+
+        // Positive hits: which ordinals this WME can fill.
+        unsigned hit_mask = 0;
+        for (int i = 0; i < k; ++i) {
+            if (wmePassesAlpha(ps.lhs.ces[ps.positive[i]], wme))
+                hit_mask |= 1u << i;
+        }
+
+        if (hit_mask != 0) {
+            unsigned full = (1u << k) - 1;
+            // Masks in ascending popcount order: every base memory is
+            // final (including this WME's additions) before any of
+            // its supersets extends it, which is what lets tuples
+            // containing the WME at several ordinals emerge.
+            std::vector<unsigned> masks;
+            for (unsigned m = 1; m <= full; ++m) {
+                if (m & hit_mask)
+                    masks.push_back(m);
+            }
+            std::sort(masks.begin(), masks.end(),
+                      [](unsigned a, unsigned b) {
+                          int pa = popcount(a), pb = popcount(b);
+                          return pa != pb ? pa < pb : a < b;
+                      });
+
+            Tuple empty(static_cast<std::size_t>(k), nullptr);
+            for (unsigned mask : masks) {
+                for (int i = 0; i < k; ++i) {
+                    if (!((mask >> i) & 1u) || !((hit_mask >> i) & 1u))
+                        continue;
+                    unsigned base = mask & ~(1u << i);
+                    auto extend = [&](const Tuple &t) {
+                        if (t[i] != nullptr)
+                            return; // slot already filled
+                        if (!consistent(ps, t, i, wme))
+                            return;
+                        Tuple nt = t;
+                        nt[i] = wme;
+                        stats_.instructions += kPerTupleBuild;
+                        auto [it, inserted] =
+                            ps.mems[mask].insert(std::move(nt));
+                        if (inserted) {
+                            ++stats_.tokens_built;
+                            if (mask == full && !blocked(ps, *it))
+                                insertInstantiation(ps, *it);
+                        }
+                    };
+                    if (base == 0) {
+                        extend(empty);
+                    } else {
+                        // Snapshot: extending while iterating the same
+                        // set is only an issue when base == mask,
+                        // which cannot happen (base lacks bit i).
+                        for (const Tuple &t : ps.mems[base])
+                            extend(t);
+                    }
+                }
+            }
+        }
+
+        // Negated hits: new blockers sweep the conflict set.
+        const ops5::SymbolTable &syms = program_->symbols();
+        for (std::size_t n = 0; n < ps.negated.size(); ++n) {
+            const rete::CompiledCe &ce = ps.lhs.ces[ps.negated[n]];
+            if (!wmePassesAlpha(ce, wme))
+                continue;
+            ps.neg_mems[n].push_back(wme);
+            conflict_set_.removeIf([&](const ops5::Instantiation &inst) {
+                if (inst.production != ps.lhs.production)
+                    return false;
+                rete::Token token;
+                token.wmes = inst.wmes;
+                return rete::evalJoinTests(ce.join_tests, token, *wme,
+                                           syms);
+            });
+        }
+    }
+}
+
+void
+FullStateMatcher::handleRemove(const ops5::Wme *wme)
+{
+    for (ProdState &ps : prods_) {
+        int k = static_cast<int>(ps.positive.size());
+        unsigned full = (1u << k) - 1;
+
+        // Oflazer's garbage-collection cost: every subset memory is
+        // swept for tuples containing the retracted element.
+        for (unsigned mask = 1; mask <= full && k > 0; ++mask) {
+            TupleSet &set = ps.mems[mask];
+            for (auto it = set.begin(); it != set.end();) {
+                stats_.instructions += kPerDelete;
+                bool contains =
+                    std::find(it->begin(), it->end(), wme) != it->end();
+                if (contains) {
+                    if (mask != full)
+                        ++wasted_deletes_;
+                    it = set.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        conflict_set_.removeIf([&](const ops5::Instantiation &inst) {
+            return inst.production == ps.lhs.production &&
+                   std::find(inst.wmes.begin(), inst.wmes.end(), wme) !=
+                       inst.wmes.end();
+        });
+
+        // Blocker removal may unblock stored full tuples.
+        const ops5::SymbolTable &syms = program_->symbols();
+        for (std::size_t n = 0; n < ps.negated.size(); ++n) {
+            auto &mem = ps.neg_mems[n];
+            auto pos = std::find(mem.begin(), mem.end(), wme);
+            if (pos == mem.end())
+                continue;
+            *pos = mem.back();
+            mem.pop_back();
+            const rete::CompiledCe &ce = ps.lhs.ces[ps.negated[n]];
+            if (k == 0)
+                continue;
+            for (const Tuple &t : ps.mems[full]) {
+                rete::Token token;
+                token.wmes = t;
+                if (rete::evalJoinTests(ce.join_tests, token, *wme,
+                                        syms) &&
+                    !blocked(ps, t)) {
+                    insertInstantiation(ps, t);
+                }
+            }
+        }
+    }
+}
+
+std::size_t
+FullStateMatcher::stateSize() const
+{
+    std::size_t n = 0;
+    for (const ProdState &ps : prods_) {
+        for (const TupleSet &set : ps.mems)
+            n += set.size();
+    }
+    return n;
+}
+
+} // namespace psm::treat

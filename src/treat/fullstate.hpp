@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The full-state matcher: the HIGH end of the paper's state-saving
+ * spectrum (Section 3.2), modelled on Oflazer's algorithm.
+ *
+ * Where Rete stores tokens only for a fixed chain of condition-element
+ * prefixes, this matcher stores consistent partial tuples for EVERY
+ * subset of a production's positive condition elements. The paper
+ * predicts two problems, both reproduced measurably here: "(1) the
+ * state may become very large, and (2) the algorithm may spend a lot
+ * of time computing and deleting state that never really gets used" —
+ * the stateSize() accessor and the instruction counters feed the
+ * state-spectrum experiment.
+ *
+ * Negated condition elements are handled TREAT-style (alpha memories
+ * plus conflict-set filtering), since Oflazer's treatment of negation
+ * is orthogonal to the state-spectrum question.
+ */
+
+#ifndef PSM_TREAT_FULLSTATE_HPP
+#define PSM_TREAT_FULLSTATE_HPP
+
+#include <memory>
+#include <unordered_set>
+
+#include "core/matcher.hpp"
+#include "rete/compile.hpp"
+
+namespace psm::treat {
+
+/**
+ * Stores match state for all combinations of condition elements.
+ */
+class FullStateMatcher : public core::Matcher
+{
+  public:
+    /**
+     * @param program the rule base
+     * @param max_positive_ces guard against the exponential subset
+     *        count; productions with more positive CEs are rejected
+     *        with std::invalid_argument (the generator presets stay
+     *        well below this)
+     */
+    explicit FullStateMatcher(
+        std::shared_ptr<const ops5::Program> program,
+        int max_positive_ces = 12);
+
+    void processChanges(std::span<const ops5::WmeChange> changes) override;
+
+    ops5::ConflictSet &conflictSet() override { return conflict_set_; }
+    const ops5::ConflictSet &
+    conflictSet() const override
+    {
+        return conflict_set_;
+    }
+
+    core::MatchStats stats() const override { return stats_; }
+    std::string name() const override { return "full-state"; }
+
+    /** Total stored partial tuples across all subset memories — the
+     *  "state may become very large" measurement. */
+    std::size_t stateSize() const;
+
+    /** Tuples deleted that never became instantiations — the wasted
+     *  state-maintenance work the paper warns about. */
+    std::uint64_t wastedTupleDeletes() const { return wasted_deletes_; }
+
+  private:
+    /** Partial tuple: slot per positive CE ordinal, nullptr = free. */
+    using Tuple = std::vector<const ops5::Wme *>;
+
+    struct TupleHash
+    {
+        std::size_t
+        operator()(const Tuple &t) const
+        {
+            std::size_t h = 0x811c9dc5;
+            for (const ops5::Wme *w : t)
+                h = h * 0x9e3779b97f4a7c15ULL +
+                    std::hash<const void *>()(w);
+            return h;
+        }
+    };
+
+    using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+    struct ProdState
+    {
+        rete::CompiledLhs lhs;
+        std::vector<int> positive; ///< lhs.ces indices of positive CEs
+        std::vector<int> negated;  ///< lhs.ces indices of negated CEs
+        std::vector<TupleSet> mems;                ///< per subset mask
+        std::vector<std::vector<const ops5::Wme *>> neg_mems;
+    };
+
+    void handleInsert(const ops5::Wme *wme);
+    void handleRemove(const ops5::Wme *wme);
+
+    bool wmePassesAlpha(const rete::CompiledCe &ce,
+                        const ops5::Wme *wme) const;
+
+    /** All join tests between slots of @p tuple (with @p wme placed
+     *  at ordinal @p pos) that touch @p pos. */
+    bool consistent(const ProdState &ps, const Tuple &tuple, int pos,
+                    const ops5::Wme *wme);
+
+    /** Is full tuple @p t blocked by any negated CE's memory? */
+    bool blocked(const ProdState &ps, const Tuple &t);
+
+    void insertInstantiation(const ProdState &ps, const Tuple &t);
+
+    std::shared_ptr<const ops5::Program> program_;
+    ops5::ConflictSet conflict_set_;
+    core::MatchStats stats_;
+    std::vector<ProdState> prods_;
+    std::uint64_t wasted_deletes_ = 0;
+
+    static constexpr std::uint32_t kPerTupleBuild = 30;
+    static constexpr std::uint32_t kPerComparison = 8;
+    static constexpr std::uint32_t kPerDelete = 12;
+};
+
+} // namespace psm::treat
+
+#endif // PSM_TREAT_FULLSTATE_HPP

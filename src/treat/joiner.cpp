@@ -1,0 +1,78 @@
+#include "treat/joiner.hpp"
+
+#include "rete/nodes.hpp"
+
+namespace psm::treat {
+
+namespace {
+
+struct JoinContext
+{
+    const rete::CompiledLhs &lhs;
+    const CandidateLists &candidates;
+    const ops5::SymbolTable &syms;
+    int pinned_ce;
+    const ops5::Wme *pinned_wme;
+    const std::function<void(const std::vector<const ops5::Wme *> &)>
+        &emit;
+    JoinStats stats;
+    rete::Token token;
+};
+
+void
+recurse(JoinContext &ctx, std::size_t ce_idx)
+{
+    if (ce_idx == ctx.lhs.ces.size()) {
+        ++ctx.stats.tuples;
+        ctx.emit(ctx.token.wmes);
+        return;
+    }
+    const rete::CompiledCe &ce = ctx.lhs.ces[ce_idx];
+
+    if (ce.negated) {
+        for (const ops5::Wme *wme : *ctx.candidates[ce_idx]) {
+            ++ctx.stats.comparisons;
+            if (rete::evalJoinTests(ce.join_tests, ctx.token, *wme,
+                                    ctx.syms)) {
+                return; // vetoed: a blocker matches this partial tuple
+            }
+        }
+        recurse(ctx, ce_idx + 1);
+        return;
+    }
+
+    auto try_wme = [&](const ops5::Wme *wme) {
+        ++ctx.stats.comparisons;
+        if (!rete::evalJoinTests(ce.join_tests, ctx.token, *wme, ctx.syms))
+            return;
+        ctx.token.wmes.push_back(wme);
+        recurse(ctx, ce_idx + 1);
+        ctx.token.wmes.pop_back();
+    };
+
+    if (static_cast<int>(ce_idx) == ctx.pinned_ce) {
+        try_wme(ctx.pinned_wme);
+        return;
+    }
+    for (const ops5::Wme *wme : *ctx.candidates[ce_idx])
+        try_wme(wme);
+}
+
+} // namespace
+
+JoinStats
+enumerateJoins(
+    const rete::CompiledLhs &lhs,
+    const CandidateLists &candidates,
+    const ops5::SymbolTable &syms, int pinned_ce,
+    const ops5::Wme *pinned_wme,
+    const std::function<void(const std::vector<const ops5::Wme *> &)>
+        &emit)
+{
+    JoinContext ctx{lhs, candidates, syms, pinned_ce, pinned_wme, emit,
+                    {}, {}};
+    recurse(ctx, 0);
+    return ctx.stats;
+}
+
+} // namespace psm::treat

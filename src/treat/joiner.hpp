@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Backtracking LHS join used by the TREAT and naive matchers.
+ *
+ * Enumerates WME tuples satisfying a production's condition elements
+ * given per-CE candidate lists. Both matchers in this library that do
+ * NOT keep beta state (TREAT recomputes joins per cycle; the naive
+ * matcher recomputes everything) funnel through this one routine, so
+ * their comparison counts are directly comparable.
+ */
+
+#ifndef PSM_TREAT_JOINER_HPP
+#define PSM_TREAT_JOINER_HPP
+
+#include <functional>
+#include <vector>
+
+#include "rete/compile.hpp"
+#include "rete/token.hpp"
+
+namespace psm::treat {
+
+/** Statistics accumulated by one join enumeration. */
+struct JoinStats
+{
+    std::uint64_t comparisons = 0; ///< candidate WMEs examined
+    std::uint64_t tuples = 0;      ///< complete tuples produced
+};
+
+/**
+ * Enumerates all WME tuples matching @p lhs.
+ *
+ * @param lhs        compiled LHS (alpha + join tests per CE)
+ * @param candidates per-CE candidate lists; candidates[i] must already
+ *                   satisfy CE i's alpha tests (they are its alpha
+ *                   memory)
+ * @param syms       symbol table for predicate evaluation
+ * @param pinned_ce  if >= 0, CE index whose match is fixed to
+ *                   @p pinned_wme (TREAT's seed: the newly inserted
+ *                   WME), so only tuples containing it are produced
+ * @param pinned_wme the seed WME
+ * @param emit       called once per complete tuple with the WMEs of
+ *                   the positive CEs in LHS order
+ * @return counters for the enumeration
+ *
+ * Negated CEs veto a partial tuple when any candidate matches; a
+ * negated pinned CE yields no tuples (handled by callers).
+ */
+/** One candidate list per CE (borrowed, e.g. the alpha memories). */
+using CandidateLists = std::vector<const std::vector<const ops5::Wme *> *>;
+
+JoinStats enumerateJoins(
+    const rete::CompiledLhs &lhs,
+    const CandidateLists &candidates,
+    const ops5::SymbolTable &syms, int pinned_ce,
+    const ops5::Wme *pinned_wme,
+    const std::function<void(const std::vector<const ops5::Wme *> &)>
+        &emit);
+
+} // namespace psm::treat
+
+#endif // PSM_TREAT_JOINER_HPP

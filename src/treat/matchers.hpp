@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Umbrella header for the state-spectrum matchers around Rete:
+ * TREAT (low end), naive (no state), full-state (high end).
+ */
+
+#ifndef PSM_TREAT_MATCHERS_HPP
+#define PSM_TREAT_MATCHERS_HPP
+
+#include "treat/fullstate.hpp"  // IWYU pragma: export
+#include "treat/joiner.hpp"     // IWYU pragma: export
+#include "treat/naive.hpp"      // IWYU pragma: export
+#include "treat/treat.hpp"      // IWYU pragma: export
+
+#endif // PSM_TREAT_MATCHERS_HPP

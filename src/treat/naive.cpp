@@ -1,0 +1,102 @@
+#include "treat/naive.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace psm::treat {
+
+NaiveMatcher::NaiveMatcher(std::shared_ptr<const ops5::Program> program)
+    : program_(std::move(program))
+{
+    for (const auto &p : program_->productions())
+        lhs_.push_back(rete::compileLhs(*p));
+}
+
+void
+NaiveMatcher::processChanges(std::span<const ops5::WmeChange> changes)
+{
+    for (const ops5::WmeChange &change : changes) {
+        ++stats_.changes_processed;
+        auto &list = live_by_class_[change.wme->className()];
+        if (change.kind == ops5::ChangeKind::Insert) {
+            list.push_back(change.wme);
+            ++live_count_;
+        } else {
+            auto it = std::find(list.begin(), list.end(), change.wme);
+            if (it != list.end()) {
+                *it = list.back();
+                list.pop_back();
+                --live_count_;
+            }
+        }
+    }
+    rematchEverything();
+}
+
+void
+NaiveMatcher::rematchEverything()
+{
+    const ops5::SymbolTable &syms = program_->symbols();
+
+    // Charge the per-element temporary-state cost (the c3 term): the
+    // whole working memory is rescanned and per-element match state
+    // rebuilt each cycle.
+    stats_.instructions += live_count_ * kPerWmeTempState;
+
+    std::vector<ops5::Instantiation> found;
+    std::unordered_set<ops5::InstantiationKey,
+                       ops5::InstantiationKeyHash> found_keys;
+
+    for (const rete::CompiledLhs &lhs : lhs_) {
+        // Build candidate lists: the per-CE alpha matches, recomputed
+        // from scratch (this is what a state-saving algorithm avoids).
+        std::vector<std::vector<const ops5::Wme *>> per_ce;
+        per_ce.reserve(lhs.ces.size());
+        for (const rete::CompiledCe &ce : lhs.ces) {
+            std::vector<const ops5::Wme *> cands;
+            auto it = live_by_class_.find(ce.cls);
+            if (it != live_by_class_.end()) {
+                for (const ops5::Wme *wme : it->second) {
+                    ++stats_.comparisons;
+                    bool pass = std::all_of(
+                        ce.alpha_tests.begin(), ce.alpha_tests.end(),
+                        [&](const rete::AlphaTest &t) {
+                            return t.eval(*wme, syms);
+                        });
+                    if (pass)
+                        cands.push_back(wme);
+                }
+            }
+            per_ce.push_back(std::move(cands));
+        }
+
+        CandidateLists lists;
+        lists.reserve(per_ce.size());
+        for (const auto &v : per_ce)
+            lists.push_back(&v);
+
+        JoinStats js = enumerateJoins(
+            lhs, lists, syms, -1, nullptr,
+            [&](const std::vector<const ops5::Wme *> &tuple) {
+                ops5::Instantiation inst;
+                inst.production = lhs.production;
+                inst.wmes = tuple;
+                found_keys.insert(ops5::InstantiationKey::of(inst));
+                found.push_back(std::move(inst));
+            });
+        stats_.comparisons += js.comparisons;
+        stats_.tokens_built += js.tuples;
+        stats_.instructions += js.comparisons * kPerComparison +
+                               js.tuples * kPerTuple;
+    }
+
+    // Diff against the current conflict set so refraction records for
+    // instantiations that remain satisfied survive the rebuild.
+    conflict_set_.removeIf([&](const ops5::Instantiation &inst) {
+        return !found_keys.count(ops5::InstantiationKey::of(inst));
+    });
+    for (ops5::Instantiation &inst : found)
+        conflict_set_.insert(std::move(inst));
+}
+
+} // namespace psm::treat

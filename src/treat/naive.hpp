@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The naive non-state-saving matcher of Section 3.1.
+ *
+ * Every cycle it rematches the complete working memory against every
+ * production from scratch, storing nothing between cycles beyond the
+ * working memory itself. It exists (a) as ground truth the stateful
+ * matchers are property-tested against and (b) to realise the paper's
+ * C_non-state-saving = s * c3 cost side of the state-saving
+ * inequality empirically.
+ */
+
+#ifndef PSM_TREAT_NAIVE_HPP
+#define PSM_TREAT_NAIVE_HPP
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/matcher.hpp"
+#include "rete/compile.hpp"
+#include "treat/joiner.hpp"
+
+namespace psm::treat {
+
+/**
+ * Non-state-saving matcher: full re-match each cycle.
+ */
+class NaiveMatcher : public core::Matcher
+{
+  public:
+    explicit NaiveMatcher(std::shared_ptr<const ops5::Program> program);
+
+    void processChanges(std::span<const ops5::WmeChange> changes) override;
+
+    ops5::ConflictSet &conflictSet() override { return conflict_set_; }
+    const ops5::ConflictSet &
+    conflictSet() const override
+    {
+        return conflict_set_;
+    }
+
+    core::MatchStats stats() const override { return stats_; }
+    std::string name() const override { return "naive"; }
+
+    /** Live WME count the matcher tracks (mirror of working memory). */
+    std::size_t liveWmeCount() const { return live_count_; }
+
+  private:
+    void rematchEverything();
+
+    std::shared_ptr<const ops5::Program> program_;
+    ops5::ConflictSet conflict_set_;
+    core::MatchStats stats_;
+
+    std::vector<rete::CompiledLhs> lhs_;
+    std::unordered_map<ops5::SymbolId,
+                       std::vector<const ops5::Wme *>> live_by_class_;
+    std::size_t live_count_ = 0;
+
+    /** Per-WME cost of computing and storing temporary per-element
+     *  state, the paper's c3 term. */
+    static constexpr std::uint32_t kPerWmeTempState = 24;
+    static constexpr std::uint32_t kPerComparison = 8;
+    static constexpr std::uint32_t kPerTuple = 60;
+};
+
+} // namespace psm::treat
+
+#endif // PSM_TREAT_NAIVE_HPP

@@ -1,0 +1,195 @@
+#include "treat/treat.hpp"
+
+#include <algorithm>
+
+namespace psm::treat {
+
+TreatMatcher::TreatMatcher(std::shared_ptr<const ops5::Program> program,
+                           TreatCostModel cost_model)
+    : program_(std::move(program)), cost_(cost_model)
+{
+    for (const auto &p : program_->productions()) {
+        ProdInfo info;
+        info.lhs = rete::compileLhs(*p);
+        for (const rete::CompiledCe &ce : info.lhs.ces)
+            info.ce_mems.push_back(getOrCreateMem(ce.cls, ce.alpha_tests));
+        prods_.push_back(std::move(info));
+    }
+}
+
+TreatMatcher::AlphaMem *
+TreatMatcher::getOrCreateMem(ops5::SymbolId cls,
+                             const std::vector<rete::AlphaTest> &tests)
+{
+    for (AlphaMem *mem : by_class_[cls]) {
+        if (mem->tests == tests)
+            return mem;
+    }
+    auto mem = std::make_unique<AlphaMem>();
+    mem->cls = cls;
+    mem->tests = tests;
+    AlphaMem *raw = mem.get();
+    mems_.push_back(std::move(mem));
+    by_class_[cls].push_back(raw);
+    return raw;
+}
+
+CandidateLists
+TreatMatcher::candidatesFor(const ProdInfo &info) const
+{
+    CandidateLists lists;
+    lists.reserve(info.ce_mems.size());
+    for (AlphaMem *mem : info.ce_mems)
+        lists.push_back(&mem->items);
+    return lists;
+}
+
+void
+TreatMatcher::processChanges(std::span<const ops5::WmeChange> changes)
+{
+    for (const ops5::WmeChange &change : changes) {
+        ++stats_.changes_processed;
+        stats_.instructions += cost_.change_base;
+        if (change.kind == ops5::ChangeKind::Insert)
+            handleInsert(change.wme);
+        else
+            handleRemove(change.wme);
+    }
+}
+
+void
+TreatMatcher::handleInsert(const ops5::Wme *wme)
+{
+    const ops5::SymbolTable &syms = program_->symbols();
+
+    // Update every condition-element memory this WME satisfies.
+    std::vector<AlphaMem *> hit;
+    auto it = by_class_.find(wme->className());
+    if (it == by_class_.end())
+        return;
+    for (AlphaMem *mem : it->second) {
+        ++stats_.comparisons;
+        bool pass = std::all_of(mem->tests.begin(), mem->tests.end(),
+                                [&](const rete::AlphaTest &t) {
+                                    return t.eval(*wme, syms);
+                                });
+        if (pass) {
+            mem->items.push_back(wme);
+            hit.push_back(mem);
+        }
+    }
+    if (hit.empty())
+        return;
+
+    // Seeded joins: for every production CE whose memory gained the
+    // WME, enumerate only tuples containing it at that position.
+    for (const ProdInfo &info : prods_) {
+        CandidateLists lists = candidatesFor(info);
+        for (std::size_t ce = 0; ce < info.lhs.ces.size(); ++ce) {
+            if (std::find(hit.begin(), hit.end(), info.ce_mems[ce]) ==
+                hit.end()) {
+                continue;
+            }
+            const rete::CompiledCe &cce = info.lhs.ces[ce];
+            if (cce.negated) {
+                // A new blocker: sweep instantiations it invalidates.
+                std::size_t scanned = conflict_set_.size();
+                conflict_set_.removeIf(
+                    [&](const ops5::Instantiation &inst) {
+                        if (inst.production != info.lhs.production)
+                            return false;
+                        rete::Token tok;
+                        tok.wmes = inst.wmes;
+                        return rete::evalJoinTests(cce.join_tests, tok,
+                                                   *wme, syms);
+                    });
+                stats_.instructions += scanned * cost_.per_cs_scan;
+                continue;
+            }
+            JoinStats js = enumerateJoins(
+                info.lhs, lists, syms, static_cast<int>(ce), wme,
+                [&](const std::vector<const ops5::Wme *> &tuple) {
+                    ops5::Instantiation inst;
+                    inst.production = info.lhs.production;
+                    inst.wmes = tuple;
+                    conflict_set_.insert(std::move(inst));
+                });
+            stats_.comparisons += js.comparisons;
+            stats_.tokens_built += js.tuples;
+            stats_.instructions += js.comparisons * cost_.per_comparison +
+                                   js.tuples * cost_.per_tuple;
+        }
+    }
+}
+
+void
+TreatMatcher::handleRemove(const ops5::Wme *wme)
+{
+    const ops5::SymbolTable &syms = program_->symbols();
+
+    std::vector<AlphaMem *> hit;
+    auto it = by_class_.find(wme->className());
+    if (it == by_class_.end())
+        return;
+    for (AlphaMem *mem : it->second) {
+        auto pos = std::find(mem->items.begin(), mem->items.end(), wme);
+        stats_.instructions += mem->items.size(); // removal scan
+        if (pos != mem->items.end()) {
+            *pos = mem->items.back();
+            mem->items.pop_back();
+            hit.push_back(mem);
+        }
+    }
+    if (hit.empty())
+        return;
+
+    // Positive involvement: sweep the conflict set (TREAT's cheap
+    // delete).
+    std::size_t scanned = conflict_set_.size();
+    conflict_set_.removeIf([&](const ops5::Instantiation &inst) {
+        return std::find(inst.wmes.begin(), inst.wmes.end(), wme) !=
+               inst.wmes.end();
+    });
+    stats_.instructions += scanned * cost_.per_cs_scan;
+
+    // Negated involvement: the WME may have been the only blocker of
+    // some tuples; recompute the affected productions' joins. The
+    // conflict set deduplicates tuples that already existed.
+    for (const ProdInfo &info : prods_) {
+        bool negated_hit = false;
+        for (std::size_t ce = 0; ce < info.lhs.ces.size(); ++ce) {
+            if (info.lhs.ces[ce].negated &&
+                std::find(hit.begin(), hit.end(), info.ce_mems[ce]) !=
+                    hit.end()) {
+                negated_hit = true;
+                break;
+            }
+        }
+        if (!negated_hit)
+            continue;
+        CandidateLists lists = candidatesFor(info);
+        JoinStats js = enumerateJoins(
+            info.lhs, lists, syms, -1, nullptr,
+            [&](const std::vector<const ops5::Wme *> &tuple) {
+                ops5::Instantiation inst;
+                inst.production = info.lhs.production;
+                inst.wmes = tuple;
+                conflict_set_.insert(std::move(inst));
+            });
+        stats_.comparisons += js.comparisons;
+        stats_.tokens_built += js.tuples;
+        stats_.instructions += js.comparisons * cost_.per_comparison +
+                               js.tuples * cost_.per_tuple;
+    }
+}
+
+std::size_t
+TreatMatcher::alphaStateSize() const
+{
+    std::size_t n = 0;
+    for (const auto &mem : mems_)
+        n += mem->items.size();
+    return n;
+}
+
+} // namespace psm::treat

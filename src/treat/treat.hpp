@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The TREAT matcher: the low end of the paper's state-saving spectrum
+ * (Section 3.2).
+ *
+ * TREAT (Miranker, for the DADO machine) stores only alpha memories —
+ * the WMEs matching each individual condition element — and recomputes
+ * cross-CE joins on every cycle, seeded by the newly changed WME.
+ * Deleting a WME is cheap: retract it from its alpha memories and
+ * sweep the conflict set. The price is join recomputation on every
+ * insert, which is the Rete-vs-TREAT trade the paper's Section 7.1
+ * discusses.
+ */
+
+#ifndef PSM_TREAT_TREAT_HPP
+#define PSM_TREAT_TREAT_HPP
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/matcher.hpp"
+#include "rete/compile.hpp"
+#include "treat/joiner.hpp"
+
+namespace psm::treat {
+
+/** Instruction-cost constants for the TREAT matcher's accounting. */
+struct TreatCostModel
+{
+    std::uint32_t change_base = 40;   ///< alpha update + dispatch
+    std::uint32_t per_comparison = 8; ///< one candidate examined
+    std::uint32_t per_tuple = 60;     ///< conflict-set maintenance
+    std::uint32_t per_cs_scan = 4;    ///< delete sweep, per entry
+};
+
+/**
+ * Alpha-memory-only state-saving matcher.
+ */
+class TreatMatcher : public core::Matcher
+{
+  public:
+    explicit TreatMatcher(std::shared_ptr<const ops5::Program> program,
+                          TreatCostModel cost_model = {});
+
+    void processChanges(std::span<const ops5::WmeChange> changes) override;
+
+    ops5::ConflictSet &conflictSet() override { return conflict_set_; }
+    const ops5::ConflictSet &
+    conflictSet() const override
+    {
+        return conflict_set_;
+    }
+
+    core::MatchStats stats() const override { return stats_; }
+    std::string name() const override { return "treat"; }
+
+    /** Total WMEs held across all (shared) alpha memories. */
+    std::size_t alphaStateSize() const;
+
+  private:
+    /** One shared condition-element memory. */
+    struct AlphaMem
+    {
+        ops5::SymbolId cls;
+        std::vector<rete::AlphaTest> tests;
+        std::vector<const ops5::Wme *> items;
+    };
+
+    /** Per-production compiled LHS plus its CE -> memory wiring. */
+    struct ProdInfo
+    {
+        rete::CompiledLhs lhs;
+        std::vector<AlphaMem *> ce_mems;
+    };
+
+    AlphaMem *getOrCreateMem(ops5::SymbolId cls,
+                             const std::vector<rete::AlphaTest> &tests);
+
+    void handleInsert(const ops5::Wme *wme);
+    void handleRemove(const ops5::Wme *wme);
+
+    /** Candidate lists for one production (its alpha memories). */
+    CandidateLists candidatesFor(const ProdInfo &info) const;
+
+    std::shared_ptr<const ops5::Program> program_;
+    TreatCostModel cost_;
+    ops5::ConflictSet conflict_set_;
+    core::MatchStats stats_;
+
+    std::vector<std::unique_ptr<AlphaMem>> mems_;
+    std::unordered_map<ops5::SymbolId, std::vector<AlphaMem *>> by_class_;
+    std::vector<ProdInfo> prods_;
+};
+
+} // namespace psm::treat
+
+#endif // PSM_TREAT_TREAT_HPP

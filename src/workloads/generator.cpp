@@ -1,0 +1,378 @@
+#include "workloads/generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ops5/parser.hpp"
+
+namespace psm::workloads {
+
+namespace {
+
+/** Convenience around the RNG distributions used below. */
+class Dice
+{
+  public:
+    explicit Dice(std::uint64_t seed) : rng_(seed) {}
+
+    int
+    range(int lo, int hi) // inclusive
+    {
+        return std::uniform_int_distribution<int>(lo, hi)(rng_);
+    }
+
+    bool
+    chance(double p)
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+    }
+
+    std::mt19937_64 &raw() { return rng_; }
+
+  private:
+    std::mt19937_64 rng_;
+};
+
+/** Vocabulary naming shared by the generator and the change stream. */
+std::string
+className(int c)
+{
+    return "c" + std::to_string(c);
+}
+
+std::string
+typeSymbol(int c, int t)
+{
+    return "t" + std::to_string(c) + "-" + std::to_string(t);
+}
+
+/** Symbol pools are global per attribute index so cross-class joins
+ *  share a value space. */
+std::string
+poolSymbol(int attr, int k)
+{
+    return "s" + std::to_string(attr) + "-" + std::to_string(k);
+}
+
+std::string
+attrName(int a)
+{
+    return "a" + std::to_string(a);
+}
+
+/** A variable bound somewhere earlier in the production's LHS. */
+struct BoundVar
+{
+    std::string name;
+    int attr;     ///< attribute index it binds (value-space hint)
+    bool numeric; ///< binds the numeric attribute
+};
+
+/** Emits one production as OPS5 source. */
+class ProductionWriter
+{
+  public:
+    ProductionWriter(const GeneratorConfig &cfg, Dice &dice)
+        : cfg_(cfg), dice_(dice)
+    {}
+
+    std::string
+    write(int index, bool expensive)
+    {
+        std::ostringstream os;
+        os << "(p gen-p" << index << "\n";
+
+        int n_ces = dice_.range(cfg_.min_ces, cfg_.max_ces);
+        if (expensive)
+            n_ces += cfg_.expensive_extra_ces;
+
+        positive_ces_.clear();
+        bound_.clear();
+        next_var_ = 0;
+
+        for (int i = 0; i < n_ces; ++i) {
+            bool negated =
+                i > 0 && dice_.chance(cfg_.negated_fraction);
+            os << "    " << conditionElement(i, negated, expensive)
+               << "\n";
+        }
+        os << "    -->\n";
+        writeActions(os);
+        os << ")\n";
+        return os.str();
+    }
+
+  private:
+    std::string
+    conditionElement(int ce_index, bool negated, bool expensive)
+    {
+        std::ostringstream os;
+        int cls = dice_.range(0, cfg_.n_classes - 1);
+        if (negated)
+            os << "-";
+        os << "(" << className(cls);
+
+        // Bucket test: ties the production to one "type" partition of
+        // the class, which is what bounds the affected-production set.
+        int type = dice_.range(0, cfg_.types_per_class - 1);
+        os << " ^type " << typeSymbol(cls, type);
+
+        std::vector<BoundVar> new_binds;
+        bool has_join = false;
+
+        for (int a = 0; a < cfg_.attrs_per_class; ++a) {
+            // Expensive productions test fewer constants, so their
+            // alpha memories stay big and their joins cost more.
+            double const_p = expensive ? cfg_.constant_test_prob * 0.3
+                                       : cfg_.constant_test_prob;
+            if (dice_.chance(const_p)) {
+                os << " ^" << attrName(a) << " "
+                   << poolSymbol(a, dice_.range(
+                          0, cfg_.symbols_per_attr - 1));
+                continue;
+            }
+            if (!bound_.empty() && dice_.chance(cfg_.join_var_prob)) {
+                // Prefer a variable bound at the same attribute index
+                // so the join has a real chance of succeeding.
+                const BoundVar *pick = pickBound(a, false);
+                if (pick) {
+                    os << " ^" << attrName(a) << " <" << pick->name
+                       << ">";
+                    has_join = true;
+                    continue;
+                }
+            }
+            if (!negated && dice_.chance(0.4)) {
+                BoundVar bv{"v" + std::to_string(next_var_++), a, false};
+                os << " ^" << attrName(a) << " <" << bv.name << ">";
+                new_binds.push_back(std::move(bv));
+            }
+        }
+
+        // Numeric attribute: constant predicate or numeric join.
+        if (dice_.chance(cfg_.numeric_pred_prob)) {
+            static const char *preds[] = {">", "<", ">=", "<="};
+            os << " ^num " << preds[dice_.range(0, 3)] << " "
+               << dice_.range(0, cfg_.numeric_range - 1);
+        } else if (!bound_.empty() && dice_.chance(cfg_.join_var_prob)) {
+            const BoundVar *pick = pickBound(-1, true);
+            if (pick) {
+                os << " ^num <" << pick->name << ">";
+                has_join = true;
+            }
+        } else if (!negated && dice_.chance(0.3)) {
+            BoundVar bv{"v" + std::to_string(next_var_++), -1, true};
+            os << " ^num <" << bv.name << ">";
+            new_binds.push_back(std::move(bv));
+        }
+
+        // Keep the production connected: force one join if none
+        // happened naturally (otherwise the LHS is a cross product).
+        if (ce_index > 0 && !has_join && !bound_.empty()) {
+            const BoundVar &bv = bound_[static_cast<std::size_t>(
+                dice_.range(0, static_cast<int>(bound_.size()) - 1))];
+            if (bv.numeric)
+                os << " ^num <" << bv.name << ">";
+            else
+                os << " ^" << attrName(bv.attr) << " <" << bv.name
+                   << ">";
+        }
+
+        os << ")";
+        if (!negated) {
+            positive_ces_.push_back(ce_index + 1); // 1-based
+            for (BoundVar &bv : new_binds)
+                bound_.push_back(std::move(bv));
+        }
+        return os.str();
+    }
+
+    const BoundVar *
+    pickBound(int attr, bool numeric)
+    {
+        std::vector<const BoundVar *> fit;
+        for (const BoundVar &bv : bound_) {
+            if (numeric ? bv.numeric : (!bv.numeric && bv.attr == attr))
+                fit.push_back(&bv);
+        }
+        if (fit.empty())
+            return nullptr;
+        return fit[static_cast<std::size_t>(
+            dice_.range(0, static_cast<int>(fit.size()) - 1))];
+    }
+
+    void
+    writeActions(std::ostringstream &os)
+    {
+        int n = dice_.range(cfg_.min_actions, cfg_.max_actions);
+        bool consumed = false; // at least one modify/remove, so the
+                               // firing invalidates its instantiation
+        for (int i = 0; i < n; ++i) {
+            double roll = dice_.chance(cfg_.make_prob) ? 0.0 : 1.0;
+            if ((i == n - 1 && !consumed) || roll > 0.0) {
+                int ce = positive_ces_[static_cast<std::size_t>(
+                    dice_.range(0,
+                                static_cast<int>(positive_ces_.size()) -
+                                    1))];
+                if (dice_.chance(cfg_.modify_prob /
+                                 (1.0 - cfg_.make_prob))) {
+                    int attr = dice_.range(0, cfg_.attrs_per_class - 1);
+                    os << "    (modify " << ce << " ^" << attrName(attr)
+                       << " "
+                       << poolSymbol(attr,
+                                     dice_.range(
+                                         0, cfg_.symbols_per_attr - 1))
+                       << ")\n";
+                } else {
+                    os << "    (remove " << ce << ")\n";
+                }
+                consumed = true;
+            } else {
+                writeMake(os);
+            }
+        }
+    }
+
+    void
+    writeMake(std::ostringstream &os)
+    {
+        int cls = dice_.range(0, cfg_.n_classes - 1);
+        os << "    (make " << className(cls) << " ^type "
+           << typeSymbol(cls,
+                         dice_.range(0, cfg_.types_per_class - 1));
+        for (int a = 0; a < cfg_.attrs_per_class; ++a) {
+            if (!dice_.chance(0.6))
+                continue;
+            const BoundVar *pick =
+                dice_.chance(0.3) ? pickBound(a, false) : nullptr;
+            if (pick)
+                os << " ^" << attrName(a) << " <" << pick->name << ">";
+            else
+                os << " ^" << attrName(a) << " "
+                   << poolSymbol(a, dice_.range(
+                          0, cfg_.symbols_per_attr - 1));
+        }
+        os << " ^num " << dice_.range(0, cfg_.numeric_range - 1)
+           << ")\n";
+    }
+
+    const GeneratorConfig &cfg_;
+    Dice &dice_;
+    std::vector<int> positive_ces_;
+    std::vector<BoundVar> bound_;
+    int next_var_ = 0;
+};
+
+} // namespace
+
+std::shared_ptr<ops5::Program>
+generateProgram(const GeneratorConfig &cfg)
+{
+    Dice dice(cfg.seed);
+    std::ostringstream src;
+
+    for (int c = 0; c < cfg.n_classes; ++c) {
+        src << "(literalize " << className(c) << " type";
+        for (int a = 0; a < cfg.attrs_per_class; ++a)
+            src << " " << attrName(a);
+        src << " num)\n";
+    }
+
+    ProductionWriter writer(cfg, dice);
+    for (int p = 0; p < cfg.n_productions; ++p) {
+        bool expensive = dice.chance(cfg.expensive_fraction);
+        src << writer.write(p, expensive);
+    }
+
+    // Initial working memory.
+    for (int c = 0; c < cfg.n_classes; ++c) {
+        for (int i = 0; i < cfg.initial_wmes_per_class; ++i) {
+            src << "(make " << className(c) << " ^type "
+                << typeSymbol(c, dice.range(0, cfg.types_per_class - 1));
+            for (int a = 0; a < cfg.attrs_per_class; ++a) {
+                if (dice.chance(0.8)) {
+                    src << " ^" << attrName(a) << " "
+                        << poolSymbol(a, dice.range(
+                               0, cfg.symbols_per_attr - 1));
+                }
+            }
+            src << " ^num " << dice.range(0, cfg.numeric_range - 1)
+                << ")\n";
+        }
+    }
+
+    return ops5::parse(src.str());
+}
+
+ChangeStream::ChangeStream(const ops5::Program &program,
+                           ops5::WorkingMemory &wm,
+                           const GeneratorConfig &cfg, std::uint64_t seed)
+    : program_(program), wm_(wm), cfg_(cfg), rng_(seed)
+{
+    for (int c = 0; c < cfg_.n_classes; ++c) {
+        ops5::SymbolId cls = program_.symbols().find(className(c));
+        if (cls != ops5::kNilSymbol)
+            classes_.push_back(cls);
+    }
+}
+
+std::vector<ops5::Value>
+ChangeStream::randomFields(int cls_index)
+{
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng_);
+    };
+    const ops5::SymbolTable &syms = program_.symbols();
+    const ops5::ClassSchema *schema =
+        program_.types().findSchema(classes_[cls_index]);
+    std::vector<ops5::Value> fields(schema ? schema->fieldCount() : 0);
+
+    // Field 0 is ^type by literalize order; last is ^num.
+    if (!fields.empty()) {
+        fields[0] = ops5::Value::symbol(
+            syms.find(typeSymbol(cls_index,
+                                 pick(0, cfg_.types_per_class - 1))));
+    }
+    for (int a = 0; a < cfg_.attrs_per_class &&
+                    a + 1 < static_cast<int>(fields.size()); ++a) {
+        if (pick(0, 9) < 8) {
+            fields[a + 1] = ops5::Value::symbol(syms.find(
+                poolSymbol(a, pick(0, cfg_.symbols_per_attr - 1))));
+        }
+    }
+    if (static_cast<int>(fields.size()) == cfg_.attrs_per_class + 2) {
+        fields.back() =
+            ops5::Value::integer(pick(0, cfg_.numeric_range - 1));
+    }
+    return fields;
+}
+
+std::vector<ops5::WmeChange>
+ChangeStream::nextBatch(int n_changes, double remove_fraction)
+{
+    std::vector<ops5::WmeChange> batch;
+    auto chance = [&](double p) {
+        return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+    };
+    for (int i = 0; i < n_changes; ++i) {
+        if (!live_.empty() && live_.size() > 4 && chance(remove_fraction)) {
+            std::size_t idx = std::uniform_int_distribution<std::size_t>(
+                0, live_.size() - 1)(rng_);
+            const ops5::Wme *victim = live_[idx];
+            live_[idx] = live_.back();
+            live_.pop_back();
+            wm_.remove(victim);
+            batch.push_back({ops5::ChangeKind::Remove, victim});
+        } else {
+            int cls = std::uniform_int_distribution<int>(
+                0, static_cast<int>(classes_.size()) - 1)(rng_);
+            const ops5::Wme *wme =
+                wm_.insert(classes_[cls], randomFields(cls));
+            live_.push_back(wme);
+            batch.push_back({ops5::ChangeKind::Insert, wme});
+        }
+    }
+    return batch;
+}
+
+} // namespace psm::workloads

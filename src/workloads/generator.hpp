@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic synthetic production-system generator.
+ *
+ * The paper's measurements (Gupta & Forgy, CMU-CS-83-167) characterise
+ * OPS5 programs by a handful of distributional statistics: rule count,
+ * condition elements per rule, the number of productions *affected*
+ * per WM change (~30 regardless of program size), WM turnover per
+ * cycle (< 0.5%), and a heavy-tailed per-production processing cost.
+ * The generator reproduces those statistics with explicit knobs so the
+ * simulation experiments can sweep them (Section 8 sensitivity).
+ *
+ * Affected-set control: each class's "type" attribute partitions its
+ * WMEs and the productions testing them into buckets; a change only
+ * concerns productions in its bucket, so
+ *   affected ~ productions_per_class_bucket.
+ */
+
+#ifndef PSM_WORKLOADS_GENERATOR_HPP
+#define PSM_WORKLOADS_GENERATOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ops5/production.hpp"
+
+namespace psm::workloads {
+
+/** All the knobs of the synthetic generator. */
+struct GeneratorConfig
+{
+    std::uint64_t seed = 1;
+
+    // Structure.
+    int n_productions = 100;
+    int n_classes = 12;
+    int attrs_per_class = 5;  ///< plus the implicit "type" attribute
+    int min_ces = 2;
+    int max_ces = 5;
+    double negated_fraction = 0.10; ///< chance a non-first CE is negated
+
+    // Selectivity / affected-set control.
+    int types_per_class = 4;   ///< "type" buckets per class
+    int symbols_per_attr = 8;  ///< constant pool size per attribute
+    double constant_test_prob = 0.45; ///< CE field gets a constant test
+    double join_var_prob = 0.35;      ///< CE field joins an earlier CE
+    double numeric_pred_prob = 0.15;  ///< numeric field gets >,<,>= test
+
+    // Cost-variance tail: a fraction of productions get long, weakly
+    // selective LHS chains (the "few productions account for the bulk
+    // of the processing" effect).
+    double expensive_fraction = 0.08;
+    int expensive_extra_ces = 3;
+
+    // Right-hand sides.
+    int min_actions = 1;
+    int max_actions = 3;
+    double make_prob = 0.45;
+    double modify_prob = 0.35; ///< remainder is remove
+
+    // Initial working memory.
+    int initial_wmes_per_class = 20;
+
+    // Numeric attribute value range [0, numeric_range).
+    int numeric_range = 10;
+};
+
+/** Generates a complete, runnable OPS5 Program. */
+std::shared_ptr<ops5::Program> generateProgram(const GeneratorConfig &cfg);
+
+/**
+ * A random stream of WME changes for matcher-only experiments (no
+ * recognize-act loop): batches of inserts/removes over the generated
+ * program's vocabulary, mimicking per-firing change sets.
+ *
+ * Produced against a caller-owned WorkingMemory so the Wme pointers
+ * stay alive for the consumer.
+ */
+class ChangeStream
+{
+  public:
+    ChangeStream(const ops5::Program &program, ops5::WorkingMemory &wm,
+                 const GeneratorConfig &cfg, std::uint64_t seed);
+
+    /**
+     * Produces the next batch: @p n_changes total, of which roughly
+     * @p remove_fraction retract previously inserted elements (once
+     * enough exist).
+     */
+    std::vector<ops5::WmeChange> nextBatch(int n_changes,
+                                           double remove_fraction = 0.3);
+
+  private:
+    std::vector<ops5::Value> randomFields(int cls_index);
+
+    const ops5::Program &program_;
+    ops5::WorkingMemory &wm_;
+    GeneratorConfig cfg_;
+    std::mt19937_64 rng_;
+    std::vector<ops5::SymbolId> classes_;
+    std::vector<const ops5::Wme *> live_;
+};
+
+} // namespace psm::workloads
+
+#endif // PSM_WORKLOADS_GENERATOR_HPP

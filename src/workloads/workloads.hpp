@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Umbrella header for workload generation.
+ */
+
+#ifndef PSM_WORKLOADS_WORKLOADS_HPP
+#define PSM_WORKLOADS_WORKLOADS_HPP
+
+#include "workloads/generator.hpp"  // IWYU pragma: export
+#include "workloads/presets.hpp"    // IWYU pragma: export
+
+#endif // PSM_WORKLOADS_WORKLOADS_HPP

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Analysis and rival-model tests: workload statistics, the
+ * production-parallelism bound, true-speedup decomposition, and the
+ * Section 7 rival estimates against their published values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "psm/analysis.hpp"
+#include "psm/rivals.hpp"
+#include "workloads/presets.hpp"
+
+using namespace psm;
+using namespace psm::sim;
+
+namespace {
+
+class AnalysisFixture : public ::testing::Test
+{
+  protected:
+    static const CapturedRun &
+    run()
+    {
+        static CapturedRun captured = [] {
+            auto preset = workloads::presetByName("daa");
+            auto prog = workloads::generateProgram(preset.config);
+            return captureStreamRun(prog, preset.config, 77, 60,
+                                    preset.changes_per_firing, 0.5);
+        }();
+        return captured;
+    }
+};
+
+TEST_F(AnalysisFixture, WorkloadStatsAreSane)
+{
+    WorkloadStats w = analyzeWorkload(run());
+    EXPECT_GT(w.avg_affected_productions, 0);
+    EXPECT_GE(w.max_affected_productions, w.avg_affected_productions);
+    EXPECT_GT(w.avg_activations_per_change,
+              w.avg_two_input_per_change);
+    EXPECT_GT(w.serial_instr_per_change, 0);
+    EXPECT_GT(w.per_production_cost_cv, 0)
+        << "the cost-variance tail must exist";
+    EXPECT_NEAR(w.avg_changes_per_cycle,
+                static_cast<double>(run().n_changes) / run().n_cycles,
+                1e-9);
+}
+
+TEST_F(AnalysisFixture, ProductionParallelismIsBounded)
+{
+    double unbounded = productionParallelSpeedup(run(), 0);
+    double with8 = productionParallelSpeedup(run(), 8);
+    double with1 = productionParallelSpeedup(run(), 1);
+
+    EXPECT_GT(unbounded, 1.0);
+    // Section 4: far below the affected-production count.
+    WorkloadStats w = analyzeWorkload(run());
+    EXPECT_LT(unbounded, w.max_affected_productions);
+    EXPECT_LE(with8, unbounded * 1.0001);
+    EXPECT_LE(with1, with8 * 1.0001);
+    // One processor running unshared per-production matchers cannot
+    // beat the shared serial implementation.
+    EXPECT_LE(with1, 1.05);
+}
+
+TEST_F(AnalysisFixture, TrueSpeedupDecomposition)
+{
+    Simulator sim(run().trace);
+    MachineConfig m;
+    m.n_processors = 32;
+    SimResult r = sim.run(m);
+    TrueSpeedup ts = trueSpeedup(run(), r, m);
+
+    EXPECT_GT(ts.concurrency, 1.0);
+    EXPECT_GT(ts.true_speedup, 1.0);
+    EXPECT_GT(ts.lost_factor, 1.0)
+        << "concurrency always exceeds true speed-up";
+    EXPECT_NEAR(ts.lost_factor, ts.concurrency / ts.true_speedup, 1e-9);
+    EXPECT_GT(ts.sharing_loss, 1.0);
+    EXPECT_GT(ts.scheduling_loss, 1.0);
+    // The decomposition multiplies back to the lost factor.
+    EXPECT_NEAR(ts.sharing_loss * ts.scheduling_loss * ts.sync_loss,
+                ts.lost_factor, 0.05 * ts.lost_factor);
+}
+
+TEST_F(AnalysisFixture, MoreProcessorsNeverSlowTheSimulatedMachine)
+{
+    Simulator sim(run().trace);
+    double prev = 0;
+    for (int p : {1, 4, 16, 64}) {
+        MachineConfig m;
+        m.n_processors = p;
+        m.model_contention = false;
+        double speed = sim.run(m).wme_changes_per_sec;
+        EXPECT_GE(speed, prev * 0.999) << "P=" << p;
+        prev = speed;
+    }
+}
+
+TEST_F(AnalysisFixture, VarianceEffectBucketsAreMonotone)
+{
+    VarianceEffect ve = varianceEffect(run());
+    ASSERT_EQ(ve.buckets.size(), 4u);
+    for (const auto &b : ve.buckets) {
+        EXPECT_GT(b.n, 0);
+        EXPECT_GT(b.avg_concentration, 0.0);
+        EXPECT_LE(b.avg_concentration, 1.0);
+        EXPECT_GE(b.avg_parallelism, 1.0);
+    }
+    // Buckets are sorted by concentration...
+    for (std::size_t i = 1; i < ve.buckets.size(); ++i) {
+        EXPECT_GE(ve.buckets[i].avg_concentration,
+                  ve.buckets[i - 1].avg_concentration);
+    }
+    // ...and the paper's claim: the most concentrated changes expose
+    // the least parallelism.
+    EXPECT_LT(ve.buckets.back().avg_parallelism,
+              ve.buckets.front().avg_parallelism);
+}
+
+TEST(RivalsTest, EstimatesLandOnPublishedValues)
+{
+    // Feed the models the paper's own workload constants.
+    WorkloadStats w;
+    w.serial_instr_per_change = 1800.0;
+    w.avg_affected_productions = 30.0;
+
+    RivalEstimate dado_r = dadoRete(w);
+    EXPECT_NEAR(dado_r.wme_changes_per_sec, 175.0, 175.0 * 0.2);
+
+    RivalEstimate dado_t = dadoTreat(w);
+    EXPECT_NEAR(dado_t.wme_changes_per_sec, 215.0, 215.0 * 0.2);
+    EXPECT_GT(dado_t.wme_changes_per_sec, dado_r.wme_changes_per_sec)
+        << "Section 7.5: TREAT and Rete are close, TREAT ahead";
+
+    RivalEstimate nv = nonVon(w);
+    EXPECT_NEAR(nv.wme_changes_per_sec, 2000.0, 2000.0 * 0.25);
+
+    RivalEstimate of = oflazer(w);
+    EXPECT_GE(of.wme_changes_per_sec, 4500.0 * 0.8);
+    EXPECT_LE(of.wme_changes_per_sec, 7000.0 * 1.2);
+
+    RivalEstimate pe = pesa1(w);
+    EXPECT_TRUE(std::isnan(pe.wme_changes_per_sec));
+
+    EXPECT_EQ(allRivals(w).size(), 5u);
+}
+
+TEST(RivalsTest, OrderingMatchesSection7)
+{
+    WorkloadStats w;
+    w.serial_instr_per_change = 1800.0;
+    // DADO < NON-VON < Oflazer; the PSM at 32x2MIPS beats them all
+    // (checked end-to-end in the bench harness).
+    EXPECT_LT(dadoRete(w).wme_changes_per_sec,
+              nonVon(w).wme_changes_per_sec);
+    EXPECT_LT(nonVon(w).wme_changes_per_sec,
+              oflazer(w).wme_changes_per_sec);
+}
+
+TEST(RivalsTest, ModelsScaleWithWorkloadCost)
+{
+    WorkloadStats cheap, dear;
+    cheap.serial_instr_per_change = 900.0;
+    dear.serial_instr_per_change = 3600.0;
+    EXPECT_GT(dadoRete(cheap).wme_changes_per_sec,
+              dadoRete(dear).wme_changes_per_sec);
+    EXPECT_NEAR(dadoRete(cheap).wme_changes_per_sec /
+                    dadoRete(dear).wme_changes_per_sec,
+                4.0, 1e-6);
+}
+
+} // namespace

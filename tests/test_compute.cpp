@@ -1,0 +1,146 @@
+/**
+ * @file
+ * (compute ...) arithmetic tests: parsing, right associativity,
+ * integer/float coercion, division/modulus edge cases, nesting, and
+ * use inside full recognize-act runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "ops5/ops5.hpp"
+#include "rete/matcher.hpp"
+
+using namespace psm;
+using namespace psm::ops5;
+
+namespace {
+
+/** Fires a one-rule program and returns the made WME's field 0. */
+Value
+evalViaFiring(const std::string &compute_expr)
+{
+    std::string src = R"(
+(literalize in a b)
+(literalize out v)
+(p go (in ^a <x> ^b <y>) --> (make out ^v )" +
+                      compute_expr + R"())
+(make in ^a 10 ^b 3)
+)";
+    auto prog = parse(src);
+    rete::ReteMatcher matcher(prog);
+    core::Engine engine(prog, matcher);
+    engine.loadInitialWorkingMemory();
+    engine.run(1);
+    auto live = engine.workingMemory().liveElements();
+    for (const Wme *w : live) {
+        if (w->className() == prog->symbols().find("out"))
+            return w->field(0);
+    }
+    return Value{};
+}
+
+TEST(ComputeTest, BasicOperators)
+{
+    EXPECT_EQ(evalViaFiring("(compute <x> + <y>)"), Value::integer(13));
+    EXPECT_EQ(evalViaFiring("(compute <x> - <y>)"), Value::integer(7));
+    EXPECT_EQ(evalViaFiring("(compute <x> * <y>)"), Value::integer(30));
+    EXPECT_EQ(evalViaFiring("(compute <x> // <y>)"), Value::integer(3));
+    EXPECT_EQ(evalViaFiring("(compute <x> mod <y>)"), Value::integer(1));
+}
+
+TEST(ComputeTest, RightAssociativeNoPrecedence)
+{
+    // OPS5: 10 - 3 - 2 == 10 - (3 - 2) == 9, NOT (10-3)-2 == 5.
+    EXPECT_EQ(evalViaFiring("(compute <x> - <y> - 2)"),
+              Value::integer(9));
+    // 2 * 10 + 3 == 2 * (10 + 3) == 26.
+    EXPECT_EQ(evalViaFiring("(compute 2 * <x> + <y>)"),
+              Value::integer(26));
+}
+
+TEST(ComputeTest, ParenthesesOverrideAssociativity)
+{
+    EXPECT_EQ(evalViaFiring("(compute (<x> - <y>) - 2)"),
+              Value::integer(5));
+}
+
+TEST(ComputeTest, FloatCoercion)
+{
+    Value v = evalViaFiring("(compute <x> + 0.5)");
+    ASSERT_EQ(v.kind(), ValueKind::Float);
+    EXPECT_DOUBLE_EQ(v.asDouble(), 10.5);
+    // Integer division becomes real division with a float operand.
+    EXPECT_DOUBLE_EQ(evalViaFiring("(compute <x> // 4.0)").asDouble(),
+                     2.5);
+}
+
+TEST(ComputeTest, DivisionByZeroYieldsNil)
+{
+    EXPECT_TRUE(evalViaFiring("(compute <x> // 0)").isNil());
+    EXPECT_TRUE(evalViaFiring("(compute <x> mod 0)").isNil());
+}
+
+TEST(ComputeTest, NonNumericOperandYieldsNil)
+{
+    EXPECT_TRUE(evalViaFiring("(compute <x> + red)").isNil());
+}
+
+TEST(ComputeTest, WorksInBindAndModify)
+{
+    auto prog = parse(R"(
+(literalize c v)
+(p bump
+    (c ^v { <n> < 3 })
+    -->
+    (bind <m> (compute <n> + 1))
+    (modify 1 ^v <m>))
+(p fin (c ^v 3) --> (halt))
+(make c ^v 0)
+)");
+    rete::ReteMatcher matcher(prog);
+    core::Engine engine(prog, matcher);
+    engine.loadInitialWorkingMemory();
+    auto r = engine.run(20);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.firings, 4u) << "three bumps and the halt";
+}
+
+TEST(ComputeTest, CountdownLoopViaComputeInModify)
+{
+    std::ostringstream out;
+    auto prog = parse(R"(
+(literalize c v)
+(p down (c ^v { <n> > 0 }) --> (write <n>)
+        (modify 1 ^v (compute <n> - 1)))
+(p fin (c ^v 0) --> (halt))
+(make c ^v 5)
+)");
+    rete::ReteMatcher matcher(prog);
+    core::Engine engine(prog, matcher);
+    engine.setOutput(&out);
+    engine.loadInitialWorkingMemory();
+    auto r = engine.run(20);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(out.str(), "5\n4\n3\n2\n1\n");
+}
+
+TEST(ComputeTest, UnboundVariableInsideComputeRejected)
+{
+    EXPECT_THROW(parse(R"(
+(p bad (c ^v <n>) --> (make c ^v (compute <oops> + 1)))
+)"),
+                 ParseError);
+}
+
+TEST(ComputeTest, NonComputeParenOnRhsRejected)
+{
+    EXPECT_THROW(parse(R"(
+(p bad (c ^v <n>) --> (make c ^v (frob 1)))
+)"),
+                 ParseError);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Full-state matcher tests: subset memory contents, the state-size
+ * blowup vs Rete and TREAT, negated handling, and the wasted-work
+ * counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops5/ops5.hpp"
+#include "rete/matcher.hpp"
+#include "treat/fullstate.hpp"
+#include "treat/treat.hpp"
+
+using namespace psm;
+using namespace psm::ops5;
+
+namespace {
+
+class FullStateFixture : public ::testing::Test
+{
+  protected:
+    void
+    load(const char *src)
+    {
+        program = parse(src);
+        matcher = std::make_unique<treat::FullStateMatcher>(program);
+    }
+
+    const Wme *
+    insert(const char *cls, std::vector<Value> fields)
+    {
+        const Wme *w =
+            wm.insert(program->symbols().intern(cls), std::move(fields));
+        WmeChange c{ChangeKind::Insert, w};
+        matcher->processChanges({&c, 1});
+        return w;
+    }
+
+    void
+    remove(const Wme *w)
+    {
+        wm.remove(w);
+        WmeChange c{ChangeKind::Remove, w};
+        matcher->processChanges({&c, 1});
+    }
+
+    std::shared_ptr<Program> program;
+    WorkingMemory wm;
+    std::unique_ptr<treat::FullStateMatcher> matcher;
+};
+
+TEST_F(FullStateFixture, StoresAllSubsetCombinations)
+{
+    load(R"(
+(literalize a x)
+(literalize b x)
+(literalize c x)
+(p tri (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))
+)");
+    insert("a", {Value::integer(1)});
+    // Subsets containing only CE0: {a}. State = 1 tuple.
+    EXPECT_EQ(matcher->stateSize(), 1u);
+    insert("b", {Value::integer(1)});
+    // {a}, {b}, {a,b}. Rete would store {a} prefix and {a,b}; the
+    // full-state matcher additionally holds the non-prefix {b}.
+    EXPECT_EQ(matcher->stateSize(), 3u);
+    insert("c", {Value::integer(1)});
+    // All 7 non-empty subsets.
+    EXPECT_EQ(matcher->stateSize(), 7u);
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+TEST_F(FullStateFixture, NonPrefixPartialTuplesAreMaterialised)
+{
+    load(R"(
+(literalize a x)
+(literalize b x)
+(literalize c x)
+(p tri (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))
+)");
+    // Insert in reverse CE order: Rete would store nothing past the
+    // empty first memory, but the full-state matcher keeps {c}, {b},
+    // and the non-prefix combination {b,c}.
+    insert("c", {Value::integer(1)});
+    insert("b", {Value::integer(1)});
+    EXPECT_EQ(matcher->stateSize(), 3u);
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+    insert("a", {Value::integer(1)});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+TEST_F(FullStateFixture, SelfJoinTuplesEmergeOnce)
+{
+    load(R"(
+(literalize a x y)
+(p self (a ^x <v>) (a ^y <v>) --> (halt))
+)");
+    insert("a", {Value::integer(2), Value::integer(2)});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+TEST_F(FullStateFixture, RemovalSweepsAllSubsets)
+{
+    load(R"(
+(literalize a x)
+(literalize b x)
+(p pair (a ^x <v>) (b ^x <v>) --> (halt))
+)");
+    const Wme *a = insert("a", {Value::integer(1)});
+    insert("b", {Value::integer(1)});
+    ASSERT_EQ(matcher->stateSize(), 3u);
+    ASSERT_EQ(matcher->conflictSet().size(), 1u);
+    remove(a);
+    EXPECT_EQ(matcher->stateSize(), 1u) << "only {b} survives";
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+    EXPECT_GT(matcher->wastedTupleDeletes(), 0u)
+        << "the {a} partial tuple never became an instantiation";
+}
+
+TEST_F(FullStateFixture, NegatedCeBlocksAndUnblocks)
+{
+    load(R"(
+(literalize task id)
+(literalize done id)
+(p pending (task ^id <i>) -(done ^id <i>) --> (halt))
+)");
+    insert("task", {Value::integer(4)});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+    const Wme *d = insert("done", {Value::integer(4)});
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+    remove(d);
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+TEST_F(FullStateFixture, RejectsExponentialProductions)
+{
+    std::string src = "(literalize a x)\n(p huge";
+    for (int i = 0; i < 14; ++i)
+        src += " (a ^x <v" + std::to_string(i) + ">)";
+    src += " --> (halt))";
+    auto prog = parse(src);
+    EXPECT_THROW(treat::FullStateMatcher m(prog, 12),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(treat::FullStateMatcher m(prog, 14));
+}
+
+TEST(FullStateSpectrumTest, StateSizeOrderingMatchesSection32)
+{
+    // TREAT (alpha only) < Rete (alpha + prefix beta) < full state
+    // (all combinations), on the same workload.
+    auto program = parse(R"(
+(literalize a x)
+(literalize b x)
+(literalize c x)
+(p tri (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))
+)");
+    treat::TreatMatcher treat_m(program);
+    rete::ReteMatcher rete_m(program);
+    treat::FullStateMatcher full_m(program);
+
+    WorkingMemory wm;
+    SymbolId a = program->symbols().find("a");
+    SymbolId b = program->symbols().find("b");
+    SymbolId c = program->symbols().find("c");
+    std::vector<WmeChange> changes;
+    for (int i = 0; i < 3; ++i) {
+        for (SymbolId cls : {a, b, c}) {
+            changes.push_back({ChangeKind::Insert,
+                               wm.insert(cls, {Value::integer(i)})});
+        }
+    }
+    treat_m.processChanges(changes);
+    rete_m.processChanges(changes);
+    full_m.processChanges(changes);
+
+    // All agree on the conflict set.
+    EXPECT_EQ(treat_m.conflictSet().size(), 3u);
+    EXPECT_EQ(rete_m.conflictSet().size(), 3u);
+    EXPECT_EQ(full_m.conflictSet().size(), 3u);
+
+    // State: TREAT keeps 9 alpha entries. Rete adds beta tokens for
+    // the prefixes {a} and {a,b} and the full set. Full-state keeps
+    // every non-empty subset combination.
+    std::size_t treat_state = treat_m.alphaStateSize();
+    std::size_t full_state = full_m.stateSize();
+    EXPECT_EQ(treat_state, 9u);
+    // Singletons: 3 per CE (9). Pairs {a,b} and {a,c}: 3 consistent
+    // tuples each; pair {b,c}: both variables join against CE a's
+    // binding, so WITHOUT the mediating element no test applies and
+    // all 9 combinations are stored — exactly the "state that never
+    // really gets used" the paper warns about. Full triples: 3.
+    EXPECT_EQ(full_state, 9u + (3u + 3u + 9u) + 3u);
+    EXPECT_GT(full_state, treat_state);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Whole-pipeline integration tests: OPS5 source -> engine run with
+ * trace capture -> PSM simulation, plus schedule-validity properties
+ * over the simulator's task spans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "psm/sim.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace psm;
+using namespace psm::sim;
+
+namespace {
+
+TEST(CaptureEngineRunTest, SharedAndPrivateRunsSeeTheSameWorkload)
+{
+    auto preset = workloads::tinyPreset(61);
+    auto program = workloads::generateProgram(preset.config);
+    CapturedRun run = captureEngineRun(program, 40);
+
+    EXPECT_GT(run.n_changes, 0u);
+    EXPECT_GT(run.n_cycles, 1u);
+    EXPECT_FALSE(run.trace.records().empty());
+    // Both runs process identical firings, so identical changes; the
+    // unshared network can only do MORE work.
+    EXPECT_EQ(run.private_stats.changes_processed,
+              run.shared_stats.changes_processed);
+    EXPECT_GE(run.private_stats.instructions,
+              run.shared_stats.instructions);
+    EXPECT_GE(run.sharingLossFactor(), 1.0);
+    EXPECT_GT(run.serialInstrPerChange(), 0.0);
+}
+
+TEST(CaptureEngineRunTest, EngineTraceSimulates)
+{
+    auto preset = workloads::tinyPreset(62);
+    auto program = workloads::generateProgram(preset.config);
+    CapturedRun run = captureEngineRun(program, 40);
+
+    Simulator sim(run.trace);
+    MachineConfig m;
+    m.n_processors = 16;
+    SimResult r = sim.run(m);
+    EXPECT_GT(r.wme_changes_per_sec, 0.0);
+    EXPECT_GE(r.concurrency, 0.9);
+    EXPECT_EQ(r.n_changes, run.n_changes);
+    EXPECT_EQ(r.n_cycles, run.n_cycles);
+
+    TrueSpeedup ts = trueSpeedup(run, r, m);
+    EXPECT_GT(ts.true_speedup, 0.0);
+    EXPECT_GE(ts.lost_factor, 1.0);
+}
+
+/**
+ * Schedule validity: the simulator's timeline must never use more
+ * than P processors at once, must respect dependencies, and must end
+ * exactly at the reported makespan.
+ */
+class ScheduleValidityTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ScheduleValidityTest, SpansRespectAllConstraints)
+{
+    int procs = GetParam();
+    auto preset = workloads::presetByName("ep-soar");
+    auto program = workloads::generateProgram(preset.config);
+    auto run = captureStreamRun(program, preset.config, 71, 40,
+                                preset.changes_per_firing, 0.5);
+
+    Simulator sim(run.trace);
+    MachineConfig m;
+    m.n_processors = procs;
+    m.model_contention = false;
+    std::vector<TaskSpan> spans;
+    SimResult r = sim.run(m, spans);
+
+    ASSERT_EQ(spans.size(), run.trace.records().size());
+
+    // (1) Never more than P overlapping spans: sweep events.
+    std::vector<std::pair<double, int>> events;
+    double max_end = 0;
+    for (const TaskSpan &s : spans) {
+        EXPECT_LE(s.start, s.end);
+        events.emplace_back(s.start, +1);
+        events.emplace_back(s.end, -1);
+        max_end = std::max(max_end, s.end);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto &a, const auto &b) {
+                  // Ends before starts at equal times.
+                  return a.first != b.first ? a.first < b.first
+                                            : a.second < b.second;
+              });
+    int busy = 0, peak = 0;
+    for (const auto &[t, d] : events) {
+        busy += d;
+        peak = std::max(peak, busy);
+    }
+    EXPECT_LE(peak, procs) << "schedule oversubscribed the machine";
+    EXPECT_DOUBLE_EQ(max_end, r.makespan_instr);
+
+    // (2) Dependencies: a child may not start before its parent ends.
+    std::unordered_map<std::uint64_t, const TaskSpan *> by_id;
+    for (const TaskSpan &s : spans)
+        by_id[s.activation_id] = &s;
+    for (const auto &rec : run.trace.records()) {
+        if (rec.parent == 0)
+            continue;
+        auto child = by_id.find(rec.id);
+        auto parent = by_id.find(rec.parent);
+        ASSERT_NE(child, by_id.end());
+        ASSERT_NE(parent, by_id.end());
+        EXPECT_GE(child->second->start + 1e-9, parent->second->end)
+            << "activation " << rec.id << " started before its parent "
+            << rec.parent << " finished";
+    }
+
+    // (3) With one processor, total busy time equals the makespan
+    // minus per-cycle overheads (no idle gaps on the critical chain).
+    if (procs == 1) {
+        double busy_sum = 0;
+        for (const TaskSpan &s : spans)
+            busy_sum += s.end - s.start;
+        double overheads = m.cycle_overhead_instr *
+                           static_cast<double>(r.n_cycles);
+        EXPECT_NEAR(busy_sum + overheads, r.makespan_instr,
+                    1e-6 * r.makespan_instr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Processors, ScheduleValidityTest,
+                         ::testing::Values(1, 4, 32),
+                         [](const auto &info) {
+                             return "P" + std::to_string(info.param);
+                         });
+
+TEST(UmbrellaHeaderTest, AllPublicTypesReachable)
+{
+    // Compile-time smoke: the umbrella headers expose the full API.
+    rete::CostModel cm;
+    (void)cm;
+    MachineConfig m;
+    (void)m;
+    workloads::GeneratorConfig g;
+    (void)g;
+    SUCCEED();
+}
+
+} // namespace

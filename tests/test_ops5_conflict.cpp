@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Conflict set and conflict-resolution strategy tests: LEX and MEA
+ * ordering, refraction, tombstone absorption, removeIf sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops5/ops5.hpp"
+
+using namespace psm::ops5;
+
+namespace {
+
+class ConflictFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        program = parse(R"(
+(literalize a x y z)
+(p small (a ^x 1) --> (halt))
+(p big   (a ^x 1 ^y 2 ^z { > 0 < 9 }) --> (halt))
+(p two-ce (a ^x 1) (a ^y 2) --> (halt))
+)");
+        small = program->findProduction("small");
+        big = program->findProduction("big");
+        two_ce = program->findProduction("two-ce");
+    }
+
+    const Wme *
+    wme()
+    {
+        return wm.insert(program->symbols().intern("a"),
+                         {Value::integer(1)});
+    }
+
+    Instantiation
+    inst(const Production *p, std::vector<const Wme *> wmes)
+    {
+        Instantiation i;
+        i.production = p;
+        i.wmes = std::move(wmes);
+        return i;
+    }
+
+    std::shared_ptr<Program> program;
+    WorkingMemory wm;
+    const Production *small;
+    const Production *big;
+    const Production *two_ce;
+};
+
+TEST_F(ConflictFixture, LexPrefersRecency)
+{
+    const Wme *w1 = wme();
+    const Wme *w2 = wme(); // newer
+    ConflictSet cs;
+    cs.insert(inst(small, {w1}));
+    cs.insert(inst(small, {w2}));
+    auto best = cs.select(Strategy::Lex);
+    ASSERT_TRUE(best);
+    EXPECT_EQ(best->wmes[0], w2);
+}
+
+TEST_F(ConflictFixture, LexPrefersSpecificityOnEqualRecency)
+{
+    const Wme *w = wme();
+    ConflictSet cs;
+    cs.insert(inst(small, {w}));
+    cs.insert(inst(big, {w}));
+    auto best = cs.select(Strategy::Lex);
+    ASSERT_TRUE(best);
+    EXPECT_EQ(best->production, big) << "big has more tests";
+}
+
+TEST_F(ConflictFixture, LexLongerTagListDominatesOnPrefixTie)
+{
+    const Wme *w1 = wme();
+    const Wme *w2 = wme();
+    ConflictSet cs;
+    cs.insert(inst(small, {w2}));
+    cs.insert(inst(two_ce, {w2, w1}));
+    auto best = cs.select(Strategy::Lex);
+    ASSERT_TRUE(best);
+    EXPECT_EQ(best->production, two_ce);
+}
+
+TEST_F(ConflictFixture, MeaPrefersFirstCeRecency)
+{
+    const Wme *w_old = wme();
+    const Wme *w_new = wme();
+    ConflictSet cs;
+    // two-ce A: first CE matched by old wme, second by new.
+    cs.insert(inst(two_ce, {w_old, w_new}));
+    // two-ce B: first CE matched by new wme, second by old.
+    cs.insert(inst(two_ce, {w_new, w_old}));
+
+    // LEX sees identical sorted tags; MEA must pick B.
+    auto best = cs.select(Strategy::Mea);
+    ASSERT_TRUE(best);
+    EXPECT_EQ(best->wmes[0], w_new);
+}
+
+TEST_F(ConflictFixture, RefractionSuppressesFiredInstantiation)
+{
+    const Wme *w = wme();
+    ConflictSet cs;
+    cs.insert(inst(small, {w}));
+    auto first = cs.select(Strategy::Lex);
+    ASSERT_TRUE(first);
+    cs.markFired(*first);
+    EXPECT_FALSE(cs.select(Strategy::Lex))
+        << "only instantiation fired; nothing eligible";
+    EXPECT_EQ(cs.size(), 1u) << "still matched, just refracted";
+}
+
+TEST_F(ConflictFixture, RemovalClearsRefractionRecord)
+{
+    const Wme *w = wme();
+    ConflictSet cs;
+    cs.insert(inst(small, {w}));
+    auto first = cs.select(Strategy::Lex);
+    cs.markFired(*first);
+    cs.remove(*first);
+    EXPECT_EQ(cs.size(), 0u);
+
+    // Re-deriving the same key later must be eligible again.
+    cs.insert(inst(small, {w}));
+    EXPECT_TRUE(cs.select(Strategy::Lex));
+}
+
+TEST_F(ConflictFixture, TombstoneAbsorbsOutOfOrderPair)
+{
+    const Wme *w = wme();
+    ConflictSet cs;
+    Instantiation i = inst(small, {w});
+
+    cs.remove(i); // removal arrives first (conjugate race)
+    EXPECT_EQ(cs.size(), 0u);
+    EXPECT_EQ(cs.pendingTombstones(), 1u);
+
+    cs.insert(i); // late insert annihilates
+    EXPECT_EQ(cs.size(), 0u);
+    EXPECT_EQ(cs.pendingTombstones(), 0u);
+}
+
+TEST_F(ConflictFixture, ClearTombstonesAtBarrier)
+{
+    const Wme *w = wme();
+    ConflictSet cs;
+    cs.remove(inst(small, {w}));
+    EXPECT_EQ(cs.pendingTombstones(), 1u);
+    cs.clearTombstones();
+    EXPECT_EQ(cs.pendingTombstones(), 0u);
+
+    // After the barrier a fresh insert must not be annihilated.
+    cs.insert(inst(small, {w}));
+    EXPECT_EQ(cs.size(), 1u);
+}
+
+TEST_F(ConflictFixture, RemoveIfSweepsMatchingInstantiations)
+{
+    const Wme *w1 = wme();
+    const Wme *w2 = wme();
+    ConflictSet cs;
+    cs.insert(inst(small, {w1}));
+    cs.insert(inst(small, {w2}));
+    std::size_t removed = cs.removeIf([&](const Instantiation &i) {
+        return i.wmes[0] == w1;
+    });
+    EXPECT_EQ(removed, 1u);
+    EXPECT_EQ(cs.size(), 1u);
+    EXPECT_FALSE(cs.contains(
+        InstantiationKey::of(inst(small, {w1}))));
+}
+
+TEST_F(ConflictFixture, SelectionIsDeterministicOnFullTies)
+{
+    const Wme *w = wme();
+    ConflictSet cs;
+    cs.insert(inst(small, {w}));
+    cs.insert(inst(two_ce, {w, w}));
+    auto a = cs.select(Strategy::Lex);
+    auto b = cs.select(Strategy::Lex);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->production, b->production);
+    EXPECT_EQ(a->wmes, b->wmes);
+}
+
+TEST_F(ConflictFixture, CachedRecencyKeysMatchUncachedComparisons)
+{
+    const Wme *w1 = wme();
+    const Wme *w2 = wme();
+    Instantiation fresh_a = inst(two_ce, {w1, w2});
+    Instantiation fresh_b = inst(small, {w2});
+
+    Instantiation cached_a = fresh_a;
+    Instantiation cached_b = fresh_b;
+    cached_a.cacheSortedTags();
+    cached_b.cacheSortedTags();
+
+    EXPECT_EQ(compareLex(fresh_a, fresh_b),
+              compareLex(cached_a, cached_b));
+    EXPECT_EQ(compareLex(fresh_b, fresh_a),
+              compareLex(cached_b, cached_a));
+    EXPECT_EQ(compareMea(fresh_a, fresh_b),
+              compareMea(cached_a, cached_b));
+    // Mixed cached/uncached operands must also agree.
+    EXPECT_EQ(compareLex(cached_a, fresh_b),
+              compareLex(fresh_a, cached_b));
+    EXPECT_EQ(cached_a.sortedTags(), fresh_a.sortedTags());
+}
+
+TEST_F(ConflictFixture, SortedTagsAreDescending)
+{
+    const Wme *w1 = wme();
+    const Wme *w2 = wme();
+    Instantiation i = inst(two_ce, {w1, w2});
+    auto tags = i.sortedTags();
+    ASSERT_EQ(tags.size(), 2u);
+    EXPECT_GT(tags[0], tags[1]);
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Lexer and parser tests: token forms, production structure, semantic
+ * validation errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "ops5/ops5.hpp"
+
+using namespace psm::ops5;
+
+namespace {
+
+std::vector<TokenKind>
+kinds(const std::string &src)
+{
+    std::vector<TokenKind> out;
+    for (const Token &t : tokenize(src))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(LexerTest, BasicTokens)
+{
+    auto k = kinds("(p name ^attr <x> --> )");
+    std::vector<TokenKind> expect = {
+        TokenKind::LParen, TokenKind::Atom, TokenKind::Atom,
+        TokenKind::Hat,    TokenKind::Atom, TokenKind::Var,
+        TokenKind::Arrow,  TokenKind::RParen, TokenKind::End,
+    };
+    EXPECT_EQ(k, expect);
+}
+
+TEST(LexerTest, PredicateFamily)
+{
+    auto toks = tokenize("= <> < <= > >= <=>");
+    ASSERT_EQ(toks.size(), 8u);
+    EXPECT_EQ(toks[0].pred, Predicate::Eq);
+    EXPECT_EQ(toks[1].pred, Predicate::Ne);
+    EXPECT_EQ(toks[2].pred, Predicate::Lt);
+    EXPECT_EQ(toks[3].pred, Predicate::Le);
+    EXPECT_EQ(toks[4].pred, Predicate::Gt);
+    EXPECT_EQ(toks[5].pred, Predicate::Ge);
+    EXPECT_EQ(toks[6].pred, Predicate::SameType);
+}
+
+TEST(LexerTest, DisjunctionBracketsVsPredicates)
+{
+    auto k = kinds("<< a b >>");
+    std::vector<TokenKind> expect = {TokenKind::LDisj, TokenKind::Atom,
+                                     TokenKind::Atom, TokenKind::RDisj,
+                                     TokenKind::End};
+    EXPECT_EQ(k, expect);
+}
+
+TEST(LexerTest, NumbersIncludingNegativeAndFloat)
+{
+    auto toks = tokenize("12 -5 3.25 -0.5 1e3");
+    EXPECT_EQ(toks[0].kind, TokenKind::Int);
+    EXPECT_EQ(toks[0].int_val, 12);
+    EXPECT_EQ(toks[1].kind, TokenKind::Int);
+    EXPECT_EQ(toks[1].int_val, -5);
+    EXPECT_EQ(toks[2].kind, TokenKind::Float);
+    EXPECT_DOUBLE_EQ(toks[2].float_val, 3.25);
+    EXPECT_EQ(toks[3].kind, TokenKind::Float);
+    EXPECT_EQ(toks[4].kind, TokenKind::Float);
+    EXPECT_DOUBLE_EQ(toks[4].float_val, 1000.0);
+}
+
+TEST(LexerTest, CommentsAreSkipped)
+{
+    auto k = kinds("( a ; comment ) ignored\n b )");
+    std::vector<TokenKind> expect = {TokenKind::LParen, TokenKind::Atom,
+                                     TokenKind::Atom, TokenKind::RParen,
+                                     TokenKind::End};
+    EXPECT_EQ(k, expect);
+}
+
+TEST(LexerTest, MinusDisambiguation)
+{
+    // `-->` arrow, `-(` negation marker, `-5` number, `-` atom.
+    auto toks = tokenize("--> -( -5");
+    EXPECT_EQ(toks[0].kind, TokenKind::Arrow);
+    EXPECT_EQ(toks[1].kind, TokenKind::Minus);
+    EXPECT_EQ(toks[2].kind, TokenKind::LParen);
+    EXPECT_EQ(toks[3].kind, TokenKind::Int);
+}
+
+TEST(ParserTest, ParsesLiteralizeIntoSchema)
+{
+    auto prog = parse("(literalize goal type color size)");
+    SymbolId cls = prog->symbols().find("goal");
+    const ClassSchema *schema = prog->types().findSchema(cls);
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->fieldCount(), 3);
+    EXPECT_EQ(schema->findField(prog->symbols().find("type")), 0);
+    EXPECT_EQ(schema->findField(prog->symbols().find("size")), 2);
+}
+
+TEST(ParserTest, ProductionStructure)
+{
+    auto prog = parse(R"(
+(literalize a x y)
+(p rule1
+    (a ^x 1 ^y <v>)
+    -(a ^x 2 ^y <v>)
+    -->
+    (make a ^x <v>)
+    (remove 1))
+)");
+    const Production *p = prog->findProduction("rule1");
+    ASSERT_NE(p, nullptr);
+    ASSERT_EQ(p->lhs().size(), 2u);
+    EXPECT_FALSE(p->lhs()[0].negated);
+    EXPECT_TRUE(p->lhs()[1].negated);
+    ASSERT_EQ(p->rhs().size(), 2u);
+    EXPECT_EQ(p->rhs()[0].kind, ActionKind::Make);
+    EXPECT_EQ(p->rhs()[1].kind, ActionKind::Remove);
+    EXPECT_EQ(p->positiveCeCount(), 1);
+}
+
+TEST(ParserTest, ConjunctionAndDisjunctionTests)
+{
+    auto prog = parse(R"(
+(literalize a x)
+(p rule1 (a ^x { > 1 < 9 <> 5 }) --> (halt))
+(p rule2 (a ^x << red green blue >>) --> (halt))
+)");
+    const Production *p1 = prog->findProduction("rule1");
+    ASSERT_EQ(p1->lhs()[0].fields.size(), 1u);
+    EXPECT_EQ(p1->lhs()[0].fields[0].tests.size(), 3u);
+
+    const Production *p2 = prog->findProduction("rule2");
+    const AtomicTest &t = p2->lhs()[0].fields[0].tests[0];
+    EXPECT_EQ(t.operand, OperandKind::ConstantSet);
+    EXPECT_EQ(t.set.size(), 3u);
+}
+
+TEST(ParserTest, StrategySelection)
+{
+    EXPECT_EQ(parseProgram("(strategy mea)").strategy, StrategyKind::Mea);
+    EXPECT_EQ(parseProgram("(strategy lex)").strategy, StrategyKind::Lex);
+}
+
+TEST(ParserTest, TopLevelMakeBecomesInitialWme)
+{
+    auto prog = parse(R"(
+(literalize a x y)
+(make a ^y 4)
+)");
+    ASSERT_EQ(prog->initialWmes().size(), 1u);
+    EXPECT_EQ(prog->initialWmes()[0].fields.size(), 2u);
+    EXPECT_EQ(prog->initialWmes()[0].fields[1], Value::integer(4));
+}
+
+TEST(ParserTest, PositionalFieldsMapToIndices)
+{
+    auto prog = parse("(literalize a x y)(make a 7 8)");
+    ASSERT_EQ(prog->initialWmes().size(), 1u);
+    EXPECT_EQ(prog->initialWmes()[0].fields[0], Value::integer(7));
+    EXPECT_EQ(prog->initialWmes()[0].fields[1], Value::integer(8));
+}
+
+// --- semantic errors --------------------------------------------------
+
+TEST(ParserErrorTest, FirstCeMustBePositive)
+{
+    EXPECT_THROW(parse("(p bad -(a ^x 1) --> (halt))"), ParseError);
+}
+
+TEST(ParserErrorTest, EmptyLhsRejected)
+{
+    EXPECT_THROW(parse("(p bad --> (halt))"), ParseError);
+}
+
+TEST(ParserErrorTest, PredicateOnUnboundVariableRejected)
+{
+    EXPECT_THROW(parse("(p bad (a ^x > <v>) --> (halt))"), ParseError);
+}
+
+TEST(ParserErrorTest, UnboundRhsVariableRejected)
+{
+    EXPECT_THROW(parse("(p bad (a ^x 1) --> (make a ^x <v>))"),
+                 ParseError);
+}
+
+TEST(ParserErrorTest, VariableBoundOnlyInNegatedCeIsUnboundOnRhs)
+{
+    EXPECT_THROW(parse(R"(
+(p bad (a ^x 1) -(a ^x <v>) --> (make a ^x <v>))
+)"),
+                 ParseError);
+}
+
+TEST(ParserErrorTest, RemoveOfNegatedCeRejected)
+{
+    EXPECT_THROW(parse("(p bad (a ^x 1) -(a ^x 2) --> (remove 2))"),
+                 ParseError);
+}
+
+TEST(ParserErrorTest, ModifyIndexOutOfRange)
+{
+    EXPECT_THROW(parse("(p bad (a ^x 1) --> (modify 3 ^x 2))"),
+                 ParseError);
+}
+
+TEST(ParserErrorTest, DuplicateProductionName)
+{
+    EXPECT_THROW(parse(R"(
+(p dup (a ^x 1) --> (halt))
+(p dup (a ^x 2) --> (halt))
+)"),
+                 ParseError);
+}
+
+TEST(ParserErrorTest, UnknownTopLevelForm)
+{
+    EXPECT_THROW(parse("(frobnicate 1 2)"), ParseError);
+}
+
+TEST(ParserErrorTest, BindMakesVariableAvailable)
+{
+    // bind introduces an RHS binding; this must NOT throw.
+    EXPECT_NO_THROW(parse(R"(
+(p ok (a ^x 1) --> (bind <t> 42) (make a ^x <t>))
+)"));
+}
+
+/**
+ * Robustness: random byte soup and random token shuffles must either
+ * parse or throw ParseError — never crash or loop.
+ */
+TEST(ParserFuzzTest, RandomInputNeverCrashes)
+{
+    std::mt19937_64 rng(1234);
+    const std::string alphabet =
+        "(){}<>^-=; \nabc123.+*/\\\"'pqrst";
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string src;
+        int len = static_cast<int>(rng() % 120);
+        for (int i = 0; i < len; ++i)
+            src.push_back(
+                alphabet[rng() % alphabet.size()]);
+        try {
+            parse(src);
+        } catch (const ParseError &) {
+            // expected for almost every input
+        }
+    }
+    SUCCEED();
+}
+
+TEST(ParserFuzzTest, ShuffledValidTokensNeverCrash)
+{
+    const std::string base =
+        "(literalize a x y) (p r1 (a ^x <v> ^y { > 1 << r g >> }) "
+        "--> (make a ^x (compute <v> + 1)) (remove 1) (halt))";
+    std::vector<std::string> tokens;
+    std::istringstream is(base);
+    std::string tok;
+    while (is >> tok)
+        tokens.push_back(tok);
+
+    std::mt19937_64 rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::shuffle(tokens.begin(), tokens.end(), rng);
+        std::string src;
+        for (const std::string &t : tokens)
+            src += t + " ";
+        try {
+            parse(src);
+        } catch (const ParseError &) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(ParserErrorTest, ErrorCarriesPosition)
+{
+    try {
+        parse("\n\n(p bad --> (halt))");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 3);
+    }
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Direct unit tests of the ops5 structural types: productions,
+ * condition elements, variable bindings, and rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.hpp"
+#include "ops5/ops5.hpp"
+
+using namespace psm::ops5;
+
+namespace {
+
+TEST(ProductionTest, IdsAreDenseAndLookupWorks)
+{
+    Program prog;
+    Production &a = prog.addProduction("alpha");
+    Production &b = prog.addProduction("beta");
+    EXPECT_EQ(a.id(), 0);
+    EXPECT_EQ(b.id(), 1);
+    EXPECT_EQ(prog.findProduction("beta"), &b);
+    EXPECT_EQ(prog.findProduction("gamma"), nullptr);
+}
+
+TEST(ProductionTest, SpecificityCountsAllTestsPlusClasses)
+{
+    auto prog = parse(R"(
+(literalize a x y)
+(p p1 (a ^x 1 ^y { > 2 < 9 }) -(a ^x 2) --> (halt))
+)");
+    const Production *p = prog->findProduction("p1");
+    // CE0: class + 1 const + 2 conj tests = 4; CE1: class + 1 = 2.
+    EXPECT_EQ(p->specificity(), 6);
+    EXPECT_EQ(p->positiveCeCount(), 1);
+}
+
+TEST(VariableBindingsTest, FirstDefinitionWins)
+{
+    VariableBindings b;
+    EXPECT_TRUE(b.define(5, {0, 1}));
+    EXPECT_FALSE(b.define(5, {2, 3})) << "redefinition ignored";
+    const VarLocation *loc = b.find(5);
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->ce, 0);
+    EXPECT_EQ(loc->field, 1);
+    EXPECT_EQ(b.find(6), nullptr);
+    EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(ConditionElementTest, MatchesConstantsChecksClassAndTests)
+{
+    auto prog = parse(R"(
+(literalize a x y)
+(p p1 (a ^x 3 ^y <> 9) --> (halt))
+)");
+    const ConditionElement &ce =
+        prog->findProduction("p1")->lhs()[0];
+    const SymbolTable &syms = prog->symbols();
+    SymbolId cls = syms.find("a");
+
+    Wme good(cls, 1, {Value::integer(3), Value::integer(5)});
+    Wme bad_const(cls, 2, {Value::integer(4), Value::integer(5)});
+    Wme bad_ne(cls, 3, {Value::integer(3), Value::integer(9)});
+    Wme bad_class(cls + 100, 4, {Value::integer(3)});
+
+    EXPECT_TRUE(ce.matchesConstants(good, syms));
+    EXPECT_FALSE(ce.matchesConstants(bad_const, syms));
+    EXPECT_FALSE(ce.matchesConstants(bad_ne, syms));
+    EXPECT_FALSE(ce.matchesConstants(bad_class, syms));
+}
+
+TEST(ConditionElementTest, ToStringShowsTestsAndNegation)
+{
+    auto prog = parse(R"(
+(literalize a x y)
+(p p1 (a ^x <v>) -(a ^x <v> ^y << r g >>) --> (halt))
+)");
+    const auto &p = *prog->findProduction("p1");
+    std::string pos =
+        p.lhs()[0].toString(prog->symbols(), prog->types());
+    std::string neg =
+        p.lhs()[1].toString(prog->symbols(), prog->types());
+    EXPECT_EQ(pos.find('-'), std::string::npos);
+    EXPECT_EQ(neg.front(), '-');
+    EXPECT_NE(neg.find("<<"), std::string::npos);
+    EXPECT_NE(pos.find("^x <v>"), std::string::npos);
+}
+
+TEST(WmeRenderTest, ToStringUsesSchemaNames)
+{
+    auto prog = parse("(literalize goal type color)");
+    auto &syms = prog->symbols();
+    Wme w(syms.find("goal"), 7,
+          {Value::symbol(syms.intern("find")), Value{}});
+    std::string s = w.toString(syms, prog->types());
+    EXPECT_NE(s.find("goal"), std::string::npos);
+    EXPECT_NE(s.find("^type find"), std::string::npos);
+    EXPECT_EQ(s.find("color"), std::string::npos) << "nil omitted";
+}
+
+TEST(InstantiationRenderTest, ListsProductionAndTags)
+{
+    auto prog = parse("(p p1 (a ^x 1) --> (halt))");
+    WorkingMemory wm;
+    const Wme *w = wm.insert(prog->symbols().find("a"),
+                             {Value::integer(1)});
+    Instantiation inst;
+    inst.production = prog->findProduction("p1");
+    inst.wmes = {w};
+    std::string s = inst.toString(prog->symbols());
+    EXPECT_NE(s.find("p1"), std::string::npos);
+    EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(MatchStatsTest, PlusEqualsAggregates)
+{
+    psm::core::MatchStats a, b;
+    a.activations = 3;
+    a.instructions = 100;
+    b.activations = 4;
+    b.instructions = 50;
+    b.comparisons = 7;
+    a += b;
+    EXPECT_EQ(a.activations, 7u);
+    EXPECT_EQ(a.instructions, 150u);
+    EXPECT_EQ(a.comparisons, 7u);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for symbols, values, and predicate evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops5/value.hpp"
+
+using namespace psm::ops5;
+
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent)
+{
+    SymbolTable t;
+    SymbolId a = t.intern("goal");
+    SymbolId b = t.intern("goal");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(t.name(a), "goal");
+}
+
+TEST(SymbolTableTest, NilIsReservedAsIdZero)
+{
+    SymbolTable t;
+    EXPECT_EQ(t.intern("nil"), kNilSymbol);
+    EXPECT_EQ(t.find("never-interned"), kNilSymbol);
+    EXPECT_EQ(t.name(kNilSymbol), "nil");
+}
+
+TEST(SymbolTableTest, DistinctSymbolsGetDistinctIds)
+{
+    SymbolTable t;
+    SymbolId a = t.intern("alpha");
+    SymbolId b = t.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.size(), 3u); // nil + 2
+}
+
+TEST(SymbolTableTest, CompareIsLexicographic)
+{
+    SymbolTable t;
+    SymbolId a = t.intern("apple");
+    SymbolId b = t.intern("banana");
+    EXPECT_LT(t.compare(a, b), 0);
+    EXPECT_GT(t.compare(b, a), 0);
+    EXPECT_EQ(t.compare(a, a), 0);
+}
+
+TEST(ValueTest, NilUnifiesWithNilSymbol)
+{
+    // OPS5: an absent attribute reads as the symbol nil.
+    EXPECT_EQ(Value{}, Value::symbol(kNilSymbol));
+    EXPECT_TRUE(Value::symbol(kNilSymbol).isNil());
+}
+
+TEST(ValueTest, NumericEqualityPromotesIntToFloat)
+{
+    EXPECT_EQ(Value::integer(3), Value::real(3.0));
+    EXPECT_NE(Value::integer(3), Value::real(3.5));
+    EXPECT_EQ(Value::integer(3).hash(), Value::real(3.0).hash());
+}
+
+TEST(ValueTest, SymbolsAndNumbersNeverEqual)
+{
+    SymbolTable t;
+    EXPECT_NE(Value::symbol(t.intern("3")), Value::integer(3));
+}
+
+TEST(ValueTest, ToStringRendersAllKinds)
+{
+    SymbolTable t;
+    EXPECT_EQ(Value{}.toString(t), "nil");
+    EXPECT_EQ(Value::symbol(t.intern("red")).toString(t), "red");
+    EXPECT_EQ(Value::integer(-7).toString(t), "-7");
+}
+
+struct PredCase
+{
+    Predicate pred;
+    double lhs;
+    double rhs;
+    bool expect;
+};
+
+class NumericPredicateTest : public ::testing::TestWithParam<PredCase>
+{};
+
+TEST_P(NumericPredicateTest, TruthTable)
+{
+    SymbolTable t;
+    const PredCase &c = GetParam();
+    EXPECT_EQ(evalPredicate(c.pred, Value::real(c.lhs),
+                            Value::real(c.rhs), t),
+              c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPredicates, NumericPredicateTest,
+    ::testing::Values(PredCase{Predicate::Eq, 1, 1, true},
+                      PredCase{Predicate::Eq, 1, 2, false},
+                      PredCase{Predicate::Ne, 1, 2, true},
+                      PredCase{Predicate::Ne, 2, 2, false},
+                      PredCase{Predicate::Lt, 1, 2, true},
+                      PredCase{Predicate::Lt, 2, 2, false},
+                      PredCase{Predicate::Le, 2, 2, true},
+                      PredCase{Predicate::Le, 3, 2, false},
+                      PredCase{Predicate::Gt, 3, 2, true},
+                      PredCase{Predicate::Gt, 2, 2, false},
+                      PredCase{Predicate::Ge, 2, 2, true},
+                      PredCase{Predicate::Ge, 1, 2, false}));
+
+TEST(PredicateTest, RelationalOnMixedKindsIsFalse)
+{
+    SymbolTable t;
+    Value sym = Value::symbol(t.intern("abc"));
+    Value num = Value::integer(1);
+    for (Predicate p : {Predicate::Lt, Predicate::Le, Predicate::Gt,
+                        Predicate::Ge}) {
+        EXPECT_FALSE(evalPredicate(p, sym, num, t));
+        EXPECT_FALSE(evalPredicate(p, num, sym, t));
+    }
+}
+
+TEST(PredicateTest, RelationalOnSymbolsIsLexicographic)
+{
+    SymbolTable t;
+    Value a = Value::symbol(t.intern("aa"));
+    Value b = Value::symbol(t.intern("ab"));
+    EXPECT_TRUE(evalPredicate(Predicate::Lt, a, b, t));
+    EXPECT_FALSE(evalPredicate(Predicate::Gt, a, b, t));
+}
+
+TEST(PredicateTest, SameTypeMatchesKindClasses)
+{
+    SymbolTable t;
+    EXPECT_TRUE(evalPredicate(Predicate::SameType, Value::integer(1),
+                              Value::real(2.5), t));
+    EXPECT_TRUE(evalPredicate(Predicate::SameType,
+                              Value::symbol(t.intern("x")),
+                              Value::symbol(t.intern("y")), t));
+    EXPECT_FALSE(evalPredicate(Predicate::SameType, Value::integer(1),
+                               Value::symbol(t.intern("x")), t));
+}
+
+TEST(PredicateTest, NamesRoundTrip)
+{
+    EXPECT_STREQ(predicateName(Predicate::Eq), "=");
+    EXPECT_STREQ(predicateName(Predicate::Ne), "<>");
+    EXPECT_STREQ(predicateName(Predicate::SameType), "<=>");
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Working memory, schemas, WMEs, and RHS execution tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ops5/ops5.hpp"
+
+using namespace psm::ops5;
+
+namespace {
+
+TEST(SchemaTest, FieldsAssignedInDeclarationOrder)
+{
+    SymbolTable syms;
+    ClassSchema schema(syms.intern("goal"));
+    EXPECT_EQ(schema.fieldOf(syms.intern("type")), 0);
+    EXPECT_EQ(schema.fieldOf(syms.intern("color")), 1);
+    EXPECT_EQ(schema.fieldOf(syms.intern("type")), 0) << "idempotent";
+    EXPECT_EQ(schema.findField(syms.intern("missing")), -1);
+}
+
+TEST(WmeTest, OutOfRangeFieldsReadAsNil)
+{
+    Wme w(1, 1, {Value::integer(5)});
+    EXPECT_EQ(w.field(0), Value::integer(5));
+    EXPECT_TRUE(w.field(1).isNil());
+    EXPECT_TRUE(w.field(-1).isNil());
+}
+
+TEST(WmeTest, SameContentsIgnoresTimeTagAndTrailingNils)
+{
+    Wme a(1, 1, {Value::integer(5)});
+    Wme b(1, 2, {Value::integer(5), Value{}});
+    Wme c(1, 3, {Value::integer(6)});
+    EXPECT_TRUE(a.sameContents(b));
+    EXPECT_FALSE(a.sameContents(c));
+}
+
+TEST(WorkingMemoryTest, TimeTagsAreMonotonic)
+{
+    WorkingMemory wm;
+    const Wme *a = wm.insert(1, {});
+    const Wme *b = wm.insert(1, {});
+    EXPECT_LT(a->timeTag(), b->timeTag());
+    EXPECT_EQ(wm.liveCount(), 2u);
+}
+
+TEST(WorkingMemoryTest, RemoveParksUntilCollect)
+{
+    WorkingMemory wm;
+    const Wme *a = wm.insert(1, {Value::integer(9)});
+    TimeTag tag = a->timeTag();
+    EXPECT_TRUE(wm.remove(a));
+    EXPECT_FALSE(wm.remove(a)) << "double remove must fail";
+    EXPECT_EQ(wm.findByTag(tag), nullptr);
+    // The object is still alive (parked) until collection.
+    EXPECT_EQ(a->field(0), Value::integer(9));
+    wm.collectGarbage();
+}
+
+TEST(WorkingMemoryTest, LiveElementsSortedByTag)
+{
+    WorkingMemory wm;
+    const Wme *a = wm.insert(1, {});
+    const Wme *b = wm.insert(2, {});
+    const Wme *c = wm.insert(1, {});
+    wm.remove(b);
+    auto live = wm.liveElements();
+    ASSERT_EQ(live.size(), 2u);
+    EXPECT_EQ(live[0], a);
+    EXPECT_EQ(live[1], c);
+}
+
+// --- RHS execution -----------------------------------------------------
+
+class RhsFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        program = parse(R"(
+(literalize item id count state)
+(p bump
+    (item ^id <i> ^count <c> ^state raw)
+    -->
+    (modify 1 ^state cooked)
+    (make item ^id <i> ^count <c> ^state copy)
+    (bind <msg> done)
+    (write <msg> <i>))
+(p zap (item ^id <i>) --> (remove 1) (halt))
+)");
+    }
+
+    Instantiation
+    instFor(const char *prod, std::vector<const Wme *> wmes)
+    {
+        Instantiation i;
+        i.production = program->findProduction(prod);
+        i.wmes = std::move(wmes);
+        return i;
+    }
+
+    const Wme *
+    makeItem(int id, int count, const char *state)
+    {
+        auto &syms = program->symbols();
+        return wm.insert(syms.intern("item"),
+                         {Value::integer(id), Value::integer(count),
+                          Value::symbol(syms.intern(state))});
+    }
+
+    std::shared_ptr<Program> program;
+    WorkingMemory wm;
+};
+
+TEST_F(RhsFixture, ModifyIsRemovePlusMakeWithNewTag)
+{
+    const Wme *w = makeItem(7, 3, "raw");
+    std::ostringstream out;
+    RhsExecutor exec(*program, wm, &out);
+    FiringResult r = exec.fire(instFor("bump", {w}));
+
+    ASSERT_EQ(r.changes.size(), 3u);
+    EXPECT_EQ(r.changes[0].kind, ChangeKind::Remove);
+    EXPECT_EQ(r.changes[0].wme, w);
+    EXPECT_EQ(r.changes[1].kind, ChangeKind::Insert);
+    const Wme *modified = r.changes[1].wme;
+    EXPECT_GT(modified->timeTag(), w->timeTag());
+    EXPECT_EQ(modified->field(0), Value::integer(7)) << "copied field";
+    EXPECT_EQ(modified->field(2),
+              Value::symbol(program->symbols().find("cooked")));
+
+    // The make action sees the LHS binding of <i> and <c>.
+    const Wme *copy = r.changes[2].wme;
+    EXPECT_EQ(copy->field(0), Value::integer(7));
+    EXPECT_EQ(copy->field(1), Value::integer(3));
+
+    EXPECT_EQ(out.str(), "done 7\n") << "bind + write";
+    EXPECT_FALSE(r.halted);
+}
+
+TEST_F(RhsFixture, RemoveAndHalt)
+{
+    const Wme *w = makeItem(1, 1, "raw");
+    RhsExecutor exec(*program, wm, nullptr);
+    FiringResult r = exec.fire(instFor("zap", {w}));
+    ASSERT_EQ(r.changes.size(), 1u);
+    EXPECT_EQ(r.changes[0].kind, ChangeKind::Remove);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(wm.liveCount(), 0u);
+}
+
+TEST_F(RhsFixture, PositiveOrdinalSkipsNegatedCes)
+{
+    auto prog = parse(R"(
+(literalize a x)
+(p p1 (a ^x 1) -(a ^x 2) (a ^x 3) --> (remove 3))
+)");
+    const Production *p = prog->findProduction("p1");
+    EXPECT_EQ(positiveOrdinal(*p, 1), 0);
+    EXPECT_EQ(positiveOrdinal(*p, 2), -1) << "negated";
+    EXPECT_EQ(positiveOrdinal(*p, 3), 1);
+    EXPECT_EQ(positiveOrdinal(*p, 4), -1) << "out of range";
+}
+
+} // namespace

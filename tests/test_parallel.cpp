@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Parallel-runtime tests: task queues, the directional lock, and the
+ * parallel matcher under stress (many workers, repeated runs, heavy
+ * negation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/parallel_matcher.hpp"
+#include "ops5/parser.hpp"
+#include "rete/sync.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/presets.hpp"
+
+using namespace psm;
+
+namespace {
+
+TEST(CentralTaskQueueTest, FifoOrder)
+{
+    core::CentralTaskQueue<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.tryPop(), 1);
+    EXPECT_EQ(q.tryPop(), 2);
+    EXPECT_EQ(q.tryPop(), 3);
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(StealingTaskPoolTest, OwnerLifoThiefFifo)
+{
+    core::StealingTaskPool<int> pool(2);
+    pool.push(1, 0);
+    pool.push(2, 0);
+    EXPECT_EQ(pool.tryPop(0), 2) << "owner pops LIFO";
+    EXPECT_EQ(pool.tryPop(1), 1) << "thief steals from the front";
+    EXPECT_FALSE(pool.tryPop(0).has_value());
+}
+
+TEST(StealingTaskPoolTest, ConcurrentPushPopLosesNothing)
+{
+    constexpr int kPerThread = 2000;
+    constexpr int kThreads = 4;
+    core::StealingTaskPool<int> pool(kThreads);
+    std::atomic<int> popped{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                pool.push(i, t);
+            while (pool.tryPop(t))
+                popped.fetch_add(1);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    // Anything left after the racy drain is still in some lane.
+    while (true) {
+        bool any = false;
+        for (int t = 0; t < kThreads; ++t) {
+            if (pool.tryPop(t)) {
+                popped.fetch_add(1);
+                any = true;
+            }
+        }
+        if (!any)
+            break;
+    }
+    EXPECT_EQ(popped.load(), kPerThread * kThreads);
+}
+
+TEST(DirectionalLockTest, SameSideOverlapsOppositeExcludes)
+{
+    rete::DirectionalLock lock;
+    std::atomic<int> left_active{0};
+    std::atomic<int> right_active{0};
+    std::atomic<int> max_left{0};
+    std::atomic<bool> violation{false};
+
+    auto worker = [&](rete::Side side, int iters) {
+        for (int i = 0; i < iters; ++i) {
+            rete::DirectionalGuard guard(lock, side);
+            if (side == rete::Side::Left) {
+                int n = left_active.fetch_add(1) + 1;
+                int prev = max_left.load();
+                while (n > prev &&
+                       !max_left.compare_exchange_weak(prev, n)) {
+                }
+                if (right_active.load() != 0)
+                    violation = true;
+                left_active.fetch_sub(1);
+            } else {
+                right_active.fetch_add(1);
+                if (left_active.load() != 0)
+                    violation = true;
+                right_active.fetch_sub(1);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i)
+        threads.emplace_back(worker, rete::Side::Left, 3000);
+    for (int i = 0; i < 3; ++i)
+        threads.emplace_back(worker, rete::Side::Right, 3000);
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_FALSE(violation.load()) << "opposite sides overlapped";
+    // Same-side concurrency is timing-dependent; with 3 spinning
+    // threads it is overwhelmingly likely to have happened at least
+    // once, but do not hard-fail on a slow machine.
+    EXPECT_GE(max_left.load(), 1);
+}
+
+TEST(ParallelMatcherTest, ManyWorkersHeavyNegationStress)
+{
+    workloads::SystemPreset preset = workloads::tinyPreset(17);
+    preset.config.negated_fraction = 0.3;
+    preset.config.n_productions = 60;
+    auto program = workloads::generateProgram(preset.config);
+
+    for (int trial = 0; trial < 5; ++trial) {
+        core::ParallelOptions ref_opt; // deterministic single-thread
+        core::ParallelReteMatcher ref(program, ref_opt);
+        core::ParallelOptions opt;
+        opt.n_workers = 7;
+        opt.scheduler = trial % 2 == 0 ? core::SchedulerKind::Central
+                                       : core::SchedulerKind::Stealing;
+        core::ParallelReteMatcher par(program, opt);
+
+        ops5::WorkingMemory wm;
+        workloads::ChangeStream stream(*program, wm, preset.config,
+                                       1000 + trial);
+        for (int b = 0; b < 10; ++b) {
+            auto batch = stream.nextBatch(12);
+            ref.processChanges(batch);
+            par.processChanges(batch);
+            EXPECT_EQ(par.conflictSet().size(), ref.conflictSet().size())
+                << "trial " << trial << " batch " << b;
+        }
+    }
+}
+
+TEST(ParallelMatcherTest, ConjugatePairInOneBatchCancels)
+{
+    auto program = ops5::parse(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (halt))
+)");
+    core::ParallelOptions opt;
+    opt.n_workers = 2;
+    core::ParallelReteMatcher par(program, opt);
+    ops5::WorkingMemory wm;
+
+    const ops5::Wme *w =
+        wm.insert(program->symbols().intern("a"),
+                  {ops5::Value::integer(1)});
+    std::vector<ops5::WmeChange> batch = {
+        {ops5::ChangeKind::Insert, w},
+        {ops5::ChangeKind::Remove, w},
+    };
+    par.processChanges(batch);
+    EXPECT_EQ(par.conflictSet().size(), 0u);
+
+    // The alpha memory must not have leaked the element.
+    for (const auto &node : par.network().nodes()) {
+        if (node->kind != rete::NodeKind::AlphaMemory)
+            continue;
+        EXPECT_EQ(
+            static_cast<rete::AlphaMemoryNode *>(node.get())->size(),
+            0u);
+    }
+}
+
+TEST(ParallelMatcherTest, StatsAggregateAcrossWorkers)
+{
+    auto preset = workloads::tinyPreset(3);
+    auto program = workloads::generateProgram(preset.config);
+    core::ParallelOptions opt;
+    opt.n_workers = 4;
+    core::ParallelReteMatcher par(program, opt);
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*program, wm, preset.config, 5);
+    for (int b = 0; b < 5; ++b)
+        par.processChanges(stream.nextBatch(10));
+    auto st = par.stats();
+    EXPECT_EQ(st.changes_processed, 50u);
+    EXPECT_GT(st.activations, 50u);
+    EXPECT_GT(st.instructions, 0u);
+}
+
+TEST(ParallelMatcherTest, NameReflectsScheduler)
+{
+    auto program = ops5::parse("(p p1 (a ^x 1) --> (halt))");
+    core::ParallelOptions opt;
+    core::ParallelReteMatcher a(program, opt);
+    EXPECT_EQ(a.name(), "rete-parallel-central");
+    opt.scheduler = core::SchedulerKind::Stealing;
+    core::ParallelReteMatcher b(program, opt);
+    EXPECT_EQ(b.name(), "rete-parallel-stealing");
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-preset simulation properties: for every paper system's captured
+ * trace, the simulated machine must behave physically — concurrency
+ * bounded by the processor count and non-decreasing in it, speed
+ * consistent with concurrency, and true speed-up below concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "psm/sim.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace psm;
+using namespace psm::sim;
+
+namespace {
+
+class PresetSimTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static CapturedRun
+    capture(const std::string &name)
+    {
+        const auto &preset = workloads::presetByName(name);
+        auto program = workloads::generateProgram(preset.config);
+        return captureStreamRun(program, preset.config,
+                                preset.config.seed * 7 + 1, 60,
+                                preset.changes_per_firing, 0.5);
+    }
+};
+
+TEST_P(PresetSimTest, PhysicallySaneAcrossProcessorCounts)
+{
+    CapturedRun run = capture(GetParam());
+    Simulator sim(run.trace);
+
+    double prev_conc = 0, prev_speed = 0;
+    for (int p : {1, 2, 8, 32, 64}) {
+        MachineConfig m;
+        m.n_processors = p;
+        m.model_contention = false;
+        SimResult r = sim.run(m);
+
+        EXPECT_LE(r.concurrency, static_cast<double>(p) + 1e-9)
+            << "P=" << p;
+        EXPECT_GE(r.concurrency, prev_conc - 1e-9) << "P=" << p;
+        EXPECT_GE(r.wme_changes_per_sec, prev_speed * 0.999)
+            << "P=" << p;
+
+        TrueSpeedup ts = trueSpeedup(run, r, m);
+        EXPECT_LE(ts.true_speedup, ts.concurrency + 1e-9)
+            << "true speed-up can never exceed busy processors";
+
+        prev_conc = r.concurrency;
+        prev_speed = r.wme_changes_per_sec;
+    }
+}
+
+TEST_P(PresetSimTest, ParallelFiringsIncreaseConcurrency)
+{
+    CapturedRun run = capture(GetParam());
+    auto merged = mergeCycles(run.trace, 2);
+    MachineConfig m;
+    m.n_processors = 32;
+    Simulator base(run.trace), pf(merged);
+    EXPECT_GT(pf.run(m).concurrency, base.run(m).concurrency * 0.99)
+        << "widening match phases must not reduce parallelism";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSystems, PresetSimTest,
+    ::testing::Values("vt", "ilog", "mud", "daa", "r1-soar", "ep-soar"),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace

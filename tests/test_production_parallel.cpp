@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Production-level parallel matcher tests: correctness under worker
+ * counts, private per-production state, and batch semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/production_parallel.hpp"
+#include "ops5/parser.hpp"
+#include "rete/matcher.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/presets.hpp"
+
+using namespace psm;
+
+namespace {
+
+TEST(ProductionParallelTest, BasicMatchAndRetract)
+{
+    auto program = ops5::parse(R"(
+(literalize a x)
+(literalize b x)
+(p pair (a ^x <v>) (b ^x <v>) --> (halt))
+(p solo (a ^x 1) --> (halt))
+)");
+    core::ProductionParallelMatcher m(program, 2);
+    ops5::WorkingMemory wm;
+
+    const ops5::Wme *a = wm.insert(program->symbols().find("a"),
+                                   {ops5::Value::integer(1)});
+    const ops5::Wme *b = wm.insert(program->symbols().find("b"),
+                                   {ops5::Value::integer(1)});
+    std::vector<ops5::WmeChange> ins = {
+        {ops5::ChangeKind::Insert, a},
+        {ops5::ChangeKind::Insert, b},
+    };
+    m.processChanges(ins);
+    EXPECT_EQ(m.conflictSet().size(), 2u);
+
+    wm.remove(a);
+    ops5::WmeChange rm{ops5::ChangeKind::Remove, a};
+    m.processChanges({&rm, 1});
+    EXPECT_EQ(m.conflictSet().size(), 0u);
+}
+
+TEST(ProductionParallelTest, NegatedCeAcrossBatches)
+{
+    auto program = ops5::parse(R"(
+(literalize task id)
+(literalize done id)
+(p pending (task ^id <i>) -(done ^id <i>) --> (halt))
+)");
+    core::ProductionParallelMatcher m(program, 3);
+    ops5::WorkingMemory wm;
+
+    auto change = [&](ops5::ChangeKind k, const ops5::Wme *w) {
+        ops5::WmeChange c{k, w};
+        m.processChanges({&c, 1});
+    };
+
+    const ops5::Wme *t = wm.insert(program->symbols().find("task"),
+                                   {ops5::Value::integer(1)});
+    change(ops5::ChangeKind::Insert, t);
+    EXPECT_EQ(m.conflictSet().size(), 1u);
+
+    const ops5::Wme *d = wm.insert(program->symbols().find("done"),
+                                   {ops5::Value::integer(1)});
+    change(ops5::ChangeKind::Insert, d);
+    EXPECT_EQ(m.conflictSet().size(), 0u);
+
+    wm.remove(d);
+    change(ops5::ChangeKind::Remove, d);
+    EXPECT_EQ(m.conflictSet().size(), 1u);
+}
+
+TEST(ProductionParallelTest, MatchesSerialReteOnRandomStreams)
+{
+    for (std::uint64_t seed : {51, 52, 53}) {
+        auto preset = workloads::tinyPreset(seed);
+        preset.config.negated_fraction = 0.2;
+        auto program = workloads::generateProgram(preset.config);
+
+        rete::ReteMatcher ref(program);
+        core::ProductionParallelMatcher pp(program, 4);
+
+        ops5::WorkingMemory wm;
+        workloads::ChangeStream stream(*program, wm, preset.config,
+                                       seed + 100);
+        for (int b = 0; b < 12; ++b) {
+            auto batch = stream.nextBatch(8, 0.4);
+            ref.processChanges(batch);
+            pp.processChanges(batch);
+            EXPECT_EQ(pp.conflictSet().size(), ref.conflictSet().size())
+                << "seed " << seed << " batch " << b;
+        }
+    }
+}
+
+TEST(ProductionParallelTest, StatsAccumulateAcrossWorkers)
+{
+    auto preset = workloads::tinyPreset(9);
+    auto program = workloads::generateProgram(preset.config);
+    core::ProductionParallelMatcher m(program, 4);
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*program, wm, preset.config, 9);
+    for (int b = 0; b < 6; ++b)
+        m.processChanges(stream.nextBatch(10, 0.4));
+    auto st = m.stats();
+    EXPECT_EQ(st.changes_processed, 60u);
+    EXPECT_GT(st.comparisons, 0u);
+    EXPECT_EQ(m.name(), "rete-prod-parallel");
+}
+
+} // namespace

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Serial Rete matcher behaviour tests: joins, negation, predicates,
+ * self-joins (the depth-first pairing regression), statistics, and
+ * trace recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ops5/ops5.hpp"
+#include "rete/matcher.hpp"
+
+using namespace psm;
+using namespace psm::ops5;
+
+namespace {
+
+class ReteFixture : public ::testing::Test
+{
+  protected:
+    void
+    load(const char *src, rete::NetworkOptions opts = {})
+    {
+        program = parse(src);
+        network = std::make_shared<rete::Network>(program, opts);
+        matcher = std::make_unique<rete::ReteMatcher>(network);
+    }
+
+    const Wme *
+    insert(const char *cls, std::vector<Value> fields)
+    {
+        const Wme *w =
+            wm.insert(program->symbols().intern(cls), std::move(fields));
+        WmeChange c{ChangeKind::Insert, w};
+        matcher->processChanges({&c, 1});
+        return w;
+    }
+
+    void
+    remove(const Wme *w)
+    {
+        wm.remove(w);
+        WmeChange c{ChangeKind::Remove, w};
+        matcher->processChanges({&c, 1});
+    }
+
+    Value
+    sym(const char *s)
+    {
+        return Value::symbol(program->symbols().intern(s));
+    }
+
+    std::shared_ptr<Program> program;
+    std::shared_ptr<rete::Network> network;
+    ops5::WorkingMemory wm;
+    std::unique_ptr<rete::ReteMatcher> matcher;
+};
+
+TEST_F(ReteFixture, SelfJoinPairsExactlyOnce)
+{
+    // One WME matching BOTH condition elements: the depth-first
+    // regression. Insert must create exactly one instantiation and
+    // remove must retract it completely.
+    load(R"(
+(literalize a x y)
+(p self (a ^x <v>) (a ^y <v>) --> (halt))
+)");
+    const Wme *w = insert("a", {Value::integer(1), Value::integer(1)});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u)
+        << "pair (w,w) must appear exactly once";
+
+    remove(w);
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+    EXPECT_EQ(matcher->pendingTombstones(), 0u);
+}
+
+TEST_F(ReteFixture, ThreeWaySelfJoin)
+{
+    load(R"(
+(literalize a x)
+(p triple (a ^x <v>) (a ^x <v>) (a ^x <v>) --> (halt))
+)");
+    const Wme *w1 = insert("a", {Value::integer(7)});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u); // (w1,w1,w1)
+    insert("a", {Value::integer(7)});
+    // Tuples: all 3-sequences over {w1,w2} = 8.
+    EXPECT_EQ(matcher->conflictSet().size(), 8u);
+    remove(w1);
+    EXPECT_EQ(matcher->conflictSet().size(), 1u); // (w2,w2,w2)
+}
+
+TEST_F(ReteFixture, NumericJoinPredicates)
+{
+    load(R"(
+(literalize reading v)
+(literalize limit v)
+(p over (limit ^v <l>) (reading ^v > <l>) --> (halt))
+)");
+    insert("limit", {Value::integer(10)});
+    insert("reading", {Value::integer(5)});
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+    insert("reading", {Value::integer(15)});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+    insert("reading", {Value::real(10.5)});
+    EXPECT_EQ(matcher->conflictSet().size(), 2u)
+        << "float/int comparison promotes";
+}
+
+TEST_F(ReteFixture, NegatedCeWithJoinVariable)
+{
+    load(R"(
+(literalize task id)
+(literalize done id)
+(p pending (task ^id <i>) -(done ^id <i>) --> (halt))
+)");
+    const Wme *t1 = insert("task", {Value::integer(1)});
+    insert("task", {Value::integer(2)});
+    EXPECT_EQ(matcher->conflictSet().size(), 2u);
+
+    const Wme *d1 = insert("done", {Value::integer(1)});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+
+    remove(d1);
+    EXPECT_EQ(matcher->conflictSet().size(), 2u);
+
+    remove(t1);
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+TEST_F(ReteFixture, MultipleBlockersCountCorrectly)
+{
+    load(R"(
+(literalize task id)
+(literalize done id)
+(p pending (task ^id <i>) -(done ^id <i>) --> (halt))
+)");
+    insert("task", {Value::integer(1)});
+    const Wme *d1 = insert("done", {Value::integer(1)});
+    const Wme *d2 = insert("done", {Value::integer(1)});
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+    remove(d1);
+    EXPECT_EQ(matcher->conflictSet().size(), 0u)
+        << "second blocker still present";
+    remove(d2);
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+TEST_F(ReteFixture, DisjunctionAndConjunctionTests)
+{
+    load(R"(
+(literalize a color size)
+(p pick (a ^color << red green >> ^size { > 2 < 10 }) --> (halt))
+)");
+    insert("a", {sym("red"), Value::integer(5)});
+    insert("a", {sym("blue"), Value::integer(5)});
+    insert("a", {sym("green"), Value::integer(12)});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+TEST_F(ReteFixture, NilMatchesBareVariable)
+{
+    load(R"(
+(literalize a x y)
+(p both (a ^x <v>) (a ^y <v>) --> (halt))
+)");
+    // Both fields absent: <v> binds nil on each side; nil == nil.
+    insert("a", {});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+TEST_F(ReteFixture, StatsAccumulate)
+{
+    load(R"(
+(literalize a x)
+(p p1 (a ^x <v>) (a ^x <v>) --> (halt))
+)");
+    insert("a", {Value::integer(1)});
+    auto st = matcher->stats();
+    EXPECT_EQ(st.changes_processed, 1u);
+    EXPECT_GT(st.activations, 0u);
+    EXPECT_GT(st.instructions, 0u);
+    EXPECT_GT(st.tokens_built, 0u);
+}
+
+TEST_F(ReteFixture, TraceRecordsDependenciesAndCycles)
+{
+    load(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (halt))
+)");
+    rete::TraceRecorder trace;
+    matcher->setTraceSink(&trace);
+    insert("a", {Value::integer(1)});
+    insert("a", {Value::integer(2)}); // fails the constant test
+
+    ASSERT_EQ(trace.cycles().size(), 2u);
+    EXPECT_EQ(trace.cycles()[0].n_changes, 1u);
+    ASSERT_FALSE(trace.records().empty());
+
+    // First record of each cycle is the root dispatch.
+    const auto &first = trace.records()[trace.cycles()[0].first_record];
+    EXPECT_EQ(first.kind, rete::NodeKind::Root);
+    EXPECT_EQ(first.parent, 0u);
+
+    // Every non-root record's parent must exist earlier in the trace.
+    std::set<std::uint64_t> seen;
+    for (const auto &rec : trace.records()) {
+        if (rec.parent != 0) {
+            EXPECT_TRUE(seen.count(rec.parent))
+                << "dangling parent " << rec.parent;
+        }
+        seen.insert(rec.id);
+        EXPECT_GT(rec.cost, 0u);
+    }
+
+    // The matching insert must reach a terminal; the failing one not.
+    int terminals_cycle1 = 0, terminals_cycle2 = 0;
+    for (const auto &rec : trace.records()) {
+        if (rec.kind == rete::NodeKind::Terminal)
+            (rec.cycle == 1 ? terminals_cycle1 : terminals_cycle2)++;
+    }
+    EXPECT_EQ(terminals_cycle1, 1);
+    EXPECT_EQ(terminals_cycle2, 0);
+}
+
+TEST_F(ReteFixture, PrivateNetworkGivesSameResultsAtHigherCost)
+{
+    const char *src = R"(
+(literalize a x y)
+(p p1 (a ^x 1 ^y <v>) (a ^x 2 ^y <v>) --> (halt))
+(p p2 (a ^x 1 ^y <v>) (a ^x 2 ^y <v>) (a ^x 3) --> (halt))
+)";
+    load(src);
+    rete::ReteMatcher priv(std::make_shared<rete::Network>(
+        program, rete::NetworkOptions::privateState()));
+
+    auto apply_both = [&](std::vector<Value> fields) {
+        const Wme *w =
+            wm.insert(program->symbols().intern("a"), fields);
+        WmeChange c{ChangeKind::Insert, w};
+        matcher->processChanges({&c, 1});
+        priv.processChanges({&c, 1});
+    };
+    apply_both({Value::integer(1), Value::integer(9)});
+    apply_both({Value::integer(2), Value::integer(9)});
+    apply_both({Value::integer(3), Value::integer(0)});
+
+    EXPECT_EQ(matcher->conflictSet().size(), 2u);
+    EXPECT_EQ(priv.conflictSet().size(), 2u);
+    EXPECT_GT(priv.stats().instructions, matcher->stats().instructions)
+        << "loss of sharing costs extra work";
+}
+
+TEST_F(ReteFixture, HashedJoinsMatchScanResults)
+{
+    const char *src = R"(
+(literalize a x n)
+(literalize b x n)
+(p eq-join   (a ^x <v>) (b ^x <v>) --> (halt))
+(p pred-join (a ^n <k>) (b ^n > <k>) --> (halt))
+)";
+    load(src);
+    rete::ReteMatcher hashed(std::make_shared<rete::Network>(program),
+                             rete::CostModel{}, /*hash_joins=*/true);
+    EXPECT_EQ(hashed.name(), "rete-serial-hashed");
+
+    auto apply_both = [&](const char *cls, std::vector<Value> fields) {
+        const Wme *w =
+            wm.insert(program->symbols().intern(cls), fields);
+        WmeChange c{ChangeKind::Insert, w};
+        matcher->processChanges({&c, 1});
+        hashed.processChanges({&c, 1});
+        return w;
+    };
+
+    apply_both("a", {sym("red"), Value::integer(1)});
+    apply_both("a", {sym("blue"), Value::integer(5)});
+    const Wme *b1 = apply_both("b", {sym("red"), Value::integer(3)});
+    apply_both("b", {sym("green"), Value::integer(9)});
+
+    // eq-join: (a red, b red). pred-join: n pairs 1<3, 1<9, 5<9.
+    EXPECT_EQ(matcher->conflictSet().size(), 4u);
+    EXPECT_EQ(hashed.conflictSet().size(), 4u);
+
+    // Removal through the index path.
+    wm.remove(b1);
+    WmeChange rm{ChangeKind::Remove, b1};
+    matcher->processChanges({&rm, 1});
+    hashed.processChanges({&rm, 1});
+    EXPECT_EQ(matcher->conflictSet().size(), 2u);
+    EXPECT_EQ(hashed.conflictSet().size(), 2u);
+}
+
+TEST_F(ReteFixture, BatchModifySemantics)
+{
+    load(R"(
+(literalize slot val)
+(p watch (slot ^val 5) --> (halt))
+)");
+    const Wme *w = insert("slot", {Value::integer(4)});
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+
+    // modify = remove(old) + insert(new) in one batch.
+    wm.remove(w);
+    const Wme *w2 =
+        wm.insert(program->symbols().intern("slot"), {Value::integer(5)});
+    std::vector<WmeChange> batch = {{ChangeKind::Remove, w},
+                                    {ChangeKind::Insert, w2}};
+    matcher->processChanges(batch);
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Network compilation tests: LHS lowering (variable binding
+ * semantics), alpha-chain construction, and node sharing under both
+ * build policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops5/parser.hpp"
+#include "rete/network.hpp"
+
+using namespace psm;
+using namespace psm::rete;
+
+namespace {
+
+TEST(CompileLhsTest, VariableRolesAreClassified)
+{
+    auto prog = ops5::parse(R"(
+(literalize a p q r)
+(literalize b p q r)
+(p rule
+    (a ^p <x> ^q <x> ^r 5)
+    (b ^p <x> ^q > <x> ^r <y>)
+    -(b ^p <y> ^q <z> ^r <z>)
+    -->
+    (halt))
+)");
+    CompiledLhs lhs = compileLhs(*prog->productions()[0]);
+    ASSERT_EQ(lhs.ces.size(), 3u);
+
+    // CE0: <x> binds at ^p; second occurrence at ^q is an IntraField
+    // test; ^r 5 is a constant test.
+    const CompiledCe &ce0 = lhs.ces[0];
+    ASSERT_EQ(ce0.alpha_tests.size(), 2u);
+    EXPECT_EQ(ce0.alpha_tests[0].kind, AlphaTest::Kind::IntraField);
+    EXPECT_EQ(ce0.alpha_tests[1].kind, AlphaTest::Kind::Constant);
+    EXPECT_TRUE(ce0.join_tests.empty());
+
+    // CE1: both <x> occurrences are join tests against CE0; <y> binds.
+    const CompiledCe &ce1 = lhs.ces[1];
+    EXPECT_TRUE(ce1.alpha_tests.empty());
+    ASSERT_EQ(ce1.join_tests.size(), 2u);
+    EXPECT_EQ(ce1.join_tests[0].token_ce, 0);
+    EXPECT_EQ(ce1.join_tests[1].pred, ops5::Predicate::Gt);
+
+    // CE2 (negated): <y> is a join test against CE1; <z> is local to
+    // the negated CE, so its repeat is an IntraField test.
+    const CompiledCe &ce2 = lhs.ces[2];
+    ASSERT_EQ(ce2.join_tests.size(), 1u);
+    EXPECT_EQ(ce2.join_tests[0].token_ce, 1);
+    ASSERT_EQ(ce2.alpha_tests.size(), 1u);
+    EXPECT_EQ(ce2.alpha_tests[0].kind, AlphaTest::Kind::IntraField);
+}
+
+TEST(CompileLhsTest, NegatedCeDoesNotExportBindings)
+{
+    auto prog = ops5::parse(R"(
+(literalize a x)
+(p rule (a ^x 1) -(a ^x <v>) (a ^x <v>) --> (halt))
+)");
+    CompiledLhs lhs = compileLhs(*prog->productions()[0]);
+    // <v> in CE2 must NOT be a join test against the negated CE1; it
+    // is a fresh binding there.
+    EXPECT_TRUE(lhs.ces[2].join_tests.empty());
+}
+
+class SharingTest : public ::testing::Test
+{
+  protected:
+    std::shared_ptr<ops5::Program>
+    twinProgram()
+    {
+        // Two productions with identical first two CEs: full sharing
+        // should reuse the alpha chains, the join, and its output.
+        return ops5::parse(R"(
+(literalize a x y)
+(literalize b x y)
+(p p1 (a ^x 1 ^y <v>) (b ^x <v>) --> (halt))
+(p p2 (a ^x 1 ^y <v>) (b ^x <v>) (b ^y 2) --> (halt))
+)");
+    }
+};
+
+TEST_F(SharingTest, FullSharingReusesNodes)
+{
+    Network net(twinProgram(), NetworkOptions::fullSharing());
+    const BuildStats &s = net.buildStats();
+    EXPECT_GT(s.reused_const_tests, 0);
+    EXPECT_GT(s.reused_alpha_memories, 0);
+    EXPECT_EQ(s.reused_two_input, 2)
+        << "the top-(a) join and the common (a)(b) join";
+    EXPECT_EQ(s.terminals, 2);
+}
+
+TEST_F(SharingTest, PrivateStateDuplicatesMemoriesButSharesConstTests)
+{
+    Network shared(twinProgram(), NetworkOptions::fullSharing());
+    Network priv(twinProgram(), NetworkOptions::privateState());
+    const BuildStats &sp = priv.buildStats();
+    EXPECT_EQ(sp.reused_two_input, 0);
+    EXPECT_EQ(sp.reused_alpha_memories, 0);
+    EXPECT_GT(sp.alpha_memories,
+              shared.buildStats().alpha_memories);
+    EXPECT_GT(sp.reused_const_tests, 0)
+        << "stateless const tests stay shared";
+
+    // Private invariant: every alpha memory has exactly one successor.
+    for (const auto &node : priv.nodes()) {
+        if (node->kind != NodeKind::AlphaMemory)
+            continue;
+        EXPECT_EQ(static_cast<AlphaMemoryNode *>(node.get())
+                      ->successors.size(),
+                  1u);
+    }
+}
+
+TEST_F(SharingTest, NodeProductionOwnership)
+{
+    Network net(twinProgram(), NetworkOptions::fullSharing());
+    int shared_nodes = 0;
+    for (const auto &node : net.nodes()) {
+        const auto &owners = net.productionsOf(node->id);
+        EXPECT_FALSE(owners.empty());
+        if (owners.size() == 2)
+            ++shared_nodes;
+    }
+    EXPECT_GT(shared_nodes, 0);
+    for (TerminalNode *t : net.terminals()) {
+        EXPECT_EQ(net.productionsOf(t->id).size(), 1u)
+            << "terminals are never shared";
+    }
+}
+
+TEST_F(SharingTest, ResetStateClearsMemoriesAndKeepsTopToken)
+{
+    auto prog = twinProgram();
+    Network net(prog, NetworkOptions::fullSharing());
+    // Stuff something into an alpha memory, then reset.
+    for (const auto &node : net.nodes()) {
+        if (node->kind == NodeKind::AlphaMemory)
+            static_cast<AlphaMemoryNode *>(node.get())
+                ->insertWme(nullptr);
+    }
+    net.resetState();
+    for (const auto &node : net.nodes()) {
+        if (node->kind != NodeKind::AlphaMemory)
+            continue;
+        EXPECT_EQ(static_cast<AlphaMemoryNode *>(node.get())->size(),
+                  0u);
+    }
+    EXPECT_EQ(net.top()->tokens.size(), 1u);
+    EXPECT_TRUE(net.top()->tokens[0].wmes.empty());
+}
+
+TEST(NetworkTest, ClassRootsIsEmptyForUnknownClass)
+{
+    auto prog = ops5::parse("(p p1 (a ^x 1) --> (halt))");
+    Network net(prog);
+    EXPECT_TRUE(net.classRoots(9999).empty());
+    EXPECT_FALSE(net.classRoots(prog->symbols().find("a")).empty());
+}
+
+TEST(NetworkTest, DisjunctionChainsShareOnEqualSets)
+{
+    auto prog = ops5::parse(R"(
+(literalize a x)
+(p p1 (a ^x << r g >>) --> (halt))
+(p p2 (a ^x << r g >>) --> (halt))
+(p p3 (a ^x << r b >>) --> (halt))
+)");
+    Network net(prog);
+    // p1/p2 share their const-test; p3's differs.
+    EXPECT_EQ(net.buildStats().reused_const_tests, 1);
+    EXPECT_EQ(net.buildStats().const_tests, 2);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * RHS edge cases: conflicting actions on the same condition element
+ * within one firing, action ordering around halt, and write
+ * formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ops5/ops5.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace psm::ops5;
+
+namespace {
+
+class RhsEdgeFixture : public ::testing::Test
+{
+  protected:
+    FiringResult
+    fire(const char *src)
+    {
+        program = parse(src);
+        const Production *p = program->productions()[0].get();
+
+        // Build a WME matching the first CE (class a, ^x 1).
+        const Wme *w = wm.insert(program->symbols().find("a"),
+                                 {Value::integer(1)});
+        Instantiation inst;
+        inst.production = p;
+        inst.wmes.assign(
+            static_cast<std::size_t>(p->positiveCeCount()), w);
+
+        RhsExecutor exec(*program, wm, &out);
+        return exec.fire(inst);
+    }
+
+    std::shared_ptr<Program> program;
+    WorkingMemory wm;
+    std::ostringstream out;
+};
+
+TEST_F(RhsEdgeFixture, RemoveThenModifySkipsTheModify)
+{
+    FiringResult r = fire(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (remove 1) (modify 1 ^x 2))
+)");
+    // One removal; the modify of the already-retracted element is a
+    // no-op (no resurrection).
+    ASSERT_EQ(r.changes.size(), 1u);
+    EXPECT_EQ(r.changes[0].kind, ChangeKind::Remove);
+    EXPECT_EQ(wm.liveCount(), 0u);
+}
+
+TEST_F(RhsEdgeFixture, ModifyThenRemoveDoesNotDoubleRetract)
+{
+    FiringResult r = fire(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (modify 1 ^x 2) (remove 1))
+)");
+    // modify = remove+insert; the trailing remove targets the OLD
+    // element, which is already retracted, so it is skipped. The
+    // modified element survives.
+    ASSERT_EQ(r.changes.size(), 2u);
+    EXPECT_EQ(r.changes[0].kind, ChangeKind::Remove);
+    EXPECT_EQ(r.changes[1].kind, ChangeKind::Insert);
+    EXPECT_EQ(wm.liveCount(), 1u);
+    EXPECT_EQ(r.changes[1].wme->field(0), Value::integer(2));
+}
+
+TEST_F(RhsEdgeFixture, DoubleRemoveIsIdempotent)
+{
+    FiringResult r = fire(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (remove 1) (remove 1))
+)");
+    ASSERT_EQ(r.changes.size(), 1u);
+    EXPECT_EQ(wm.liveCount(), 0u);
+}
+
+TEST_F(RhsEdgeFixture, DoubleModifyChainsThroughTheFirst)
+{
+    FiringResult r = fire(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (modify 1 ^x 2) (modify 1 ^x 3))
+)");
+    // OPS5 semantics: the second modify of the same CE refers to the
+    // element the instantiation matched, which is gone; it is skipped
+    // rather than applied to the result of the first.
+    ASSERT_EQ(r.changes.size(), 2u);
+    EXPECT_EQ(wm.liveCount(), 1u);
+    auto live = wm.liveElements();
+    EXPECT_EQ(live[0]->field(0), Value::integer(2));
+}
+
+TEST_F(RhsEdgeFixture, ActionsAfterHaltStillExecute)
+{
+    FiringResult r = fire(R"(
+(literalize a x)
+(literalize log x)
+(p p1 (a ^x 1) --> (halt) (make log ^x done))
+)");
+    EXPECT_TRUE(r.halted);
+    ASSERT_EQ(r.changes.size(), 1u) << "make after halt still runs";
+    EXPECT_EQ(r.changes[0].kind, ChangeKind::Insert);
+}
+
+TEST_F(RhsEdgeFixture, WriteFormatsTermsSpaceSeparated)
+{
+    fire(R"(
+(literalize a x)
+(p p1 (a ^x <v>) --> (write value <v> of 3.5))
+)");
+    EXPECT_EQ(out.str(), "value 1 of 3.5\n");
+}
+
+TEST_F(RhsEdgeFixture, BindShadowsLhsBindingForLaterActions)
+{
+    FiringResult r = fire(R"(
+(literalize a x)
+(p p1 (a ^x <v>) --> (bind <v> 99) (make a ^x <v>))
+)");
+    ASSERT_EQ(r.changes.size(), 1u);
+    EXPECT_EQ(r.changes[0].wme->field(0), Value::integer(99));
+}
+
+TEST(ChangeStreamDeterminismTest, SameSeedSameBatches)
+{
+    auto preset = psm::workloads::tinyPreset(5);
+    auto program = psm::workloads::generateProgram(preset.config);
+
+    auto collect = [&](std::uint64_t seed) {
+        WorkingMemory wm;
+        psm::workloads::ChangeStream stream(*program, wm,
+                                            preset.config, seed);
+        std::vector<std::pair<ChangeKind, TimeTag>> out;
+        for (int b = 0; b < 10; ++b) {
+            for (const WmeChange &c : stream.nextBatch(8, 0.4))
+                out.emplace_back(c.kind, c.wme->timeTag());
+        }
+        return out;
+    };
+
+    EXPECT_EQ(collect(7), collect(7));
+    EXPECT_NE(collect(7), collect(8));
+}
+
+} // namespace

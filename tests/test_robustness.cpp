@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Edge-case robustness: empty inputs, degenerate configurations, and
+ * boundary behaviours across modules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+#include "ops5/ops5.hpp"
+#include "psm/sim.hpp"
+#include "rete/rete.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace psm;
+
+namespace {
+
+TEST(RobustnessTest, SimulatorOnEmptyTrace)
+{
+    rete::TraceRecorder empty;
+    sim::Simulator simulator(empty);
+    sim::MachineConfig m;
+    sim::SimResult r = simulator.run(m);
+    EXPECT_EQ(r.n_activations, 0u);
+    EXPECT_EQ(r.n_cycles, 0u);
+    EXPECT_DOUBLE_EQ(r.makespan_instr, 0.0);
+    EXPECT_DOUBLE_EQ(r.wme_changes_per_sec, 0.0);
+}
+
+TEST(RobustnessTest, MergeCyclesBeyondTotalMakesOne)
+{
+    rete::TraceRecorder t;
+    for (int c = 1; c <= 3; ++c) {
+        t.beginCycle(static_cast<std::uint32_t>(c), 2);
+        rete::ActivationRecord rec;
+        rec.id = static_cast<std::uint64_t>(c);
+        rec.node_id = c;
+        rec.kind = rete::NodeKind::ConstTest;
+        rec.cost = 10;
+        rec.cycle = static_cast<std::uint32_t>(c);
+        t.record(rec);
+    }
+    auto merged = sim::mergeCycles(t, 100);
+    EXPECT_EQ(merged.cycles().size(), 1u);
+    EXPECT_EQ(merged.records().size(), 3u);
+    EXPECT_EQ(merged.cycles()[0].n_changes, 6u);
+}
+
+TEST(RobustnessTest, CoalesceWithZeroGrainIsIdentitySize)
+{
+    auto preset = workloads::tinyPreset(3);
+    auto program = workloads::generateProgram(preset.config);
+    auto run = sim::captureStreamRun(program, preset.config, 3, 5, 4);
+    auto same = sim::coalesceChains(run.trace, 0);
+    EXPECT_EQ(same.records().size(), run.trace.records().size());
+}
+
+TEST(RobustnessTest, MatcherOnEmptyBatch)
+{
+    auto program = ops5::parse("(p p1 (a ^x 1) --> (halt))");
+    rete::ReteMatcher m(program);
+    std::vector<ops5::WmeChange> empty;
+    m.processChanges(empty);
+    EXPECT_EQ(m.stats().changes_processed, 0u);
+    EXPECT_EQ(m.conflictSet().size(), 0u);
+}
+
+TEST(RobustnessTest, ProgramWithNoProductions)
+{
+    auto program = ops5::parse("(literalize a x)\n(make a ^x 1)");
+    rete::Network net(program);
+    EXPECT_EQ(net.terminals().size(), 0u);
+
+    rete::ReteMatcher m(program);
+    ops5::WorkingMemory wm;
+    const ops5::Wme *w =
+        wm.insert(program->symbols().find("a"), {ops5::Value::integer(1)});
+    ops5::WmeChange c{ops5::ChangeKind::Insert, w};
+    m.processChanges({&c, 1});
+    EXPECT_EQ(m.conflictSet().size(), 0u);
+}
+
+TEST(RobustnessTest, ConflictSetContentsIsASnapshot)
+{
+    auto program = ops5::parse("(p p1 (a ^x 1) --> (halt))");
+    ops5::WorkingMemory wm;
+    ops5::ConflictSet cs;
+    ops5::Instantiation inst;
+    inst.production = program->productions()[0].get();
+    inst.wmes = {wm.insert(program->symbols().find("a"),
+                           {ops5::Value::integer(1)})};
+    cs.insert(inst);
+
+    auto snapshot = cs.contents();
+    cs.clear();
+    ASSERT_EQ(snapshot.size(), 1u);
+    EXPECT_EQ(snapshot[0].production->name(), "p1");
+    EXPECT_EQ(cs.size(), 0u);
+}
+
+TEST(RobustnessTest, ConstantSetNeRejectsMembers)
+{
+    auto program = ops5::parse(R"(
+(literalize a x)
+(p p1 (a ^x <> << red green >>) --> (halt))
+)");
+    rete::ReteMatcher m(program);
+    ops5::WorkingMemory wm;
+    auto &syms = program->symbols();
+
+    auto insert = [&](const char *color) {
+        const ops5::Wme *w =
+            wm.insert(syms.find("a"),
+                      {ops5::Value::symbol(syms.intern(color))});
+        ops5::WmeChange c{ops5::ChangeKind::Insert, w};
+        m.processChanges({&c, 1});
+    };
+    insert("red");
+    EXPECT_EQ(m.conflictSet().size(), 0u);
+    insert("blue");
+    EXPECT_EQ(m.conflictSet().size(), 1u);
+}
+
+TEST(RobustnessTest, GeneratorWithMinimalDimensions)
+{
+    workloads::GeneratorConfig cfg;
+    cfg.n_productions = 1;
+    cfg.n_classes = 1;
+    cfg.min_ces = 1;
+    cfg.max_ces = 1;
+    cfg.initial_wmes_per_class = 1;
+    auto program = workloads::generateProgram(cfg);
+    EXPECT_EQ(program->productions().size(), 1u);
+    rete::ReteMatcher m(program); // must compile into a valid network
+    EXPECT_GT(m.network().nodes().size(), 2u);
+}
+
+TEST(RobustnessTest, ParallelMatcherEmptyAndTinyBatches)
+{
+    auto program = ops5::parse("(p p1 (a ^x 1) --> (halt))");
+    core::ParallelOptions opt;
+    opt.n_workers = 2;
+    core::ParallelReteMatcher m(program, opt);
+
+    std::vector<ops5::WmeChange> empty;
+    m.processChanges(empty); // must not hang on the barrier
+
+    ops5::WorkingMemory wm;
+    const ops5::Wme *w =
+        wm.insert(program->symbols().find("a"), {ops5::Value::integer(1)});
+    ops5::WmeChange c{ops5::ChangeKind::Insert, w};
+    m.processChanges({&c, 1});
+    EXPECT_EQ(m.conflictSet().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * PSM simulator tests: hand-built traces with known optimal schedules,
+ * monotonicity in processor count, scheduler and contention effects,
+ * and cycle merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "psm/simulator.hpp"
+
+using namespace psm;
+using namespace psm::sim;
+
+namespace {
+
+/** Builds a trace of @p n independent activations of equal cost. */
+rete::TraceRecorder
+flatTrace(int n, std::uint32_t cost, int n_cycles = 1)
+{
+    rete::TraceRecorder t;
+    std::uint64_t id = 1;
+    for (int c = 1; c <= n_cycles; ++c) {
+        t.beginCycle(c, n);
+        for (int i = 0; i < n; ++i) {
+            rete::ActivationRecord rec;
+            rec.id = id++;
+            rec.parent = 0;
+            rec.node_id = 1000 + static_cast<int>(id); // all distinct
+            rec.kind = rete::NodeKind::ConstTest;      // no constraints
+            rec.cost = cost;
+            rec.cycle = c;
+            rec.change = static_cast<std::uint32_t>(i);
+            t.record(rec);
+        }
+    }
+    return t;
+}
+
+MachineConfig
+idealMachine(int procs)
+{
+    MachineConfig m;
+    m.n_processors = procs;
+    m.hw_dispatch_instr = 0;
+    m.cycle_overhead_instr = 0;
+    m.model_contention = false;
+    return m;
+}
+
+TEST(SimulatorTest, PerfectlyParallelWorkScalesLinearly)
+{
+    auto trace = flatTrace(64, 100);
+    Simulator sim(trace);
+    SimResult r1 = sim.run(idealMachine(1));
+    SimResult r8 = sim.run(idealMachine(8));
+    SimResult r64 = sim.run(idealMachine(64));
+
+    EXPECT_DOUBLE_EQ(r1.makespan_instr, 6400.0);
+    EXPECT_DOUBLE_EQ(r8.makespan_instr, 800.0);
+    EXPECT_DOUBLE_EQ(r64.makespan_instr, 100.0);
+    EXPECT_NEAR(r8.concurrency, 8.0, 1e-9);
+}
+
+TEST(SimulatorTest, DependencyChainBoundsMakespan)
+{
+    // A chain of 10 activations: no amount of processors helps.
+    rete::TraceRecorder t;
+    t.beginCycle(1, 1);
+    for (int i = 1; i <= 10; ++i) {
+        rete::ActivationRecord rec;
+        rec.id = static_cast<std::uint64_t>(i);
+        rec.parent = static_cast<std::uint64_t>(i - 1);
+        rec.node_id = 100 + i;
+        rec.kind = rete::NodeKind::ConstTest;
+        rec.cost = 50;
+        rec.cycle = 1;
+        t.record(rec);
+    }
+    Simulator sim(t);
+    EXPECT_DOUBLE_EQ(sim.run(idealMachine(1)).makespan_instr, 500.0);
+    EXPECT_DOUBLE_EQ(sim.run(idealMachine(32)).makespan_instr, 500.0);
+}
+
+TEST(SimulatorTest, OppositeSidesOfAJoinSerialise)
+{
+    rete::TraceRecorder t;
+    t.beginCycle(1, 2);
+    for (int i = 1; i <= 2; ++i) {
+        rete::ActivationRecord rec;
+        rec.id = static_cast<std::uint64_t>(i);
+        rec.node_id = 7; // same join node
+        rec.kind = rete::NodeKind::Join;
+        rec.side = i == 1 ? rete::Side::Left : rete::Side::Right;
+        rec.cost = 100;
+        rec.cycle = 1;
+        t.record(rec);
+    }
+    Simulator sim(t);
+    EXPECT_DOUBLE_EQ(sim.run(idealMachine(2)).makespan_instr, 200.0)
+        << "left and right of one join must not overlap";
+}
+
+TEST(SimulatorTest, SameSideOfAJoinOverlaps)
+{
+    rete::TraceRecorder t;
+    t.beginCycle(1, 2);
+    for (int i = 1; i <= 2; ++i) {
+        rete::ActivationRecord rec;
+        rec.id = static_cast<std::uint64_t>(i);
+        rec.node_id = 7;
+        rec.kind = rete::NodeKind::Join;
+        rec.side = rete::Side::Left;
+        rec.cost = 100;
+        rec.cycle = 1;
+        t.record(rec);
+    }
+    Simulator sim(t);
+    EXPECT_DOUBLE_EQ(sim.run(idealMachine(2)).makespan_instr, 100.0);
+}
+
+TEST(SimulatorTest, ExclusiveNodesSerialise)
+{
+    rete::TraceRecorder t;
+    t.beginCycle(1, 2);
+    for (int i = 1; i <= 3; ++i) {
+        rete::ActivationRecord rec;
+        rec.id = static_cast<std::uint64_t>(i);
+        rec.node_id = 9;
+        rec.kind = rete::NodeKind::BetaMemory;
+        rec.cost = 40;
+        rec.cycle = 1;
+        t.record(rec);
+    }
+    Simulator sim(t);
+    EXPECT_DOUBLE_EQ(sim.run(idealMachine(3)).makespan_instr, 120.0);
+}
+
+TEST(SimulatorTest, CycleBarrierSeparatesCycles)
+{
+    auto trace = flatTrace(4, 100, /*n_cycles=*/3);
+    Simulator sim(trace);
+    MachineConfig m = idealMachine(4);
+    EXPECT_DOUBLE_EQ(sim.run(m).makespan_instr, 300.0);
+    m.cycle_overhead_instr = 50;
+    EXPECT_DOUBLE_EQ(sim.run(m).makespan_instr, 450.0)
+        << "3 cycles x (overhead 50 + work 100)";
+}
+
+TEST(SimulatorTest, SoftwareSchedulerSerialisesDispatch)
+{
+    auto trace = flatTrace(32, 60);
+    Simulator sim(trace);
+    MachineConfig hw = idealMachine(32);
+    MachineConfig sw = hw;
+    sw.scheduler = SchedulerModel::Software;
+    sw.sw_dispatch_instr = 30;
+
+    SimResult rhw = sim.run(hw);
+    SimResult rsw = sim.run(sw);
+    EXPECT_DOUBLE_EQ(rhw.makespan_instr, 60.0);
+    // 32 dispatches serialise at 30 instructions each: the queue is
+    // the bottleneck, exactly the paper's argument for hardware.
+    EXPECT_GE(rsw.makespan_instr, 32 * 30.0);
+}
+
+TEST(SimulatorTest, ContentionThrottlesHighConcurrency)
+{
+    auto trace = flatTrace(256, 100);
+    Simulator sim(trace);
+    MachineConfig m = idealMachine(64);
+    m.model_contention = true;
+    m.cache_hit_ratio = 0.5; // brutal miss rate to force saturation
+    m.bus_refs_per_sec = 2.0e6;
+    SimResult r = sim.run(m);
+    EXPECT_GT(r.contention_slowdown, 1.0);
+    SimResult r_nc = sim.run(idealMachine(64));
+    EXPECT_GT(r.makespan_instr, r_nc.makespan_instr);
+}
+
+TEST(SimulatorTest, SpeedMetricsUseMips)
+{
+    auto trace = flatTrace(10, 200);
+    Simulator sim(trace);
+    MachineConfig m = idealMachine(1);
+    m.mips = 2.0;
+    SimResult r = sim.run(m);
+    EXPECT_DOUBLE_EQ(r.seconds, 2000.0 / 2.0e6);
+    EXPECT_DOUBLE_EQ(r.wme_changes_per_sec, 10.0 / r.seconds);
+}
+
+TEST(SimulatorTest, MonotonicInProcessorCount)
+{
+    // Random-ish mixed trace: makespan must be non-increasing in P.
+    rete::TraceRecorder t;
+    std::uint64_t id = 1;
+    for (int c = 1; c <= 5; ++c) {
+        t.beginCycle(c, 4);
+        std::uint64_t roots[4] = {};
+        for (int i = 0; i < 16; ++i) {
+            rete::ActivationRecord rec;
+            rec.id = id++;
+            rec.parent = i < 4 ? 0 : roots[i % 4];
+            if (i < 4)
+                roots[i] = rec.id;
+            rec.node_id = 50 + i % 6;
+            rec.kind = i % 3 == 0 ? rete::NodeKind::Join
+                                  : rete::NodeKind::ConstTest;
+            rec.side = i % 2 == 0 ? rete::Side::Left : rete::Side::Right;
+            rec.cost = 30 + (i * 37) % 100;
+            rec.cycle = static_cast<std::uint32_t>(c);
+            t.record(rec);
+        }
+    }
+    Simulator sim(t);
+    double prev = 1e18;
+    for (int p : {1, 2, 4, 8, 16, 32}) {
+        double mk = sim.run(idealMachine(p)).makespan_instr;
+        EXPECT_LE(mk, prev + 1e-9) << "P=" << p;
+        prev = mk;
+    }
+}
+
+TEST(SimulatorTest, SingleClusterMatchesFlatMachine)
+{
+    auto trace = flatTrace(64, 100);
+    Simulator sim(trace);
+    MachineConfig flat = idealMachine(16);
+    MachineConfig one_cluster = flat;
+    one_cluster.n_clusters = 1;
+    one_cluster.inter_cluster_latency_instr = 500;
+    EXPECT_DOUBLE_EQ(sim.run(flat).makespan_instr,
+                     sim.run(one_cluster).makespan_instr);
+}
+
+TEST(SimulatorTest, ZeroLatencyClustersMatchFlatMachine)
+{
+    auto trace = flatTrace(64, 100);
+    Simulator sim(trace);
+    MachineConfig m = idealMachine(16);
+    m.n_clusters = 4;
+    m.inter_cluster_latency_instr = 0;
+    EXPECT_DOUBLE_EQ(sim.run(m).makespan_instr,
+                     sim.run(idealMachine(16)).makespan_instr);
+}
+
+TEST(SimulatorTest, InterClusterLatencySlowsDependentChains)
+{
+    // Chains of 2: parent anywhere, child prefers parent's cluster.
+    rete::TraceRecorder t;
+    t.beginCycle(1, 8);
+    std::uint64_t id = 1;
+    for (int i = 0; i < 8; ++i) {
+        rete::ActivationRecord parent;
+        parent.id = id++;
+        parent.node_id = 100 + i;
+        parent.kind = rete::NodeKind::ConstTest;
+        parent.cost = 100;
+        parent.cycle = 1;
+        t.record(parent);
+        rete::ActivationRecord child = parent;
+        child.id = id++;
+        child.parent = parent.id;
+        child.node_id = 200 + i;
+        t.record(child);
+    }
+    Simulator sim(t);
+    MachineConfig flat = idealMachine(8);
+    MachineConfig clustered = flat;
+    clustered.n_clusters = 4;
+    clustered.inter_cluster_latency_instr = 300;
+    // 8 parents over 8 procs, children follow in-cluster: no penalty
+    // needed, so a good schedule is as fast as the flat machine.
+    EXPECT_DOUBLE_EQ(sim.run(clustered).makespan_instr,
+                     sim.run(flat).makespan_instr);
+
+    // With only 2 processors per task wave in each cluster of 1,
+    // crossing becomes necessary and the penalty shows.
+    MachineConfig tight = idealMachine(2);
+    tight.n_clusters = 2;
+    tight.inter_cluster_latency_instr = 300;
+    EXPECT_GE(sim.run(tight).makespan_instr,
+              sim.run(idealMachine(2)).makespan_instr);
+}
+
+TEST(SimulatorTest, MoreSoftwareQueuesRecoverThroughput)
+{
+    auto trace = flatTrace(128, 60);
+    Simulator sim(trace);
+    double prev = 1e18;
+    for (int q : {1, 4, 16}) {
+        MachineConfig m = idealMachine(32);
+        m.scheduler = SchedulerModel::Software;
+        m.sw_dispatch_instr = 30;
+        m.n_software_queues = q;
+        double mk = sim.run(m).makespan_instr;
+        EXPECT_LT(mk, prev) << "queues=" << q;
+        prev = mk;
+    }
+    // Plenty of queues approaches (but never beats) hardware.
+    MachineConfig hw = idealMachine(32);
+    EXPECT_GE(prev, sim.run(hw).makespan_instr);
+}
+
+TEST(SimulatorTest, DegenerateConfigsAreClamped)
+{
+    auto trace = flatTrace(8, 50);
+    Simulator sim(trace);
+    MachineConfig m = idealMachine(0); // clamped to 1 processor
+    EXPECT_DOUBLE_EQ(sim.run(m).makespan_instr, 400.0);
+
+    MachineConfig more_clusters = idealMachine(2);
+    more_clusters.n_clusters = 8; // more clusters than processors
+    more_clusters.inter_cluster_latency_instr = 0;
+    EXPECT_DOUBLE_EQ(sim.run(more_clusters).makespan_instr, 200.0);
+}
+
+TEST(SimulatorTest, DisablingInterferenceNeverSlowsDown)
+{
+    // Two opposite-side activations of one join: serialised when
+    // enforced, overlapped when not.
+    rete::TraceRecorder t;
+    t.beginCycle(1, 2);
+    for (int i = 1; i <= 2; ++i) {
+        rete::ActivationRecord rec;
+        rec.id = static_cast<std::uint64_t>(i);
+        rec.node_id = 7;
+        rec.kind = rete::NodeKind::Join;
+        rec.side = i == 1 ? rete::Side::Left : rete::Side::Right;
+        rec.cost = 100;
+        rec.cycle = 1;
+        t.record(rec);
+    }
+    Simulator sim(t);
+    MachineConfig on = idealMachine(2);
+    MachineConfig off = on;
+    off.enforce_node_interference = false;
+    EXPECT_DOUBLE_EQ(sim.run(on).makespan_instr, 200.0);
+    EXPECT_DOUBLE_EQ(sim.run(off).makespan_instr, 100.0);
+}
+
+TEST(CoalesceChainsTest, FoldsLinearChainsPreservingWork)
+{
+    // chain of 4 x 50-instr tasks plus a 2-way fan-out at the end.
+    rete::TraceRecorder t;
+    t.beginCycle(1, 1);
+    for (int i = 1; i <= 4; ++i) {
+        rete::ActivationRecord rec;
+        rec.id = static_cast<std::uint64_t>(i);
+        rec.parent = static_cast<std::uint64_t>(i - 1);
+        rec.node_id = 10 + i;
+        rec.kind = rete::NodeKind::ConstTest;
+        rec.cost = 50;
+        rec.cycle = 1;
+        t.record(rec);
+    }
+    for (int i = 5; i <= 6; ++i) {
+        rete::ActivationRecord rec;
+        rec.id = static_cast<std::uint64_t>(i);
+        rec.parent = 4;
+        rec.node_id = 10 + i;
+        rec.kind = rete::NodeKind::ConstTest;
+        rec.cost = 50;
+        rec.cycle = 1;
+        t.record(rec);
+    }
+
+    auto coarse = coalesceChains(t, 200);
+    // The 4-chain folds into one 200-instr task; the fan-out children
+    // cannot fold into each other.
+    ASSERT_EQ(coarse.records().size(), 3u);
+    double total = 0;
+    for (const auto &rec : coarse.records())
+        total += rec.cost;
+    EXPECT_DOUBLE_EQ(total, 300.0) << "work is conserved";
+    EXPECT_EQ(coarse.records()[0].cost, 200u);
+    // The fan-out children now hang off the merged head.
+    EXPECT_EQ(coarse.records()[1].parent, coarse.records()[0].id);
+    EXPECT_EQ(coarse.records()[2].parent, coarse.records()[0].id);
+
+    // Same total work => same 1-processor makespan.
+    Simulator fine(t), folded(coarse);
+    MachineConfig m = idealMachine(1);
+    EXPECT_DOUBLE_EQ(fine.run(m).makespan_instr,
+                     folded.run(m).makespan_instr);
+}
+
+TEST(MergeCyclesTest, MergesMarksAndPreservesRecords)
+{
+    auto trace = flatTrace(4, 10, /*n_cycles=*/6);
+    auto merged = mergeCycles(trace, 3);
+    EXPECT_EQ(merged.cycles().size(), 2u);
+    EXPECT_EQ(merged.records().size(), trace.records().size());
+    EXPECT_EQ(merged.cycles()[0].n_changes, 12u);
+
+    // Merging widens each match phase: more parallelism available.
+    Simulator s_orig(trace), s_merged(merged);
+    MachineConfig m = idealMachine(8);
+    EXPECT_LT(s_merged.run(m).makespan_instr,
+              s_orig.run(m).makespan_instr);
+}
+
+TEST(MergeCyclesTest, KOneIsIdentityShape)
+{
+    auto trace = flatTrace(4, 10, 3);
+    auto merged = mergeCycles(trace, 1);
+    EXPECT_EQ(merged.records().size(), trace.records().size());
+    Simulator a(trace), b(merged);
+    MachineConfig m = idealMachine(2);
+    EXPECT_DOUBLE_EQ(a.run(m).makespan_instr, b.run(m).makespan_instr);
+}
+
+} // namespace

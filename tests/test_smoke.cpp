@@ -1,0 +1,148 @@
+/**
+ * @file
+ * End-to-end smoke tests: parse a small program, run the serial Rete
+ * matcher, check the conflict set. Deeper per-module suites live in
+ * the dedicated test files.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops5/ops5.hpp"
+#include "rete/matcher.hpp"
+
+using namespace psm;
+
+namespace {
+
+/** The paper's Figure 2-1 production, plus working memory. */
+constexpr const char *kFindColoredBlk = R"(
+(literalize goal type color)
+(literalize block id color selected)
+
+(p find-colored-blk
+    (goal ^type find-blk ^color <c>)
+    (block ^id <i> ^color <c> ^selected no)
+    -->
+    (modify 2 ^selected yes))
+)";
+
+class SmokeTest : public ::testing::Test
+{
+  protected:
+    void
+    load(const char *src)
+    {
+        program = ops5::parse(src);
+        matcher = std::make_unique<rete::ReteMatcher>(program);
+    }
+
+    const ops5::Wme *
+    make(const char *cls, std::vector<std::pair<const char *,
+         ops5::Value>> fields)
+    {
+        auto &syms = program->symbols();
+        auto &schema = program->types().schema(syms.intern(cls));
+        std::vector<ops5::Value> vals;
+        for (auto &[attr, v] : fields) {
+            int idx = schema.fieldOf(syms.intern(attr));
+            if (idx >= static_cast<int>(vals.size()))
+                vals.resize(idx + 1);
+            vals[idx] = v;
+        }
+        return wm.insert(syms.intern(cls), std::move(vals));
+    }
+
+    ops5::Value
+    sym(const char *s)
+    {
+        return ops5::Value::symbol(program->symbols().intern(s));
+    }
+
+    void
+    process(std::vector<ops5::WmeChange> changes)
+    {
+        matcher->processChanges(changes);
+    }
+
+    std::shared_ptr<ops5::Program> program;
+    ops5::WorkingMemory wm;
+    std::unique_ptr<rete::ReteMatcher> matcher;
+};
+
+TEST_F(SmokeTest, Figure21ProductionMatches)
+{
+    load(kFindColoredBlk);
+    const ops5::Wme *goal =
+        make("goal", {{"type", sym("find-blk")}, {"color", sym("red")}});
+    const ops5::Wme *blk = make("block", {{"id", ops5::Value::integer(1)},
+                                          {"color", sym("red")},
+                                          {"selected", sym("no")}});
+    process({{ops5::ChangeKind::Insert, goal},
+             {ops5::ChangeKind::Insert, blk}});
+
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+    auto inst = matcher->conflictSet().select(ops5::Strategy::Lex);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->production->name(), "find-colored-blk");
+    ASSERT_EQ(inst->wmes.size(), 2u);
+    EXPECT_EQ(inst->wmes[0], goal);
+    EXPECT_EQ(inst->wmes[1], blk);
+}
+
+TEST_F(SmokeTest, ColorMismatchDoesNotMatch)
+{
+    load(kFindColoredBlk);
+    const ops5::Wme *goal =
+        make("goal", {{"type", sym("find-blk")}, {"color", sym("red")}});
+    const ops5::Wme *blk = make("block", {{"id", ops5::Value::integer(1)},
+                                          {"color", sym("blue")},
+                                          {"selected", sym("no")}});
+    process({{ops5::ChangeKind::Insert, goal},
+             {ops5::ChangeKind::Insert, blk}});
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+}
+
+TEST_F(SmokeTest, RemovalRetractsInstantiation)
+{
+    load(kFindColoredBlk);
+    const ops5::Wme *goal =
+        make("goal", {{"type", sym("find-blk")}, {"color", sym("red")}});
+    const ops5::Wme *blk = make("block", {{"id", ops5::Value::integer(1)},
+                                          {"color", sym("red")},
+                                          {"selected", sym("no")}});
+    process({{ops5::ChangeKind::Insert, goal},
+             {ops5::ChangeKind::Insert, blk}});
+    ASSERT_EQ(matcher->conflictSet().size(), 1u);
+
+    wm.remove(goal);
+    process({{ops5::ChangeKind::Remove, goal}});
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+    EXPECT_EQ(matcher->pendingTombstones(), 0u);
+}
+
+TEST_F(SmokeTest, NegatedConditionElement)
+{
+    load(R"(
+(literalize item id)
+(literalize blocker id)
+(p lone-item
+    (item ^id <i>)
+    -(blocker ^id <i>)
+    -->
+    (remove 1))
+)");
+    const ops5::Wme *item = make("item", {{"id", ops5::Value::integer(7)}});
+    process({{ops5::ChangeKind::Insert, item}});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+
+    const ops5::Wme *blocker =
+        make("blocker", {{"id", ops5::Value::integer(7)}});
+    process({{ops5::ChangeKind::Insert, blocker}});
+    EXPECT_EQ(matcher->conflictSet().size(), 0u);
+
+    wm.remove(blocker);
+    process({{ops5::ChangeKind::Remove, blocker}});
+    EXPECT_EQ(matcher->conflictSet().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Trace serialisation tests: round trips, simulator equivalence on
+ * loaded traces, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "psm/capture.hpp"
+#include "psm/simulator.hpp"
+#include "psm/trace_io.hpp"
+#include "workloads/presets.hpp"
+
+using namespace psm;
+using namespace psm::sim;
+
+namespace {
+
+rete::TraceRecorder
+sampleTrace()
+{
+    auto preset = workloads::tinyPreset(21);
+    auto program = workloads::generateProgram(preset.config);
+    auto run = captureStreamRun(program, preset.config, 5, 12, 6, 0.4);
+    return run.trace;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything)
+{
+    rete::TraceRecorder original = sampleTrace();
+    ASSERT_FALSE(original.records().empty());
+
+    std::stringstream buf;
+    ASSERT_TRUE(saveTrace(original, buf));
+    rete::TraceRecorder loaded = loadTrace(buf);
+
+    ASSERT_EQ(loaded.records().size(), original.records().size());
+    ASSERT_EQ(loaded.cycles().size(), original.cycles().size());
+    for (std::size_t i = 0; i < original.records().size(); ++i) {
+        const auto &a = original.records()[i];
+        const auto &b = loaded.records()[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.parent, b.parent);
+        EXPECT_EQ(a.node_id, b.node_id);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.side, b.side);
+        EXPECT_EQ(a.insert, b.insert);
+        EXPECT_EQ(a.cost, b.cost);
+        EXPECT_EQ(a.change, b.change);
+        EXPECT_EQ(a.cycle, b.cycle);
+    }
+    for (std::size_t i = 0; i < original.cycles().size(); ++i) {
+        EXPECT_EQ(loaded.cycles()[i].cycle,
+                  original.cycles()[i].cycle);
+        EXPECT_EQ(loaded.cycles()[i].n_changes,
+                  original.cycles()[i].n_changes);
+        EXPECT_EQ(loaded.cycles()[i].first_record,
+                  original.cycles()[i].first_record);
+    }
+}
+
+TEST(TraceIoTest, SimulatorAgreesOnLoadedTrace)
+{
+    rete::TraceRecorder original = sampleTrace();
+    std::stringstream buf;
+    saveTrace(original, buf);
+    rete::TraceRecorder loaded = loadTrace(buf);
+
+    MachineConfig m;
+    m.n_processors = 16;
+    Simulator a(original), b(loaded);
+    EXPECT_DOUBLE_EQ(a.run(m).makespan_instr, b.run(m).makespan_instr);
+    EXPECT_DOUBLE_EQ(a.run(m).concurrency, b.run(m).concurrency);
+}
+
+TEST(TraceIoTest, FileRoundTrip)
+{
+    rete::TraceRecorder original = sampleTrace();
+    std::string path = ::testing::TempDir() + "psm_trace_test.txt";
+    ASSERT_TRUE(saveTraceFile(original, path));
+    rete::TraceRecorder loaded = loadTraceFile(path);
+    EXPECT_EQ(loaded.records().size(), original.records().size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsBadMagic)
+{
+    std::stringstream buf("not a trace\nA 1 0 0 0 0 1 10 0\n");
+    EXPECT_THROW(loadTrace(buf), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsMalformedRecords)
+{
+    std::stringstream buf("# psm-trace v1\nA 1 0\n");
+    EXPECT_THROW(loadTrace(buf), std::runtime_error);
+
+    std::stringstream buf2("# psm-trace v1\nX what\n");
+    EXPECT_THROW(loadTrace(buf2), std::runtime_error);
+
+    std::stringstream buf3("# psm-trace v1\nA 1 0 5 99 0 1 10 0\n");
+    EXPECT_THROW(loadTrace(buf3), std::runtime_error) << "bad kind";
+}
+
+TEST(TraceIoFuzzTest, RandomLinesNeverCrash)
+{
+    std::mt19937_64 rng(77);
+    const std::string alphabet = "ACX 0123456789-\n#";
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string body = "# psm-trace v1\n";
+        int len = static_cast<int>(rng() % 200);
+        for (int i = 0; i < len; ++i)
+            body.push_back(alphabet[rng() % alphabet.size()]);
+        std::stringstream buf(body);
+        try {
+            loadTrace(buf);
+        } catch (const std::runtime_error &) {
+            // expected for malformed bodies
+        }
+    }
+    SUCCEED();
+}
+
+TEST(TraceIoTest, MissingFileThrows)
+{
+    EXPECT_THROW(loadTraceFile("/nonexistent/psm.trace"),
+                 std::runtime_error);
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream buf("# psm-trace v1\n\n# a comment\nC 1 2\n"
+                          "A 1 0 3 1 0 1 25 0\n");
+    rete::TraceRecorder t = loadTrace(buf);
+    ASSERT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.records()[0].cost, 25u);
+    EXPECT_EQ(t.cycles().size(), 1u);
+}
+
+} // namespace

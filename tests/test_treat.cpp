@@ -1,0 +1,220 @@
+/**
+ * @file
+ * TREAT and naive matcher tests: alpha-only state, seeded joins,
+ * delete sweeps, negated-CE recomputation, and the joiner helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops5/ops5.hpp"
+#include "treat/naive.hpp"
+#include "treat/treat.hpp"
+
+using namespace psm;
+using namespace psm::ops5;
+
+namespace {
+
+class TreatFixture : public ::testing::Test
+{
+  protected:
+    void
+    load(const char *src)
+    {
+        program = parse(src);
+        treat = std::make_unique<treat::TreatMatcher>(program);
+    }
+
+    const Wme *
+    insert(const char *cls, std::vector<Value> fields)
+    {
+        const Wme *w =
+            wm.insert(program->symbols().intern(cls), std::move(fields));
+        WmeChange c{ChangeKind::Insert, w};
+        treat->processChanges({&c, 1});
+        return w;
+    }
+
+    void
+    remove(const Wme *w)
+    {
+        wm.remove(w);
+        WmeChange c{ChangeKind::Remove, w};
+        treat->processChanges({&c, 1});
+    }
+
+    std::shared_ptr<Program> program;
+    WorkingMemory wm;
+    std::unique_ptr<treat::TreatMatcher> treat;
+};
+
+TEST_F(TreatFixture, SeededJoinFindsOnlyNewTuples)
+{
+    load(R"(
+(literalize a x)
+(literalize b x)
+(p pair (a ^x <v>) (b ^x <v>) --> (halt))
+)");
+    insert("a", {Value::integer(1)});
+    EXPECT_EQ(treat->conflictSet().size(), 0u);
+    insert("b", {Value::integer(1)});
+    EXPECT_EQ(treat->conflictSet().size(), 1u);
+    insert("b", {Value::integer(1)});
+    EXPECT_EQ(treat->conflictSet().size(), 2u);
+}
+
+TEST_F(TreatFixture, DeleteSweepsConflictSet)
+{
+    load(R"(
+(literalize a x)
+(literalize b x)
+(p pair (a ^x <v>) (b ^x <v>) --> (halt))
+)");
+    const Wme *a = insert("a", {Value::integer(1)});
+    insert("b", {Value::integer(1)});
+    insert("b", {Value::integer(1)});
+    ASSERT_EQ(treat->conflictSet().size(), 2u);
+    remove(a);
+    EXPECT_EQ(treat->conflictSet().size(), 0u);
+    EXPECT_EQ(treat->alphaStateSize(), 2u) << "b WMEs still in alpha";
+}
+
+TEST_F(TreatFixture, AlphaMemoriesAreSharedAcrossProductions)
+{
+    load(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (halt))
+(p p2 (a ^x 1) --> (remove 1))
+)");
+    insert("a", {Value::integer(1)});
+    // One shared alpha memory holding one WME, not two copies.
+    EXPECT_EQ(treat->alphaStateSize(), 1u);
+    EXPECT_EQ(treat->conflictSet().size(), 2u);
+}
+
+TEST_F(TreatFixture, NegatedInsertSweepsConsistentInstantiations)
+{
+    load(R"(
+(literalize task id)
+(literalize done id)
+(p pending (task ^id <i>) -(done ^id <i>) --> (halt))
+)");
+    insert("task", {Value::integer(1)});
+    insert("task", {Value::integer(2)});
+    ASSERT_EQ(treat->conflictSet().size(), 2u);
+    insert("done", {Value::integer(1)});
+    EXPECT_EQ(treat->conflictSet().size(), 1u)
+        << "only the consistent instantiation removed";
+}
+
+TEST_F(TreatFixture, NegatedDeleteRecomputesUnblockedTuples)
+{
+    load(R"(
+(literalize task id)
+(literalize done id)
+(p pending (task ^id <i>) -(done ^id <i>) --> (halt))
+)");
+    insert("task", {Value::integer(1)});
+    const Wme *d1 = insert("done", {Value::integer(1)});
+    const Wme *d2 = insert("done", {Value::integer(1)});
+    ASSERT_EQ(treat->conflictSet().size(), 0u);
+    remove(d1);
+    EXPECT_EQ(treat->conflictSet().size(), 0u) << "d2 still blocks";
+    remove(d2);
+    EXPECT_EQ(treat->conflictSet().size(), 1u);
+}
+
+TEST_F(TreatFixture, WmeMatchingTwoCePositionsDeduplicates)
+{
+    load(R"(
+(literalize a x y)
+(p self (a ^x <v>) (a ^y <v>) --> (halt))
+)");
+    insert("a", {Value::integer(3), Value::integer(3)});
+    EXPECT_EQ(treat->conflictSet().size(), 1u)
+        << "(w,w) found from both seed positions must deduplicate";
+}
+
+TEST(NaiveMatcherTest, TracksLiveWmesAndRematches)
+{
+    auto program = parse(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (halt))
+)");
+    treat::NaiveMatcher naive(program);
+    WorkingMemory wm;
+    const Wme *w =
+        wm.insert(program->symbols().intern("a"), {Value::integer(1)});
+    WmeChange ins{ChangeKind::Insert, w};
+    naive.processChanges({&ins, 1});
+    EXPECT_EQ(naive.liveWmeCount(), 1u);
+    EXPECT_EQ(naive.conflictSet().size(), 1u);
+
+    wm.remove(w);
+    WmeChange rm{ChangeKind::Remove, w};
+    naive.processChanges({&rm, 1});
+    EXPECT_EQ(naive.liveWmeCount(), 0u);
+    EXPECT_EQ(naive.conflictSet().size(), 0u);
+}
+
+TEST(NaiveMatcherTest, RebuildPreservesRefraction)
+{
+    auto program = parse(R"(
+(literalize a x)
+(literalize b x)
+(p p1 (a ^x 1) --> (halt))
+)");
+    treat::NaiveMatcher naive(program);
+    WorkingMemory wm;
+    const Wme *w =
+        wm.insert(program->symbols().intern("a"), {Value::integer(1)});
+    WmeChange ins{ChangeKind::Insert, w};
+    naive.processChanges({&ins, 1});
+
+    auto inst = naive.conflictSet().select(Strategy::Lex);
+    ASSERT_TRUE(inst);
+    naive.conflictSet().markFired(*inst);
+
+    // An unrelated change triggers a full rebuild; the fired record
+    // must survive because the instantiation stayed satisfied.
+    const Wme *w2 =
+        wm.insert(program->symbols().intern("b"), {Value::integer(2)});
+    WmeChange ins2{ChangeKind::Insert, w2};
+    naive.processChanges({&ins2, 1});
+    EXPECT_FALSE(naive.conflictSet().select(Strategy::Lex))
+        << "refraction must survive the rebuild";
+}
+
+TEST(JoinerTest, PinnedEnumerationRestrictsToSeed)
+{
+    auto program = parse(R"(
+(literalize a x)
+(literalize b x)
+(p pair (a ^x <v>) (b ^x <v>) --> (halt))
+)");
+    auto lhs = rete::compileLhs(*program->productions()[0]);
+    WorkingMemory wm;
+    SymbolId a_cls = program->symbols().intern("a");
+    SymbolId b_cls = program->symbols().intern("b");
+    std::vector<const Wme *> as = {
+        wm.insert(a_cls, {Value::integer(1)}),
+        wm.insert(a_cls, {Value::integer(2)}),
+    };
+    std::vector<const Wme *> bs = {
+        wm.insert(b_cls, {Value::integer(1)}),
+        wm.insert(b_cls, {Value::integer(2)}),
+    };
+    treat::CandidateLists lists = {&as, &bs};
+    int tuples = 0;
+    auto js = treat::enumerateJoins(
+        lhs, lists, program->symbols(), 0, as[0],
+        [&](const std::vector<const Wme *> &tuple) {
+            ++tuples;
+            EXPECT_EQ(tuple[0], as[0]);
+        });
+    EXPECT_EQ(tuples, 1);
+    EXPECT_EQ(js.tuples, 1u);
+    EXPECT_GT(js.comparisons, 0u);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Internal-consistency property tests: after random change streams,
+ * every memory node of the serial matchers (shared and private
+ * networks) and of the fine-grain parallel matcher must contain
+ * exactly what a ground-truth recomputation says it should.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_matcher.hpp"
+#include "ops5/parser.hpp"
+#include "rete/matcher.hpp"
+#include "rete/validate.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/presets.hpp"
+
+using namespace psm;
+
+namespace {
+
+std::vector<const ops5::Wme *>
+liveOf(const ops5::WorkingMemory &wm)
+{
+    return wm.liveElements();
+}
+
+class ValidateTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ValidateTest, SerialNetworksStayInternallyConsistent)
+{
+    std::uint64_t seed = GetParam();
+    auto preset = workloads::tinyPreset(seed);
+    preset.config.negated_fraction = 0.25;
+    auto program = workloads::generateProgram(preset.config);
+
+    auto shared_net = std::make_shared<rete::Network>(program);
+    auto private_net = std::make_shared<rete::Network>(
+        program, rete::NetworkOptions::privateState());
+    rete::ReteMatcher shared_m(shared_net);
+    rete::ReteMatcher private_m(private_net);
+
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*program, wm, preset.config,
+                                   seed * 13 + 5);
+    for (int b = 0; b < 15; ++b) {
+        auto batch = stream.nextBatch(8, 0.45);
+        shared_m.processChanges(batch);
+        private_m.processChanges(batch);
+
+        auto live = liveOf(wm);
+        auto r1 = rete::validateNetworkState(*shared_net, live);
+        auto r2 = rete::validateNetworkState(*private_net, live);
+        EXPECT_TRUE(r1.ok())
+            << "shared network, batch " << b << ": "
+            << (r1.errors.empty() ? "" : r1.errors.front());
+        EXPECT_TRUE(r2.ok())
+            << "private network, batch " << b << ": "
+            << (r2.errors.empty() ? "" : r2.errors.front());
+    }
+}
+
+TEST_P(ValidateTest, ParallelMatcherStateStaysConsistent)
+{
+    std::uint64_t seed = GetParam();
+    auto preset = workloads::tinyPreset(seed);
+    preset.config.negated_fraction = 0.25;
+    auto program = workloads::generateProgram(preset.config);
+
+    core::ParallelOptions opt;
+    opt.n_workers = 3;
+    core::ParallelReteMatcher par(program, opt);
+
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*program, wm, preset.config,
+                                   seed * 17 + 3);
+    for (int b = 0; b < 15; ++b) {
+        auto batch = stream.nextBatch(10, 0.45);
+        par.processChanges(batch);
+        auto r = rete::validateNetworkState(par.network(),
+                                            liveOf(wm));
+        EXPECT_TRUE(r.ok())
+            << "parallel network, batch " << b << ", seed " << seed
+            << ": " << (r.errors.empty() ? "" : r.errors.front());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidateTest,
+                         ::testing::Values(31, 32, 33, 34, 35),
+                         [](const auto &info) {
+                             return "seed" +
+                                    std::to_string(info.param);
+                         });
+
+/** The validator itself must detect corruption when it exists. */
+TEST(ValidateOracleTest, DetectsInjectedCorruption)
+{
+    auto program = ops5::parse(R"(
+(literalize a x)
+(p p1 (a ^x <v>) (a ^x <v>) --> (halt))
+)");
+    auto net = std::make_shared<rete::Network>(program);
+    rete::ReteMatcher m(net);
+    ops5::WorkingMemory wm;
+    const ops5::Wme *w =
+        wm.insert(program->symbols().find("a"), {ops5::Value::integer(1)});
+    ops5::WmeChange c{ops5::ChangeKind::Insert, w};
+    m.processChanges({&c, 1});
+
+    auto live = wm.liveElements();
+    ASSERT_TRUE(rete::validateNetworkState(*net, live).ok());
+
+    // Corrupt an alpha memory: drop its contents behind the
+    // matcher's back.
+    for (const auto &node : net->nodes()) {
+        if (node->kind == rete::NodeKind::AlphaMemory)
+            static_cast<rete::AlphaMemoryNode *>(node.get())
+                ->items.clear();
+    }
+    auto r = rete::validateNetworkState(*net, live);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.errors.empty());
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Vector-attribute tests: OPS5 `(vector-attribute ...)` makes an
+ * attribute consume a sequence of value positions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "ops5/ops5.hpp"
+#include "rete/matcher.hpp"
+#include "treat/naive.hpp"
+
+using namespace psm;
+using namespace psm::ops5;
+
+namespace {
+
+constexpr const char *kMessageProgram = R"(
+(vector-attribute text)
+(literalize message from text)
+
+(p greet-alice
+    (message ^from <f> ^text hello alice)
+    -->
+    (write greeting from <f>)
+    (remove 1))
+
+; Bare variables match nil (absent) values, so "exactly three words"
+; needs explicit non-nil tests — the idiomatic OPS5 pattern.
+(p long-message
+    (message ^text { <w1> <> nil } { <w2> <> nil } { <w3> <> nil })
+    -->
+    (write three words)
+    (remove 1))
+)";
+
+TEST(VectorAttributeTest, DeclarationRegisters)
+{
+    auto prog = parse("(vector-attribute text data)");
+    EXPECT_TRUE(prog->isVectorAttribute(prog->symbols().find("text")));
+    EXPECT_TRUE(prog->isVectorAttribute(prog->symbols().find("data")));
+    EXPECT_FALSE(prog->isVectorAttribute(prog->symbols().find("other")));
+}
+
+TEST(VectorAttributeTest, MakeFillsConsecutiveFields)
+{
+    auto prog = parse(R"(
+(vector-attribute text)
+(literalize message from text)
+(make message ^from bob ^text hello alice)
+)");
+    ASSERT_EQ(prog->initialWmes().size(), 1u);
+    const auto &fields = prog->initialWmes()[0].fields;
+    ASSERT_EQ(fields.size(), 3u); // from, text[0], text[1]
+    EXPECT_EQ(fields[0], Value::symbol(prog->symbols().find("bob")));
+    EXPECT_EQ(fields[1], Value::symbol(prog->symbols().find("hello")));
+    EXPECT_EQ(fields[2], Value::symbol(prog->symbols().find("alice")));
+}
+
+TEST(VectorAttributeTest, SequenceMatchingEndToEnd)
+{
+    auto prog = parse(std::string(kMessageProgram) + R"(
+(make message ^from bob ^text hello alice)
+(make message ^from eve ^text hello mallory)
+)");
+    rete::ReteMatcher matcher(prog);
+    core::Engine engine(prog, matcher);
+    std::ostringstream out;
+    engine.setOutput(&out);
+    engine.loadInitialWorkingMemory();
+    engine.run(10);
+    // Only bob's message greets alice; both are two-word messages so
+    // neither fires long-message (needs three).
+    EXPECT_NE(out.str().find("greeting from bob"), std::string::npos);
+    EXPECT_EQ(out.str().find("greeting from eve"), std::string::npos);
+    EXPECT_EQ(out.str().find("three words"), std::string::npos);
+}
+
+TEST(VectorAttributeTest, VariablePositionsBindWithinSequence)
+{
+    auto prog = parse(std::string(kMessageProgram) + R"(
+(make message ^from carol ^text one two three)
+)");
+    rete::ReteMatcher matcher(prog);
+    core::Engine engine(prog, matcher);
+    std::ostringstream out;
+    engine.setOutput(&out);
+    engine.loadInitialWorkingMemory();
+    engine.run(10);
+    EXPECT_NE(out.str().find("three words"), std::string::npos);
+}
+
+TEST(VectorAttributeTest, ModifyRewritesSequence)
+{
+    auto prog = parse(R"(
+(vector-attribute text)
+(literalize message state text)
+(p rewrite
+    (message ^state raw ^text <a> <b>)
+    -->
+    (modify 1 ^state done ^text <b> <a>))
+(p check
+    (message ^state done ^text world hello)
+    -->
+    (write swapped)
+    (halt))
+(make message ^state raw ^text hello world)
+)");
+    rete::ReteMatcher matcher(prog);
+    core::Engine engine(prog, matcher);
+    std::ostringstream out;
+    engine.setOutput(&out);
+    engine.loadInitialWorkingMemory();
+    auto r = engine.run(10);
+    EXPECT_TRUE(r.halted);
+    EXPECT_NE(out.str().find("swapped"), std::string::npos);
+}
+
+TEST(VectorAttributeTest, MatchersAgreeOnVectorPatterns)
+{
+    auto prog = parse(std::string(kMessageProgram));
+    rete::ReteMatcher rete_m(prog);
+    treat::NaiveMatcher naive_m(prog);
+    WorkingMemory wm;
+    auto &syms = prog->symbols();
+    std::vector<Value> fields = {
+        Value::symbol(syms.intern("bob")),
+        Value::symbol(syms.intern("hello")),
+        Value::symbol(syms.intern("alice")),
+    };
+    const Wme *w = wm.insert(syms.find("message"), fields);
+    WmeChange c{ChangeKind::Insert, w};
+    rete_m.processChanges({&c, 1});
+    naive_m.processChanges({&c, 1});
+    EXPECT_EQ(rete_m.conflictSet().size(), 1u);
+    EXPECT_EQ(naive_m.conflictSet().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Workload generator and preset tests: determinism, runnability, and
+ * the calibration bands the experiments depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "psm/analysis.hpp"
+#include "psm/capture.hpp"
+#include "rete/matcher.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/presets.hpp"
+
+using namespace psm;
+
+namespace {
+
+TEST(GeneratorTest, DeterministicForEqualSeeds)
+{
+    workloads::GeneratorConfig cfg;
+    cfg.n_productions = 20;
+    auto a = workloads::generateProgram(cfg);
+    auto b = workloads::generateProgram(cfg);
+    ASSERT_EQ(a->productions().size(), b->productions().size());
+    for (std::size_t i = 0; i < a->productions().size(); ++i) {
+        const auto &pa = *a->productions()[i];
+        const auto &pb = *b->productions()[i];
+        EXPECT_EQ(pa.name(), pb.name());
+        EXPECT_EQ(pa.lhs().size(), pb.lhs().size());
+        EXPECT_EQ(pa.specificity(), pb.specificity());
+    }
+    EXPECT_EQ(a->initialWmes().size(), b->initialWmes().size());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer)
+{
+    workloads::GeneratorConfig cfg;
+    cfg.n_productions = 20;
+    auto a = workloads::generateProgram(cfg);
+    cfg.seed = 2;
+    auto b = workloads::generateProgram(cfg);
+    int distinct = 0;
+    for (std::size_t i = 0; i < a->productions().size(); ++i) {
+        if (a->productions()[i]->specificity() !=
+            b->productions()[i]->specificity())
+            ++distinct;
+    }
+    EXPECT_GT(distinct, 0);
+}
+
+TEST(GeneratorTest, RespectsStructuralKnobs)
+{
+    workloads::GeneratorConfig cfg;
+    cfg.n_productions = 50;
+    cfg.min_ces = 3;
+    cfg.max_ces = 3;
+    cfg.expensive_fraction = 0.0;
+    auto prog = workloads::generateProgram(cfg);
+    ASSERT_EQ(prog->productions().size(), 50u);
+    for (const auto &p : prog->productions()) {
+        EXPECT_EQ(p->lhs().size(), 3u);
+        EXPECT_FALSE(p->rhs().empty());
+    }
+    EXPECT_EQ(prog->initialWmes().size(),
+              static_cast<std::size_t>(cfg.n_classes *
+                                       cfg.initial_wmes_per_class));
+}
+
+TEST(GeneratorTest, GeneratedProgramsActuallyRun)
+{
+    // Fire the recognize-act loop on generated programs: they must
+    // parse, match, and execute some productions without error.
+    int total_firings = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto preset = workloads::tinyPreset(seed);
+        auto prog = workloads::generateProgram(preset.config);
+        rete::ReteMatcher matcher(prog);
+        core::Engine engine(prog, matcher);
+        engine.loadInitialWorkingMemory();
+        auto r = engine.run(50);
+        total_firings += static_cast<int>(r.firings);
+    }
+    EXPECT_GT(total_firings, 10) << "workloads must exercise the loop";
+}
+
+TEST(ChangeStreamTest, BatchShapeAndLiveness)
+{
+    auto preset = workloads::tinyPreset(4);
+    auto prog = workloads::generateProgram(preset.config);
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*prog, wm, preset.config, 9);
+
+    auto first = stream.nextBatch(10, 0.0);
+    EXPECT_EQ(first.size(), 10u);
+    for (const auto &c : first)
+        EXPECT_EQ(c.kind, ops5::ChangeKind::Insert);
+    EXPECT_EQ(wm.liveCount(), 10u);
+
+    // With remove fraction 1.0 everything beyond the floor drains.
+    auto drain = stream.nextBatch(6, 1.0);
+    int removes = 0;
+    for (const auto &c : drain)
+        removes += c.kind == ops5::ChangeKind::Remove;
+    EXPECT_GT(removes, 0);
+}
+
+TEST(PresetTest, AllSixPaperSystemsPresent)
+{
+    const auto &systems = workloads::paperSystems();
+    ASSERT_EQ(systems.size(), 6u);
+    EXPECT_EQ(systems[0].name, "vt");
+    EXPECT_EQ(systems[0].config.n_productions, 1322);
+    EXPECT_EQ(systems[5].name, "ep-soar");
+    EXPECT_EQ(systems[5].config.n_productions, 62);
+    EXPECT_TRUE(workloads::presetByName("r1-soar")
+                    .has_parallel_firings_variant);
+    EXPECT_THROW(workloads::presetByName("nope"), std::out_of_range);
+}
+
+/**
+ * The calibration bands the experiment harness relies on: these pin
+ * the workloads to the paper's measured operating regime. If a
+ * generator change drifts out of band, the figures stop being a
+ * faithful reproduction — fail loudly here rather than silently
+ * producing a different paper.
+ */
+TEST(CalibrationTest, PresetsMatchPaperOperatingRegime)
+{
+    double sum_affected = 0, sum_c1 = 0;
+    int n = 0;
+    for (const auto &preset : workloads::paperSystems()) {
+        auto prog = workloads::generateProgram(preset.config);
+        auto run = sim::captureStreamRun(prog, preset.config,
+                                         preset.config.seed * 7 + 1, 60,
+                                         preset.changes_per_firing, 0.5);
+        auto w = sim::analyzeWorkload(run);
+
+        // Paper: ~30 affected productions; band [4, 60].
+        EXPECT_GE(w.avg_affected_productions, 4.0) << preset.name;
+        EXPECT_LE(w.avg_affected_productions, 60.0) << preset.name;
+
+        // Paper: c1 ~ 1800 instructions; band [400, 4000].
+        EXPECT_GE(w.serial_instr_per_change, 400.0) << preset.name;
+        EXPECT_LE(w.serial_instr_per_change, 4000.0) << preset.name;
+
+        // Sharing loss must be a real, bounded effect.
+        EXPECT_GT(run.sharingLossFactor(), 1.0) << preset.name;
+        EXPECT_LT(run.sharingLossFactor(), 3.0) << preset.name;
+
+        sum_affected += w.avg_affected_productions;
+        sum_c1 += w.serial_instr_per_change;
+        ++n;
+    }
+    // Fleet averages sit near the paper's quoted operating point.
+    EXPECT_NEAR(sum_affected / n, 30.0, 20.0);
+    EXPECT_NEAR(sum_c1 / n, 1800.0, 900.0);
+}
+
+TEST(CalibrationTest, AffectedSetStaysFlatAcrossProgramSize)
+{
+    // Section 8: the affected count "does not go up significantly as
+    // the total number of productions increases". Compare the biggest
+    // and smallest presets: ratio of affected counts must be far below
+    // the ratio of rule counts (1322/62 ~ 21x).
+    auto measure = [](const workloads::SystemPreset &p) {
+        auto prog = workloads::generateProgram(p.config);
+        auto run = sim::captureStreamRun(prog, p.config,
+                                         p.config.seed * 7 + 1, 40,
+                                         p.changes_per_firing, 0.5);
+        return sim::analyzeWorkload(run).avg_affected_productions;
+    };
+    double big = measure(workloads::presetByName("vt"));
+    double small = measure(workloads::presetByName("ep-soar"));
+    EXPECT_LT(big / small, 8.0)
+        << "affected set must grow far slower than rule count";
+}
+
+} // namespace
