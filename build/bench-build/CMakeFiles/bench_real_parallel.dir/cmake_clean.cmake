@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_real_parallel"
+  "../bench/bench_real_parallel.pdb"
+  "CMakeFiles/bench_real_parallel.dir/bench_real_parallel.cpp.o"
+  "CMakeFiles/bench_real_parallel.dir/bench_real_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_real_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

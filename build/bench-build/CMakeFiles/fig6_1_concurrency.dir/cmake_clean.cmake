@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_1_concurrency"
+  "../bench/fig6_1_concurrency.pdb"
+  "CMakeFiles/fig6_1_concurrency.dir/fig6_1_concurrency.cpp.o"
+  "CMakeFiles/fig6_1_concurrency.dir/fig6_1_concurrency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_1_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_2_speed"
+  "../bench/fig6_2_speed.pdb"
+  "CMakeFiles/fig6_2_speed.dir/fig6_2_speed.cpp.o"
+  "CMakeFiles/fig6_2_speed.dir/fig6_2_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_2_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table10_bus_contention"
+  "../bench/table10_bus_contention.pdb"
+  "CMakeFiles/table10_bus_contention.dir/table10_bus_contention.cpp.o"
+  "CMakeFiles/table10_bus_contention.dir/table10_bus_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_bus_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table11_scaling"
+  "../bench/table11_scaling.pdb"
+  "CMakeFiles/table11_scaling.dir/table11_scaling.cpp.o"
+  "CMakeFiles/table11_scaling.dir/table11_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

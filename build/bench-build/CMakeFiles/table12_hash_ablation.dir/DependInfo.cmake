@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table12_hash_ablation.cpp" "bench-build/CMakeFiles/table12_hash_ablation.dir/table12_hash_ablation.cpp.o" "gcc" "bench-build/CMakeFiles/table12_hash_ablation.dir/table12_hash_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psm/CMakeFiles/psm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/treat/CMakeFiles/psm_treat.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rete/CMakeFiles/psm_rete.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/psm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops5/CMakeFiles/psm_ops5.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table12_hash_ablation"
+  "../bench/table12_hash_ablation.pdb"
+  "CMakeFiles/table12_hash_ablation.dir/table12_hash_ablation.cpp.o"
+  "CMakeFiles/table12_hash_ablation.dir/table12_hash_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_hash_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table13_granularity_tradeoff"
+  "../bench/table13_granularity_tradeoff.pdb"
+  "CMakeFiles/table13_granularity_tradeoff.dir/table13_granularity_tradeoff.cpp.o"
+  "CMakeFiles/table13_granularity_tradeoff.dir/table13_granularity_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_granularity_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table13_granularity_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table13_granularity_tradeoff.
+# This may be replaced when dependencies are built.

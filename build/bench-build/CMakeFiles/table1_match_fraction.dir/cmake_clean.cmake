@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_match_fraction"
+  "../bench/table1_match_fraction.pdb"
+  "CMakeFiles/table1_match_fraction.dir/table1_match_fraction.cpp.o"
+  "CMakeFiles/table1_match_fraction.dir/table1_match_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_match_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_serial_ladder"
+  "../bench/table2_serial_ladder.pdb"
+  "CMakeFiles/table2_serial_ladder.dir/table2_serial_ladder.cpp.o"
+  "CMakeFiles/table2_serial_ladder.dir/table2_serial_ladder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_serial_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

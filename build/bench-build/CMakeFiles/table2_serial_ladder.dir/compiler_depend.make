@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_serial_ladder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_state_saving"
+  "../bench/table3_state_saving.pdb"
+  "CMakeFiles/table3_state_saving.dir/table3_state_saving.cpp.o"
+  "CMakeFiles/table3_state_saving.dir/table3_state_saving.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_state_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_granularity"
+  "../bench/table4_granularity.pdb"
+  "CMakeFiles/table4_granularity.dir/table4_granularity.cpp.o"
+  "CMakeFiles/table4_granularity.dir/table4_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

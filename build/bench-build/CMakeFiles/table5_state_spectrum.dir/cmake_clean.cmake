@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_state_spectrum"
+  "../bench/table5_state_spectrum.pdb"
+  "CMakeFiles/table5_state_spectrum.dir/table5_state_spectrum.cpp.o"
+  "CMakeFiles/table5_state_spectrum.dir/table5_state_spectrum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_state_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_true_speedup"
+  "../bench/table6_true_speedup.pdb"
+  "CMakeFiles/table6_true_speedup.dir/table6_true_speedup.cpp.o"
+  "CMakeFiles/table6_true_speedup.dir/table6_true_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_true_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

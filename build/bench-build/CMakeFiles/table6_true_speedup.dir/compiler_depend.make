@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_true_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_architectures"
+  "../bench/table7_architectures.pdb"
+  "CMakeFiles/table7_architectures.dir/table7_architectures.cpp.o"
+  "CMakeFiles/table7_architectures.dir/table7_architectures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

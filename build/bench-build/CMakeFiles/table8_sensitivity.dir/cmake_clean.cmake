@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_sensitivity"
+  "../bench/table8_sensitivity.pdb"
+  "CMakeFiles/table8_sensitivity.dir/table8_sensitivity.cpp.o"
+  "CMakeFiles/table8_sensitivity.dir/table8_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

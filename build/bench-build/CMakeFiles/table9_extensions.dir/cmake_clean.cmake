@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_extensions"
+  "../bench/table9_extensions.pdb"
+  "CMakeFiles/table9_extensions.dir/table9_extensions.cpp.o"
+  "CMakeFiles/table9_extensions.dir/table9_extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig6_1_concurrency "/root/repo/build/bench/fig6_1_concurrency")
+set_tests_properties(bench_smoke_fig6_1_concurrency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table6_true_speedup "/root/repo/build/bench/table6_true_speedup")
+set_tests_properties(bench_smoke_table6_true_speedup PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table7_architectures "/root/repo/build/bench/table7_architectures")
+set_tests_properties(bench_smoke_table7_architectures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table11_scaling "/root/repo/build/bench/table11_scaling")
+set_tests_properties(bench_smoke_table11_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eight_puzzle.dir/eight_puzzle.cpp.o"
+  "CMakeFiles/eight_puzzle.dir/eight_puzzle.cpp.o.d"
+  "eight_puzzle"
+  "eight_puzzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eight_puzzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eight_puzzle.
+# This may be replaced when dependencies are built.

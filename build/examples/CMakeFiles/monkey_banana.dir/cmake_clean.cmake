@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_banana.dir/monkey_banana.cpp.o"
+  "CMakeFiles/monkey_banana.dir/monkey_banana.cpp.o.d"
+  "monkey_banana"
+  "monkey_banana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_banana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

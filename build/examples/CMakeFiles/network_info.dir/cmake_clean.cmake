@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_info.dir/network_info.cpp.o"
+  "CMakeFiles/network_info.dir/network_info.cpp.o.d"
+  "network_info"
+  "network_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops5_cli.dir/ops5_cli.cpp.o"
+  "CMakeFiles/ops5_cli.dir/ops5_cli.cpp.o.d"
+  "ops5_cli"
+  "ops5_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops5_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

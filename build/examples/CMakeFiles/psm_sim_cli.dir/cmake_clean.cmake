@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_sim_cli.dir/psm_sim_cli.cpp.o"
+  "CMakeFiles/psm_sim_cli.dir/psm_sim_cli.cpp.o.d"
+  "psm_sim_cli"
+  "psm_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_eight_puzzle "/root/repo/build/examples/eight_puzzle")
+set_tests_properties(example_eight_puzzle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_monkey_banana "/root/repo/build/examples/monkey_banana")
+set_tests_properties(example_monkey_banana PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_blocks_world "/root/repo/build/examples/blocks_world")
+set_tests_properties(example_blocks_world PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_info "/root/repo/build/examples/network_info" "daa")
+set_tests_properties(example_network_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ops5_cli "/root/repo/build/examples/ops5_cli" "/root/repo/examples/programs/towers.ops" "--quiet")
+set_tests_properties(example_ops5_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_trace_roundtrip "/root/repo/build/examples/ops5_cli" "/root/repo/examples/programs/fibonacci.ops" "--quiet" "--trace" "fib_cli_test.trace")
+set_tests_properties(example_cli_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

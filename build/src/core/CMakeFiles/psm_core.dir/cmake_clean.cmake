@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_core.dir/engine.cpp.o"
+  "CMakeFiles/psm_core.dir/engine.cpp.o.d"
+  "CMakeFiles/psm_core.dir/parallel_matcher.cpp.o"
+  "CMakeFiles/psm_core.dir/parallel_matcher.cpp.o.d"
+  "CMakeFiles/psm_core.dir/production_parallel.cpp.o"
+  "CMakeFiles/psm_core.dir/production_parallel.cpp.o.d"
+  "libpsm_core.a"
+  "libpsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

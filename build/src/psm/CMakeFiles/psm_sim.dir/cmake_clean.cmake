@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_sim.dir/analysis.cpp.o"
+  "CMakeFiles/psm_sim.dir/analysis.cpp.o.d"
+  "CMakeFiles/psm_sim.dir/capture.cpp.o"
+  "CMakeFiles/psm_sim.dir/capture.cpp.o.d"
+  "CMakeFiles/psm_sim.dir/rivals.cpp.o"
+  "CMakeFiles/psm_sim.dir/rivals.cpp.o.d"
+  "CMakeFiles/psm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/psm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/psm_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/psm_sim.dir/trace_io.cpp.o.d"
+  "libpsm_sim.a"
+  "libpsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

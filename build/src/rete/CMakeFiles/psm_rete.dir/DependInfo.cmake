@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rete/compile.cpp" "src/rete/CMakeFiles/psm_rete.dir/compile.cpp.o" "gcc" "src/rete/CMakeFiles/psm_rete.dir/compile.cpp.o.d"
+  "/root/repo/src/rete/dot.cpp" "src/rete/CMakeFiles/psm_rete.dir/dot.cpp.o" "gcc" "src/rete/CMakeFiles/psm_rete.dir/dot.cpp.o.d"
+  "/root/repo/src/rete/matcher.cpp" "src/rete/CMakeFiles/psm_rete.dir/matcher.cpp.o" "gcc" "src/rete/CMakeFiles/psm_rete.dir/matcher.cpp.o.d"
+  "/root/repo/src/rete/network.cpp" "src/rete/CMakeFiles/psm_rete.dir/network.cpp.o" "gcc" "src/rete/CMakeFiles/psm_rete.dir/network.cpp.o.d"
+  "/root/repo/src/rete/nodes.cpp" "src/rete/CMakeFiles/psm_rete.dir/nodes.cpp.o" "gcc" "src/rete/CMakeFiles/psm_rete.dir/nodes.cpp.o.d"
+  "/root/repo/src/rete/validate.cpp" "src/rete/CMakeFiles/psm_rete.dir/validate.cpp.o" "gcc" "src/rete/CMakeFiles/psm_rete.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops5/CMakeFiles/psm_ops5.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

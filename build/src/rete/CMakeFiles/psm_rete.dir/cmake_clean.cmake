@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_rete.dir/compile.cpp.o"
+  "CMakeFiles/psm_rete.dir/compile.cpp.o.d"
+  "CMakeFiles/psm_rete.dir/dot.cpp.o"
+  "CMakeFiles/psm_rete.dir/dot.cpp.o.d"
+  "CMakeFiles/psm_rete.dir/matcher.cpp.o"
+  "CMakeFiles/psm_rete.dir/matcher.cpp.o.d"
+  "CMakeFiles/psm_rete.dir/network.cpp.o"
+  "CMakeFiles/psm_rete.dir/network.cpp.o.d"
+  "CMakeFiles/psm_rete.dir/nodes.cpp.o"
+  "CMakeFiles/psm_rete.dir/nodes.cpp.o.d"
+  "CMakeFiles/psm_rete.dir/validate.cpp.o"
+  "CMakeFiles/psm_rete.dir/validate.cpp.o.d"
+  "libpsm_rete.a"
+  "libpsm_rete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_rete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

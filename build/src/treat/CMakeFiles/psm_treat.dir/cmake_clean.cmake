@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_treat.dir/fullstate.cpp.o"
+  "CMakeFiles/psm_treat.dir/fullstate.cpp.o.d"
+  "CMakeFiles/psm_treat.dir/joiner.cpp.o"
+  "CMakeFiles/psm_treat.dir/joiner.cpp.o.d"
+  "CMakeFiles/psm_treat.dir/naive.cpp.o"
+  "CMakeFiles/psm_treat.dir/naive.cpp.o.d"
+  "CMakeFiles/psm_treat.dir/treat.cpp.o"
+  "CMakeFiles/psm_treat.dir/treat.cpp.o.d"
+  "libpsm_treat.a"
+  "libpsm_treat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_treat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

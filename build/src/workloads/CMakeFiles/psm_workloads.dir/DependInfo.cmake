@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generator.cpp" "src/workloads/CMakeFiles/psm_workloads.dir/generator.cpp.o" "gcc" "src/workloads/CMakeFiles/psm_workloads.dir/generator.cpp.o.d"
+  "/root/repo/src/workloads/presets.cpp" "src/workloads/CMakeFiles/psm_workloads.dir/presets.cpp.o" "gcc" "src/workloads/CMakeFiles/psm_workloads.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops5/CMakeFiles/psm_ops5.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_workloads.dir/generator.cpp.o"
+  "CMakeFiles/psm_workloads.dir/generator.cpp.o.d"
+  "CMakeFiles/psm_workloads.dir/presets.cpp.o"
+  "CMakeFiles/psm_workloads.dir/presets.cpp.o.d"
+  "libpsm_workloads.a"
+  "libpsm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compute.dir/test_compute.cpp.o"
+  "CMakeFiles/test_compute.dir/test_compute.cpp.o.d"
+  "test_compute"
+  "test_compute.pdb"
+  "test_compute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

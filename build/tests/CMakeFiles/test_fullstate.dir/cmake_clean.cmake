@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fullstate.dir/test_fullstate.cpp.o"
+  "CMakeFiles/test_fullstate.dir/test_fullstate.cpp.o.d"
+  "test_fullstate"
+  "test_fullstate.pdb"
+  "test_fullstate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fullstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops5_conflict.dir/test_ops5_conflict.cpp.o"
+  "CMakeFiles/test_ops5_conflict.dir/test_ops5_conflict.cpp.o.d"
+  "test_ops5_conflict"
+  "test_ops5_conflict.pdb"
+  "test_ops5_conflict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops5_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops5_parser.dir/test_ops5_parser.cpp.o"
+  "CMakeFiles/test_ops5_parser.dir/test_ops5_parser.cpp.o.d"
+  "test_ops5_parser"
+  "test_ops5_parser.pdb"
+  "test_ops5_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops5_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

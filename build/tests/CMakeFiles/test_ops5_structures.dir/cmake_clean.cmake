@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops5_structures.dir/test_ops5_structures.cpp.o"
+  "CMakeFiles/test_ops5_structures.dir/test_ops5_structures.cpp.o.d"
+  "test_ops5_structures"
+  "test_ops5_structures.pdb"
+  "test_ops5_structures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops5_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops5_wm.dir/test_ops5_wm.cpp.o"
+  "CMakeFiles/test_ops5_wm.dir/test_ops5_wm.cpp.o.d"
+  "test_ops5_wm"
+  "test_ops5_wm.pdb"
+  "test_ops5_wm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops5_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_production_parallel.dir/test_production_parallel.cpp.o"
+  "CMakeFiles/test_production_parallel.dir/test_production_parallel.cpp.o.d"
+  "test_production_parallel"
+  "test_production_parallel.pdb"
+  "test_production_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_production_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rete_matcher.dir/test_rete_matcher.cpp.o"
+  "CMakeFiles/test_rete_matcher.dir/test_rete_matcher.cpp.o.d"
+  "test_rete_matcher"
+  "test_rete_matcher.pdb"
+  "test_rete_matcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rete_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rete_network.dir/test_rete_network.cpp.o"
+  "CMakeFiles/test_rete_network.dir/test_rete_network.cpp.o.d"
+  "test_rete_network"
+  "test_rete_network.pdb"
+  "test_rete_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rete_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhs_edge.dir/test_rhs_edge.cpp.o"
+  "CMakeFiles/test_rhs_edge.dir/test_rhs_edge.cpp.o.d"
+  "test_rhs_edge"
+  "test_rhs_edge.pdb"
+  "test_rhs_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhs_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

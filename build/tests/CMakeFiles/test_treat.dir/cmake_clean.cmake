@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_treat.dir/test_treat.cpp.o"
+  "CMakeFiles/test_treat.dir/test_treat.cpp.o.d"
+  "test_treat"
+  "test_treat.pdb"
+  "test_treat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_treat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validate.dir/test_validate.cpp.o"
+  "CMakeFiles/test_validate.dir/test_validate.cpp.o.d"
+  "test_validate"
+  "test_validate.pdb"
+  "test_validate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

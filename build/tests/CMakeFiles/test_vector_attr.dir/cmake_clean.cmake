@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_attr.dir/test_vector_attr.cpp.o"
+  "CMakeFiles/test_vector_attr.dir/test_vector_attr.cpp.o.d"
+  "test_vector_attr"
+  "test_vector_attr.pdb"
+  "test_vector_attr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
