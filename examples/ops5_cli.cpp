@@ -10,9 +10,13 @@
  *     --max-cycles N       firing limit (default 10000)
  *     --trace FILE         save the activation trace (rete only)
  *     --stats              print match statistics
+ *     --validate           run the full Rete invariant validator
+ *                          (structure, memories, conflict set) after
+ *                          every match fixpoint (rete/parallel only)
  *     --quiet              suppress (write ...) output
  *
- * Exits 0 on halt or quiescence, 1 on errors.
+ * Exits 0 on halt or quiescence, 1 on errors (including any
+ * invariant violation under --validate).
  */
 
 #include <cstring>
@@ -25,6 +29,7 @@
 #include "ops5/parser.hpp"
 #include "psm/trace_io.hpp"
 #include "rete/matcher.hpp"
+#include "rete/validate.hpp"
 #include "treat/fullstate.hpp"
 #include "treat/naive.hpp"
 #include "treat/treat.hpp"
@@ -38,7 +43,7 @@ usage(const char *argv0)
               << " <program.ops> [--matcher rete|treat|naive|fullstate|"
                  "parallel] [--workers N]\n"
                  "       [--max-cycles N] [--trace FILE] [--stats] "
-                 "[--quiet]\n";
+                 "[--validate] [--quiet]\n";
     return 1;
 }
 
@@ -55,7 +60,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::uint64_t max_cycles = 10000;
     std::size_t workers = 0;
-    bool stats = false, quiet = false;
+    bool stats = false, quiet = false, validate = false;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -84,6 +89,8 @@ main(int argc, char **argv)
             trace_path = v;
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--validate") {
+            validate = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -106,10 +113,12 @@ main(int argc, char **argv)
 
         std::unique_ptr<psm::core::Matcher> matcher;
         psm::rete::TraceRecorder trace;
+        psm::rete::Network *net = nullptr;
         if (matcher_name == "rete") {
             auto m = std::make_unique<psm::rete::ReteMatcher>(program);
             if (!trace_path.empty())
                 m->setTraceSink(&trace);
+            net = &m->network();
             matcher = std::move(m);
         } else if (matcher_name == "treat") {
             matcher = std::make_unique<psm::treat::TreatMatcher>(program);
@@ -121,10 +130,19 @@ main(int argc, char **argv)
         } else if (matcher_name == "parallel") {
             psm::core::ParallelOptions opt;
             opt.n_workers = workers;
-            matcher = std::make_unique<psm::core::ParallelReteMatcher>(
+            // Redundant ownership checking is cheap next to a CLI run.
+            opt.access_check = true;
+            auto m = std::make_unique<psm::core::ParallelReteMatcher>(
                 program, opt);
+            net = &m->network();
+            matcher = std::move(m);
         } else {
             return usage(argv[0]);
+        }
+        if (validate && !net) {
+            std::cerr << "error: --validate needs a network-based "
+                         "matcher (rete or parallel)\n";
+            return 1;
         }
 
         psm::core::Engine engine(program, *matcher,
@@ -134,6 +152,21 @@ main(int argc, char **argv)
                                      : psm::ops5::Strategy::Lex);
         if (!quiet)
             engine.setOutput(&std::cout);
+
+        std::uint64_t validated = 0;
+        if (validate) {
+            engine.setCycleCheck([&] {
+                psm::rete::ValidationResult r =
+                    psm::rete::validateMatcherState(
+                        *net, engine.workingMemory().liveElements(),
+                        matcher->conflictSet());
+                if (!r.ok())
+                    throw std::runtime_error(
+                        "invariant violation after match fixpoint " +
+                        std::to_string(validated) + ": " + r.summary());
+                ++validated;
+            });
+        }
 
         engine.loadInitialWorkingMemory();
         psm::core::RunResult result = engine.run(max_cycles);
@@ -147,6 +180,9 @@ main(int argc, char **argv)
                                     : result.quiescent ? "quiescent"
                                                        : "cycle limit")
                   << "\n";
+        if (validate)
+            std::cout << "validated:   " << validated
+                      << " match fixpoints, all invariants hold\n";
         if (stats) {
             auto s = matcher->stats();
             std::cout << "activations: " << s.activations << "\n"

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * DebugAccessChecker: a dynamic, redundant verifier of the parallel
+ * matcher's node-ownership discipline.
+ *
+ * The paper's hardware task scheduler guarantees that concurrent node
+ * activations cannot interfere; our software matcher re-creates that
+ * guarantee with per-node locks (DirectionalLock for joins, a plain
+ * mutex for not-nodes). This checker is a second, independent layer:
+ * every activation registers which node memory it is inside and on
+ * which side, using lock-free per-node occupancy counters, and any
+ * overlap the discipline forbids — both sides of a join at once, two
+ * activations inside one not-node — is reported immediately with node
+ * and thread identity, instead of surfacing later as silent state
+ * corruption. If the locks are correct the checker never fires; if
+ * someone breaks the lock discipline, it fires on the very first
+ * interleaving that exhibits the race.
+ *
+ * It also records which workers touched which node (a per-node worker
+ * bitmask), so tests and benchmarks can inspect how activations
+ * actually spread over the pool — the software analogue of the
+ * paper's hash-partitioned memory-ownership question.
+ *
+ * All methods are thread safe; the fast path is one fetch_add and one
+ * fetch_or per registered activation, debug-build overhead only (the
+ * matcher compiles the calls out of release hot paths by testing the
+ * `enabled` pointer once per activation).
+ */
+
+#ifndef PSM_CORE_ACCESS_CHECK_HPP
+#define PSM_CORE_ACCESS_CHECK_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "rete/sync.hpp"
+
+namespace psm::core {
+
+class DebugAccessChecker
+{
+  public:
+    /** One detected discipline violation. */
+    struct Violation
+    {
+        int node = -1;
+        std::string detail;
+    };
+
+    /**
+     * @param n_nodes   number of network nodes (indexed by Node::id)
+     * @param abort_on_violation  abort() with a diagnostic on the
+     *        first violation (the default: a race diagnosed late is a
+     *        race lost). Tests that provoke violations turn this off.
+     */
+    explicit DebugAccessChecker(std::size_t n_nodes,
+                                bool abort_on_violation = true)
+        : nodes_(n_nodes), abort_on_violation_(abort_on_violation)
+    {}
+
+    DebugAccessChecker(const DebugAccessChecker &) = delete;
+    DebugAccessChecker &operator=(const DebugAccessChecker &) = delete;
+
+    /**
+     * Registers an activation entering two-input node @p node on
+     * @p side, executed by worker @p worker. Violation: the opposite
+     * side is currently occupied.
+     */
+    void
+    enterSide(int node, rete::Side side, std::size_t worker)
+    {
+        NodeState &ns = nodes_[static_cast<std::size_t>(node)];
+        recordWorker(ns, worker);
+        std::uint32_t delta = side == rete::Side::Left ? kLeftOne
+                                                       : kRightOne;
+        std::uint32_t before =
+            ns.occupancy.fetch_add(delta, std::memory_order_acq_rel);
+        std::uint32_t opposite = side == rete::Side::Left
+                                     ? before >> 16
+                                     : before & 0xffffu;
+        if (opposite != 0)
+            report(node, worker,
+                   side == rete::Side::Left
+                       ? "left-side activation entered while the right "
+                         "side was active"
+                       : "right-side activation entered while the left "
+                         "side was active");
+    }
+
+    void
+    leaveSide(int node, rete::Side side)
+    {
+        std::uint32_t delta = side == rete::Side::Left ? kLeftOne
+                                                       : kRightOne;
+        nodes_[static_cast<std::size_t>(node)].occupancy.fetch_sub(
+            delta, std::memory_order_acq_rel);
+    }
+
+    /**
+     * Registers an activation requiring exclusive access to @p node
+     * (not-nodes: their counts are read-modify-write). Violation: any
+     * other activation is inside the node.
+     */
+    void
+    enterExclusive(int node, std::size_t worker)
+    {
+        NodeState &ns = nodes_[static_cast<std::size_t>(node)];
+        recordWorker(ns, worker);
+        std::uint32_t before = ns.occupancy.fetch_add(
+            kLeftOne + kRightOne, std::memory_order_acq_rel);
+        if (before != 0)
+            report(node, worker,
+                   "exclusive activation entered an occupied node");
+    }
+
+    void
+    leaveExclusive(int node)
+    {
+        nodes_[static_cast<std::size_t>(node)].occupancy.fetch_sub(
+            kLeftOne + kRightOne, std::memory_order_acq_rel);
+    }
+
+    /** RAII wrapper for enterSide/leaveSide. */
+    class SideScope
+    {
+      public:
+        SideScope(DebugAccessChecker *checker, int node, rete::Side side,
+                  std::size_t worker)
+            : checker_(checker), node_(node), side_(side)
+        {
+            if (checker_)
+                checker_->enterSide(node_, side_, worker);
+        }
+        ~SideScope()
+        {
+            if (checker_)
+                checker_->leaveSide(node_, side_);
+        }
+        SideScope(const SideScope &) = delete;
+        SideScope &operator=(const SideScope &) = delete;
+
+      private:
+        DebugAccessChecker *checker_;
+        int node_;
+        rete::Side side_;
+    };
+
+    /** RAII wrapper for enterExclusive/leaveExclusive. */
+    class ExclusiveScope
+    {
+      public:
+        ExclusiveScope(DebugAccessChecker *checker, int node,
+                       std::size_t worker)
+            : checker_(checker), node_(node)
+        {
+            if (checker_)
+                checker_->enterExclusive(node_, worker);
+        }
+        ~ExclusiveScope()
+        {
+            if (checker_)
+                checker_->leaveExclusive(node_);
+        }
+        ExclusiveScope(const ExclusiveScope &) = delete;
+        ExclusiveScope &operator=(const ExclusiveScope &) = delete;
+
+      private:
+        DebugAccessChecker *checker_;
+        int node_;
+    };
+
+    std::uint64_t
+    violationCount() const
+    {
+        return violation_count_.load(std::memory_order_acquire);
+    }
+
+    /** First few violations, for diagnostics and negative tests. */
+    std::vector<Violation>
+    violations() const PSM_EXCLUDES(violations_mutex_)
+    {
+        MutexLock lock(violations_mutex_);
+        return violations_;
+    }
+
+    /** Bitmask of worker indices (bit 63 = "63 or higher") that have
+     *  executed an activation registered against @p node. */
+    std::uint64_t
+    workersTouching(int node) const
+    {
+        return nodes_[static_cast<std::size_t>(node)].workers.load(
+            std::memory_order_acquire);
+    }
+
+    /** Nodes whose activations ran on more than one worker — the
+     *  sharing the paper's hash-partitioned ownership would forbid. */
+    std::size_t
+    nodesTouchedByMultipleWorkers() const
+    {
+        std::size_t n = 0;
+        for (const NodeState &ns : nodes_) {
+            std::uint64_t mask =
+                ns.workers.load(std::memory_order_acquire);
+            if (mask != 0 && (mask & (mask - 1)) != 0)
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    static constexpr std::uint32_t kLeftOne = 1;
+    static constexpr std::uint32_t kRightOne = 1u << 16;
+
+    struct alignas(64) NodeState
+    {
+        /** Left count in the low 16 bits, right count in the high. */
+        std::atomic<std::uint32_t> occupancy{0};
+        /** Which workers ran activations of this node. */
+        std::atomic<std::uint64_t> workers{0};
+    };
+
+    static void
+    recordWorker(NodeState &ns, std::size_t worker)
+    {
+        std::uint64_t bit = 1ULL << (worker < 63 ? worker : 63);
+        ns.workers.fetch_or(bit, std::memory_order_acq_rel);
+    }
+
+    void
+    report(int node, std::size_t worker, const char *what)
+        PSM_EXCLUDES(violations_mutex_)
+    {
+        violation_count_.fetch_add(1, std::memory_order_acq_rel);
+        std::ostringstream os;
+        os << "node " << node << ": " << what << " (worker " << worker
+           << ", thread " << std::this_thread::get_id() << ")";
+        {
+            MutexLock lock(violations_mutex_);
+            if (violations_.size() < kMaxStoredViolations)
+                violations_.push_back({node, os.str()});
+        }
+        if (abort_on_violation_) {
+            std::fprintf(stderr,
+                         "DebugAccessChecker: ownership violation: "
+                         "%s\n",
+                         os.str().c_str());
+            std::abort();
+        }
+    }
+
+    static constexpr std::size_t kMaxStoredViolations = 32;
+
+    std::vector<NodeState> nodes_;
+    bool abort_on_violation_;
+    std::atomic<std::uint64_t> violation_count_{0};
+    mutable Mutex violations_mutex_;
+    std::vector<Violation> violations_ PSM_GUARDED_BY(violations_mutex_);
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_ACCESS_CHECK_HPP

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Portable Clang thread-safety-analysis annotations and annotated
+ * lock primitives.
+ *
+ * The parallel matchers run many node activations of one Rete network
+ * concurrently; the paper's hardware scheduler guarantees they "cannot
+ * interfere with each other", and in software that guarantee is only
+ * as good as our lock discipline. These macros make the discipline
+ * machine-checked: under Clang with -Wthread-safety (CMake option
+ * PSM_THREAD_SAFETY) every access to a PSM_GUARDED_BY member is
+ * verified to hold the right capability at compile time. Under other
+ * compilers the macros expand to nothing, so the annotations are pure
+ * documentation there.
+ *
+ * This header is include-only and has no link-time dependencies, so
+ * lower layers (rete) may include it even though it lives in core.
+ *
+ * Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+ */
+
+#ifndef PSM_CORE_ANNOTATIONS_HPP
+#define PSM_CORE_ANNOTATIONS_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PSM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PSM_THREAD_ANNOTATION
+#define PSM_THREAD_ANNOTATION(x) // not Clang: annotations are comments
+#endif
+
+/** Marks a class as a lockable capability (names it in diagnostics). */
+#define PSM_CAPABILITY(name) PSM_THREAD_ANNOTATION(capability(name))
+
+/** Marks an RAII class whose lifetime holds a capability. */
+#define PSM_SCOPED_CAPABILITY PSM_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with the capability held. */
+#define PSM_GUARDED_BY(x) PSM_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by the capability. */
+#define PSM_PT_GUARDED_BY(x) PSM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the capability held (and does not release it). */
+#define PSM_REQUIRES(...) \
+    PSM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PSM_REQUIRES_SHARED(...) \
+    PSM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability (caller must not hold it). */
+#define PSM_ACQUIRE(...) \
+    PSM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PSM_ACQUIRE_SHARED(...) \
+    PSM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define PSM_RELEASE(...) \
+    PSM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PSM_RELEASE_SHARED(...) \
+    PSM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define PSM_RELEASE_GENERIC(...) \
+    PSM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p ret. */
+#define PSM_TRY_ACQUIRE(...) \
+    PSM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (deadlock prevention). */
+#define PSM_EXCLUDES(...) PSM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Asserts (at runtime) that the capability is held. */
+#define PSM_ASSERT_CAPABILITY(x) \
+    PSM_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define PSM_RETURN_CAPABILITY(x) PSM_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disables analysis inside one function. Reserved for
+ *  the trusted base (lock implementations themselves). */
+#define PSM_NO_THREAD_SAFETY_ANALYSIS \
+    PSM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace psm::core {
+
+/**
+ * std::mutex with a capability annotation, so members can be declared
+ * PSM_GUARDED_BY(mutex_) and the analysis can track lock/unlock.
+ * (libstdc++'s std::mutex carries no annotations, so naming it in
+ * GUARDED_BY would itself be a -Wthread-safety-attributes warning.)
+ *
+ * Satisfies BasicLockable, so it works with CondVarAny::wait below.
+ */
+class PSM_CAPABILITY("mutex") Mutex
+{
+  public:
+    void lock() PSM_ACQUIRE() { m_.lock(); }
+    void unlock() PSM_RELEASE() { m_.unlock(); }
+    bool try_lock() PSM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/** RAII lock for Mutex (the annotated std::lock_guard analogue). */
+class PSM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) PSM_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() PSM_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &m_;
+};
+
+/**
+ * Condition variable usable with Mutex. wait() atomically releases
+ * and reacquires the mutex; from the static analysis' point of view
+ * the capability is held across the call, which matches how guarded
+ * state may be accessed before and after (but the predicate must be
+ * re-checked by the caller — use the while-loop form, not a lambda,
+ * so the accesses are analysed in the calling function's context).
+ */
+class CondVarAny
+{
+  public:
+    void wait(Mutex &m) PSM_REQUIRES(m) { cv_.wait(m); }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_ANNOTATIONS_HPP

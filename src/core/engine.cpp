@@ -19,6 +19,8 @@ Engine::loadInitialWorkingMemory()
     }
     totals_.wme_changes += changes.size();
     matcher_.processChanges(changes);
+    if (cycle_check_)
+        cycle_check_();
 }
 
 const ops5::Wme *
@@ -28,6 +30,8 @@ Engine::assertWme(ops5::SymbolId cls, std::vector<ops5::Value> fields)
     ops5::WmeChange change{ops5::ChangeKind::Insert, wme};
     ++totals_.wme_changes;
     matcher_.processChanges({&change, 1});
+    if (cycle_check_)
+        cycle_check_();
     return wme;
 }
 
@@ -43,6 +47,8 @@ Engine::retractWme(const ops5::Wme *wme)
     ops5::WmeChange change{ops5::ChangeKind::Remove, wme};
     ++totals_.wme_changes;
     matcher_.processChanges({&change, 1});
+    if (cycle_check_)
+        cycle_check_();
     return true;
 }
 
@@ -85,6 +91,8 @@ Engine::step()
     matcher_.processChanges(result.changes);
     phase_times_.match_seconds +=
         std::chrono::duration<double>(Clock::now() - t2).count();
+    if (cycle_check_)
+        cycle_check_();
     wm_.collectGarbage();
     return !halted_;
 }

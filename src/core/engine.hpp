@@ -83,6 +83,18 @@ class Engine
                            const ops5::FiringResult &)>;
     void setFiringObserver(FiringObserver obs) { observer_ = std::move(obs); }
 
+    /**
+     * Invariant check run after every match fixpoint — i.e. after
+     * each batch of WM changes has been fully processed, including
+     * initial working-memory loading. Debug harnesses install
+     * rete::validateMatcherState here (see ops5_cli --validate); the
+     * check signals failure by throwing.
+     */
+    void setCycleCheck(std::function<void()> check)
+    {
+        cycle_check_ = std::move(check);
+    }
+
     const RunResult &totals() const { return totals_; }
 
     /**
@@ -114,6 +126,7 @@ class Engine
     ops5::WorkingMemory wm_;
     std::ostream *out_ = nullptr;
     FiringObserver observer_;
+    std::function<void()> cycle_check_;
     RunResult totals_;
     PhaseTimes phase_times_;
     bool halted_ = false;

@@ -48,6 +48,9 @@ ParallelReteMatcher::ParallelReteMatcher(
     if (options_.scheduler == SchedulerKind::Stealing)
         stealing_ = std::make_unique<StealingTaskPool<PTask>>(
             options_.n_workers + 1);
+    if (options_.access_check)
+        checker_ =
+            std::make_unique<DebugAccessChecker>(network_->nodes().size());
 
     threads_.reserve(options_.n_workers);
     for (std::size_t i = 0; i < options_.n_workers; ++i)
@@ -58,7 +61,7 @@ ParallelReteMatcher::~ParallelReteMatcher()
 {
     stop_.store(true);
     {
-        std::lock_guard lock(idle_mutex_);
+        MutexLock lock(idle_mutex_);
         idle_cv_.notify_all();
     }
     for (std::thread &t : threads_)
@@ -119,12 +122,16 @@ ParallelReteMatcher::workerLoop(std::size_t worker)
             continue;
         }
         // No batch in flight: park until the next one (or shutdown).
-        std::unique_lock lock(idle_mutex_);
-        idle_cv_.wait(lock, [&] {
-            return stop_.load(std::memory_order_relaxed) ||
-                   batch_gen_.load(std::memory_order_acquire) != seen_gen;
-        });
-        seen_gen = batch_gen_.load(std::memory_order_acquire);
+        // Explicit wait loop (not the predicate-lambda form) so the
+        // thread-safety analysis sees every batch_gen_ access happen
+        // with idle_mutex_ held.
+        idle_mutex_.lock();
+        while (!stop_.load(std::memory_order_relaxed) &&
+               batch_gen_ == seen_gen) {
+            idle_cv_.wait(idle_mutex_);
+        }
+        seen_gen = batch_gen_;
+        idle_mutex_.unlock();
     }
 }
 
@@ -179,8 +186,8 @@ ParallelReteMatcher::processChanges(
 
     // Wake parked workers.
     {
-        std::lock_guard lock(idle_mutex_);
-        batch_gen_.fetch_add(1, std::memory_order_release);
+        MutexLock lock(idle_mutex_);
+        ++batch_gen_;
         idle_cv_.notify_all();
     }
 
@@ -280,6 +287,8 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
     if (succ->kind == NodeKind::Join) {
         auto *join = static_cast<JoinNode *>(succ);
         rete::DirectionalGuard guard(join->lock, Side::Right);
+        DebugAccessChecker::SideScope check(checker_.get(), join->id,
+                                            Side::Right, worker);
         // Composite activation: update the memory, then scan the
         // (quiescent) opposite memory — atomically w.r.t. the left
         // side thanks to the directional lock.
@@ -306,6 +315,8 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
 
     auto *not_node = static_cast<NotNode *>(succ);
     std::lock_guard lock(not_node->mutex);
+    DebugAccessChecker::ExclusiveScope check(checker_.get(),
+                                             not_node->id, worker);
     if (task.insert)
         am->insertWme(task.wme);
     else
@@ -374,6 +385,8 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
     if (succ->kind == NodeKind::Join) {
         auto *join = static_cast<JoinNode *>(succ);
         rete::DirectionalGuard guard(join->lock, Side::Left);
+        DebugAccessChecker::SideScope check(checker_.get(), join->id,
+                                            Side::Left, worker);
         bool forward = task.insert ? bm->insertToken(task.token)
                                    : bm->removeToken(task.token);
         st.instructions += task.insert ? cost_.beta_insert
@@ -401,6 +414,8 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
 
     auto *not_node = static_cast<NotNode *>(succ);
     std::lock_guard lock(not_node->mutex);
+    DebugAccessChecker::ExclusiveScope check(checker_.get(),
+                                             not_node->id, worker);
     bool forward = task.insert ? bm->insertToken(task.token)
                                : bm->removeToken(task.token);
     st.instructions += task.insert ? cost_.beta_insert

@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/access_check.hpp"
+#include "core/annotations.hpp"
 #include "core/matcher.hpp"
 #include "core/task_queue.hpp"
 #include "rete/cost_model.hpp"
@@ -47,6 +49,18 @@ struct ParallelOptions
     std::size_t n_workers = 0;
 
     SchedulerKind scheduler = SchedulerKind::Central;
+
+    /**
+     * Runs every activation under the DebugAccessChecker, turning a
+     * broken lock discipline into an immediate abort with node and
+     * thread identity instead of silent state corruption. Defaults on
+     * in debug builds; costs two atomic RMWs per activation.
+     */
+#ifdef NDEBUG
+    bool access_check = false;
+#else
+    bool access_check = true;
+#endif
 
     /** Fill in hardware_concurrency - 1 workers. */
     static ParallelOptions
@@ -92,6 +106,13 @@ class ParallelReteMatcher : public Matcher
     /** Tombstones absorbed since construction (conjugate races). */
     std::uint64_t tombstoneEvents() const { return tombstone_events_; }
 
+    /** The ownership checker, or nullptr when access_check is off. */
+    const DebugAccessChecker *
+    accessChecker() const
+    {
+        return checker_.get();
+    }
+
   private:
     /** One fine-grain task: a node activation. */
     struct PTask
@@ -125,15 +146,21 @@ class ParallelReteMatcher : public Matcher
 
     CentralTaskQueue<PTask> central_;
     std::unique_ptr<StealingTaskPool<PTask>> stealing_;
+    std::unique_ptr<DebugAccessChecker> checker_;
 
     std::vector<std::thread> threads_;
     std::vector<WorkerStats> worker_stats_;
     std::atomic<bool> stop_{false};
     std::atomic<long> pending_{0};
-    std::atomic<std::uint64_t> batch_gen_{0};
     std::atomic<std::uint64_t> tombstone_events_{0};
-    std::mutex idle_mutex_;
-    std::condition_variable idle_cv_;
+
+    // Idle/wake protocol: workers park on idle_cv_ between batches;
+    // batch_gen_ is only ever touched with idle_mutex_ held (checked
+    // by -Wthread-safety), stop_ stays atomic because workerLoop also
+    // polls it outside the lock.
+    Mutex idle_mutex_;
+    CondVarAny idle_cv_;
+    std::uint64_t batch_gen_ PSM_GUARDED_BY(idle_mutex_) = 0;
 };
 
 } // namespace psm::core

@@ -25,7 +25,7 @@ ProductionParallelMatcher::~ProductionParallelMatcher()
 {
     stop_.store(true);
     {
-        std::lock_guard lock(idle_mutex_);
+        MutexLock lock(idle_mutex_);
         idle_cv_.notify_all();
     }
     for (std::thread &t : threads_)
@@ -60,15 +60,18 @@ ProductionParallelMatcher::workerLoop(std::size_t worker)
 {
     std::uint64_t seen_gen = 0;
     while (!stop_.load(std::memory_order_relaxed)) {
-        std::unique_lock lock(idle_mutex_);
-        idle_cv_.wait(lock, [&] {
-            return stop_.load(std::memory_order_relaxed) ||
-                   batch_gen_.load(std::memory_order_acquire) != seen_gen;
-        });
+        // Explicit wait loop (not the predicate-lambda form) so the
+        // thread-safety analysis sees every batch_gen_ access happen
+        // with idle_mutex_ held.
+        idle_mutex_.lock();
+        while (!stop_.load(std::memory_order_relaxed) &&
+               batch_gen_ == seen_gen) {
+            idle_cv_.wait(idle_mutex_);
+        }
+        seen_gen = batch_gen_;
+        idle_mutex_.unlock();
         if (stop_.load(std::memory_order_relaxed))
             return;
-        seen_gen = batch_gen_.load(std::memory_order_acquire);
-        lock.unlock();
         drainTasks(worker);
     }
 }
@@ -87,8 +90,8 @@ ProductionParallelMatcher::processChanges(
                      std::memory_order_relaxed);
     cursor_.store(0, std::memory_order_release);
     {
-        std::lock_guard lock(idle_mutex_);
-        batch_gen_.fetch_add(1, std::memory_order_release);
+        MutexLock lock(idle_mutex_);
+        ++batch_gen_;
         idle_cv_.notify_all();
     }
     drainTasks(0);

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/matcher.hpp"
 #include "treat/joiner.hpp"
 
@@ -98,14 +99,18 @@ class ProductionParallelMatcher : public Matcher
     std::vector<WorkerStats> worker_stats_;
 
     // Batch dispatch: a shared cursor over production indices.
+    // current_changes_ is published release via cursor_ and read only
+    // by workers that acquired a production index from it; batch_gen_
+    // is only touched with idle_mutex_ held (checked under Clang
+    // -Wthread-safety).
     std::vector<std::thread> threads_;
     std::atomic<bool> stop_{false};
     std::atomic<std::size_t> cursor_{0};
     std::atomic<long> remaining_{0};
-    std::atomic<std::uint64_t> batch_gen_{0};
     std::span<const ops5::WmeChange> current_changes_;
-    std::mutex idle_mutex_;
-    std::condition_variable idle_cv_;
+    Mutex idle_mutex_;
+    CondVarAny idle_cv_;
+    std::uint64_t batch_gen_ PSM_GUARDED_BY(idle_mutex_) = 0;
 };
 
 } // namespace psm::core

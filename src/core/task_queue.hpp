@@ -29,6 +29,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/annotations.hpp"
+
 namespace psm::core {
 
 /** Which scheduler structure a parallel matcher uses. */
@@ -49,16 +51,16 @@ class CentralTaskQueue
 {
   public:
     void
-    push(Task task, std::size_t /*worker_hint*/ = 0)
+    push(Task task, std::size_t /*worker_hint*/ = 0) PSM_EXCLUDES(mutex_)
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(task));
     }
 
     std::optional<Task>
-    tryPop(std::size_t /*worker*/ = 0)
+    tryPop(std::size_t /*worker*/ = 0) PSM_EXCLUDES(mutex_)
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         if (queue_.empty())
             return std::nullopt;
         Task t = std::move(queue_.front());
@@ -67,8 +69,8 @@ class CentralTaskQueue
     }
 
   private:
-    std::mutex mutex_;
-    std::deque<Task> queue_;
+    Mutex mutex_;
+    std::deque<Task> queue_ PSM_GUARDED_BY(mutex_);
 };
 
 /**
@@ -90,7 +92,7 @@ class StealingTaskPool
     push(Task task, std::size_t worker_hint)
     {
         Lane &lane = queues_[worker_hint % queues_.size()];
-        std::lock_guard lock(lane.mutex);
+        MutexLock lock(lane.mutex);
         lane.deque.push_back(std::move(task));
     }
 
@@ -99,7 +101,7 @@ class StealingTaskPool
     {
         Lane &own = queues_[worker % queues_.size()];
         {
-            std::lock_guard lock(own.mutex);
+            MutexLock lock(own.mutex);
             if (!own.deque.empty()) {
                 Task t = std::move(own.deque.back());
                 own.deque.pop_back();
@@ -109,7 +111,7 @@ class StealingTaskPool
         // Steal: front of the next non-empty victim.
         for (std::size_t i = 1; i < queues_.size(); ++i) {
             Lane &victim = queues_[(worker + i) % queues_.size()];
-            std::lock_guard lock(victim.mutex);
+            MutexLock lock(victim.mutex);
             if (!victim.deque.empty()) {
                 Task t = std::move(victim.deque.front());
                 victim.deque.pop_front();
@@ -122,8 +124,8 @@ class StealingTaskPool
   private:
     struct Lane
     {
-        std::mutex mutex;
-        std::deque<Task> deque;
+        Mutex mutex;
+        std::deque<Task> deque PSM_GUARDED_BY(mutex);
     };
 
     std::vector<Lane> queues_;

@@ -125,7 +125,7 @@ void
 ConflictSet::insert(Instantiation inst)
 {
     inst.cacheSortedTags(); // done outside comparisons, once
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     InstantiationKey key = InstantiationKey::of(inst);
     if (tombstones_.erase(key) > 0)
         return; // annihilated by an earlier out-of-order removal
@@ -135,7 +135,7 @@ ConflictSet::insert(Instantiation inst)
 void
 ConflictSet::remove(const InstantiationKey &key)
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     auto it = live_.find(key);
     if (it == live_.end()) {
         tombstones_.insert(key);
@@ -154,7 +154,7 @@ ConflictSet::remove(const Instantiation &inst)
 std::optional<Instantiation>
 ConflictSet::select(Strategy strategy) const
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     const Instantiation *best = nullptr;
     for (const auto &[key, inst] : live_) {
         if (fired_.count(key))
@@ -176,21 +176,21 @@ ConflictSet::select(Strategy strategy) const
 bool
 ConflictSet::contains(const InstantiationKey &key) const
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     return live_.count(key) > 0;
 }
 
 void
 ConflictSet::markFired(const Instantiation &inst)
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     fired_.insert(InstantiationKey::of(inst));
 }
 
 std::vector<Instantiation>
 ConflictSet::contents() const
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     std::vector<Instantiation> out;
     out.reserve(live_.size());
     for (const auto &[key, inst] : live_)
@@ -201,28 +201,28 @@ ConflictSet::contents() const
 std::size_t
 ConflictSet::size() const
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     return live_.size();
 }
 
 std::size_t
 ConflictSet::pendingTombstones() const
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     return tombstones_.size();
 }
 
 void
 ConflictSet::clearTombstones()
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     tombstones_.clear();
 }
 
 void
 ConflictSet::clear()
 {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     live_.clear();
     tombstones_.clear();
     fired_.clear();

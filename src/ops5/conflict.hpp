@@ -23,6 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "production.hpp"
 
 namespace psm::ops5 {
@@ -133,9 +134,9 @@ class ConflictSet
      */
     template <typename Pred>
     std::size_t
-    removeIf(Pred pred)
+    removeIf(Pred pred) PSM_EXCLUDES(mutex_)
     {
-        std::lock_guard lock(mutex_);
+        core::MutexLock lock(mutex_);
         std::size_t removed = 0;
         for (auto it = live_.begin(); it != live_.end();) {
             if (pred(it->second)) {
@@ -174,11 +175,13 @@ class ConflictSet
   private:
     using Map = std::unordered_map<InstantiationKey, Instantiation,
                                    InstantiationKeyHash>;
+    using KeySet =
+        std::unordered_set<InstantiationKey, InstantiationKeyHash>;
 
-    mutable std::mutex mutex_;
-    Map live_;
-    std::unordered_set<InstantiationKey, InstantiationKeyHash> tombstones_;
-    std::unordered_set<InstantiationKey, InstantiationKeyHash> fired_;
+    mutable core::Mutex mutex_;
+    Map live_ PSM_GUARDED_BY(mutex_);
+    KeySet tombstones_ PSM_GUARDED_BY(mutex_);
+    KeySet fired_ PSM_GUARDED_BY(mutex_);
 };
 
 } // namespace psm::ops5

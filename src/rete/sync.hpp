@@ -10,14 +10,21 @@
  * memory), while activations on OPPOSITE sides exclude each other —
  * otherwise an insert on each side could both miss (or both produce)
  * the joint pair.
+ *
+ * The lock is annotated as a Clang thread-safety capability (see
+ * core/annotations.hpp). Both sides map to a SHARED acquisition —
+ * the analysis cannot express "two flavours of shared that exclude
+ * each other", so the side-vs-side exclusion itself is checked
+ * dynamically instead, by the lock here and redundantly by
+ * core::DebugAccessChecker in debug runs.
  */
 
 #ifndef PSM_RETE_SYNC_HPP
 #define PSM_RETE_SYNC_HPP
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "core/annotations.hpp"
 
 namespace psm::rete {
 
@@ -32,46 +39,54 @@ enum class Side : std::uint8_t { Left, Right };
  * task granularity of 50-100 instructions, hold times are tiny and a
  * simple condition variable suffices.
  */
-class DirectionalLock
+class PSM_CAPABILITY("directional_lock") DirectionalLock
 {
   public:
     void
-    acquire(Side side)
+    acquire(Side side) PSM_ACQUIRE_SHARED()
     {
-        std::unique_lock lock(mutex_);
-        int &mine = side == Side::Left ? left_ : right_;
-        int &theirs = side == Side::Left ? right_ : left_;
-        cv_.wait(lock, [&] { return theirs == 0; });
-        ++mine;
+        mutex_.lock();
+        if (side == Side::Left) {
+            while (right_ != 0)
+                cv_.wait(mutex_);
+            ++left_;
+        } else {
+            while (left_ != 0)
+                cv_.wait(mutex_);
+            ++right_;
+        }
+        mutex_.unlock();
     }
 
     void
-    release(Side side)
+    release(Side side) PSM_RELEASE_SHARED()
     {
-        std::lock_guard lock(mutex_);
+        mutex_.lock();
         int &mine = side == Side::Left ? left_ : right_;
         if (--mine == 0)
             cv_.notify_all();
+        mutex_.unlock();
     }
 
   private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    int left_ = 0;
-    int right_ = 0;
+    core::Mutex mutex_;
+    core::CondVarAny cv_;
+    int left_ PSM_GUARDED_BY(mutex_) = 0;
+    int right_ PSM_GUARDED_BY(mutex_) = 0;
 };
 
 /** RAII holder for a DirectionalLock. */
-class DirectionalGuard
+class PSM_SCOPED_CAPABILITY DirectionalGuard
 {
   public:
     DirectionalGuard(DirectionalLock &lock, Side side)
+        PSM_ACQUIRE_SHARED(lock)
         : lock_(lock), side_(side)
     {
         lock_.acquire(side_);
     }
 
-    ~DirectionalGuard() { lock_.release(side_); }
+    ~DirectionalGuard() PSM_RELEASE_GENERIC() { lock_.release(side_); }
 
     DirectionalGuard(const DirectionalGuard &) = delete;
     DirectionalGuard &operator=(const DirectionalGuard &) = delete;

@@ -6,17 +6,263 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "ops5/conflict.hpp"
+
 namespace psm::rete {
 
+void
+ValidationResult::merge(ValidationResult other)
+{
+    errors.insert(errors.end(),
+                  std::make_move_iterator(other.errors.begin()),
+                  std::make_move_iterator(other.errors.end()));
+}
+
+std::string
+ValidationResult::summary(std::size_t max_errors) const
+{
+    std::ostringstream os;
+    std::size_t n = std::min(max_errors, errors.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i)
+            os << "; ";
+        os << errors[i];
+    }
+    if (errors.size() > n)
+        os << "; ... (" << errors.size() - n << " more)";
+    return os.str();
+}
+
 namespace {
+
+void
+nodeError(ValidationResult &result, const Node *node,
+          const std::string &msg)
+{
+    std::ostringstream os;
+    os << nodeKindName(node->kind) << " node " << node->id << ": " << msg;
+    result.errors.push_back(os.str());
+}
+
+// --- structural invariants ---------------------------------------------
+
+class StructureValidator
+{
+  public:
+    explicit StructureValidator(const Network &net) : net_(net) {}
+
+    ValidationResult
+    run()
+    {
+        const auto &nodes = net_.nodes();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const Node *node = nodes[i].get();
+            if (node->id != static_cast<int>(i)) {
+                nodeError(result_, node,
+                          "id does not match its index " +
+                              std::to_string(i));
+            }
+            switch (node->kind) {
+              case NodeKind::ConstTest:
+                checkConstTest(
+                    static_cast<const ConstTestNode *>(node));
+                break;
+              case NodeKind::AlphaMemory:
+                checkAlphaMemory(
+                    static_cast<const AlphaMemoryNode *>(node));
+                break;
+              case NodeKind::BetaMemory:
+                checkBetaMemory(
+                    static_cast<const BetaMemoryNode *>(node));
+                break;
+              case NodeKind::Join:
+                checkTwoInput(node,
+                              static_cast<const JoinNode *>(node)->left,
+                              static_cast<const JoinNode *>(node)->right,
+                              static_cast<const JoinNode *>(node)->output);
+                break;
+              case NodeKind::Not:
+                checkTwoInput(node,
+                              static_cast<const NotNode *>(node)->left,
+                              static_cast<const NotNode *>(node)->right,
+                              static_cast<const NotNode *>(node)->output);
+                break;
+              case NodeKind::Terminal:
+                if (!static_cast<const TerminalNode *>(node)->production)
+                    nodeError(result_, node, "null production");
+                break;
+              case NodeKind::Root:
+                break;
+            }
+        }
+        checkProducers();
+        checkTerminalFeeders();
+        return std::move(result_);
+    }
+
+  private:
+    void
+    checkConstTest(const ConstTestNode *ct)
+    {
+        for (const Node *succ : ct->successors) {
+            if (!succ) {
+                nodeError(result_, ct, "null successor");
+                continue;
+            }
+            if (succ->kind != NodeKind::ConstTest &&
+                succ->kind != NodeKind::AlphaMemory) {
+                nodeError(result_, ct,
+                          std::string("successor of unexpected kind ") +
+                              nodeKindName(succ->kind));
+            }
+        }
+    }
+
+    void
+    checkAlphaMemory(const AlphaMemoryNode *am)
+    {
+        if (!net_.options().share_alpha && am->successors.size() > 1) {
+            nodeError(result_, am,
+                      "private-state network violated: " +
+                          std::to_string(am->successors.size()) +
+                          " successors");
+        }
+        for (const Node *succ : am->successors) {
+            if (!succ) {
+                nodeError(result_, am, "null successor");
+                continue;
+            }
+            const AlphaMemoryNode *right = nullptr;
+            if (succ->kind == NodeKind::Join)
+                right = static_cast<const JoinNode *>(succ)->right;
+            else if (succ->kind == NodeKind::Not)
+                right = static_cast<const NotNode *>(succ)->right;
+            else {
+                nodeError(result_, am,
+                          std::string("successor of unexpected kind ") +
+                              nodeKindName(succ->kind));
+                continue;
+            }
+            if (right != am) {
+                nodeError(result_, am,
+                          "successor two-input node " +
+                              std::to_string(succ->id) +
+                              " does not use it as right input");
+            }
+        }
+    }
+
+    void
+    checkBetaMemory(const BetaMemoryNode *bm)
+    {
+        if (!net_.options().share_two_input && bm != net_.top() &&
+            bm->successors.size() > 1) {
+            nodeError(result_, bm,
+                      "private-state network violated: " +
+                          std::to_string(bm->successors.size()) +
+                          " successors");
+        }
+        for (const Node *succ : bm->successors) {
+            if (!succ) {
+                nodeError(result_, bm, "null successor");
+                continue;
+            }
+            if (succ->kind == NodeKind::Terminal) {
+                ++terminal_feeders_[succ->id];
+                continue;
+            }
+            const BetaMemoryNode *left = nullptr;
+            if (succ->kind == NodeKind::Join)
+                left = static_cast<const JoinNode *>(succ)->left;
+            else if (succ->kind == NodeKind::Not)
+                left = static_cast<const NotNode *>(succ)->left;
+            else {
+                nodeError(result_, bm,
+                          std::string("successor of unexpected kind ") +
+                              nodeKindName(succ->kind));
+                continue;
+            }
+            if (left != bm) {
+                nodeError(result_, bm,
+                          "successor two-input node " +
+                              std::to_string(succ->id) +
+                              " does not use it as left input");
+            }
+        }
+    }
+
+    void
+    checkTwoInput(const Node *node, const BetaMemoryNode *left,
+                  const AlphaMemoryNode *right,
+                  const BetaMemoryNode *output)
+    {
+        if (!left || !right || !output) {
+            nodeError(result_, node, "null input/output memory");
+            return;
+        }
+        ++producers_[output->id];
+        // The node must be registered as successor of both inputs:
+        // the matchers dispatch through those successor lists, so a
+        // missing edge silently drops activations.
+        if (std::find(left->successors.begin(), left->successors.end(),
+                      node) == left->successors.end())
+            nodeError(result_, node,
+                      "not registered as successor of its left memory");
+        if (std::find(right->successors.begin(), right->successors.end(),
+                      node) == right->successors.end())
+            nodeError(result_, node,
+                      "not registered as successor of its right memory");
+    }
+
+    void
+    checkProducers()
+    {
+        for (const auto &node : net_.nodes()) {
+            if (node->kind != NodeKind::BetaMemory ||
+                node.get() == net_.top())
+                continue;
+            int n = producers_.count(node->id) ? producers_[node->id] : 0;
+            if (n != 1) {
+                nodeError(result_, node.get(),
+                          "expected exactly one producing two-input "
+                          "node, found " +
+                              std::to_string(n));
+            }
+        }
+    }
+
+    void
+    checkTerminalFeeders()
+    {
+        for (const TerminalNode *term : net_.terminals()) {
+            int n = terminal_feeders_.count(term->id)
+                        ? terminal_feeders_[term->id]
+                        : 0;
+            if (n != 1) {
+                nodeError(result_, term,
+                          "expected exactly one feeding beta memory, "
+                          "found " +
+                              std::to_string(n));
+            }
+        }
+    }
+
+    const Network &net_;
+    ValidationResult result_;
+    std::map<int, int> producers_;        ///< beta id -> producer count
+    std::map<int, int> terminal_feeders_; ///< terminal id -> feeder count
+};
+
+// --- state invariants --------------------------------------------------
 
 /** Ground-truth recomputation context. */
 class Validator
 {
   public:
     Validator(const Network &net,
-              const std::vector<const ops5::Wme *> &live)
-        : net_(net), live_(live)
+              const std::vector<const ops5::Wme *> &live,
+              const ops5::ConflictSet *conflict_set)
+        : net_(net), live_(live), conflict_set_(conflict_set)
     {
         // Map each two-input node's output memory back to it.
         for (const auto &node : net_.nodes()) {
@@ -40,9 +286,14 @@ class Validator
                 checkBetaMemory(
                     static_cast<const BetaMemoryNode *>(node.get()));
             }
+            if (node->kind == NodeKind::Join)
+                checkJoinAgreement(
+                    static_cast<const JoinNode *>(node.get()));
             if (node->kind == NodeKind::Not)
                 checkNotCounts(static_cast<const NotNode *>(node.get()));
         }
+        if (conflict_set_)
+            checkConflictSet();
         return std::move(result_);
     }
 
@@ -50,13 +301,10 @@ class Validator
     void
     error(const Node *node, const std::string &msg)
     {
-        std::ostringstream os;
-        os << nodeKindName(node->kind) << " node " << node->id << ": "
-           << msg;
-        result_.errors.push_back(os.str());
+        nodeError(result_, node, msg);
     }
 
-    /** Compares pointer multisets, reporting the difference. */
+    /** Compares multisets, reporting the difference. */
     template <typename T>
     void
     compareSets(const Node *node, std::vector<T> actual,
@@ -189,6 +437,31 @@ class Validator
             error(mem, "tombstones present outside a match phase");
     }
 
+    /**
+     * Left/right join agreement: the join's output memory must hold
+     * exactly the cross-product of its ACTUAL input memories under
+     * its tests. Where the global beta check diffs against ground
+     * truth recomputed from live WMEs, this diffs neighbouring
+     * memories against each other, so it localises which join stopped
+     * agreeing with its own inputs.
+     */
+    void
+    checkJoinAgreement(const JoinNode *join)
+    {
+        const ops5::SymbolTable &syms = net_.program().symbols();
+        std::vector<std::string> actual, expect;
+        for (const Token &t : join->output->tokens)
+            actual.push_back(tokenKey(t));
+        for (const Token &left : join->left->tokens) {
+            for (const ops5::Wme *wme : join->right->items) {
+                if (evalJoinTests(join->tests, left, *wme, syms))
+                    expect.push_back(tokenKey(left.extend(wme)));
+            }
+        }
+        compareSets(join, std::move(actual), std::move(expect),
+                    "left/right join-output");
+    }
+
     void
     checkNotCounts(const NotNode *not_node)
     {
@@ -213,6 +486,85 @@ class Validator
                     "not-entry");
     }
 
+    // --- conflict set --------------------------------------------------
+
+    /**
+     * The conflict set must hold exactly one live instantiation per
+     * (production, token) in a terminal-feeding beta memory — the
+     * matcher-vs-conflict-set agreement that every WM change has to
+     * re-establish by its cycle barrier.
+     */
+    void
+    checkConflictSet()
+    {
+        std::vector<std::string> expect;
+        for (const auto &node : net_.nodes()) {
+            if (node->kind != NodeKind::BetaMemory)
+                continue;
+            auto *bm = static_cast<const BetaMemoryNode *>(node.get());
+            for (const Node *succ : bm->successors) {
+                if (succ->kind != NodeKind::Terminal)
+                    continue;
+                auto *term = static_cast<const TerminalNode *>(succ);
+                for (const Token &t : expectedTokens(bm)) {
+                    expect.push_back(instKey(term->production->id(),
+                                             t.wmes));
+                }
+            }
+        }
+        std::vector<std::string> actual;
+        for (const ops5::Instantiation &inst :
+             conflict_set_->contents()) {
+            actual.push_back(
+                instKey(inst.production->id(), inst.wmes));
+        }
+
+        std::sort(actual.begin(), actual.end());
+        std::sort(expect.begin(), expect.end());
+        if (actual != expect) {
+            std::ostringstream os;
+            os << "conflict set disagrees with terminal memories: "
+               << actual.size() << " live instantiations vs "
+               << expect.size() << " expected";
+            appendDiff(os, actual, expect);
+            result_.errors.push_back(os.str());
+        }
+        if (conflict_set_->pendingTombstones() != 0) {
+            result_.errors.push_back(
+                "conflict set holds " +
+                std::to_string(conflict_set_->pendingTombstones()) +
+                " tombstones outside a match phase");
+        }
+    }
+
+    static void
+    appendDiff(std::ostringstream &os,
+               const std::vector<std::string> &actual,
+               const std::vector<std::string> &expect)
+    {
+        std::vector<std::string> missing, extra;
+        std::set_difference(expect.begin(), expect.end(),
+                            actual.begin(), actual.end(),
+                            std::back_inserter(missing));
+        std::set_difference(actual.begin(), actual.end(),
+                            expect.begin(), expect.end(),
+                            std::back_inserter(extra));
+        if (!missing.empty())
+            os << "; missing e.g. " << missing.front();
+        if (!extra.empty())
+            os << "; spurious e.g. " << extra.front();
+    }
+
+    static std::string
+    instKey(int production_id, const std::vector<const ops5::Wme *> &wmes)
+    {
+        std::ostringstream os;
+        os << "p" << production_id << ":";
+        for (const ops5::Wme *w : wmes)
+            os << w->timeTag() << ",";
+        return os.str();
+    }
+
     static std::string
     tokenKey(const Token &t)
     {
@@ -224,6 +576,7 @@ class Validator
 
     const Network &net_;
     const std::vector<const ops5::Wme *> &live_;
+    const ops5::ConflictSet *conflict_set_;
     ValidationResult result_;
     std::unordered_map<int, const Node *> producer_;
     std::unordered_map<int, std::vector<Token>> expected_;
@@ -233,10 +586,26 @@ class Validator
 } // namespace
 
 ValidationResult
+validateStructure(const Network &network)
+{
+    return StructureValidator(network).run();
+}
+
+ValidationResult
 validateNetworkState(const Network &network,
                      const std::vector<const ops5::Wme *> &live_wmes)
 {
-    return Validator(network, live_wmes).run();
+    return Validator(network, live_wmes, nullptr).run();
+}
+
+ValidationResult
+validateMatcherState(const Network &network,
+                     const std::vector<const ops5::Wme *> &live_wmes,
+                     const ops5::ConflictSet &conflict_set)
+{
+    ValidationResult result = validateStructure(network);
+    result.merge(Validator(network, live_wmes, &conflict_set).run());
+    return result;
 }
 
 } // namespace psm::rete

@@ -1,12 +1,32 @@
 /**
  * @file
- * Network state validation: recomputes, from first principles, what
- * every memory node SHOULD contain given the live working memory, and
- * diffs that against the actual incremental state.
+ * The Rete invariant validator: structural invariants of the compiled
+ * network, ground-truth recomputation of every memory node, local
+ * left/right join agreement, and conflict-set-vs-matcher agreement.
  *
  * This is the strongest internal-consistency oracle the test suite
  * has: conflict-set equivalence can miss corrupted intermediate state
- * that happens not to surface yet; this cannot.
+ * that happens not to surface yet; this cannot. The parallel matcher
+ * leans on it doubly — every interference bug that slips past the
+ * lock discipline (and past core::DebugAccessChecker) lands here as a
+ * concrete memory diff at the next cycle barrier.
+ *
+ * Three entry points, by increasing strength:
+ *  - validateStructure: shape-only invariants of the node graph
+ *    (wiring, producers, private-state discipline); state-independent,
+ *    checked once after compilation.
+ *  - validateNetworkState: every alpha/beta memory, not-node count,
+ *    and join output recomputed from the live working memory and
+ *    diffed against the incremental state; plus tombstone emptiness
+ *    (a cycle barrier must have drained them).
+ *  - validateMatcherState: both of the above, plus the conflict set
+ *    diffed against the instantiations the terminal-feeding memories
+ *    say must exist.
+ *
+ * All passes are read-only. Debug-build engines can run
+ * validateMatcherState after every recognize-act cycle (see
+ * core::Engine::setCycleCheck and the `--validate` flag of
+ * examples/ops5_cli.cpp).
  */
 
 #ifndef PSM_RETE_VALIDATE_HPP
@@ -17,6 +37,10 @@
 
 #include "rete/network.hpp"
 
+namespace psm::ops5 {
+class ConflictSet;
+}
+
 namespace psm::rete {
 
 /** Outcome of a validation pass. */
@@ -25,16 +49,46 @@ struct ValidationResult
     std::vector<std::string> errors;
 
     bool ok() const { return errors.empty(); }
+
+    /** First few errors joined for diagnostics ("" when ok). */
+    std::string summary(std::size_t max_errors = 8) const;
+
+    /** Concatenates another pass' errors onto this one. */
+    void merge(ValidationResult other);
 };
 
 /**
- * Checks every alpha memory, beta memory, and not-node count in
- * @p network against a ground-truth recomputation over @p live_wmes.
- * The network's state is not modified.
+ * Checks state-independent structural invariants of @p network: dense
+ * ids, non-null and type-correct wiring on every edge, two-input
+ * nodes registered as successors of both input memories, exactly one
+ * producer per beta memory (except the dummy top), terminals fed by
+ * exactly one memory, and — for private-state networks — the
+ * one-successor-per-memory discipline the parallel matcher's
+ * composite activations rely on.
+ */
+ValidationResult validateStructure(const Network &network);
+
+/**
+ * Checks every alpha memory, beta memory, not-node count, and
+ * per-join left/right output agreement in @p network against a
+ * ground-truth recomputation over @p live_wmes. Also requires all
+ * beta-memory tombstones to be drained (callers validate at cycle
+ * barriers). The network's state is not modified.
  */
 ValidationResult validateNetworkState(
     const Network &network,
     const std::vector<const ops5::Wme *> &live_wmes);
+
+/**
+ * Full matcher-state validation: validateStructure +
+ * validateNetworkState + agreement between @p conflict_set and the
+ * instantiations implied by the terminal-feeding beta memories
+ * (including zero pending conflict-set tombstones).
+ */
+ValidationResult validateMatcherState(
+    const Network &network,
+    const std::vector<const ops5::Wme *> &live_wmes,
+    const ops5::ConflictSet &conflict_set);
 
 } // namespace psm::rete
 

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/parallel_matcher.hpp"
+#include "ops5/conflict.hpp"
 #include "ops5/parser.hpp"
 #include "rete/matcher.hpp"
 #include "rete/validate.hpp"
@@ -121,6 +124,209 @@ TEST(ValidateOracleTest, DetectsInjectedCorruption)
     auto r = rete::validateNetworkState(*net, live);
     EXPECT_FALSE(r.ok());
     EXPECT_FALSE(r.errors.empty());
+}
+
+/**
+ * Seeded-corruption harness: build a small matched network, verify it
+ * validates clean, then apply one specific corruption and assert the
+ * validator names it. Each corruption mimics a distinct class of
+ * parallel-interference bug (lost update, phantom update, count
+ * skew, miswired edge, leaked tombstone, conflict-set drift).
+ */
+class CorruptionTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        program_ = ops5::parse(R"(
+(literalize a x)
+(literalize b y)
+(p p1 (a ^x <v>) (b ^y <v>) --> (halt))
+)");
+        net_ = std::make_shared<rete::Network>(program_);
+        matcher_ = std::make_unique<rete::ReteMatcher>(net_);
+        insert("a", 1);
+        insert("b", 1);
+        insert("b", 2);
+        ASSERT_TRUE(cleanCheck().ok());
+    }
+
+    void
+    insert(const char *cls, int v)
+    {
+        const ops5::Wme *w = wm_.insert(program_->symbols().find(cls),
+                                        {ops5::Value::integer(v)});
+        ops5::WmeChange c{ops5::ChangeKind::Insert, w};
+        matcher_->processChanges({&c, 1});
+    }
+
+    rete::ValidationResult
+    cleanCheck()
+    {
+        return rete::validateMatcherState(*net_, wm_.liveElements(),
+                                          matcher_->conflictSet());
+    }
+
+    template <typename NodeT>
+    NodeT *
+    firstNode(rete::NodeKind kind)
+    {
+        for (const auto &node : net_->nodes())
+            if (node->kind == kind)
+                return static_cast<NodeT *>(node.get());
+        return nullptr;
+    }
+
+    /** The beta memory that actually holds join results (not the
+     *  dummy top memory). */
+    rete::BetaMemoryNode *
+    filledBeta()
+    {
+        for (const auto &node : net_->nodes()) {
+            if (node->kind != rete::NodeKind::BetaMemory)
+                continue;
+            auto *bm = static_cast<rete::BetaMemoryNode *>(node.get());
+            if (bm != net_->top() && !bm->tokens.empty())
+                return bm;
+        }
+        return nullptr;
+    }
+
+    static bool
+    mentions(const rete::ValidationResult &r, const char *needle)
+    {
+        for (const std::string &e : r.errors)
+            if (e.find(needle) != std::string::npos)
+                return true;
+        return false;
+    }
+
+    std::shared_ptr<const ops5::Program> program_;
+    std::shared_ptr<rete::Network> net_;
+    std::unique_ptr<rete::ReteMatcher> matcher_;
+    ops5::WorkingMemory wm_;
+};
+
+TEST_F(CorruptionTest, DanglingTokenInBetaMemory)
+{
+    rete::BetaMemoryNode *bm = filledBeta();
+    ASSERT_NE(bm, nullptr);
+    // A token nothing in working memory justifies: duplicate an
+    // existing one (a lost remove / double insert).
+    bm->tokens.push_back(bm->tokens.front());
+    auto r = cleanCheck();
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(mentions(r, "beta mismatch")) << r.summary();
+}
+
+TEST_F(CorruptionTest, StaleAlphaMemoryEntry)
+{
+    auto *am = firstNode<rete::AlphaMemoryNode>(
+        rete::NodeKind::AlphaMemory);
+    ASSERT_NE(am, nullptr);
+    ASSERT_FALSE(am->items.empty());
+    // Duplicate entry = a retract the alpha memory never saw.
+    am->items.push_back(am->items.front());
+    auto r = cleanCheck();
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(mentions(r, "alpha mismatch")) << r.summary();
+}
+
+TEST_F(CorruptionTest, NotNodeCountSkew)
+{
+    auto program = ops5::parse(R"(
+(literalize a x)
+(literalize b y)
+(p p1 (a ^x <v>) -(b ^y <v>) --> (halt))
+)");
+    auto net = std::make_shared<rete::Network>(program);
+    rete::ReteMatcher m(net);
+    ops5::WorkingMemory wm;
+    const ops5::Wme *w =
+        wm.insert(program->symbols().find("a"), {ops5::Value::integer(1)});
+    ops5::WmeChange c{ops5::ChangeKind::Insert, w};
+    m.processChanges({&c, 1});
+    ASSERT_TRUE(rete::validateNetworkState(*net, wm.liveElements()).ok());
+
+    for (const auto &node : net->nodes()) {
+        if (node->kind == rete::NodeKind::Not) {
+            auto *nn = static_cast<rete::NotNode *>(node.get());
+            ASSERT_FALSE(nn->entries.empty());
+            nn->entries.front().count += 1; // phantom right match
+        }
+    }
+    auto r = rete::validateNetworkState(*net, wm.liveElements());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CorruptionTest, ConflictSetMissingInstantiation)
+{
+    // Drain the conflict set behind the matcher's back: the terminal
+    // feeding memory still holds the matching token.
+    matcher_->conflictSet().removeIf(
+        [](const ops5::Instantiation &) { return true; });
+    auto r = cleanCheck();
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(mentions(r, "conflict set")) << r.summary();
+    EXPECT_TRUE(mentions(r, "missing")) << r.summary();
+}
+
+TEST_F(CorruptionTest, ConflictSetSpuriousInstantiation)
+{
+    // Park a removal for an instantiation that never existed; the
+    // annihilation machinery stores it as a pending tombstone, which
+    // must be empty at a cycle barrier.
+    const ops5::Production &prod = *program_->productions().front();
+    ops5::Instantiation ghost;
+    ghost.production = &prod;
+    matcher_->conflictSet().remove(ghost);
+    auto r = cleanCheck();
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(mentions(r, "tombstone")) << r.summary();
+}
+
+TEST_F(CorruptionTest, StructuralMiswiredJoin)
+{
+    auto *join = firstNode<rete::JoinNode>(rete::NodeKind::Join);
+    ASSERT_NE(join, nullptr);
+    // Detach the join from its right input's successor list — the
+    // edge whose absence silently drops activations.
+    auto &succ = join->right->successors;
+    succ.erase(std::remove(succ.begin(), succ.end(), join),
+               succ.end());
+    auto r = rete::validateStructure(*net_);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(mentions(r, "successor")) << r.summary();
+}
+
+TEST_F(CorruptionTest, TombstoneLeakInBetaMemory)
+{
+    rete::BetaMemoryNode *bm = filledBeta();
+    ASSERT_NE(bm, nullptr);
+    bm->tombstones.push_back(bm->tokens.front());
+    auto r = cleanCheck();
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(mentions(r, "tombstone")) << r.summary();
+}
+
+/** Conflict-set agreement must also hold through a real run with
+ *  firings (refraction keeps fired instantiations live). */
+TEST(ValidateOracleTest, MatcherStateAgreesAfterEngineRun)
+{
+    auto preset = workloads::tinyPreset(41);
+    auto program = workloads::generateProgram(preset.config);
+    auto net = std::make_shared<rete::Network>(program);
+    rete::ReteMatcher m(net);
+
+    ops5::WorkingMemory wm;
+    workloads::ChangeStream stream(*program, wm, preset.config, 7);
+    for (int b = 0; b < 10; ++b) {
+        m.processChanges(stream.nextBatch(10, 0.4));
+        auto r = rete::validateMatcherState(*net, wm.liveElements(),
+                                            m.conflictSet());
+        EXPECT_TRUE(r.ok()) << "batch " << b << ": " << r.summary();
+    }
 }
 
 } // namespace
