@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "core/parallel_matcher.hpp"
+#include "gbench_json.hpp"
 #include "core/production_parallel.hpp"
 #include "rete/matcher.hpp"
 #include "treat/naive.hpp"
@@ -161,4 +162,9 @@ BENCHMARK(BM_ParallelRete)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return psm::bench::runGBenchWithJson("bench_real_parallel", argc,
+                                         argv);
+}

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "core/parallel_matcher.hpp"
+#include "gbench_json.hpp"
 #include "core/task_queue.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/presets.hpp"
@@ -160,4 +161,8 @@ BENCHMARK(BM_StealingPoolContended);
 BENCHMARK(BM_MatcherCentral)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatcherStealing)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return psm::bench::runGBenchWithJson("bench_scheduler", argc, argv);
+}

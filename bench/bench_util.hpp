@@ -14,8 +14,11 @@
 #ifndef PSM_BENCH_BENCH_UTIL_HPP
 #define PSM_BENCH_BENCH_UTIL_HPP
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "psm/analysis.hpp"
@@ -94,6 +97,187 @@ processorSweep()
     static const std::vector<int> sweep = {1, 2, 4, 8, 16, 24, 32,
                                            48, 64};
     return sweep;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every experiment binary accepts
+// `--json <path>` and mirrors its printed table into one JSON object
+//
+//   { "bench": "<binary>", "config": {...}, "rows": [{...}, ...],
+//     "metrics": {...} }
+//
+// so CI and plotting scripts consume the numbers without scraping
+// stdout (schema documented in EXPERIMENTS.md).
+// ---------------------------------------------------------------------------
+
+/** Accumulates one experiment's result for writeJson-style output. */
+class JsonResult
+{
+  public:
+    explicit JsonResult(std::string bench) : bench_(std::move(bench)) {}
+
+    /** Experiment-level settings (batch counts, sweep bounds, ...). */
+    void config(const std::string &key, double v) { add(config_, key, num(v)); }
+    void
+    config(const std::string &key, const std::string &v)
+    {
+        add(config_, key, quote(v));
+    }
+
+    /** Starts a new table row; col() fills the current row. */
+    void beginRow() { rows_.emplace_back(); }
+    void
+    col(const std::string &key, double v)
+    {
+        add(rows_.back(), key, num(v));
+    }
+    void
+    col(const std::string &key, const std::string &v)
+    {
+        add(rows_.back(), key, quote(v));
+    }
+
+    /** Headline scalars (the numbers EXPERIMENTS.md quotes). */
+    void metric(const std::string &key, double v) { add(metrics_, key, num(v)); }
+
+    /** Writes the result; returns false (with a message) on failure. */
+    bool
+    save(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"bench\": %s,\n  \"config\": ",
+                     quote(bench_).c_str());
+        writeFields(f, config_);
+        std::fprintf(f, ",\n  \"rows\": [");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            std::fprintf(f, i ? ",\n    " : "\n    ");
+            writeFields(f, rows_[i]);
+        }
+        std::fprintf(f, rows_.empty() ? "],\n  \"metrics\": "
+                                      : "\n  ],\n  \"metrics\": ");
+        writeFields(f, metrics_);
+        std::fprintf(f, "\n}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    using Fields = std::vector<std::pair<std::string, std::string>>;
+
+    static void
+    add(Fields &fields, const std::string &key, std::string value)
+    {
+        fields.emplace_back(key, std::move(value));
+    }
+
+    /** Renders a double as JSON: integral values without a fraction,
+     *  non-finite values as null (JSON has no inf/nan). */
+    static std::string
+    num(double v)
+    {
+        if (!std::isfinite(v))
+            return "null";
+        char buf[32];
+        if (v == std::floor(v) && std::fabs(v) < 9.0e15)
+            std::snprintf(buf, sizeof buf, "%.0f", v);
+        else
+            std::snprintf(buf, sizeof buf, "%.10g", v);
+        return buf;
+    }
+
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+                continue;
+            }
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    static void
+    writeFields(std::FILE *f, const Fields &fields)
+    {
+        std::fputc('{', f);
+        for (std::size_t i = 0; i < fields.size(); ++i)
+            std::fprintf(f, "%s%s: %s", i ? ", " : "",
+                         quote(fields[i].first).c_str(),
+                         fields[i].second.c_str());
+        std::fputc('}', f);
+    }
+
+    std::string bench_;
+    Fields config_;
+    Fields metrics_;
+    std::vector<Fields> rows_;
+};
+
+/** Command-line arguments shared by every experiment binary. */
+struct BenchArgs
+{
+    std::string json_path; ///< empty = human-readable output only
+    int batches = 0;       ///< 0 = keep the binary's default
+};
+
+/** Parses --json <path> / --batches <n>; exits(2) on anything else. */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs out;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            out.json_path = value();
+        } else if (arg == "--batches") {
+            out.batches = std::atoi(value());
+            if (out.batches <= 0) {
+                std::fprintf(stderr,
+                             "error: --batches needs a positive "
+                             "integer\n");
+                std::exit(2);
+            }
+        } else {
+            std::fprintf(stderr,
+                         "error: unknown argument '%s' (supported: "
+                         "--json <path>, --batches <n>)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    return out;
+}
+
+/** Saves @p json when --json was given; exits non-zero on failure so
+ *  CI catches unwritable paths. */
+inline void
+finishJson(const BenchArgs &args, const JsonResult &json)
+{
+    if (args.json_path.empty())
+        return;
+    if (!json.save(args.json_path))
+        std::exit(1);
 }
 
 } // namespace psm::bench

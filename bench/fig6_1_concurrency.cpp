@@ -15,14 +15,21 @@ using namespace psm;
 using namespace psm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     banner("E1 / Figure 6-1",
            "concurrency vs number of processors (2 MIPS, hardware "
            "scheduler)");
 
     // Three stream seeds per system; reported values are means.
     const int kSeeds = 3;
+    CaptureSettings settings;
+    if (args.batches)
+        settings.batches = args.batches;
+    JsonResult json("fig6_1_concurrency");
+    json.config("batches", settings.batches);
+    json.config("seeds", kSeeds);
     const auto &sweep = processorSweep();
 
     // Header.
@@ -47,6 +54,10 @@ main()
             }
             mean /= static_cast<double>(traces.size());
             std::printf("%8.2f", mean);
+            json.beginRow();
+            json.col("system", name);
+            json.col("processors", p);
+            json.col("concurrency", mean);
             if (p == 32) {
                 sum32 += mean;
                 ++curves;
@@ -59,7 +70,7 @@ main()
 
     for (const workloads::SystemPreset &preset :
          workloads::paperSystems()) {
-        auto runs = captureSeeds(preset, kSeeds);
+        auto runs = captureSeeds(preset, kSeeds, settings);
         std::vector<rete::TraceRecorder> traces, merged;
         for (auto &run : runs) {
             // Parallel firings: the WM changes of two consecutive
@@ -79,5 +90,8 @@ main()
                 sum32 / curves);
     std::printf("* paper columns are approximate read-offs of the "
                 "published figure\n");
+    json.metric("avg_concurrency_32", sum32 / curves);
+    json.metric("paper_avg_concurrency_32", 15.92);
+    finishJson(args, json);
     return 0;
 }

@@ -14,13 +14,20 @@ using namespace psm;
 using namespace psm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     banner("E2 / Figure 6-2",
            "execution speed vs number of processors (2 MIPS, hardware "
            "scheduler)");
 
     const int kSeeds = 3;
+    CaptureSettings settings;
+    if (args.batches)
+        settings.batches = args.batches;
+    JsonResult json("fig6_2_speed");
+    json.config("batches", settings.batches);
+    json.config("seeds", kSeeds);
     const auto &sweep = processorSweep();
 
     std::printf("%-22s", "system");
@@ -47,6 +54,11 @@ main()
             speed /= static_cast<double>(traces.size());
             firings /= static_cast<double>(traces.size());
             std::printf("%8.0f", speed);
+            json.beginRow();
+            json.col("system", name);
+            json.col("processors", p);
+            json.col("wme_changes_per_sec", speed);
+            json.col("firings_per_sec", firings);
             if (p == 32) {
                 sum_speed32 += speed;
                 sum_firings32 += firings;
@@ -60,7 +72,7 @@ main()
 
     for (const workloads::SystemPreset &preset :
          workloads::paperSystems()) {
-        auto runs = captureSeeds(preset, kSeeds);
+        auto runs = captureSeeds(preset, kSeeds, settings);
         std::vector<rete::TraceRecorder> traces, merged;
         for (auto &run : runs) {
             merged.push_back(sim::mergeCycles(run.trace, 2));
@@ -78,5 +90,9 @@ main()
                 sum_speed32 / curves, sum_firings32 / curves);
     std::printf("* paper columns are approximate read-offs of the "
                 "published figure\n");
+    json.metric("avg_wme_changes_per_sec_32", sum_speed32 / curves);
+    json.metric("avg_firings_per_sec_32", sum_firings32 / curves);
+    json.metric("paper_avg_wme_changes_per_sec_32", 9400);
+    finishJson(args, json);
     return 0;
 }

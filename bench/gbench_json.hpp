@@ -1,0 +1,106 @@
+/**
+ * @file
+ * `--json <path>` support for the two google-benchmark binaries, so
+ * they emit the same `{bench, config, rows, metrics}` shape as the
+ * figure/table binaries (see bench_util.hpp) instead of gbench's own
+ * JSON dialect. The flag is stripped from argv before
+ * benchmark::Initialize, which rejects flags it does not know.
+ */
+
+#ifndef PSM_BENCH_GBENCH_JSON_HPP
+#define PSM_BENCH_GBENCH_JSON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace psm::bench {
+
+/** Console reporter that mirrors every finished run into a JsonResult
+ *  row: name, iterations, per-iteration times in seconds, and all
+ *  user counters (already rate-converted by the framework). */
+class GBenchJsonReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit GBenchJsonReporter(JsonResult &json) : json_(json) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            json_.beginRow();
+            json_.col("name", run.benchmark_name());
+            if (run.error_occurred) {
+                json_.col("error", run.error_message);
+                continue;
+            }
+            double iters =
+                run.iterations ? static_cast<double>(run.iterations) : 1;
+            json_.col("iterations", static_cast<double>(run.iterations));
+            json_.col("real_time_sec", run.real_accumulated_time / iters);
+            json_.col("cpu_time_sec", run.cpu_accumulated_time / iters);
+            for (const auto &kv : run.counters)
+                json_.col(kv.first, static_cast<double>(kv.second));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    JsonResult &json_;
+};
+
+/** Removes `--json <path>` / `--json=<path>` from argv; must run
+ *  before benchmark::Initialize. Returns the path ("" if absent). */
+inline std::string
+extractJsonPath(int &argc, char **argv)
+{
+    std::string path;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --json needs a value\n");
+                std::exit(2);
+            }
+            path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+        } else {
+            argv[w++] = argv[i];
+        }
+    }
+    argc = w;
+    return path;
+}
+
+/** Drop-in replacement for BENCHMARK_MAIN()'s body. Installs the
+ *  mirroring reporter only when --json was given, so gbench's own
+ *  --benchmark_format / --benchmark_out keep working otherwise. */
+inline int
+runGBenchWithJson(const char *bench_name, int argc, char **argv)
+{
+    std::string json_path = extractJsonPath(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    if (json_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+    }
+    JsonResult json(bench_name);
+    GBenchJsonReporter reporter(json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json.save(json_path))
+        return 1;
+    return 0;
+}
+
+} // namespace psm::bench
+
+#endif // PSM_BENCH_GBENCH_JSON_HPP

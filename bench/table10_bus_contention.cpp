@@ -16,15 +16,20 @@ using namespace psm;
 using namespace psm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
+    int batches = args.batches ? args.batches : 150;
+    JsonResult json("table10_bus_contention");
+    json.config("batches", batches);
     banner("E11 / Section 5",
            "shared-bus contention vs cache-hit ratio");
 
     auto preset = workloads::presetByName("r1-soar");
     auto program = workloads::generateProgram(preset.config);
     auto run = sim::captureStreamRun(program, preset.config,
-                                     preset.config.seed * 7 + 1, 150,
+                                     preset.config.seed * 7 + 1,
+                                     batches,
                                      preset.changes_per_firing, 0.5);
     auto merged = sim::mergeCycles(run.trace, 2);
     sim::Simulator simulator(merged);
@@ -42,6 +47,13 @@ main()
             std::printf("%8d %8.2f | %12.2f %12.2f %14.0f\n", procs,
                         hit, r.bus_utilization,
                         r.contention_slowdown, r.wme_changes_per_sec);
+            json.beginRow();
+            json.col("sweep", "cache_hit");
+            json.col("processors", procs);
+            json.col("hit_ratio", hit);
+            json.col("bus_utilization", r.bus_utilization);
+            json.col("contention_slowdown", r.contention_slowdown);
+            json.col("wme_changes_per_sec", r.wme_changes_per_sec);
         }
     }
     std::printf("-> at the paper's design point (32 processors, "
@@ -61,9 +73,16 @@ main()
         std::printf("%16.0f | %12.2f %12.2f %14.0f\n", bw,
                     r.bus_utilization, r.contention_slowdown,
                     r.wme_changes_per_sec);
+        json.beginRow();
+        json.col("sweep", "bus_bandwidth");
+        json.col("bus_refs_per_sec", bw);
+        json.col("bus_utilization", r.bus_utilization);
+        json.col("contention_slowdown", r.contention_slowdown);
+        json.col("wme_changes_per_sec", r.wme_changes_per_sec);
     }
     std::printf("-> a slow bus turns the shared-memory machine into a "
                 "bus-limited one;\n   the single-bus design holds only "
                 "with cache-resident match state\n");
+    finishJson(args, json);
     return 0;
 }

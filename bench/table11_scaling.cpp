@@ -17,8 +17,13 @@ using namespace psm;
 using namespace psm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
+    int batches = args.batches ? args.batches : 100;
+    JsonResult json("table11_scaling");
+    json.config("batches", batches);
+    json.config("processors", 32);
     banner("E12 / Section 8",
            "match cost and parallelism vs rule-base size");
 
@@ -37,7 +42,7 @@ main()
 
         auto program = workloads::generateProgram(cfg);
         auto run = sim::captureStreamRun(program, cfg, cfg.seed * 3 + 1,
-                                         100, 4, 0.5);
+                                         batches, 4, 0.5);
         auto stats = sim::analyzeWorkload(run);
 
         sim::MachineConfig m;
@@ -50,6 +55,14 @@ main()
                     stats.avg_affected_productions,
                     stats.serial_instr_per_change, r.concurrency,
                     ts.true_speedup, r.wme_changes_per_sec);
+        json.beginRow();
+        json.col("rules", rules);
+        json.col("affected_productions",
+                 stats.avg_affected_productions);
+        json.col("c1", stats.serial_instr_per_change);
+        json.col("concurrency", r.concurrency);
+        json.col("true_speedup", ts.true_speedup);
+        json.col("wme_changes_per_sec", r.wme_changes_per_sec);
     }
 
     std::printf("\n-> a 16x bigger rule base leaves the affected set, "
@@ -57,5 +70,6 @@ main()
                 "nearly flat: parallelism cannot be bought with more "
                 "rules,\n   which is the paper's core negative "
                 "result\n");
+    finishJson(args, json);
     return 0;
 }

@@ -21,15 +21,21 @@ using namespace psm;
 using namespace psm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
+    int batches = args.batches ? args.batches : 150;
+    JsonResult json("table13_granularity_tradeoff");
+    json.config("batches", batches);
+    json.config("processors", 32);
     banner("E14 / Section 8",
            "task granularity vs scheduling overhead");
 
     auto preset = workloads::presetByName("r1-soar");
     auto program = workloads::generateProgram(preset.config);
     auto run = sim::captureStreamRun(program, preset.config,
-                                     preset.config.seed * 7 + 1, 150,
+                                     preset.config.seed * 7 + 1,
+                                     batches,
                                      preset.changes_per_firing, 0.5);
     auto merged = sim::mergeCycles(run.trace, 2);
 
@@ -40,12 +46,9 @@ main()
         auto coarse = grain == 0
                           ? sim::mergeCycles(merged, 1)
                           : sim::coalesceChains(merged, grain);
-        double total_cost = 0;
-        for (const auto &rec : coarse.records())
-            total_cost += rec.cost;
         double avg = coarse.records().empty()
                          ? 0
-                         : total_cost /
+                         : static_cast<double>(coarse.totalCost()) /
                                static_cast<double>(
                                    coarse.records().size());
 
@@ -57,10 +60,16 @@ main()
         sw.sw_dispatch_instr = 30;
         sw.n_software_queues = 1;
 
+        double hw_speed = simulator.run(hw).wme_changes_per_sec;
+        double sw_speed = simulator.run(sw).wme_changes_per_sec;
         std::printf("%12u %10zu %12.0f | %14.0f | %14.0f\n", grain,
-                    coarse.records().size(), avg,
-                    simulator.run(hw).wme_changes_per_sec,
-                    simulator.run(sw).wme_changes_per_sec);
+                    coarse.records().size(), avg, hw_speed, sw_speed);
+        json.beginRow();
+        json.col("min_task_instr", grain);
+        json.col("tasks", static_cast<double>(coarse.records().size()));
+        json.col("avg_task_instr", avg);
+        json.col("hw_wme_changes_per_sec", hw_speed);
+        json.col("sw_wme_changes_per_sec", sw_speed);
     }
 
     std::printf("\n-> with hardware dispatch, granularity is free "
@@ -70,5 +79,6 @@ main()
                 "granularity (the thing that raises the\n   speed-up "
                 "ceiling in E5) is only affordable WITH the paper's "
                 "hardware\n   task scheduler\n");
+    finishJson(args, json);
     return 0;
 }

@@ -61,8 +61,11 @@ runEngine(const char *which,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
+    JsonResult json("table1_match_fraction");
+    json.config("firings", 250);
     banner("E0 / Section 2.2",
            "fraction of interpretation time spent in match");
 
@@ -88,6 +91,15 @@ main()
         naive_sum += naive.match_frac;
         rete_sum += rete.match_frac;
         ++n;
+        json.beginRow();
+        json.col("workload", preset_name);
+        json.col("firings", static_cast<double>(rete.firings));
+        json.col("naive_match_fraction", naive.match_frac);
+        json.col("naive_total_ms", naive.total_ms);
+        json.col("treat_match_fraction", treat.match_frac);
+        json.col("treat_total_ms", treat.total_ms);
+        json.col("rete_match_fraction", rete.match_frac);
+        json.col("rete_total_ms", rete.total_ms);
     }
 
     std::printf("\naverage match fraction: naive %.0f%%, rete %.0f%% "
@@ -100,5 +112,8 @@ main()
                 "make-heavy rules), conflict\n   resolution grows "
                 "too -- the paper's premise assumes the small "
                 "conflict sets\n   real OPS5 programs keep.\n");
+    json.metric("avg_naive_match_fraction", naive_sum / n);
+    json.metric("avg_rete_match_fraction", rete_sum / n);
+    finishJson(args, json);
     return 0;
 }

@@ -20,11 +20,17 @@ using namespace psm;
 using namespace psm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     banner("E8 / Section 2.2", "the serial interpreter speed ladder");
 
-    auto systems = captureAllSystems();
+    CaptureSettings settings;
+    if (args.batches)
+        settings.batches = args.batches;
+    JsonResult json("table2_serial_ladder");
+    json.config("batches", settings.batches);
+    auto systems = captureAllSystems(settings);
     double c1 = 0;
     for (const SystemRun &sr : systems)
         c1 += sr.stats.serial_instr_per_change;
@@ -52,6 +58,10 @@ main()
     for (const Rung &r : rungs) {
         double speed = vax_mips * 1.0e6 / (c1 * r.overhead);
         std::printf("%-34s %14.0f %12s\n", r.name, speed, r.paper);
+        json.beginRow();
+        json.col("implementation", r.name);
+        json.col("wme_changes_per_sec", speed);
+        json.col("paper", r.paper);
     }
 
     // The parallel target the ladder motivates.
@@ -65,8 +75,15 @@ main()
     psm_speed /= static_cast<double>(systems.size());
     std::printf("%-34s %14.0f %12s\n", "PSM, 32 x 2 MIPS (simulated)",
                 psm_speed, "5000-10000");
+    json.beginRow();
+    json.col("implementation", "PSM, 32 x 2 MIPS (simulated)");
+    json.col("wme_changes_per_sec", psm_speed);
+    json.col("paper", "5000-10000");
 
     std::printf("\n-> each rung removes an interpretation layer; "
                 "parallelism buys the last order of magnitude\n");
+    json.metric("c1_instr_per_change", c1);
+    json.metric("psm_wme_changes_per_sec_32", psm_speed);
+    finishJson(args, json);
     return 0;
 }

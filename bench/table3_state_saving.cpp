@@ -77,8 +77,11 @@ measure(double ratio, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
+    JsonResult json("table3_state_saving");
+    json.config("wm_size", 160);
     banner("E4 / Section 3.1",
            "state-saving vs non-state-saving match algorithms");
 
@@ -88,7 +91,10 @@ main()
                 "crossover at %.2f\n",
                 1100.0 / 1800.0);
 
-    auto systems = captureAllSystems();
+    CaptureSettings settings;
+    if (args.batches)
+        settings.batches = args.batches;
+    auto systems = captureAllSystems(settings);
     double c1 = 0;
     for (const SystemRun &sr : systems)
         c1 += sr.stats.serial_instr_per_change;
@@ -111,6 +117,11 @@ main()
         std::printf("%10.4f %14.0f %14.0f %10s\n", p.ratio,
                     p.rete_instr, p.naive_instr,
                     state_wins ? "rete" : "naive");
+        json.beginRow();
+        json.col("turnover_ratio", p.ratio);
+        json.col("rete_instr_per_cycle", p.rete_instr);
+        json.col("naive_instr_per_cycle", p.naive_instr);
+        json.col("winner", state_wins ? "rete" : "naive");
         if (prev_state_wins && !state_wins && crossover < 0)
             crossover = 0.5 * (prev_ratio + p.ratio);
         prev_state_wins = state_wins;
@@ -132,5 +143,11 @@ main()
                 typical.ratio, typical.naive_instr / typical.rete_instr);
     std::printf("  (the paper quotes a ~20x inefficiency factor to "
                 "recover)\n");
+    json.metric("measured_c1", c1);
+    json.metric("empirical_crossover_ratio", crossover);
+    json.metric("paper_crossover_ratio", 1100.0 / 1800.0);
+    json.metric("typical_inefficiency_factor",
+                typical.naive_instr / typical.rete_instr);
+    finishJson(args, json);
     return 0;
 }

@@ -33,12 +33,18 @@ nodeSpeedup(const sim::CapturedRun &run,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     banner("E5 / Section 4",
            "production-level vs node-activation-level parallelism");
 
-    auto systems = captureAllSystems();
+    CaptureSettings settings;
+    if (args.batches)
+        settings.batches = args.batches;
+    JsonResult json("table4_granularity");
+    json.config("batches", settings.batches);
+    auto systems = captureAllSystems(settings);
 
     std::printf("%-10s %9s %7s | %9s %9s | %9s %9s %10s\n", "system",
                 "affected", "costCV", "prod@inf", "prod@32",
@@ -71,6 +77,16 @@ main()
         sum_aff += sr.stats.avg_affected_productions;
         sum_pp += pp_inf;
         sum_node32 += node_32;
+        json.beginRow();
+        json.col("system", sr.preset.name);
+        json.col("affected_productions",
+                 sr.stats.avg_affected_productions);
+        json.col("cost_cv", sr.stats.per_production_cost_cv);
+        json.col("prod_speedup_inf", pp_inf);
+        json.col("prod_speedup_32", pp_32);
+        json.col("node_speedup_32", node_32);
+        json.col("node_speedup_inf", node_inf);
+        json.col("node_speedup_32_single_change", node_1chg);
     }
     double n = static_cast<double>(systems.size());
     std::printf("%-10s %9.1f %7s | %9.2f %9s | %9.2f\n", "AVERAGE",
@@ -85,5 +101,9 @@ main()
                 "speed-up at 32 processors. Single-change node "
                 "parallelism (node@1chg) shows\n"
                 "why overlapping changes matters.\n");
+    json.metric("avg_affected_productions", sum_aff / n);
+    json.metric("avg_prod_speedup_inf", sum_pp / n);
+    json.metric("avg_node_speedup_32", sum_node32 / n);
+    finishJson(args, json);
     return 0;
 }

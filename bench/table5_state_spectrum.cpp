@@ -51,8 +51,12 @@ reteStateSize(rete::Network &net)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
+    int batches = args.batches ? args.batches : 80;
+    JsonResult json("table5_state_spectrum");
+    json.config("batches", batches);
     banner("E4b / Section 3.2",
            "the spectrum of state-saving algorithms, measured");
 
@@ -73,7 +77,7 @@ main()
         workloads::ChangeStream stream(*program, wm, cfg,
                                        cfg.seed * 7 + 1);
         std::uint64_t changes = 0;
-        for (int b = 0; b < 80; ++b) {
+        for (int b = 0; b < batches; ++b) {
             auto batch = stream.nextBatch(4, 0.5);
             changes += batch.size();
             treat_m.processChanges(batch);
@@ -93,6 +97,18 @@ main()
                     per_change(full_m),
                     static_cast<unsigned long long>(
                         full_m.wastedTupleDeletes()));
+        json.beginRow();
+        json.col("workload", name);
+        json.col("treat_state", static_cast<double>(
+                                    treat_m.alphaStateSize()));
+        json.col("treat_instr_per_change", per_change(treat_m));
+        json.col("rete_state",
+                 static_cast<double>(reteStateSize(*net)));
+        json.col("rete_instr_per_change", per_change(rete_m));
+        json.col("full_state", static_cast<double>(full_m.stateSize()));
+        json.col("full_instr_per_change", per_change(full_m));
+        json.col("wasted_deletes", static_cast<double>(
+                                       full_m.wastedTupleDeletes()));
     }
 
     std::printf(
@@ -102,5 +118,6 @@ main()
         "  - the full-state algorithm's state 'may become very large'\n"
         "    and much of it is computed and deleted without ever being "
         "used.\n");
+    finishJson(args, json);
     return 0;
 }

@@ -15,13 +15,20 @@ using namespace psm;
 using namespace psm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     banner("E3 / Section 6",
            "concurrency vs true speed-up at 32 processors, lost-factor "
            "decomposition");
 
-    auto systems = captureAllSystems();
+    CaptureSettings settings;
+    if (args.batches)
+        settings.batches = args.batches;
+    JsonResult json("table6_true_speedup");
+    json.config("batches", settings.batches);
+    json.config("processors", 32);
+    auto systems = captureAllSystems(settings);
 
     std::printf("%-12s %6s %12s %12s %6s %9s %9s %7s\n", "system", "c1",
                 "concurrency", "true-speedup", "lost", "sharing",
@@ -42,6 +49,15 @@ main()
         sum_conc += ts.concurrency;
         sum_true += ts.true_speedup;
         sum_lost += ts.lost_factor;
+        json.beginRow();
+        json.col("system", sr.preset.name);
+        json.col("c1", sr.stats.serial_instr_per_change);
+        json.col("concurrency", ts.concurrency);
+        json.col("true_speedup", ts.true_speedup);
+        json.col("lost_factor", ts.lost_factor);
+        json.col("sharing_loss", ts.sharing_loss);
+        json.col("scheduling_loss", ts.scheduling_loss);
+        json.col("sync_loss", ts.sync_loss);
     }
     double n = static_cast<double>(systems.size());
     std::printf("%-12s %6s %12.2f %12.2f %6.2f\n", "AVERAGE", "",
@@ -50,5 +66,12 @@ main()
                 8.25, 1.93);
     std::printf("\nlost = concurrency / true-speedup = sharing x "
                 "scheduling x sync (multiplicative)\n");
+    json.metric("avg_concurrency", sum_conc / n);
+    json.metric("avg_true_speedup", sum_true / n);
+    json.metric("avg_lost_factor", sum_lost / n);
+    json.metric("paper_concurrency", 15.92);
+    json.metric("paper_true_speedup", 8.25);
+    json.metric("paper_lost_factor", 1.93);
+    finishJson(args, json);
     return 0;
 }

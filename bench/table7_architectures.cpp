@@ -19,11 +19,17 @@ using namespace psm;
 using namespace psm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     banner("E6 / Section 7", "comparison to other proposed machines");
 
-    auto systems = captureAllSystems();
+    CaptureSettings settings;
+    if (args.batches)
+        settings.batches = args.batches;
+    JsonResult json("table7_architectures");
+    json.config("batches", settings.batches);
+    auto systems = captureAllSystems(settings);
 
     // Average workload statistics over the six systems.
     sim::WorkloadStats avg;
@@ -61,12 +67,31 @@ main()
             std::printf("%12.0f %10.0f", e.wme_changes_per_sec,
                         e.paper_value);
         std::printf("   %s\n", e.notes.c_str());
+        json.beginRow();
+        json.col("machine", e.machine);
+        json.col("algorithm", e.algorithm);
+        json.col("processors", e.n_processors);
+        json.col("mips", e.processor_mips);
+        json.col("wme_changes_per_sec", e.wme_changes_per_sec);
+        json.col("paper_value", e.paper_value);
     }
     std::printf("%-10s %-28s %8d %7.1f %12.0f %10.0f   %s\n", "PSM",
                 "parallel Rete (this paper)", 32, 2.0, psm_speed,
                 9400.0, "simulated on the captured traces");
+    json.beginRow();
+    json.col("machine", "PSM");
+    json.col("algorithm", "parallel Rete (this paper)");
+    json.col("processors", 32);
+    json.col("mips", 2.0);
+    json.col("wme_changes_per_sec", psm_speed);
+    json.col("paper_value", 9400.0);
 
     std::printf("\nshape checks: PSM > Oflazer > NON-VON >> DADO; "
                 "DADO-TREAT and DADO-Rete within ~25%%\n");
+    json.metric("avg_c1", avg.serial_instr_per_change);
+    json.metric("avg_affected_productions",
+                avg.avg_affected_productions);
+    json.metric("psm_wme_changes_per_sec", psm_speed);
+    finishJson(args, json);
     return 0;
 }

@@ -31,13 +31,15 @@ struct Point
     double speed;
 };
 
+int g_batches = 100;
+
 Point
 runConfig(const workloads::GeneratorConfig &cfg, int changes_per_cycle,
           double x, sim::MachineConfig m = {})
 {
     auto program = workloads::generateProgram(cfg);
     auto run = sim::captureStreamRun(program, cfg, cfg.seed * 7 + 1,
-                                     100, changes_per_cycle, 0.5);
+                                     g_batches, changes_per_cycle, 0.5);
     m.n_processors = 32;
     sim::Simulator simulator(run.trace);
     sim::SimResult r = simulator.run(m);
@@ -53,8 +55,13 @@ runConfig(const workloads::GeneratorConfig &cfg, int changes_per_cycle,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
+    if (args.batches)
+        g_batches = args.batches;
+    JsonResult json("table8_sensitivity");
+    json.config("batches", g_batches);
     banner("E7 / Section 8", "sensitivity of the parallelism results");
     const workloads::GeneratorConfig base =
         workloads::presetByName("daa").config;
@@ -68,6 +75,12 @@ main()
         Point p = runConfig(base, k, k);
         std::printf("%12d %12.2f %14.2f %14.0f\n", k, p.concurrency,
                     p.true_speedup, p.speed);
+        json.beginRow();
+        json.col("sweep", "changes_per_cycle");
+        json.col("x", k);
+        json.col("concurrency", p.concurrency);
+        json.col("true_speedup", p.true_speedup);
+        json.col("wme_changes_per_sec", p.speed);
     }
     std::printf("-> more changes per cycle widen each match phase; "
                 "speed-up grows but saturates\n\n");
@@ -84,6 +97,13 @@ main()
         std::printf("%12d %12.1f %12.2f %14.2f\n", types,
                     p.stats.avg_affected_productions, p.concurrency,
                     p.true_speedup);
+        json.beginRow();
+        json.col("sweep", "type_buckets");
+        json.col("x", types);
+        json.col("affected_productions",
+                 p.stats.avg_affected_productions);
+        json.col("concurrency", p.concurrency);
+        json.col("true_speedup", p.true_speedup);
     }
     std::printf("-> fewer, busier buckets raise the affected set and "
                 "the available parallelism\n\n");
@@ -98,7 +118,7 @@ main()
         auto cfg = workloads::presetByName("r1-soar").config;
         auto program = workloads::generateProgram(cfg);
         auto run = sim::captureStreamRun(program, cfg, cfg.seed * 7 + 1,
-                                         150, 4, 0.5);
+                                         g_batches * 3 / 2, 4, 0.5);
         sim::VarianceEffect ve = sim::varianceEffect(run);
         std::printf("%12s %16s %18s %8s\n", "quartile",
                     "max-prod share", "work/crit-path", "changes");
@@ -108,6 +128,14 @@ main()
                         ve.buckets[i].avg_concentration * 100,
                         ve.buckets[i].avg_parallelism,
                         ve.buckets[i].n);
+            json.beginRow();
+            json.col("sweep", "cost_concentration");
+            json.col("quartile", names[i]);
+            json.col("max_prod_share",
+                     ve.buckets[i].avg_concentration);
+            json.col("work_over_critical_path",
+                     ve.buckets[i].avg_parallelism);
+            json.col("changes", ve.buckets[i].n);
         }
     }
     std::printf("-> when one production owns most of a change's work, "
@@ -127,6 +155,12 @@ main()
         std::printf("%-34s %12.2f %14.0f\n",
                     "hardware (1 bus cycle/dispatch)", p.concurrency,
                     p.speed);
+        json.beginRow();
+        json.col("sweep", "scheduler");
+        json.col("scheduler", "hardware");
+        json.col("dispatch_instr", 0);
+        json.col("concurrency", p.concurrency);
+        json.col("wme_changes_per_sec", p.speed);
     }
     for (double cost : {10.0, 30.0, 100.0}) {
         sim::MachineConfig sw;
@@ -136,9 +170,16 @@ main()
         std::printf("software queue, %3.0f instr/dispatch %12.2f "
                     "%14.0f\n",
                     cost, p.concurrency, p.speed);
+        json.beginRow();
+        json.col("sweep", "scheduler");
+        json.col("scheduler", "software");
+        json.col("dispatch_instr", cost);
+        json.col("concurrency", p.concurrency);
+        json.col("wme_changes_per_sec", p.speed);
     }
     std::printf("-> serial dequeueing of fine-grain activations "
                 "becomes the bottleneck:\n   the paper's case for a "
                 "hardware task scheduler\n");
+    finishJson(args, json);
     return 0;
 }

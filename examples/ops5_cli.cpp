@@ -8,7 +8,13 @@
  *     --matcher rete|treat|naive|fullstate|parallel   (default rete)
  *     --workers N          worker threads for --matcher parallel
  *     --max-cycles N       firing limit (default 10000)
- *     --trace FILE         save the activation trace (rete only)
+ *     --trace FILE         save the activation trace (rete only;
+ *                          other matchers are an error)
+ *     --metrics FILE       write the telemetry registry as JSON,
+ *                          including the paper-stats block
+ *                          (rete/parallel only)
+ *     --chrome-trace FILE  write real task spans as a Chrome/Perfetto
+ *                          trace (rete/parallel only)
  *     --stats              print match statistics
  *     --validate           run the full Rete invariant validator
  *                          (structure, memories, conflict set) after
@@ -26,9 +32,12 @@
 
 #include "core/engine.hpp"
 #include "core/parallel_matcher.hpp"
+#include "core/telemetry.hpp"
 #include "ops5/parser.hpp"
+#include "psm/analysis.hpp"
 #include "psm/trace_io.hpp"
 #include "rete/matcher.hpp"
+#include "rete/trace_export.hpp"
 #include "rete/validate.hpp"
 #include "treat/fullstate.hpp"
 #include "treat/naive.hpp"
@@ -42,8 +51,9 @@ usage(const char *argv0)
     std::cerr << "usage: " << argv0
               << " <program.ops> [--matcher rete|treat|naive|fullstate|"
                  "parallel] [--workers N]\n"
-                 "       [--max-cycles N] [--trace FILE] [--stats] "
-                 "[--validate] [--quiet]\n";
+                 "       [--max-cycles N] [--trace FILE] "
+                 "[--metrics FILE] [--chrome-trace FILE]\n"
+                 "       [--stats] [--validate] [--quiet]\n";
     return 1;
 }
 
@@ -57,7 +67,7 @@ main(int argc, char **argv)
 
     std::string path = argv[1];
     std::string matcher_name = "rete";
-    std::string trace_path;
+    std::string trace_path, metrics_path, chrome_trace_path;
     std::uint64_t max_cycles = 10000;
     std::size_t workers = 0;
     bool stats = false, quiet = false, validate = false;
@@ -87,6 +97,16 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             trace_path = v;
+        } else if (arg == "--metrics") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            metrics_path = v;
+        } else if (arg == "--chrome-trace") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            chrome_trace_path = v;
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--validate") {
@@ -111,13 +131,34 @@ main(int argc, char **argv)
             psm::ops5::parseProgram(source.str());
         auto program = parsed.program;
 
+        // --trace needs the serial Rete matcher's activation recorder;
+        // every other matcher would silently produce an empty file.
+        if (!trace_path.empty() && matcher_name != "rete") {
+            std::cerr << "error: --trace is only supported by "
+                         "--matcher rete (got --matcher "
+                      << matcher_name << ")\n";
+            return 1;
+        }
+        if (!chrome_trace_path.empty() && matcher_name != "rete" &&
+            matcher_name != "parallel") {
+            std::cerr << "error: --chrome-trace is only supported by "
+                         "--matcher rete or parallel (got --matcher "
+                      << matcher_name << ")\n";
+            return 1;
+        }
+
         std::unique_ptr<psm::core::Matcher> matcher;
         psm::rete::TraceRecorder trace;
+        std::unique_ptr<psm::rete::SpanRecorder> spans;
         psm::rete::Network *net = nullptr;
         if (matcher_name == "rete") {
             auto m = std::make_unique<psm::rete::ReteMatcher>(program);
             if (!trace_path.empty())
                 m->setTraceSink(&trace);
+            if (!chrome_trace_path.empty()) {
+                spans = std::make_unique<psm::rete::SpanRecorder>(1);
+                m->setSpanRecorder(spans.get());
+            }
             net = &m->network();
             matcher = std::move(m);
         } else if (matcher_name == "treat") {
@@ -134,10 +175,25 @@ main(int argc, char **argv)
             opt.access_check = true;
             auto m = std::make_unique<psm::core::ParallelReteMatcher>(
                 program, opt);
+            if (!chrome_trace_path.empty()) {
+                spans = std::make_unique<psm::rete::SpanRecorder>(
+                    m->options().n_workers + 1);
+                m->setSpanRecorder(spans.get());
+            }
             net = &m->network();
             matcher = std::move(m);
         } else {
             return usage(argv[0]);
+        }
+        psm::telemetry::Registry *metrics = nullptr;
+        if (!metrics_path.empty()) {
+            metrics = matcher->enableTelemetry();
+            if (!metrics) {
+                std::cerr << "error: --metrics is only supported by "
+                             "--matcher rete or parallel (got --matcher "
+                          << matcher_name << ")\n";
+                return 1;
+            }
         }
         if (validate && !net) {
             std::cerr << "error: --validate needs a network-based "
@@ -196,6 +252,31 @@ main(int argc, char **argv)
             else
                 std::cerr << "error: failed writing " << trace_path
                           << "\n";
+        }
+        if (metrics) {
+            std::ofstream out(metrics_path);
+            if (out) {
+                metrics->writeJson(
+                    out, psm::sim::paperStatsJson(
+                             psm::sim::paperStatsFromTelemetry(*metrics)));
+                std::cout << "metrics saved: " << metrics_path << "\n";
+            } else {
+                std::cerr << "error: failed writing " << metrics_path
+                          << "\n";
+                return 1;
+            }
+        }
+        if (spans) {
+            if (psm::rete::saveChromeTrace(
+                    chrome_trace_path,
+                    psm::rete::chromeEventsFromReal(*spans)))
+                std::cout << "chrome trace saved: " << chrome_trace_path
+                          << "\n";
+            else {
+                std::cerr << "error: failed writing "
+                          << chrome_trace_path << "\n";
+                return 1;
+            }
         }
         return 0;
     } catch (const std::exception &e) {

@@ -16,6 +16,13 @@
  *     --merge K            merge every K cycles (parallel firings)
  *     --spans FILE         write the schedule as CSV (id,start,end,
  *                          cluster) for timeline plotting
+ *     --chrome-trace FILE  write the simulated schedule as a
+ *                          Chrome/Perfetto trace (simulated
+ *                          instructions scaled to microseconds by
+ *                          --mips)
+ *     --json FILE          write the results as JSON ({bench, config,
+ *                          rows, metrics}, same shape as the bench
+ *                          binaries' --json)
  *     --profile [N]        print an N-bucket ASCII concurrency
  *                          profile of the schedule (default 64)
  */
@@ -30,6 +37,7 @@
 
 #include "psm/simulator.hpp"
 #include "psm/trace_io.hpp"
+#include "rete/trace_export.hpp"
 
 namespace {
 
@@ -40,9 +48,79 @@ usage(const char *argv0)
                  "usage: %s <trace-file> [--procs N] [--mips X] "
                  "[--software-queues N]\n"
                  "       [--clusters N] [--latency X] [--sweep] "
-                 "[--merge K] [--spans FILE]\n",
+                 "[--merge K] [--spans FILE]\n"
+                 "       [--chrome-trace FILE] [--json FILE] "
+                 "[--profile [N]]\n",
                  argv0);
     return 1;
+}
+
+/** Minimal JSON string escape (paths can contain quotes). */
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** One sweep row for --json (empty in single-run mode). */
+struct SweepRow
+{
+    int procs;
+    psm::sim::SimResult r;
+};
+
+/** Writes {bench, config, rows, metrics} like the bench binaries. */
+bool
+writeJsonFile(const std::string &path, const std::string &trace_path,
+              const psm::sim::MachineConfig &machine, int merge,
+              const std::vector<SweepRow> &rows,
+              const psm::sim::SimResult *single)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n  \"bench\": \"psm_sim_cli\",\n  \"config\": {"
+        << "\"trace\": " << jsonQuote(trace_path)
+        << ", \"procs\": " << machine.n_processors
+        << ", \"mips\": " << machine.mips << ", \"scheduler\": "
+        << (machine.scheduler == psm::sim::SchedulerModel::Hardware
+                ? "\"hardware\""
+                : "\"software\"")
+        << ", \"software_queues\": " << machine.n_software_queues
+        << ", \"clusters\": " << machine.n_clusters
+        << ", \"latency_instr\": " << machine.inter_cluster_latency_instr
+        << ", \"merge\": " << merge << "},\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const psm::sim::SimResult &r = rows[i].r;
+        out << (i ? ",\n    " : "\n    ") << "{\"procs\": "
+            << rows[i].procs << ", \"concurrency\": " << r.concurrency
+            << ", \"wme_changes_per_sec\": " << r.wme_changes_per_sec
+            << ", \"bus_utilization\": " << r.bus_utilization << "}";
+    }
+    out << (rows.empty() ? "],\n  \"metrics\": {" :
+                           "\n  ],\n  \"metrics\": {");
+    if (single) {
+        const psm::sim::SimResult &r = *single;
+        out << "\"activations\": " << r.n_activations
+            << ", \"wme_changes\": " << r.n_changes
+            << ", \"cycles\": " << r.n_cycles
+            << ", \"makespan_instr\": " << r.makespan_instr
+            << ", \"seconds\": " << r.seconds
+            << ", \"concurrency\": " << r.concurrency
+            << ", \"wme_changes_per_sec\": " << r.wme_changes_per_sec
+            << ", \"cycles_per_sec\": " << r.cycles_per_sec
+            << ", \"bus_utilization\": " << r.bus_utilization
+            << ", \"contention_slowdown\": " << r.contention_slowdown;
+    }
+    out << "}\n}\n";
+    return static_cast<bool>(out);
 }
 
 void
@@ -76,7 +154,7 @@ main(int argc, char **argv)
     bool sweep = false;
     int merge = 1;
     int profile_buckets = 0;
-    std::string spans_path;
+    std::string spans_path, chrome_path, json_path;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -102,6 +180,10 @@ main(int argc, char **argv)
             merge = static_cast<int>(v);
         } else if (arg == "--spans" && i + 1 < argc) {
             spans_path = argv[++i];
+        } else if (arg == "--chrome-trace" && i + 1 < argc) {
+            chrome_path = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
         } else if (arg == "--profile") {
             profile_buckets = 64;
             if (i + 1 < argc && argv[i + 1][0] != '-')
@@ -121,6 +203,7 @@ main(int argc, char **argv)
         psm::sim::Simulator simulator(trace);
 
         if (sweep) {
+            std::vector<SweepRow> rows;
             std::printf("%8s %12s %14s %14s\n", "procs", "concurrency",
                         "wme-chg/sec", "bus util");
             for (int p : {1, 2, 4, 8, 16, 24, 32, 48, 64}) {
@@ -130,6 +213,14 @@ main(int argc, char **argv)
                 std::printf("%8d %12.2f %14.0f %14.2f\n", p,
                             r.concurrency, r.wme_changes_per_sec,
                             r.bus_utilization);
+                rows.push_back({p, r});
+            }
+            if (!json_path.empty() &&
+                !writeJsonFile(json_path, argv[1], machine, merge, rows,
+                               nullptr)) {
+                std::fprintf(stderr, "error: failed writing %s\n",
+                             json_path.c_str());
+                return 1;
             }
         } else {
             std::printf("machine: %d procs x %.1f MIPS, %s scheduler, "
@@ -140,11 +231,15 @@ main(int argc, char **argv)
                             ? "hardware"
                             : "software",
                         machine.n_clusters);
-            if (spans_path.empty() && profile_buckets <= 0) {
-                printResult(simulator.run(machine));
-            } else {
-                std::vector<psm::sim::TaskSpan> spans;
-                printResult(simulator.run(machine, spans));
+            bool want_spans = !spans_path.empty() ||
+                              !chrome_path.empty() ||
+                              profile_buckets > 0;
+            std::vector<psm::sim::TaskSpan> spans;
+            psm::sim::SimResult result =
+                want_spans ? simulator.run(machine, spans)
+                           : simulator.run(machine);
+            printResult(result);
+            {
                 if (!spans_path.empty()) {
                     std::ofstream out(spans_path);
                     out << "activation_id,start,end,cluster\n";
@@ -155,6 +250,23 @@ main(int argc, char **argv)
                     std::printf("  schedule spans:     %zu rows -> "
                                 "%s\n",
                                 spans.size(), spans_path.c_str());
+                }
+                if (!chrome_path.empty()) {
+                    // Simulated instructions -> microseconds at the
+                    // configured MIPS (1 instr = 1/mips us), so real
+                    // and simulated traces share a time axis.
+                    auto events = psm::rete::chromeEventsFromSim(
+                        trace, spans, 1.0 / machine.mips);
+                    if (psm::rete::saveChromeTrace(chrome_path, events))
+                        std::printf("  chrome trace:       %zu events "
+                                    "-> %s\n",
+                                    events.size(), chrome_path.c_str());
+                    else {
+                        std::fprintf(stderr,
+                                     "error: failed writing %s\n",
+                                     chrome_path.c_str());
+                        return 1;
+                    }
                 }
                 if (profile_buckets > 0 && !spans.empty()) {
                     // Concurrency-over-time profile: busy processor
@@ -196,6 +308,13 @@ main(int argc, char **argv)
                     }
                     std::printf("|\n");
                 }
+            }
+            if (!json_path.empty() &&
+                !writeJsonFile(json_path, argv[1], machine, merge, {},
+                               &result)) {
+                std::fprintf(stderr, "error: failed writing %s\n",
+                             json_path.c_str());
+                return 1;
             }
         }
         return 0;

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable outputs of the bench/CLI binaries.
+
+Two modes:
+
+    check_bench_json.py results.json ...
+        Each file must be a bench-results object:
+        {"bench": str, "config": {...}, "rows": [{...}], "metrics": {...}}
+        with scalar (number / string / bool / null) leaf values.
+
+    check_bench_json.py --chrome trace.json ...
+        Each file must be a Chrome-trace-event array of complete
+        ("ph": "X") events with numeric ts/dur and integer pid/tid.
+
+Exits non-zero (with a per-file message) on the first violation, so CI
+fails loudly when a binary silently changes its output shape.
+"""
+
+import json
+import sys
+
+SCALAR = (int, float, str, bool, type(None))
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(path, where, obj):
+    if not isinstance(obj, dict):
+        fail(path, f"{where} must be an object, got {type(obj).__name__}")
+    for key, value in obj.items():
+        if not isinstance(key, str):
+            fail(path, f"{where} has non-string key {key!r}")
+        if not isinstance(value, SCALAR):
+            fail(path, f"{where}[{key!r}] must be a scalar, got "
+                       f"{type(value).__name__}")
+
+
+def check_bench(path, doc):
+    for key in ("bench", "config", "rows", "metrics"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail(path, '"bench" must be a non-empty string')
+    check_fields(path, "config", doc["config"])
+    check_fields(path, "metrics", doc["metrics"])
+    if not isinstance(doc["rows"], list):
+        fail(path, '"rows" must be an array')
+    for i, row in enumerate(doc["rows"]):
+        check_fields(path, f"rows[{i}]", row)
+    print(f"{path}: ok ({doc['bench']}, {len(doc['rows'])} rows, "
+          f"{len(doc['metrics'])} metrics)")
+
+
+def check_chrome(path, doc):
+    if not isinstance(doc, list):
+        fail(path, "chrome trace must be a JSON array")
+    for i, ev in enumerate(doc):
+        if not isinstance(ev, dict):
+            fail(path, f"event {i} is not an object")
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(path, f"event {i} missing {key!r}")
+        if ev["ph"] != "X":
+            fail(path, f"event {i} has ph={ev['ph']!r}, expected 'X'")
+        for key in ("ts", "dur"):
+            if not isinstance(ev[key], (int, float)):
+                fail(path, f"event {i} field {key!r} is not numeric")
+        for key in ("pid", "tid"):
+            if not isinstance(ev[key], int):
+                fail(path, f"event {i} field {key!r} is not an integer")
+    print(f"{path}: ok (chrome trace, {len(doc)} events)")
+
+
+def main(argv):
+    chrome = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--chrome":
+            chrome = True
+        else:
+            paths.append(arg)
+    if not paths:
+        fail("usage", "check_bench_json.py [--chrome] <file.json> ...")
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+        (check_chrome if chrome else check_bench)(path, doc)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -17,6 +17,10 @@
 
 #include "ops5/conflict.hpp"
 
+namespace psm::telemetry {
+class Registry;
+}
+
 namespace psm::core {
 
 /** Aggregate counters every matcher reports. */
@@ -64,6 +68,23 @@ class Matcher
 
     /** Short human-readable matcher name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Switches on runtime telemetry and returns the matcher-owned
+     * registry, or nullptr when this matcher is not instrumented.
+     * Must be called from the submitting thread before the first
+     * processChanges() (the hot paths read the registry pointer
+     * unsynchronised). Idempotent.
+     */
+    virtual telemetry::Registry *enableTelemetry() { return nullptr; }
+
+    /** The registry from enableTelemetry(), or nullptr. */
+    virtual telemetry::Registry *telemetry() { return nullptr; }
+    virtual const telemetry::Registry *
+    telemetry() const
+    {
+        return nullptr;
+    }
 };
 
 } // namespace psm::core

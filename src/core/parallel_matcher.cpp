@@ -85,24 +85,55 @@ ParallelReteMatcher::stats() const
     return total;
 }
 
+telemetry::Registry *
+ParallelReteMatcher::enableTelemetry()
+{
+    if (!tel_owned_) {
+        tel_owned_ = std::make_unique<telemetry::Registry>(
+            options_.n_workers + 1);
+        rete::configureTelemetryNodes(*tel_owned_, *network_);
+        central_.attachTelemetry(tel_owned_.get());
+        if (stealing_)
+            stealing_->attachTelemetry(tel_owned_.get());
+        tel_.store(tel_owned_.get(), std::memory_order_release);
+    }
+    return tel_owned_.get();
+}
+
 void
-ParallelReteMatcher::spawn(PTask task, std::size_t worker)
+ParallelReteMatcher::spawn(PTask task, std::size_t worker,
+                           telemetry::Registry *t)
 {
     pending_.fetch_add(1, std::memory_order_relaxed);
+    if (t)
+        t->count(worker, telemetry::Counter::TasksSpawned);
     if (stealing_)
         stealing_->push(std::move(task), worker);
     else
-        central_.push(std::move(task));
+        central_.push(std::move(task), worker);
 }
 
 bool
-ParallelReteMatcher::tryRunOne(std::size_t worker)
+ParallelReteMatcher::tryRunOne(std::size_t worker,
+                               telemetry::Registry *t)
 {
     std::optional<PTask> task = stealing_ ? stealing_->tryPop(worker)
                                           : central_.tryPop(worker);
     if (!task)
         return false;
-    runTask(*task, worker);
+    if (spans_) {
+        rete::RealSpan span;
+        span.node_id = task->node->id;
+        span.kind = task->node->kind;
+        span.insert = task->insert;
+        span.cycle = cycle_;
+        span.start_ns = rete::spanClockNanos();
+        runTask(*task, worker, t);
+        span.end_ns = rete::spanClockNanos();
+        spans_->record(worker, span);
+    } else {
+        runTask(*task, worker, t);
+    }
     // Release order so the submitter's pending_ == 0 read observes
     // every side effect of the batch.
     pending_.fetch_sub(1, std::memory_order_release);
@@ -114,10 +145,13 @@ ParallelReteMatcher::workerLoop(std::size_t worker)
 {
     std::uint64_t seen_gen = 0;
     while (!stop_.load(std::memory_order_relaxed)) {
-        if (tryRunOne(worker))
+        telemetry::Registry *t = tel();
+        if (tryRunOne(worker, t))
             continue;
         if (pending_.load(std::memory_order_acquire) > 0) {
             // Batch active but queue momentarily empty: spin politely.
+            if (t)
+                t->count(worker, telemetry::Counter::IdleSpins);
             std::this_thread::yield();
             continue;
         }
@@ -125,6 +159,7 @@ ParallelReteMatcher::workerLoop(std::size_t worker)
         // Explicit wait loop (not the predicate-lambda form) so the
         // thread-safety analysis sees every batch_gen_ access happen
         // with idle_mutex_ held.
+        std::uint64_t park_start = t ? rete::spanClockNanos() : 0;
         idle_mutex_.lock();
         while (!stop_.load(std::memory_order_relaxed) &&
                batch_gen_ == seen_gen) {
@@ -132,6 +167,11 @@ ParallelReteMatcher::workerLoop(std::size_t worker)
         }
         seen_gen = batch_gen_;
         idle_mutex_.unlock();
+        if (t) {
+            t->count(worker, telemetry::Counter::WorkerParks);
+            t->observe(worker, telemetry::Histogram::ParkNanos,
+                       rete::spanClockNanos() - park_start);
+        }
     }
 }
 
@@ -165,6 +205,21 @@ ParallelReteMatcher::processChanges(
                cancelled.end();
     };
 
+    ++cycle_;
+    telemetry::Registry *t = tel();
+    if (t) {
+        t->count(0, telemetry::Counter::Batches);
+        t->count(0, telemetry::Counter::ChangesProcessed,
+                 changes.size());
+        // One affected-production epoch per *batch*: unlike the serial
+        // matcher the changes run concurrently, so per-change
+        // attribution is not observable here (documented in
+        // ARCHITECTURE.md §7).
+        t->beginEpoch();
+    }
+    if (spans_)
+        spans_->beginCycle(cycle_);
+
     // Seed: all changes of the firing enter the network concurrently
     // (the paper's "multiple changes to working memory are processed
     // in parallel").
@@ -180,7 +235,7 @@ ParallelReteMatcher::processChanges(
             task.node = head;
             task.insert = insert;
             task.wme = change.wme;
-            spawn(std::move(task), 0);
+            spawn(std::move(task), 0, t);
         }
     }
 
@@ -194,49 +249,76 @@ ParallelReteMatcher::processChanges(
     // The submitter works too; this also makes n_workers == 0 a fully
     // functional (serial) configuration.
     while (pending_.load(std::memory_order_acquire) > 0) {
-        if (!tryRunOne(0))
+        if (!tryRunOne(0, t))
             std::this_thread::yield();
     }
 
-    // Cycle barrier: drop tombstones left by conjugate races.
+    // Cycle barrier: drop tombstones left by conjugate races. The
+    // network is quiescent here, so the same walk doubles as the
+    // beta-memory occupancy sample.
+    std::uint64_t absorbed = 0;
     for (const auto &node : network_->nodes()) {
         if (node->kind == NodeKind::BetaMemory) {
             auto *bm = static_cast<BetaMemoryNode *>(node.get());
+            if (t)
+                t->observe(0, telemetry::Histogram::BetaMemorySize,
+                           bm->tokens.size());
             if (!bm->tombstones.empty()) {
-                tombstone_events_.fetch_add(bm->tombstones.size(),
-                                            std::memory_order_relaxed);
+                absorbed += bm->tombstones.size();
                 bm->clearTombstones();
             }
         }
     }
-    tombstone_events_.fetch_add(conflict_set_.pendingTombstones(),
-                                std::memory_order_relaxed);
+    absorbed += conflict_set_.pendingTombstones();
     conflict_set_.clearTombstones();
+    tombstone_events_.fetch_add(absorbed, std::memory_order_relaxed);
+    if (t) {
+        if (absorbed)
+            t->count(0, telemetry::Counter::TombstonesAbsorbed,
+                     absorbed);
+        t->endEpoch();
+    }
+    if (spans_)
+        spans_->endCycle();
 }
 
 void
-ParallelReteMatcher::runTask(const PTask &task, std::size_t worker)
+ParallelReteMatcher::runTask(const PTask &task, std::size_t worker,
+                             telemetry::Registry *t)
 {
     ++worker_stats_[worker].stats.activations;
+    std::uint64_t before =
+        t ? worker_stats_[worker].stats.instructions : 0;
     switch (task.node->kind) {
       case NodeKind::ConstTest:
-        processConstTest(task, worker);
+        processConstTest(task, worker, t);
         break;
       case NodeKind::AlphaMemory:
-        processAlphaArrive(task, worker);
+        processAlphaArrive(task, worker, t);
         break;
       case NodeKind::BetaMemory:
-        processBetaArrive(task, worker);
+        processBetaArrive(task, worker, t);
         break;
       default:
         assert(false && "unexpected task target");
         break;
     }
+    if (t) {
+        // Cost-model instructions spent by this activation; for the
+        // composite alpha/beta-arrive tasks this charges the whole
+        // memory-update + opposite-scan unit to the arriving node.
+        std::uint64_t cost =
+            worker_stats_[worker].stats.instructions - before;
+        t->count(worker, telemetry::Counter::TasksExecuted);
+        t->observe(worker, telemetry::Histogram::TaskCostInstr, cost);
+        t->nodeActivation(worker, task.node->id, cost);
+    }
 }
 
 void
 ParallelReteMatcher::processConstTest(const PTask &task,
-                                      std::size_t worker)
+                                      std::size_t worker,
+                                      telemetry::Registry *t)
 {
     // Constant tests are stateless and a few instructions each, far
     // below profitable task granularity; one task walks the whole
@@ -253,7 +335,7 @@ ParallelReteMatcher::processConstTest(const PTask &task,
             next.node = node;
             next.insert = task.insert;
             next.wme = task.wme;
-            spawn(std::move(next), worker);
+            spawn(std::move(next), worker, t);
             continue;
         }
         auto *ct = static_cast<ConstTestNode *>(node);
@@ -268,7 +350,8 @@ ParallelReteMatcher::processConstTest(const PTask &task,
 
 void
 ParallelReteMatcher::processAlphaArrive(const PTask &task,
-                                        std::size_t worker)
+                                        std::size_t worker,
+                                        telemetry::Registry *t)
 {
     auto *am = static_cast<AlphaMemoryNode *>(task.node);
     Node *succ = am->successors.front();
@@ -281,7 +364,7 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
         next.node = output;
         next.insert = insert;
         next.token = token.extend(wme);
-        spawn(std::move(next), worker);
+        spawn(std::move(next), worker, t);
     };
 
     if (succ->kind == NodeKind::Join) {
@@ -289,6 +372,12 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
         rete::DirectionalGuard guard(join->lock, Side::Right);
         DebugAccessChecker::SideScope check(checker_.get(), join->id,
                                             Side::Right, worker);
+        if (t) {
+            t->count(worker, telemetry::Counter::JoinLockAcquires);
+            if (guard.contended())
+                t->count(worker,
+                         telemetry::Counter::JoinLockContended);
+        }
         // Composite activation: update the memory, then scan the
         // (quiescent) opposite memory — atomically w.r.t. the left
         // side thanks to the directional lock.
@@ -310,11 +399,29 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
         st.tokens_built += outputs;
         st.instructions += cost_.joinActivation(
             candidates, candidates * join->tests.size(), outputs);
+        if (t)
+            t->observe(worker, telemetry::Histogram::JoinCandidates,
+                       candidates);
         return;
     }
 
     auto *not_node = static_cast<NotNode *>(succ);
-    std::lock_guard lock(not_node->mutex);
+    // try_lock-first probe: a failed try_lock is the contended case.
+    // Only taken with telemetry on, so the plain path stays one lock.
+    bool not_contended = false;
+    if (t) {
+        not_contended = !not_node->mutex.try_lock();
+        if (not_contended)
+            not_node->mutex.lock();
+    } else {
+        not_node->mutex.lock();
+    }
+    std::lock_guard<std::mutex> lock(not_node->mutex, std::adopt_lock);
+    if (t) {
+        t->count(worker, telemetry::Counter::NotLockAcquires);
+        if (not_contended)
+            t->count(worker, telemetry::Counter::NotLockContended);
+    }
     DebugAccessChecker::ExclusiveScope check(checker_.get(),
                                              not_node->id, worker);
     if (task.insert)
@@ -336,7 +443,7 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
                 next.node = not_node->output;
                 next.insert = false;
                 next.token = entry.token;
-                spawn(std::move(next), worker);
+                spawn(std::move(next), worker, t);
             }
         } else {
             if (--entry.count == 0) {
@@ -344,7 +451,7 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
                 next.node = not_node->output;
                 next.insert = true;
                 next.token = entry.token;
-                spawn(std::move(next), worker);
+                spawn(std::move(next), worker, t);
             }
         }
     }
@@ -352,11 +459,15 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
     st.instructions += cost_.not_base +
         candidates * (cost_.not_per_entry +
                       not_node->tests.size() * cost_.join_per_test);
+    if (t)
+        t->observe(worker, telemetry::Histogram::JoinCandidates,
+                   candidates);
 }
 
 void
 ParallelReteMatcher::processBetaArrive(const PTask &task,
-                                       std::size_t worker)
+                                       std::size_t worker,
+                                       telemetry::Registry *t)
 {
     auto *bm = static_cast<BetaMemoryNode *>(task.node);
     MatchStats &st = worker_stats_[worker].stats;
@@ -387,6 +498,12 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
         rete::DirectionalGuard guard(join->lock, Side::Left);
         DebugAccessChecker::SideScope check(checker_.get(), join->id,
                                             Side::Left, worker);
+        if (t) {
+            t->count(worker, telemetry::Counter::JoinLockAcquires);
+            if (guard.contended())
+                t->count(worker,
+                         telemetry::Counter::JoinLockContended);
+        }
         bool forward = task.insert ? bm->insertToken(task.token)
                                    : bm->removeToken(task.token);
         st.instructions += task.insert ? cost_.beta_insert
@@ -402,18 +519,34 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
                 next.node = join->output;
                 next.insert = task.insert;
                 next.token = task.token.extend(wme);
-                spawn(std::move(next), worker);
+                spawn(std::move(next), worker, t);
             }
         }
         st.comparisons += candidates;
         st.tokens_built += outputs;
         st.instructions += cost_.joinActivation(
             candidates, candidates * join->tests.size(), outputs);
+        if (t)
+            t->observe(worker, telemetry::Histogram::JoinCandidates,
+                       candidates);
         return;
     }
 
     auto *not_node = static_cast<NotNode *>(succ);
-    std::lock_guard lock(not_node->mutex);
+    bool not_contended = false;
+    if (t) {
+        not_contended = !not_node->mutex.try_lock();
+        if (not_contended)
+            not_node->mutex.lock();
+    } else {
+        not_node->mutex.lock();
+    }
+    std::lock_guard<std::mutex> lock(not_node->mutex, std::adopt_lock);
+    if (t) {
+        t->count(worker, telemetry::Counter::NotLockAcquires);
+        if (not_contended)
+            t->count(worker, telemetry::Counter::NotLockContended);
+    }
     DebugAccessChecker::ExclusiveScope check(checker_.get(),
                                              not_node->id, worker);
     bool forward = task.insert ? bm->insertToken(task.token)
@@ -436,13 +569,16 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
         st.instructions += cost_.not_base + candidates *
             (cost_.not_per_entry +
              not_node->tests.size() * cost_.join_per_test);
+        if (t)
+            t->observe(worker, telemetry::Histogram::JoinCandidates,
+                       candidates);
         not_node->entries.push_back({task.token, count});
         if (count == 0) {
             PTask next;
             next.node = not_node->output;
             next.insert = true;
             next.token = task.token;
-            spawn(std::move(next), worker);
+            spawn(std::move(next), worker, t);
         }
     } else {
         auto it = std::find_if(not_node->entries.begin(),
@@ -461,7 +597,7 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
                 next.node = not_node->output;
                 next.insert = false;
                 next.token = task.token;
-                spawn(std::move(next), worker);
+                spawn(std::move(next), worker, t);
             }
         }
     }

@@ -35,8 +35,10 @@
 #include "core/annotations.hpp"
 #include "core/matcher.hpp"
 #include "core/task_queue.hpp"
+#include "core/telemetry.hpp"
 #include "rete/cost_model.hpp"
 #include "rete/network.hpp"
+#include "rete/trace_export.hpp"
 
 namespace psm::core {
 
@@ -106,6 +108,24 @@ class ParallelReteMatcher : public Matcher
     /** Tombstones absorbed since construction (conjugate races). */
     std::uint64_t tombstoneEvents() const { return tombstone_events_; }
 
+    telemetry::Registry *enableTelemetry() override;
+    telemetry::Registry *telemetry() override
+    {
+        return tel_owned_.get();
+    }
+    const telemetry::Registry *
+    telemetry() const override
+    {
+        return tel_owned_.get();
+    }
+
+    /**
+     * Attaches a real-time span recorder (nullptr detaches). The
+     * recorder must have n_workers + 1 lanes. Same threading rule as
+     * enableTelemetry(): call before the first processChanges().
+     */
+    void setSpanRecorder(rete::SpanRecorder *rec) { spans_ = rec; }
+
     /** The ownership checker, or nullptr when access_check is off. */
     const DebugAccessChecker *
     accessChecker() const
@@ -124,13 +144,21 @@ class ParallelReteMatcher : public Matcher
     };
 
     void workerLoop(std::size_t worker);
-    void runTask(const PTask &task, std::size_t worker);
-    void spawn(PTask task, std::size_t worker);
-    bool tryRunOne(std::size_t worker);
+    // The task path takes the telemetry registry as a parameter: it
+    // is loaded from tel_ once per worker-loop iteration (and once
+    // per processChanges call) rather than at every call site, so the
+    // unattached/compiled-out configurations pay no per-event load.
+    void runTask(const PTask &task, std::size_t worker,
+                 telemetry::Registry *t);
+    void spawn(PTask task, std::size_t worker, telemetry::Registry *t);
+    bool tryRunOne(std::size_t worker, telemetry::Registry *t);
 
-    void processConstTest(const PTask &task, std::size_t worker);
-    void processAlphaArrive(const PTask &task, std::size_t worker);
-    void processBetaArrive(const PTask &task, std::size_t worker);
+    void processConstTest(const PTask &task, std::size_t worker,
+                          telemetry::Registry *t);
+    void processAlphaArrive(const PTask &task, std::size_t worker,
+                            telemetry::Registry *t);
+    void processBetaArrive(const PTask &task, std::size_t worker,
+                           telemetry::Registry *t);
 
     /** Per-worker statistics slot, padded against false sharing. */
     struct alignas(64) WorkerStats
@@ -148,8 +176,33 @@ class ParallelReteMatcher : public Matcher
     std::unique_ptr<StealingTaskPool<PTask>> stealing_;
     std::unique_ptr<DebugAccessChecker> checker_;
 
+    // Telemetry: the owned registry is published through an atomic
+    // pointer because parked workers poll it outside any batch (no
+    // queue/cv happens-before edge exists there). Relaxed loads are
+    // free on the hot path; publication order is provided by the
+    // enable-before-first-batch contract.
+    std::unique_ptr<telemetry::Registry> tel_owned_;
+    std::atomic<telemetry::Registry *> tel_{nullptr};
+    rete::SpanRecorder *spans_ = nullptr;
+
+    telemetry::Registry *
+    tel() const
+    {
+#if PSM_TELEMETRY
+        return tel_.load(std::memory_order_relaxed);
+#else
+        return nullptr;
+#endif
+    }
+
     std::vector<std::thread> threads_;
     std::vector<WorkerStats> worker_stats_;
+
+    // Batch counter, written by the submitter before any task of the
+    // batch is pushed and read by workers only after popping one of
+    // those tasks — the queue mutex supplies the happens-before edge.
+    std::uint32_t cycle_ = 0;
+
     std::atomic<bool> stop_{false};
     std::atomic<long> pending_{0};
     std::atomic<std::uint64_t> tombstone_events_{0};

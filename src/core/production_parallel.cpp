@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rete/nodes.hpp"
+#include "rete/trace_export.hpp"
 
 namespace psm::core {
 
@@ -41,16 +42,48 @@ ProductionParallelMatcher::stats() const
     return total;
 }
 
+telemetry::Registry *
+ProductionParallelMatcher::enableTelemetry()
+{
+    if (!tel_owned_) {
+        tel_owned_ = std::make_unique<telemetry::Registry>(
+            worker_stats_.size());
+        // Production index as node id: identity mapping gives exact
+        // per-production activation counts, costs, and epoch stamps.
+        std::vector<int> node_production(prods_.size());
+        for (std::size_t i = 0; i < prods_.size(); ++i)
+            node_production[i] = static_cast<int>(i);
+        tel_owned_->configureNodes(prods_.size(),
+                                   std::move(node_production),
+                                   prods_.size());
+        tel_.store(tel_owned_.get(), std::memory_order_release);
+    }
+    return tel_owned_.get();
+}
+
 void
 ProductionParallelMatcher::drainTasks(std::size_t worker)
 {
     MatchStats &st = worker_stats_[worker].stats;
+    telemetry::Registry *t = tel();
     while (true) {
         std::size_t prod =
             cursor_.fetch_add(1, std::memory_order_acquire);
         if (prod >= prods_.size())
             return;
+        std::uint64_t before = t ? st.instructions : 0;
         matchProduction(prod, current_changes_, st);
+        if (t) {
+            std::uint64_t cost = st.instructions - before;
+            t->count(worker, telemetry::Counter::TasksExecuted);
+            t->observe(worker, telemetry::Histogram::TaskCostInstr,
+                       cost);
+            // Only charge productions the batch actually touched, so
+            // the affected-production epoch stays meaningful.
+            if (cost)
+                t->nodeActivation(worker, static_cast<int>(prod),
+                                  cost);
+        }
         remaining_.fetch_sub(1, std::memory_order_release);
     }
 }
@@ -60,6 +93,8 @@ ProductionParallelMatcher::workerLoop(std::size_t worker)
 {
     std::uint64_t seen_gen = 0;
     while (!stop_.load(std::memory_order_relaxed)) {
+        telemetry::Registry *t = tel();
+        std::uint64_t park_start = t ? rete::spanClockNanos() : 0;
         // Explicit wait loop (not the predicate-lambda form) so the
         // thread-safety analysis sees every batch_gen_ access happen
         // with idle_mutex_ held.
@@ -70,6 +105,11 @@ ProductionParallelMatcher::workerLoop(std::size_t worker)
         }
         seen_gen = batch_gen_;
         idle_mutex_.unlock();
+        if (t) {
+            t->count(worker, telemetry::Counter::WorkerParks);
+            t->observe(worker, telemetry::Histogram::ParkNanos,
+                       rete::spanClockNanos() - park_start);
+        }
         if (stop_.load(std::memory_order_relaxed))
             return;
         drainTasks(worker);
@@ -81,6 +121,14 @@ ProductionParallelMatcher::processChanges(
     std::span<const ops5::WmeChange> changes)
 {
     worker_stats_[0].stats.changes_processed += changes.size();
+    telemetry::Registry *t = tel();
+    if (t) {
+        t->count(0, telemetry::Counter::Batches);
+        t->count(0, telemetry::Counter::ChangesProcessed,
+                 changes.size());
+        t->count(0, telemetry::Counter::TasksSpawned, prods_.size());
+        t->beginEpoch();
+    }
     // Publication order matters for stragglers still inside an old
     // drainTasks loop: they acquire on the cursor fetch_add, so the
     // batch data and the completion counter must be written before
@@ -97,6 +145,8 @@ ProductionParallelMatcher::processChanges(
     drainTasks(0);
     while (remaining_.load(std::memory_order_acquire) > 0)
         std::this_thread::yield();
+    if (t)
+        t->endEpoch();
 }
 
 void

@@ -30,6 +30,7 @@
 
 #include "core/annotations.hpp"
 #include "core/matcher.hpp"
+#include "core/telemetry.hpp"
 #include "treat/joiner.hpp"
 
 namespace psm::core {
@@ -67,6 +68,17 @@ class ProductionParallelMatcher : public Matcher
     MatchStats stats() const override;
     std::string name() const override { return "rete-prod-parallel"; }
 
+    telemetry::Registry *enableTelemetry() override;
+    telemetry::Registry *telemetry() override
+    {
+        return tel_owned_.get();
+    }
+    const telemetry::Registry *
+    telemetry() const override
+    {
+        return tel_owned_.get();
+    }
+
   private:
     /** Private per-production match state. */
     struct ProdState
@@ -97,6 +109,23 @@ class ProductionParallelMatcher : public Matcher
         MatchStats stats;
     };
     std::vector<WorkerStats> worker_stats_;
+
+    // Same publish-through-atomic scheme as ParallelReteMatcher:
+    // parked workers poll the pointer outside any batch. The
+    // production index doubles as the telemetry "node" id, so
+    // per-node totals read directly as per-production totals.
+    std::unique_ptr<telemetry::Registry> tel_owned_;
+    std::atomic<telemetry::Registry *> tel_{nullptr};
+
+    telemetry::Registry *
+    tel() const
+    {
+#if PSM_TELEMETRY
+        return tel_.load(std::memory_order_relaxed);
+#else
+        return nullptr;
+#endif
+    }
 
     // Batch dispatch: a shared cursor over production indices.
     // current_changes_ is published release via cursor_ and read only

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "core/telemetry.hpp"
 
 namespace psm::core {
 
@@ -50,27 +51,47 @@ template <typename Task>
 class CentralTaskQueue
 {
   public:
+    /** Attaches a telemetry registry (nullptr detaches). Shard index
+     *  == the worker argument of push/tryPop. Call only while no
+     *  other thread is using the queue. */
+    void attachTelemetry(telemetry::Registry *reg) { tel_ = reg; }
+
     void
-    push(Task task, std::size_t /*worker_hint*/ = 0) PSM_EXCLUDES(mutex_)
+    push(Task task, std::size_t worker_hint = 0) PSM_EXCLUDES(mutex_)
     {
-        MutexLock lock(mutex_);
-        queue_.push_back(std::move(task));
+        std::size_t depth;
+        {
+            MutexLock lock(mutex_);
+            queue_.push_back(std::move(task));
+            depth = queue_.size();
+        }
+        if (tel_) {
+            tel_->count(worker_hint, telemetry::Counter::QueuePushes);
+            tel_->observe(worker_hint, telemetry::Histogram::QueueDepth,
+                          depth);
+        }
     }
 
     std::optional<Task>
-    tryPop(std::size_t /*worker*/ = 0) PSM_EXCLUDES(mutex_)
+    tryPop(std::size_t worker = 0) PSM_EXCLUDES(mutex_)
     {
-        MutexLock lock(mutex_);
-        if (queue_.empty())
-            return std::nullopt;
-        Task t = std::move(queue_.front());
-        queue_.pop_front();
+        std::optional<Task> t;
+        {
+            MutexLock lock(mutex_);
+            if (!queue_.empty()) {
+                t = std::move(queue_.front());
+                queue_.pop_front();
+            }
+        }
+        if (t && tel_)
+            tel_->count(worker, telemetry::Counter::QueuePops);
         return t;
     }
 
   private:
     Mutex mutex_;
     std::deque<Task> queue_ PSM_GUARDED_BY(mutex_);
+    telemetry::Registry *tel_ = nullptr;
 };
 
 /**
@@ -88,12 +109,26 @@ class StealingTaskPool
         : queues_(n_workers ? n_workers : 1)
     {}
 
+    /** Attaches a telemetry registry (nullptr detaches). Shard index
+     *  == the worker argument of push/tryPop. Call only while no
+     *  other thread is using the pool. */
+    void attachTelemetry(telemetry::Registry *reg) { tel_ = reg; }
+
     void
     push(Task task, std::size_t worker_hint)
     {
         Lane &lane = queues_[worker_hint % queues_.size()];
-        MutexLock lock(lane.mutex);
-        lane.deque.push_back(std::move(task));
+        std::size_t depth;
+        {
+            MutexLock lock(lane.mutex);
+            lane.deque.push_back(std::move(task));
+            depth = lane.deque.size();
+        }
+        if (tel_) {
+            tel_->count(worker_hint, telemetry::Counter::QueuePushes);
+            tel_->observe(worker_hint, telemetry::Histogram::QueueDepth,
+                          depth);
+        }
     }
 
     std::optional<Task>
@@ -105,19 +140,29 @@ class StealingTaskPool
             if (!own.deque.empty()) {
                 Task t = std::move(own.deque.back());
                 own.deque.pop_back();
+                if (tel_)
+                    tel_->count(worker, telemetry::Counter::QueuePops);
                 return t;
             }
         }
         // Steal: front of the next non-empty victim.
+        if (tel_ && queues_.size() > 1)
+            tel_->count(worker, telemetry::Counter::StealAttempts);
         for (std::size_t i = 1; i < queues_.size(); ++i) {
             Lane &victim = queues_[(worker + i) % queues_.size()];
             MutexLock lock(victim.mutex);
             if (!victim.deque.empty()) {
                 Task t = std::move(victim.deque.front());
                 victim.deque.pop_front();
+                if (tel_) {
+                    tel_->count(worker, telemetry::Counter::Steals);
+                    tel_->count(worker, telemetry::Counter::QueuePops);
+                }
                 return t;
             }
         }
+        if (tel_ && queues_.size() > 1)
+            tel_->count(worker, telemetry::Counter::StealFailures);
         return std::nullopt;
     }
 
@@ -129,6 +174,7 @@ class StealingTaskPool
     };
 
     std::vector<Lane> queues_;
+    telemetry::Registry *tel_ = nullptr;
 };
 
 } // namespace psm::core

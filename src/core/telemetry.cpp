@@ -1,0 +1,296 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+namespace psm::telemetry {
+
+const char *
+counterName(Counter c)
+{
+    switch (c) {
+      case Counter::TasksExecuted: return "tasks_executed";
+      case Counter::TasksSpawned: return "tasks_spawned";
+      case Counter::QueuePushes: return "queue_pushes";
+      case Counter::QueuePops: return "queue_pops";
+      case Counter::StealAttempts: return "steal_attempts";
+      case Counter::Steals: return "steals";
+      case Counter::StealFailures: return "steal_failures";
+      case Counter::JoinLockAcquires: return "join_lock_acquires";
+      case Counter::JoinLockContended: return "join_lock_contended";
+      case Counter::NotLockAcquires: return "not_lock_acquires";
+      case Counter::NotLockContended: return "not_lock_contended";
+      case Counter::TombstonesAbsorbed: return "tombstones_absorbed";
+      case Counter::WorkerParks: return "worker_parks";
+      case Counter::IdleSpins: return "idle_spins";
+      case Counter::ChangesProcessed: return "changes_processed";
+      case Counter::Batches: return "batches";
+      case Counter::AffectedProductionChanges:
+        return "affected_production_changes";
+      case Counter::kCount: break;
+    }
+    return "unknown";
+}
+
+const char *
+histogramName(Histogram h)
+{
+    switch (h) {
+      case Histogram::TaskCostInstr: return "task_cost_instr";
+      case Histogram::QueueDepth: return "queue_depth";
+      case Histogram::BetaMemorySize: return "beta_memory_size";
+      case Histogram::JoinCandidates: return "join_candidates";
+      case Histogram::ParkNanos: return "park_nanos";
+      case Histogram::kCount: break;
+    }
+    return "unknown";
+}
+
+std::size_t
+HistogramData::bucketOf(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    std::size_t b = static_cast<std::size_t>(std::bit_width(value));
+    return std::min(b, kHistogramBuckets - 1);
+}
+
+std::uint64_t
+HistogramData::bucketFloor(std::size_t bucket)
+{
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+Registry::Registry(std::size_t n_shards)
+    : shards_(n_shards ? n_shards : 1)
+{}
+
+Registry::~Registry() = default;
+
+void
+Registry::configureNodes(std::size_t n_nodes,
+                         std::vector<int> node_production,
+                         std::size_t n_productions)
+{
+    n_nodes_ = n_nodes;
+    node_production_ = std::move(node_production);
+    node_production_.resize(n_nodes, -1);
+    n_productions_ = n_productions;
+    for (Shard &s : shards_) {
+        s.node_slots = std::vector<std::atomic<std::uint64_t>>(
+            2 * n_nodes);
+        s.prod_epoch =
+            std::vector<std::atomic<std::uint64_t>>(n_productions);
+    }
+}
+
+void
+Registry::observeImpl(std::size_t shard, Histogram h,
+                      std::uint64_t value)
+{
+    Shard::Hist &hist =
+        shards_[shard % shards_.size()].hists[static_cast<std::size_t>(h)];
+    hist.buckets[HistogramData::bucketOf(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    hist.count.fetch_add(1, std::memory_order_relaxed);
+    hist.sum.fetch_add(value, std::memory_order_relaxed);
+    // Owner-only writes: a plain read-check-store suffices for max.
+    if (value > hist.max.load(std::memory_order_relaxed))
+        hist.max.store(value, std::memory_order_relaxed);
+}
+
+void
+Registry::nodeActivationImpl(std::size_t shard, int node_id,
+                             std::uint64_t cost)
+{
+    Shard &s = shards_[shard % shards_.size()];
+    if (node_id < 0 || static_cast<std::size_t>(node_id) >= n_nodes_)
+        return;
+    std::size_t base = 2 * static_cast<std::size_t>(node_id);
+    s.node_slots[base].fetch_add(1, std::memory_order_relaxed);
+    s.node_slots[base + 1].fetch_add(cost, std::memory_order_relaxed);
+
+    int prod = node_production_[static_cast<std::size_t>(node_id)];
+    if (prod >= 0 && epoch_open_.load(std::memory_order_relaxed)) {
+        std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+        auto &stamp = s.prod_epoch[static_cast<std::size_t>(prod)];
+        if (stamp.load(std::memory_order_relaxed) != e)
+            stamp.store(e, std::memory_order_relaxed);
+    }
+}
+
+void
+Registry::beginEpoch()
+{
+#if PSM_TELEMETRY
+    if (epoch_open_.load(std::memory_order_relaxed))
+        endEpoch();
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    epoch_open_.store(true, std::memory_order_relaxed);
+#endif
+}
+
+void
+Registry::endEpoch()
+{
+#if PSM_TELEMETRY
+    if (!epoch_open_.load(std::memory_order_relaxed))
+        return;
+    epoch_open_.store(false, std::memory_order_relaxed);
+    ++epochs_closed_;
+    std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    std::uint64_t affected = 0;
+    for (std::size_t p = 0; p < n_productions_; ++p) {
+        for (const Shard &s : shards_) {
+            if (s.prod_epoch[p].load(std::memory_order_relaxed) == e) {
+                ++affected;
+                break;
+            }
+        }
+    }
+    count(0, Counter::AffectedProductionChanges, affected);
+#endif
+}
+
+std::uint64_t
+Registry::total(Counter c) const
+{
+    std::uint64_t t = 0;
+    for (const Shard &s : shards_)
+        t += s.counters[static_cast<std::size_t>(c)].load(
+            std::memory_order_relaxed);
+    return t;
+}
+
+HistogramData
+Registry::merged(Histogram h) const
+{
+    HistogramData out;
+    for (const Shard &s : shards_) {
+        const Shard::Hist &hist =
+            s.hists[static_cast<std::size_t>(h)];
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+            out.buckets[b] +=
+                hist.buckets[b].load(std::memory_order_relaxed);
+        out.count += hist.count.load(std::memory_order_relaxed);
+        out.sum += hist.sum.load(std::memory_order_relaxed);
+        out.max = std::max(out.max,
+                           hist.max.load(std::memory_order_relaxed));
+    }
+    return out;
+}
+
+NodeTotals
+Registry::nodeTotals(int node_id) const
+{
+    NodeTotals t;
+    if (node_id < 0 || static_cast<std::size_t>(node_id) >= n_nodes_)
+        return t;
+    std::size_t base = 2 * static_cast<std::size_t>(node_id);
+    for (const Shard &s : shards_) {
+        t.activations +=
+            s.node_slots[base].load(std::memory_order_relaxed);
+        t.cost +=
+            s.node_slots[base + 1].load(std::memory_order_relaxed);
+    }
+    return t;
+}
+
+std::vector<NodeTotals>
+Registry::perProductionTotals() const
+{
+    std::vector<NodeTotals> out(n_productions_);
+    for (std::size_t n = 0; n < n_nodes_; ++n) {
+        int prod = node_production_[n];
+        if (prod < 0 || static_cast<std::size_t>(prod) >= out.size())
+            continue;
+        NodeTotals t = nodeTotals(static_cast<int>(n));
+        out[static_cast<std::size_t>(prod)].activations +=
+            t.activations;
+        out[static_cast<std::size_t>(prod)].cost += t.cost;
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    for (Shard &s : shards_) {
+        for (auto &c : s.counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &h : s.hists) {
+            for (auto &b : h.buckets)
+                b.store(0, std::memory_order_relaxed);
+            h.count.store(0, std::memory_order_relaxed);
+            h.sum.store(0, std::memory_order_relaxed);
+            h.max.store(0, std::memory_order_relaxed);
+        }
+        for (auto &n : s.node_slots)
+            n.store(0, std::memory_order_relaxed);
+        for (auto &p : s.prod_epoch)
+            p.store(0, std::memory_order_relaxed);
+    }
+    epoch_.store(0, std::memory_order_relaxed);
+    epochs_closed_ = 0;
+    epoch_open_.store(false, std::memory_order_relaxed);
+}
+
+void
+Registry::writeJson(std::ostream &os,
+                    const std::string &extra_fields) const
+{
+    os << "{\n  \"telemetry_enabled\": "
+       << (PSM_TELEMETRY ? "true" : "false") << ",\n"
+       << "  \"shards\": " << shards_.size() << ",\n"
+       << "  \"epochs\": " << epochs_closed_ << ",\n";
+
+    os << "  \"counters\": {";
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+        if (i)
+            os << ",";
+        os << "\n    \"" << counterName(static_cast<Counter>(i))
+           << "\": " << total(static_cast<Counter>(i));
+    }
+    os << "\n  },\n";
+
+    os << "  \"histograms\": {";
+    for (std::size_t i = 0; i < kHistogramCount; ++i) {
+        HistogramData d = merged(static_cast<Histogram>(i));
+        if (i)
+            os << ",";
+        os << "\n    \"" << histogramName(static_cast<Histogram>(i))
+           << "\": {\"count\": " << d.count << ", \"sum\": " << d.sum
+           << ", \"max\": " << d.max << ", \"buckets\": [";
+        // Trailing zero buckets are elided; bucket b spans
+        // [bucketFloor(b), bucketFloor(b+1)).
+        std::size_t last = kHistogramBuckets;
+        while (last > 0 && d.buckets[last - 1] == 0)
+            --last;
+        for (std::size_t b = 0; b < last; ++b)
+            os << (b ? ", " : "") << d.buckets[b];
+        os << "]}";
+    }
+    os << "\n  },\n";
+
+    os << "  \"per_node\": [";
+    bool first = true;
+    for (std::size_t n = 0; n < n_nodes_; ++n) {
+        NodeTotals t = nodeTotals(static_cast<int>(n));
+        if (t.activations == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    {\"node\": " << n << ", \"production\": "
+           << node_production_[n] << ", \"activations\": "
+           << t.activations << ", \"cost\": " << t.cost << "}";
+    }
+    os << "\n  ]";
+
+    if (!extra_fields.empty())
+        os << ",\n  " << extra_fields;
+    os << "\n}\n";
+}
+
+} // namespace psm::telemetry

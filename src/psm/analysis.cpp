@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <sstream>
 
 namespace psm::sim {
 
@@ -257,6 +258,76 @@ trueSpeedup(const CapturedRun &run, const SimResult &sim,
     double explained = out.sharing_loss * out.scheduling_loss;
     out.sync_loss = explained > 0 ? out.lost_factor / explained : 0;
     return out;
+}
+
+PaperStats
+paperStatsFromTelemetry(const telemetry::Registry &reg)
+{
+    using telemetry::Counter;
+    using telemetry::Histogram;
+
+    PaperStats out;
+    out.epochs = reg.epochs();
+    out.changes = reg.total(Counter::ChangesProcessed);
+    out.activations = reg.total(Counter::TasksExecuted);
+
+    if (out.epochs > 0)
+        out.avg_affected_productions =
+            static_cast<double>(
+                reg.total(Counter::AffectedProductionChanges)) /
+            static_cast<double>(out.epochs);
+    if (out.changes > 0)
+        out.avg_activations_per_change =
+            static_cast<double>(out.activations) /
+            static_cast<double>(out.changes);
+
+    telemetry::HistogramData cost = reg.merged(Histogram::TaskCostInstr);
+    out.avg_task_cost_instr = cost.mean();
+    out.max_task_cost_instr = static_cast<double>(cost.max);
+
+    // Coefficient of variation of total processing cost across the
+    // productions that did any work — the run-aggregate counterpart
+    // of analyzeWorkload()'s per-change CV.
+    std::vector<telemetry::NodeTotals> per_prod =
+        reg.perProductionTotals();
+    double n = 0, mean = 0;
+    for (const telemetry::NodeTotals &pt : per_prod) {
+        if (pt.cost == 0)
+            continue;
+        mean += static_cast<double>(pt.cost);
+        n += 1;
+    }
+    if (n > 1 && mean > 0) {
+        mean /= n;
+        double m2 = 0;
+        for (const telemetry::NodeTotals &pt : per_prod) {
+            if (pt.cost == 0)
+                continue;
+            double d = static_cast<double>(pt.cost) - mean;
+            m2 += d * d;
+        }
+        out.per_production_cost_cv = std::sqrt(m2 / n) / mean;
+    }
+    return out;
+}
+
+std::string
+paperStatsJson(const PaperStats &s)
+{
+    std::ostringstream os;
+    os << "\"paper_stats\": {"
+       << "\"epochs\": " << s.epochs
+       << ", \"changes\": " << s.changes
+       << ", \"activations\": " << s.activations
+       << ", \"avg_affected_productions\": "
+       << s.avg_affected_productions
+       << ", \"avg_activations_per_change\": "
+       << s.avg_activations_per_change
+       << ", \"avg_task_cost_instr\": " << s.avg_task_cost_instr
+       << ", \"max_task_cost_instr\": " << s.max_task_cost_instr
+       << ", \"per_production_cost_cv\": " << s.per_production_cost_cv
+       << "}";
+    return os.str();
 }
 
 } // namespace psm::sim

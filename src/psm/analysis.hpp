@@ -9,6 +9,9 @@
 #ifndef PSM_PSM_ANALYSIS_HPP
 #define PSM_PSM_ANALYSIS_HPP
 
+#include <string>
+
+#include "core/telemetry.hpp"
 #include "psm/capture.hpp"
 #include "psm/simulator.hpp"
 
@@ -82,6 +85,33 @@ struct TrueSpeedup
 /** Combines a simulation result with its capture's serial baseline. */
 TrueSpeedup trueSpeedup(const CapturedRun &run, const SimResult &sim,
                         const MachineConfig &machine);
+
+/**
+ * Section 5's measurements recomputed from *live* telemetry instead
+ * of a captured trace — the cross-check between the trace-driven
+ * analyzeWorkload() numbers and what an instrumented run actually
+ * observed. Epoch granularity is per WM change on the serial matcher
+ * and per batch on the parallel matchers (their changes run
+ * concurrently), so compare like with like.
+ */
+struct PaperStats
+{
+    std::uint64_t epochs = 0;            ///< measurement intervals
+    std::uint64_t changes = 0;
+    std::uint64_t activations = 0;       ///< tasks executed
+    double avg_affected_productions = 0; ///< paper: ~30
+    double avg_activations_per_change = 0;
+    double avg_task_cost_instr = 0;      ///< mean cost per activation
+    double max_task_cost_instr = 0;
+    double per_production_cost_cv = 0;   ///< Section 4's variance
+};
+
+/** Computes PaperStats from a matcher's telemetry registry. */
+PaperStats paperStatsFromTelemetry(const telemetry::Registry &reg);
+
+/** Renders @p stats as `"paper_stats": {...}` (no trailing comma) —
+ *  the extra_fields hook of telemetry::Registry::writeJson(). */
+std::string paperStatsJson(const PaperStats &stats);
 
 } // namespace psm::sim
 

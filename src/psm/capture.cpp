@@ -22,6 +22,12 @@ captureStreamRun(std::shared_ptr<const ops5::Program> program,
 
     ops5::WorkingMemory wm;
     workloads::ChangeStream stream(*program, wm, cfg, stream_seed);
+    // Calibrated workloads run ~10-60 activations per change; reserve
+    // for the low end to avoid the early regrowth copies.
+    run.trace.reserve(static_cast<std::size_t>(batches) *
+                          static_cast<std::size_t>(changes_per_batch) *
+                          10,
+                      static_cast<std::size_t>(batches));
     for (int b = 0; b < batches; ++b) {
         std::vector<ops5::WmeChange> batch =
             stream.nextBatch(changes_per_batch, remove_fraction);

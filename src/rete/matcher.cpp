@@ -124,6 +124,16 @@ ReteMatcher::indexInsertToken(const BetaMemoryNode *bm,
     }
 }
 
+telemetry::Registry *
+ReteMatcher::enableTelemetry()
+{
+    if (!tel_) {
+        tel_ = std::make_unique<telemetry::Registry>(1);
+        configureTelemetryNodes(*tel_, *network_);
+    }
+    return tel_.get();
+}
+
 std::uint64_t
 ReteMatcher::recordActivation(const WorkItem &item, NodeKind kind,
                               std::uint32_t cost)
@@ -131,6 +141,12 @@ ReteMatcher::recordActivation(const WorkItem &item, NodeKind kind,
     std::uint64_t id = next_activation_id_++;
     ++stats_.activations;
     stats_.instructions += cost;
+    if (tel_) {
+        tel_->count(0, telemetry::Counter::TasksExecuted);
+        tel_->observe(0, telemetry::Histogram::TaskCostInstr, cost);
+        if (item.node)
+            tel_->nodeActivation(0, item.node->id, cost);
+    }
     if (sink_) {
         ActivationRecord rec;
         rec.id = id;
@@ -160,10 +176,21 @@ ReteMatcher::processChanges(std::span<const ops5::WmeChange> changes)
     ++cycle_;
     if (sink_)
         sink_->beginCycle(cycle_, changes.size());
+    if (spans_)
+        spans_->beginCycle(cycle_);
+    if (tel_) {
+        tel_->count(0, telemetry::Counter::Batches);
+        tel_->count(0, telemetry::Counter::ChangesProcessed,
+                    changes.size());
+    }
 
     change_index_ = 0;
     for (const ops5::WmeChange &change : changes) {
         ++stats_.changes_processed;
+        // One epoch per WM change: the sequential matcher measures
+        // Section 5's affected-productions-per-change exactly.
+        if (tel_)
+            tel_->beginEpoch();
         bool insert = change.kind == ops5::ChangeKind::Insert;
 
         // Root dispatch: hash the class, fan out to the alpha chains.
@@ -198,8 +225,22 @@ ReteMatcher::processChanges(std::span<const ops5::WmeChange> changes)
         while (!queue_.empty()) {
             WorkItem item = std::move(queue_.back());
             queue_.pop_back();
-            processItem(item);
+            if (spans_) {
+                RealSpan span;
+                span.node_id = item.node->id;
+                span.kind = item.node->kind;
+                span.insert = item.insert;
+                span.cycle = cycle_;
+                span.start_ns = spanClockNanos();
+                processItem(item);
+                span.end_ns = spanClockNanos();
+                spans_->record(0, span);
+            } else {
+                processItem(item);
+            }
         }
+        if (tel_)
+            tel_->endEpoch();
         ++change_index_;
     }
 
@@ -209,6 +250,8 @@ ReteMatcher::processChanges(std::span<const ops5::WmeChange> changes)
             static_cast<BetaMemoryNode *>(node.get())->clearTombstones();
     }
     conflict_set_.clearTombstones();
+    if (spans_)
+        spans_->endCycle();
 }
 
 void
@@ -298,6 +341,9 @@ ReteMatcher::processBetaMemory(const WorkItem &item)
     }
     if (hash_joins_ && forward)
         indexInsertToken(node, item.token, item.insert);
+    if (tel_)
+        tel_->observe(0, telemetry::Histogram::BetaMemorySize,
+                      node->size());
     std::uint64_t id = recordActivation(item, NodeKind::BetaMemory, cost);
     if (!forward)
         return;
@@ -362,6 +408,9 @@ ReteMatcher::processJoin(const WorkItem &item)
 
     std::uint32_t cost = cost_.joinActivation(
         candidates, candidates * node->tests.size(), outputs);
+    if (tel_)
+        tel_->observe(0, telemetry::Histogram::JoinCandidates,
+                      candidates);
     std::uint64_t id = recordActivation(item, NodeKind::Join, cost);
     stats_.comparisons += candidates;
     stats_.tokens_built += outputs;

@@ -13,9 +13,11 @@
 #include <unordered_map>
 
 #include "core/matcher.hpp"
+#include "core/telemetry.hpp"
 #include "rete/cost_model.hpp"
 #include "rete/network.hpp"
 #include "rete/trace.hpp"
+#include "rete/trace_export.hpp"
 
 namespace psm::rete {
 
@@ -86,6 +88,18 @@ class ReteMatcher : public core::Matcher
     /** Attaches a trace sink (nullptr detaches). Not owned. */
     void setTraceSink(TraceSink *sink) { sink_ = sink; }
 
+    /** Attaches a real-time span recorder (nullptr detaches). One
+     *  lane suffices; the serial matcher records on lane 0. */
+    void setSpanRecorder(SpanRecorder *rec) { spans_ = rec; }
+
+    telemetry::Registry *enableTelemetry() override;
+    telemetry::Registry *telemetry() override { return tel_.get(); }
+    const telemetry::Registry *
+    telemetry() const override
+    {
+        return tel_.get();
+    }
+
     /** Recognize-act cycles processed so far. */
     std::uint32_t cycle() const { return cycle_; }
 
@@ -141,6 +155,8 @@ class ReteMatcher : public core::Matcher
     ops5::ConflictSet conflict_set_;
     core::MatchStats stats_;
     TraceSink *sink_ = nullptr;
+    SpanRecorder *spans_ = nullptr;
+    std::unique_ptr<telemetry::Registry> tel_;
     std::unordered_map<int, JoinIndex> indexes_;
 
     std::deque<WorkItem> queue_;

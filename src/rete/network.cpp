@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/telemetry.hpp"
+
 namespace psm::rete {
 
 /**
@@ -234,6 +236,24 @@ Network::resetState()
         }
     }
     top_->tokens.push_back(Token{});
+}
+
+void
+configureTelemetryNodes(telemetry::Registry &reg, const Network &network)
+{
+    std::vector<int> node_production(network.nodes().size(), -1);
+    for (const auto &node : network.nodes()) {
+        if (node->kind == NodeKind::ConstTest ||
+            node.get() == network.top())
+            continue;
+        const std::vector<int> &prods = network.productionsOf(node->id);
+        if (prods.size() == 1)
+            node_production[static_cast<std::size_t>(node->id)] =
+                prods.front();
+    }
+    reg.configureNodes(network.nodes().size(),
+                       std::move(node_production),
+                       network.program().productions().size());
 }
 
 } // namespace psm::rete

@@ -23,6 +23,10 @@
 #include "rete/compile.hpp"
 #include "rete/nodes.hpp"
 
+namespace psm::telemetry {
+class Registry;
+}
+
 namespace psm::rete {
 
 /** Build-time options controlling node sharing. */
@@ -134,6 +138,15 @@ class Network
     std::vector<TerminalNode *> terminals_;
     std::vector<std::vector<int>> node_productions_;
 };
+
+/**
+ * Sizes @p reg's per-node slots for @p network and installs the
+ * node-to-production map the affected-production epochs use: stateful
+ * nodes (memories, two-input, terminals) owned by exactly one
+ * production map to it; constant tests and shared nodes map to -1.
+ */
+void configureTelemetryNodes(telemetry::Registry &reg,
+                             const Network &network);
 
 } // namespace psm::rete
 

@@ -42,20 +42,28 @@ enum class Side : std::uint8_t { Left, Right };
 class PSM_CAPABILITY("directional_lock") DirectionalLock
 {
   public:
-    void
+    /** @return true when the caller had to wait for the opposite
+     *  side — the contention signal telemetry reports. */
+    bool
     acquire(Side side) PSM_ACQUIRE_SHARED()
     {
+        bool contended = false;
         mutex_.lock();
         if (side == Side::Left) {
-            while (right_ != 0)
+            while (right_ != 0) {
+                contended = true;
                 cv_.wait(mutex_);
+            }
             ++left_;
         } else {
-            while (left_ != 0)
+            while (left_ != 0) {
+                contended = true;
                 cv_.wait(mutex_);
+            }
             ++right_;
         }
         mutex_.unlock();
+        return contended;
     }
 
     void
@@ -81,19 +89,21 @@ class PSM_SCOPED_CAPABILITY DirectionalGuard
   public:
     DirectionalGuard(DirectionalLock &lock, Side side)
         PSM_ACQUIRE_SHARED(lock)
-        : lock_(lock), side_(side)
-    {
-        lock_.acquire(side_);
-    }
+        : lock_(lock), side_(side), contended_(lock_.acquire(side_))
+    {}
 
     ~DirectionalGuard() PSM_RELEASE_GENERIC() { lock_.release(side_); }
 
     DirectionalGuard(const DirectionalGuard &) = delete;
     DirectionalGuard &operator=(const DirectionalGuard &) = delete;
 
+    /** Whether the acquisition waited for the opposite side. */
+    bool contended() const { return contended_; }
+
   private:
     DirectionalLock &lock_;
     Side side_;
+    bool contended_;
 };
 
 } // namespace psm::rete

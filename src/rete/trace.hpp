@@ -80,6 +80,26 @@ class TraceRecorder : public TraceSink
     }
     const std::vector<CycleMark> &cycles() const { return cycles_; }
 
+    /** Pre-sizes the record and cycle-mark storage (use when the
+     *  workload size is known, e.g. re-recording another trace). */
+    void
+    reserve(std::size_t n_records, std::size_t n_cycles = 0)
+    {
+        records_.reserve(n_records);
+        cycles_.reserve(n_cycles ? n_cycles : cycles_.size());
+    }
+
+    /** Total cost-model instructions across all records — the serial
+     *  execution time of the traced workload. */
+    std::uint64_t
+    totalCost() const
+    {
+        std::uint64_t total = 0;
+        for (const ActivationRecord &rec : records_)
+            total += rec.cost;
+        return total;
+    }
+
     void
     clear()
     {

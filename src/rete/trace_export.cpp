@@ -1,0 +1,158 @@
+#include "rete/trace_export.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace psm::rete {
+
+std::uint64_t
+spanClockNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+SpanRecorder::SpanRecorder(std::size_t n_workers)
+    : lanes_(n_workers ? n_workers : 1)
+{}
+
+void
+SpanRecorder::beginCycle(std::uint32_t cycle)
+{
+    if (cycle_open_)
+        endCycle();
+    open_cycle_ = RealSpan{};
+    open_cycle_.cycle = cycle;
+    open_cycle_.start_ns = spanClockNanos();
+    cycle_open_ = true;
+}
+
+void
+SpanRecorder::endCycle()
+{
+    if (!cycle_open_)
+        return;
+    open_cycle_.end_ns = spanClockNanos();
+    cycle_spans_.push_back(open_cycle_);
+    cycle_open_ = false;
+}
+
+void
+SpanRecorder::clear()
+{
+    for (Lane &lane : lanes_)
+        lane.spans.clear();
+    cycle_spans_.clear();
+    cycle_open_ = false;
+}
+
+namespace {
+
+void
+writeEvent(std::ostream &os, const ChromeEvent &ev, bool first)
+{
+    if (!first)
+        os << ",\n";
+    // Names are generated (node kinds + ids) — they never need
+    // escaping, but keep the writer honest about quotes anyway.
+    os << "{\"name\": \"";
+    for (char c : ev.name) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    char buf[64];
+    os << "\", \"cat\": \"" << ev.cat << "\", \"ph\": \"X\"";
+    std::snprintf(buf, sizeof buf, "%.3f", ev.ts_us);
+    os << ", \"ts\": " << buf;
+    std::snprintf(buf, sizeof buf, "%.3f", ev.dur_us);
+    os << ", \"dur\": " << buf;
+    os << ", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid;
+    if (!ev.args_json.empty())
+        os << ", \"args\": " << ev.args_json;
+    os << "}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<ChromeEvent> &events)
+{
+    // The bare-array form is valid for both Perfetto and
+    // chrome://tracing and keeps concatenation-friendly output.
+    os << "[\n";
+    bool first = true;
+    for (const ChromeEvent &ev : events) {
+        writeEvent(os, ev, first);
+        first = false;
+    }
+    os << "\n]\n";
+}
+
+bool
+saveChromeTrace(const std::string &path,
+                const std::vector<ChromeEvent> &events)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out, events);
+    return out.good();
+}
+
+std::vector<ChromeEvent>
+chromeEventsFromReal(const SpanRecorder &rec, int pid)
+{
+    std::vector<ChromeEvent> events;
+
+    // Zero the time axis at the first recorded nanosecond so the
+    // viewer opens at t=0 instead of hours of steady-clock uptime.
+    std::uint64_t t0 = UINT64_MAX;
+    for (const RealSpan &s : rec.cycleSpans())
+        t0 = std::min(t0, s.start_ns);
+    for (std::size_t w = 0; w < rec.workers(); ++w)
+        for (const RealSpan &s : rec.spans(w))
+            t0 = std::min(t0, s.start_ns);
+    if (t0 == UINT64_MAX)
+        return events;
+
+    auto us = [t0](std::uint64_t ns) {
+        return static_cast<double>(ns - t0) / 1e3;
+    };
+
+    // Cycle spans on tid 0; worker lanes on tid 1..N.
+    for (const RealSpan &s : rec.cycleSpans()) {
+        ChromeEvent ev;
+        ev.name = "cycle " + std::to_string(s.cycle);
+        ev.cat = "cycle";
+        ev.pid = pid;
+        ev.tid = 0;
+        ev.ts_us = us(s.start_ns);
+        ev.dur_us = us(s.end_ns) - us(s.start_ns);
+        ev.args_json = "{\"cycle\": " + std::to_string(s.cycle) + "}";
+        events.push_back(std::move(ev));
+    }
+    for (std::size_t w = 0; w < rec.workers(); ++w) {
+        for (const RealSpan &s : rec.spans(w)) {
+            ChromeEvent ev;
+            ev.name = std::string(nodeKindName(s.kind)) + "#" +
+                      std::to_string(s.node_id);
+            ev.cat = "task";
+            ev.pid = pid;
+            ev.tid = static_cast<int>(w) + 1;
+            ev.ts_us = us(s.start_ns);
+            ev.dur_us = us(s.end_ns) - us(s.start_ns);
+            ev.args_json =
+                "{\"cycle\": " + std::to_string(s.cycle) +
+                ", \"insert\": " + (s.insert ? "true" : "false") + "}";
+            events.push_back(std::move(ev));
+        }
+    }
+    return events;
+}
+
+} // namespace psm::rete

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Chrome-trace-event export: real wall-clock task spans from the
+ * host-thread matchers and simulated TaskSpans from the PSM
+ * simulator, emitted in the same JSON format so both schedules load
+ * side by side in Perfetto (ui.perfetto.dev) or chrome://tracing.
+ *
+ * Two halves:
+ *  - SpanRecorder collects {node, worker, start_ns, end_ns} spans
+ *    during a match run. Per-worker, cache-line-padded vectors — the
+ *    recording cost is two steady_clock reads and one push_back, paid
+ *    only while a recorder is attached.
+ *  - ChromeEvent + writeChromeTrace() serialise any span collection
+ *    as a JSON array of complete ("ph":"X") trace events. Real spans
+ *    map workers to tids; simulated spans map the scheduler's
+ *    processor/cluster assignment to tids under a separate pid, so
+ *    the viewer shows "what the hardware did" above "what the
+ *    simulator predicted".
+ */
+
+#ifndef PSM_RETE_TRACE_EXPORT_HPP
+#define PSM_RETE_TRACE_EXPORT_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rete/nodes.hpp"
+#include "rete/trace.hpp"
+
+namespace psm::rete {
+
+/** One completed real-time span (a task, or a whole cycle). */
+struct RealSpan
+{
+    int node_id = -1;         ///< -1 for cycle-level spans
+    NodeKind kind = NodeKind::Root;
+    bool insert = true;
+    std::uint32_t cycle = 0;
+    std::uint64_t start_ns = 0; ///< steady-clock, process-relative
+    std::uint64_t end_ns = 0;
+};
+
+/** Monotonic nanosecond clock shared by all recorders. */
+std::uint64_t spanClockNanos();
+
+/**
+ * Collects real wall-clock spans from a (possibly parallel) match
+ * run. record() is called from worker threads, each writing only its
+ * own lane; cycle spans come from the submitting thread (lane 0).
+ * Collection (spans()) must not run concurrently with recording.
+ */
+class SpanRecorder
+{
+  public:
+    explicit SpanRecorder(std::size_t n_workers = 1);
+
+    void
+    record(std::size_t worker, const RealSpan &span)
+    {
+        lanes_[worker % lanes_.size()].spans.push_back(span);
+    }
+
+    /** Brackets one recognize-act cycle (submitting thread only). */
+    void beginCycle(std::uint32_t cycle);
+    void endCycle();
+
+    std::size_t workers() const { return lanes_.size(); }
+
+    /** Task spans of @p worker, in recording order. */
+    const std::vector<RealSpan> &spans(std::size_t worker) const
+    {
+        return lanes_[worker % lanes_.size()].spans;
+    }
+
+    /** Cycle-level spans, in cycle order. */
+    const std::vector<RealSpan> &cycleSpans() const
+    {
+        return cycle_spans_;
+    }
+
+    void clear();
+
+  private:
+    struct alignas(64) Lane
+    {
+        std::vector<RealSpan> spans;
+    };
+
+    std::vector<Lane> lanes_;
+    std::vector<RealSpan> cycle_spans_;
+    RealSpan open_cycle_;
+    bool cycle_open_ = false;
+};
+
+/** One Chrome trace event ("ph":"X", complete event). */
+struct ChromeEvent
+{
+    std::string name;
+    std::string cat;
+    double ts_us = 0;  ///< start, microseconds
+    double dur_us = 0; ///< duration, microseconds
+    int pid = 1;
+    int tid = 0;
+    std::string args_json; ///< spliced verbatim as "args": {...}
+};
+
+/** Serialises @p events as a Perfetto-loadable JSON array. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<ChromeEvent> &events);
+
+/** writeChromeTrace() to @p path. @return false on I/O failure. */
+bool saveChromeTrace(const std::string &path,
+                     const std::vector<ChromeEvent> &events);
+
+/**
+ * Converts a real-span recording to Chrome events: one tid per
+ * worker, cycle spans on their own tid, all under @p pid. Node names
+ * come from the node kind and id ("join#12").
+ */
+std::vector<ChromeEvent> chromeEventsFromReal(const SpanRecorder &rec,
+                                              int pid = 1);
+
+/**
+ * Converts a simulated schedule to Chrome events under @p pid.
+ * Simulated time (cost-model instructions) is scaled by
+ * @p us_per_instr so real and simulated traces share a time axis;
+ * pass 1.0 to keep raw instruction units. Each span's tid is a dense
+ * processor lane within its cluster (derived greedily from span
+ * overlap, since the simulator reports only the cluster).
+ *
+ * Header-only template so psm_rete needs no dependency on the
+ * simulator; any SpanT with activation_id/start/end/cluster fields
+ * works (psm::sim::TaskSpan in practice).
+ */
+template <typename SpanT>
+std::vector<ChromeEvent>
+chromeEventsFromSim(const TraceRecorder &trace,
+                    const std::vector<SpanT> &spans, double us_per_instr,
+                    int pid = 2)
+{
+    // Map activation id -> record for naming (ids are 1-based and
+    // dense in practice, but don't rely on it).
+    std::vector<ChromeEvent> events;
+    events.reserve(spans.size());
+
+    // Greedy lane assignment per cluster: reuse the first lane whose
+    // previous span ended by our start.
+    struct Lane
+    {
+        int cluster;
+        double free_at;
+    };
+    std::vector<Lane> lanes;
+
+    // Spans ordered by start time for lane packing.
+    std::vector<const SpanT *> ordered;
+    ordered.reserve(spans.size());
+    for (const SpanT &s : spans)
+        ordered.push_back(&s);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const SpanT *a, const SpanT *b) {
+                  return a->start < b->start;
+              });
+
+    for (const SpanT *s : ordered) {
+        int lane = -1;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            if (lanes[i].cluster == s->cluster &&
+                lanes[i].free_at <= s->start + 1e-9) {
+                lane = static_cast<int>(i);
+                break;
+            }
+        }
+        if (lane < 0) {
+            lanes.push_back({s->cluster, 0.0});
+            lane = static_cast<int>(lanes.size()) - 1;
+        }
+        lanes[static_cast<std::size_t>(lane)].free_at = s->end;
+
+        const ActivationRecord *rec = nullptr;
+        if (s->activation_id >= 1 &&
+            s->activation_id <= trace.records().size()) {
+            const ActivationRecord &cand =
+                trace.records()[s->activation_id - 1];
+            if (cand.id == s->activation_id)
+                rec = &cand;
+        }
+        if (!rec) {
+            for (const ActivationRecord &cand : trace.records()) {
+                if (cand.id == s->activation_id) {
+                    rec = &cand;
+                    break;
+                }
+            }
+        }
+
+        ChromeEvent ev;
+        ev.cat = "sim";
+        ev.pid = pid;
+        ev.tid = lane;
+        ev.ts_us = s->start * us_per_instr;
+        ev.dur_us = (s->end - s->start) * us_per_instr;
+        if (rec) {
+            ev.name = std::string(nodeKindName(rec->kind)) + "#" +
+                      std::to_string(rec->node_id);
+            ev.args_json = "{\"activation\": " +
+                           std::to_string(rec->id) +
+                           ", \"cycle\": " + std::to_string(rec->cycle) +
+                           ", \"cluster\": " +
+                           std::to_string(s->cluster) + "}";
+        } else {
+            ev.name = "activation#" + std::to_string(s->activation_id);
+            ev.args_json =
+                "{\"cluster\": " + std::to_string(s->cluster) + "}";
+        }
+        events.push_back(std::move(ev));
+    }
+    return events;
+}
+
+} // namespace psm::rete
+
+#endif // PSM_RETE_TRACE_EXPORT_HPP
