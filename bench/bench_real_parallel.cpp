@@ -134,16 +134,40 @@ BM_ProductionParallel(benchmark::State &state)
     });
 }
 
+/**
+ * One row per SchedulerKind so the --json output lets CI (and the
+ * EXPERIMENTS.md backend comparison) tell the dispatchers apart, and
+ * so the TSan bench run exercises all three task-pool backends.
+ */
 void
-BM_ParallelRete(benchmark::State &state)
+parallelReteBench(benchmark::State &state, core::SchedulerKind kind)
 {
     std::size_t workers = static_cast<std::size_t>(state.range(0));
-    runBatches(state, [workers] {
+    runBatches(state, [workers, kind] {
         core::ParallelOptions opt;
         opt.n_workers = workers;
+        opt.scheduler = kind;
         return std::make_unique<core::ParallelReteMatcher>(
             Workload::instance().program, opt);
     });
+}
+
+void
+BM_ParallelReteCentral(benchmark::State &state)
+{
+    parallelReteBench(state, core::SchedulerKind::Central);
+}
+
+void
+BM_ParallelReteStealing(benchmark::State &state)
+{
+    parallelReteBench(state, core::SchedulerKind::Stealing);
+}
+
+void
+BM_ParallelReteLockFree(benchmark::State &state)
+{
+    parallelReteBench(state, core::SchedulerKind::LockFree);
 }
 
 } // namespace
@@ -156,8 +180,15 @@ BENCHMARK(BM_ProductionParallel)
     ->Arg(0)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ParallelRete)
+BENCHMARK(BM_ParallelReteCentral)
     ->Arg(0)
+    ->Arg(1)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelReteStealing)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelReteLockFree)
     ->Arg(1)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);

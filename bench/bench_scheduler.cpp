@@ -5,8 +5,15 @@
  * scheduler exists to remove.
  *
  * Microbenches: raw push/pop throughput of the central locked queue
- * vs the work-stealing pool, single-threaded and contended; plus the
- * full parallel matcher under each scheduler.
+ * vs the mutex work-stealing pool vs the lock-free Chase-Lev pool,
+ * single-threaded and contended; a threaded dispatch bench that runs
+ * one owner per lane at 1..8 threads (the software analogue of the
+ * paper's scheduler-port count); plus the full parallel matcher under
+ * each scheduler.
+ *
+ * Row names deliberately contain "Central", "Stealing", or "LockFree"
+ * so check_bench_json.py --require-rows can assert every backend was
+ * measured.
  */
 
 #include <benchmark/benchmark.h>
@@ -42,6 +49,21 @@ void
 BM_StealingPoolPushPop(benchmark::State &state)
 {
     core::StealingTaskPool<int> pool(4);
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            pool.push(i, 0);
+        for (int i = 0; i < 64; ++i)
+            benchmark::DoNotOptimize(pool.tryPop(0));
+    }
+    state.counters["tasks_per_sec"] = benchmark::Counter(
+        64.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_LockFreePoolPushPop(benchmark::State &state)
+{
+    core::LockFreeTaskPool<int> pool(4);
     for (auto _ : state) {
         for (int i = 0; i < 64; ++i)
             pool.push(i, 0);
@@ -103,6 +125,90 @@ BM_StealingPoolContended(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 
+void
+BM_LockFreePoolContended(benchmark::State &state)
+{
+    // Same shape as the stealing-pool contended bench, but each
+    // thread owns its own Chase-Lev lane (owner-only push contract).
+    core::LockFreeTaskPool<int> pool(2);
+    std::atomic<bool> stop{false};
+    std::thread other([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            pool.push(1, 1);
+            benchmark::DoNotOptimize(pool.tryPop(1));
+        }
+    });
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            pool.push(i, 0);
+            benchmark::DoNotOptimize(pool.tryPop(0));
+        }
+    }
+    stop = true;
+    other.join();
+    state.counters["tasks_per_sec"] = benchmark::Counter(
+        64.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+/**
+ * Dispatch overhead at N concurrent workers: every benchmark thread
+ * owns one lane, pushes a burst of 64 tasks and then drains whatever
+ * it can reach (own lane + steals) until the pool looks empty. This
+ * is the software analogue of hammering the PSM scheduler ports: the
+ * measured time is pure dispatch, no match work.
+ *
+ * The pools are function-local statics sized for the largest thread
+ * count, so all ->Threads(N) variants share one instance and magic
+ * statics give us the cross-thread construction barrier gbench lacks.
+ */
+constexpr std::size_t kDispatchLanes = 8;
+
+/** Adapts CentralTaskQueue to the pool push/tryPop(worker) shape. */
+struct CentralDispatchAdapter
+{
+    core::CentralTaskQueue<int> q;
+    void push(int v, std::size_t) { q.push(v); }
+    std::optional<int> tryPop(std::size_t) { return q.tryPop(); }
+};
+
+template <typename Pool>
+void
+dispatchThreaded(benchmark::State &state, Pool &pool)
+{
+    const auto me = static_cast<std::size_t>(state.thread_index());
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            pool.push(i, me);
+        while (pool.tryPop(me).has_value()) {
+        }
+    }
+    state.counters["tasks_per_sec"] = benchmark::Counter(
+        64.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_DispatchCentral(benchmark::State &state)
+{
+    static CentralDispatchAdapter pool;
+    dispatchThreaded(state, pool);
+}
+
+void
+BM_DispatchStealing(benchmark::State &state)
+{
+    static core::StealingTaskPool<int> pool(kDispatchLanes);
+    dispatchThreaded(state, pool);
+}
+
+void
+BM_DispatchLockFree(benchmark::State &state)
+{
+    static core::LockFreeTaskPool<int> pool(kDispatchLanes);
+    dispatchThreaded(state, pool);
+}
+
 /** Full matcher under each scheduler kind. */
 void
 matcherBench(benchmark::State &state, core::SchedulerKind kind,
@@ -152,14 +258,27 @@ BM_MatcherStealing(benchmark::State &state)
                  static_cast<std::size_t>(state.range(0)));
 }
 
+void
+BM_MatcherLockFree(benchmark::State &state)
+{
+    matcherBench(state, core::SchedulerKind::LockFree,
+                 static_cast<std::size_t>(state.range(0)));
+}
+
 } // namespace
 
 BENCHMARK(BM_CentralQueuePushPop);
 BENCHMARK(BM_StealingPoolPushPop);
+BENCHMARK(BM_LockFreePoolPushPop);
 BENCHMARK(BM_CentralQueueContended);
 BENCHMARK(BM_StealingPoolContended);
+BENCHMARK(BM_LockFreePoolContended);
+BENCHMARK(BM_DispatchCentral)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+BENCHMARK(BM_DispatchStealing)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+BENCHMARK(BM_DispatchLockFree)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
 BENCHMARK(BM_MatcherCentral)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatcherStealing)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatcherLockFree)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
 
 int
 main(int argc, char **argv)

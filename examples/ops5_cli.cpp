@@ -7,6 +7,8 @@
  * Options:
  *     --matcher rete|treat|naive|fullstate|parallel   (default rete)
  *     --workers N          worker threads for --matcher parallel
+ *     --scheduler K        task scheduler for --matcher parallel:
+ *                          central | stealing | lockfree
  *     --max-cycles N       firing limit (default 10000)
  *     --trace FILE         save the activation trace (rete only;
  *                          other matchers are an error)
@@ -51,9 +53,10 @@ usage(const char *argv0)
     std::cerr << "usage: " << argv0
               << " <program.ops> [--matcher rete|treat|naive|fullstate|"
                  "parallel] [--workers N]\n"
-                 "       [--max-cycles N] [--trace FILE] "
-                 "[--metrics FILE] [--chrome-trace FILE]\n"
-                 "       [--stats] [--validate] [--quiet]\n";
+                 "       [--scheduler central|stealing|lockfree] "
+                 "[--max-cycles N] [--trace FILE]\n"
+                 "       [--metrics FILE] [--chrome-trace FILE] "
+                 "[--stats] [--validate] [--quiet]\n";
     return 1;
 }
 
@@ -70,6 +73,8 @@ main(int argc, char **argv)
     std::string trace_path, metrics_path, chrome_trace_path;
     std::uint64_t max_cycles = 10000;
     std::size_t workers = 0;
+    psm::core::SchedulerKind scheduler =
+        psm::core::SchedulerKind::Central;
     bool stats = false, quiet = false, validate = false;
 
     for (int i = 2; i < argc; ++i) {
@@ -87,6 +92,21 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             workers = std::strtoul(v, nullptr, 10);
+        } else if (arg == "--scheduler") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            if (std::strcmp(v, "central") == 0) {
+                scheduler = psm::core::SchedulerKind::Central;
+            } else if (std::strcmp(v, "stealing") == 0) {
+                scheduler = psm::core::SchedulerKind::Stealing;
+            } else if (std::strcmp(v, "lockfree") == 0) {
+                scheduler = psm::core::SchedulerKind::LockFree;
+            } else {
+                std::cerr << "error: --scheduler needs central, "
+                             "stealing, or lockfree\n";
+                return 2;
+            }
         } else if (arg == "--max-cycles") {
             const char *v = next();
             if (!v)
@@ -171,6 +191,7 @@ main(int argc, char **argv)
         } else if (matcher_name == "parallel") {
             psm::core::ParallelOptions opt;
             opt.n_workers = workers;
+            opt.scheduler = scheduler;
             // Redundant ownership checking is cheap next to a CLI run.
             opt.access_check = true;
             auto m = std::make_unique<psm::core::ParallelReteMatcher>(

@@ -10,6 +10,9 @@
  *     --mips X             per-processor MIPS (default 2.0)
  *     --software-queues N  software scheduler with N queues
  *                          (default: hardware scheduler)
+ *     --scheduler K        scheduler model: hardware | software |
+ *                          lockfree (lock-free software deques:
+ *                          constant dispatch cost, no serialisation)
  *     --clusters N         hierarchical clusters (default 1)
  *     --latency X          inter-cluster latency, instructions
  *     --sweep              sweep processors 1..64 instead
@@ -28,6 +31,7 @@
  */
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,12 +51,24 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <trace-file> [--procs N] [--mips X] "
                  "[--software-queues N]\n"
+                 "       [--scheduler hardware|software|lockfree]\n"
                  "       [--clusters N] [--latency X] [--sweep] "
                  "[--merge K] [--spans FILE]\n"
                  "       [--chrome-trace FILE] [--json FILE] "
                  "[--profile [N]]\n",
                  argv0);
     return 1;
+}
+
+const char *
+schedulerName(psm::sim::SchedulerModel m)
+{
+    switch (m) {
+      case psm::sim::SchedulerModel::Hardware: return "hardware";
+      case psm::sim::SchedulerModel::Software: return "software";
+      case psm::sim::SchedulerModel::LockFree: return "lockfree";
+    }
+    return "unknown";
 }
 
 /** Minimal JSON string escape (paths can contain quotes). */
@@ -89,10 +105,8 @@ writeJsonFile(const std::string &path, const std::string &trace_path,
     out << "{\n  \"bench\": \"psm_sim_cli\",\n  \"config\": {"
         << "\"trace\": " << jsonQuote(trace_path)
         << ", \"procs\": " << machine.n_processors
-        << ", \"mips\": " << machine.mips << ", \"scheduler\": "
-        << (machine.scheduler == psm::sim::SchedulerModel::Hardware
-                ? "\"hardware\""
-                : "\"software\"")
+        << ", \"mips\": " << machine.mips << ", \"scheduler\": \""
+        << schedulerName(machine.scheduler) << '"'
         << ", \"software_queues\": " << machine.n_software_queues
         << ", \"clusters\": " << machine.n_clusters
         << ", \"latency_instr\": " << machine.inter_cluster_latency_instr
@@ -184,10 +198,41 @@ main(int argc, char **argv)
             chrome_path = argv[++i];
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--scheduler" && i + 1 < argc) {
+            std::string kind = argv[++i];
+            if (kind == "hardware") {
+                machine.scheduler = psm::sim::SchedulerModel::Hardware;
+            } else if (kind == "software") {
+                machine.scheduler = psm::sim::SchedulerModel::Software;
+            } else if (kind == "lockfree") {
+                machine.scheduler = psm::sim::SchedulerModel::LockFree;
+            } else {
+                std::fprintf(stderr,
+                             "error: --scheduler needs hardware, "
+                             "software, or lockfree\n");
+                return 2;
+            }
         } else if (arg == "--profile") {
             profile_buckets = 64;
-            if (i + 1 < argc && argv[i + 1][0] != '-')
-                profile_buckets = std::atoi(argv[++i]);
+            // A bucket-count operand is anything that does not look
+            // like the next flag; "-3" is a (bad) count, not a flag.
+            if (i + 1 < argc &&
+                (argv[i + 1][0] != '-' ||
+                 std::isdigit(
+                     static_cast<unsigned char>(argv[i + 1][1])))) {
+                // Validated parse: 0, negative, or trailing garbage
+                // used to be silently accepted via atoi.
+                char *end = nullptr;
+                long v_long = std::strtol(argv[++i], &end, 10);
+                if (end == nullptr || *end != '\0' || v_long <= 0 ||
+                    v_long > 1000000) {
+                    std::fprintf(stderr,
+                                 "error: --profile needs a positive "
+                                 "integer bucket count\n");
+                    std::exit(2);
+                }
+                profile_buckets = static_cast<int>(v_long);
+            }
         } else if (arg == "--sweep") {
             sweep = true;
         } else {
@@ -226,10 +271,7 @@ main(int argc, char **argv)
             std::printf("machine: %d procs x %.1f MIPS, %s scheduler, "
                         "%d cluster(s)\n",
                         machine.n_processors, machine.mips,
-                        machine.scheduler ==
-                                psm::sim::SchedulerModel::Hardware
-                            ? "hardware"
-                            : "software",
+                        schedulerName(machine.scheduler),
                         machine.n_clusters);
             bool want_spans = !spans_path.empty() ||
                               !chrome_path.empty() ||

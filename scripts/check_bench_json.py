@@ -12,6 +12,10 @@ Two modes:
         Each file must be a Chrome-trace-event array of complete
         ("ph": "X") events with numeric ts/dur and integer pid/tid.
 
+With --require-rows SUBSTR[,SUBSTR...] (bench mode only), every
+listed substring must appear in at least one row's "name" in each
+file — used by CI to prove every scheduler backend produced a row.
+
 Exits non-zero (with a per-file message) on the first violation, so CI
 fails loudly when a binary silently changes its output shape.
 """
@@ -38,7 +42,7 @@ def check_fields(path, where, obj):
                        f"{type(value).__name__}")
 
 
-def check_bench(path, doc):
+def check_bench(path, doc, require_rows=()):
     for key in ("bench", "config", "rows", "metrics"):
         if key not in doc:
             fail(path, f"missing top-level key {key!r}")
@@ -50,6 +54,12 @@ def check_bench(path, doc):
         fail(path, '"rows" must be an array')
     for i, row in enumerate(doc["rows"]):
         check_fields(path, f"rows[{i}]", row)
+    names = [row.get("name", "") for row in doc["rows"]
+             if isinstance(row.get("name"), str)]
+    for want in require_rows:
+        if not any(want in name for name in names):
+            fail(path, f"no row name contains {want!r} "
+                       f"(--require-rows); got {len(names)} rows")
     print(f"{path}: ok ({doc['bench']}, {len(doc['rows'])} rows, "
           f"{len(doc['metrics'])} metrics)")
 
@@ -76,21 +86,35 @@ def check_chrome(path, doc):
 
 def main(argv):
     chrome = False
+    require_rows = []
     paths = []
-    for arg in argv[1:]:
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
         if arg == "--chrome":
             chrome = True
+        elif arg == "--require-rows":
+            if not args:
+                fail("usage", "--require-rows needs a comma-separated "
+                              "list of substrings")
+            require_rows = [s for s in args.pop(0).split(",") if s]
         else:
             paths.append(arg)
     if not paths:
-        fail("usage", "check_bench_json.py [--chrome] <file.json> ...")
+        fail("usage", "check_bench_json.py [--chrome] "
+                      "[--require-rows A,B,...] <file.json> ...")
+    if chrome and require_rows:
+        fail("usage", "--require-rows only applies to bench mode")
     for path in paths:
         try:
             with open(path) as f:
                 doc = json.load(f)
         except (OSError, json.JSONDecodeError) as e:
             fail(path, str(e))
-        (check_chrome if chrome else check_bench)(path, doc)
+        if chrome:
+            check_chrome(path, doc)
+        else:
+            check_bench(path, doc, require_rows)
 
 
 if __name__ == "__main__":

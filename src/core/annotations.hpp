@@ -22,6 +22,7 @@
 #ifndef PSM_CORE_ANNOTATIONS_HPP
 #define PSM_CORE_ANNOTATIONS_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -132,6 +133,17 @@ class CondVarAny
 {
   public:
     void wait(Mutex &m) PSM_REQUIRES(m) { cv_.wait(m); }
+
+    /** Timed wait, used by the matchers' adaptive idle protocol as a
+     *  backstop against the (deliberately cheap, fence-free) sleeper
+     *  check on the spawn path losing a wakeup. */
+    template <class Rep, class Period>
+    std::cv_status
+    wait_for(Mutex &m,
+             const std::chrono::duration<Rep, Period> &d) PSM_REQUIRES(m)
+    {
+        return cv_.wait_for(m, d);
+    }
 
     void notify_one() noexcept { cv_.notify_one(); }
     void notify_all() noexcept { cv_.notify_all(); }

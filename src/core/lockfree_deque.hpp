@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Chase–Lev lock-free work-stealing deque — the software stand-in for
+ * the paper's hardware task scheduler.
+ *
+ * Section 5.2 argues that dispatch must cost about one bus cycle or
+ * scheduling serialises the 50–100-instruction node activations; a
+ * mutex-protected queue serialises exactly that way. The Chase–Lev
+ * deque (Chase & Lev, SPAA 2005) removes the serialisation: the owner
+ * pushes and takes at the bottom with plain loads/stores plus one
+ * fence, and thieves contend only on a single CAS at the top, so an
+ * uncontended dispatch is a handful of instructions — the closest a
+ * software queue gets to the one-cycle hardware dispatcher.
+ *
+ * Memory orderings follow Lê, Pop, Cohen & Zappa Nardelli, "Correct
+ * and Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013):
+ *
+ *  - push: release fence before publishing the new bottom, so a thief
+ *    that observes the index also observes the slot (and anything the
+ *    owner wrote before pushing, e.g. the pointee of a Task*);
+ *  - take: decrement bottom, then a seq_cst fence before reading top —
+ *    the Dekker-style store/load ordering that decides the race for
+ *    the last element; the loser's CAS on top fails;
+ *  - steal: acquire top, seq_cst fence, acquire bottom, then a seq_cst
+ *    CAS on top claims the element. A failed CAS means another thief
+ *    (or the owner's take) won the race for that slot — reported as
+ *    PopResult::Race so callers can count Counter::StealRaces.
+ *
+ * The ring grows by doubling when full (owner-only). Old rings are
+ * retired, not freed: a thief may still hold a pointer to a stale
+ * ring, so reclamation is deferred to deque destruction ("deferred
+ * reclamation" — the rings are small and doubling makes the total
+ * retired memory at most the size of the live ring).
+ *
+ * TSan note: TSan does not model standalone fences, so the fence-based
+ * orderings above would produce false positives on the slot handoff.
+ * Under TSan every relaxed access here is promoted to seq_cst (see
+ * kRelaxedMo), which makes the synchronisation visible to the tool
+ * without changing the algorithm.
+ */
+
+#ifndef PSM_CORE_LOCKFREE_DEQUE_HPP
+#define PSM_CORE_LOCKFREE_DEQUE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#if defined(__SANITIZE_THREAD__)
+#define PSM_LFD_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PSM_LFD_TSAN 1
+#endif
+#endif
+#ifndef PSM_LFD_TSAN
+#define PSM_LFD_TSAN 0
+#endif
+
+namespace psm::core {
+
+/** Outcome of a take() or steal(). */
+enum class PopResult : std::uint8_t {
+    Item,  ///< out parameter holds the element
+    Empty, ///< deque observed empty
+    Race,  ///< lost the top CAS to a concurrent take/steal
+};
+
+namespace detail {
+
+/** Relaxed in production; seq_cst under TSan, which does not model
+ *  the standalone fences the relaxed accesses pair with. */
+#if PSM_LFD_TSAN
+inline constexpr std::memory_order kRelaxedMo = std::memory_order_seq_cst;
+#else
+inline constexpr std::memory_order kRelaxedMo = std::memory_order_relaxed;
+#endif
+
+} // namespace detail
+
+/**
+ * The deque proper. Single owner, many thieves:
+ *
+ *  - push()/take() may be called ONLY by the owning thread;
+ *  - steal() may be called by any thread;
+ *  - sizeApprox() is a racy estimate, safe from any thread.
+ *
+ * T must be trivially copyable and lock-free as std::atomic<T>
+ * (pointers and small scalars) — elements live in atomic slots so the
+ * owner's overwrite of a recycled slot never races a thief's read.
+ */
+template <typename T>
+class ChaseLevDeque
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ChaseLevDeque elements live in atomic slots");
+    static_assert(std::atomic<T>::is_always_lock_free,
+                  "ChaseLevDeque requires lock-free atomic slots");
+
+  public:
+    explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+    {
+        std::size_t cap = 2;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        rings_.push_back(std::make_unique<Ring>(cap));
+        ring_.store(rings_.back().get(), std::memory_order_relaxed);
+    }
+
+    ChaseLevDeque(const ChaseLevDeque &) = delete;
+    ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+    /** Owner only: append at the bottom. */
+    void
+    push(T value)
+    {
+        std::int64_t b = bottom_.load(detail::kRelaxedMo);
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        Ring *ring = ring_.load(detail::kRelaxedMo);
+        if (b - t >= static_cast<std::int64_t>(ring->capacity))
+            ring = grow(ring, t, b);
+        ring->put(b, value);
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, detail::kRelaxedMo);
+    }
+
+    /** Owner only: LIFO pop from the bottom. */
+    PopResult
+    take(T &out)
+    {
+        std::int64_t b = bottom_.load(detail::kRelaxedMo) - 1;
+        Ring *ring = ring_.load(detail::kRelaxedMo);
+        bottom_.store(b, detail::kRelaxedMo);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(detail::kRelaxedMo);
+        if (t > b) {
+            // Already empty: restore bottom.
+            bottom_.store(b + 1, detail::kRelaxedMo);
+            return PopResult::Empty;
+        }
+        out = ring->get(b);
+        if (t == b) {
+            // Last element: race thieves via CAS on top.
+            PopResult r = PopResult::Item;
+            if (!top_.compare_exchange_strong(t, t + 1,
+                                              std::memory_order_seq_cst,
+                                              detail::kRelaxedMo))
+                r = PopResult::Race; // a thief got it
+            bottom_.store(b + 1, detail::kRelaxedMo);
+            return r;
+        }
+        return PopResult::Item;
+    }
+
+    /** Any thread: FIFO steal from the top. */
+    PopResult
+    steal(T &out)
+    {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b)
+            return PopResult::Empty;
+        Ring *ring = ring_.load(std::memory_order_acquire);
+        out = ring->get(t);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          detail::kRelaxedMo))
+            return PopResult::Race; // another thief / the owner won
+        return PopResult::Item;
+    }
+
+    /** Racy size estimate (never negative). */
+    std::size_t
+    sizeApprox() const
+    {
+        std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+    /** Current ring capacity (grows on demand; for tests). */
+    std::size_t
+    capacity() const
+    {
+        return ring_.load(std::memory_order_acquire)->capacity;
+    }
+
+  private:
+    /** Power-of-two circular array of atomic slots. */
+    struct Ring
+    {
+        explicit Ring(std::size_t cap)
+            : capacity(cap), mask(cap - 1),
+              slots(std::make_unique<std::atomic<T>[]>(cap))
+        {}
+
+        T
+        get(std::int64_t i) const
+        {
+            return slots[static_cast<std::size_t>(i) & mask].load(
+                detail::kRelaxedMo);
+        }
+
+        void
+        put(std::int64_t i, T v)
+        {
+            slots[static_cast<std::size_t>(i) & mask].store(
+                v, detail::kRelaxedMo);
+        }
+
+        std::size_t capacity;
+        std::size_t mask;
+        std::unique_ptr<std::atomic<T>[]> slots;
+    };
+
+    /** Owner only: double the ring, copying the live range [t, b). */
+    Ring *
+    grow(Ring *old, std::int64_t t, std::int64_t b)
+    {
+        auto bigger = std::make_unique<Ring>(old->capacity * 2);
+        for (std::int64_t i = t; i < b; ++i)
+            bigger->put(i, old->get(i));
+        Ring *raw = bigger.get();
+        // The old ring stays in rings_ until destruction: a concurrent
+        // thief may have loaded its pointer before this store.
+        rings_.push_back(std::move(bigger));
+        ring_.store(raw, std::memory_order_release);
+        return raw;
+    }
+
+    // top_ and bottom_ on separate cache lines: thieves hammer top_,
+    // the owner hammers bottom_.
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Ring *> ring_{nullptr};
+
+    /** All rings ever allocated, owner-mutated only (deferred
+     *  reclamation: freed when the deque dies). */
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_LOCKFREE_DEQUE_HPP

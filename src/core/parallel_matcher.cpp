@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 namespace psm::core {
@@ -48,6 +49,9 @@ ParallelReteMatcher::ParallelReteMatcher(
     if (options_.scheduler == SchedulerKind::Stealing)
         stealing_ = std::make_unique<StealingTaskPool<PTask>>(
             options_.n_workers + 1);
+    else if (options_.scheduler == SchedulerKind::LockFree)
+        lockfree_ = std::make_unique<LockFreeTaskPool<PTask>>(
+            options_.n_workers + 1);
     if (options_.access_check)
         checker_ =
             std::make_unique<DebugAccessChecker>(network_->nodes().size());
@@ -71,9 +75,12 @@ ParallelReteMatcher::~ParallelReteMatcher()
 std::string
 ParallelReteMatcher::name() const
 {
-    return options_.scheduler == SchedulerKind::Central
-               ? "rete-parallel-central"
-               : "rete-parallel-stealing";
+    switch (options_.scheduler) {
+      case SchedulerKind::Central: return "rete-parallel-central";
+      case SchedulerKind::Stealing: return "rete-parallel-stealing";
+      case SchedulerKind::LockFree: return "rete-parallel-lockfree";
+    }
+    return "rete-parallel";
 }
 
 MatchStats
@@ -95,6 +102,8 @@ ParallelReteMatcher::enableTelemetry()
         central_.attachTelemetry(tel_owned_.get());
         if (stealing_)
             stealing_->attachTelemetry(tel_owned_.get());
+        if (lockfree_)
+            lockfree_->attachTelemetry(tel_owned_.get());
         tel_.store(tel_owned_.get(), std::memory_order_release);
     }
     return tel_owned_.get();
@@ -107,18 +116,29 @@ ParallelReteMatcher::spawn(PTask task, std::size_t worker,
     pending_.fetch_add(1, std::memory_order_relaxed);
     if (t)
         t->count(worker, telemetry::Counter::TasksSpawned);
-    if (stealing_)
+    if (lockfree_)
+        lockfree_->push(std::move(task), worker);
+    else if (stealing_)
         stealing_->push(std::move(task), worker);
     else
         central_.push(std::move(task), worker);
+    // Wake a mid-batch parked worker. The relaxed check keeps the
+    // spawn hot path fence-free; a wakeup lost to the resulting race
+    // is bounded by the parker's wait_for backstop.
+    if (idle_waiters_.load(std::memory_order_relaxed) > 0) {
+        MutexLock lock(idle_mutex_);
+        ++work_gen_;
+        idle_cv_.notify_all();
+    }
 }
 
 bool
 ParallelReteMatcher::tryRunOne(std::size_t worker,
                                telemetry::Registry *t)
 {
-    std::optional<PTask> task = stealing_ ? stealing_->tryPop(worker)
-                                          : central_.tryPop(worker);
+    std::optional<PTask> task = lockfree_ ? lockfree_->tryPop(worker)
+                                : stealing_ ? stealing_->tryPop(worker)
+                                            : central_.tryPop(worker);
     if (!task)
         return false;
     if (spans_) {
@@ -136,25 +156,78 @@ ParallelReteMatcher::tryRunOne(std::size_t worker,
     }
     // Release order so the submitter's pending_ == 0 read observes
     // every side effect of the batch.
-    pending_.fetch_sub(1, std::memory_order_release);
+    if (pending_.fetch_sub(1, std::memory_order_release) == 1 &&
+        idle_waiters_.load(std::memory_order_relaxed) > 0) {
+        // Batch drained with someone parked mid-batch (usually the
+        // submitter waiting on the completion barrier): wake them.
+        MutexLock lock(idle_mutex_);
+        ++work_gen_;
+        idle_cv_.notify_all();
+    }
     return true;
+}
+
+bool
+ParallelReteMatcher::midBatchPark(std::size_t worker,
+                                  telemetry::Registry *t,
+                                  std::uint64_t &seen_work,
+                                  std::uint32_t misses)
+{
+    idle_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // Recheck after announcing ourselves: a task spawned before the
+    // increment produced no wakeup, so it must be found here (or by
+    // the wait_for backstop below).
+    if (tryRunOne(worker, t)) {
+        idle_waiters_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+    std::uint64_t park_start = t ? rete::spanClockNanos() : 0;
+    idle_mutex_.lock();
+    if (!stop_.load(std::memory_order_relaxed) &&
+        work_gen_ == seen_work &&
+        pending_.load(std::memory_order_acquire) > 0) {
+        idle_cv_.wait_for(idle_mutex_, std::chrono::microseconds(200));
+    }
+    seen_work = work_gen_;
+    idle_mutex_.unlock();
+    idle_waiters_.fetch_sub(1, std::memory_order_relaxed);
+    if (t) {
+        t->count(worker, telemetry::Counter::WorkerParks);
+        t->observe(worker, telemetry::Histogram::SpinsBeforePark,
+                   misses);
+        t->observe(worker, telemetry::Histogram::ParkNanos,
+                   rete::spanClockNanos() - park_start);
+    }
+    return false;
 }
 
 void
 ParallelReteMatcher::workerLoop(std::size_t worker)
 {
     std::uint64_t seen_gen = 0;
+    std::uint64_t seen_work = 0;
+    IdleBackoff backoff;
     while (!stop_.load(std::memory_order_relaxed)) {
         telemetry::Registry *t = tel();
-        if (tryRunOne(worker, t))
-            continue;
-        if (pending_.load(std::memory_order_acquire) > 0) {
-            // Batch active but queue momentarily empty: spin politely.
-            if (t)
-                t->count(worker, telemetry::Counter::IdleSpins);
-            std::this_thread::yield();
+        if (tryRunOne(worker, t)) {
+            backoff.reset();
             continue;
         }
+        if (pending_.load(std::memory_order_acquire) > 0) {
+            // Batch active but queue momentarily empty: adaptive idle
+            // — bounded spin, then yield, then park until new work is
+            // spawned or the batch drains.
+            if (t)
+                t->count(worker, telemetry::Counter::IdleSpins);
+            if (!backoff.exhausted()) {
+                backoff.step();
+                continue;
+            }
+            midBatchPark(worker, t, seen_work, backoff.misses());
+            backoff.reset();
+            continue;
+        }
+        backoff.reset();
         // No batch in flight: park until the next one (or shutdown).
         // Explicit wait loop (not the predicate-lambda form) so the
         // thread-safety analysis sees every batch_gen_ access happen
@@ -214,7 +287,7 @@ ParallelReteMatcher::processChanges(
         // One affected-production epoch per *batch*: unlike the serial
         // matcher the changes run concurrently, so per-change
         // attribution is not observable here (documented in
-        // ARCHITECTURE.md §7).
+        // ARCHITECTURE.md §8).
         t->beginEpoch();
     }
     if (spans_)
@@ -247,10 +320,24 @@ ParallelReteMatcher::processChanges(
     }
 
     // The submitter works too; this also makes n_workers == 0 a fully
-    // functional (serial) configuration.
+    // functional (serial) configuration. When its queues run dry but
+    // stragglers are still executing, it follows the same adaptive
+    // idle protocol as the workers instead of spin-yielding: the
+    // worker that drains pending_ to zero wakes it.
+    IdleBackoff backoff;
     while (pending_.load(std::memory_order_acquire) > 0) {
-        if (!tryRunOne(0, t))
-            std::this_thread::yield();
+        if (tryRunOne(0, t)) {
+            backoff.reset();
+            continue;
+        }
+        if (t)
+            t->count(0, telemetry::Counter::IdleSpins);
+        if (!backoff.exhausted()) {
+            backoff.step();
+            continue;
+        }
+        midBatchPark(0, t, submitter_seen_work_, backoff.misses());
+        backoff.reset();
     }
 
     // Cycle barrier: drop tombstones left by conjugate races. The

@@ -144,6 +144,18 @@ class ParallelReteMatcher : public Matcher
     };
 
     void workerLoop(std::size_t worker);
+
+    /**
+     * One adaptive-idle park while a batch is live: announce via
+     * idle_waiters_, recheck the queues once, then a timed wait on
+     * idle_cv_ until new work is spawned (work_gen_ advances), the
+     * batch ends, or the backstop timeout fires. @p seen_work is the
+     * caller-local last-observed work_gen_; @p misses feeds the
+     * SpinsBeforePark histogram. Returns true if the recheck ran a
+     * task instead of parking.
+     */
+    bool midBatchPark(std::size_t worker, telemetry::Registry *t,
+                      std::uint64_t &seen_work, std::uint32_t misses);
     // The task path takes the telemetry registry as a parameter: it
     // is loaded from tel_ once per worker-loop iteration (and once
     // per processChanges call) rather than at every call site, so the
@@ -174,6 +186,7 @@ class ParallelReteMatcher : public Matcher
 
     CentralTaskQueue<PTask> central_;
     std::unique_ptr<StealingTaskPool<PTask>> stealing_;
+    std::unique_ptr<LockFreeTaskPool<PTask>> lockfree_;
     std::unique_ptr<DebugAccessChecker> checker_;
 
     // Telemetry: the owned registry is published through an atomic
@@ -207,13 +220,20 @@ class ParallelReteMatcher : public Matcher
     std::atomic<long> pending_{0};
     std::atomic<std::uint64_t> tombstone_events_{0};
 
-    // Idle/wake protocol: workers park on idle_cv_ between batches;
-    // batch_gen_ is only ever touched with idle_mutex_ held (checked
-    // by -Wthread-safety), stop_ stays atomic because workerLoop also
-    // polls it outside the lock.
+    // Idle/wake protocol: workers park on idle_cv_ between batches
+    // (batch_gen_) and, after the IdleBackoff budget, during a live
+    // batch (work_gen_, advanced by spawn/batch-completion when
+    // idle_waiters_ says someone is parked). Both generation counters
+    // are only ever touched with idle_mutex_ held (checked by
+    // -Wthread-safety); stop_ and idle_waiters_ stay atomic because
+    // the hot paths poll them outside the lock.
     Mutex idle_mutex_;
     CondVarAny idle_cv_;
     std::uint64_t batch_gen_ PSM_GUARDED_BY(idle_mutex_) = 0;
+    std::uint64_t work_gen_ PSM_GUARDED_BY(idle_mutex_) = 0;
+    std::atomic<std::uint32_t> idle_waiters_{0};
+    /** Submitter-local last-seen work_gen_ (submitter thread only). */
+    std::uint64_t submitter_seen_work_ = 0;
 };
 
 } // namespace psm::core

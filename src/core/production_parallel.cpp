@@ -1,7 +1,9 @@
 #include "core/production_parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "core/task_queue.hpp"
 #include "rete/nodes.hpp"
 #include "rete/trace_export.hpp"
 
@@ -84,7 +86,15 @@ ProductionParallelMatcher::drainTasks(std::size_t worker)
                 t->nodeActivation(worker, static_cast<int>(prod),
                                   cost);
         }
-        remaining_.fetch_sub(1, std::memory_order_release);
+        if (remaining_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+            submitter_waiting_.load(std::memory_order_seq_cst)) {
+            // Last production of the batch and the submitter is (or
+            // is about to be) parked: wake it. Decrement and load are
+            // seq_cst so this pairs with the submitter's
+            // store-then-recheck (Dekker).
+            MutexLock lock(idle_mutex_);
+            idle_cv_.notify_all();
+        }
     }
 }
 
@@ -143,8 +153,35 @@ ProductionParallelMatcher::processChanges(
         idle_cv_.notify_all();
     }
     drainTasks(0);
-    while (remaining_.load(std::memory_order_acquire) > 0)
-        std::this_thread::yield();
+    // Completion barrier with the adaptive idle protocol: bounded
+    // spin, then bounded yields, then park until the worker that
+    // drains remaining_ to zero notifies (wait_for bounds the rare
+    // lost-wakeup race).
+    IdleBackoff backoff;
+    while (remaining_.load(std::memory_order_acquire) > 0) {
+        if (t)
+            t->count(0, telemetry::Counter::IdleSpins);
+        if (!backoff.exhausted()) {
+            backoff.step();
+            continue;
+        }
+        std::uint64_t park_start = t ? rete::spanClockNanos() : 0;
+        submitter_waiting_.store(true, std::memory_order_seq_cst);
+        idle_mutex_.lock();
+        if (remaining_.load(std::memory_order_seq_cst) > 0)
+            idle_cv_.wait_for(idle_mutex_,
+                              std::chrono::microseconds(200));
+        idle_mutex_.unlock();
+        submitter_waiting_.store(false, std::memory_order_relaxed);
+        if (t) {
+            t->count(0, telemetry::Counter::WorkerParks);
+            t->observe(0, telemetry::Histogram::SpinsBeforePark,
+                       backoff.misses());
+            t->observe(0, telemetry::Histogram::ParkNanos,
+                       rete::spanClockNanos() - park_start);
+        }
+        backoff.reset();
+    }
     if (t)
         t->endEpoch();
 }

@@ -140,6 +140,13 @@ class ProductionParallelMatcher : public Matcher
     Mutex idle_mutex_;
     CondVarAny idle_cv_;
     std::uint64_t batch_gen_ PSM_GUARDED_BY(idle_mutex_) = 0;
+
+    // Completion barrier: instead of spin-yielding on remaining_, the
+    // submitter announces itself here (seq_cst on both sides — the
+    // classic Dekker store/load pair with the worker's decrement) and
+    // parks on idle_cv_; the worker that drains remaining_ to zero
+    // notifies. A wait_for backstop bounds any residual lost-wakeup.
+    std::atomic<bool> submitter_waiting_{false};
 };
 
 } // namespace psm::core

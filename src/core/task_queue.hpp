@@ -6,16 +6,25 @@
  * 50-100-instruction tasks becomes the bottleneck unless a hardware
  * task scheduler (one bus cycle per dispatch) is used, and mentions
  * software task queues as the alternative under investigation. We
- * provide both ends of that axis for real-thread execution:
+ * provide three points on that axis for real-thread execution:
  *
  *  - CentralTaskQueue: one mutex-protected deque (the "multiple
  *    software task schedulers" degenerate case of a single queue);
- *  - StealingTaskPool: per-worker deques with randomized stealing,
- *    the closest software approximation of a non-serialising
- *    hardware dispatcher.
+ *  - StealingTaskPool: per-worker mutex-protected deques with
+ *    randomized stealing — serialisation only owner-vs-thief;
+ *  - LockFreeTaskPool: per-worker Chase–Lev deques (see
+ *    lockfree_deque.hpp) with randomized stealing — the closest
+ *    software approximation of the paper's non-serialising hardware
+ *    dispatcher: an uncontended dispatch is a few plain memory
+ *    operations plus one fence, no lock.
  *
- * Both are templates over the task type so the hot path stays free
- * of virtual dispatch and std::function allocation.
+ * Both stealing pools pick victims in xorshift-randomized order so
+ * concurrent thieves spread over victims instead of herding onto the
+ * same lane (a deterministic ring scan makes every idle worker probe
+ * worker+1 first, serialising them on one victim's lock/top CAS).
+ *
+ * All queues are templates over the task type so the hot path stays
+ * free of virtual dispatch and std::function allocation.
  */
 
 #ifndef PSM_CORE_TASK_QUEUE_HPP
@@ -27,9 +36,11 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "core/lockfree_deque.hpp"
 #include "core/telemetry.hpp"
 
 namespace psm::core {
@@ -37,7 +48,86 @@ namespace psm::core {
 /** Which scheduler structure a parallel matcher uses. */
 enum class SchedulerKind : std::uint8_t {
     Central,  ///< single locked queue
-    Stealing, ///< per-worker deques with work stealing
+    Stealing, ///< per-worker locked deques with work stealing
+    LockFree, ///< per-worker Chase–Lev deques with work stealing
+};
+
+namespace detail {
+
+/**
+ * Per-thread xorshift64* step, used to randomize victim order in the
+ * stealing pools. Thread-local (not per-lane) state: two threads may
+ * legally share a lane index (worker % lanes), so per-lane state
+ * would be a data race. Seeded per thread from a global counter via
+ * a splitmix64-style mix.
+ */
+inline std::uint64_t
+stealRand()
+{
+    static std::atomic<std::uint64_t> seeds{0x9e3779b97f4a7c15ull};
+    thread_local std::uint64_t state = [] {
+        std::uint64_t z =
+            seeds.fetch_add(0x9e3779b97f4a7c15ull,
+                            std::memory_order_relaxed);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return (z ^ (z >> 31)) | 1; // never zero
+    }();
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+}
+
+} // namespace detail
+
+/**
+ * Adaptive idle step for workers that found no task: a bounded spin
+ * (cpu-relax), then bounded yields, then the caller should park on a
+ * condition variable. Keeping the spin bounded is what lets the
+ * matchers replace their old unbounded spin-yield loops — on an
+ * oversubscribed host an unbounded yield loop burns a full scheduler
+ * quantum per idle worker per batch.
+ */
+class IdleBackoff
+{
+  public:
+    static constexpr std::uint32_t kSpins = 64;
+    static constexpr std::uint32_t kYields = 16;
+
+    /** True once spin and yield budgets are exhausted: park now. */
+    bool exhausted() const { return misses_ >= kSpins + kYields; }
+
+    /** Misses since the last reset (SpinsBeforePark histogram). */
+    std::uint32_t misses() const { return misses_; }
+
+    void reset() { misses_ = 0; }
+
+    /** One failed poll: spin politely or yield, per budget. */
+    void
+    step()
+    {
+        if (misses_ < kSpins)
+            cpuRelax();
+        else
+            std::this_thread::yield();
+        ++misses_;
+    }
+
+  private:
+    static void
+    cpuRelax()
+    {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield");
+#else
+        std::this_thread::yield();
+#endif
+    }
+
+    std::uint32_t misses_ = 0;
 };
 
 /**
@@ -98,8 +188,10 @@ class CentralTaskQueue
  * Per-worker deques with stealing.
  *
  * Owners push/pop the back of their own deque (LIFO for locality);
- * thieves take from the front of a victim chosen round-robin. Each
- * deque has its own mutex — contention is only owner-vs-thief.
+ * thieves take from the front of a victim, scanning all other lanes
+ * from an xorshift-randomized starting point (with two lanes there is
+ * only one victim, so the scan is deterministic). Each deque has its
+ * own mutex — contention is only owner-vs-thief.
  */
 template <typename Task>
 class StealingTaskPool
@@ -145,11 +237,18 @@ class StealingTaskPool
                 return t;
             }
         }
-        // Steal: front of the next non-empty victim.
-        if (tel_ && queues_.size() > 1)
+        // Steal: front of the first non-empty victim, visiting the
+        // other lanes in randomized order so concurrent thieves do
+        // not all converge on the same victim's mutex.
+        std::size_t n = queues_.size();
+        if (n <= 1)
+            return std::nullopt;
+        if (tel_)
             tel_->count(worker, telemetry::Counter::StealAttempts);
-        for (std::size_t i = 1; i < queues_.size(); ++i) {
-            Lane &victim = queues_[(worker + i) % queues_.size()];
+        std::size_t self = worker % n;
+        std::size_t start = n > 2 ? detail::stealRand() % (n - 1) : 0;
+        for (std::size_t i = 0; i < n - 1; ++i) {
+            Lane &victim = queues_[(self + 1 + (start + i) % (n - 1)) % n];
             MutexLock lock(victim.mutex);
             if (!victim.deque.empty()) {
                 Task t = std::move(victim.deque.front());
@@ -161,7 +260,7 @@ class StealingTaskPool
                 return t;
             }
         }
-        if (tel_ && queues_.size() > 1)
+        if (tel_)
             tel_->count(worker, telemetry::Counter::StealFailures);
         return std::nullopt;
     }
@@ -174,6 +273,156 @@ class StealingTaskPool
     };
 
     std::vector<Lane> queues_;
+    telemetry::Registry *tel_ = nullptr;
+};
+
+/**
+ * Per-worker Chase–Lev deques with randomized stealing: the lock-free
+ * backend behind SchedulerKind::LockFree.
+ *
+ * Ownership contract (stricter than StealingTaskPool!): lane w may be
+ * push()ed and take()n ONLY by the thread that owns worker index w —
+ * the Chase–Lev owner side is single-threaded. Thieves may steal from
+ * any lane. The matchers satisfy this by construction: worker w only
+ * ever pushes with its own index.
+ *
+ * Tasks whose type is small and trivially copyable (e.g. int in the
+ * scheduler microbenches) are stored inline in the atomic slots; all
+ * other task types are heap-boxed and the pointer is what travels
+ * through the deque. The destructor drains and frees leftovers.
+ */
+template <typename Task>
+class LockFreeTaskPool
+{
+    // Two-stage trait: std::atomic<Task> may not be instantiated at
+    // all for non-trivially-copyable Task, so the lock-free check
+    // must be short-circuited behind the copyability check.
+    template <typename T, bool = std::is_trivially_copyable_v<T>>
+    struct SlotEligible : std::false_type
+    {};
+    template <typename T>
+    struct SlotEligible<T, true>
+        : std::bool_constant<std::atomic<T>::is_always_lock_free>
+    {};
+
+    static constexpr bool kInline = SlotEligible<Task>::value;
+    using Slot = std::conditional_t<kInline, Task, Task *>;
+
+  public:
+    explicit LockFreeTaskPool(std::size_t n_workers)
+    {
+        std::size_t n = n_workers ? n_workers : 1;
+        lanes_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            lanes_.push_back(std::make_unique<Lane>());
+    }
+
+    ~LockFreeTaskPool()
+    {
+        for (auto &lane : lanes_) {
+            Slot s{};
+            while (lane->deque.take(s) == PopResult::Item)
+                if constexpr (!kInline)
+                    delete s;
+        }
+    }
+
+    LockFreeTaskPool(const LockFreeTaskPool &) = delete;
+    LockFreeTaskPool &operator=(const LockFreeTaskPool &) = delete;
+
+    std::size_t lanes() const { return lanes_.size(); }
+
+    /** Attaches a telemetry registry (nullptr detaches). Shard index
+     *  == the worker argument of push/tryPop. Call only while no
+     *  other thread is using the pool. */
+    void attachTelemetry(telemetry::Registry *reg) { tel_ = reg; }
+
+    /** Owner-only on lane (worker % lanes()): see class comment. */
+    void
+    push(Task task, std::size_t worker)
+    {
+        Lane &lane = *lanes_[worker % lanes_.size()];
+        if constexpr (kInline)
+            lane.deque.push(std::move(task));
+        else
+            lane.deque.push(new Task(std::move(task)));
+        if (tel_) {
+            tel_->count(worker, telemetry::Counter::QueuePushes);
+            tel_->observe(worker, telemetry::Histogram::QueueDepth,
+                          lane.deque.sizeApprox());
+        }
+    }
+
+    /**
+     * Owner take from the caller's lane (LIFO), else steal from the
+     * other lanes in xorshift-randomized order (FIFO per victim).
+     */
+    std::optional<Task>
+    tryPop(std::size_t worker)
+    {
+        std::size_t n = lanes_.size();
+        std::size_t self = worker % n;
+        Slot s{};
+        PopResult r = lanes_[self]->deque.take(s);
+        if (r == PopResult::Item) {
+            if (tel_)
+                tel_->count(worker, telemetry::Counter::QueuePops);
+            return unbox(s);
+        }
+        if (r == PopResult::Race && tel_) // lost our last task to a thief
+            tel_->count(worker, telemetry::Counter::StealRaces);
+        if (n <= 1)
+            return std::nullopt;
+        if (tel_)
+            tel_->count(worker, telemetry::Counter::StealAttempts);
+        std::size_t start = n > 2 ? detail::stealRand() % (n - 1) : 0;
+        for (std::size_t i = 0; i < n - 1; ++i) {
+            Lane &victim = *lanes_[(self + 1 + (start + i) % (n - 1)) % n];
+            for (;;) {
+                PopResult sr = victim.deque.steal(s);
+                if (sr == PopResult::Item) {
+                    if (tel_) {
+                        tel_->count(worker, telemetry::Counter::Steals);
+                        tel_->count(worker,
+                                    telemetry::Counter::QueuePops);
+                    }
+                    return unbox(s);
+                }
+                if (sr == PopResult::Empty)
+                    break;
+                // Race: someone else claimed that slot — the victim
+                // may still hold more, so retry it (lock-free: every
+                // race means another thread made progress).
+                if (tel_)
+                    tel_->count(worker, telemetry::Counter::StealRaces);
+            }
+        }
+        if (tel_)
+            tel_->count(worker, telemetry::Counter::StealFailures);
+        return std::nullopt;
+    }
+
+  private:
+    static Task
+    unbox(Slot s)
+    {
+        if constexpr (kInline) {
+            return s;
+        } else {
+            Task t = std::move(*s);
+            delete s;
+            return t;
+        }
+    }
+
+    /** Padded so thieves scanning a victim's top never false-share
+     *  with the neighbouring owner's bottom. */
+    struct alignas(64) Lane
+    {
+        ChaseLevDeque<Slot> deque;
+    };
+
+    std::vector<std::unique_ptr<Lane>> lanes_;
     telemetry::Registry *tel_ = nullptr;
 };
 

@@ -17,6 +17,7 @@ counterName(Counter c)
       case Counter::StealAttempts: return "steal_attempts";
       case Counter::Steals: return "steals";
       case Counter::StealFailures: return "steal_failures";
+      case Counter::StealRaces: return "steal_races";
       case Counter::JoinLockAcquires: return "join_lock_acquires";
       case Counter::JoinLockContended: return "join_lock_contended";
       case Counter::NotLockAcquires: return "not_lock_acquires";
@@ -42,6 +43,7 @@ histogramName(Histogram h)
       case Histogram::BetaMemorySize: return "beta_memory_size";
       case Histogram::JoinCandidates: return "join_candidates";
       case Histogram::ParkNanos: return "park_nanos";
+      case Histogram::SpinsBeforePark: return "spins_before_park";
       case Histogram::kCount: break;
     }
     return "unknown";
@@ -90,7 +92,7 @@ Registry::observeImpl(std::size_t shard, Histogram h,
                       std::uint64_t value)
 {
     Shard::Hist &hist =
-        shards_[shard % shards_.size()].hists[static_cast<std::size_t>(h)];
+        shards_[shardIndex(shard)].hists[static_cast<std::size_t>(h)];
     hist.buckets[HistogramData::bucketOf(value)].fetch_add(
         1, std::memory_order_relaxed);
     hist.count.fetch_add(1, std::memory_order_relaxed);
@@ -104,7 +106,7 @@ void
 Registry::nodeActivationImpl(std::size_t shard, int node_id,
                              std::uint64_t cost)
 {
-    Shard &s = shards_[shard % shards_.size()];
+    Shard &s = shards_[shardIndex(shard)];
     if (node_id < 0 || static_cast<std::size_t>(node_id) >= n_nodes_)
         return;
     std::size_t base = 2 * static_cast<std::size_t>(node_id);

@@ -37,6 +37,7 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -59,6 +60,7 @@ enum class Counter : std::uint16_t {
     StealAttempts,       ///< stealing pool: victim scans begun
     Steals,              ///< stealing pool: tasks taken from a victim
     StealFailures,       ///< victim scans that found nothing
+    StealRaces,          ///< lock-free pool: top-CAS races lost
     JoinLockAcquires,    ///< DirectionalLock acquisitions
     JoinLockContended,   ///< ... that had to wait for the other side
     NotLockAcquires,     ///< not-node mutex acquisitions
@@ -79,6 +81,7 @@ enum class Histogram : std::uint8_t {
     BetaMemorySize,  ///< beta-memory token count after an update
     JoinCandidates,  ///< opposite-memory candidates per two-input scan
     ParkNanos,       ///< wall-clock nanoseconds per worker park
+    SpinsBeforePark, ///< failed polls a worker absorbed before parking
     kCount,
 };
 
@@ -250,10 +253,26 @@ class Registry
         std::vector<std::atomic<std::uint64_t>> prod_epoch;
     };
 
+    /**
+     * Maps a caller's worker index to its shard. An out-of-range
+     * index is a matcher wiring bug (counts would be misattributed to
+     * shard % size) — asserted in debug builds; release builds keep
+     * the wrap so a bad index degrades telemetry instead of the run.
+     */
+    std::size_t
+    shardIndex(std::size_t shard) const
+    {
+        assert(shard < shards_.size() &&
+               "telemetry shard index out of range (worker/shard "
+               "wiring bug)");
+        return shard < shards_.size() ? shard
+                                      : shard % shards_.size();
+    }
+
     std::atomic<std::uint64_t> &
     slot(std::size_t shard, Counter c)
     {
-        return shards_[shard % shards_.size()]
+        return shards_[shardIndex(shard)]
             .counters[static_cast<std::size_t>(c)];
     }
 

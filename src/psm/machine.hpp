@@ -17,6 +17,8 @@ namespace psm::sim {
 enum class SchedulerModel : std::uint8_t {
     Hardware, ///< one bus cycle per dispatch, no serialisation
     Software, ///< central queue; enqueue/dequeue serialise on a lock
+    LockFree, ///< lock-free software deques: constant per-dispatch
+              ///< cost charged to the task, no serialisation
 };
 
 /**
@@ -40,6 +42,13 @@ struct MachineConfig
      *  dispatch serialises on this, which is exactly why the paper
      *  wants the scheduler in hardware. */
     double sw_dispatch_instr = 30.0;
+
+    /** Per-dispatch cost of the lock-free software scheduler (the
+     *  Chase–Lev deque of src/core/lockfree_deque.hpp): a handful of
+     *  instructions plus a fence/CAS, charged to the task like the
+     *  hardware dispatcher but without its one-cycle price — and,
+     *  crucially, with no serialisation. */
+    double lf_dispatch_instr = 10.0;
 
     /** Serial work between match phases (conflict resolution + act).
      *  The paper parallelises only match; this is the Amdahl term at

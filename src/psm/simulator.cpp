@@ -34,6 +34,18 @@ struct NodeState
     double busy_end = 0;  ///< exclusive nodes: latest end overall
 };
 
+/** Per-dispatch instruction cost of the configured scheduler. */
+double
+dispatchInstr(const MachineConfig &machine)
+{
+    switch (machine.scheduler) {
+      case SchedulerModel::Hardware: return machine.hw_dispatch_instr;
+      case SchedulerModel::Software: return machine.sw_dispatch_instr;
+      case SchedulerModel::LockFree: return machine.lf_dispatch_instr;
+    }
+    return machine.hw_dispatch_instr;
+}
+
 bool
 isExclusive(NodeKind kind)
 {
@@ -151,10 +163,7 @@ Simulator::simulateOnce(const MachineConfig &machine, double slowdown,
                 }
             }
 
-            double dispatch =
-                machine.scheduler == SchedulerModel::Hardware
-                    ? machine.hw_dispatch_instr
-                    : machine.sw_dispatch_instr;
+            double dispatch = dispatchInstr(machine);
             if (machine.scheduler == SchedulerModel::Software) {
                 // The dequeue critical section serialises dispatches
                 // within one queue; activations hash to queues by
@@ -166,8 +175,11 @@ Simulator::simulateOnce(const MachineConfig &machine, double slowdown,
                 start = sched_free[q];
             }
 
-            double dur = (rec.cost + (machine.scheduler ==
-                                              SchedulerModel::Hardware
+            // Hardware and LockFree charge the dispatch to the task
+            // itself with no serialisation — they differ only in the
+            // constant; Software paid it in the critical section.
+            double dur = (rec.cost + (machine.scheduler !=
+                                              SchedulerModel::Software
                                           ? dispatch
                                           : 0.0)) *
                          slowdown;
@@ -218,10 +230,7 @@ Simulator::run(const MachineConfig &machine,
     for (const ActivationRecord &rec : records)
         raw_busy += rec.cost;
 
-    double dispatch_per_task =
-        machine.scheduler == SchedulerModel::Hardware
-            ? machine.hw_dispatch_instr
-            : machine.sw_dispatch_instr;
+    double dispatch_per_task = dispatchInstr(machine);
     double busy_per_slowdown =
         raw_busy + dispatch_per_task * static_cast<double>(records.size());
 

@@ -83,10 +83,15 @@ TEST_P(EquivalenceTest, AllMatchersAgreeOnConflictSet)
     stealing.scheduler = core::SchedulerKind::Stealing;
     core::ParallelReteMatcher par3s(program, stealing);
 
+    core::ParallelOptions lockfree;
+    lockfree.n_workers = 3;
+    lockfree.scheduler = core::SchedulerKind::LockFree;
+    core::ParallelReteMatcher par3lf(program, lockfree);
+
     std::vector<core::Matcher *> matchers = {
         &shared_rete, &hashed_rete, &private_rete, &treat,
         &naive,       &fullstate,   &prod_par0,    &prod_par3,
-        &par0,        &par3,        &par3s,
+        &par0,        &par3,        &par3s,        &par3lf,
     };
 
     ops5::WorkingMemory wm;

@@ -125,13 +125,15 @@ TEST(ParallelMatcherTest, ManyWorkersHeavyNegationStress)
     preset.config.n_productions = 60;
     auto program = workloads::generateProgram(preset.config);
 
-    for (int trial = 0; trial < 5; ++trial) {
+    for (int trial = 0; trial < 6; ++trial) {
         core::ParallelOptions ref_opt; // deterministic single-thread
         core::ParallelReteMatcher ref(program, ref_opt);
         core::ParallelOptions opt;
         opt.n_workers = 7;
-        opt.scheduler = trial % 2 == 0 ? core::SchedulerKind::Central
-                                       : core::SchedulerKind::Stealing;
+        opt.scheduler = trial % 3 == 0 ? core::SchedulerKind::Central
+                        : trial % 3 == 1
+                            ? core::SchedulerKind::Stealing
+                            : core::SchedulerKind::LockFree;
         core::ParallelReteMatcher par(program, opt);
 
         ops5::WorkingMemory wm;
@@ -204,6 +206,9 @@ TEST(ParallelMatcherTest, NameReflectsScheduler)
     opt.scheduler = core::SchedulerKind::Stealing;
     core::ParallelReteMatcher b(program, opt);
     EXPECT_EQ(b.name(), "rete-parallel-stealing");
+    opt.scheduler = core::SchedulerKind::LockFree;
+    core::ParallelReteMatcher c(program, opt);
+    EXPECT_EQ(c.name(), "rete-parallel-lockfree");
 }
 
 } // namespace
