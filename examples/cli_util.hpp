@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared command-line plumbing for the example CLIs (ops5_cli,
+ * psm_sim_cli, serve_cli): a small argv cursor with typed operand
+ * parsing, the scheduler-kind spelling, and JSON string escaping —
+ * the helpers each binary used to reimplement privately.
+ */
+
+#ifndef PSM_EXAMPLES_CLI_UTIL_HPP
+#define PSM_EXAMPLES_CLI_UTIL_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/task_queue.hpp"
+
+namespace psm::cli {
+
+/**
+ * Forward cursor over argv:
+ *
+ *     ArgReader r(argc, argv, 2);
+ *     while (r.next()) {
+ *         if (r.is("--workers")) {
+ *             if (!r.valueSize(workers)) return usage(argv[0]);
+ *         } else ...
+ *     }
+ *
+ * value*() consume the following operand and return false when it is
+ * missing or fails to parse, so every flag keeps the "missing operand
+ * = usage error" behaviour in one line.
+ */
+class ArgReader
+{
+  public:
+    ArgReader(int argc, char **argv, int first)
+        : argc_(argc), argv_(argv), i_(first - 1)
+    {}
+
+    /** Advances to the next argument; false at the end. */
+    bool
+    next()
+    {
+        if (i_ + 1 >= argc_)
+            return false;
+        arg_ = argv_[++i_];
+        return true;
+    }
+
+    const std::string &arg() const { return arg_; }
+    bool is(const char *flag) const { return arg_ == flag; }
+
+    /** Consumes and returns the next operand, or nullptr. */
+    const char *
+    value()
+    {
+        return i_ + 1 < argc_ ? argv_[++i_] : nullptr;
+    }
+
+    /** Peeks at the next operand without consuming it. */
+    const char *
+    peek() const
+    {
+        return i_ + 1 < argc_ ? argv_[i_ + 1] : nullptr;
+    }
+
+    bool
+    valueUint(std::uint64_t &out)
+    {
+        const char *v = value();
+        if (!v)
+            return false;
+        char *end = nullptr;
+        out = std::strtoull(v, &end, 10);
+        return end != v && *end == '\0';
+    }
+
+    bool
+    valueSize(std::size_t &out)
+    {
+        std::uint64_t v = 0;
+        if (!valueUint(v))
+            return false;
+        out = static_cast<std::size_t>(v);
+        return true;
+    }
+
+    bool
+    valueDouble(double &out)
+    {
+        const char *v = value();
+        if (!v)
+            return false;
+        char *end = nullptr;
+        out = std::strtod(v, &end);
+        return end != v && *end == '\0';
+    }
+
+  private:
+    int argc_;
+    char **argv_;
+    int i_;
+    std::string arg_;
+};
+
+/** Parses "central|stealing|lockfree"; false on anything else. */
+inline bool
+parseSchedulerKind(const char *text, core::SchedulerKind &out)
+{
+    if (!text)
+        return false;
+    if (std::strcmp(text, "central") == 0) {
+        out = core::SchedulerKind::Central;
+    } else if (std::strcmp(text, "stealing") == 0) {
+        out = core::SchedulerKind::Stealing;
+    } else if (std::strcmp(text, "lockfree") == 0) {
+        out = core::SchedulerKind::LockFree;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+inline const char *
+schedulerKindName(core::SchedulerKind kind)
+{
+    switch (kind) {
+      case core::SchedulerKind::Central: return "central";
+      case core::SchedulerKind::Stealing: return "stealing";
+      case core::SchedulerKind::LockFree: return "lockfree";
+    }
+    return "unknown";
+}
+
+/** Minimal JSON string escape (paths can contain quotes). */
+inline std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace psm::cli
+
+#endif // PSM_EXAMPLES_CLI_UTIL_HPP

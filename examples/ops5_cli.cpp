@@ -27,11 +27,11 @@
  * invariant violation under --validate).
  */
 
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "cli_util.hpp"
 #include "core/engine.hpp"
 #include "core/parallel_matcher.hpp"
 #include "core/telemetry.hpp"
@@ -77,61 +77,46 @@ main(int argc, char **argv)
         psm::core::SchedulerKind::Central;
     bool stats = false, quiet = false, validate = false;
 
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        if (arg == "--matcher") {
-            const char *v = next();
+    psm::cli::ArgReader args(argc, argv, 2);
+    while (args.next()) {
+        if (args.is("--matcher")) {
+            const char *v = args.value();
             if (!v)
                 return usage(argv[0]);
             matcher_name = v;
-        } else if (arg == "--workers") {
-            const char *v = next();
-            if (!v)
+        } else if (args.is("--workers")) {
+            if (!args.valueSize(workers))
                 return usage(argv[0]);
-            workers = std::strtoul(v, nullptr, 10);
-        } else if (arg == "--scheduler") {
-            const char *v = next();
-            if (!v)
-                return usage(argv[0]);
-            if (std::strcmp(v, "central") == 0) {
-                scheduler = psm::core::SchedulerKind::Central;
-            } else if (std::strcmp(v, "stealing") == 0) {
-                scheduler = psm::core::SchedulerKind::Stealing;
-            } else if (std::strcmp(v, "lockfree") == 0) {
-                scheduler = psm::core::SchedulerKind::LockFree;
-            } else {
+        } else if (args.is("--scheduler")) {
+            if (!psm::cli::parseSchedulerKind(args.value(),
+                                              scheduler)) {
                 std::cerr << "error: --scheduler needs central, "
                              "stealing, or lockfree\n";
                 return 2;
             }
-        } else if (arg == "--max-cycles") {
-            const char *v = next();
-            if (!v)
+        } else if (args.is("--max-cycles")) {
+            if (!args.valueUint(max_cycles))
                 return usage(argv[0]);
-            max_cycles = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--trace") {
-            const char *v = next();
+        } else if (args.is("--trace")) {
+            const char *v = args.value();
             if (!v)
                 return usage(argv[0]);
             trace_path = v;
-        } else if (arg == "--metrics") {
-            const char *v = next();
+        } else if (args.is("--metrics")) {
+            const char *v = args.value();
             if (!v)
                 return usage(argv[0]);
             metrics_path = v;
-        } else if (arg == "--chrome-trace") {
-            const char *v = next();
+        } else if (args.is("--chrome-trace")) {
+            const char *v = args.value();
             if (!v)
                 return usage(argv[0]);
             chrome_trace_path = v;
-        } else if (arg == "--stats") {
+        } else if (args.is("--stats")) {
             stats = true;
-        } else if (arg == "--validate") {
+        } else if (args.is("--validate")) {
             validate = true;
-        } else if (arg == "--quiet") {
+        } else if (args.is("--quiet")) {
             quiet = true;
         } else {
             return usage(argv[0]);

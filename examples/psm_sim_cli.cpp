@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "psm/simulator.hpp"
 #include "psm/trace_io.hpp"
 #include "rete/trace_export.hpp"
@@ -71,19 +72,7 @@ schedulerName(psm::sim::SchedulerModel m)
     return "unknown";
 }
 
-/** Minimal JSON string escape (paths can contain quotes). */
-std::string
-jsonQuote(const std::string &s)
-{
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
+using psm::cli::jsonQuote;
 
 /** One sweep row for --json (empty in single-run mode). */
 struct SweepRow
@@ -170,36 +159,31 @@ main(int argc, char **argv)
     int profile_buckets = 0;
     std::string spans_path, chrome_path, json_path;
 
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next_d = [&](double &out) {
-            if (i + 1 >= argc)
-                return false;
-            out = std::strtod(argv[++i], nullptr);
-            return true;
-        };
+    psm::cli::ArgReader args(argc, argv, 2);
+    while (args.next()) {
         double v = 0;
-        if (arg == "--procs" && next_d(v)) {
+        if (args.is("--procs") && args.valueDouble(v)) {
             machine.n_processors = static_cast<int>(v);
-        } else if (arg == "--mips" && next_d(v)) {
+        } else if (args.is("--mips") && args.valueDouble(v)) {
             machine.mips = v;
-        } else if (arg == "--software-queues" && next_d(v)) {
+        } else if (args.is("--software-queues") &&
+                   args.valueDouble(v)) {
             machine.scheduler = psm::sim::SchedulerModel::Software;
             machine.n_software_queues = static_cast<int>(v);
-        } else if (arg == "--clusters" && next_d(v)) {
+        } else if (args.is("--clusters") && args.valueDouble(v)) {
             machine.n_clusters = static_cast<int>(v);
-        } else if (arg == "--latency" && next_d(v)) {
+        } else if (args.is("--latency") && args.valueDouble(v)) {
             machine.inter_cluster_latency_instr = v;
-        } else if (arg == "--merge" && next_d(v)) {
+        } else if (args.is("--merge") && args.valueDouble(v)) {
             merge = static_cast<int>(v);
-        } else if (arg == "--spans" && i + 1 < argc) {
-            spans_path = argv[++i];
-        } else if (arg == "--chrome-trace" && i + 1 < argc) {
-            chrome_path = argv[++i];
-        } else if (arg == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (arg == "--scheduler" && i + 1 < argc) {
-            std::string kind = argv[++i];
+        } else if (args.is("--spans") && args.peek()) {
+            spans_path = args.value();
+        } else if (args.is("--chrome-trace") && args.peek()) {
+            chrome_path = args.value();
+        } else if (args.is("--json") && args.peek()) {
+            json_path = args.value();
+        } else if (args.is("--scheduler") && args.peek()) {
+            std::string kind = args.value();
             if (kind == "hardware") {
                 machine.scheduler = psm::sim::SchedulerModel::Hardware;
             } else if (kind == "software") {
@@ -212,18 +196,19 @@ main(int argc, char **argv)
                              "software, or lockfree\n");
                 return 2;
             }
-        } else if (arg == "--profile") {
+        } else if (args.is("--profile")) {
             profile_buckets = 64;
             // A bucket-count operand is anything that does not look
             // like the next flag; "-3" is a (bad) count, not a flag.
-            if (i + 1 < argc &&
-                (argv[i + 1][0] != '-' ||
+            const char *peeked = args.peek();
+            if (peeked &&
+                (peeked[0] != '-' ||
                  std::isdigit(
-                     static_cast<unsigned char>(argv[i + 1][1])))) {
+                     static_cast<unsigned char>(peeked[1])))) {
                 // Validated parse: 0, negative, or trailing garbage
                 // used to be silently accepted via atoi.
                 char *end = nullptr;
-                long v_long = std::strtol(argv[++i], &end, 10);
+                long v_long = std::strtol(args.value(), &end, 10);
                 if (end == nullptr || *end != '\0' || v_long <= 0 ||
                     v_long > 1000000) {
                     std::fprintf(stderr,
@@ -233,7 +218,7 @@ main(int argc, char **argv)
                 }
                 profile_buckets = static_cast<int>(v_long);
             }
-        } else if (arg == "--sweep") {
+        } else if (args.is("--sweep")) {
             sweep = true;
         } else {
             return usage(argv[0]);

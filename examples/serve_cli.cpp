@@ -1,0 +1,266 @@
+/**
+ * @file
+ * serve_cli: closed-loop load driver for the serving layer.
+ *
+ *     serve_cli [program.ops] [options]
+ *
+ * Runs sessions × threads × clients against a SessionPool and prints
+ * throughput, latency percentiles, and the admission-control ledger.
+ * Without a program file it generates a synthetic workload preset
+ * (the programs must have initial working memory — the client uses
+ * its WME templates as the assert vocabulary).
+ *
+ * Options:
+ *     --preset NAME        synthetic workload: tiny (default) or a
+ *                          paper system (vt, ilog, mud, daa, r1-soar,
+ *                          eps-soar); ignored with a program file
+ *     --sessions N         independent engine sessions (default 1)
+ *     --threads N          server threads (default 1)
+ *     --clients N          client threads per session (default 1)
+ *     --iterations N       iterations per client (default 100)
+ *     --asserts N          asserts per iteration (default 4)
+ *     --run-cycles N       add a Run request per iteration, budgeted
+ *                          to N firings (default 0 = ingest only)
+ *     --deadline-us N      per-request deadline in µs (default 0 = none)
+ *     --rate HZ            per-client arrival rate in iterations/sec
+ *                          (default 0 = closed loop)
+ *     --matcher KIND       rete|treat|naive|fullstate|parallel
+ *     --workers N          parallel matcher workers per session
+ *     --scheduler K        central|stealing|lockfree (parallel only)
+ *     --queue-capacity N   per-session queue bound (default 1024)
+ *     --shed-watermark N   pool-wide pending high-watermark
+ *                          (default 0 = no shedding)
+ *     --max-batch N        max WM changes folded per match batch
+ *     --json FILE          write the shared bench JSON schema
+ *     --metrics FILE       write the pool telemetry registry as JSON
+ *
+ * Exits 0 on success, 1 on errors, 2 on bad flags.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "cli_util.hpp"
+#include "ops5/parser.hpp"
+#include "serve/serve.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [program.ops] [--preset NAME] [--sessions N] "
+           "[--threads N] [--clients N]\n"
+           "       [--iterations N] [--asserts N] [--run-cycles N] "
+           "[--deadline-us N] [--rate HZ]\n"
+           "       [--matcher rete|treat|naive|fullstate|parallel] "
+           "[--workers N]\n"
+           "       [--scheduler central|stealing|lockfree] "
+           "[--queue-capacity N]\n"
+           "       [--shed-watermark N] [--max-batch N] "
+           "[--json FILE] [--metrics FILE]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string program_path, preset_name = "tiny";
+    std::string json_path, metrics_path;
+    psm::serve::LoadConfig cfg;
+    std::uint64_t deadline_us = 0;
+
+    int first = 1;
+    if (argc > 1 && argv[1][0] != '-') {
+        program_path = argv[1];
+        first = 2;
+    }
+
+    psm::cli::ArgReader args(argc, argv, first);
+    while (args.next()) {
+        if (args.is("--preset")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            preset_name = v;
+        } else if (args.is("--sessions")) {
+            if (!args.valueSize(cfg.sessions))
+                return usage(argv[0]);
+        } else if (args.is("--threads")) {
+            if (!args.valueSize(cfg.threads))
+                return usage(argv[0]);
+        } else if (args.is("--clients")) {
+            if (!args.valueSize(cfg.clients_per_session))
+                return usage(argv[0]);
+        } else if (args.is("--iterations")) {
+            if (!args.valueSize(cfg.iterations))
+                return usage(argv[0]);
+        } else if (args.is("--asserts")) {
+            if (!args.valueSize(cfg.asserts_per_iteration))
+                return usage(argv[0]);
+        } else if (args.is("--run-cycles")) {
+            if (!args.valueUint(cfg.run_cycles))
+                return usage(argv[0]);
+        } else if (args.is("--deadline-us")) {
+            if (!args.valueUint(deadline_us))
+                return usage(argv[0]);
+        } else if (args.is("--rate")) {
+            if (!args.valueDouble(cfg.arrival_rate_hz))
+                return usage(argv[0]);
+        } else if (args.is("--matcher")) {
+            const char *v = args.value();
+            if (!v ||
+                !psm::serve::parseMatcherKind(v, cfg.matcher.kind)) {
+                std::cerr << "error: --matcher needs rete, treat, "
+                             "naive, fullstate, or parallel\n";
+                return 2;
+            }
+        } else if (args.is("--workers")) {
+            if (!args.valueSize(cfg.matcher.workers))
+                return usage(argv[0]);
+        } else if (args.is("--scheduler")) {
+            if (!psm::cli::parseSchedulerKind(args.value(),
+                                              cfg.matcher.scheduler)) {
+                std::cerr << "error: --scheduler needs central, "
+                             "stealing, or lockfree\n";
+                return 2;
+            }
+        } else if (args.is("--queue-capacity")) {
+            if (!args.valueSize(cfg.queue_capacity))
+                return usage(argv[0]);
+        } else if (args.is("--shed-watermark")) {
+            if (!args.valueSize(cfg.shed_watermark))
+                return usage(argv[0]);
+        } else if (args.is("--max-batch")) {
+            if (!args.valueSize(cfg.max_batch))
+                return usage(argv[0]);
+        } else if (args.is("--json")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            json_path = v;
+        } else if (args.is("--metrics")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            metrics_path = v;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (deadline_us > 0)
+        cfg.deadline = std::chrono::microseconds(deadline_us);
+
+    try {
+        std::shared_ptr<const psm::ops5::Program> program;
+        std::string workload_name;
+        if (!program_path.empty()) {
+            std::ifstream file(program_path);
+            if (!file) {
+                std::cerr << "error: cannot open " << program_path
+                          << "\n";
+                return 1;
+            }
+            std::ostringstream source;
+            source << file.rdbuf();
+            program = psm::ops5::parseProgram(source.str()).program;
+            workload_name = program_path;
+        } else {
+            psm::workloads::SystemPreset preset =
+                preset_name == "tiny"
+                    ? psm::workloads::tinyPreset()
+                    : psm::workloads::presetByName(preset_name);
+            program = psm::workloads::generateProgram(preset.config);
+            workload_name = "preset:" + preset.name;
+        }
+
+        psm::serve::LoadResult r = psm::serve::runLoad(
+            program, cfg, [&](psm::serve::SessionPool &pool) {
+                if (metrics_path.empty())
+                    return;
+                std::ofstream out(metrics_path);
+                if (!out)
+                    throw std::runtime_error("cannot write " +
+                                             metrics_path);
+                pool.metrics().writeJson(out);
+            });
+
+        std::printf("workload:        %s\n", workload_name.c_str());
+        std::printf("matcher:         %s\n",
+                    psm::serve::matcherKindName(cfg.matcher.kind));
+        std::printf("sessions:        %zu  (threads %zu, clients/s %zu)\n",
+                    cfg.sessions, cfg.threads, cfg.clients_per_session);
+        std::printf("elapsed:         %.3f s\n", r.elapsed_seconds);
+        std::printf("completed:       %llu  (expired %llu)\n",
+                    static_cast<unsigned long long>(r.completed),
+                    static_cast<unsigned long long>(r.expired));
+        std::printf("rejected:        %llu  (full %llu, overload %llu, "
+                    "shutdown %llu)\n",
+                    static_cast<unsigned long long>(r.rejected),
+                    static_cast<unsigned long long>(r.pool.rejected_full),
+                    static_cast<unsigned long long>(
+                        r.pool.rejected_overload),
+                    static_cast<unsigned long long>(
+                        r.pool.rejected_shutdown));
+        std::printf("batches:         %llu\n",
+                    static_cast<unsigned long long>(r.pool.batches));
+        std::printf("throughput:      %.0f req/s  (%.0f wme-changes/s)\n",
+                    r.requests_per_sec, r.wme_changes_per_sec);
+        std::printf("latency (us):    p50 %.1f  p95 %.1f  p99 %.1f  "
+                    "max %.1f\n",
+                    r.p50_us, r.p95_us, r.p99_us, r.max_us);
+        if (!metrics_path.empty())
+            std::printf("metrics saved:   %s\n", metrics_path.c_str());
+
+        if (!json_path.empty()) {
+            psm::bench::JsonResult json("serve_cli");
+            json.config("workload", workload_name);
+            json.config("matcher", psm::serve::matcherKindName(
+                                       cfg.matcher.kind));
+            json.config("sessions", static_cast<double>(cfg.sessions));
+            json.config("threads", static_cast<double>(cfg.threads));
+            json.config("clients_per_session",
+                        static_cast<double>(cfg.clients_per_session));
+            json.config("iterations",
+                        static_cast<double>(cfg.iterations));
+            json.config("asserts_per_iteration",
+                        static_cast<double>(cfg.asserts_per_iteration));
+            json.config("run_cycles",
+                        static_cast<double>(cfg.run_cycles));
+            json.config("deadline_us",
+                        static_cast<double>(deadline_us));
+            json.config("arrival_rate_hz", cfg.arrival_rate_hz);
+            json.beginRow();
+            json.col("name", std::string("load"));
+            json.col("elapsed_seconds", r.elapsed_seconds);
+            json.col("completed", static_cast<double>(r.completed));
+            json.col("rejected", static_cast<double>(r.rejected));
+            json.col("expired", static_cast<double>(r.expired));
+            json.col("batches",
+                     static_cast<double>(r.pool.batches));
+            json.col("requests_per_sec", r.requests_per_sec);
+            json.col("wme_changes_per_sec", r.wme_changes_per_sec);
+            json.col("p50_us", r.p50_us);
+            json.col("p95_us", r.p95_us);
+            json.col("p99_us", r.p99_us);
+            json.col("max_us", r.max_us);
+            json.metric("requests_per_sec", r.requests_per_sec);
+            json.metric("p99_us", r.p99_us);
+            if (!json.save(json_path))
+                return 1;
+            std::printf("json saved:      %s\n", json_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

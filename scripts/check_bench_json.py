@@ -12,6 +12,12 @@ Two modes:
         Each file must be a Chrome-trace-event array of complete
         ("ph": "X") events with numeric ts/dur and integer pid/tid.
 
+    check_bench_json.py --telemetry metrics.json ...
+        Each file must be a telemetry-registry export: integer-valued
+        "counters", and "histograms" whose entries carry count / sum /
+        max / p50 / p95 / p99 / buckets with ordered percentiles
+        (p50 <= p95 <= p99 <= max).
+
 With --require-rows SUBSTR[,SUBSTR...] (bench mode only), every
 listed substring must appear in at least one row's "name" in each
 file — used by CI to prove every scheduler backend produced a row.
@@ -84,8 +90,48 @@ def check_chrome(path, doc):
     print(f"{path}: ok (chrome trace, {len(doc)} events)")
 
 
+def check_telemetry(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "telemetry export must be a JSON object")
+    for key in ("counters", "histograms"):
+        if key not in doc or not isinstance(doc[key], dict):
+            fail(path, f"missing or non-object {key!r}")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"counter {name!r} must be an integer, got "
+                       f"{type(value).__name__}")
+    for name, h in doc["histograms"].items():
+        where = f"histograms[{name!r}]"
+        if not isinstance(h, dict):
+            fail(path, f"{where} is not an object")
+        for key in ("count", "sum", "max", "p50", "p95", "p99",
+                    "buckets"):
+            if key not in h:
+                fail(path, f"{where} missing {key!r}")
+        for key in ("count", "sum", "max", "p50", "p95", "p99"):
+            if not isinstance(h[key], (int, float)) \
+                    or isinstance(h[key], bool):
+                fail(path, f"{where}[{key!r}] is not numeric")
+        if not isinstance(h["buckets"], list) or \
+                not all(isinstance(b, int) for b in h["buckets"]):
+            fail(path, f"{where}['buckets'] must be an integer array")
+        if sum(h["buckets"]) != h["count"]:
+            fail(path, f"{where}: buckets sum to {sum(h['buckets'])}, "
+                       f"count says {h['count']}")
+        if h["count"] > 0 and \
+                not h["p50"] <= h["p95"] <= h["p99"] <= h["max"]:
+            fail(path, f"{where}: percentiles out of order "
+                       f"(p50={h['p50']}, p95={h['p95']}, "
+                       f"p99={h['p99']}, max={h['max']})")
+    nonzero = sum(1 for h in doc["histograms"].values()
+                  if h["count"] > 0)
+    print(f"{path}: ok (telemetry, {len(doc['counters'])} counters, "
+          f"{len(doc['histograms'])} histograms, {nonzero} populated)")
+
+
 def main(argv):
     chrome = False
+    telemetry = False
     require_rows = []
     paths = []
     args = argv[1:]
@@ -93,6 +139,8 @@ def main(argv):
         arg = args.pop(0)
         if arg == "--chrome":
             chrome = True
+        elif arg == "--telemetry":
+            telemetry = True
         elif arg == "--require-rows":
             if not args:
                 fail("usage", "--require-rows needs a comma-separated "
@@ -101,9 +149,11 @@ def main(argv):
         else:
             paths.append(arg)
     if not paths:
-        fail("usage", "check_bench_json.py [--chrome] "
+        fail("usage", "check_bench_json.py [--chrome | --telemetry] "
                       "[--require-rows A,B,...] <file.json> ...")
-    if chrome and require_rows:
+    if chrome and telemetry:
+        fail("usage", "--chrome and --telemetry are mutually exclusive")
+    if (chrome or telemetry) and require_rows:
         fail("usage", "--require-rows only applies to bench mode")
     for path in paths:
         try:
@@ -113,6 +163,8 @@ def main(argv):
             fail(path, str(e))
         if chrome:
             check_chrome(path, doc)
+        elif telemetry:
+            check_telemetry(path, doc)
         else:
             check_bench(path, doc, require_rows)
 

@@ -52,6 +52,41 @@ Engine::retractWme(const ops5::Wme *wme)
     return true;
 }
 
+const ops5::Wme *
+Engine::ExternalBatch::insert(ops5::SymbolId cls,
+                              std::vector<ops5::Value> fields)
+{
+    const ops5::Wme *wme =
+        engine_.wm_.insert(cls, std::move(fields));
+    changes_.push_back({ops5::ChangeKind::Insert, wme});
+    return wme;
+}
+
+bool
+Engine::ExternalBatch::remove(const ops5::Wme *wme)
+{
+    if (!engine_.wm_.remove(wme))
+        return false;
+    changes_.push_back({ops5::ChangeKind::Remove, wme});
+    return true;
+}
+
+void
+Engine::ExternalBatch::commit()
+{
+    if (changes_.empty())
+        return;
+    engine_.totals_.wme_changes += changes_.size();
+    engine_.matcher_.processChanges(changes_);
+    if (engine_.cycle_check_)
+        engine_.cycle_check_();
+    // Unlike retractWme(), a batch owns its retracted elements' last
+    // use: nothing may dereference them after the fixpoint, so they
+    // are freed here rather than parked until the next step().
+    engine_.wm_.collectGarbage();
+    changes_.clear();
+}
+
 bool
 Engine::step()
 {
@@ -98,10 +133,15 @@ Engine::step()
 }
 
 RunResult
-Engine::run(std::uint64_t max_cycles)
+Engine::run(std::uint64_t max_cycles, const StopPredicate &stop)
 {
     RunResult before = totals_;
+    bool stopped = false;
     for (std::uint64_t i = 0; i < max_cycles; ++i) {
+        if (stop && stop()) {
+            stopped = true;
+            break;
+        }
         if (!step())
             break;
     }
@@ -111,7 +151,14 @@ Engine::run(std::uint64_t max_cycles)
     delta.wme_changes = totals_.wme_changes - before.wme_changes;
     delta.halted = totals_.halted;
     delta.quiescent = totals_.quiescent;
+    delta.stopped = stopped;
     return delta;
+}
+
+RunResult
+Engine::run(std::uint64_t max_cycles)
+{
+    return run(max_cycles, StopPredicate{});
 }
 
 } // namespace psm::core

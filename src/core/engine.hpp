@@ -24,6 +24,7 @@ struct RunResult
     std::uint64_t wme_changes = 0; ///< WM inserts + removes processed
     bool halted = false;           ///< a (halt) action ran
     bool quiescent = false;        ///< conflict set emptied
+    bool stopped = false;          ///< a run() stop predicate fired
 };
 
 /**
@@ -59,6 +60,71 @@ class Engine
      * returns false.
      */
     bool retractWme(const ops5::Wme *wme);
+
+    /**
+     * Stages several external WM operations and matches them as ONE
+     * change batch — the paper's "multiple WM changes in parallel"
+     * axis (Section 4.3) exposed to external callers such as the
+     * serving layer, which folds a queue of assert/retract requests
+     * into per-cycle batches instead of paying a match fixpoint per
+     * request.
+     *
+     * Staged operations touch working memory immediately (insert
+     * allocates the WME, remove parks it) but reach the matcher and
+     * the conflict set only at commit(). commit() runs the batch to
+     * fixpoint, fires the cycle check, and collects garbage — so WME
+     * pointers retracted through a batch are dead after commit();
+     * callers that may see repeated retracts must validate handles
+     * first (e.g. via WorkingMemory::findByTag), as serve::Session
+     * does.
+     *
+     * Do not stage an insert and a remove of the SAME element in one
+     * batch: the parallel matcher treats such conjugate pairs as
+     * racing tasks. Commit the insert first (the serving layer
+     * flushes automatically).
+     */
+    class ExternalBatch
+    {
+      public:
+        explicit ExternalBatch(Engine &engine) : engine_(engine) {}
+        /** Commits any still-staged changes. */
+        ~ExternalBatch() { commit(); }
+
+        ExternalBatch(const ExternalBatch &) = delete;
+        ExternalBatch &operator=(const ExternalBatch &) = delete;
+
+        /** Creates and stages one WME insert; handle valid for the
+         *  lifetime of the element. */
+        const ops5::Wme *insert(ops5::SymbolId cls,
+                                std::vector<ops5::Value> fields);
+
+        /** Stages one retract. @return false when @p wme is not live
+         *  (already retracted — nothing is staged). */
+        bool remove(const ops5::Wme *wme);
+
+        std::size_t size() const { return changes_.size(); }
+        bool empty() const { return changes_.empty(); }
+
+        /** Matches all staged changes as one batch; no-op if empty. */
+        void commit();
+
+      private:
+        Engine &engine_;
+        std::vector<ops5::WmeChange> changes_;
+    };
+
+    /** Caller-supplied stop condition polled once per recognize-act
+     *  cycle; returning true ends the run with RunResult::stopped.
+     *  Used by the serving layer for wall-clock deadlines and
+     *  external cancellation. */
+    using StopPredicate = std::function<bool()>;
+
+    /**
+     * Runs recognize-act cycles until halt, quiescence,
+     * @p max_cycles firings, or @p stop returns true (polled before
+     * every cycle; an already-expired deadline runs zero cycles).
+     */
+    RunResult run(std::uint64_t max_cycles, const StopPredicate &stop);
 
     /**
      * Runs recognize-act cycles until halt, quiescence, or

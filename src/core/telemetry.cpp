@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <ostream>
 
 namespace psm::telemetry {
@@ -29,6 +30,11 @@ counterName(Counter c)
       case Counter::Batches: return "batches";
       case Counter::AffectedProductionChanges:
         return "affected_production_changes";
+      case Counter::ServeAdmitted: return "serve_admitted";
+      case Counter::ServeRejected: return "serve_rejected";
+      case Counter::ServeCompleted: return "serve_completed";
+      case Counter::ServeExpired: return "serve_expired";
+      case Counter::ServeBatches: return "serve_batches";
       case Counter::kCount: break;
     }
     return "unknown";
@@ -44,6 +50,10 @@ histogramName(Histogram h)
       case Histogram::JoinCandidates: return "join_candidates";
       case Histogram::ParkNanos: return "park_nanos";
       case Histogram::SpinsBeforePark: return "spins_before_park";
+      case Histogram::ServeRequestLatencyUs:
+        return "serve_request_latency_us";
+      case Histogram::ServeQueueDepth: return "serve_queue_depth";
+      case Histogram::ServeBatchSize: return "serve_batch_size";
       case Histogram::kCount: break;
     }
     return "unknown";
@@ -62,6 +72,35 @@ std::uint64_t
 HistogramData::bucketFloor(std::size_t bucket)
 {
     return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+double
+HistogramData::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 100.0);
+    // Rank of the wanted observation, 1-based (nearest-rank rule).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        if (cum + buckets[b] >= rank) {
+            double lo = static_cast<double>(bucketFloor(b));
+            double hi = b + 1 < kHistogramBuckets
+                            ? static_cast<double>(bucketFloor(b + 1))
+                            : static_cast<double>(max);
+            double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(buckets[b]);
+            double v = lo + (hi - lo) * frac;
+            return std::min(v, static_cast<double>(max));
+        }
+        cum += buckets[b];
+    }
+    return static_cast<double>(max);
 }
 
 Registry::Registry(std::size_t n_shards)
@@ -97,9 +136,14 @@ Registry::observeImpl(std::size_t shard, Histogram h,
         1, std::memory_order_relaxed);
     hist.count.fetch_add(1, std::memory_order_relaxed);
     hist.sum.fetch_add(value, std::memory_order_relaxed);
-    // Owner-only writes: a plain read-check-store suffices for max.
-    if (value > hist.max.load(std::memory_order_relaxed))
-        hist.max.store(value, std::memory_order_relaxed);
+    // CAS loop so shared shards (serve admission, shard 0) cannot
+    // lose a max; on an owner-only shard the loop never iterates and
+    // the steady-state cost is the same load + untaken branch.
+    std::uint64_t cur = hist.max.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !hist.max.compare_exchange_weak(cur, value,
+                                           std::memory_order_relaxed))
+        ;
 }
 
 void
@@ -263,7 +307,9 @@ Registry::writeJson(std::ostream &os,
             os << ",";
         os << "\n    \"" << histogramName(static_cast<Histogram>(i))
            << "\": {\"count\": " << d.count << ", \"sum\": " << d.sum
-           << ", \"max\": " << d.max << ", \"buckets\": [";
+           << ", \"max\": " << d.max << ", \"p50\": "
+           << d.percentile(50) << ", \"p95\": " << d.percentile(95)
+           << ", \"p99\": " << d.percentile(99) << ", \"buckets\": [";
         // Trailing zero buckets are elided; bucket b spans
         // [bucketFloor(b), bucketFloor(b+1)).
         std::size_t last = kHistogramBuckets;

@@ -71,6 +71,11 @@ enum class Counter : std::uint16_t {
     ChangesProcessed,    ///< WM changes seen
     Batches,             ///< processChanges() calls
     AffectedProductionChanges, ///< sum over epochs of affected prods
+    ServeAdmitted,       ///< serve: requests accepted into a queue
+    ServeRejected,       ///< serve: typed admission rejections
+    ServeCompleted,      ///< serve: responses delivered
+    ServeExpired,        ///< serve: deadline hit (dropped or stopped)
+    ServeBatches,        ///< serve: WM-change batches committed
     kCount,
 };
 
@@ -82,6 +87,9 @@ enum class Histogram : std::uint8_t {
     JoinCandidates,  ///< opposite-memory candidates per two-input scan
     ParkNanos,       ///< wall-clock nanoseconds per worker park
     SpinsBeforePark, ///< failed polls a worker absorbed before parking
+    ServeRequestLatencyUs, ///< serve: submit -> response microseconds
+    ServeQueueDepth,       ///< serve: session queue depth at admission
+    ServeBatchSize,        ///< serve: requests folded per drain batch
     kCount,
 };
 
@@ -112,6 +120,16 @@ struct HistogramData
                      : 0.0;
     }
 
+    /**
+     * Approximate percentile (@p p in [0,100]) reconstructed from the
+     * power-of-two buckets: the bucket holding the rank is found and
+     * the value interpolated linearly inside it, clamped to the
+     * recorded max. Resolution is therefore the bucket width (a
+     * factor of two) — good enough for p50/p95/p99 latency SLO
+     * reporting, free at record time.
+     */
+    double percentile(double p) const;
+
     /** Lower bound of the bucket @p value falls into. */
     static std::uint64_t bucketFloor(std::size_t bucket);
     static std::size_t bucketOf(std::uint64_t value);
@@ -128,10 +146,15 @@ struct NodeTotals
  * The telemetry registry: one per matcher, sharded by worker.
  *
  * Shard 0 belongs to the submitting thread; shards 1..n to workers.
- * All recording calls take the caller's shard index and must only be
- * issued from that shard's owning thread (the same discipline the
- * matchers' WorkerStats already follow). Cold-path readers may run
- * concurrently with recording; they see a best-effort snapshot.
+ * All recording calls take the caller's shard index and should only
+ * be issued from that shard's owning thread (the same discipline the
+ * matchers' WorkerStats already follow) — sharding is what keeps the
+ * hot path free of cross-core cache traffic. Every slot is an atomic,
+ * so a multi-writer shard is still race-free and exactly counted; the
+ * serve layer exploits this for shard 0, which its many client
+ * threads share on the (already mutex-serialised) admission path.
+ * Cold-path readers may run concurrently with recording; they see a
+ * best-effort snapshot.
  */
 class Registry
 {

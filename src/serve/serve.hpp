@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for the serving layer: multi-session engine pool
+ * with batched ingestion, admission control, deadlines, and graceful
+ * drain. See docs/ARCHITECTURE.md section 8.
+ */
+
+#ifndef PSM_SERVE_SERVE_HPP
+#define PSM_SERVE_SERVE_HPP
+
+#include "serve/load_driver.hpp"
+#include "serve/request.hpp"
+#include "serve/session.hpp"
+#include "serve/session_pool.hpp"
+
+#endif // PSM_SERVE_SERVE_HPP

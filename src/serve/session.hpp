@@ -1,0 +1,116 @@
+/**
+ * @file
+ * One serving session: an Engine + matcher pair with a bounded
+ * request queue, owned and driven by the SessionPool.
+ *
+ * Sessions are the unit of *inter*-session parallelism — the axis the
+ * paper leaves on the table after capping intra-task speed-up at
+ * ~10-fold (Section 4): many independent production-system instances
+ * share one machine, each consuming its own stream of external WM
+ * changes. A session's engine state is only ever touched by one
+ * server thread at a time (the pool's ready-list guarantees it), so
+ * the engine itself needs no locking; the queue has its own mutex.
+ */
+
+#ifndef PSM_SERVE_SESSION_HPP
+#define PSM_SERVE_SESSION_HPP
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/engine.hpp"
+#include "core/matcher.hpp"
+#include "core/task_queue.hpp"
+#include "serve/request.hpp"
+
+namespace psm::serve {
+
+/** Which matcher a session runs — any of the repo's 12 configs. */
+struct MatcherSpec
+{
+    enum class Kind : std::uint8_t {
+        Rete,      ///< serial Rete (default: cheapest per session)
+        Treat,     ///< TREAT
+        Naive,     ///< non-state-saving
+        FullState, ///< full-state saving
+        Parallel,  ///< fine-grain parallel Rete (owns worker threads)
+    };
+
+    Kind kind = Kind::Rete;
+
+    /** Parallel only: worker threads *per session* — n_sessions
+     *  sessions spawn n_sessions × workers threads in total. */
+    std::size_t workers = 0;
+
+    /** Parallel only: scheduler backend. */
+    core::SchedulerKind scheduler = core::SchedulerKind::Central;
+};
+
+/** Instantiates the matcher a spec describes. */
+std::unique_ptr<core::Matcher>
+makeMatcher(std::shared_ptr<const ops5::Program> program,
+            const MatcherSpec &spec);
+
+/** Parses "rete|treat|naive|fullstate|parallel"; false on junk. */
+bool parseMatcherKind(const std::string &text, MatcherSpec::Kind &out);
+
+const char *matcherKindName(MatcherSpec::Kind kind);
+
+/**
+ * One session: engine + matcher + bounded FIFO of admitted requests.
+ *
+ * Thread roles: any client thread may touch `queue` (under `mu`);
+ * only the single server thread currently draining the session may
+ * touch the engine, the matcher, and `handles`.
+ */
+class Session
+{
+  public:
+    Session(std::size_t id,
+            std::shared_ptr<const ops5::Program> program,
+            const MatcherSpec &spec, ops5::Strategy strategy);
+
+    std::size_t id() const { return id_; }
+
+    /** Engine access for the draining server thread — or for tests
+     *  while the pool is quiesced (not started, or drained). */
+    core::Engine &engine() { return *engine_; }
+    core::Matcher &matcher() { return *matcher_; }
+
+    /** One admitted request waiting in the session queue. */
+    struct Pending
+    {
+        Request req;
+        std::promise<Response> promise;
+        ServeClock::time_point enqueued;
+    };
+
+    // Queue state, guarded by mu (client threads + server threads).
+    std::mutex mu;
+    std::deque<Pending> queue;
+    /** True while the session sits in the pool's ready list or a
+     *  server thread is draining it — never both places at once. */
+    bool scheduled = false;
+
+    /**
+     * Live external handles: WME -> time tag, server thread only.
+     * Retracts are validated against this map (via the tag, without
+     * dereferencing the handle) so stale pointers — repeated
+     * retracts, or elements a rule firing already removed and the
+     * engine freed — are answered `retracted=false` instead of
+     * touching dead memory.
+     */
+    std::unordered_map<const ops5::Wme *, ops5::TimeTag> handles;
+
+  private:
+    std::size_t id_;
+    std::unique_ptr<core::Matcher> matcher_;
+    std::unique_ptr<core::Engine> engine_;
+};
+
+} // namespace psm::serve
+
+#endif // PSM_SERVE_SESSION_HPP

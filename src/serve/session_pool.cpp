@@ -1,0 +1,377 @@
+#include "serve/session_pool.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace psm::serve {
+
+const char *
+rejectReasonName(RejectReason r)
+{
+    switch (r) {
+      case RejectReason::None: return "none";
+      case RejectReason::QueueFull: return "queue_full";
+      case RejectReason::Overloaded: return "overloaded";
+      case RejectReason::ShuttingDown: return "shutting_down";
+      case RejectReason::BadSession: return "bad_session";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Clamps nonsensical sizing to the smallest working pool. */
+PoolOptions
+normalized(PoolOptions o)
+{
+    o.n_sessions = std::max<std::size_t>(o.n_sessions, 1);
+    o.n_threads = std::max<std::size_t>(o.n_threads, 1);
+    o.queue_capacity = std::max<std::size_t>(o.queue_capacity, 1);
+    o.max_batch = std::max<std::size_t>(o.max_batch, 1);
+    if (o.default_run_cycles == 0)
+        o.default_run_cycles = 1;
+    return o;
+}
+
+} // namespace
+
+SessionPool::SessionPool(std::shared_ptr<const ops5::Program> program,
+                         PoolOptions options)
+    : program_(std::move(program)), options_(normalized(options)),
+      metrics_(options_.n_threads + 1)
+{
+    sessions_.reserve(options_.n_sessions);
+    for (std::size_t i = 0; i < options_.n_sessions; ++i)
+        sessions_.push_back(std::make_unique<Session>(
+            i, program_, options_.matcher, options_.strategy));
+    if (options_.autostart)
+        start();
+}
+
+SessionPool::~SessionPool() { shutdown(); }
+
+core::Engine &
+SessionPool::engine(std::size_t session)
+{
+    return sessions_.at(session)->engine();
+}
+
+Submit
+SessionPool::submit(std::size_t session, Request req)
+{
+    Submit out;
+    if (session >= sessions_.size()) {
+        out.rejected = RejectReason::BadSession;
+        return out;
+    }
+
+    // Admission vs drain: the pending_ increment and the accepting_
+    // check are both seq_cst so drain()'s store(false) -> load of
+    // pending_ cannot interleave with this fetch_add -> load in a way
+    // where drain misses the request AND the request passes admission
+    // (the classic store/load reordering).
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+    auto release_pending = [this] {
+        if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+            std::lock_guard<std::mutex> lk(ready_mu_);
+            drained_cv_.notify_all();
+        }
+    };
+
+    auto reject = [&](RejectReason why,
+                      std::atomic<std::uint64_t> &slot) {
+        release_pending();
+        slot.fetch_add(1, std::memory_order_relaxed);
+        metrics_.count(0, telemetry::Counter::ServeRejected);
+        out.rejected = why;
+    };
+
+    if (!accepting_.load(std::memory_order_seq_cst)) {
+        reject(RejectReason::ShuttingDown, n_rej_shutdown_);
+        return out;
+    }
+    if (options_.shed_watermark != 0 &&
+        pending_.load(std::memory_order_relaxed) >
+            options_.shed_watermark) {
+        reject(RejectReason::Overloaded, n_rej_overload_);
+        return out;
+    }
+
+    Session &s = *sessions_[session];
+    bool need_schedule = false;
+    std::size_t depth = 0;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        if (s.queue.size() >= options_.queue_capacity) {
+            // Unlock before the shared-state updates in reject().
+        } else {
+            Session::Pending p;
+            p.req = std::move(req);
+            p.enqueued = ServeClock::now();
+            out.response = p.promise.get_future();
+            s.queue.push_back(std::move(p));
+            depth = s.queue.size();
+            if (!s.scheduled) {
+                s.scheduled = true;
+                need_schedule = true;
+            }
+        }
+    }
+    if (depth == 0) {
+        reject(RejectReason::QueueFull, n_rej_full_);
+        return out;
+    }
+
+    n_admitted_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.count(0, telemetry::Counter::ServeAdmitted);
+    metrics_.observe(0, telemetry::Histogram::ServeQueueDepth, depth);
+
+    if (need_schedule) {
+        std::lock_guard<std::mutex> lk(ready_mu_);
+        ready_.push_back(session);
+        ready_cv_.notify_one();
+    }
+    return out;
+}
+
+void
+SessionPool::start()
+{
+    std::lock_guard<std::mutex> lk(ready_mu_);
+    if (started_ || joined_)
+        return;
+    started_ = true;
+    threads_.reserve(options_.n_threads);
+    for (std::size_t i = 0; i < options_.n_threads; ++i)
+        threads_.emplace_back(&SessionPool::serverLoop, this, i);
+}
+
+void
+SessionPool::drain()
+{
+    accepting_.store(false, std::memory_order_seq_cst);
+    // A never-started pool still owes responses for everything it
+    // admitted: spin the servers up so drain is graceful, not a hang.
+    start();
+    std::unique_lock<std::mutex> lk(ready_mu_);
+    drained_cv_.wait(lk, [this] {
+        return pending_.load(std::memory_order_seq_cst) == 0;
+    });
+}
+
+void
+SessionPool::shutdown()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lk(ready_mu_);
+        if (joined_)
+            return;
+        joined_ = true;
+        stop_threads_ = true;
+        ready_cv_.notify_all();
+    }
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
+SessionPool::Stats
+SessionPool::stats() const
+{
+    Stats st;
+    st.admitted = n_admitted_.load(std::memory_order_relaxed);
+    st.completed = n_completed_.load(std::memory_order_relaxed);
+    st.expired = n_expired_.load(std::memory_order_relaxed);
+    st.rejected_full = n_rej_full_.load(std::memory_order_relaxed);
+    st.rejected_overload =
+        n_rej_overload_.load(std::memory_order_relaxed);
+    st.rejected_shutdown =
+        n_rej_shutdown_.load(std::memory_order_relaxed);
+    st.batches = n_batches_.load(std::memory_order_relaxed);
+    return st;
+}
+
+void
+SessionPool::serverLoop(std::size_t worker)
+{
+    const std::size_t shard = worker + 1;
+    for (;;) {
+        std::size_t idx;
+        {
+            std::unique_lock<std::mutex> lk(ready_mu_);
+            ready_cv_.wait(lk, [this] {
+                return stop_threads_ || !ready_.empty();
+            });
+            if (ready_.empty()) {
+                if (stop_threads_)
+                    return;
+                continue;
+            }
+            idx = ready_.front();
+            ready_.pop_front();
+        }
+
+        Session &s = *sessions_[idx];
+        drainSession(s, shard);
+
+        // Reschedule the session or hand it back: either this thread
+        // re-lists it, or a future submit sees scheduled == false and
+        // does — the session is never in the list twice.
+        bool more;
+        {
+            std::lock_guard<std::mutex> lk(s.mu);
+            more = !s.queue.empty();
+            if (!more)
+                s.scheduled = false;
+        }
+        if (more) {
+            std::lock_guard<std::mutex> lk(ready_mu_);
+            ready_.push_back(idx);
+            ready_cv_.notify_one();
+        }
+    }
+}
+
+void
+SessionPool::completeOne(Session::Pending &p, Response &&resp,
+                         std::size_t shard)
+{
+    resp.latency =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            ServeClock::now() - p.enqueued);
+    if (resp.deadline_expired) {
+        n_expired_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.count(shard, telemetry::Counter::ServeExpired);
+    }
+    metrics_.observe(
+        shard, telemetry::Histogram::ServeRequestLatencyUs,
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(resp.latency.count(), 0)));
+    metrics_.count(shard, telemetry::Counter::ServeCompleted);
+    n_completed_.fetch_add(1, std::memory_order_relaxed);
+    p.promise.set_value(std::move(resp));
+
+    if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        std::lock_guard<std::mutex> lk(ready_mu_);
+        drained_cv_.notify_all();
+    }
+}
+
+void
+SessionPool::drainSession(Session &s, std::size_t shard)
+{
+    std::vector<Session::Pending> batch;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        std::size_t take =
+            std::min(s.queue.size(), options_.max_batch);
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(s.queue.front()));
+            s.queue.pop_front();
+        }
+    }
+    if (batch.empty())
+        return;
+    metrics_.observe(shard, telemetry::Histogram::ServeBatchSize,
+                     batch.size());
+
+    core::Engine &eng = s.engine();
+    core::Engine::ExternalBatch wm_batch(eng);
+
+    // Inserts staged in the CURRENT uncommitted batch: a retract of
+    // one forces a flush first, so the matcher never sees a conjugate
+    // insert/remove pair racing inside one parallel batch.
+    std::unordered_set<const ops5::Wme *> staged;
+
+    // Responses owed once the staged batch commits (their WM effect
+    // is not matched until then).
+    std::vector<std::pair<Session::Pending *, Response>> deferred;
+
+    auto flush = [&] {
+        if (!wm_batch.empty()) {
+            wm_batch.commit();
+            n_batches_.fetch_add(1, std::memory_order_relaxed);
+            metrics_.count(shard, telemetry::Counter::ServeBatches);
+        }
+        staged.clear();
+        for (auto &[p, resp] : deferred)
+            completeOne(*p, std::move(resp), shard);
+        deferred.clear();
+    };
+
+    for (Session::Pending &p : batch) {
+        if (p.req.hasDeadline() &&
+            ServeClock::now() >= p.req.deadline) {
+            // Expired while queued: load-shed without executing.
+            Response resp;
+            resp.kind = p.req.kind;
+            resp.deadline_expired = true;
+            completeOne(p, std::move(resp), shard);
+            continue;
+        }
+        switch (p.req.kind) {
+          case RequestKind::Assert: {
+            const ops5::Wme *w =
+                wm_batch.insert(p.req.cls, std::move(p.req.fields));
+            staged.insert(w);
+            s.handles.emplace(w, w->timeTag());
+            Response resp;
+            resp.kind = RequestKind::Assert;
+            resp.wme = w;
+            deferred.emplace_back(&p, std::move(resp));
+            break;
+          }
+          case RequestKind::Retract: {
+            Response resp;
+            resp.kind = RequestKind::Retract;
+            auto it = s.handles.find(p.req.wme);
+            // Validate through the recorded time tag, never through
+            // the caller's pointer: a stale handle (repeated retract,
+            // or an element a firing already removed) may point at
+            // freed memory.
+            if (it == s.handles.end() ||
+                eng.workingMemory().findByTag(it->second) !=
+                    p.req.wme) {
+                if (it != s.handles.end())
+                    s.handles.erase(it);
+                resp.retracted = false;
+                completeOne(p, std::move(resp), shard);
+                break;
+            }
+            if (staged.count(p.req.wme) != 0)
+                flush();
+            resp.retracted = wm_batch.remove(p.req.wme);
+            s.handles.erase(p.req.wme);
+            deferred.emplace_back(&p, std::move(resp));
+            break;
+          }
+          case RequestKind::Run: {
+            flush();
+            std::uint64_t cycles = p.req.max_cycles != 0
+                                       ? p.req.max_cycles
+                                       : options_.default_run_cycles;
+            core::RunResult r;
+            if (p.req.hasDeadline()) {
+                const ServeClock::time_point deadline =
+                    p.req.deadline;
+                r = eng.run(cycles, [deadline] {
+                    return ServeClock::now() >= deadline;
+                });
+            } else {
+                r = eng.run(cycles);
+            }
+            Response resp;
+            resp.kind = RequestKind::Run;
+            resp.run = r;
+            resp.deadline_expired = r.stopped;
+            completeOne(p, std::move(resp), shard);
+            break;
+          }
+        }
+    }
+    flush();
+}
+
+} // namespace psm::serve

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * SessionPool: N independent engine sessions served by M threads,
+ * with batched ingestion, admission control, deadlines, and graceful
+ * drain — the serving layer that turns the reproduction into a
+ * multi-tenant system.
+ *
+ * Design:
+ *  - Every session has a bounded FIFO request queue. submit() is the
+ *    ONLY admission point and is typed: it returns a future for the
+ *    eventual Response or a RejectReason (queue full, pool past its
+ *    shed watermark, shutting down). Nothing queues unboundedly.
+ *  - Server threads take whole sessions, not single requests, off a
+ *    ready list; a session is drained by at most one thread at a
+ *    time, so engines need no locks. Draining folds contiguous
+ *    assert/retract requests into ONE Engine::ExternalBatch — the
+ *    paper's "multiple WM changes in parallel" axis (Section 4.3) —
+ *    and the amortisation grows exactly when load does: deeper
+ *    queues produce bigger batches and fewer match fixpoints per
+ *    request.
+ *  - Deadlines are enforced twice: a request that expires while
+ *    queued is completed (deadline_expired) without executing, and a
+ *    Run checks its deadline between cycles via the engine's stop
+ *    predicate — no cycle-granularity polling hacks.
+ *  - drain() stops admission (ShuttingDown rejections) and waits for
+ *    every already-accepted request to complete; shutdown() then
+ *    joins the threads. The destructor does both.
+ *
+ * Telemetry: the pool owns a telemetry::Registry (1 admission shard +
+ * one per server thread). Request latency, queue depth at admission,
+ * and batch sizes are histograms with p50/p95/p99 JSON export;
+ * admissions/rejections/completions/expiries are counters.
+ */
+
+#ifndef PSM_SERVE_SESSION_POOL_HPP
+#define PSM_SERVE_SESSION_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/telemetry.hpp"
+#include "serve/session.hpp"
+
+namespace psm::serve {
+
+/** Pool sizing and policy. */
+struct PoolOptions
+{
+    std::size_t n_sessions = 1;
+
+    /** Server threads shared by all sessions. */
+    std::size_t n_threads = 1;
+
+    /** Per-session queue bound; submits beyond it are QueueFull. */
+    std::size_t queue_capacity = 1024;
+
+    /**
+     * Pool-wide pending-request high-watermark: while the total
+     * admitted-but-uncompleted count is at or past it, submits are
+     * shed with Overloaded. 0 disables shedding (the per-session
+     * capacity still bounds memory).
+     */
+    std::size_t shed_watermark = 0;
+
+    /** Max WM-change requests folded into one match batch. */
+    std::size_t max_batch = 64;
+
+    /** Firing budget for Run requests that ask for 0. */
+    std::uint64_t default_run_cycles = 10000;
+
+    /** Spawn server threads in the constructor. Tests set false to
+     *  exercise admission control deterministically, then start(). */
+    bool autostart = true;
+
+    MatcherSpec matcher{};
+    ops5::Strategy strategy = ops5::Strategy::Lex;
+};
+
+/**
+ * The multi-session serving pool. All public methods are thread-safe
+ * except engine(), which requires a quiesced pool (see below).
+ */
+class SessionPool
+{
+  public:
+    SessionPool(std::shared_ptr<const ops5::Program> program,
+                PoolOptions options);
+
+    /** Drains and joins. */
+    ~SessionPool();
+
+    SessionPool(const SessionPool &) = delete;
+    SessionPool &operator=(const SessionPool &) = delete;
+
+    std::size_t sessionCount() const { return sessions_.size(); }
+    const PoolOptions &options() const { return options_; }
+
+    /**
+     * Admits @p req into @p session's queue or rejects it. Safe from
+     * any thread. On acceptance the Response arrives through
+     * Submit::response once a server thread has executed the request.
+     */
+    Submit submit(std::size_t session, Request req);
+
+    /** Spawns the server threads (idempotent). */
+    void start();
+
+    /**
+     * Stops admission and blocks until every accepted request has
+     * been completed. Threads stay alive (an explicit start() after
+     * drain is not supported; build a new pool instead).
+     */
+    void drain();
+
+    /** drain() + join all server threads (idempotent). */
+    void shutdown();
+
+    /** True while submit() can still accept work. */
+    bool accepting() const
+    {
+        return accepting_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Direct engine access for tests and post-drain inspection. Only
+     * valid while the pool cannot touch the session concurrently:
+     * before start(), or after drain()/shutdown().
+     */
+    core::Engine &engine(std::size_t session);
+
+    /** The pool-owned registry (latency/depth/batch histograms). */
+    telemetry::Registry &metrics() { return metrics_; }
+    const telemetry::Registry &metrics() const { return metrics_; }
+
+    /** Plain counters mirrored outside telemetry (exact, typed). */
+    struct Stats
+    {
+        std::uint64_t admitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t expired = 0; ///< deadline hit (subset of completed)
+        std::uint64_t rejected_full = 0;
+        std::uint64_t rejected_overload = 0;
+        std::uint64_t rejected_shutdown = 0;
+        std::uint64_t batches = 0; ///< ExternalBatch commits
+
+        std::uint64_t
+        rejected() const
+        {
+            return rejected_full + rejected_overload +
+                   rejected_shutdown;
+        }
+    };
+
+    Stats stats() const;
+
+  private:
+    void serverLoop(std::size_t worker);
+
+    /** Executes up to max_batch requests of @p s; returns completed
+     *  count. @p shard is the caller's telemetry shard. */
+    void drainSession(Session &s, std::size_t shard);
+
+    void completeOne(Session::Pending &p, Response &&resp,
+                     std::size_t shard);
+
+    std::shared_ptr<const ops5::Program> program_;
+    PoolOptions options_;
+    telemetry::Registry metrics_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+
+    // Ready list: sessions with queued work, each present at most
+    // once (Session::scheduled). Guarded by ready_mu_.
+    std::mutex ready_mu_;
+    std::condition_variable ready_cv_;
+    std::deque<std::size_t> ready_;
+    bool stop_threads_ = false;
+
+    // Drain rendezvous: pending_ counts admitted-but-uncompleted
+    // requests; drained_cv_ fires when it reaches zero.
+    std::atomic<std::uint64_t> pending_{0};
+    std::condition_variable drained_cv_;
+
+    std::atomic<bool> accepting_{true};
+    bool started_ = false;  ///< guarded by ready_mu_
+    bool joined_ = false;   ///< guarded by ready_mu_
+    std::vector<std::thread> threads_;
+
+    // Exact typed counters (multi-writer).
+    std::atomic<std::uint64_t> n_admitted_{0};
+    std::atomic<std::uint64_t> n_completed_{0};
+    std::atomic<std::uint64_t> n_expired_{0};
+    std::atomic<std::uint64_t> n_rej_full_{0};
+    std::atomic<std::uint64_t> n_rej_overload_{0};
+    std::atomic<std::uint64_t> n_rej_shutdown_{0};
+    std::atomic<std::uint64_t> n_batches_{0};
+};
+
+} // namespace psm::serve
+
+#endif // PSM_SERVE_SESSION_POOL_HPP

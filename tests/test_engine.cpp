@@ -302,4 +302,138 @@ INSTANTIATE_TEST_SUITE_P(Matchers, EngineMatcherParity,
                              return std::string(info.param);
                          });
 
+/**
+ * External assert/retract interleaved between run() calls — the
+ * serving layer's access pattern — must behave identically on every
+ * parallel scheduler backend.
+ */
+class ExternalChangesAcrossSchedulers
+    : public ::testing::TestWithParam<core::SchedulerKind>
+{};
+
+TEST_P(ExternalChangesAcrossSchedulers, InterleavedAssertRetractRun)
+{
+    auto prog = parse(R"(
+(literalize job id)
+(literalize done id)
+(p work (job ^id <i>) --> (make done ^id <i>) (remove 1))
+)");
+    core::ParallelOptions opt;
+    opt.n_workers = 2;
+    opt.scheduler = GetParam();
+    core::ParallelReteMatcher matcher(prog, opt);
+    core::Engine engine(prog, matcher);
+    engine.loadInitialWorkingMemory();
+
+    SymbolId job = prog->symbols().find("job");
+
+    // Round 1: two external jobs, run to quiescence.
+    engine.assertWme(job, {Value::integer(1)});
+    engine.assertWme(job, {Value::integer(2)});
+    core::RunResult r1 = engine.run(10);
+    EXPECT_TRUE(r1.quiescent);
+    EXPECT_EQ(r1.firings, 2u);
+
+    // Round 2: a job asserted then retracted before the run never
+    // fires; the retract of an already-consumed handle is refused.
+    const Wme *w3 = engine.assertWme(job, {Value::integer(3)});
+    EXPECT_TRUE(engine.retractWme(w3));
+    EXPECT_FALSE(engine.retractWme(w3)) << "repeated retract";
+    core::RunResult r2 = engine.run(10);
+    EXPECT_TRUE(r2.quiescent);
+    EXPECT_EQ(r2.firings, 0u);
+
+    // Round 3: rules consumed the round-1 jobs; retracting their
+    // stale handles after further cycles must also be refused.
+    const Wme *w4 = engine.assertWme(job, {Value::integer(4)});
+    core::RunResult r3 = engine.run(10);
+    EXPECT_EQ(r3.firings, 1u);
+    EXPECT_FALSE(engine.retractWme(w4))
+        << "rule already removed this element";
+    EXPECT_EQ(engine.workingMemory().liveCount(), 3u)
+        << "done 1, 2, and 4";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, ExternalChangesAcrossSchedulers,
+    ::testing::Values(core::SchedulerKind::Central,
+                      core::SchedulerKind::Stealing,
+                      core::SchedulerKind::LockFree),
+    [](const auto &info) {
+        switch (info.param) {
+          case core::SchedulerKind::Central: return "Central";
+          case core::SchedulerKind::Stealing: return "Stealing";
+          case core::SchedulerKind::LockFree: return "LockFree";
+        }
+        return "Unknown";
+    });
+
+TEST(EngineTest, ExternalBatchMatchesOnceAtCommit)
+{
+    auto prog = parse(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (remove 1))
+)");
+    rete::ReteMatcher matcher(prog);
+    core::Engine engine(prog, matcher);
+    engine.loadInitialWorkingMemory();
+
+    SymbolId a = prog->symbols().find("a");
+    const Wme *w1 = nullptr;
+    {
+        core::Engine::ExternalBatch batch(engine);
+        w1 = batch.insert(a, {Value::integer(1)});
+        batch.insert(a, {Value::integer(1)});
+        batch.insert(a, {Value::integer(2)});
+        EXPECT_EQ(batch.size(), 3u);
+        // Staged changes touch WM immediately but not the matcher.
+        EXPECT_EQ(engine.workingMemory().liveCount(), 3u);
+        EXPECT_EQ(matcher.conflictSet().size(), 0u);
+        batch.commit();
+        EXPECT_TRUE(batch.empty());
+        EXPECT_EQ(matcher.conflictSet().size(), 2u);
+    }
+    EXPECT_EQ(engine.totals().wme_changes, 3u);
+
+    // A batched retract: parked at remove(), matched and garbage
+    // collected at commit — the handle is dead afterwards, but its
+    // tag no longer resolves, which is how callers must check.
+    TimeTag tag1 = w1->timeTag();
+    {
+        core::Engine::ExternalBatch batch(engine);
+        EXPECT_TRUE(batch.remove(w1));
+        EXPECT_FALSE(batch.remove(w1)) << "already parked";
+        // dtor commits
+    }
+    EXPECT_EQ(engine.workingMemory().findByTag(tag1), nullptr);
+    EXPECT_EQ(matcher.conflictSet().size(), 1u);
+    EXPECT_EQ(engine.totals().wme_changes, 4u);
+}
+
+TEST(EngineTest, RunStopPredicateBoundsCycles)
+{
+    auto prog = chainProgram(50);
+    rete::ReteMatcher matcher(prog);
+    core::Engine engine(prog, matcher);
+    engine.loadInitialWorkingMemory();
+
+    // Polled before every cycle: true on the 4th poll = 3 cycles ran.
+    int polls = 0;
+    core::RunResult r = engine.run(100, [&] { return ++polls > 3; });
+    EXPECT_TRUE(r.stopped);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.firings, 3u);
+
+    // An already-true predicate runs zero cycles.
+    core::RunResult r0 = engine.run(100, [] { return true; });
+    EXPECT_TRUE(r0.stopped);
+    EXPECT_EQ(r0.firings, 0u);
+
+    // Without a predicate the run continues where it left off.
+    core::RunResult rest = engine.run(100);
+    EXPECT_FALSE(rest.stopped);
+    EXPECT_TRUE(rest.halted);
+    EXPECT_EQ(rest.firings, 48u) << "47 chain steps + fin";
+}
+
 } // namespace

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Serving-layer tests: admission control (typed rejections, load
+ * shedding), request batching, deadlines (queued and mid-run),
+ * graceful drain/shutdown, stale-handle safety, and multi-session
+ * pools over the parallel matcher's three scheduler backends.
+ *
+ * Determinism trick used throughout: a pool built with
+ * autostart=false admits but never executes, so queue depth, shed
+ * state, and expiry are controlled exactly; start()/drain() then
+ * releases the work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "ops5/parser.hpp"
+#include "serve/serve.hpp"
+
+using namespace psm;
+using namespace psm::serve;
+
+namespace {
+
+/** Each job WME is consumed by one firing that logs a done WME. */
+constexpr const char *kJobs = R"(
+(literalize job id)
+(literalize done id)
+(p work (job ^id <i>) --> (make done ^id <i>) (remove 1))
+)";
+
+/** Never quiesces: the counter flips forever (for deadline tests). */
+constexpr const char *kFlipFlop = R"(
+(literalize c v)
+(p flip (c ^v 0) --> (modify 1 ^v 1))
+(p flop (c ^v 1) --> (modify 1 ^v 0))
+(make c ^v 0)
+)";
+
+std::shared_ptr<const ops5::Program>
+jobsProgram()
+{
+    return ops5::parse(kJobs);
+}
+
+Request
+assertJob(const std::shared_ptr<const ops5::Program> &prog, int id)
+{
+    return Request::makeAssert(prog->symbols().find("job"),
+                               {ops5::Value::integer(id)});
+}
+
+TEST(ServeTest, BatchingFoldsRequestsIntoFewFixpoints)
+{
+    auto prog = jobsProgram();
+    PoolOptions opt;
+    opt.autostart = false;
+    opt.max_batch = 64;
+    SessionPool pool(prog, opt);
+
+    std::vector<Submit> subs;
+    for (int i = 0; i < 16; ++i)
+        subs.push_back(pool.submit(0, assertJob(prog, i)));
+    for (Submit &s : subs)
+        ASSERT_TRUE(s.accepted());
+
+    pool.start();
+    pool.drain();
+
+    for (Submit &s : subs) {
+        Response r = s.response.get();
+        EXPECT_EQ(r.kind, RequestKind::Assert);
+        EXPECT_NE(r.wme, nullptr);
+        EXPECT_FALSE(r.deadline_expired);
+    }
+    SessionPool::Stats st = pool.stats();
+    EXPECT_EQ(st.admitted, 16u);
+    EXPECT_EQ(st.completed, 16u);
+    EXPECT_LT(st.batches, 16u)
+        << "requests must fold into shared match batches";
+    EXPECT_GE(st.batches, 1u);
+    EXPECT_EQ(pool.engine(0).workingMemory().liveCount(), 16u);
+
+    // Telemetry mirrors the ledger.
+    auto &m = pool.metrics();
+    EXPECT_EQ(m.total(telemetry::Counter::ServeAdmitted), 16u);
+    EXPECT_EQ(m.total(telemetry::Counter::ServeCompleted), 16u);
+    telemetry::HistogramData lat =
+        m.merged(telemetry::Histogram::ServeRequestLatencyUs);
+    EXPECT_EQ(lat.count, 16u);
+    telemetry::HistogramData bs =
+        m.merged(telemetry::Histogram::ServeBatchSize);
+    EXPECT_GE(bs.max, 2u) << "at least one multi-request batch";
+}
+
+TEST(ServeTest, QueueFullRejectionIsTyped)
+{
+    auto prog = jobsProgram();
+    PoolOptions opt;
+    opt.autostart = false;
+    opt.queue_capacity = 4;
+    SessionPool pool(prog, opt);
+
+    std::vector<Submit> subs;
+    for (int i = 0; i < 4; ++i) {
+        subs.push_back(pool.submit(0, assertJob(prog, i)));
+        ASSERT_TRUE(subs.back().accepted());
+    }
+    Submit overflow = pool.submit(0, assertJob(prog, 99));
+    EXPECT_EQ(overflow.rejected, RejectReason::QueueFull);
+    EXPECT_STREQ(rejectReasonName(overflow.rejected), "queue_full");
+
+    pool.start();
+    pool.drain();
+    for (Submit &s : subs)
+        EXPECT_NE(s.response.get().wme, nullptr);
+    SessionPool::Stats st = pool.stats();
+    EXPECT_EQ(st.admitted, 4u);
+    EXPECT_EQ(st.completed, 4u);
+    EXPECT_EQ(st.rejected_full, 1u);
+    EXPECT_EQ(st.rejected(), 1u);
+}
+
+TEST(ServeTest, OverloadSheddingAtWatermark)
+{
+    auto prog = jobsProgram();
+    PoolOptions opt;
+    opt.autostart = false;
+    opt.n_sessions = 2;
+    opt.shed_watermark = 2;
+    SessionPool pool(prog, opt);
+
+    // Watermark counts pool-wide pending, not per session.
+    Submit a = pool.submit(0, assertJob(prog, 1));
+    Submit b = pool.submit(1, assertJob(prog, 2));
+    ASSERT_TRUE(a.accepted());
+    ASSERT_TRUE(b.accepted());
+    Submit shed = pool.submit(0, assertJob(prog, 3));
+    EXPECT_EQ(shed.rejected, RejectReason::Overloaded);
+
+    pool.drain(); // also exercises drain-before-start
+    EXPECT_NE(a.response.get().wme, nullptr);
+    EXPECT_NE(b.response.get().wme, nullptr);
+    SessionPool::Stats st = pool.stats();
+    EXPECT_EQ(st.rejected_overload, 1u);
+    EXPECT_EQ(pool.metrics().total(telemetry::Counter::ServeRejected),
+              1u);
+}
+
+TEST(ServeTest, BadSessionRejectedWithoutSideEffects)
+{
+    auto prog = jobsProgram();
+    PoolOptions opt;
+    opt.autostart = false;
+    SessionPool pool(prog, opt);
+    Submit s = pool.submit(7, assertJob(prog, 1));
+    EXPECT_EQ(s.rejected, RejectReason::BadSession);
+    EXPECT_EQ(pool.stats().admitted, 0u);
+    pool.drain();
+}
+
+TEST(ServeTest, DeadlineExpiredInQueueSkipsExecution)
+{
+    auto prog = jobsProgram();
+    PoolOptions opt;
+    opt.autostart = false;
+    SessionPool pool(prog, opt);
+
+    Request late = assertJob(prog, 1);
+    late.deadline = ServeClock::now() - std::chrono::milliseconds(1);
+    Submit expired = pool.submit(0, late);
+    Submit fresh = pool.submit(0, assertJob(prog, 2));
+    ASSERT_TRUE(expired.accepted());
+    ASSERT_TRUE(fresh.accepted());
+
+    pool.start();
+    pool.drain();
+
+    Response r = expired.response.get();
+    EXPECT_TRUE(r.deadline_expired);
+    EXPECT_EQ(r.wme, nullptr) << "expired requests must not execute";
+    EXPECT_FALSE(fresh.response.get().deadline_expired);
+    SessionPool::Stats st = pool.stats();
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.expired, 1u);
+    EXPECT_EQ(pool.engine(0).workingMemory().liveCount(), 1u);
+}
+
+TEST(ServeTest, DeadlineStopsRunMidway)
+{
+    auto prog = ops5::parse(kFlipFlop);
+    SessionPool pool(prog, {});
+
+    Request run = Request::makeRun(100000000);
+    run.deadline = ServeClock::now() + std::chrono::milliseconds(5);
+    Submit s = pool.submit(0, run);
+    ASSERT_TRUE(s.accepted());
+    Response r = s.response.get();
+    EXPECT_TRUE(r.deadline_expired);
+    EXPECT_TRUE(r.run.stopped);
+    EXPECT_FALSE(r.run.halted);
+    EXPECT_LT(r.run.firings, 100000000u)
+        << "the flip-flop never quiesces; only the deadline stops it";
+}
+
+TEST(ServeTest, RunWithoutDeadlineUsesCycleBudget)
+{
+    auto prog = ops5::parse(kFlipFlop);
+    PoolOptions opt;
+    opt.default_run_cycles = 10;
+    SessionPool pool(prog, opt);
+
+    Submit s = pool.submit(0, Request::makeRun());
+    ASSERT_TRUE(s.accepted());
+    Response r = s.response.get();
+    EXPECT_FALSE(r.deadline_expired);
+    EXPECT_EQ(r.run.firings, 10u) << "pool default budget applies";
+
+    Submit s2 = pool.submit(0, Request::makeRun(3));
+    Response r2 = s2.response.get();
+    EXPECT_EQ(r2.run.firings, 3u) << "per-request budget wins";
+}
+
+TEST(ServeTest, DrainCompletesAcceptedThenRejectsNew)
+{
+    auto prog = jobsProgram();
+    PoolOptions opt;
+    opt.autostart = false;
+    SessionPool pool(prog, opt);
+
+    std::vector<Submit> subs;
+    for (int i = 0; i < 8; ++i)
+        subs.push_back(pool.submit(0, assertJob(prog, i)));
+
+    pool.drain(); // starts the servers itself; must not hang
+    EXPECT_FALSE(pool.accepting());
+    for (Submit &s : subs) {
+        ASSERT_TRUE(s.accepted());
+        EXPECT_NE(s.response.get().wme, nullptr)
+            << "every accepted request completes during drain";
+    }
+
+    Submit late = pool.submit(0, assertJob(prog, 99));
+    EXPECT_EQ(late.rejected, RejectReason::ShuttingDown);
+    SessionPool::Stats st = pool.stats();
+    EXPECT_EQ(st.completed, 8u);
+    EXPECT_EQ(st.rejected_shutdown, 1u);
+
+    pool.shutdown(); // idempotent with the destructor
+}
+
+TEST(ServeTest, RetractDuringDrainAndRepeatedRetract)
+{
+    auto prog = jobsProgram();
+    SessionPool pool(prog, {});
+
+    // Assert a done-class element no rule consumes, so the handle
+    // stays live until we retract it.
+    Submit a = pool.submit(
+        0, Request::makeAssert(prog->symbols().find("done"),
+                               {ops5::Value::integer(1)}));
+    ASSERT_TRUE(a.accepted());
+    const ops5::Wme *handle = a.response.get().wme;
+    ASSERT_NE(handle, nullptr);
+
+    // Retract submitted immediately before drain: drain must execute
+    // it, not strand it.
+    Submit r1 = pool.submit(0, Request::makeRetract(handle));
+    ASSERT_TRUE(r1.accepted());
+    pool.drain();
+    EXPECT_TRUE(r1.response.get().retracted);
+    EXPECT_EQ(pool.engine(0).workingMemory().liveCount(), 0u);
+}
+
+TEST(ServeTest, RepeatedRetractIsSafeNoOp)
+{
+    auto prog = jobsProgram();
+    SessionPool pool(prog, {});
+
+    Submit a = pool.submit(
+        0, Request::makeAssert(prog->symbols().find("done"),
+                               {ops5::Value::integer(1)}));
+    const ops5::Wme *handle = a.response.get().wme;
+    ASSERT_NE(handle, nullptr);
+
+    Submit r1 = pool.submit(0, Request::makeRetract(handle));
+    EXPECT_TRUE(r1.response.get().retracted);
+
+    // The element is freed by now (batch commit collects garbage);
+    // a repeated retract of the dead pointer must answer false, not
+    // touch the memory.
+    Submit r2 = pool.submit(0, Request::makeRetract(handle));
+    EXPECT_FALSE(r2.response.get().retracted);
+
+    // A pointer the pool never issued is equally safe.
+    ops5::Wme foreign(prog->symbols().find("done"), 12345,
+                      {ops5::Value::integer(9)});
+    Submit r3 = pool.submit(0, Request::makeRetract(&foreign));
+    EXPECT_FALSE(r3.response.get().retracted);
+}
+
+TEST(ServeTest, RetractConsumedByFiringIsRefused)
+{
+    auto prog = jobsProgram();
+    SessionPool pool(prog, {});
+
+    Submit a = pool.submit(0, assertJob(prog, 1));
+    const ops5::Wme *handle = a.response.get().wme;
+    ASSERT_NE(handle, nullptr);
+
+    // The Run consumes the job (its rule removes it).
+    Submit run = pool.submit(0, Request::makeRun(10));
+    EXPECT_EQ(run.response.get().run.firings, 1u);
+
+    Submit r = pool.submit(0, Request::makeRetract(handle));
+    EXPECT_FALSE(r.response.get().retracted)
+        << "firing already removed the element";
+}
+
+TEST(ServeTest, AssertAndRetractNeverShareAMatchBatch)
+{
+    // An assert's handle only reaches the client AFTER its match
+    // batch commits (responses are deferred to the flush), so a
+    // retract referencing it always lands in a LATER batch — the
+    // matcher can never see a conjugate insert+remove pair racing
+    // inside one parallel batch. Verify that ordering end to end.
+    auto prog = jobsProgram();
+    PoolOptions opt;
+    opt.autostart = false;
+    SessionPool pool(prog, opt);
+
+    Submit a = pool.submit(
+        0, Request::makeAssert(prog->symbols().find("done"),
+                               {ops5::Value::integer(1)}));
+    ASSERT_TRUE(a.accepted());
+
+    std::thread retractor([&] {
+        const ops5::Wme *handle = a.response.get().wme;
+        Submit r = pool.submit(0, Request::makeRetract(handle));
+        ASSERT_TRUE(r.accepted());
+        EXPECT_TRUE(r.response.get().retracted);
+    });
+    pool.start();
+    retractor.join();
+    pool.drain();
+    EXPECT_EQ(pool.engine(0).workingMemory().liveCount(), 0u);
+    EXPECT_GE(pool.stats().batches, 2u)
+        << "the insert and the remove committed separately";
+}
+
+/**
+ * Multi-session pools over the parallel matcher: every scheduler
+ * backend serves concurrent clients to completion with per-session
+ * isolation (run under TSan in CI).
+ */
+class ServeSchedulerMatrix
+    : public ::testing::TestWithParam<core::SchedulerKind>
+{};
+
+TEST_P(ServeSchedulerMatrix, ConcurrentClientsOnParallelSessions)
+{
+    auto prog = jobsProgram();
+    PoolOptions opt;
+    opt.n_sessions = 3;
+    opt.n_threads = 2;
+    opt.matcher.kind = MatcherSpec::Kind::Parallel;
+    opt.matcher.workers = 2;
+    opt.matcher.scheduler = GetParam();
+    SessionPool pool(prog, opt);
+
+    constexpr int kClients = 3, kIters = 20;
+    std::vector<std::thread> clients;
+    std::atomic<std::uint64_t> ok{0};
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kIters; ++i) {
+                std::size_t sess =
+                    static_cast<std::size_t>(c) % pool.sessionCount();
+                Submit a = pool.submit(sess, assertJob(prog, i));
+                ASSERT_TRUE(a.accepted());
+                Submit run = pool.submit(sess, Request::makeRun(5));
+                ASSERT_TRUE(run.accepted());
+                if (a.response.get().wme != nullptr &&
+                    run.response.get().run.cycles >= 1)
+                    ok.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    pool.drain();
+
+    EXPECT_EQ(ok.load(), static_cast<std::uint64_t>(kClients * kIters));
+    SessionPool::Stats st = pool.stats();
+    EXPECT_EQ(st.admitted, st.completed);
+    EXPECT_EQ(st.rejected(), 0u);
+
+    // Per-session isolation: each engine consumed exactly its own
+    // clients' jobs into done elements.
+    std::uint64_t total_done = 0;
+    for (std::size_t i = 0; i < pool.sessionCount(); ++i)
+        total_done += pool.engine(i).workingMemory().liveCount();
+    EXPECT_EQ(total_done,
+              static_cast<std::uint64_t>(kClients * kIters));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, ServeSchedulerMatrix,
+    ::testing::Values(core::SchedulerKind::Central,
+                      core::SchedulerKind::Stealing,
+                      core::SchedulerKind::LockFree),
+    [](const auto &info) {
+        switch (info.param) {
+          case core::SchedulerKind::Central: return "Central";
+          case core::SchedulerKind::Stealing: return "Stealing";
+          case core::SchedulerKind::LockFree: return "LockFree";
+        }
+        return "Unknown";
+    });
+
+TEST(ServeTest, MatcherSpecParsesAllKinds)
+{
+    MatcherSpec::Kind k{};
+    EXPECT_TRUE(parseMatcherKind("rete", k));
+    EXPECT_EQ(k, MatcherSpec::Kind::Rete);
+    EXPECT_TRUE(parseMatcherKind("treat", k));
+    EXPECT_TRUE(parseMatcherKind("naive", k));
+    EXPECT_TRUE(parseMatcherKind("fullstate", k));
+    EXPECT_TRUE(parseMatcherKind("parallel", k));
+    EXPECT_FALSE(parseMatcherKind("bogus", k));
+    EXPECT_STREQ(matcherKindName(MatcherSpec::Kind::FullState),
+                 "fullstate");
+}
+
+TEST(ServeTest, LoadDriverClosedLoopSmoke)
+{
+    auto prog = jobsProgram();
+    // The driver needs initial WMEs as request templates; kJobs has
+    // none, so give it one.
+    auto with_initial = ops5::parse(R"(
+(literalize job id)
+(literalize done id)
+(p work (job ^id <i>) --> (make done ^id <i>) (remove 1))
+(make job ^id 0)
+)");
+    LoadConfig cfg;
+    cfg.sessions = 2;
+    cfg.threads = 1;
+    cfg.clients_per_session = 2;
+    cfg.iterations = 10;
+    cfg.asserts_per_iteration = 2;
+    bool inspected = false;
+    LoadResult r = runLoad(with_initial, cfg,
+                           [&](SessionPool &pool) {
+                               inspected = true;
+                               EXPECT_FALSE(pool.accepting());
+                           });
+    EXPECT_TRUE(inspected);
+    EXPECT_EQ(r.rejected, 0u);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_GT(r.requests_per_sec, 0.0);
+    EXPECT_LE(r.p50_us, r.p95_us);
+    EXPECT_LE(r.p95_us, r.p99_us);
+    EXPECT_LE(r.p99_us, r.max_us);
+
+    EXPECT_THROW(runLoad(prog, cfg), std::runtime_error)
+        << "programs without initial WMEs have no request templates";
+}
+
+} // namespace

@@ -82,6 +82,66 @@ TEST(Telemetry, HistogramBucketing)
     EXPECT_EQ(h.buckets[HistogramData::bucketOf(100)], 1u);
 }
 
+TEST(Telemetry, PercentilesFromBuckets)
+{
+    REQUIRE_TELEMETRY();
+
+    // Empty histogram: every percentile is zero.
+    Registry empty(1);
+    EXPECT_DOUBLE_EQ(
+        empty.merged(Histogram::TaskCostInstr).percentile(50), 0.0);
+
+    // A single observation: every percentile is that value (the
+    // linear interpolation within its bucket clamps to max).
+    Registry one(1);
+    one.observe(0, Histogram::TaskCostInstr, 100);
+    HistogramData h1 = one.merged(Histogram::TaskCostInstr);
+    EXPECT_DOUBLE_EQ(h1.percentile(0), 100.0);
+    EXPECT_DOUBLE_EQ(h1.percentile(50), 100.0);
+    EXPECT_DOUBLE_EQ(h1.percentile(100), 100.0);
+
+    // Uniform 1..100: the estimate must land inside the true value's
+    // power-of-two bucket and never exceed max.
+    Registry uni(2);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        uni.observe(v % 2, Histogram::TaskCostInstr, v);
+    HistogramData hu = uni.merged(Histogram::TaskCostInstr);
+    double p50 = hu.percentile(50);
+    double p95 = hu.percentile(95);
+    double p99 = hu.percentile(99);
+    EXPECT_GE(p50, 32.0) << "true p50 = 50 lives in [32,64)";
+    EXPECT_LE(p50, 64.0);
+    EXPECT_GE(p95, 64.0) << "true p95 = 95 lives in [64,100]";
+    EXPECT_LE(p95, 100.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, static_cast<double>(hu.max));
+
+    // Identical observations: the estimate stays inside the bucket
+    // and below the recorded max.
+    Registry same(1);
+    for (int i = 0; i < 5; ++i)
+        same.observe(0, Histogram::TaskCostInstr, 7);
+    HistogramData hs = same.merged(Histogram::TaskCostInstr);
+    EXPECT_GE(hs.percentile(50), 4.0);
+    EXPECT_LE(hs.percentile(50), 7.0);
+    EXPECT_LE(hs.percentile(99), 7.0);
+}
+
+TEST(Telemetry, WriteJsonEmitsPercentiles)
+{
+    REQUIRE_TELEMETRY();
+    Registry reg(1);
+    reg.observe(0, Histogram::TaskCostInstr, 10);
+    reg.observe(0, Histogram::TaskCostInstr, 20);
+    std::ostringstream os;
+    reg.writeJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+    EXPECT_NE(json.find("\"p95\": "), std::string::npos);
+    EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+}
+
 TEST(Telemetry, NodeAndProductionTotals)
 {
     REQUIRE_TELEMETRY();
