@@ -1,0 +1,259 @@
+/**
+ * @file
+ * E16 — durable-state economics: snapshot size, checkpoint cost, and
+ * the replay-vs-state restore crossover.
+ *
+ * The paper's state-saving argument (Section 3) is that carrying
+ * match state forward beats recomputing it, because each cycle
+ * changes only a small fraction of working memory. Recovery poses
+ * the same question at a coarser grain: a snapshot can either be
+ * re-matched from scratch (replay restore — runs the full match over
+ * every WME, any matcher) or its Rete memories can be reloaded
+ * directly (state restore — no matching at all). Replay cost grows
+ * with the match work the network must redo; state-restore cost grows
+ * only with the bytes of match state. This experiment sweeps working
+ * memory size and times both paths, plus the WAL append cost per
+ * fsync policy — the knobs a deployment actually tunes.
+ */
+
+#include <chrono>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "durable/durable.hpp"
+#include "rete/matcher.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Grows an engine's WM to ~n live WMEs: cycles the program's WME
+ *  templates with a unique integer stamped into the last field (so
+ *  joins stay realistic instead of exploding combinatorially), then
+ *  runs a few cycles so the conflict set and refraction are real. */
+void
+growWorkingMemory(psm::core::Engine &engine, std::size_t n)
+{
+    engine.loadInitialWorkingMemory();
+    const auto &templates = engine.program().initialWmes();
+    std::size_t made = 0;
+    while (made < n) {
+        psm::core::Engine::ExternalBatch batch(engine);
+        for (std::size_t i = 0; i < 256 && made < n; ++i, ++made) {
+            auto t = templates[made % templates.size()];
+            if (!t.fields.empty())
+                t.fields.back() = psm::ops5::Value::integer(
+                    static_cast<std::int64_t>(made));
+            batch.insert(t.cls, t.fields);
+        }
+        batch.commit();
+        engine.run(2);
+    }
+}
+
+struct SweepPoint
+{
+    std::size_t wm_target = 0;
+    std::size_t wm_live = 0;
+    std::size_t snapshot_bytes = 0;
+    double capture_ms = 0;
+    double state_restore_ms = 0;
+    double replay_restore_ms = 0;
+};
+
+SweepPoint
+measure(const std::shared_ptr<const psm::ops5::Program> &program,
+        std::size_t wm_target)
+{
+    SweepPoint p;
+    p.wm_target = wm_target;
+
+    psm::rete::ReteMatcher matcher(program);
+    psm::core::Engine engine(program, matcher);
+    growWorkingMemory(engine, wm_target);
+    p.wm_live = engine.workingMemory().liveElements().size();
+
+    auto t0 = Clock::now();
+    psm::durable::SnapshotData snap =
+        psm::durable::captureSnapshot(engine);
+    std::vector<std::uint8_t> bytes = psm::durable::encodeSnapshot(snap);
+    p.capture_ms = msSince(t0);
+    p.snapshot_bytes = bytes.size();
+
+    { // State path: Rete memories reloaded, no matching.
+        psm::rete::ReteMatcher m2(program);
+        psm::core::Engine e2(program, m2);
+        t0 = Clock::now();
+        bool used_state = psm::durable::restoreSnapshot(e2, snap);
+        p.state_restore_ms = msSince(t0);
+        if (!used_state) {
+            std::fprintf(stderr,
+                         "error: state restore path not taken\n");
+            std::exit(1);
+        }
+    }
+    { // Replay path: strip the match-state section, full re-match.
+        psm::durable::SnapshotData replay_only = snap;
+        replay_only.rete.present = false;
+        psm::rete::ReteMatcher m3(program);
+        psm::core::Engine e3(program, m3);
+        t0 = Clock::now();
+        psm::durable::restoreSnapshot(e3, replay_only);
+        p.replay_restore_ms = msSince(t0);
+    }
+    return p;
+}
+
+/** Mean per-record append latency (µs) for one fsync policy. */
+double
+walAppendUs(const std::string &dir, psm::durable::FsyncPolicy policy,
+            int n_records)
+{
+    psm::core::LoggedBatch record;
+    record.origin = psm::core::BatchOrigin::External;
+    for (int i = 0; i < 8; ++i) {
+        psm::core::LoggedBatch::Change c;
+        c.kind = psm::ops5::ChangeKind::Insert;
+        c.tag = static_cast<psm::ops5::TimeTag>(i + 1);
+        c.cls = 1;
+        c.fields = {psm::ops5::Value::integer(i),
+                    psm::ops5::Value::integer(i * 7)};
+        record.changes.push_back(c);
+    }
+    std::string path = dir + "/wal-" +
+                       psm::durable::fsyncPolicyName(policy) + ".plog";
+    fs::remove(path);
+    psm::durable::WalWriter writer(path, policy, /*fingerprint=*/1);
+    auto t0 = Clock::now();
+    for (int i = 0; i < n_records; ++i) {
+        record.seq = static_cast<std::uint64_t>(i + 1);
+        record.next_tag_after = record.seq * 8 + 1;
+        writer.append(record);
+    }
+    writer.sync(); // charge Batch policy its one deferred flush
+    double us = msSince(t0) * 1000.0 / n_records;
+    fs::remove(path);
+    return us;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    psm::bench::BenchArgs args = psm::bench::parseBenchArgs(argc, argv);
+
+    psm::bench::banner("E16",
+                       "durable state: snapshot size, checkpoint cost, "
+                       "replay vs state restore");
+
+    psm::workloads::SystemPreset preset = psm::workloads::tinyPreset();
+    auto program = psm::workloads::generateProgram(preset.config);
+
+    const std::size_t max_wm = args.batches > 0
+                                   ? static_cast<std::size_t>(args.batches)
+                                   : 8000;
+    const std::vector<std::size_t> sweep = {max_wm / 16, max_wm / 4,
+                                            max_wm};
+
+    std::printf("workload: preset:%s  (serial Rete, unique-stamped "
+                "template WMEs)\n\n",
+                preset.name.c_str());
+    std::printf("%8s %8s %12s %10s %10s %10s %10s %8s\n", "target",
+                "wm", "snap_bytes", "B/wme", "capture", "state_ms",
+                "replay_ms", "ratio");
+
+    psm::bench::JsonResult json("bench_durable");
+    json.config("workload", "preset:" + preset.name);
+    json.config("matcher", "rete");
+    json.config("max_wm", static_cast<double>(max_wm));
+
+    std::vector<SweepPoint> points;
+    for (std::size_t n : sweep) {
+        SweepPoint p = measure(program, n);
+        double ratio = p.state_restore_ms > 0
+                           ? p.replay_restore_ms / p.state_restore_ms
+                           : 0.0;
+        std::printf("%8zu %8zu %12zu %10.1f %10.2f %10.2f %10.2f %7.2fx\n",
+                    p.wm_target, p.wm_live, p.snapshot_bytes,
+                    static_cast<double>(p.snapshot_bytes) /
+                        static_cast<double>(p.wm_live),
+                    p.capture_ms, p.state_restore_ms,
+                    p.replay_restore_ms, ratio);
+        json.beginRow();
+        json.col("name", "wm=" + std::to_string(p.wm_target));
+        json.col("wm_target", static_cast<double>(p.wm_target));
+        json.col("wm_live", static_cast<double>(p.wm_live));
+        json.col("snapshot_bytes",
+                 static_cast<double>(p.snapshot_bytes));
+        json.col("bytes_per_wme",
+                 static_cast<double>(p.snapshot_bytes) /
+                     static_cast<double>(p.wm_live));
+        json.col("capture_ms", p.capture_ms);
+        json.col("state_restore_ms", p.state_restore_ms);
+        json.col("replay_restore_ms", p.replay_restore_ms);
+        json.col("replay_over_state", ratio);
+        points.push_back(p);
+    }
+
+    std::string wal_dir = fs::temp_directory_path().string() +
+                          "/psm_bench_durable";
+    fs::create_directories(wal_dir);
+    const int wal_records = 2000;
+    std::printf("\nWAL append cost (%d records, 8 inserts each):\n",
+                wal_records);
+    for (auto policy : {psm::durable::FsyncPolicy::None,
+                        psm::durable::FsyncPolicy::Batch,
+                        psm::durable::FsyncPolicy::Always}) {
+        double us = walAppendUs(wal_dir, policy, wal_records);
+        std::printf("  fsync=%-7s %8.2f us/record\n",
+                    psm::durable::fsyncPolicyName(policy), us);
+        json.metric(std::string("wal_append_us_") +
+                        psm::durable::fsyncPolicyName(policy),
+                    us);
+    }
+    fs::remove_all(wal_dir);
+
+    const SweepPoint &big = points.back();
+    const bool state_wins =
+        big.state_restore_ms < big.replay_restore_ms;
+    std::printf("\nstate restore beats replay at wm=%zu: %s "
+                "(%.2f ms vs %.2f ms)\n",
+                big.wm_live, state_wins ? "yes" : "NO",
+                big.state_restore_ms, big.replay_restore_ms);
+
+    { // Price of the opt-in Full validation backstop at the top size.
+        psm::rete::ReteMatcher mv(program);
+        psm::core::Engine ev(program, mv);
+        growWorkingMemory(ev, big.wm_target);
+        psm::durable::SnapshotData snap =
+            psm::durable::captureSnapshot(ev);
+        psm::rete::ReteMatcher mr(program);
+        psm::core::Engine er(program, mr);
+        auto t0 = Clock::now();
+        psm::durable::restoreSnapshot(
+            er, snap, psm::durable::RestoreValidation::Full);
+        double full_ms = msSince(t0);
+        std::printf("state restore with Full validation at wm=%zu: "
+                    "%.2f ms\n",
+                    big.wm_live, full_ms);
+        json.metric("state_restore_full_validation_ms", full_ms);
+    }
+
+    json.metric("max_wm_live", static_cast<double>(big.wm_live));
+    json.metric("snapshot_bytes_at_max",
+                static_cast<double>(big.snapshot_bytes));
+    json.metric("state_restore_ms_at_max", big.state_restore_ms);
+    json.metric("replay_restore_ms_at_max", big.replay_restore_ms);
+    json.metric("state_beats_replay_at_max", state_wins ? 1.0 : 0.0);
+    psm::bench::finishJson(args, json);
+    return 0;
+}

@@ -9,6 +9,7 @@
 #ifndef PSM_EXAMPLES_CLI_UTIL_HPP
 #define PSM_EXAMPLES_CLI_UTIL_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 #include <string>
 
 #include "core/task_queue.hpp"
+#include "durable/manager.hpp"
 
 namespace psm::cli {
 
@@ -133,6 +135,75 @@ schedulerKindName(core::SchedulerKind kind)
       case core::SchedulerKind::LockFree: return "lockfree";
     }
     return "unknown";
+}
+
+/**
+ * The durability flags shared by ops5_cli and serve_cli:
+ *
+ *     --snapshot-dir DIR     state directory; enables durability
+ *     --wal POLICY           fsync policy: none | batch | always
+ *     --restore              warm-start from existing state in DIR
+ *     --checkpoint-every N   snapshot every N committed batches
+ *     --checkpoint-ms N      snapshot every N milliseconds
+ */
+struct DurableFlags
+{
+    durable::DurableOptions options;
+    bool restore = false;
+};
+
+/** Inline "none|batch|always" parser (keeps this header usable from
+ *  binaries that do not link psm_durable). */
+inline bool
+parseFsyncFlag(const char *text, durable::FsyncPolicy &out)
+{
+    if (!text)
+        return false;
+    if (std::strcmp(text, "none") == 0) {
+        out = durable::FsyncPolicy::None;
+    } else if (std::strcmp(text, "batch") == 0) {
+        out = durable::FsyncPolicy::Batch;
+    } else if (std::strcmp(text, "always") == 0) {
+        out = durable::FsyncPolicy::Always;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Consumes the current argument when it is one of the durability
+ * flags. Returns true when it was (even on a bad operand — check
+ * @p ok); false means "not a durability flag, keep dispatching".
+ */
+inline bool
+parseDurableFlag(ArgReader &args, DurableFlags &out, bool &ok)
+{
+    ok = true;
+    if (args.is("--snapshot-dir")) {
+        const char *v = args.value();
+        if (!v)
+            ok = false;
+        else
+            out.options.dir = v;
+    } else if (args.is("--wal")) {
+        if (!parseFsyncFlag(args.value(), out.options.fsync))
+            ok = false;
+    } else if (args.is("--restore")) {
+        out.restore = true;
+    } else if (args.is("--checkpoint-every")) {
+        if (!args.valueUint(out.options.checkpoint.every_batches))
+            ok = false;
+    } else if (args.is("--checkpoint-ms")) {
+        std::uint64_t ms = 0;
+        if (!args.valueUint(ms))
+            ok = false;
+        else
+            out.options.checkpoint.every = std::chrono::milliseconds(ms);
+    } else {
+        return false;
+    }
+    return true;
 }
 
 /** Minimal JSON string escape (paths can contain quotes). */

@@ -23,6 +23,16 @@
  *                          every match fixpoint (rete/parallel only)
  *     --quiet              suppress (write ...) output
  *
+ * Durability (see docs/ARCHITECTURE.md §10):
+ *     --snapshot-dir DIR   persist a WAL + snapshots under DIR; a
+ *                          final snapshot is cut when the run ends
+ *     --wal POLICY         fsync policy: none | batch | always
+ *                          (default batch; the CLI syncs at exit)
+ *     --restore            recover from existing state in DIR instead
+ *                          of loading the program's initial WM
+ *     --checkpoint-every N snapshot every N committed batches
+ *     --checkpoint-ms N    snapshot every N milliseconds
+ *
  * Exits 0 on halt or quiescence, 1 on errors (including any
  * invariant violation under --validate).
  */
@@ -33,6 +43,7 @@
 
 #include "cli_util.hpp"
 #include "core/engine.hpp"
+#include "durable/durable.hpp"
 #include "core/parallel_matcher.hpp"
 #include "core/telemetry.hpp"
 #include "ops5/parser.hpp"
@@ -56,7 +67,10 @@ usage(const char *argv0)
                  "       [--scheduler central|stealing|lockfree] "
                  "[--max-cycles N] [--trace FILE]\n"
                  "       [--metrics FILE] [--chrome-trace FILE] "
-                 "[--stats] [--validate] [--quiet]\n";
+                 "[--stats] [--validate] [--quiet]\n"
+                 "       [--snapshot-dir DIR] [--wal none|batch|always] "
+                 "[--restore]\n"
+                 "       [--checkpoint-every N] [--checkpoint-ms N]\n";
     return 1;
 }
 
@@ -76,10 +90,15 @@ main(int argc, char **argv)
     psm::core::SchedulerKind scheduler =
         psm::core::SchedulerKind::Central;
     bool stats = false, quiet = false, validate = false;
+    psm::cli::DurableFlags durable_flags;
 
     psm::cli::ArgReader args(argc, argv, 2);
     while (args.next()) {
-        if (args.is("--matcher")) {
+        bool flag_ok = true;
+        if (psm::cli::parseDurableFlag(args, durable_flags, flag_ok)) {
+            if (!flag_ok)
+                return usage(argv[0]);
+        } else if (args.is("--matcher")) {
             const char *v = args.value();
             if (!v)
                 return usage(argv[0]);
@@ -230,8 +249,35 @@ main(int argc, char **argv)
             });
         }
 
-        engine.loadInitialWorkingMemory();
+        std::unique_ptr<psm::durable::Manager> durable;
+        psm::durable::RecoveryStats recovery;
+        if (durable_flags.options.enabled()) {
+            durable = std::make_unique<psm::durable::Manager>(
+                engine, durable_flags.options, metrics);
+            if (durable_flags.restore &&
+                psm::durable::Manager::hasState(
+                    durable_flags.options.dir))
+                recovery = durable->recover();
+            durable->begin();
+        }
+        if (recovery.recovered) {
+            std::cout << "restored: "
+                      << (recovery.state_restored ? "state" : "replay")
+                      << " from snapshot seq " << recovery.snapshot_seq
+                      << " + " << recovery.wal_records_replayed
+                      << " WAL records ("
+                      << recovery.recovery_ms << " ms)\n";
+            if (recovery.wal_truncated)
+                std::cout << "wal tail cut: "
+                          << recovery.wal_truncation_reason << "\n";
+        } else {
+            engine.loadInitialWorkingMemory();
+        }
         psm::core::RunResult result = engine.run(max_cycles);
+        if (durable) {
+            durable->sync();
+            durable->checkpoint();
+        }
 
         std::cout << "---\n"
                   << "matcher:     " << matcher->name() << "\n"
@@ -245,6 +291,11 @@ main(int argc, char **argv)
         if (validate)
             std::cout << "validated:   " << validated
                       << " match fixpoints, all invariants hold\n";
+        if (durable)
+            std::cout << "durable:     " << durable->walRecords()
+                      << " WAL records, snapshot at seq "
+                      << engine.batchSeq() << " in "
+                      << durable_flags.options.dir << "\n";
         if (stats) {
             auto s = matcher->stats();
             std::cout << "activations: " << s.activations << "\n"

@@ -34,17 +34,36 @@
  *     --json FILE          write the shared bench JSON schema
  *     --metrics FILE       write the pool telemetry registry as JSON
  *
- * Exits 0 on success, 1 on errors, 2 on bad flags.
+ * Durability (per-session state under DIR/session-<id>; see
+ * docs/ARCHITECTURE.md §10):
+ *     --snapshot-dir DIR   enable the WAL + drain-time checkpoints
+ *     --wal POLICY         fsync policy: none | batch | always
+ *     --restore            warm-start sessions from existing state
+ *     --checkpoint-every N snapshot every N committed batches
+ *     --checkpoint-ms N    snapshot every N milliseconds
+ *     --recover-check      before serving, recover every session's
+ *                          on-disk state twice — once preferring the
+ *                          Rete state-restore path, once forcing
+ *                          replay restore — and fail unless both
+ *                          agree on working memory and conflict set
+ *
+ * Exits 0 on success, 1 on errors (including a --recover-check
+ * mismatch), 2 on bad flags.
  */
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "cli_util.hpp"
+#include "durable/durable.hpp"
 #include "ops5/parser.hpp"
+#include "rete/matcher.hpp"
 #include "serve/serve.hpp"
 #include "workloads/presets.hpp"
 
@@ -64,8 +83,152 @@ usage(const char *argv0)
            "       [--scheduler central|stealing|lockfree] "
            "[--queue-capacity N]\n"
            "       [--shed-watermark N] [--max-batch N] "
-           "[--json FILE] [--metrics FILE]\n";
+           "[--json FILE] [--metrics FILE]\n"
+           "       [--snapshot-dir DIR] [--wal none|batch|always] "
+           "[--restore]\n"
+           "       [--checkpoint-every N] [--checkpoint-ms N] "
+           "[--recover-check]\n";
     return 2;
+}
+
+/** Canonical, order-independent image of one engine's durable state:
+ *  every live WME (tag, class, fields) and every live conflict-set
+ *  instantiation key — the two things recovery must reproduce. */
+struct EngineImage
+{
+    std::vector<psm::durable::SnapshotWme> wmes;
+    std::vector<psm::ops5::InstantiationKey> conflict;
+
+    bool
+    operator==(const EngineImage &o) const
+    {
+        if (wmes.size() != o.wmes.size() ||
+            conflict.size() != o.conflict.size())
+            return false;
+        for (std::size_t i = 0; i < wmes.size(); ++i)
+            if (wmes[i].tag != o.wmes[i].tag ||
+                wmes[i].cls != o.wmes[i].cls ||
+                wmes[i].fields != o.wmes[i].fields)
+                return false;
+        return conflict == o.conflict;
+    }
+};
+
+EngineImage
+imageOf(psm::core::Engine &engine)
+{
+    EngineImage img;
+    for (const psm::ops5::Wme *w :
+         engine.workingMemory().liveElements()) {
+        psm::durable::SnapshotWme sw;
+        sw.tag = w->timeTag();
+        sw.cls = w->className();
+        for (int f = 0; f < w->fieldCount(); ++f)
+            sw.fields.push_back(w->field(f));
+        img.wmes.push_back(std::move(sw));
+    }
+    std::sort(img.wmes.begin(), img.wmes.end(),
+              [](const auto &a, const auto &b) { return a.tag < b.tag; });
+    for (const psm::ops5::Instantiation &inst :
+         engine.matcher().conflictSet().contents())
+        img.conflict.push_back(psm::ops5::InstantiationKey::of(inst));
+    std::sort(img.conflict.begin(), img.conflict.end(),
+              [](const auto &a, const auto &b) {
+                  return a.production_id != b.production_id
+                             ? a.production_id < b.production_id
+                             : a.tags < b.tags;
+              });
+    return img;
+}
+
+/**
+ * Recovers one session directory into a fresh serial-Rete engine.
+ * @p force_replay strips the snapshot's match-state section so the
+ * replay path runs even when state restore is available; the WAL tail
+ * is applied identically on both paths.
+ */
+EngineImage
+recoverImage(std::shared_ptr<const psm::ops5::Program> program,
+             const std::string &dir, bool force_replay,
+             bool &used_state)
+{
+    namespace fs = std::filesystem;
+    psm::rete::ReteMatcher matcher(program);
+    psm::core::Engine engine(program, matcher);
+
+    // Newest parseable snapshot, same preference order as recovery.
+    std::vector<std::pair<std::uint64_t, std::string>> snaps;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("snap-", 0) == 0 &&
+            name.size() > 11 &&
+            name.compare(name.size() - 6, 6, ".psnap") == 0)
+            snaps.emplace_back(
+                std::stoull(name.substr(5, name.size() - 11)),
+                entry.path().string());
+    }
+    std::sort(snaps.begin(), snaps.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+
+    used_state = false;
+    for (const auto &[seq, path] : snaps) {
+        try {
+            psm::durable::SnapshotData snap =
+                psm::durable::readSnapshotFile(path);
+            if (force_replay)
+                snap.rete.present = false;
+            used_state = psm::durable::restoreSnapshot(engine, snap);
+            break;
+        } catch (const psm::durable::DurableError &) {
+            // Corrupt newest: fall back, exactly like Manager.
+        }
+    }
+
+    psm::durable::WalReadResult wal = psm::durable::readWal(
+        dir + "/wal.plog", psm::durable::programFingerprint(*program));
+    for (const psm::core::LoggedBatch &record : wal.records) {
+        if (record.seq <= engine.batchSeq())
+            continue;
+        engine.applyLoggedBatch(record);
+    }
+    return imageOf(engine);
+}
+
+/** The --recover-check pass; returns false on any mismatch. */
+bool
+recoverCheck(std::shared_ptr<const psm::ops5::Program> program,
+             const std::string &pool_dir, std::size_t sessions)
+{
+    bool all_ok = true;
+    std::size_t checked = 0;
+    for (std::size_t i = 0; i < sessions; ++i) {
+        std::string dir =
+            psm::serve::SessionPool::sessionDir(pool_dir, i);
+        if (!psm::durable::Manager::hasState(dir))
+            continue;
+        bool state_a = false, state_b = false;
+        EngineImage a = recoverImage(program, dir, false, state_a);
+        EngineImage b = recoverImage(program, dir, true, state_b);
+        ++checked;
+        if (!(a == b)) {
+            std::cerr << "recover-check: session " << i
+                      << " MISMATCH between "
+                      << (state_a ? "state" : "replay")
+                      << " restore and forced replay (wm " << a.wmes.size()
+                      << " vs " << b.wmes.size() << ", conflict "
+                      << a.conflict.size() << " vs " << b.conflict.size()
+                      << ")\n";
+            all_ok = false;
+            continue;
+        }
+        std::printf("recover-check: session %zu ok (%s restore, "
+                    "wm %zu, conflict %zu)\n",
+                    i, state_a ? "state" : "replay", a.wmes.size(),
+                    a.conflict.size());
+    }
+    std::printf("recover-check: %zu session(s) checked\n", checked);
+    return all_ok;
 }
 
 } // namespace
@@ -77,6 +240,8 @@ main(int argc, char **argv)
     std::string json_path, metrics_path;
     psm::serve::LoadConfig cfg;
     std::uint64_t deadline_us = 0;
+    psm::cli::DurableFlags durable_flags;
+    bool recover_check = false;
 
     int first = 1;
     if (argc > 1 && argv[1][0] != '-') {
@@ -86,7 +251,13 @@ main(int argc, char **argv)
 
     psm::cli::ArgReader args(argc, argv, first);
     while (args.next()) {
-        if (args.is("--preset")) {
+        bool flag_ok = true;
+        if (psm::cli::parseDurableFlag(args, durable_flags, flag_ok)) {
+            if (!flag_ok)
+                return usage(argv[0]);
+        } else if (args.is("--recover-check")) {
+            recover_check = true;
+        } else if (args.is("--preset")) {
             const char *v = args.value();
             if (!v)
                 return usage(argv[0]);
@@ -158,6 +329,12 @@ main(int argc, char **argv)
     }
     if (deadline_us > 0)
         cfg.deadline = std::chrono::microseconds(deadline_us);
+    cfg.durability = durable_flags.options;
+    cfg.restore = durable_flags.restore;
+    if (recover_check && !cfg.durability.enabled()) {
+        std::cerr << "error: --recover-check needs --snapshot-dir\n";
+        return 2;
+    }
 
     try {
         std::shared_ptr<const psm::ops5::Program> program;
@@ -182,8 +359,22 @@ main(int argc, char **argv)
             workload_name = "preset:" + preset.name;
         }
 
+        // Verify recovery determinism against the raw on-disk state
+        // BEFORE the pool opens it (begin() truncates torn tails).
+        if (recover_check &&
+            !recoverCheck(program, cfg.durability.dir, cfg.sessions))
+            return 1;
+
+        std::size_t recovered_sessions = 0;
+        std::uint64_t wal_replayed = 0;
         psm::serve::LoadResult r = psm::serve::runLoad(
             program, cfg, [&](psm::serve::SessionPool &pool) {
+                for (std::size_t i = 0; i < pool.sessionCount(); ++i) {
+                    const auto &rs = pool.recoveryStats(i);
+                    if (rs.recovered)
+                        ++recovered_sessions;
+                    wal_replayed += rs.wal_records_replayed;
+                }
                 if (metrics_path.empty())
                     return;
                 std::ofstream out(metrics_path);
@@ -217,6 +408,14 @@ main(int argc, char **argv)
         std::printf("latency (us):    p50 %.1f  p95 %.1f  p99 %.1f  "
                     "max %.1f\n",
                     r.p50_us, r.p95_us, r.p99_us, r.max_us);
+        if (cfg.durability.enabled())
+            std::printf("durability:      %s (wal %s); recovered "
+                        "%zu/%zu sessions, %llu WAL records replayed\n",
+                        cfg.durability.dir.c_str(),
+                        psm::durable::fsyncPolicyName(
+                            cfg.durability.fsync),
+                        recovered_sessions, cfg.sessions,
+                        static_cast<unsigned long long>(wal_replayed));
         if (!metrics_path.empty())
             std::printf("metrics saved:   %s\n", metrics_path.c_str());
 

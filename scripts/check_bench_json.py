@@ -16,7 +16,13 @@ Two modes:
         Each file must be a telemetry-registry export: integer-valued
         "counters", and "histograms" whose entries carry count / sum /
         max / p50 / p95 / p99 / buckets with ordered percentiles
-        (p50 <= p95 <= p99 <= max).
+        (p50 <= p95 <= p99 <= max). Durable-state metrics are
+        cross-checked: every WAL record append, checkpoint, and
+        recovery observes exactly one latency/size sample, so
+        wal_append_us.count must equal the wal_records counter,
+        snapshot_bytes.count and checkpoint_ms.count must equal
+        snapshots_written, and recovery_ms.count must equal
+        recoveries.
 
 With --require-rows SUBSTR[,SUBSTR...] (bench mode only), every
 listed substring must appear in at least one row's "name" in each
@@ -123,10 +129,41 @@ def check_telemetry(path, doc):
             fail(path, f"{where}: percentiles out of order "
                        f"(p50={h['p50']}, p95={h['p95']}, "
                        f"p99={h['p99']}, max={h['max']})")
+    check_durable_block(path, doc)
     nonzero = sum(1 for h in doc["histograms"].values()
                   if h["count"] > 0)
     print(f"{path}: ok (telemetry, {len(doc['counters'])} counters, "
           f"{len(doc['histograms'])} histograms, {nonzero} populated)")
+
+
+# Each durable event increments its counter AND observes exactly one
+# histogram sample, so the pairs below must agree; a mismatch means a
+# metric site was added or dropped on one side only.
+DURABLE_PAIRS = [
+    ("wal_records", "wal_append_us"),
+    ("snapshots_written", "snapshot_bytes"),
+    ("snapshots_written", "checkpoint_ms"),
+    ("recoveries", "recovery_ms"),
+]
+
+
+def check_durable_block(path, doc):
+    counters = doc["counters"]
+    histograms = doc["histograms"]
+    if "wal_records" not in counters:
+        return  # export predates the durable subsystem
+    for counter, histogram in DURABLE_PAIRS:
+        if counter not in counters:
+            fail(path, f"durable block incomplete: counter "
+                       f"{counter!r} missing")
+        if histogram not in histograms:
+            fail(path, f"durable block incomplete: histogram "
+                       f"{histogram!r} missing")
+        want = counters[counter]
+        got = histograms[histogram]["count"]
+        if want != got:
+            fail(path, f"durable block inconsistent: counter "
+                       f"{counter}={want} but {histogram}.count={got}")
 
 
 def main(argv):

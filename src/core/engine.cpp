@@ -1,8 +1,21 @@
 #include "core/engine.hpp"
 
 #include <chrono>
+#include <stdexcept>
+#include <string>
 
 namespace psm::core {
+
+namespace {
+
+[[noreturn]] void
+replayError(const LoggedBatch &batch, const std::string &what)
+{
+    throw std::runtime_error("logged batch " + std::to_string(batch.seq) +
+                             ": " + what);
+}
+
+} // namespace
 
 Engine::Engine(std::shared_ptr<const ops5::Program> program,
                Matcher &matcher, ops5::Strategy strategy)
@@ -21,6 +34,7 @@ Engine::loadInitialWorkingMemory()
     matcher_.processChanges(changes);
     if (cycle_check_)
         cycle_check_();
+    finishBatch(BatchOrigin::InitialLoad, changes);
 }
 
 const ops5::Wme *
@@ -32,6 +46,7 @@ Engine::assertWme(ops5::SymbolId cls, std::vector<ops5::Value> fields)
     matcher_.processChanges({&change, 1});
     if (cycle_check_)
         cycle_check_();
+    finishBatch(BatchOrigin::External, {&change, 1});
     return wme;
 }
 
@@ -49,6 +64,7 @@ Engine::retractWme(const ops5::Wme *wme)
     matcher_.processChanges({&change, 1});
     if (cycle_check_)
         cycle_check_();
+    finishBatch(BatchOrigin::External, {&change, 1});
     return true;
 }
 
@@ -80,6 +96,7 @@ Engine::ExternalBatch::commit()
     engine_.matcher_.processChanges(changes_);
     if (engine_.cycle_check_)
         engine_.cycle_check_();
+    engine_.finishBatch(BatchOrigin::External, changes_);
     // Unlike retractWme(), a batch owns its retracted elements' last
     // use: nothing may dereference them after the fixpoint, so they
     // are freed here rather than parked until the next step().
@@ -128,8 +145,98 @@ Engine::step()
         std::chrono::duration<double>(Clock::now() - t2).count();
     if (cycle_check_)
         cycle_check_();
+    finishBatch(BatchOrigin::Firing, result.changes, &*chosen);
     wm_.collectGarbage();
     return !halted_;
+}
+
+void
+Engine::finishBatch(BatchOrigin origin,
+                    std::span<const ops5::WmeChange> changes,
+                    const ops5::Instantiation *fired)
+{
+    ++batch_seq_;
+    if (!batch_observer_)
+        return;
+    BatchCommit commit;
+    commit.seq = batch_seq_;
+    commit.origin = origin;
+    commit.changes = changes;
+    commit.fired = fired;
+    commit.halted = halted_;
+    batch_observer_(commit);
+}
+
+void
+Engine::restoreCounters(const RunResult &totals, std::uint64_t batch_seq,
+                        bool halted)
+{
+    totals_ = totals;
+    batch_seq_ = batch_seq;
+    halted_ = halted;
+}
+
+void
+Engine::applyLoggedBatch(const LoggedBatch &batch)
+{
+    if (batch.seq != batch_seq_ + 1)
+        replayError(batch, "out of sequence (engine is at batch " +
+                               std::to_string(batch_seq_) + ")");
+
+    std::vector<ops5::WmeChange> changes;
+    changes.reserve(batch.changes.size());
+    for (const LoggedBatch::Change &lc : batch.changes) {
+        if (lc.kind == ops5::ChangeKind::Insert) {
+            const ops5::Wme *wme =
+                wm_.insertWithTag(lc.cls, lc.tag, lc.fields);
+            changes.push_back({ops5::ChangeKind::Insert, wme});
+        } else {
+            const ops5::Wme *wme = wm_.findByTag(lc.tag);
+            if (!wme)
+                replayError(batch, "retract of unknown time tag " +
+                                       std::to_string(lc.tag));
+            wm_.remove(wme);
+            changes.push_back({ops5::ChangeKind::Remove, wme});
+        }
+    }
+
+    // Refraction first, mirroring step(): the original run marked the
+    // chosen instantiation fired before matching its RHS changes.
+    if (batch.has_fired) {
+        ops5::InstantiationKey key;
+        key.production_id = batch.fired_production;
+        key.tags = batch.fired_tags;
+        matcher_.conflictSet().markFiredKey(std::move(key));
+    }
+
+    totals_.wme_changes += changes.size();
+    matcher_.processChanges(changes);
+    if (cycle_check_)
+        cycle_check_();
+    wm_.collectGarbage();
+
+    ++batch_seq_;
+    if (batch.origin == BatchOrigin::Firing) {
+        ++totals_.cycles;
+        ++totals_.firings;
+    }
+    if (batch.halted) {
+        halted_ = true;
+        totals_.halted = true;
+    }
+    wm_.setNextTag(batch.next_tag_after);
+
+    if (totals_.cycles != batch.cycles_after)
+        replayError(batch, "cycle count diverged (engine " +
+                               std::to_string(totals_.cycles) +
+                               ", log says " +
+                               std::to_string(batch.cycles_after) + ")");
+    if (totals_.wme_changes != batch.wme_changes_after)
+        replayError(batch,
+                    "wme-change count diverged (engine " +
+                        std::to_string(totals_.wme_changes) +
+                        ", log says " +
+                        std::to_string(batch.wme_changes_after) + ")");
 }
 
 RunResult

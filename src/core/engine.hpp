@@ -7,9 +7,12 @@
 #ifndef PSM_CORE_ENGINE_HPP
 #define PSM_CORE_ENGINE_HPP
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/matcher.hpp"
 #include "ops5/rhs.hpp"
@@ -25,6 +28,64 @@ struct RunResult
     bool halted = false;           ///< a (halt) action ran
     bool quiescent = false;        ///< conflict set emptied
     bool stopped = false;          ///< a run() stop predicate fired
+};
+
+/** What kind of commit produced a change batch. */
+enum class BatchOrigin : std::uint8_t
+{
+    InitialLoad = 0, ///< loadInitialWorkingMemory()
+    Firing = 1,      ///< one recognize-act cycle's act phase
+    External = 2,    ///< assertWme / retractWme / ExternalBatch
+};
+
+/**
+ * One committed change batch, observed at the cycle barrier: the
+ * matcher has reached fixpoint on @ref changes, but retracted
+ * elements have not yet been garbage-collected, so every Wme pointer
+ * (including removes) is still dereferenceable. The durable layer's
+ * write-ahead log serializes exactly this.
+ */
+struct BatchCommit
+{
+    std::uint64_t seq = 0; ///< 1-based monotonic batch sequence
+    BatchOrigin origin = BatchOrigin::External;
+    std::span<const ops5::WmeChange> changes;
+    /** Firing batches only: the instantiation that fired. */
+    const ops5::Instantiation *fired = nullptr;
+    bool halted = false; ///< a (halt) action ran in this batch
+};
+
+/**
+ * The replayable image of one committed batch — what a WAL record
+ * decodes to. applyLoggedBatch() re-executes it deterministically:
+ * inserts recreate elements under their original time tags, removes
+ * resolve by tag, and the fired key re-enters refraction before the
+ * matcher sees the changes (mirroring step()'s ordering).
+ */
+struct LoggedBatch
+{
+    std::uint64_t seq = 0;
+    BatchOrigin origin = BatchOrigin::External;
+
+    /** One WM change; @ref fields is used by inserts only. */
+    struct Change
+    {
+        ops5::ChangeKind kind = ops5::ChangeKind::Insert;
+        ops5::TimeTag tag = 0;
+        ops5::SymbolId cls = 0;
+        std::vector<ops5::Value> fields;
+    };
+    std::vector<Change> changes;
+
+    bool has_fired = false; ///< origin == Firing
+    int fired_production = -1;
+    std::vector<ops5::TimeTag> fired_tags;
+
+    bool halted = false;
+    /** Post-batch engine state, cross-checked during replay. */
+    std::uint64_t cycles_after = 0;
+    std::uint64_t wme_changes_after = 0;
+    ops5::TimeTag next_tag_after = 0;
 };
 
 /**
@@ -164,6 +225,43 @@ class Engine
     const RunResult &totals() const { return totals_; }
 
     /**
+     * Observer called once per committed change batch at the cycle
+     * barrier (after the match fixpoint and cycle check, before
+     * retracted elements are freed). The durable layer's WAL hook.
+     */
+    using BatchObserver = std::function<void(const BatchCommit &)>;
+    void setBatchObserver(BatchObserver obs)
+    {
+        batch_observer_ = std::move(obs);
+    }
+
+    /** Count of committed change batches since construction (or the
+     *  restored value after recovery). */
+    std::uint64_t batchSeq() const { return batch_seq_; }
+
+    /** True once a (halt) action ran; no further cycles will fire. */
+    bool halted() const { return halted_; }
+
+    /**
+     * Restore entry point: overwrites the cumulative counters with
+     * values recovered from a snapshot. Only the durable layer should
+     * call this, on a freshly constructed engine whose working memory
+     * has just been repopulated.
+     */
+    void restoreCounters(const RunResult &totals, std::uint64_t batch_seq,
+                         bool halted);
+
+    /**
+     * Restore entry point: deterministically re-executes one logged
+     * batch (WAL tail replay). Batches must arrive in sequence —
+     * @p batch.seq must equal batchSeq() + 1 — and the post-conditions
+     * recorded in the batch are cross-checked; any mismatch throws
+     * std::runtime_error and leaves recovery failed. The batch
+     * observer is NOT invoked (replay must not re-log).
+     */
+    void applyLoggedBatch(const LoggedBatch &batch);
+
+    /**
      * Cumulative wall-clock time per recognize-act phase — the
      * measurement behind the paper's "match constitutes around 90% of
      * the interpretation time" (Section 2.2).
@@ -186,15 +284,23 @@ class Engine
     const PhaseTimes &phaseTimes() const { return phase_times_; }
 
   private:
+    /** Stamps a batch sequence number and notifies the observer; runs
+     *  at every cycle barrier, before garbage collection. */
+    void finishBatch(BatchOrigin origin,
+                     std::span<const ops5::WmeChange> changes,
+                     const ops5::Instantiation *fired = nullptr);
+
     std::shared_ptr<const ops5::Program> program_;
     Matcher &matcher_;
     ops5::Strategy strategy_;
     ops5::WorkingMemory wm_;
     std::ostream *out_ = nullptr;
     FiringObserver observer_;
+    BatchObserver batch_observer_;
     std::function<void()> cycle_check_;
     RunResult totals_;
     PhaseTimes phase_times_;
+    std::uint64_t batch_seq_ = 0;
     bool halted_ = false;
 };
 

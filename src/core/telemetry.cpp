@@ -35,6 +35,10 @@ counterName(Counter c)
       case Counter::ServeCompleted: return "serve_completed";
       case Counter::ServeExpired: return "serve_expired";
       case Counter::ServeBatches: return "serve_batches";
+      case Counter::DurableWalRecords: return "wal_records";
+      case Counter::DurableWalBytes: return "wal_bytes";
+      case Counter::DurableSnapshots: return "snapshots_written";
+      case Counter::DurableRecoveries: return "recoveries";
       case Counter::kCount: break;
     }
     return "unknown";
@@ -54,6 +58,10 @@ histogramName(Histogram h)
         return "serve_request_latency_us";
       case Histogram::ServeQueueDepth: return "serve_queue_depth";
       case Histogram::ServeBatchSize: return "serve_batch_size";
+      case Histogram::DurableSnapshotBytes: return "snapshot_bytes";
+      case Histogram::DurableWalAppendUs: return "wal_append_us";
+      case Histogram::DurableCheckpointMs: return "checkpoint_ms";
+      case Histogram::DurableRecoveryMs: return "recovery_ms";
       case Histogram::kCount: break;
     }
     return "unknown";

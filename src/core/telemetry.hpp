@@ -76,6 +76,10 @@ enum class Counter : std::uint16_t {
     ServeCompleted,      ///< serve: responses delivered
     ServeExpired,        ///< serve: deadline hit (dropped or stopped)
     ServeBatches,        ///< serve: WM-change batches committed
+    DurableWalRecords,   ///< durable: WAL records appended
+    DurableWalBytes,     ///< durable: WAL payload bytes appended
+    DurableSnapshots,    ///< durable: snapshots written
+    DurableRecoveries,   ///< durable: successful recoveries
     kCount,
 };
 
@@ -90,6 +94,10 @@ enum class Histogram : std::uint8_t {
     ServeRequestLatencyUs, ///< serve: submit -> response microseconds
     ServeQueueDepth,       ///< serve: session queue depth at admission
     ServeBatchSize,        ///< serve: requests folded per drain batch
+    DurableSnapshotBytes,  ///< durable: bytes per written snapshot
+    DurableWalAppendUs,    ///< durable: microseconds per WAL append
+    DurableCheckpointMs,   ///< durable: milliseconds per checkpoint
+    DurableRecoveryMs,     ///< durable: milliseconds per recovery
     kCount,
 };
 

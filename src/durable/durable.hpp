@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for the durable-state subsystem: binary format,
+ * snapshots (replay + state restore), the write-ahead log, and the
+ * per-engine durability manager. See docs/ARCHITECTURE.md §10.
+ */
+
+#ifndef PSM_DURABLE_DURABLE_HPP
+#define PSM_DURABLE_DURABLE_HPP
+
+#include "durable/format.hpp"
+#include "durable/manager.hpp"
+#include "durable/snapshot.hpp"
+#include "durable/wal.hpp"
+
+#endif // PSM_DURABLE_DURABLE_HPP

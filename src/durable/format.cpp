@@ -1,0 +1,215 @@
+#include "durable/format.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace psm::durable {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::span<const std::uint8_t> data, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::uint8_t byte : data)
+        c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+void
+ByteWriter::value(const ops5::Value &v)
+{
+    u8(static_cast<std::uint8_t>(v.kind()));
+    switch (v.kind()) {
+      case ops5::ValueKind::Nil:
+        u64(0);
+        break;
+      case ops5::ValueKind::Symbol:
+        u64(v.asSymbol());
+        break;
+      case ops5::ValueKind::Int:
+        u64(static_cast<std::uint64_t>(v.asInt()));
+        break;
+      case ops5::ValueKind::Float:
+        f64(v.asDouble());
+        break;
+    }
+}
+
+void
+ByteReader::need(std::size_t n)
+{
+    if (data_.size() - pos_ < n)
+        throw DurableError("truncated payload: wanted " +
+                           std::to_string(n) + " bytes, " +
+                           std::to_string(data_.size() - pos_) + " left");
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char *>(data_.data()) + pos_, n);
+    pos_ += n;
+    return s;
+}
+
+ops5::Value
+ByteReader::value()
+{
+    auto kind = static_cast<ops5::ValueKind>(u8());
+    switch (kind) {
+      case ops5::ValueKind::Nil:
+        u64();
+        return {};
+      case ops5::ValueKind::Symbol:
+        return ops5::Value::symbol(
+            static_cast<ops5::SymbolId>(u64()));
+      case ops5::ValueKind::Int:
+        return ops5::Value::integer(static_cast<std::int64_t>(u64()));
+      case ops5::ValueKind::Float:
+        return ops5::Value::real(f64());
+    }
+    throw DurableError("bad Value kind byte");
+}
+
+namespace {
+
+[[noreturn]] void
+ioError(const std::string &path, const std::string &op)
+{
+    throw DurableError(op + " failed for " + path + ": " +
+                       std::strerror(errno));
+}
+
+/** RAII fd so error paths cannot leak descriptors. */
+struct Fd
+{
+    int fd = -1;
+    ~Fd()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+std::string
+dirnameOf(const std::string &path)
+{
+    auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+readFileAll(const std::string &path)
+{
+    Fd f{::open(path.c_str(), O_RDONLY)};
+    if (f.fd < 0)
+        ioError(path, "open");
+    std::vector<std::uint8_t> out;
+    std::uint8_t chunk[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(f.fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError(path, "read");
+        }
+        if (n == 0)
+            break;
+        out.insert(out.end(), chunk, chunk + n);
+    }
+    return out;
+}
+
+void
+writeFileAtomic(const std::string &path,
+                std::span<const std::uint8_t> bytes)
+{
+    std::string tmp = path + ".tmp";
+    {
+        Fd f{::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644)};
+        if (f.fd < 0)
+            ioError(tmp, "open");
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            ssize_t n =
+                ::write(f.fd, bytes.data() + off, bytes.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                ioError(tmp, "write");
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        if (::fsync(f.fd) != 0)
+            ioError(tmp, "fsync");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        ioError(path, "rename");
+    // Persist the rename itself: fsync the containing directory.
+    Fd dir{::open(dirnameOf(path).c_str(), O_RDONLY | O_DIRECTORY)};
+    if (dir.fd >= 0)
+        ::fsync(dir.fd);
+}
+
+} // namespace psm::durable

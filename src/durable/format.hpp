@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Binary plumbing for the durable layer: CRC32, a little-endian
+ * byte writer/reader pair, the Value codec, and the error type.
+ *
+ * Both durable artifacts — snapshots and write-ahead-log records —
+ * are length-delimited byte payloads protected by CRC32 so that torn
+ * writes and bit flips are detected at read time rather than silently
+ * corrupting a recovered session.
+ */
+
+#ifndef PSM_DURABLE_FORMAT_HPP
+#define PSM_DURABLE_FORMAT_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ops5/value.hpp"
+
+namespace psm::durable {
+
+/** Any durable-layer failure: I/O, corruption, or a snapshot/WAL
+ *  that does not belong to the running program. */
+class DurableError : public std::runtime_error
+{
+  public:
+    explicit DurableError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** CRC-32 (IEEE 802.3 polynomial) over @p data. */
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+/** Append-only little-endian encoder backing both file formats. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    void value(const ops5::Value &v);
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked decoder; every overrun throws DurableError. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+    ops5::Value value();
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+  private:
+    void need(std::size_t n);
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+/** Reads an entire file into memory. DurableError on I/O failure;
+ *  a missing file is also an error (callers stat first). */
+std::vector<std::uint8_t> readFileAll(const std::string &path);
+
+/**
+ * Writes @p bytes to @p path crash-atomically: a sibling temp file is
+ * written and fsynced, renamed over the target, and the directory is
+ * fsynced — so a crash leaves either the old file or the new one,
+ * never a torn mixture.
+ */
+void writeFileAtomic(const std::string &path,
+                     std::span<const std::uint8_t> bytes);
+
+} // namespace psm::durable
+
+#endif // PSM_DURABLE_FORMAT_HPP

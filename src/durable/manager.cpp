@@ -1,0 +1,301 @@
+#include "durable/manager.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace psm::durable {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *kWalFile = "wal.plog";
+constexpr const char *kSnapPrefix = "snap-";
+constexpr const char *kSnapSuffix = ".psnap";
+
+/** Parses "snap-<seq>.psnap"; false when @p name is something else. */
+bool
+parseSnapshotName(const std::string &name, std::uint64_t &seq)
+{
+    const std::string prefix = kSnapPrefix;
+    const std::string suffix = kSnapSuffix;
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return false;
+    std::string digits = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    seq = std::stoull(digits);
+    return true;
+}
+
+/** All snapshot files in @p dir, newest (highest seq) first. */
+std::vector<std::pair<std::uint64_t, std::string>>
+listSnapshots(const std::string &dir)
+{
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        std::uint64_t seq = 0;
+        if (parseSnapshotName(entry.path().filename().string(), seq))
+            out.emplace_back(seq, entry.path().string());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    return out;
+}
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+Manager::Manager(core::Engine &engine, DurableOptions options,
+                 telemetry::Registry *metrics)
+    : engine_(engine), options_(std::move(options)), metrics_(metrics),
+      fingerprint_(programFingerprint(engine.program())),
+      last_checkpoint_(std::chrono::steady_clock::now())
+{
+    if (!options_.enabled())
+        throw DurableError("Manager requires a state directory");
+}
+
+Manager::~Manager()
+{
+    if (began_)
+        engine_.setBatchObserver({});
+}
+
+std::string
+Manager::walPath() const
+{
+    return options_.dir + "/" + kWalFile;
+}
+
+std::string
+Manager::snapshotPath(std::uint64_t seq) const
+{
+    return options_.dir + "/" + kSnapPrefix + std::to_string(seq) +
+           kSnapSuffix;
+}
+
+bool
+Manager::hasState(const std::string &dir)
+{
+    std::error_code ec;
+    if (fs::exists(fs::path(dir) / kWalFile, ec))
+        return true;
+    return !listSnapshots(dir).empty();
+}
+
+RecoveryStats
+Manager::recover()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    RecoveryStats stats;
+    recover_ran_ = true;
+
+    // Newest parseable snapshot wins; a corrupt newest falls back to
+    // the previous one (keep_snapshots > 1 keeps that fallback).
+    bool have_snap = false;
+    SnapshotData snap;
+    std::string snap_error;
+    for (const auto &[seq, path] : listSnapshots(options_.dir)) {
+        try {
+            snap = readSnapshotFile(path);
+            have_snap = true;
+            break;
+        } catch (const DurableError &e) {
+            snap_error = e.what();
+        }
+    }
+    if (have_snap) {
+        stats.state_restored = restoreSnapshot(engine_, snap);
+        stats.snapshot_seq = snap.batch_seq;
+        stats.recovered = true;
+    }
+
+    WalReadResult wal = readWal(walPath(), fingerprint_);
+    wal_valid_bytes_ = wal.valid_bytes;
+    wal_scanned_ = true;
+    stats.wal_truncated = wal.truncated;
+    stats.wal_truncation_reason = wal.truncation_reason;
+    if (!have_snap && wal.records.empty() && !snap_error.empty())
+        throw DurableError(
+            "every snapshot is corrupt and the WAL is empty: " +
+            snap_error);
+
+    // Replay the tail: records the snapshot already covers are
+    // skipped; applyLoggedBatch rejects gaps and divergence.
+    std::uint64_t base = engine_.batchSeq();
+    for (const core::LoggedBatch &record : wal.records) {
+        if (record.seq <= base)
+            continue;
+        try {
+            engine_.applyLoggedBatch(record);
+        } catch (const std::runtime_error &e) {
+            throw DurableError(std::string("WAL replay failed: ") +
+                               e.what());
+        }
+        ++stats.wal_records_replayed;
+        stats.recovered = true;
+    }
+
+    stats.recovery_ms = msSince(t0);
+    if (metrics_ && stats.recovered) {
+        metrics_->count(0, telemetry::Counter::DurableRecoveries);
+        metrics_->observe(
+            0, telemetry::Histogram::DurableRecoveryMs,
+            static_cast<std::uint64_t>(stats.recovery_ms));
+    }
+    recovery_ = stats;
+    return stats;
+}
+
+void
+Manager::begin()
+{
+    if (began_)
+        return;
+    std::error_code ec;
+    fs::create_directories(options_.dir, ec);
+    if (ec)
+        throw DurableError("cannot create state directory " +
+                           options_.dir + ": " + ec.message());
+    if (!recover_ran_ && hasState(options_.dir))
+        throw DurableError(
+            options_.dir +
+            " already holds durable state; recover() first (or point "
+            "the session at a fresh directory)");
+    if (!wal_scanned_) {
+        WalReadResult wal = readWal(walPath(), fingerprint_);
+        wal_valid_bytes_ = wal.valid_bytes;
+        wal_scanned_ = true;
+    }
+    // Cut any torn tail before appending: a new record after garbage
+    // would be unreachable to recovery.
+    std::error_code size_ec;
+    auto on_disk = fs::file_size(walPath(), size_ec);
+    if (!size_ec && on_disk > wal_valid_bytes_)
+        truncateWal(walPath(), wal_valid_bytes_);
+
+    wal_ = std::make_unique<WalWriter>(walPath(), options_.fsync,
+                                       fingerprint_);
+    last_checkpoint_ = std::chrono::steady_clock::now();
+    engine_.setBatchObserver(
+        [this](const core::BatchCommit &commit) { onBatch(commit); });
+    began_ = true;
+}
+
+void
+Manager::onBatch(const core::BatchCommit &commit)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    core::LoggedBatch record;
+    record.seq = commit.seq;
+    record.origin = commit.origin;
+    record.halted = commit.halted;
+    record.cycles_after = engine_.totals().cycles;
+    record.wme_changes_after = engine_.totals().wme_changes;
+    record.next_tag_after = engine_.workingMemory().nextTag();
+    if (commit.fired) {
+        ops5::InstantiationKey key =
+            ops5::InstantiationKey::of(*commit.fired);
+        record.has_fired = true;
+        record.fired_production = key.production_id;
+        record.fired_tags = std::move(key.tags);
+    }
+    record.changes.reserve(commit.changes.size());
+    for (const ops5::WmeChange &change : commit.changes) {
+        core::LoggedBatch::Change c;
+        c.kind = change.kind;
+        c.tag = change.wme->timeTag();
+        c.cls = change.wme->className();
+        if (change.kind == ops5::ChangeKind::Insert) {
+            c.fields.reserve(change.wme->fieldCount());
+            for (int f = 0; f < change.wme->fieldCount(); ++f)
+                c.fields.push_back(change.wme->field(f));
+        }
+        record.changes.push_back(std::move(c));
+    }
+
+    std::uint64_t bytes_before = wal_->payloadBytes();
+    wal_->append(record);
+    if (metrics_) {
+        metrics_->count(0, telemetry::Counter::DurableWalRecords);
+        metrics_->count(0, telemetry::Counter::DurableWalBytes,
+                        wal_->payloadBytes() - bytes_before);
+        metrics_->observe(
+            0, telemetry::Histogram::DurableWalAppendUs,
+            static_cast<std::uint64_t>(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+    }
+    ++batches_since_checkpoint_;
+    maybeCheckpoint();
+}
+
+void
+Manager::maybeCheckpoint()
+{
+    const CheckpointPolicy &policy = options_.checkpoint;
+    bool due = false;
+    if (policy.every_batches > 0 &&
+        batches_since_checkpoint_ >= policy.every_batches)
+        due = true;
+    if (policy.every.count() > 0 &&
+        std::chrono::steady_clock::now() - last_checkpoint_ >=
+            policy.every)
+        due = true;
+    if (due)
+        checkpoint();
+}
+
+void
+Manager::checkpoint()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SnapshotData snap = captureSnapshot(engine_);
+    std::vector<std::uint8_t> bytes = encodeSnapshot(snap);
+    writeFileAtomic(snapshotPath(snap.batch_seq), bytes);
+    // The snapshot is durable; the log behind it is now redundant.
+    if (wal_)
+        wal_->reset();
+
+    std::size_t keep = std::max<std::size_t>(options_.keep_snapshots, 1);
+    auto snaps = listSnapshots(options_.dir);
+    for (std::size_t i = keep; i < snaps.size(); ++i) {
+        std::error_code ec;
+        fs::remove(snaps[i].second, ec);
+    }
+
+    ++snapshots_written_;
+    batches_since_checkpoint_ = 0;
+    last_checkpoint_ = std::chrono::steady_clock::now();
+    if (metrics_) {
+        metrics_->count(0, telemetry::Counter::DurableSnapshots);
+        metrics_->observe(0, telemetry::Histogram::DurableSnapshotBytes,
+                          bytes.size());
+        metrics_->observe(0, telemetry::Histogram::DurableCheckpointMs,
+                          static_cast<std::uint64_t>(msSince(t0)));
+    }
+}
+
+void
+Manager::sync()
+{
+    if (wal_)
+        wal_->sync();
+}
+
+} // namespace psm::durable

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The durability manager: attaches a write-ahead log and a checkpoint
+ * policy to one Engine, and recovers a crashed session from disk.
+ *
+ * On-disk layout of one session directory:
+ *
+ *     <dir>/wal.plog          the write-ahead log
+ *     <dir>/snap-<seq>.psnap  snapshots, named by batch sequence
+ *
+ * The recovery invariant: after recover(), the engine's working
+ * memory, conflict set (including refraction), counters, and time-tag
+ * counter are byte-identical to the crashed process at its last
+ * intact WAL record — the newest parseable snapshot is restored
+ * (state restore when it carries Rete match state and the engine runs
+ * the serial Rete matcher; replay restore otherwise) and the WAL tail
+ * with sequence numbers past the snapshot is re-executed through
+ * Engine::applyLoggedBatch. A torn or corrupt WAL tail is cut at the
+ * first bad frame; a sequence gap between snapshot and WAL throws.
+ */
+
+#ifndef PSM_DURABLE_MANAGER_HPP
+#define PSM_DURABLE_MANAGER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/telemetry.hpp"
+#include "durable/snapshot.hpp"
+#include "durable/wal.hpp"
+
+namespace psm::durable {
+
+/** When to cut a snapshot (and truncate the WAL behind it). */
+struct CheckpointPolicy
+{
+    /** Snapshot every N committed batches; 0 disables the trigger. */
+    std::uint64_t every_batches = 0;
+    /** Snapshot when this much wall time passed since the last one;
+     *  zero disables the trigger. Checked at batch commits. */
+    std::chrono::milliseconds every{0};
+    /** Snapshot when the owning session/pool drains. */
+    bool on_drain = true;
+};
+
+/** Configuration of one durable session. */
+struct DurableOptions
+{
+    /** Session state directory; empty disables durability. */
+    std::string dir;
+    FsyncPolicy fsync = FsyncPolicy::Batch;
+    CheckpointPolicy checkpoint{};
+    /** Snapshots retained on disk; older ones are pruned after each
+     *  checkpoint (the newest is the restore source, the rest are
+     *  fallbacks against a corrupt newest). */
+    std::size_t keep_snapshots = 2;
+
+    bool enabled() const { return !dir.empty(); }
+};
+
+/** What recover() found and did. */
+struct RecoveryStats
+{
+    bool recovered = false;      ///< any durable state was loaded
+    bool state_restored = false; ///< Rete state path (vs replay)
+    std::uint64_t snapshot_seq = 0;       ///< 0 when WAL-only
+    std::uint64_t wal_records_replayed = 0;
+    bool wal_truncated = false;  ///< a torn/corrupt tail was cut
+    std::string wal_truncation_reason;
+    double recovery_ms = 0.0;
+};
+
+/**
+ * Durability for one Engine. Lifecycle:
+ *
+ *     Manager m(engine, options);
+ *     auto stats = m.recover();      // optional: warm start
+ *     m.begin();                     // attach WAL observer
+ *     if (!stats.recovered)
+ *         engine.loadInitialWorkingMemory();
+ *     ... run ...
+ *     m.checkpoint();                // e.g. at drain
+ *
+ * Not thread safe; the serving layer serializes all engine access per
+ * session, and the manager rides on that.
+ */
+class Manager
+{
+  public:
+    /**
+     * @param engine  engine to make durable (not owned)
+     * @param options must have enabled() == true
+     * @param metrics optional registry; durable counters/histograms
+     *                land in shard 0 (multi-writer safe)
+     */
+    Manager(core::Engine &engine, DurableOptions options,
+            telemetry::Registry *metrics = nullptr);
+
+    /** Detaches the batch observer. */
+    ~Manager();
+
+    Manager(const Manager &) = delete;
+    Manager &operator=(const Manager &) = delete;
+
+    /** True when @p dir holds restorable state (a WAL or snapshot). */
+    static bool hasState(const std::string &dir);
+
+    /**
+     * Restores the engine from the directory. Must run before begin()
+     * on a freshly constructed engine. A directory with no durable
+     * state recovers to nothing (stats.recovered == false) and the
+     * caller loads initial working memory as usual. Throws
+     * DurableError when state exists but cannot be restored
+     * correctly.
+     */
+    RecoveryStats recover();
+
+    /**
+     * Opens the WAL for append (truncating any torn tail) and
+     * attaches the batch observer; every batch the engine commits
+     * from here on is logged. Throws DurableError when the directory
+     * already holds state and recover() was not called — appending a
+     * second history onto an unrecovered log would corrupt it.
+     */
+    void begin();
+
+    /** Writes a snapshot (atomic rename), truncates the WAL, prunes
+     *  old snapshots. Callable at any cycle barrier. */
+    void checkpoint();
+
+    /** Fsyncs the WAL now (Batch policy's flush point). */
+    void sync();
+
+    const RecoveryStats &lastRecovery() const { return recovery_; }
+    const DurableOptions &options() const { return options_; }
+    std::uint64_t walRecords() const
+    {
+        return wal_ ? wal_->recordsAppended() : 0;
+    }
+    std::uint64_t snapshotsWritten() const { return snapshots_written_; }
+
+  private:
+    void onBatch(const core::BatchCommit &commit);
+    void maybeCheckpoint();
+    std::string walPath() const;
+    std::string snapshotPath(std::uint64_t seq) const;
+
+    core::Engine &engine_;
+    DurableOptions options_;
+    telemetry::Registry *metrics_;
+    std::uint64_t fingerprint_;
+    std::unique_ptr<WalWriter> wal_;
+    RecoveryStats recovery_;
+    bool recover_ran_ = false;
+    bool began_ = false;
+    std::uint64_t wal_valid_bytes_ = 0;
+    bool wal_scanned_ = false;
+    std::uint64_t batches_since_checkpoint_ = 0;
+    std::chrono::steady_clock::time_point last_checkpoint_;
+    std::uint64_t snapshots_written_ = 0;
+};
+
+} // namespace psm::durable
+
+#endif // PSM_DURABLE_MANAGER_HPP

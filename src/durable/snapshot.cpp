@@ -1,0 +1,563 @@
+#include "durable/snapshot.hpp"
+
+#include <algorithm>
+
+#include "rete/matcher.hpp"
+#include "rete/network.hpp"
+#include "rete/nodes.hpp"
+#include "rete/validate.hpp"
+
+namespace psm::durable {
+
+namespace {
+
+constexpr std::uint64_t kSnapshotMagic = 0x50534D534E415031ULL; // PSMSNAP1
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+constexpr std::uint8_t kNodeAlpha = 0;
+constexpr std::uint8_t kNodeBeta = 1;
+constexpr std::uint8_t kNodeNot = 2;
+
+void
+writeKey(ByteWriter &w, const ops5::InstantiationKey &key)
+{
+    w.u32(static_cast<std::uint32_t>(key.production_id));
+    w.u32(static_cast<std::uint32_t>(key.tags.size()));
+    for (ops5::TimeTag t : key.tags)
+        w.u64(t);
+}
+
+ops5::InstantiationKey
+readKey(ByteReader &r)
+{
+    ops5::InstantiationKey key;
+    key.production_id = static_cast<int>(r.u32());
+    std::uint32_t n = r.u32();
+    key.tags.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        key.tags.push_back(r.u64());
+    return key;
+}
+
+void
+writeToken(ByteWriter &w, const std::vector<ops5::TimeTag> &tags)
+{
+    w.u32(static_cast<std::uint32_t>(tags.size()));
+    for (ops5::TimeTag t : tags)
+        w.u64(t);
+}
+
+std::vector<ops5::TimeTag>
+readToken(ByteReader &r)
+{
+    std::uint32_t n = r.u32();
+    std::vector<ops5::TimeTag> tags;
+    tags.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        tags.push_back(r.u64());
+    return tags;
+}
+
+std::vector<ops5::TimeTag>
+tokenTags(const rete::Token &token)
+{
+    std::vector<ops5::TimeTag> tags;
+    tags.reserve(token.size());
+    for (const ops5::Wme *wme : token.wmes)
+        tags.push_back(wme->timeTag());
+    return tags;
+}
+
+/** Captures the serial-Rete match state; @pre no parked tombstones. */
+ReteState
+captureReteState(rete::ReteMatcher &matcher)
+{
+    if (matcher.pendingTombstones() != 0 ||
+        matcher.conflictSet().pendingTombstones() != 0)
+        throw DurableError(
+            "cannot snapshot mid-batch: tombstones are parked");
+
+    ReteState state;
+    state.present = true;
+    for (const auto &node : matcher.network().nodes()) {
+        ReteNodeState ns;
+        ns.node_id = node->id;
+        switch (node->kind) {
+          case rete::NodeKind::AlphaMemory: {
+            auto *am = static_cast<rete::AlphaMemoryNode *>(node.get());
+            ns.kind = kNodeAlpha;
+            for (const ops5::Wme *wme : am->items)
+                ns.items.push_back(wme->timeTag());
+            break;
+          }
+          case rete::NodeKind::BetaMemory: {
+            auto *bm = static_cast<rete::BetaMemoryNode *>(node.get());
+            ns.kind = kNodeBeta;
+            for (const rete::Token &token : bm->tokens)
+                ns.tokens.push_back(tokenTags(token));
+            break;
+          }
+          case rete::NodeKind::Not: {
+            auto *nn = static_cast<rete::NotNode *>(node.get());
+            ns.kind = kNodeNot;
+            for (const rete::NotNode::Entry &entry : nn->entries) {
+                ns.tokens.push_back(tokenTags(entry.token));
+                ns.counts.push_back(entry.count);
+            }
+            break;
+          }
+          default:
+            continue; // stateless node kinds
+        }
+        state.nodes.push_back(std::move(ns));
+    }
+    for (const ops5::Instantiation &inst :
+         matcher.conflictSet().contents())
+        state.live.push_back(ops5::InstantiationKey::of(inst));
+    return state;
+}
+
+/** Shared preconditions of both restore paths. */
+void
+checkRestorable(core::Engine &engine, const SnapshotData &snap)
+{
+    std::uint64_t fp = programFingerprint(engine.program());
+    if (snap.fingerprint != fp)
+        throw DurableError(
+            "snapshot belongs to a different program (fingerprint "
+            "mismatch)");
+    if (engine.batchSeq() != 0 ||
+        engine.workingMemory().liveCount() != 0)
+        throw DurableError(
+            "restore requires a freshly constructed engine");
+    const ops5::SymbolTable &syms = engine.program().symbols();
+    if (snap.symbols.size() > syms.size())
+        throw DurableError(
+            "snapshot references symbols the program never interned");
+    for (std::size_t i = 0; i < snap.symbols.size(); ++i) {
+        if (syms.name(static_cast<ops5::SymbolId>(i)) !=
+            snap.symbols[i])
+            throw DurableError("symbol table mismatch at id " +
+                               std::to_string(i) + ": program has '" +
+                               syms.name(static_cast<ops5::SymbolId>(i)) +
+                               "', snapshot has '" + snap.symbols[i] +
+                               "'");
+    }
+}
+
+/** Inserts every snapshotted WME under its original time tag. */
+std::vector<ops5::WmeChange>
+loadWmes(core::Engine &engine, const SnapshotData &snap)
+{
+    ops5::WorkingMemory &wm = engine.workingMemory();
+    std::vector<ops5::WmeChange> changes;
+    changes.reserve(snap.wmes.size());
+    for (const SnapshotWme &sw : snap.wmes) {
+        const ops5::Wme *wme = wm.insertWithTag(sw.cls, sw.tag, sw.fields);
+        changes.push_back({ops5::ChangeKind::Insert, wme});
+    }
+    wm.setNextTag(snap.next_tag);
+    return changes;
+}
+
+} // namespace
+
+std::uint64_t
+programFingerprint(const ops5::Program &program)
+{
+    // FNV-1a over the production roster; identical source parses to an
+    // identical fingerprint, and any rule change invalidates old state.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    auto mixStr = [&h](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(program.productions().size());
+    for (const auto &prod : program.productions()) {
+        mix(static_cast<std::uint64_t>(prod->id()));
+        mixStr(prod->name());
+    }
+    return h;
+}
+
+SnapshotData
+captureSnapshot(core::Engine &engine)
+{
+    SnapshotData snap;
+    snap.fingerprint = programFingerprint(engine.program());
+    snap.totals = engine.totals();
+    snap.batch_seq = engine.batchSeq();
+    snap.halted = engine.halted();
+    snap.next_tag = engine.workingMemory().nextTag();
+
+    const ops5::SymbolTable &syms = engine.program().symbols();
+    snap.symbols.reserve(syms.size());
+    for (std::size_t i = 0; i < syms.size(); ++i)
+        snap.symbols.push_back(
+            syms.name(static_cast<ops5::SymbolId>(i)));
+
+    for (const ops5::Wme *wme : engine.workingMemory().liveElements()) {
+        SnapshotWme sw;
+        sw.tag = wme->timeTag();
+        sw.cls = wme->className();
+        sw.fields.reserve(wme->fieldCount());
+        for (int f = 0; f < wme->fieldCount(); ++f)
+            sw.fields.push_back(wme->field(f));
+        snap.wmes.push_back(std::move(sw));
+    }
+
+    snap.fired = engine.matcher().conflictSet().firedKeys();
+    std::sort(snap.fired.begin(), snap.fired.end(),
+              [](const ops5::InstantiationKey &a,
+                 const ops5::InstantiationKey &b) {
+                  if (a.production_id != b.production_id)
+                      return a.production_id < b.production_id;
+                  return a.tags < b.tags;
+              });
+
+    if (auto *rete =
+            dynamic_cast<rete::ReteMatcher *>(&engine.matcher()))
+        snap.rete = captureReteState(*rete);
+    return snap;
+}
+
+std::vector<std::uint8_t>
+encodeSnapshot(const SnapshotData &snap)
+{
+    ByteWriter w;
+    w.u64(kSnapshotMagic);
+    w.u32(kSnapshotVersion);
+    w.u32(0); // reserved
+    w.u64(snap.fingerprint);
+    w.u64(snap.totals.cycles);
+    w.u64(snap.totals.firings);
+    w.u64(snap.totals.wme_changes);
+    w.u8(snap.totals.halted ? 1 : 0);
+    w.u8(snap.totals.quiescent ? 1 : 0);
+    w.u8(snap.halted ? 1 : 0);
+    w.u64(snap.batch_seq);
+    w.u64(snap.next_tag);
+
+    w.u32(static_cast<std::uint32_t>(snap.symbols.size()));
+    for (const std::string &s : snap.symbols)
+        w.str(s);
+
+    w.u64(snap.wmes.size());
+    for (const SnapshotWme &sw : snap.wmes) {
+        w.u64(sw.tag);
+        w.u32(sw.cls);
+        w.u32(static_cast<std::uint32_t>(sw.fields.size()));
+        for (const ops5::Value &v : sw.fields)
+            w.value(v);
+    }
+
+    w.u32(static_cast<std::uint32_t>(snap.fired.size()));
+    for (const ops5::InstantiationKey &key : snap.fired)
+        writeKey(w, key);
+
+    w.u8(snap.rete.present ? 1 : 0);
+    if (snap.rete.present) {
+        w.u32(static_cast<std::uint32_t>(snap.rete.nodes.size()));
+        for (const ReteNodeState &ns : snap.rete.nodes) {
+            w.u32(static_cast<std::uint32_t>(ns.node_id));
+            w.u8(ns.kind);
+            if (ns.kind == kNodeAlpha) {
+                w.u32(static_cast<std::uint32_t>(ns.items.size()));
+                for (ops5::TimeTag t : ns.items)
+                    w.u64(t);
+            } else {
+                w.u32(static_cast<std::uint32_t>(ns.tokens.size()));
+                for (std::size_t i = 0; i < ns.tokens.size(); ++i) {
+                    writeToken(w, ns.tokens[i]);
+                    if (ns.kind == kNodeNot)
+                        w.u32(static_cast<std::uint32_t>(ns.counts[i]));
+                }
+            }
+        }
+        w.u32(static_cast<std::uint32_t>(snap.rete.live.size()));
+        for (const ops5::InstantiationKey &key : snap.rete.live)
+            writeKey(w, key);
+    }
+
+    std::vector<std::uint8_t> bytes = w.take();
+    std::uint32_t crc = crc32(bytes);
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    return bytes;
+}
+
+SnapshotData
+decodeSnapshot(std::span<const std::uint8_t> bytes)
+{
+    if (bytes.size() < 20)
+        throw DurableError("snapshot too short to be valid");
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i)
+        stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
+                  << (8 * i);
+    std::span<const std::uint8_t> body =
+        bytes.subspan(0, bytes.size() - 4);
+    if (crc32(body) != stored)
+        throw DurableError("snapshot CRC mismatch (corrupt or torn)");
+
+    ByteReader r(body);
+    if (r.u64() != kSnapshotMagic)
+        throw DurableError("not a snapshot file (bad magic)");
+    std::uint32_t version = r.u32();
+    if (version != kSnapshotVersion)
+        throw DurableError("unsupported snapshot version " +
+                           std::to_string(version));
+    r.u32(); // reserved
+
+    SnapshotData snap;
+    snap.fingerprint = r.u64();
+    snap.totals.cycles = r.u64();
+    snap.totals.firings = r.u64();
+    snap.totals.wme_changes = r.u64();
+    snap.totals.halted = r.u8() != 0;
+    snap.totals.quiescent = r.u8() != 0;
+    snap.halted = r.u8() != 0;
+    snap.batch_seq = r.u64();
+    snap.next_tag = r.u64();
+
+    std::uint32_t n_syms = r.u32();
+    snap.symbols.reserve(n_syms);
+    for (std::uint32_t i = 0; i < n_syms; ++i)
+        snap.symbols.push_back(r.str());
+
+    std::uint64_t n_wmes = r.u64();
+    snap.wmes.reserve(n_wmes);
+    for (std::uint64_t i = 0; i < n_wmes; ++i) {
+        SnapshotWme sw;
+        sw.tag = r.u64();
+        sw.cls = static_cast<ops5::SymbolId>(r.u32());
+        std::uint32_t nf = r.u32();
+        sw.fields.reserve(nf);
+        for (std::uint32_t f = 0; f < nf; ++f)
+            sw.fields.push_back(r.value());
+        snap.wmes.push_back(std::move(sw));
+    }
+
+    std::uint32_t n_fired = r.u32();
+    snap.fired.reserve(n_fired);
+    for (std::uint32_t i = 0; i < n_fired; ++i)
+        snap.fired.push_back(readKey(r));
+
+    if (r.u8() != 0) {
+        snap.rete.present = true;
+        std::uint32_t n_nodes = r.u32();
+        snap.rete.nodes.reserve(n_nodes);
+        for (std::uint32_t i = 0; i < n_nodes; ++i) {
+            ReteNodeState ns;
+            ns.node_id = static_cast<std::int32_t>(r.u32());
+            ns.kind = r.u8();
+            if (ns.kind == kNodeAlpha) {
+                std::uint32_t n = r.u32();
+                ns.items.reserve(n);
+                for (std::uint32_t k = 0; k < n; ++k)
+                    ns.items.push_back(r.u64());
+            } else if (ns.kind == kNodeBeta || ns.kind == kNodeNot) {
+                std::uint32_t n = r.u32();
+                ns.tokens.reserve(n);
+                for (std::uint32_t k = 0; k < n; ++k) {
+                    ns.tokens.push_back(readToken(r));
+                    if (ns.kind == kNodeNot)
+                        ns.counts.push_back(
+                            static_cast<std::int32_t>(r.u32()));
+                }
+            } else {
+                throw DurableError("bad match-state node kind byte");
+            }
+            snap.rete.nodes.push_back(std::move(ns));
+        }
+        std::uint32_t n_live = r.u32();
+        snap.rete.live.reserve(n_live);
+        for (std::uint32_t i = 0; i < n_live; ++i)
+            snap.rete.live.push_back(readKey(r));
+    }
+    if (!r.atEnd())
+        throw DurableError("snapshot has trailing bytes");
+    return snap;
+}
+
+void
+writeSnapshotFile(const std::string &path, const SnapshotData &snap)
+{
+    writeFileAtomic(path, encodeSnapshot(snap));
+}
+
+SnapshotData
+readSnapshotFile(const std::string &path)
+{
+    return decodeSnapshot(readFileAll(path));
+}
+
+void
+replayRestore(core::Engine &engine, const SnapshotData &snap)
+{
+    checkRestorable(engine, snap);
+    std::vector<ops5::WmeChange> changes = loadWmes(engine, snap);
+    // One batch to fixpoint: at a cycle barrier the conflict set is a
+    // pure function of working memory, so re-matching the snapshotted
+    // WM reproduces it for every matcher configuration.
+    engine.matcher().processChanges(changes);
+    engine.matcher().conflictSet().clearTombstones();
+    ops5::ConflictSet &cs = engine.matcher().conflictSet();
+    for (const ops5::InstantiationKey &key : snap.fired)
+        cs.markFiredKey(key);
+    engine.restoreCounters(snap.totals, snap.batch_seq, snap.halted);
+}
+
+void
+stateRestore(core::Engine &engine, rete::ReteMatcher &matcher,
+             const SnapshotData &snap, RestoreValidation validation)
+{
+    if (!snap.rete.present)
+        throw DurableError(
+            "snapshot carries no match state; use replayRestore");
+    checkRestorable(engine, snap);
+    loadWmes(engine, snap); // no matcher pass — that is the point
+
+    ops5::WorkingMemory &wm = engine.workingMemory();
+    auto wmeByTag = [&wm](ops5::TimeTag tag) {
+        const ops5::Wme *wme = wm.findByTag(tag);
+        if (!wme)
+            throw DurableError(
+                "match state references unknown time tag " +
+                std::to_string(tag));
+        return wme;
+    };
+    auto buildToken = [&](const std::vector<ops5::TimeTag> &tags) {
+        rete::Token token;
+        token.wmes.reserve(tags.size());
+        for (ops5::TimeTag t : tags)
+            token.wmes.push_back(wmeByTag(t));
+        return token;
+    };
+
+    rete::Network &net = matcher.network();
+    const auto &nodes = net.nodes();
+    net.resetState();
+    // resetState re-seeds the dummy top token, but the snapshot image
+    // carries it too; restore strictly from the image.
+    net.top()->tokens.clear();
+
+    for (const ReteNodeState &ns : snap.rete.nodes) {
+        if (ns.node_id < 0 ||
+            static_cast<std::size_t>(ns.node_id) >= nodes.size())
+            throw DurableError("match state references node id " +
+                               std::to_string(ns.node_id) +
+                               " outside the network");
+        rete::Node *node = nodes[static_cast<std::size_t>(ns.node_id)]
+                               .get();
+        if (ns.kind == kNodeAlpha) {
+            if (node->kind != rete::NodeKind::AlphaMemory)
+                throw DurableError("node kind mismatch at id " +
+                                   std::to_string(ns.node_id));
+            auto *am = static_cast<rete::AlphaMemoryNode *>(node);
+            for (ops5::TimeTag t : ns.items)
+                am->items.push_back(wmeByTag(t));
+        } else if (ns.kind == kNodeBeta) {
+            if (node->kind != rete::NodeKind::BetaMemory)
+                throw DurableError("node kind mismatch at id " +
+                                   std::to_string(ns.node_id));
+            auto *bm = static_cast<rete::BetaMemoryNode *>(node);
+            for (const auto &tags : ns.tokens)
+                bm->tokens.push_back(buildToken(tags));
+        } else {
+            if (node->kind != rete::NodeKind::Not)
+                throw DurableError("node kind mismatch at id " +
+                                   std::to_string(ns.node_id));
+            auto *nn = static_cast<rete::NotNode *>(node);
+            for (std::size_t i = 0; i < ns.tokens.size(); ++i)
+                nn->entries.push_back(
+                    {buildToken(ns.tokens[i]), ns.counts[i]});
+        }
+    }
+
+    ops5::ConflictSet &cs = matcher.conflictSet();
+    const auto &productions = engine.program().productions();
+    for (const ops5::InstantiationKey &key : snap.rete.live) {
+        if (key.production_id < 0 ||
+            static_cast<std::size_t>(key.production_id) >=
+                productions.size())
+            throw DurableError(
+                "match state references production id " +
+                std::to_string(key.production_id) +
+                " outside the program");
+        ops5::Instantiation inst;
+        inst.production =
+            productions[static_cast<std::size_t>(key.production_id)]
+                .get();
+        inst.wmes.reserve(key.tags.size());
+        for (ops5::TimeTag t : key.tags)
+            inst.wmes.push_back(wmeByTag(t));
+        cs.insert(std::move(inst));
+    }
+    for (const ops5::InstantiationKey &key : snap.fired)
+        cs.markFiredKey(key);
+    matcher.rebuildIndexes();
+
+    rete::ValidationResult check =
+        validation == RestoreValidation::Full
+            ? rete::validateMatcherState(net, wm.liveElements(), cs)
+            : rete::validateStructure(net);
+    if (!check.ok())
+        throw DurableError("state restore failed validation: " +
+                           check.summary());
+    engine.restoreCounters(snap.totals, snap.batch_seq, snap.halted);
+}
+
+namespace {
+
+/**
+ * True when the snapshot's stateful-node roster (ids and kinds, in
+ * network order) is exactly the network's. A snapshot captured on the
+ * shared node layout must not state-restore into a private-state
+ * build of the same program — the node ids mean different things.
+ */
+bool
+stateCompatible(const rete::Network &net, const ReteState &rs)
+{
+    std::size_t i = 0;
+    for (const auto &node : net.nodes()) {
+        std::uint8_t kind;
+        switch (node->kind) {
+          case rete::NodeKind::AlphaMemory: kind = kNodeAlpha; break;
+          case rete::NodeKind::BetaMemory: kind = kNodeBeta; break;
+          case rete::NodeKind::Not: kind = kNodeNot; break;
+          default: continue;
+        }
+        if (i >= rs.nodes.size() || rs.nodes[i].node_id != node->id ||
+            rs.nodes[i].kind != kind)
+            return false;
+        ++i;
+    }
+    return i == rs.nodes.size();
+}
+
+} // namespace
+
+bool
+restoreSnapshot(core::Engine &engine, const SnapshotData &snap,
+                RestoreValidation validation)
+{
+    auto *rete = dynamic_cast<rete::ReteMatcher *>(&engine.matcher());
+    if (snap.rete.present && rete &&
+        stateCompatible(rete->network(), snap.rete)) {
+        stateRestore(engine, *rete, snap, validation);
+        return true;
+    }
+    replayRestore(engine, snap);
+    return false;
+}
+
+} // namespace psm::durable

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Working-memory snapshots: a versioned, CRC-protected image of one
+ * engine's durable state, with two restore paths.
+ *
+ * A snapshot always carries enough to *replay-restore* into any
+ * matcher configuration: the symbol table, every live WME with its
+ * original time tag, the refraction (fired-instantiation) keys, and
+ * the engine counters. Re-asserting the WMEs through the matcher as
+ * one change batch rebuilds the conflict set, because at a cycle
+ * barrier the conflict set is a pure function of working memory.
+ *
+ * When the engine runs the serial Rete matcher the snapshot can also
+ * carry the match state itself — alpha-memory items, beta-memory
+ * tokens, and not-node counts, referenced by time tag — enabling
+ * *state restore*: working memory is reloaded without re-running the
+ * match, which is the paper's state-saving economics (Section 3)
+ * applied to recovery. State restores always pass shape validation
+ * (rete::validateStructure plus per-token bounds checks during the
+ * fill); full semantic validation (rete::validateMatcherState, which
+ * re-derives every memory from scratch and therefore costs more than
+ * the replay it guards against) is opt-in via RestoreValidation.
+ */
+
+#ifndef PSM_DURABLE_SNAPSHOT_HPP
+#define PSM_DURABLE_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "durable/format.hpp"
+#include "ops5/conflict.hpp"
+
+namespace psm::rete {
+class ReteMatcher;
+}
+
+namespace psm::durable {
+
+/** Identity hash of a Program; snapshots and WALs refuse to restore
+ *  into a different rule base. */
+std::uint64_t programFingerprint(const ops5::Program &program);
+
+/** One serialized WME. */
+struct SnapshotWme
+{
+    ops5::TimeTag tag = 0;
+    ops5::SymbolId cls = 0;
+    std::vector<ops5::Value> fields;
+};
+
+/** Serialized contents of one stateful Rete node. */
+struct ReteNodeState
+{
+    std::int32_t node_id = -1;
+    std::uint8_t kind = 0; ///< 0 alpha memory, 1 beta memory, 2 not
+    /** Alpha memories: item WMEs by time tag. */
+    std::vector<ops5::TimeTag> items;
+    /** Beta memories / not nodes: tokens as tag vectors. */
+    std::vector<std::vector<ops5::TimeTag>> tokens;
+    /** Not nodes: per-entry right-match counts (parallel to tokens). */
+    std::vector<std::int32_t> counts;
+};
+
+/** Optional serial-Rete match-state section. */
+struct ReteState
+{
+    bool present = false;
+    std::vector<ReteNodeState> nodes;
+    /** Live conflict-set instantiation keys at capture. */
+    std::vector<ops5::InstantiationKey> live;
+};
+
+/** In-memory form of one snapshot. */
+struct SnapshotData
+{
+    std::uint64_t fingerprint = 0;
+    core::RunResult totals;
+    std::uint64_t batch_seq = 0;
+    bool halted = false;
+    ops5::TimeTag next_tag = 1;
+    std::vector<std::string> symbols; ///< full table, id order
+    std::vector<SnapshotWme> wmes;    ///< live WMEs, tag order
+    std::vector<ops5::InstantiationKey> fired; ///< refraction keys
+    ReteState rete;
+};
+
+/**
+ * Captures the engine's durable state. Must run at a cycle barrier
+ * (never mid-batch). When the engine's matcher is the serial Rete
+ * matcher the Rete match-state section is captured too.
+ */
+SnapshotData captureSnapshot(core::Engine &engine);
+
+/** Encodes to the versioned binary format (trailing CRC32). */
+std::vector<std::uint8_t> encodeSnapshot(const SnapshotData &snap);
+
+/** Decodes and CRC-checks; DurableError on any corruption. */
+SnapshotData decodeSnapshot(std::span<const std::uint8_t> bytes);
+
+/** writeFileAtomic(encodeSnapshot(snap)). */
+void writeSnapshotFile(const std::string &path, const SnapshotData &snap);
+
+/** readFileAll + decodeSnapshot. */
+SnapshotData readSnapshotFile(const std::string &path);
+
+/**
+ * Replay restore: re-asserts every snapshotted WME (original time
+ * tags) through the engine's matcher as one batch, re-marks the
+ * refraction keys, and restores the engine counters. Works with any
+ * matcher configuration. The engine must be freshly constructed
+ * (empty WM, batch sequence 0).
+ */
+void replayRestore(core::Engine &engine, const SnapshotData &snap);
+
+/** How hard a state restore double-checks the restored match state. */
+enum class RestoreValidation : std::uint8_t
+{
+    /** Shape-only: rete::validateStructure plus the fill's own node
+     *  id/kind/time-tag bounds checks. The snapshot's whole-image CRC
+     *  already rules out corruption, and the state was captured from
+     *  a live engine at a cycle barrier, so this is the production
+     *  default — it keeps state restore cheaper than replay. */
+    Structure,
+    /** Everything above plus rete::validateMatcherState, which
+     *  re-derives every memory's expected contents from working
+     *  memory — stronger than replay, and costlier; for tests and
+     *  debugging. */
+    Full,
+};
+
+/**
+ * State restore: reloads working memory WITHOUT re-running the match,
+ * filling the Rete memory nodes and the conflict set directly from
+ * the snapshot's match-state section, then validates the result at
+ * the requested level. Requires @p snap.rete.present and an engine
+ * driving @p matcher. DurableError when validation fails.
+ */
+void stateRestore(core::Engine &engine, rete::ReteMatcher &matcher,
+                  const SnapshotData &snap,
+                  RestoreValidation validation = RestoreValidation::Full);
+
+/**
+ * Restores @p snap into @p engine by the cheapest correct path:
+ * state restore when the snapshot carries match state and the
+ * engine's matcher is the serial Rete matcher with the snapshot's
+ * node layout, replay restore otherwise. @return true when the state
+ * path was used.
+ */
+bool restoreSnapshot(
+    core::Engine &engine, const SnapshotData &snap,
+    RestoreValidation validation = RestoreValidation::Structure);
+
+} // namespace psm::durable
+
+#endif // PSM_DURABLE_SNAPSHOT_HPP

@@ -1,0 +1,312 @@
+#include "durable/wal.hpp"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace psm::durable {
+
+namespace {
+
+constexpr std::uint64_t kWalMagic = 0x50534D57414C3031ULL; // PSMWAL01
+constexpr std::uint32_t kWalVersion = 1;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8;
+/** Sanity cap on one record so a garbage length field cannot force a
+ *  multi-gigabyte allocation during recovery. */
+constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+[[noreturn]] void
+ioError(const std::string &path, const std::string &op)
+{
+    throw DurableError(op + " failed for " + path + ": " +
+                       std::strerror(errno));
+}
+
+std::vector<std::uint8_t>
+encodeHeader(std::uint64_t fingerprint)
+{
+    ByteWriter w;
+    w.u64(kWalMagic);
+    w.u32(kWalVersion);
+    w.u32(0); // reserved
+    w.u64(fingerprint);
+    return w.take();
+}
+
+} // namespace
+
+const char *
+fsyncPolicyName(FsyncPolicy p)
+{
+    switch (p) {
+      case FsyncPolicy::None: return "none";
+      case FsyncPolicy::Batch: return "batch";
+      case FsyncPolicy::Always: return "always";
+    }
+    return "unknown";
+}
+
+bool
+parseFsyncPolicy(const std::string &text, FsyncPolicy &out)
+{
+    if (text == "none")
+        out = FsyncPolicy::None;
+    else if (text == "batch")
+        out = FsyncPolicy::Batch;
+    else if (text == "always")
+        out = FsyncPolicy::Always;
+    else
+        return false;
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeBatch(const core::LoggedBatch &batch)
+{
+    ByteWriter w;
+    w.u64(batch.seq);
+    w.u8(static_cast<std::uint8_t>(batch.origin));
+    w.u8(batch.halted ? 1 : 0);
+    w.u64(batch.cycles_after);
+    w.u64(batch.wme_changes_after);
+    w.u64(batch.next_tag_after);
+
+    w.u8(batch.has_fired ? 1 : 0);
+    if (batch.has_fired) {
+        w.u32(static_cast<std::uint32_t>(batch.fired_production));
+        w.u32(static_cast<std::uint32_t>(batch.fired_tags.size()));
+        for (ops5::TimeTag t : batch.fired_tags)
+            w.u64(t);
+    }
+
+    w.u32(static_cast<std::uint32_t>(batch.changes.size()));
+    for (const core::LoggedBatch::Change &c : batch.changes) {
+        w.u8(static_cast<std::uint8_t>(c.kind));
+        w.u64(c.tag);
+        w.u32(c.cls);
+        if (c.kind == ops5::ChangeKind::Insert) {
+            w.u32(static_cast<std::uint32_t>(c.fields.size()));
+            for (const ops5::Value &v : c.fields)
+                w.value(v);
+        }
+    }
+    return w.take();
+}
+
+core::LoggedBatch
+decodeBatch(std::span<const std::uint8_t> payload)
+{
+    ByteReader r(payload);
+    core::LoggedBatch batch;
+    batch.seq = r.u64();
+    std::uint8_t origin = r.u8();
+    if (origin > 2)
+        throw DurableError("bad batch-origin byte");
+    batch.origin = static_cast<core::BatchOrigin>(origin);
+    batch.halted = r.u8() != 0;
+    batch.cycles_after = r.u64();
+    batch.wme_changes_after = r.u64();
+    batch.next_tag_after = r.u64();
+
+    batch.has_fired = r.u8() != 0;
+    if (batch.has_fired) {
+        batch.fired_production = static_cast<int>(r.u32());
+        std::uint32_t n = r.u32();
+        batch.fired_tags.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            batch.fired_tags.push_back(r.u64());
+    }
+
+    std::uint32_t n_changes = r.u32();
+    batch.changes.reserve(n_changes);
+    for (std::uint32_t i = 0; i < n_changes; ++i) {
+        core::LoggedBatch::Change c;
+        std::uint8_t kind = r.u8();
+        if (kind > 1)
+            throw DurableError("bad change-kind byte");
+        c.kind = static_cast<ops5::ChangeKind>(kind);
+        c.tag = r.u64();
+        c.cls = static_cast<ops5::SymbolId>(r.u32());
+        if (c.kind == ops5::ChangeKind::Insert) {
+            std::uint32_t nf = r.u32();
+            c.fields.reserve(nf);
+            for (std::uint32_t f = 0; f < nf; ++f)
+                c.fields.push_back(r.value());
+        }
+        batch.changes.push_back(std::move(c));
+    }
+    if (!r.atEnd())
+        throw DurableError("WAL record has trailing bytes");
+    return batch;
+}
+
+WalWriter::WalWriter(std::string path, FsyncPolicy policy,
+                     std::uint64_t fingerprint)
+    : path_(std::move(path)), policy_(policy), fingerprint_(fingerprint)
+{
+    fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd_ < 0)
+        ioError(path_, "open");
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0)
+        ioError(path_, "fstat");
+    if (st.st_size == 0)
+        writeHeader();
+    else if (static_cast<std::size_t>(st.st_size) < kHeaderBytes)
+        throw DurableError(path_ +
+                           ": existing WAL is shorter than its header "
+                           "(run recovery first)");
+}
+
+WalWriter::~WalWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+WalWriter::writeRaw(const std::uint8_t *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        ssize_t n = ::write(fd_, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError(path_, "write");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+WalWriter::writeHeader()
+{
+    std::vector<std::uint8_t> header = encodeHeader(fingerprint_);
+    writeRaw(header.data(), header.size());
+    if (policy_ != FsyncPolicy::None)
+        sync();
+}
+
+void
+WalWriter::append(const core::LoggedBatch &batch)
+{
+    std::vector<std::uint8_t> payload = encodeBatch(batch);
+    ByteWriter frame;
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    frame.u32(crc32(payload));
+    writeRaw(frame.bytes().data(), frame.size());
+    writeRaw(payload.data(), payload.size());
+    ++records_;
+    payload_bytes_ += payload.size();
+    if (policy_ == FsyncPolicy::Always)
+        sync();
+}
+
+void
+WalWriter::sync()
+{
+    if (policy_ == FsyncPolicy::None)
+        return;
+    if (::fsync(fd_) != 0)
+        ioError(path_, "fsync");
+}
+
+void
+WalWriter::reset()
+{
+    if (::ftruncate(fd_, 0) != 0)
+        ioError(path_, "ftruncate");
+    writeHeader();
+}
+
+WalReadResult
+readWal(const std::string &path, std::uint64_t expect_fingerprint)
+{
+    WalReadResult result;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+        if (errno == ENOENT)
+            return result; // no log yet: valid empty
+        ioError(path, "stat");
+    }
+    std::vector<std::uint8_t> bytes = readFileAll(path);
+    if (bytes.empty())
+        return result;
+    if (bytes.size() < kHeaderBytes)
+        throw DurableError(path + ": WAL shorter than its header");
+
+    ByteReader header(
+        std::span<const std::uint8_t>(bytes.data(), kHeaderBytes));
+    if (header.u64() != kWalMagic)
+        throw DurableError(path + ": not a WAL file (bad magic)");
+    std::uint32_t version = header.u32();
+    if (version != kWalVersion)
+        throw DurableError(path + ": unsupported WAL version " +
+                           std::to_string(version));
+    header.u32(); // reserved
+    if (header.u64() != expect_fingerprint)
+        throw DurableError(
+            path + ": WAL belongs to a different program "
+                   "(fingerprint mismatch)");
+
+    std::size_t pos = kHeaderBytes;
+    result.valid_bytes = pos;
+    while (pos < bytes.size()) {
+        auto torn = [&](const std::string &why) {
+            result.truncated = true;
+            result.truncation_reason = why;
+        };
+        if (bytes.size() - pos < 8) {
+            torn("torn frame header at offset " + std::to_string(pos));
+            break;
+        }
+        ByteReader frame(std::span<const std::uint8_t>(
+            bytes.data() + pos, 8));
+        std::uint32_t length = frame.u32();
+        std::uint32_t stored_crc = frame.u32();
+        if (length > kMaxRecordBytes) {
+            torn("implausible record length at offset " +
+                 std::to_string(pos));
+            break;
+        }
+        if (bytes.size() - pos - 8 < length) {
+            torn("torn record payload at offset " + std::to_string(pos));
+            break;
+        }
+        std::span<const std::uint8_t> payload(bytes.data() + pos + 8,
+                                              length);
+        if (crc32(payload) != stored_crc) {
+            torn("CRC mismatch at offset " + std::to_string(pos));
+            break;
+        }
+        core::LoggedBatch batch;
+        try {
+            batch = decodeBatch(payload);
+        } catch (const DurableError &e) {
+            torn("undecodable record at offset " + std::to_string(pos) +
+                 ": " + e.what());
+            break;
+        }
+        result.records.push_back(std::move(batch));
+        pos += 8 + length;
+        result.valid_bytes = pos;
+    }
+    return result;
+}
+
+void
+truncateWal(const std::string &path, std::uint64_t valid_bytes)
+{
+    if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0)
+        ioError(path, "truncate");
+    int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+} // namespace psm::durable

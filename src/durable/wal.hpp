@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The write-ahead log: one CRC-framed record per committed WM change
+ * batch (a recognize-act cycle, an external batch, or the initial
+ * load), appended at the cycle barrier.
+ *
+ * File layout: a fixed header (magic, version, program fingerprint)
+ * followed by records framed as
+ *
+ *     u32 payload_length | u32 crc32(payload) | payload
+ *
+ * Recovery reads records until the first torn or corrupt frame and
+ * truncates there — a crash mid-append loses at most the batch being
+ * written, never an earlier one. Fsync policy trades durability
+ * window against append latency: `always` fsyncs per record, `batch`
+ * leaves syncing to explicit sync() calls (the serving layer syncs
+ * once per drained queue batch), `none` never syncs (the OS decides).
+ */
+
+#ifndef PSM_DURABLE_WAL_HPP
+#define PSM_DURABLE_WAL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "durable/format.hpp"
+
+namespace psm::durable {
+
+/** When the WAL file is fsynced. */
+enum class FsyncPolicy : std::uint8_t {
+    None,   ///< never; fastest, durability left to the OS
+    Batch,  ///< on explicit sync() calls (per serve drain batch)
+    Always, ///< after every record append
+};
+
+const char *fsyncPolicyName(FsyncPolicy p);
+
+/** Parses "none" / "batch" / "always"; false on anything else. */
+bool parseFsyncPolicy(const std::string &text, FsyncPolicy &out);
+
+/** Serializes one logged batch into a WAL record payload. */
+std::vector<std::uint8_t> encodeBatch(const core::LoggedBatch &batch);
+
+/** Decodes one WAL record payload. DurableError on corruption. */
+core::LoggedBatch decodeBatch(std::span<const std::uint8_t> payload);
+
+/**
+ * Append-side handle on one WAL file. Creates the file (with header)
+ * when absent or empty; when opening an existing WAL the caller must
+ * have already truncated any torn tail (WalReadResult::valid_bytes —
+ * Manager does this during recovery).
+ */
+class WalWriter
+{
+  public:
+    WalWriter(std::string path, FsyncPolicy policy,
+              std::uint64_t fingerprint);
+    ~WalWriter();
+
+    WalWriter(const WalWriter &) = delete;
+    WalWriter &operator=(const WalWriter &) = delete;
+
+    /** Appends one record; fsyncs when the policy is Always. */
+    void append(const core::LoggedBatch &batch);
+
+    /** Forces an fsync now (no-op when the policy is None). */
+    void sync();
+
+    /** Truncates back to an empty log (header only) — called after a
+     *  checkpoint makes the logged tail redundant. */
+    void reset();
+
+    std::uint64_t recordsAppended() const { return records_; }
+    std::uint64_t payloadBytes() const { return payload_bytes_; }
+
+  private:
+    void writeRaw(const std::uint8_t *data, std::size_t size);
+    void writeHeader();
+
+    std::string path_;
+    FsyncPolicy policy_;
+    std::uint64_t fingerprint_;
+    int fd_ = -1;
+    std::uint64_t records_ = 0;
+    std::uint64_t payload_bytes_ = 0;
+};
+
+/** Outcome of scanning a WAL file. */
+struct WalReadResult
+{
+    std::vector<core::LoggedBatch> records;
+    /** Offset of the first byte past the last intact record; recovery
+     *  truncates the file here before appending again. */
+    std::uint64_t valid_bytes = 0;
+    bool truncated = false;      ///< a torn/corrupt tail was dropped
+    std::string truncation_reason;
+};
+
+/**
+ * Reads every intact record. A missing file reads as an empty log.
+ * A torn or corrupt tail sets `truncated` and stops the scan — that
+ * is the expected shape of a crash mid-append, not an error. A bad
+ * header (wrong magic/version/fingerprint) IS an error: the file is
+ * not this session's log.
+ */
+WalReadResult readWal(const std::string &path,
+                      std::uint64_t expect_fingerprint);
+
+/** Truncates @p path to @p valid_bytes (crash recovery's torn-tail
+ *  cut) and fsyncs. DurableError on I/O failure. */
+void truncateWal(const std::string &path, std::uint64_t valid_bytes);
+
+} // namespace psm::durable
+
+#endif // PSM_DURABLE_WAL_HPP

@@ -187,6 +187,20 @@ ConflictSet::markFired(const Instantiation &inst)
     fired_.insert(InstantiationKey::of(inst));
 }
 
+void
+ConflictSet::markFiredKey(InstantiationKey key)
+{
+    core::MutexLock lock(mutex_);
+    fired_.insert(std::move(key));
+}
+
+std::vector<InstantiationKey>
+ConflictSet::firedKeys() const
+{
+    core::MutexLock lock(mutex_);
+    return {fired_.begin(), fired_.end()};
+}
+
 std::vector<Instantiation>
 ConflictSet::contents() const
 {

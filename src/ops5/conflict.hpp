@@ -127,6 +127,13 @@ class ConflictSet
     /** Records that @p inst fired, so refraction suppresses it. */
     void markFired(const Instantiation &inst);
 
+    /** Restore-path variant of markFired(): re-marks a key recovered
+     *  from a snapshot or WAL record so refraction survives restart. */
+    void markFiredKey(InstantiationKey key);
+
+    /** Keys currently suppressed by refraction (snapshot capture). */
+    std::vector<InstantiationKey> firedKeys() const;
+
     /**
      * Removes every live instantiation for which @p pred is true and
      * returns how many were removed. TREAT's delete path uses this:

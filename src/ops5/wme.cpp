@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 namespace psm::ops5 {
 
@@ -80,6 +81,22 @@ WorkingMemory::insert(SymbolId cls, std::vector<Value> fields)
     auto wme = std::make_unique<Wme>(cls, tag, std::move(fields));
     const Wme *raw = wme.get();
     live_.emplace(tag, std::move(wme));
+    return raw;
+}
+
+const Wme *
+WorkingMemory::insertWithTag(SymbolId cls, TimeTag tag,
+                             std::vector<Value> fields)
+{
+    auto wme = std::make_unique<Wme>(cls, tag, std::move(fields));
+    const Wme *raw = wme.get();
+    auto [it, inserted] = live_.emplace(tag, std::move(wme));
+    if (!inserted)
+        throw std::invalid_argument(
+            "WorkingMemory::insertWithTag: time tag " +
+            std::to_string(tag) + " is already live");
+    if (tag >= next_tag_)
+        next_tag_ = tag + 1;
     return raw;
 }
 

@@ -142,6 +142,16 @@ class WorkingMemory
     const Wme *insert(SymbolId cls, std::vector<Value> fields);
 
     /**
+     * Recreates an element under a caller-chosen time tag — the
+     * durable layer's restore path, where logged/snapshotted tags are
+     * load-bearing (LEX/MEA recency compares them). Advances the tag
+     * counter past @p tag. Throws std::invalid_argument when @p tag is
+     * already live.
+     */
+    const Wme *insertWithTag(SymbolId cls, TimeTag tag,
+                             std::vector<Value> fields);
+
+    /**
      * Retracts @p wme.
      * @return false when the element was not live (already removed).
      */
@@ -155,6 +165,16 @@ class WorkingMemory
 
     std::size_t liveCount() const { return live_.size(); }
     TimeTag nextTag() const { return next_tag_; }
+
+    /** Advances the tag counter to at least @p tag (never backwards);
+     *  restore paths use this to resume stamping where a crashed
+     *  process left off. */
+    void
+    setNextTag(TimeTag tag)
+    {
+        if (tag > next_tag_)
+            next_tag_ = tag;
+    }
 
     /** Destroys retracted elements parked since the last collection. */
     void collectGarbage();

@@ -8,14 +8,15 @@ namespace psm::sim {
 
 namespace {
 
-constexpr const char *kMagic = "# psm-trace v1";
+constexpr const char *kMagicV1 = "# psm-trace v1";
+constexpr const char *kMagicV2 = "# psm-trace v2";
 
 } // namespace
 
 bool
 saveTrace(const rete::TraceRecorder &trace, std::ostream &out)
 {
-    out << kMagic << "\n";
+    out << kMagicV2 << "\n";
     const auto &marks = trace.cycles();
     const auto &records = trace.records();
     for (std::size_t m = 0; m < marks.size(); ++m) {
@@ -32,6 +33,7 @@ saveTrace(const rete::TraceRecorder &trace, std::ostream &out)
                 << " " << r.cost << " " << r.change << "\n";
         }
     }
+    out << "E " << records.size() << " " << marks.size() << "\n";
     return static_cast<bool>(out);
 }
 
@@ -46,16 +48,28 @@ rete::TraceRecorder
 loadTrace(std::istream &in)
 {
     std::string line;
-    if (!std::getline(in, line) || line != kMagic)
+    if (!std::getline(in, line))
+        throw std::runtime_error("not a psm-trace file");
+    bool v2;
+    if (line == kMagicV2)
+        v2 = true;
+    else if (line == kMagicV1)
+        v2 = false;
+    else
         throw std::runtime_error("not a psm-trace file");
 
     rete::TraceRecorder trace;
     std::uint32_t current_cycle = 0;
+    bool have_cycle = false, footer_seen = false;
+    std::size_t n_records = 0, n_cycles = 0;
     int line_no = 1;
     while (std::getline(in, line)) {
         ++line_no;
         if (line.empty() || line[0] == '#')
             continue;
+        if (footer_seen)
+            throw std::runtime_error("data after trace footer on line " +
+                                     std::to_string(line_no));
         std::istringstream ls(line);
         char tag;
         ls >> tag;
@@ -66,6 +80,8 @@ loadTrace(std::istream &in)
                 throw std::runtime_error(
                     "bad cycle line " + std::to_string(line_no));
             current_cycle = cycle;
+            have_cycle = true;
+            ++n_cycles;
             trace.beginCycle(cycle, n_changes);
         } else if (tag == 'A') {
             rete::ActivationRecord r;
@@ -81,16 +97,38 @@ loadTrace(std::istream &in)
             if (side < 0 || side > 1)
                 throw std::runtime_error(
                     "bad side on line " + std::to_string(line_no));
+            if (!have_cycle)
+                throw std::runtime_error(
+                    "activation before the first cycle mark on line " +
+                    std::to_string(line_no));
             r.kind = static_cast<rete::NodeKind>(kind);
             r.side = static_cast<rete::Side>(side);
             r.insert = insert != 0;
             r.cycle = current_cycle;
+            ++n_records;
             trace.record(r);
+        } else if (tag == 'E') {
+            std::size_t expect_records, expect_cycles;
+            if (!(ls >> expect_records >> expect_cycles))
+                throw std::runtime_error(
+                    "bad footer line " + std::to_string(line_no));
+            if (expect_records != n_records ||
+                expect_cycles != n_cycles)
+                throw std::runtime_error(
+                    "trace footer mismatch: file claims " +
+                    std::to_string(expect_records) + " records / " +
+                    std::to_string(expect_cycles) + " cycles, body has " +
+                    std::to_string(n_records) + " / " +
+                    std::to_string(n_cycles));
+            footer_seen = true;
         } else {
             throw std::runtime_error("unknown tag on line " +
                                      std::to_string(line_no));
         }
     }
+    if (v2 && !footer_seen)
+        throw std::runtime_error(
+            "truncated trace: v2 file ends without its E footer");
     return trace;
 }
 

@@ -7,12 +7,17 @@
  * capture once on a big workload, sweep machine configurations later
  * or elsewhere. The format is a line-oriented text format:
  *
- *     # psm-trace v1
+ *     # psm-trace v2
  *     C <cycle> <n_changes>
  *     A <id> <parent> <node_id> <kind> <side> <insert> <cost> <change>
+ *     E <n_records> <n_cycles>
  *
- * with one C line starting each recognize-act cycle and one A line
- * per activation, in trace order.
+ * with one C line starting each recognize-act cycle, one A line per
+ * activation in trace order, and a final E footer carrying the record
+ * and cycle counts. The footer is the truncation guard: a v2 trace
+ * without it (or whose counts disagree with the body) is rejected —
+ * a cut-off file must not silently simulate as a shorter run. v1
+ * traces (no footer) are still read.
  */
 
 #ifndef PSM_PSM_TRACE_IO_HPP
@@ -34,8 +39,11 @@ bool saveTraceFile(const rete::TraceRecorder &trace,
 
 /**
  * Parses a trace written by saveTrace.
- * @throws std::runtime_error on malformed input (bad magic, bad
- *         record fields, out-of-range enum values).
+ * @throws std::runtime_error on malformed input: bad magic, bad
+ *         record fields, out-of-range enum values, an activation
+ *         before the first cycle mark, data after the footer, a
+ *         footer whose counts disagree with the body, or a v2 trace
+ *         with no footer (truncated file).
  */
 rete::TraceRecorder loadTrace(std::istream &in);
 

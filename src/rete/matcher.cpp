@@ -124,6 +124,28 @@ ReteMatcher::indexInsertToken(const BetaMemoryNode *bm,
     }
 }
 
+void
+ReteMatcher::rebuildIndexes()
+{
+    if (!hash_joins_)
+        return;
+    for (auto &[id, index] : indexes_) {
+        index.right.clear();
+        index.left.clear();
+    }
+    for (const auto &node : network_->nodes()) {
+        if (node->kind == NodeKind::AlphaMemory) {
+            auto *am = static_cast<AlphaMemoryNode *>(node.get());
+            for (const ops5::Wme *wme : am->items)
+                indexInsertWme(am, wme, true);
+        } else if (node->kind == NodeKind::BetaMemory) {
+            auto *bm = static_cast<BetaMemoryNode *>(node.get());
+            for (const Token &token : bm->tokens)
+                indexInsertToken(bm, token, true);
+        }
+    }
+}
+
 telemetry::Registry *
 ReteMatcher::enableTelemetry()
 {

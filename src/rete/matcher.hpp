@@ -109,6 +109,15 @@ class ReteMatcher : public core::Matcher
      */
     std::size_t pendingTombstones() const;
 
+    /**
+     * Rebuilds the matcher-local hash-join indexes from the current
+     * memory-node contents. The durable layer's state-restore path
+     * fills alpha/beta memories directly (bypassing processChanges),
+     * so the indexes must be reconstructed afterwards. No-op when
+     * hash joins are disabled.
+     */
+    void rebuildIndexes();
+
   private:
     void processItem(const WorkItem &item);
     void emit(WorkItem item, std::uint64_t parent);

@@ -54,6 +54,8 @@ runLoad(std::shared_ptr<const ops5::Program> program,
     pool_opts.shed_watermark = config.shed_watermark;
     pool_opts.max_batch = config.max_batch;
     pool_opts.matcher = config.matcher;
+    pool_opts.durability = config.durability;
+    pool_opts.restore = config.restore;
     SessionPool pool(program, pool_opts);
 
     const std::size_t n_clients =

@@ -48,6 +48,12 @@ struct LoadConfig
     std::size_t queue_capacity = 1024;
     std::size_t shed_watermark = 0;
     std::size_t max_batch = 64;
+
+    /** Pool durability (see PoolOptions::durability); empty dir
+     *  disables. With restore set, sessions warm-start from the
+     *  directory's existing state. */
+    durable::DurableOptions durability{};
+    bool restore = false;
 };
 
 /** Aggregated outcome of one load run. */

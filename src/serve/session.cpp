@@ -69,15 +69,27 @@ matcherKindName(MatcherSpec::Kind kind)
 
 Session::Session(std::size_t id,
                  std::shared_ptr<const ops5::Program> program,
-                 const MatcherSpec &spec, ops5::Strategy strategy)
+                 const MatcherSpec &spec, ops5::Strategy strategy,
+                 const durable::DurableOptions &durability,
+                 bool restore, telemetry::Registry *metrics)
     : id_(id), matcher_(makeMatcher(program, spec)),
       engine_(std::make_unique<core::Engine>(std::move(program),
                                              *matcher_, strategy))
 {
-    // Each session starts from the program's initial working memory;
-    // construction happens on the pool's constructing thread, before
-    // any server thread can touch the engine.
-    engine_->loadInitialWorkingMemory();
+    // Construction happens on the pool's constructing thread, before
+    // any server thread can touch the engine — so recovery and the
+    // initial load need no locking either.
+    if (durability.enabled()) {
+        durable_ = std::make_unique<durable::Manager>(
+            *engine_, durability, metrics);
+        if (restore && durable::Manager::hasState(durability.dir))
+            recovery_ = durable_->recover();
+        durable_->begin();
+    }
+    // A recovered session already holds its working memory; loading
+    // the program's initial WM on top would double it.
+    if (!recovery_.recovered)
+        engine_->loadInitialWorkingMemory();
 }
 
 } // namespace psm::serve

@@ -24,6 +24,7 @@
 #include "core/engine.hpp"
 #include "core/matcher.hpp"
 #include "core/task_queue.hpp"
+#include "durable/manager.hpp"
 #include "serve/request.hpp"
 
 namespace psm::serve {
@@ -69,9 +70,21 @@ const char *matcherKindName(MatcherSpec::Kind kind);
 class Session
 {
   public:
+    /**
+     * @param durability when enabled, the session becomes durable:
+     *        an existing state directory is recovered from if
+     *        @p restore is set (warm start / migration), the WAL
+     *        observer is attached, and initial working memory is
+     *        loaded only when nothing was recovered. The directory
+     *        must be per-session (the pool derives
+     *        `<pool dir>/session-<id>`).
+     */
     Session(std::size_t id,
             std::shared_ptr<const ops5::Program> program,
-            const MatcherSpec &spec, ops5::Strategy strategy);
+            const MatcherSpec &spec, ops5::Strategy strategy,
+            const durable::DurableOptions &durability = {},
+            bool restore = false,
+            telemetry::Registry *metrics = nullptr);
 
     std::size_t id() const { return id_; }
 
@@ -79,6 +92,14 @@ class Session
      *  while the pool is quiesced (not started, or drained). */
     core::Engine &engine() { return *engine_; }
     core::Matcher &matcher() { return *matcher_; }
+
+    /** Null unless the session was built with durability enabled.
+     *  Same threading rules as engine(). */
+    durable::Manager *durable() { return durable_.get(); }
+
+    /** What recover() did at construction (all-defaults when the
+     *  session is not durable or started cold). */
+    const durable::RecoveryStats &recovery() const { return recovery_; }
 
     /** One admitted request waiting in the session queue. */
     struct Pending
@@ -109,6 +130,8 @@ class Session
     std::size_t id_;
     std::unique_ptr<core::Matcher> matcher_;
     std::unique_ptr<core::Engine> engine_;
+    std::unique_ptr<durable::Manager> durable_;
+    durable::RecoveryStats recovery_;
 };
 
 } // namespace psm::serve

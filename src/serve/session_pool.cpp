@@ -41,11 +41,23 @@ SessionPool::SessionPool(std::shared_ptr<const ops5::Program> program,
       metrics_(options_.n_threads + 1)
 {
     sessions_.reserve(options_.n_sessions);
-    for (std::size_t i = 0; i < options_.n_sessions; ++i)
+    for (std::size_t i = 0; i < options_.n_sessions; ++i) {
+        durable::DurableOptions d = options_.durability;
+        if (d.enabled())
+            d.dir = sessionDir(options_.durability.dir, i);
         sessions_.push_back(std::make_unique<Session>(
-            i, program_, options_.matcher, options_.strategy));
+            i, program_, options_.matcher, options_.strategy, d,
+            options_.restore, &metrics_));
+    }
     if (options_.autostart)
         start();
+}
+
+std::string
+SessionPool::sessionDir(const std::string &pool_dir,
+                        std::size_t session)
+{
+    return pool_dir + "/session-" + std::to_string(session);
 }
 
 SessionPool::~SessionPool() { shutdown(); }
@@ -54,6 +66,21 @@ core::Engine &
 SessionPool::engine(std::size_t session)
 {
     return sessions_.at(session)->engine();
+}
+
+const durable::RecoveryStats &
+SessionPool::recoveryStats(std::size_t session)
+{
+    return sessions_.at(session)->recovery();
+}
+
+void
+SessionPool::checkpointAll()
+{
+    std::lock_guard<std::mutex> lk(checkpoint_mu_);
+    for (auto &s : sessions_)
+        if (s->durable())
+            s->durable()->checkpoint();
 }
 
 Submit
@@ -153,10 +180,17 @@ SessionPool::drain()
     // A never-started pool still owes responses for everything it
     // admitted: spin the servers up so drain is graceful, not a hang.
     start();
-    std::unique_lock<std::mutex> lk(ready_mu_);
-    drained_cv_.wait(lk, [this] {
-        return pending_.load(std::memory_order_seq_cst) == 0;
-    });
+    {
+        std::unique_lock<std::mutex> lk(ready_mu_);
+        drained_cv_.wait(lk, [this] {
+            return pending_.load(std::memory_order_seq_cst) == 0;
+        });
+    }
+    // Quiesced now: server threads finish all Manager work (append +
+    // sync) before the completion that releases the last pending_.
+    if (options_.durability.enabled() &&
+        options_.durability.checkpoint.on_drain)
+        checkpointAll();
 }
 
 void
@@ -294,6 +328,11 @@ SessionPool::drainSession(Session &s, std::size_t shard)
             wm_batch.commit();
             n_batches_.fetch_add(1, std::memory_order_relaxed);
             metrics_.count(shard, telemetry::Counter::ServeBatches);
+            // FsyncPolicy::Batch flush point. Must precede the
+            // completions below: once the last pending_ releases, a
+            // drain may checkpoint this session's Manager.
+            if (s.durable())
+                s.durable()->sync();
         }
         staged.clear();
         for (auto &[p, resp] : deferred)
@@ -362,6 +401,8 @@ SessionPool::drainSession(Session &s, std::size_t shard)
             } else {
                 r = eng.run(cycles);
             }
+            if (s.durable())
+                s.durable()->sync();
             Response resp;
             resp.kind = RequestKind::Run;
             resp.run = r;

@@ -80,6 +80,18 @@ struct PoolOptions
 
     MatcherSpec matcher{};
     ops5::Strategy strategy = ops5::Strategy::Lex;
+
+    /**
+     * Durability. `durability.dir` names the POOL state directory;
+     * each session persists under `<dir>/session-<id>`. Empty dir
+     * disables durability (the default). With `restore` set, sessions
+     * warm-start from existing state in their directory — this is
+     * also the migration path: drain pool A (its on_drain checkpoint
+     * snapshots every session), destroy it, and build pool B over the
+     * same directory with restore = true.
+     */
+    durable::DurableOptions durability{};
+    bool restore = false;
 };
 
 /**
@@ -133,6 +145,22 @@ class SessionPool
      * before start(), or after drain()/shutdown().
      */
     core::Engine &engine(std::size_t session);
+
+    /** `<pool dir>/session-<id>`: where one session's durable state
+     *  lives. Stable across pool generations — migration relies on
+     *  it. */
+    static std::string sessionDir(const std::string &pool_dir,
+                                  std::size_t session);
+
+    /**
+     * Snapshots every durable session now (no-op otherwise). Requires
+     * a quiesced pool, same as engine(); drain() calls it when the
+     * checkpoint policy has on_drain set.
+     */
+    void checkpointAll();
+
+    /** What recovery did for one session at pool construction. */
+    const durable::RecoveryStats &recoveryStats(std::size_t session);
 
     /** The pool-owned registry (latency/depth/batch histograms). */
     telemetry::Registry &metrics() { return metrics_; }
@@ -189,6 +217,7 @@ class SessionPool
     std::atomic<bool> accepting_{true};
     bool started_ = false;  ///< guarded by ready_mu_
     bool joined_ = false;   ///< guarded by ready_mu_
+    std::mutex checkpoint_mu_; ///< serializes checkpointAll()
     std::vector<std::thread> threads_;
 
     // Exact typed counters (multi-writer).

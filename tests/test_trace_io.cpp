@@ -123,6 +123,56 @@ TEST(TraceIoFuzzTest, RandomLinesNeverCrash)
     SUCCEED();
 }
 
+TEST(TraceIoTest, RejectsTruncatedV2Trace)
+{
+    // A v2 trace cut off anywhere before its footer must not load as
+    // a shorter-but-valid run.
+    rete::TraceRecorder original = sampleTrace();
+    std::stringstream buf;
+    ASSERT_TRUE(saveTrace(original, buf));
+    std::string text = buf.str();
+
+    std::string no_footer = text.substr(0, text.rfind("E "));
+    std::stringstream cut(no_footer);
+    EXPECT_THROW(loadTrace(cut), std::runtime_error);
+
+    std::stringstream half(text.substr(0, text.size() / 2));
+    EXPECT_THROW(loadTrace(half), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsFooterCountMismatch)
+{
+    std::stringstream buf("# psm-trace v2\nC 1 2\n"
+                          "A 1 0 3 1 0 1 25 0\nE 5 1\n");
+    EXPECT_THROW(loadTrace(buf), std::runtime_error) << "record count";
+
+    std::stringstream buf2("# psm-trace v2\nC 1 2\n"
+                           "A 1 0 3 1 0 1 25 0\nE 1 3\n");
+    EXPECT_THROW(loadTrace(buf2), std::runtime_error) << "cycle count";
+}
+
+TEST(TraceIoTest, RejectsDataAfterFooter)
+{
+    std::stringstream buf("# psm-trace v2\nC 1 1\n"
+                          "A 1 0 3 1 0 1 25 0\nE 1 1\nC 2 1\n");
+    EXPECT_THROW(loadTrace(buf), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsActivationBeforeCycleMark)
+{
+    std::stringstream buf("# psm-trace v2\nA 1 0 3 1 0 1 25 0\nE 1 0\n");
+    EXPECT_THROW(loadTrace(buf), std::runtime_error);
+}
+
+TEST(TraceIoTest, V1TraceStillLoadsWithoutFooter)
+{
+    std::stringstream buf("# psm-trace v1\nC 1 1\n"
+                          "A 1 0 3 1 0 1 25 0\n");
+    rete::TraceRecorder t = loadTrace(buf);
+    EXPECT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.cycles().size(), 1u);
+}
+
 TEST(TraceIoTest, MissingFileThrows)
 {
     EXPECT_THROW(loadTraceFile("/nonexistent/psm.trace"),
