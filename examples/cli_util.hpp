@@ -14,10 +14,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/task_queue.hpp"
 #include "durable/manager.hpp"
+#include "ops5/parser.hpp"
 
 namespace psm::cli {
 
@@ -201,6 +205,33 @@ parseDurableFlag(ArgReader &args, DurableFlags &out, bool &ok)
         else
             out.options.checkpoint.every = std::chrono::milliseconds(ms);
     } else {
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Loads and parses one OPS5 source file. On failure prints a
+ * compiler-style `path:line:col: error: message` diagnostic to stderr
+ * and returns false — every CLI treats that as exit code 2, so parse
+ * errors are distinguishable from runtime failures (exit 1) in
+ * scripts and CI.
+ */
+inline bool
+loadProgramFile(const std::string &path, ops5::ParsedProgram &out)
+{
+    std::ifstream file(path);
+    if (!file) {
+        std::cerr << path << ": error: cannot open file\n";
+        return false;
+    }
+    std::ostringstream source;
+    source << file.rdbuf();
+    try {
+        out = ops5::parseProgram(source.str());
+    } catch (const ops5::ParseError &e) {
+        std::cerr << path << ":" << e.line() << ":" << e.col()
+                  << ": error: " << e.what() << "\n";
         return false;
     }
     return true;

@@ -22,6 +22,11 @@
  *                          (structure, memories, conflict set) after
  *                          every match fixpoint (rete/parallel only)
  *     --quiet              suppress (write ...) output
+ *     --lint               run the static analyzer (src/analysis)
+ *                          before executing; findings go to stderr
+ *                          and error-severity findings abort the run
+ *                          (see the ops5_lint tool for the full
+ *                          reporting surface)
  *
  * Durability (see docs/ARCHITECTURE.md §10):
  *     --snapshot-dir DIR   persist a WAL + snapshots under DIR; a
@@ -41,6 +46,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "cli_util.hpp"
 #include "core/engine.hpp"
 #include "durable/durable.hpp"
@@ -70,7 +76,8 @@ usage(const char *argv0)
                  "[--stats] [--validate] [--quiet]\n"
                  "       [--snapshot-dir DIR] [--wal none|batch|always] "
                  "[--restore]\n"
-                 "       [--checkpoint-every N] [--checkpoint-ms N]\n";
+                 "       [--checkpoint-every N] [--checkpoint-ms N] "
+                 "[--lint]\n";
     return 1;
 }
 
@@ -89,7 +96,7 @@ main(int argc, char **argv)
     std::size_t workers = 0;
     psm::core::SchedulerKind scheduler =
         psm::core::SchedulerKind::Central;
-    bool stats = false, quiet = false, validate = false;
+    bool stats = false, quiet = false, validate = false, lint = false;
     psm::cli::DurableFlags durable_flags;
 
     psm::cli::ArgReader args(argc, argv, 2);
@@ -137,23 +144,32 @@ main(int argc, char **argv)
             validate = true;
         } else if (args.is("--quiet")) {
             quiet = true;
+        } else if (args.is("--lint")) {
+            lint = true;
         } else {
             return usage(argv[0]);
         }
     }
 
-    std::ifstream file(path);
-    if (!file) {
-        std::cerr << "error: cannot open " << path << "\n";
-        return 1;
-    }
-    std::ostringstream source;
-    source << file.rdbuf();
+    psm::ops5::ParsedProgram parsed;
+    if (!psm::cli::loadProgramFile(path, parsed))
+        return 2;
 
     try {
-        psm::ops5::ParsedProgram parsed =
-            psm::ops5::parseProgram(source.str());
         auto program = parsed.program;
+
+        if (lint) {
+            psm::analysis::LintResult lint_result =
+                psm::analysis::lintProgram(*program);
+            psm::analysis::writeLintText(std::cerr, lint_result, path);
+            if (lint_result.gate(false)) {
+                std::cerr << "error: lint found "
+                          << lint_result.count(
+                                 psm::analysis::Severity::Error)
+                          << " error(s); not running " << path << "\n";
+                return 1;
+            }
+        }
 
         // --trace needs the serial Rete matcher's activation recorder;
         // every other matcher would silently produce an empty file.

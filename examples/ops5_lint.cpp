@@ -1,0 +1,249 @@
+/**
+ * @file
+ * ops5_lint: static analysis of OPS5 programs (src/analysis).
+ *
+ *     ops5_lint <program.ops> [more.ops ...] [options]
+ *
+ * Options:
+ *     --json FILE          write the report as JSON (- = stdout)
+ *     --werror             warnings fail the run like errors
+ *     --min-severity S     text-report floor: note|warning|error
+ *     --disable IDS        comma-separated rule ids to suppress
+ *     --no-bindings --no-schema --no-rules --no-join-cost
+ *     --no-interference    disable one analysis pass
+ *     --interference-dot FILE   interference graph as Graphviz DOT
+ *     --interference-json FILE  interference graph as JSON
+ *     --explain            print the rule catalog and exit
+ *     --quiet              suppress the text report
+ *
+ * The interference exports describe the FIRST input file. Exit
+ * status: 0 clean, 1 findings that gate (errors, or warnings under
+ * --werror), 2 parse/usage errors. Parse failures are reported both
+ * on stderr and as L001 diagnostics in the JSON report.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "cli_util.hpp"
+#include "ops5/parser.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " <program.ops> [more.ops ...] [--json FILE] "
+                 "[--werror]\n"
+                 "       [--min-severity note|warning|error] "
+                 "[--disable ID,ID,...]\n"
+                 "       [--no-bindings] [--no-schema] [--no-rules] "
+                 "[--no-join-cost]\n"
+                 "       [--no-interference] [--interference-dot FILE]\n"
+                 "       [--interference-json FILE] [--explain] "
+                 "[--quiet]\n";
+    return 2;
+}
+
+/** One input file's outcome. */
+struct FileReport
+{
+    std::string path;
+    psm::analysis::LintResult result;
+    bool parse_failed = false;
+};
+
+bool
+writeTo(const std::string &path, const std::string &content,
+        const char *what)
+{
+    if (path == "-") {
+        std::cout << content;
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "error: cannot write " << what << " to " << path
+                  << "\n";
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+
+    std::vector<std::string> inputs;
+    std::string json_path, dot_path, graph_json_path;
+    psm::analysis::LintOptions options;
+    psm::analysis::Severity min_severity =
+        psm::analysis::Severity::Note;
+    bool werror = false, quiet = false;
+
+    psm::cli::ArgReader args(argc, argv, 1);
+    while (args.next()) {
+        if (args.is("--json")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            json_path = v;
+        } else if (args.is("--werror")) {
+            werror = true;
+        } else if (args.is("--quiet")) {
+            quiet = true;
+        } else if (args.is("--min-severity")) {
+            const char *v = args.value();
+            if (!v || !psm::analysis::parseSeverity(v, min_severity)) {
+                std::cerr << "error: --min-severity needs note, "
+                             "warning, or error\n";
+                return 2;
+            }
+        } else if (args.is("--disable")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            std::istringstream ids(v);
+            std::string id;
+            while (std::getline(ids, id, ','))
+                if (!id.empty())
+                    options.disabled_ids.insert(id);
+        } else if (args.is("--no-bindings")) {
+            options.pass_bindings = false;
+        } else if (args.is("--no-schema")) {
+            options.pass_schema = false;
+        } else if (args.is("--no-rules")) {
+            options.pass_rules = false;
+        } else if (args.is("--no-join-cost")) {
+            options.pass_join_cost = false;
+        } else if (args.is("--no-interference")) {
+            options.pass_interference = false;
+        } else if (args.is("--interference-dot")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            dot_path = v;
+        } else if (args.is("--interference-json")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            graph_json_path = v;
+        } else if (args.is("--explain")) {
+            for (const auto &rule : psm::analysis::ruleCatalog()) {
+                std::cout << rule.id << "  "
+                          << psm::analysis::severityName(rule.severity)
+                          << "  [" << rule.pass << "]  " << rule.title
+                          << "\n";
+            }
+            return 0;
+        } else if (!args.arg().empty() && args.arg()[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            inputs.push_back(args.arg());
+        }
+    }
+    if (inputs.empty())
+        return usage(argv[0]);
+
+    std::vector<FileReport> reports;
+    bool any_parse_error = false;
+    for (const std::string &path : inputs) {
+        FileReport report;
+        report.path = path;
+
+        std::ifstream file(path);
+        if (!file) {
+            std::cerr << path << ": error: cannot open file\n";
+            report.parse_failed = true;
+            report.result.diagnostics.push_back(
+                {"L001", psm::analysis::Severity::Error, "parse", "",
+                 {}, "cannot open file"});
+        } else {
+            std::ostringstream source;
+            source << file.rdbuf();
+            try {
+                psm::ops5::ParsedProgram parsed =
+                    psm::ops5::parseProgram(source.str());
+                report.result =
+                    psm::analysis::lintProgram(*parsed.program,
+                                               options);
+            } catch (const psm::ops5::ParseError &e) {
+                std::cerr << path << ":" << e.line() << ":" << e.col()
+                          << ": error: " << e.what() << "\n";
+                report.parse_failed = true;
+                report.result.diagnostics.push_back(
+                    {"L001", psm::analysis::Severity::Error, "parse",
+                     "",
+                     psm::ops5::SourceLoc{e.line(), e.col()},
+                     e.what()});
+            }
+        }
+        any_parse_error |= report.parse_failed;
+        reports.push_back(std::move(report));
+    }
+
+    bool gated = false;
+    std::size_t errors = 0, warnings = 0, notes = 0;
+    for (const FileReport &r : reports) {
+        if (!quiet)
+            psm::analysis::writeLintText(std::cout, r.result, r.path,
+                                         min_severity);
+        gated |= r.result.gate(werror);
+        errors += r.result.count(psm::analysis::Severity::Error);
+        warnings += r.result.count(psm::analysis::Severity::Warning);
+        notes += r.result.count(psm::analysis::Severity::Note);
+    }
+    if (!quiet) {
+        std::cout << inputs.size() << " file"
+                  << (inputs.size() == 1 ? "" : "s") << ": " << errors
+                  << " error" << (errors == 1 ? "" : "s") << ", "
+                  << warnings << " warning"
+                  << (warnings == 1 ? "" : "s") << ", " << notes
+                  << " note" << (notes == 1 ? "" : "s") << "\n";
+    }
+
+    if (!json_path.empty()) {
+        std::ostringstream json;
+        json << "{\"lint\": \"ops5_lint\", \"version\": 1, "
+                "\"werror\": "
+             << (werror ? "true" : "false") << ", \"files\": [";
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            if (i)
+                json << ", ";
+            psm::analysis::writeLintFileJson(json, reports[i].result,
+                                             reports[i].path);
+        }
+        json << "], \"summary\": {\"errors\": " << errors
+             << ", \"warnings\": " << warnings
+             << ", \"notes\": " << notes << "}}\n";
+        if (!writeTo(json_path, json.str(), "JSON report"))
+            return 2;
+    }
+    if (!dot_path.empty()) {
+        std::ostringstream dot;
+        psm::analysis::writeInterferenceDot(
+            reports.front().result.interference, dot);
+        if (!writeTo(dot_path, dot.str(), "interference DOT"))
+            return 2;
+    }
+    if (!graph_json_path.empty()) {
+        std::ostringstream graph;
+        psm::analysis::writeInterferenceJson(
+            reports.front().result.interference, graph);
+        if (!writeTo(graph_json_path, graph.str(), "interference JSON"))
+            return 2;
+    }
+
+    if (any_parse_error)
+        return 2;
+    return gated ? 1 : 0;
+}

@@ -33,6 +33,9 @@
  *     --max-batch N        max WM changes folded per match batch
  *     --json FILE          write the shared bench JSON schema
  *     --metrics FILE       write the pool telemetry registry as JSON
+ *     --lint               reject the program at pool construction
+ *                          if the static analyzer (src/analysis)
+ *                          finds error-severity defects
  *
  * Durability (per-session state under DIR/session-<id>; see
  * docs/ARCHITECTURE.md §10):
@@ -87,7 +90,7 @@ usage(const char *argv0)
            "       [--snapshot-dir DIR] [--wal none|batch|always] "
            "[--restore]\n"
            "       [--checkpoint-every N] [--checkpoint-ms N] "
-           "[--recover-check]\n";
+           "[--recover-check] [--lint]\n";
     return 2;
 }
 
@@ -257,6 +260,8 @@ main(int argc, char **argv)
                 return usage(argv[0]);
         } else if (args.is("--recover-check")) {
             recover_check = true;
+        } else if (args.is("--lint")) {
+            cfg.lint = true;
         } else if (args.is("--preset")) {
             const char *v = args.value();
             if (!v)
@@ -340,15 +345,10 @@ main(int argc, char **argv)
         std::shared_ptr<const psm::ops5::Program> program;
         std::string workload_name;
         if (!program_path.empty()) {
-            std::ifstream file(program_path);
-            if (!file) {
-                std::cerr << "error: cannot open " << program_path
-                          << "\n";
-                return 1;
-            }
-            std::ostringstream source;
-            source << file.rdbuf();
-            program = psm::ops5::parseProgram(source.str()).program;
+            psm::ops5::ParsedProgram parsed;
+            if (!psm::cli::loadProgramFile(program_path, parsed))
+                return 2;
+            program = parsed.program;
             workload_name = program_path;
         } else {
             psm::workloads::SystemPreset preset =

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable outputs of the ops5_lint tool.
+
+Two modes:
+
+    check_lint_json.py report.json ...
+        Each file must be a lint report envelope:
+        {"lint": "ops5_lint", "version": 1, "werror": bool,
+         "files": [{"file": str, "diagnostics": [...],
+                    "summary": {...}}],
+         "summary": {"errors": int, "warnings": int, "notes": int}}
+        Every diagnostic must carry id (L###), severity
+        (note|warning|error), pass, production, line, col, message;
+        per-file and global summaries must equal the actual
+        severity tallies of the diagnostics they cover.
+
+    check_lint_json.py --interference graph.json ...
+        Each file must be an interference-graph export:
+        {"interference": {"productions": [str], "edges":
+         [{"from": int, "to": int, "classes": [str]}],
+         "components": [int]}}
+        with every edge endpoint a valid production index and
+        components assigning one id per production.
+
+With --max-severity LEVEL (report mode only), fail when any
+diagnostic exceeds LEVEL — CI's lint-smoke job uses
+`--max-severity note` to prove the shipped example programs carry no
+warnings or errors.
+
+Exits non-zero (with a per-file message) on the first violation, so
+CI fails loudly when the tool silently changes its output shape.
+"""
+
+import json
+import re
+import sys
+
+SEVERITIES = ("note", "warning", "error")
+ID_RE = re.compile(r"^L\d{3}$")
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_summary(path, where, summary, diags):
+    if not isinstance(summary, dict):
+        fail(path, f"{where} must be an object")
+    for key in ("errors", "warnings", "notes"):
+        if not isinstance(summary.get(key), int):
+            fail(path, f"{where}[{key!r}] must be an integer")
+    tallies = {
+        "errors": sum(1 for d in diags if d["severity"] == "error"),
+        "warnings": sum(1 for d in diags if d["severity"] == "warning"),
+        "notes": sum(1 for d in diags if d["severity"] == "note"),
+    }
+    for key, expect in tallies.items():
+        if summary[key] != expect:
+            fail(path, f"{where}[{key!r}] is {summary[key]} but the "
+                       f"diagnostics tally {expect}")
+
+
+def check_diagnostic(path, where, diag):
+    if not isinstance(diag, dict):
+        fail(path, f"{where} must be an object")
+    for key in ("id", "severity", "pass", "production", "message"):
+        if not isinstance(diag.get(key), str):
+            fail(path, f"{where}[{key!r}] must be a string")
+    for key in ("line", "col"):
+        if not isinstance(diag.get(key), int) or diag[key] < 0:
+            fail(path, f"{where}[{key!r}] must be a non-negative "
+                       f"integer")
+    if not ID_RE.match(diag["id"]):
+        fail(path, f"{where} has malformed id {diag['id']!r}")
+    if diag["severity"] not in SEVERITIES:
+        fail(path, f"{where} has unknown severity "
+                   f"{diag['severity']!r}")
+
+
+def check_report(path, doc, max_severity=None):
+    if doc.get("lint") != "ops5_lint":
+        fail(path, "missing or wrong \"lint\" marker")
+    if doc.get("version") != 1:
+        fail(path, f"unsupported version {doc.get('version')!r}")
+    if not isinstance(doc.get("werror"), bool):
+        fail(path, "\"werror\" must be a boolean")
+    files = doc.get("files")
+    if not isinstance(files, list) or not files:
+        fail(path, "\"files\" must be a non-empty array")
+    all_diags = []
+    for i, entry in enumerate(files):
+        where = f"files[{i}]"
+        if not isinstance(entry, dict):
+            fail(path, f"{where} must be an object")
+        if not isinstance(entry.get("file"), str):
+            fail(path, f"{where}[\"file\"] must be a string")
+        diags = entry.get("diagnostics")
+        if not isinstance(diags, list):
+            fail(path, f"{where}[\"diagnostics\"] must be an array")
+        for j, diag in enumerate(diags):
+            check_diagnostic(path, f"{where}.diagnostics[{j}]", diag)
+        check_summary(path, f"{where}.summary", entry.get("summary"),
+                      diags)
+        all_diags.extend(diags)
+    check_summary(path, "summary", doc.get("summary"), all_diags)
+    if max_severity is not None:
+        ceiling = SEVERITIES.index(max_severity)
+        for diag in all_diags:
+            if SEVERITIES.index(diag["severity"]) > ceiling:
+                fail(path, f"diagnostic {diag['id']} has severity "
+                           f"{diag['severity']} above the allowed "
+                           f"{max_severity}: {diag['message']}")
+    print(f"{path}: ok ({len(files)} file(s), "
+          f"{len(all_diags)} diagnostic(s))")
+
+
+def check_interference(path, doc):
+    graph = doc.get("interference")
+    if not isinstance(graph, dict):
+        fail(path, "missing \"interference\" object")
+    prods = graph.get("productions")
+    if not isinstance(prods, list) or \
+            not all(isinstance(p, str) for p in prods):
+        fail(path, "\"productions\" must be an array of strings")
+    edges = graph.get("edges")
+    if not isinstance(edges, list):
+        fail(path, "\"edges\" must be an array")
+    for i, edge in enumerate(edges):
+        where = f"edges[{i}]"
+        if not isinstance(edge, dict):
+            fail(path, f"{where} must be an object")
+        for key in ("from", "to"):
+            v = edge.get(key)
+            if not isinstance(v, int) or not 0 <= v < len(prods):
+                fail(path, f"{where}[{key!r}] must index a "
+                           f"production (0..{len(prods) - 1})")
+        classes = edge.get("classes")
+        if not isinstance(classes, list) or not classes or \
+                not all(isinstance(c, str) for c in classes):
+            fail(path, f"{where}[\"classes\"] must be a non-empty "
+                       f"array of strings")
+    comps = graph.get("components")
+    if not isinstance(comps, list) or len(comps) != len(prods) or \
+            not all(isinstance(c, int) and 0 <= c < max(len(prods), 1)
+                    for c in comps):
+        fail(path, "\"components\" must assign an id per production")
+    print(f"{path}: ok ({len(prods)} production(s), "
+          f"{len(edges)} edge(s))")
+
+
+def main(argv):
+    mode = check_report
+    max_severity = None
+    paths = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--interference":
+            mode = check_interference
+        elif arg == "--max-severity":
+            i += 1
+            if i >= len(argv) or argv[i] not in SEVERITIES:
+                print("--max-severity needs note|warning|error",
+                      file=sys.stderr)
+                return 2
+            max_severity = argv[i]
+        else:
+            paths.append(arg)
+        i += 1
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+        if mode is check_report:
+            check_report(path, doc, max_severity)
+        else:
+            if max_severity is not None:
+                print("--max-severity only applies to report mode",
+                      file=sys.stderr)
+                return 2
+            check_interference(path, doc)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

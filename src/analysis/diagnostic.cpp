@@ -1,0 +1,130 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace psm::analysis {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+bool
+parseSeverity(std::string_view text, Severity &out)
+{
+    if (text == "note") {
+        out = Severity::Note;
+        return true;
+    }
+    if (text == "warning") {
+        out = Severity::Warning;
+        return true;
+    }
+    if (text == "error") {
+        out = Severity::Error;
+        return true;
+    }
+    return false;
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diags)
+{
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return std::tie(a.loc.line, a.loc.col, a.id,
+                                         a.message) <
+                                std::tie(b.loc.line, b.loc.col, b.id,
+                                         b.message);
+                     });
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {"L001", Severity::Error, "parse", "parse error"},
+        {"L101", Severity::Warning, "bindings",
+         "variable is bound but never used"},
+        {"L102", Severity::Warning, "bindings",
+         "(bind ...) rebinds a variable already bound by the LHS"},
+        {"L103", Severity::Warning, "bindings",
+         "unconstrained variable in a negated condition"},
+        {"L104", Severity::Warning, "bindings",
+         "unbound variable shared across negated conditions does not "
+         "join them"},
+        {"L201", Severity::Warning, "schema",
+         "dead condition: no write can satisfy this test"},
+        {"L202", Severity::Warning, "schema",
+         "literal type conflict between a test and every written value"},
+        {"L203", Severity::Note, "schema",
+         "class is created but never matched by any rule"},
+        {"L204", Severity::Warning, "schema",
+         "class is matched but never created"},
+        {"L301", Severity::Error, "rules",
+         "unsatisfiable LHS: tests contradict each other"},
+        {"L302", Severity::Warning, "rules",
+         "LHS duplicates an earlier rule"},
+        {"L303", Severity::Note, "rules",
+         "vacuous negation: the negated condition can never match"},
+        {"L304", Severity::Note, "rules",
+         "rule is subsumed by an earlier, more general rule"},
+        {"L401", Severity::Warning, "join-cost",
+         "cross-product join: condition shares no variables with "
+         "earlier conditions"},
+        {"L402", Severity::Note, "join-cost",
+         "reordering conditions would reduce estimated join cost"},
+        {"L501", Severity::Note, "interference",
+         "self-activation: the rule's actions can re-trigger its own "
+         "LHS"},
+    };
+    return catalog;
+}
+
+} // namespace psm::analysis

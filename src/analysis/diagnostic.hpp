@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lint diagnostics: severity levels, stable rule ids, and ordering.
+ *
+ * Every finding of the static analyzer (see lint.hpp) is a Diagnostic
+ * with a stable id such as "L301". Ids never change meaning across
+ * releases so CI configs can suppress or gate on them; the catalog
+ * lives in docs/ARCHITECTURE.md and in ruleCatalog().
+ *
+ * Severity policy:
+ *  - Error:   the program is broken regardless of runtime environment
+ *             (e.g. an LHS whose tests contradict each other).
+ *  - Warning: broken under the closed-world assumption that only the
+ *             program's own `make` forms create WMEs. External inserts
+ *             (the serving layer) can invalidate these, which is why
+ *             they gate only under --werror.
+ *  - Note:    style and performance hints.
+ */
+
+#ifndef PSM_ANALYSIS_DIAGNOSTIC_HPP
+#define PSM_ANALYSIS_DIAGNOSTIC_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ops5/source_loc.hpp"
+
+namespace psm::analysis {
+
+/** How serious a finding is. Order matters: Note < Warning < Error. */
+enum class Severity : std::uint8_t {
+    Note = 0,
+    Warning = 1,
+    Error = 2,
+};
+
+/** Lower-case spelling: "note", "warning", "error". */
+const char *severityName(Severity s);
+
+/**
+ * Parses a severity spelling (as accepted by --min-severity).
+ * @return false when @p text is not a severity name.
+ */
+bool parseSeverity(std::string_view text, Severity &out);
+
+/** One finding of the analyzer. */
+struct Diagnostic
+{
+    std::string id;         ///< stable rule id, e.g. "L301"
+    Severity severity = Severity::Warning;
+    std::string pass;       ///< producing pass, e.g. "bindings"
+    std::string production; ///< production name; "" = program-level
+    ops5::SourceLoc loc{};  ///< source position; {0,0} when unknown
+    std::string message;    ///< human-readable explanation
+};
+
+/**
+ * Sorts findings into the stable report order: by source line, then
+ * column, then rule id, then message.
+ */
+void sortDiagnostics(std::vector<Diagnostic> &diags);
+
+/** Renders @p s as a double-quoted JSON string literal. */
+std::string jsonQuote(const std::string &s);
+
+/** One entry of the rule catalog. */
+struct RuleInfo
+{
+    const char *id;
+    Severity severity;      ///< default severity when emitted
+    const char *pass;
+    const char *title;
+};
+
+/** Every diagnostic id the analyzer can emit, sorted by id. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+} // namespace psm::analysis
+
+#endif // PSM_ANALYSIS_DIAGNOSTIC_HPP

@@ -1,0 +1,194 @@
+#include "analysis/effects.hpp"
+
+namespace psm::analysis {
+
+namespace {
+
+/** Does @p test fail when the field provably holds @p v? */
+bool
+failsForKnown(const ops5::AtomicTest &test, const ops5::Value &v,
+              const ops5::SymbolTable &syms)
+{
+    switch (test.operand) {
+      case ops5::OperandKind::Constant:
+        return !ops5::evalPredicate(test.pred, v, test.constant, syms);
+      case ops5::OperandKind::ConstantSet: {
+        bool member = false;
+        for (const auto &s : test.set) {
+            if (v == s) {
+                member = true;
+                break;
+            }
+        }
+        if (test.pred == ops5::Predicate::Eq)
+            return !member;
+        if (test.pred == ops5::Predicate::Ne)
+            return member;
+        return false; // other predicates never take sets
+      }
+      case ops5::OperandKind::Variable:
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<WmeEffect>
+rhsEffects(const ops5::Production &production)
+{
+    std::vector<WmeEffect> effects;
+    const auto &lhs = production.lhs();
+    for (std::size_t i = 0; i < production.rhs().size(); ++i) {
+        const ops5::Action &a = production.rhs()[i];
+
+        auto baseCe = [&]() -> const ops5::ConditionElement * {
+            int idx = a.ce - 1;
+            if (idx < 0 || idx >= static_cast<int>(lhs.size()))
+                return nullptr;
+            const ops5::ConditionElement &ce = lhs[idx];
+            return ce.negated ? nullptr : &ce;
+        };
+
+        switch (a.kind) {
+          case ops5::ActionKind::Make: {
+            WmeEffect e;
+            e.cls = a.cls;
+            e.insert = true;
+            e.default_nil = true;
+            e.action_index = static_cast<int>(i);
+            for (const auto &fa : a.assigns) {
+                e.assigned[fa.field] =
+                    fa.term.kind == ops5::RhsTermKind::Constant
+                        ? FieldFact::known(fa.term.constant)
+                        : FieldFact{}; // Unknown shadows default_nil
+            }
+            effects.push_back(std::move(e));
+            break;
+          }
+          case ops5::ActionKind::Remove: {
+            const ops5::ConditionElement *base = baseCe();
+            if (!base)
+                break;
+            WmeEffect e;
+            e.cls = base->cls;
+            e.insert = false;
+            e.base = base;
+            e.action_index = static_cast<int>(i);
+            effects.push_back(std::move(e));
+            break;
+          }
+          case ops5::ActionKind::Modify: {
+            const ops5::ConditionElement *base = baseCe();
+            if (!base)
+                break;
+            WmeEffect rem;
+            rem.cls = base->cls;
+            rem.insert = false;
+            rem.base = base;
+            rem.action_index = static_cast<int>(i);
+            effects.push_back(std::move(rem));
+
+            WmeEffect ins;
+            ins.cls = base->cls;
+            ins.insert = true;
+            ins.base = base; // unassigned fields keep matched values
+            ins.action_index = static_cast<int>(i);
+            for (const auto &fa : a.assigns) {
+                ins.assigned[fa.field] =
+                    fa.term.kind == ops5::RhsTermKind::Constant
+                        ? FieldFact::known(fa.term.constant)
+                        : FieldFact{};
+            }
+            effects.push_back(std::move(ins));
+            break;
+          }
+          case ops5::ActionKind::Bind:
+          case ops5::ActionKind::Write:
+          case ops5::ActionKind::Halt:
+            break;
+        }
+    }
+    return effects;
+}
+
+FieldFact
+effectField(const WmeEffect &effect, int field)
+{
+    auto it = effect.assigned.find(field);
+    if (it != effect.assigned.end())
+        return it->second;
+    if (effect.base) {
+        for (const auto &ft : effect.base->fields) {
+            if (ft.field == field) {
+                FieldFact f;
+                f.kind = FieldFact::Kind::Pattern;
+                f.tests = &ft;
+                return f;
+            }
+        }
+        return FieldFact{}; // matched WME, field unconstrained
+    }
+    if (effect.default_nil)
+        return FieldFact::known(ops5::Value{});
+    return FieldFact{};
+}
+
+bool
+testDefinitelyFails(const ops5::AtomicTest &test, const FieldFact &fact,
+                    const ops5::SymbolTable &syms)
+{
+    if (test.operand == ops5::OperandKind::Variable)
+        return false;
+    switch (fact.kind) {
+      case FieldFact::Kind::Unknown:
+        return false;
+      case FieldFact::Kind::Known:
+        return failsForKnown(test, fact.value, syms);
+      case FieldFact::Kind::Pattern: {
+        // Constraints the value is known to satisfy. Refute @p test
+        // only when a constraint pins the value down to candidates
+        // that all fail it; Ne/relational constraints are not used
+        // (interval reasoning is out of scope — stay conservative).
+        for (const auto &c : fact.tests->tests) {
+            if (c.pred != ops5::Predicate::Eq)
+                continue;
+            if (c.operand == ops5::OperandKind::Constant) {
+                if (failsForKnown(test, c.constant, syms))
+                    return true;
+            } else if (c.operand == ops5::OperandKind::ConstantSet &&
+                       !c.set.empty()) {
+                bool all_fail = true;
+                for (const auto &s : c.set) {
+                    if (!failsForKnown(test, s, syms)) {
+                        all_fail = false;
+                        break;
+                    }
+                }
+                if (all_fail)
+                    return true;
+            }
+        }
+        return false;
+      }
+    }
+    return false;
+}
+
+bool
+mayAffect(const WmeEffect &effect, const ops5::ConditionElement &ce,
+          const ops5::SymbolTable &syms)
+{
+    if (effect.cls != ce.cls)
+        return false;
+    for (const auto &ft : ce.fields) {
+        FieldFact fact = effectField(effect, ft.field);
+        for (const auto &test : ft.tests) {
+            if (testDefinitelyFails(test, fact, syms))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace psm::analysis

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Abstract RHS effects: what a production's actions can do to working
+ * memory, described precisely enough to prune impossible rule
+ * interactions.
+ *
+ * A WmeEffect abstracts one insert or remove a firing may perform.
+ * Each field of the affected WME is summarized as a FieldFact:
+ * a provably known constant, "satisfies this pattern's tests"
+ * (Modify/Remove inherit the matched CE's constraints), or unknown.
+ * mayAffect() then asks whether such a WME could pass another
+ * condition element's constant tests — the alpha-memory granularity
+ * the paper's affect-set analysis (Section 5) uses. The answer is
+ * conservative: it says "no" only when some test provably fails, so
+ * the static interference graph is a superset of anything observed
+ * dynamically.
+ */
+
+#ifndef PSM_ANALYSIS_EFFECTS_HPP
+#define PSM_ANALYSIS_EFFECTS_HPP
+
+#include <map>
+#include <vector>
+
+#include "ops5/production.hpp"
+
+namespace psm::analysis {
+
+/** What is statically known about one field of an effect's WME. */
+struct FieldFact
+{
+    enum class Kind : std::uint8_t {
+        Unknown, ///< could be any value
+        Known,   ///< provably this constant
+        Pattern, ///< satisfies the constant tests of `tests`
+    };
+
+    Kind kind = Kind::Unknown;
+    ops5::Value value{};                    ///< valid when Known
+    const ops5::FieldTests *tests = nullptr; ///< valid when Pattern
+
+    static FieldFact
+    known(ops5::Value v)
+    {
+        FieldFact f;
+        f.kind = Kind::Known;
+        f.value = v;
+        return f;
+    }
+};
+
+/** One abstract insert or remove a production's RHS may perform. */
+struct WmeEffect
+{
+    ops5::SymbolId cls = ops5::kNilSymbol;
+    bool insert = true;      ///< false: a retraction
+    int action_index = -1;   ///< index into Production::rhs()
+
+    /** Pattern the source WME matched (Modify/Remove), else nullptr.
+     *  Fields without an explicit assignment inherit its constant
+     *  constraints (Modify keeps unassigned fields). */
+    const ops5::ConditionElement *base = nullptr;
+
+    /** Make: fields without an assignment are provably nil. */
+    bool default_nil = false;
+
+    /** Explicit field assignments (Make/Modify). */
+    std::map<int, FieldFact> assigned;
+};
+
+/** Every WM effect @p production's actions may perform. A Modify
+ *  contributes both a remove and an insert. */
+std::vector<WmeEffect> rhsEffects(const ops5::Production &production);
+
+/** What @p effect implies about field @p field of its WME. */
+FieldFact effectField(const WmeEffect &effect, int field);
+
+/**
+ * Can a WME produced/retracted by @p effect satisfy every *constant*
+ * test of @p ce? Variable tests are ignored (they need join context).
+ * Returns true unless some test provably fails — the conservative
+ * direction for interference analysis.
+ */
+bool mayAffect(const WmeEffect &effect, const ops5::ConditionElement &ce,
+               const ops5::SymbolTable &syms);
+
+/**
+ * Is @p test provably unsatisfiable given @p fact about the field's
+ * value? Only constant/constant-set tests can be refuted; a Variable
+ * operand never is.
+ */
+bool testDefinitelyFails(const ops5::AtomicTest &test,
+                         const FieldFact &fact,
+                         const ops5::SymbolTable &syms);
+
+} // namespace psm::analysis
+
+#endif // PSM_ANALYSIS_EFFECTS_HPP

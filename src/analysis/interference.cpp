@@ -1,0 +1,168 @@
+#include "analysis/interference.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <ostream>
+#include <set>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/effects.hpp"
+#include "rete/dot.hpp"
+
+namespace psm::analysis {
+
+bool
+InterferenceGraph::hasEdge(int from, int to) const
+{
+    return std::any_of(edges.begin(), edges.end(),
+                       [&](const InterferenceEdge &e) {
+                           return e.from == from && e.to == to;
+                       });
+}
+
+std::vector<std::vector<int>>
+InterferenceGraph::successors() const
+{
+    std::vector<std::vector<int>> succ(names.size());
+    for (const auto &e : edges)
+        succ[e.from].push_back(e.to);
+    for (auto &s : succ) {
+        std::sort(s.begin(), s.end());
+        s.erase(std::unique(s.begin(), s.end()), s.end());
+    }
+    return succ;
+}
+
+std::vector<int>
+InterferenceGraph::components() const
+{
+    // Union-find over undirected edges.
+    std::vector<int> parent(names.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](int x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (const auto &e : edges) {
+        int a = find(e.from), b = find(e.to);
+        if (a != b)
+            parent[std::max(a, b)] = std::min(a, b);
+    }
+    // Renumber roots densely in first-member order.
+    std::vector<int> out(names.size());
+    std::map<int, int> dense;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        int root = find(static_cast<int>(i));
+        auto [it, fresh] =
+            dense.emplace(root, static_cast<int>(dense.size()));
+        out[i] = it->second;
+        (void)fresh;
+    }
+    return out;
+}
+
+InterferenceGraph
+buildInterferenceGraph(const ops5::Program &program)
+{
+    InterferenceGraph g;
+    const auto &prods = program.productions();
+    const ops5::SymbolTable &syms = program.symbols();
+
+    g.names.reserve(prods.size());
+    for (const auto &p : prods)
+        g.names.push_back(p->name());
+
+    for (const auto &writer : prods) {
+        std::vector<WmeEffect> effects = rhsEffects(*writer);
+        if (effects.empty())
+            continue;
+        for (const auto &reader : prods) {
+            std::set<std::string> classes;
+            for (const auto &ce : reader->lhs()) {
+                for (const auto &eff : effects) {
+                    if (mayAffect(eff, ce, syms)) {
+                        classes.insert(syms.name(ce.cls));
+                        break;
+                    }
+                }
+            }
+            if (classes.empty())
+                continue;
+            InterferenceEdge e;
+            e.from = writer->id();
+            e.to = reader->id();
+            e.classes.assign(classes.begin(), classes.end());
+            g.edges.push_back(std::move(e));
+        }
+    }
+    std::sort(g.edges.begin(), g.edges.end(),
+              [](const InterferenceEdge &a, const InterferenceEdge &b) {
+                  return a.from != b.from ? a.from < b.from : a.to < b.to;
+              });
+    return g;
+}
+
+void
+writeInterferenceDot(const InterferenceGraph &graph, std::ostream &out)
+{
+    out << "digraph interference {\n"
+        << "  rankdir=LR;\n"
+        << "  node [shape=box, fontsize=10];\n";
+    for (std::size_t i = 0; i < graph.names.size(); ++i) {
+        out << "  p" << i << " [label=\""
+            << rete::dotEscape(graph.names[i]) << "\"];\n";
+    }
+    for (const auto &e : graph.edges) {
+        std::string label;
+        for (const auto &cls : e.classes) {
+            if (!label.empty())
+                label += ", ";
+            label += cls;
+        }
+        out << "  p" << e.from << " -> p" << e.to << " [label=\""
+            << rete::dotEscape(label) << "\", fontsize=8";
+        if (e.from == e.to)
+            out << ", color=red";
+        out << "];\n";
+    }
+    out << "}\n";
+}
+
+void
+writeInterferenceJson(const InterferenceGraph &graph, std::ostream &out)
+{
+    out << "{\"interference\": {\"productions\": [";
+    for (std::size_t i = 0; i < graph.names.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << jsonQuote(graph.names[i]);
+    }
+    out << "], \"edges\": [";
+    for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+        const auto &e = graph.edges[i];
+        if (i)
+            out << ", ";
+        out << "{\"from\": " << e.from << ", \"to\": " << e.to
+            << ", \"classes\": [";
+        for (std::size_t c = 0; c < e.classes.size(); ++c) {
+            if (c)
+                out << ", ";
+            out << jsonQuote(e.classes[c]);
+        }
+        out << "]}";
+    }
+    out << "], \"components\": [";
+    std::vector<int> comp = graph.components();
+    for (std::size_t i = 0; i < comp.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << comp[i];
+    }
+    out << "]}}\n";
+}
+
+} // namespace psm::analysis

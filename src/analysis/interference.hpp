@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Static interference graph between productions.
+ *
+ * Edge A -> B means: some action of A can insert or remove a WME that
+ * passes the constant tests of some condition element of B — i.e.
+ * firing A may change an alpha memory B's subnetwork reads, so B's
+ * match state (and membership in the paper's Section 5 affect set)
+ * can change. The analysis is conservative at alpha-memory
+ * granularity: every dynamically observed interaction is covered by
+ * an edge, which tests/test_lint.cpp cross-checks against telemetry.
+ *
+ * The graph drives scheduling/partitioning studies (independent
+ * components can be matched without conflict) and the L501
+ * self-activation lint.
+ */
+
+#ifndef PSM_ANALYSIS_INTERFERENCE_HPP
+#define PSM_ANALYSIS_INTERFERENCE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ops5/production.hpp"
+
+namespace psm::analysis {
+
+/** One directed interference edge. */
+struct InterferenceEdge
+{
+    int from = 0; ///< production id whose RHS writes
+    int to = 0;   ///< production id whose LHS reads
+    std::vector<std::string> classes; ///< WME classes carrying the
+                                      ///< interaction (sorted, unique)
+};
+
+/** The whole graph. Production ids index `names`. */
+struct InterferenceGraph
+{
+    std::vector<std::string> names;       ///< id -> production name
+    std::vector<InterferenceEdge> edges;  ///< sorted by (from, to)
+
+    std::size_t size() const { return names.size(); }
+
+    bool hasEdge(int from, int to) const;
+
+    /** Adjacency view: successors[a] = sorted ids b with a -> b. */
+    std::vector<std::vector<int>> successors() const;
+
+    /** Weakly-connected component id per production (0-based, by
+     *  first member). Singleton components are independent rules. */
+    std::vector<int> components() const;
+};
+
+/** Builds the graph from @p program's rules (see effects.hpp). */
+InterferenceGraph buildInterferenceGraph(const ops5::Program &program);
+
+/** Writes the graph as a Graphviz digraph (edge labels = classes). */
+void writeInterferenceDot(const InterferenceGraph &graph,
+                          std::ostream &out);
+
+/** Writes the graph as JSON:
+ *  {"interference": {"productions": [...], "edges": [{"from", "to",
+ *   "classes"}], "components": [...]}} */
+void writeInterferenceJson(const InterferenceGraph &graph,
+                           std::ostream &out);
+
+} // namespace psm::analysis
+
+#endif // PSM_ANALYSIS_INTERFERENCE_HPP

@@ -1,0 +1,133 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "analysis/effects.hpp"
+#include "analysis/passes.hpp"
+
+namespace psm::analysis {
+
+namespace detail {
+
+void
+runInterferencePass(const ops5::Program &program,
+                    const InterferenceGraph &graph,
+                    std::vector<Diagnostic> &out)
+{
+    (void)graph;
+    // A self-edge in the interference graph is not enough for L501:
+    // a retraction touching the rule's own alpha memories can only
+    // DEACTIVATE it. Re-activation needs an insert that can match a
+    // positive CE, or a remove that can newly satisfy a negated CE.
+    const ops5::SymbolTable &syms = program.symbols();
+    for (const auto &prod : program.productions()) {
+        std::set<std::string> classes;
+        for (const WmeEffect &eff : rhsEffects(*prod)) {
+            for (const auto &ce : prod->lhs()) {
+                if (eff.insert == ce.negated)
+                    continue;
+                if (mayAffect(eff, ce, syms))
+                    classes.insert(syms.name(ce.cls));
+            }
+        }
+        if (classes.empty())
+            continue;
+        std::string joined;
+        for (const auto &cls : classes) {
+            if (!joined.empty())
+                joined += ", ";
+            joined += cls;
+        }
+        out.push_back(
+            {"L501", Severity::Note, "interference", prod->name(),
+             prod->loc(),
+             "rule '" + prod->name() +
+                 "' can re-activate itself through " +
+                 std::string(classes.size() > 1 ? "classes "
+                                                : "class ") +
+                 joined + "; make sure something breaks the loop"});
+    }
+}
+
+} // namespace detail
+
+std::size_t
+LintResult::count(Severity s) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(diagnostics.begin(), diagnostics.end(),
+                      [s](const Diagnostic &d) {
+                          return d.severity == s;
+                      }));
+}
+
+LintResult
+lintProgram(const ops5::Program &program, const LintOptions &options)
+{
+    LintResult result;
+    if (options.pass_bindings)
+        detail::runBindingsPass(program, result.diagnostics);
+    if (options.pass_schema)
+        detail::runSchemaPass(program, result.diagnostics);
+    if (options.pass_rules)
+        detail::runRulesPass(program, result.diagnostics);
+    if (options.pass_join_cost)
+        detail::runJoinCostPass(program, options, result.diagnostics);
+    if (options.pass_interference) {
+        result.interference = buildInterferenceGraph(program);
+        detail::runInterferencePass(program, result.interference,
+                                    result.diagnostics);
+    }
+    if (!options.disabled_ids.empty()) {
+        result.diagnostics.erase(
+            std::remove_if(result.diagnostics.begin(),
+                           result.diagnostics.end(),
+                           [&](const Diagnostic &d) {
+                               return options.disabled_ids.count(d.id) >
+                                      0;
+                           }),
+            result.diagnostics.end());
+    }
+    sortDiagnostics(result.diagnostics);
+    return result;
+}
+
+void
+writeLintText(std::ostream &out, const LintResult &result,
+              const std::string &file, Severity min_severity)
+{
+    for (const auto &d : result.diagnostics) {
+        if (d.severity < min_severity)
+            continue;
+        out << file;
+        if (d.loc.known())
+            out << ':' << d.loc.line << ':' << d.loc.col;
+        out << ": " << severityName(d.severity) << ": " << d.message
+            << " [" << d.id << "]\n";
+    }
+}
+
+void
+writeLintFileJson(std::ostream &out, const LintResult &result,
+                  const std::string &file)
+{
+    out << "{\"file\": " << jsonQuote(file) << ", \"diagnostics\": [";
+    for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+        const Diagnostic &d = result.diagnostics[i];
+        if (i)
+            out << ", ";
+        out << "{\"id\": " << jsonQuote(d.id) << ", \"severity\": \""
+            << severityName(d.severity) << "\", \"pass\": "
+            << jsonQuote(d.pass) << ", \"production\": "
+            << jsonQuote(d.production) << ", \"line\": " << d.loc.line
+            << ", \"col\": " << d.loc.col << ", \"message\": "
+            << jsonQuote(d.message) << "}";
+    }
+    out << "], \"summary\": {\"errors\": " << result.count(Severity::Error)
+        << ", \"warnings\": " << result.count(Severity::Warning)
+        << ", \"notes\": " << result.count(Severity::Note) << "}}";
+}
+
+} // namespace psm::analysis

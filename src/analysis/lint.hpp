@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ops5_lint driver: static analysis of a whole OPS5 program.
+ *
+ * Five passes (see docs/ARCHITECTURE.md §11 for the rule catalog):
+ *
+ *   bindings     variable dataflow — unused bindings (L101), RHS
+ *                rebinding of LHS variables (L102), unconstrained
+ *                variables in negated CEs (L103/L104)
+ *   schema       per-class write/read analysis — dead conditions
+ *                (L201), literal type conflicts (L202), write-only
+ *                (L203) and read-only (L204) classes
+ *   rules        per-rule and cross-rule logic — unsatisfiable LHS
+ *                (L301), duplicate LHS (L302), vacuous negation
+ *                (L303), subsumption by an earlier rule (L304)
+ *   join-cost    static join-plan costing on the rete/cost_model.hpp
+ *                instruction scale — cross-product joins (L401),
+ *                profitable reorderings (L402)
+ *   interference static rule interference graph (interference.hpp) —
+ *                self-activation loops (L501)
+ *
+ * The serving layer can run this at session-creation time and reject
+ * programs with Error findings (serve/session_pool.hpp).
+ */
+
+#ifndef PSM_ANALYSIS_LINT_HPP
+#define PSM_ANALYSIS_LINT_HPP
+
+#include <iosfwd>
+#include <set>
+#include <string>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/interference.hpp"
+
+namespace psm::analysis {
+
+/** Knobs for lintProgram(). Defaults run every pass. */
+struct LintOptions
+{
+    bool pass_bindings = true;
+    bool pass_schema = true;
+    bool pass_rules = true;
+    bool pass_join_cost = true;
+    bool pass_interference = true;
+
+    /** Rule ids to suppress entirely (e.g. {"L402"}). */
+    std::set<std::string> disabled_ids;
+
+    /** L401 fires only when the estimated pair count of an
+     *  unconstrained join reaches this. */
+    double cross_product_threshold = 4.0;
+
+    /** L402 fires when est_cost >= best_cost * this factor. */
+    double reorder_gain_threshold = 2.0;
+};
+
+/** Everything one analysis run produced. */
+struct LintResult
+{
+    std::vector<Diagnostic> diagnostics; ///< report order (sorted)
+    InterferenceGraph interference;      ///< empty if pass disabled
+
+    std::size_t count(Severity s) const;
+
+    /** Should the run fail the build? Errors always gate; under
+     *  @p werror warnings do too. Notes never gate. */
+    bool
+    gate(bool werror) const
+    {
+        return count(Severity::Error) > 0 ||
+               (werror && count(Severity::Warning) > 0);
+    }
+};
+
+/** Runs the enabled passes over @p program. */
+LintResult lintProgram(const ops5::Program &program,
+                       const LintOptions &options = {});
+
+/**
+ * Renders findings at or above @p min_severity as
+ * "file:line:col: severity: message [id]" lines (the column part is
+ * omitted for findings without a source position).
+ */
+void writeLintText(std::ostream &out, const LintResult &result,
+                   const std::string &file,
+                   Severity min_severity = Severity::Note);
+
+/**
+ * Renders one per-file JSON object:
+ * {"file": ..., "diagnostics": [{"id", "severity", "pass",
+ *  "production", "line", "col", "message"}], "summary": {"errors",
+ *  "warnings", "notes"}}. The CLI wraps these in the envelope
+ * scripts/check_lint_json.py validates.
+ */
+void writeLintFileJson(std::ostream &out, const LintResult &result,
+                       const std::string &file);
+
+} // namespace psm::analysis
+
+#endif // PSM_ANALYSIS_LINT_HPP

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bindings pass: per-production variable dataflow.
+ *
+ * Tracks every variable occurrence across the LHS and RHS of each
+ * production and reports occurrences that cannot do what the author
+ * plainly intended: bindings nothing reads (L101), RHS (bind ...)
+ * forms that shadow an LHS binding (L102), and variables in negated
+ * condition elements that constrain nothing (L103) or silently fail
+ * to join two negations (L104 — OPS5 scopes an unbound variable to
+ * the negated CE it appears in, so the "shared" variable is two
+ * independent wildcards).
+ */
+
+#include <map>
+#include <set>
+
+#include "analysis/passes.hpp"
+
+namespace psm::analysis::detail {
+
+namespace {
+
+struct VarInfo
+{
+    int occurrences = 0;      ///< LHS occurrences (any CE)
+    std::set<int> negated_ces; ///< negated CE ordinals it appears in
+    ops5::Predicate first_pred = ops5::Predicate::Eq;
+    ops5::SourceLoc first_loc{};
+    bool rhs_used = false;
+};
+
+/** Marks every variable @p term reads (recursing into compute). */
+void
+markUses(const ops5::RhsTerm &term, std::map<ops5::SymbolId, VarInfo> &vars)
+{
+    if (term.kind == ops5::RhsTermKind::Variable) {
+        auto it = vars.find(term.var);
+        if (it != vars.end())
+            it->second.rhs_used = true;
+    } else if (term.kind == ops5::RhsTermKind::Compute && term.compute) {
+        markUses(term.compute->lhs, vars);
+        markUses(term.compute->rhs, vars);
+    }
+}
+
+} // namespace
+
+void
+runBindingsPass(const ops5::Program &program, std::vector<Diagnostic> &out)
+{
+    const ops5::SymbolTable &syms = program.symbols();
+    for (const auto &prod : program.productions()) {
+        std::map<ops5::SymbolId, VarInfo> vars;
+
+        for (std::size_t ce_idx = 0; ce_idx < prod->lhs().size();
+             ++ce_idx) {
+            const ops5::ConditionElement &ce = prod->lhs()[ce_idx];
+            for (const auto &ft : ce.fields) {
+                for (const auto &t : ft.tests) {
+                    if (t.operand != ops5::OperandKind::Variable)
+                        continue;
+                    VarInfo &info = vars[t.var];
+                    if (info.occurrences == 0) {
+                        info.first_pred = t.pred;
+                        info.first_loc = t.loc;
+                    }
+                    ++info.occurrences;
+                    if (ce.negated)
+                        info.negated_ces.insert(
+                            static_cast<int>(ce_idx));
+                }
+            }
+        }
+
+        for (const ops5::Action &a : prod->rhs()) {
+            for (const auto &fa : a.assigns)
+                markUses(fa.term, vars);
+            for (const auto &t : a.terms)
+                markUses(t, vars);
+            if (a.kind == ops5::ActionKind::Bind &&
+                prod->bindings().find(a.var)) {
+                out.push_back(
+                    {"L102", Severity::Warning, "bindings",
+                     prod->name(), a.loc,
+                     "(bind " + syms.name(a.var) + " ...) rebinds a "
+                     "variable already bound by the LHS of '" +
+                         prod->name() + "'"});
+            }
+        }
+
+        for (const auto &[var, info] : vars) {
+            const bool lhs_bound = prod->bindings().find(var) != nullptr;
+            if (lhs_bound && info.occurrences == 1 && !info.rhs_used) {
+                out.push_back(
+                    {"L101", Severity::Warning, "bindings",
+                     prod->name(), info.first_loc,
+                     "variable " + syms.name(var) + " in '" +
+                         prod->name() +
+                         "' is bound but never used; the test always "
+                         "succeeds"});
+            }
+            if (!lhs_bound && info.occurrences == 1 &&
+                !info.negated_ces.empty() &&
+                info.first_pred == ops5::Predicate::Eq) {
+                out.push_back(
+                    {"L103", Severity::Warning, "bindings",
+                     prod->name(), info.first_loc,
+                     "variable " + syms.name(var) + " in '" +
+                         prod->name() +
+                         "' occurs only inside a negated condition and "
+                         "is unconstrained; it matches any value"});
+            }
+            if (!lhs_bound && info.negated_ces.size() > 1) {
+                out.push_back(
+                    {"L104", Severity::Warning, "bindings",
+                     prod->name(), info.first_loc,
+                     "variable " + syms.name(var) + " in '" +
+                         prod->name() +
+                         "' is shared across " +
+                         std::to_string(info.negated_ces.size()) +
+                         " negated conditions but bound by none; each "
+                         "occurrence is local, no join is performed"});
+            }
+        }
+    }
+}
+
+} // namespace psm::analysis::detail

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Join-cost pass: static costing of each production's join plan on
+ * the instruction scale of rete/cost_model.hpp.
+ *
+ * Class cardinalities are estimated from the program text (initial
+ * working memory plus RHS make actions); constant tests apply fixed
+ * selectivities (0.25 for equality, 0.5 otherwise — the usual
+ * textbook defaults, precision is not the point here). Walking the
+ * condition elements in order yields an estimated token flow:
+ *
+ *   L401  a join with no variable tests against the prior CEs whose
+ *         estimated pair count reaches the configured threshold —
+ *         the cross-product the paper's Section 2.4 calls out as the
+ *         dominant cost pathology.
+ *   L402  a greedy reordering of the positive CEs would cut the
+ *         estimated plan cost by the configured factor. Only emitted
+ *         when every cross-CE variable test is an equality (non-Eq
+ *         joins are order-sensitive) and every negated CE keeps its
+ *         bindings available.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/passes.hpp"
+#include "rete/cost_model.hpp"
+
+namespace psm::analysis::detail {
+
+namespace {
+
+using ops5::ConditionElement;
+using ops5::OperandKind;
+using ops5::Predicate;
+using ops5::SymbolId;
+
+constexpr double kEqSelectivity = 0.25;
+constexpr double kOtherSelectivity = 0.5;
+
+/** Estimated WME count per class: initial elements + make actions. */
+std::map<SymbolId, double>
+classCardinalities(const ops5::Program &program)
+{
+    std::map<SymbolId, double> card;
+    for (const auto &wme : program.initialWmes())
+        card[wme.cls] += 1.0;
+    for (const auto &prod : program.productions()) {
+        for (const auto &a : prod->rhs()) {
+            if (a.kind == ops5::ActionKind::Make)
+                card[a.cls] += 1.0;
+        }
+    }
+    return card;
+}
+
+/** One CE's contribution at a given point of the join order. */
+struct CeEstimate
+{
+    double card = 0.0;     ///< alpha-memory size after constant tests
+    int join_tests = 0;    ///< variable tests vs already-bound CEs
+    double join_sel = 1.0; ///< combined selectivity of those tests
+};
+
+CeEstimate
+estimateCe(const ConditionElement &ce, double class_card,
+           const std::set<SymbolId> &bound)
+{
+    CeEstimate est;
+    est.card = class_card;
+    std::set<SymbolId> local;
+    for (const auto &ft : ce.fields) {
+        for (const auto &t : ft.tests) {
+            switch (t.operand) {
+              case OperandKind::Constant:
+                est.card *= t.pred == Predicate::Eq ? kEqSelectivity
+                                                    : kOtherSelectivity;
+                break;
+              case OperandKind::ConstantSet:
+                est.card *= kOtherSelectivity;
+                break;
+              case OperandKind::Variable:
+                if (bound.count(t.var)) {
+                    ++est.join_tests;
+                    est.join_sel *= t.pred == Predicate::Eq
+                                        ? kEqSelectivity
+                                        : kOtherSelectivity;
+                } else if (local.count(t.var)) {
+                    est.card *= kOtherSelectivity; // intra-CE check
+                } else {
+                    local.insert(t.var); // binding occurrence
+                }
+                break;
+            }
+        }
+    }
+    return est;
+}
+
+/** Variables a CE would bind when placed with @p bound available. */
+void
+bindVars(const ConditionElement &ce, std::set<SymbolId> &bound)
+{
+    for (const auto &ft : ce.fields)
+        for (const auto &t : ft.tests)
+            if (t.operand == OperandKind::Variable)
+                bound.insert(t.var);
+}
+
+/** Per-position detail of a costed plan. */
+struct StepInfo
+{
+    int ce_index = 0;
+    double left = 1.0;  ///< token count entering the join
+    CeEstimate est;
+};
+
+/** Costs the plan that visits @p order's CEs in sequence. */
+double
+planCost(const ops5::Production &prod,
+         const std::map<SymbolId, double> &cards,
+         const std::vector<int> &order, const rete::CostModel &cm,
+         std::vector<StepInfo> *steps = nullptr)
+{
+    double cost = 0.0, left = 1.0;
+    std::set<SymbolId> bound;
+    for (int idx : order) {
+        const ConditionElement &ce = prod.lhs()[idx];
+        auto cit = cards.find(ce.cls);
+        double class_card = cit == cards.end() ? 0.0 : cit->second;
+        CeEstimate est = estimateCe(ce, class_card, bound);
+        if (steps)
+            steps->push_back({idx, left, est});
+        double pairs = left * est.card;
+        if (!ce.negated) {
+            double out = pairs * est.join_sel;
+            cost += cm.join_base + pairs * cm.join_per_candidate +
+                    pairs * est.join_tests * cm.join_per_test +
+                    out * (cm.token_build + cm.beta_insert);
+            left = out;
+            bindVars(ce, bound);
+        } else {
+            cost += cm.not_base + pairs * cm.not_per_entry;
+        }
+    }
+    return cost;
+}
+
+/** Variables of a negated CE that positive CEs bind — the CEs that
+ *  must precede it in any reordering. */
+std::set<SymbolId>
+negatedNeeds(const ops5::Production &prod, const ConditionElement &ce)
+{
+    std::set<SymbolId> needs;
+    for (const auto &ft : ce.fields)
+        for (const auto &t : ft.tests)
+            if (t.operand == OperandKind::Variable &&
+                prod.bindings().find(t.var))
+                needs.insert(t.var);
+    return needs;
+}
+
+/** Are all cross-CE variable predicates equalities? Reordering a
+ *  non-Eq variable test can change which occurrence binds, so the
+ *  reorder suggestion stays away from those rules. */
+bool
+allVarTestsEq(const ops5::Production &prod)
+{
+    for (const auto &ce : prod.lhs())
+        for (const auto &ft : ce.fields)
+            for (const auto &t : ft.tests)
+                if (t.operand == OperandKind::Variable &&
+                    t.pred != Predicate::Eq)
+                    return false;
+    return true;
+}
+
+/** Greedy cheapest-first join order; negated CEs slot in as soon as
+ *  their bindings are available. */
+std::vector<int>
+greedyOrder(const ops5::Production &prod,
+            const std::map<SymbolId, double> &cards,
+            const rete::CostModel &cm)
+{
+    (void)cm;
+    const auto &lhs = prod.lhs();
+    std::vector<int> order;
+    std::vector<bool> placed(lhs.size(), false);
+    std::set<SymbolId> bound;
+    double left = 1.0;
+
+    auto placeReadyNegations = [&] {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::size_t i = 0; i < lhs.size(); ++i) {
+                if (placed[i] || !lhs[i].negated)
+                    continue;
+                std::set<SymbolId> needs = negatedNeeds(prod, lhs[i]);
+                if (!std::includes(bound.begin(), bound.end(),
+                                   needs.begin(), needs.end()))
+                    continue;
+                order.push_back(static_cast<int>(i));
+                placed[i] = true;
+                progress = true;
+            }
+        }
+    };
+
+    for (;;) {
+        int best = -1;
+        double best_out = 0.0;
+        for (std::size_t i = 0; i < lhs.size(); ++i) {
+            if (placed[i] || lhs[i].negated)
+                continue;
+            auto cit = cards.find(lhs[i].cls);
+            double class_card =
+                cit == cards.end() ? 0.0 : cit->second;
+            CeEstimate est = estimateCe(lhs[i], class_card, bound);
+            double out = left * est.card * est.join_sel;
+            if (best < 0 || out < best_out) {
+                best = static_cast<int>(i);
+                best_out = out;
+            }
+        }
+        if (best < 0)
+            break;
+        order.push_back(best);
+        placed[best] = true;
+        left = best_out;
+        bindVars(prod.lhs()[best], bound);
+        placeReadyNegations();
+    }
+    // Anything left (negations whose bindings never materialize).
+    for (std::size_t i = 0; i < lhs.size(); ++i)
+        if (!placed[i])
+            order.push_back(static_cast<int>(i));
+    return order;
+}
+
+} // namespace
+
+void
+runJoinCostPass(const ops5::Program &program, const LintOptions &options,
+                std::vector<Diagnostic> &out)
+{
+    const rete::CostModel cm;
+    std::map<SymbolId, double> cards = classCardinalities(program);
+
+    for (const auto &prod : program.productions()) {
+        const auto &lhs = prod->lhs();
+        if (lhs.size() < 2)
+            continue;
+
+        std::vector<int> source_order(lhs.size());
+        for (std::size_t i = 0; i < lhs.size(); ++i)
+            source_order[i] = static_cast<int>(i);
+        std::vector<StepInfo> steps;
+        double source_cost =
+            planCost(*prod, cards, source_order, cm, &steps);
+
+        // L401: unconstrained joins with real fan-out on both sides.
+        bool positive_seen = false;
+        for (const StepInfo &s : steps) {
+            const ConditionElement &ce = lhs[s.ce_index];
+            if (ce.negated)
+                continue;
+            double pairs = s.left * s.est.card;
+            if (positive_seen && s.est.join_tests == 0 &&
+                s.left > 1.0 && s.est.card > 1.0 &&
+                pairs >= options.cross_product_threshold) {
+                std::ostringstream msg;
+                msg << "cross-product join in '" << prod->name()
+                    << "': condition " << s.ce_index + 1
+                    << " shares no variables with the conditions "
+                       "before it (~"
+                    << static_cast<long long>(pairs)
+                    << " estimated pairs)";
+                out.push_back({"L401", Severity::Warning, "join-cost",
+                               prod->name(), ce.loc, msg.str()});
+            }
+            positive_seen = true;
+        }
+
+        // L402: profitable, semantics-preserving reordering.
+        if (!allVarTestsEq(*prod))
+            continue;
+        std::vector<int> best = greedyOrder(*prod, cards, cm);
+        if (best == source_order)
+            continue;
+        double best_cost = planCost(*prod, cards, best, cm);
+        if (best_cost <= 0.0 ||
+            source_cost < best_cost * options.reorder_gain_threshold)
+            continue;
+        std::ostringstream msg;
+        msg << "condition order of '" << prod->name()
+            << "' is join-cost inefficient: order";
+        for (int idx : best)
+            msg << ' ' << idx + 1;
+        msg << " costs ~" << static_cast<long long>(best_cost)
+            << " instruction units vs ~"
+            << static_cast<long long>(source_cost)
+            << " for the source order";
+        out.push_back({"L402", Severity::Note, "join-cost",
+                       prod->name(), prod->loc(), msg.str()});
+    }
+}
+
+} // namespace psm::analysis::detail

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Rules pass: per-rule satisfiability and cross-rule redundancy.
+ *
+ * L301 (Error): an LHS whose constant tests contradict each other —
+ * within one field conjunction, or through variable equalities
+ * propagated across positive CEs — can never match any working
+ * memory, external inserts included, so the rule is provably dead.
+ * The same contradiction inside a negated CE makes the negation
+ * vacuous instead (L303, note).
+ *
+ * L302: a later rule whose canonical LHS (variables renamed to
+ * de-Bruijn indices, tests sorted) is identical to an earlier one.
+ * L304: a later rule subsumed by an earlier, more general rule —
+ * every match of the later rule also fires the earlier one.
+ * Subsumption checking is syntactic and greedy, i.e. conservative:
+ * it may miss subsumptions but never invents one.
+ */
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/effects.hpp"
+#include "analysis/passes.hpp"
+
+namespace psm::analysis::detail {
+
+namespace {
+
+using ops5::AtomicTest;
+using ops5::ConditionElement;
+using ops5::OperandKind;
+using ops5::Predicate;
+using ops5::Production;
+using ops5::SymbolId;
+using ops5::Value;
+
+bool
+failsFor(const AtomicTest &t, const Value &v,
+         const ops5::SymbolTable &syms)
+{
+    return testDefinitelyFails(t, FieldFact::known(v), syms);
+}
+
+/** Variable equalities provable from positive CEs: conjunctions that
+ *  contain both `= <v>` and `= const`. Returns false on conflicting
+ *  constants for one variable (recording the clash site). */
+bool
+knownVars(const Production &prod, const ops5::SymbolTable &syms,
+          std::map<SymbolId, Value> &known, std::string &clash_var,
+          ops5::SourceLoc &clash_loc)
+{
+    for (const auto &ce : prod.lhs()) {
+        if (ce.negated)
+            continue;
+        for (const auto &ft : ce.fields) {
+            std::vector<SymbolId> vars;
+            std::vector<const AtomicTest *> consts;
+            for (const auto &t : ft.tests) {
+                if (t.pred != Predicate::Eq)
+                    continue;
+                if (t.operand == OperandKind::Variable)
+                    vars.push_back(t.var);
+                else if (t.operand == OperandKind::Constant)
+                    consts.push_back(&t);
+            }
+            for (SymbolId v : vars) {
+                for (const auto *c : consts) {
+                    auto [it, fresh] = known.emplace(v, c->constant);
+                    if (!fresh && !(it->second == c->constant)) {
+                        clash_var = syms.name(v);
+                        clash_loc = c->loc;
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+/**
+ * Is the field conjunction @p ft satisfiable, given @p known variable
+ * values? Decided by candidate enumeration over the equality
+ * constants mentioned; conjunctions without any equality constraint
+ * are assumed satisfiable (interval reasoning is out of scope).
+ */
+bool
+conjSatisfiable(const ops5::FieldTests &ft,
+                const std::map<SymbolId, Value> &known,
+                const ops5::SymbolTable &syms,
+                ops5::SourceLoc &where)
+{
+    // Effective constant tests: the conjunction's own plus an Eq test
+    // for every variable occurrence with a known value.
+    std::vector<AtomicTest> tests;
+    std::vector<Value> candidates;
+    for (const auto &t : ft.tests) {
+        if (t.operand == OperandKind::Variable) {
+            auto it = known.find(t.var);
+            if (it == known.end())
+                continue;
+            AtomicTest sub;
+            sub.pred = t.pred;
+            sub.operand = OperandKind::Constant;
+            sub.constant = it->second;
+            sub.loc = t.loc;
+            tests.push_back(sub);
+            if (t.pred == Predicate::Eq)
+                candidates.push_back(it->second);
+        } else {
+            tests.push_back(t);
+            if (t.pred == Predicate::Eq) {
+                if (t.operand == OperandKind::Constant)
+                    candidates.push_back(t.constant);
+                else
+                    candidates.insert(candidates.end(), t.set.begin(),
+                                      t.set.end());
+            }
+        }
+    }
+    if (candidates.empty())
+        return true;
+    for (const auto &v : candidates) {
+        bool ok = true;
+        for (const auto &t : tests) {
+            if (failsFor(t, v, syms)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return true;
+    }
+    if (!tests.empty())
+        where = tests.front().loc;
+    return false;
+}
+
+// --- canonical LHS signatures (L302) --------------------------------
+
+/** Sort key for one test; variables all key alike so renaming-
+ *  equivalent LHSs order their tests identically. */
+std::string
+testSortKey(const AtomicTest &t, const ops5::SymbolTable &syms)
+{
+    std::ostringstream os;
+    os << static_cast<int>(t.operand) << '|'
+       << ops5::predicateName(t.pred) << '|';
+    if (t.operand == OperandKind::Constant) {
+        os << t.constant.toString(syms);
+    } else if (t.operand == OperandKind::ConstantSet) {
+        std::vector<std::string> members;
+        members.reserve(t.set.size());
+        for (const auto &v : t.set)
+            members.push_back(v.toString(syms));
+        std::sort(members.begin(), members.end());
+        for (const auto &m : members)
+            os << m << ' ';
+    }
+    return os.str();
+}
+
+std::string
+lhsSignature(const Production &prod, const ops5::SymbolTable &syms)
+{
+    std::map<SymbolId, int> debruijn;
+    std::ostringstream sig;
+    for (const auto &ce : prod.lhs()) {
+        sig << (ce.negated ? "(-" : "(") << syms.name(ce.cls);
+        for (const auto &ft : ce.fields) {
+            std::vector<const AtomicTest *> tests;
+            for (const auto &t : ft.tests)
+                tests.push_back(&t);
+            std::stable_sort(tests.begin(), tests.end(),
+                             [&](const AtomicTest *a,
+                                 const AtomicTest *b) {
+                                 return testSortKey(*a, syms) <
+                                        testSortKey(*b, syms);
+                             });
+            sig << " f" << ft.field << "[";
+            for (const auto *t : tests) {
+                sig << testSortKey(*t, syms);
+                if (t->operand == OperandKind::Variable) {
+                    auto [it, fresh] = debruijn.emplace(
+                        t->var, static_cast<int>(debruijn.size()));
+                    sig << '%' << it->second;
+                    (void)fresh;
+                }
+                sig << ';';
+            }
+            sig << "]";
+        }
+        sig << ")";
+    }
+    return sig.str();
+}
+
+// --- subsumption (L304) ---------------------------------------------
+
+/** Variable renaming built while matching tests of A against B. */
+struct VarMap
+{
+    std::map<SymbolId, SymbolId> fwd, rev;
+
+    bool
+    unify(SymbolId a, SymbolId b)
+    {
+        auto f = fwd.find(a);
+        if (f != fwd.end())
+            return f->second == b;
+        auto r = rev.find(b);
+        if (r != rev.end())
+            return false; // b already the image of another variable
+        fwd[a] = b;
+        rev[b] = a;
+        return true;
+    }
+};
+
+bool
+sameValueSet(const std::vector<Value> &a, const std::vector<Value> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (const auto &x : a) {
+        bool found = false;
+        for (const auto &y : b) {
+            if (x == y) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+bool
+equalTest(const AtomicTest &a, const AtomicTest &b, VarMap &phi)
+{
+    if (a.pred != b.pred || a.operand != b.operand)
+        return false;
+    switch (a.operand) {
+      case OperandKind::Constant:
+        return a.constant == b.constant;
+      case OperandKind::ConstantSet:
+        return sameValueSet(a.set, b.set);
+      case OperandKind::Variable:
+        return phi.unify(a.var, b.var);
+    }
+    return false;
+}
+
+/** Is every test of @p sub's CE present in @p super's CE? */
+bool
+testsContained(const ConditionElement &sub, const ConditionElement &super,
+               VarMap &phi)
+{
+    for (const auto &ft : sub.fields) {
+        const ops5::FieldTests *other = nullptr;
+        for (const auto &oft : super.fields) {
+            if (oft.field == ft.field) {
+                other = &oft;
+                break;
+            }
+        }
+        if (!other)
+            return false;
+        for (const auto &t : ft.tests) {
+            bool present = false;
+            for (const auto &u : other->tests) {
+                if (equalTest(t, u, phi)) {
+                    present = true;
+                    break;
+                }
+            }
+            if (!present)
+                return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Does every match of @p b also fire @p a? True when a's CEs map
+ * order-preservingly into b's with a's tests contained in b's
+ * (positive CEs) or b's in a's (negated CEs — a weaker negation is a
+ * stronger constraint, so the containment flips).
+ */
+bool
+subsumes(const Production &a, const Production &b)
+{
+    VarMap phi;
+    int next = 0;
+    for (const auto &a_ce : a.lhs()) {
+        bool mapped = false;
+        for (int j = next; j < static_cast<int>(b.lhs().size()); ++j) {
+            const ConditionElement &b_ce = b.lhs()[j];
+            if (b_ce.cls != a_ce.cls || b_ce.negated != a_ce.negated)
+                continue;
+            VarMap trial = phi;
+            bool ok = a_ce.negated
+                          ? testsContained(b_ce, a_ce, trial)
+                          : testsContained(a_ce, b_ce, trial);
+            if (ok) {
+                phi = std::move(trial);
+                next = j + 1;
+                mapped = true;
+                break;
+            }
+        }
+        if (!mapped)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+runRulesPass(const ops5::Program &program, std::vector<Diagnostic> &out)
+{
+    const ops5::SymbolTable &syms = program.symbols();
+    const auto &prods = program.productions();
+
+    // L301 / L303: satisfiability.
+    for (const auto &prod : prods) {
+        std::map<SymbolId, Value> known;
+        std::string clash_var;
+        ops5::SourceLoc clash_loc{};
+        if (!knownVars(*prod, syms, known, clash_var, clash_loc)) {
+            out.push_back(
+                {"L301", Severity::Error, "rules", prod->name(),
+                 clash_loc,
+                 "unsatisfiable LHS in '" + prod->name() +
+                     "': variable " + clash_var +
+                     " is required to equal two different constants"});
+            continue;
+        }
+        for (const auto &ce : prod->lhs()) {
+            for (const auto &ft : ce.fields) {
+                ops5::SourceLoc where = ce.loc;
+                if (conjSatisfiable(ft, known, syms, where))
+                    continue;
+                if (!ce.negated) {
+                    out.push_back(
+                        {"L301", Severity::Error, "rules", prod->name(),
+                         where,
+                         "unsatisfiable LHS in '" + prod->name() +
+                             "': the tests on this field contradict "
+                             "each other; the rule can never fire"});
+                } else {
+                    out.push_back(
+                        {"L303", Severity::Note, "rules", prod->name(),
+                         where,
+                         "vacuous negation in '" + prod->name() +
+                             "': the negated condition can never "
+                             "match, so the negation is always "
+                             "satisfied"});
+                }
+            }
+        }
+    }
+
+    // L302 / L304: cross-rule redundancy.
+    std::vector<std::string> sigs;
+    sigs.reserve(prods.size());
+    for (const auto &prod : prods)
+        sigs.push_back(lhsSignature(*prod, syms));
+    for (std::size_t b = 0; b < prods.size(); ++b) {
+        for (std::size_t a = 0; a < b; ++a) {
+            if (sigs[a] == sigs[b]) {
+                out.push_back(
+                    {"L302", Severity::Warning, "rules",
+                     prods[b]->name(), prods[b]->loc(),
+                     "LHS of '" + prods[b]->name() +
+                         "' duplicates earlier rule '" +
+                         prods[a]->name() +
+                         "'; both fire on exactly the same matches"});
+                break; // one report per duplicate rule is enough
+            }
+            if (subsumes(*prods[a], *prods[b])) {
+                out.push_back(
+                    {"L304", Severity::Note, "rules", prods[b]->name(),
+                     prods[b]->loc(),
+                     "rule '" + prods[b]->name() +
+                         "' is subsumed by earlier, more general rule "
+                         "'" +
+                         prods[a]->name() + "': every match of '" +
+                         prods[b]->name() + "' also fires '" +
+                         prods[a]->name() + "'"});
+                break;
+            }
+        }
+    }
+}
+
+} // namespace psm::analysis::detail

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Schema pass: per-class write/read analysis.
+ *
+ * Collects every way the program can create a WME of each class —
+ * top-level `make` forms (initial WM) and RHS make/modify actions —
+ * and the set of values each field can receive. Condition-element
+ * tests are then checked against those write sets: a test no written
+ * value can satisfy is dead (L201), or, when the mismatch is between
+ * value kinds (numeric vs symbolic), a literal type conflict (L202).
+ * Classes written but never read get L203; classes read but never
+ * written get L204.
+ *
+ * All checks assume the closed world of the program text; externally
+ * inserted WMEs (the serving layer) can invalidate them, which is why
+ * nothing here is an Error.
+ */
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "analysis/effects.hpp"
+#include "analysis/passes.hpp"
+
+namespace psm::analysis::detail {
+
+namespace {
+
+/** One creation site: a top-level make, an RHS make, or a modify. */
+struct CreationRecord
+{
+    /** Explicit field values; nullopt = written but not a constant. */
+    std::map<int, std::optional<ops5::Value>> fields;
+
+    /** Modify: unassigned fields inherit the matched WME (covered by
+     *  other records); Make/initial: unassigned fields are nil. */
+    bool modify = false;
+};
+
+struct ClassUse
+{
+    std::vector<CreationRecord> creations; ///< make/initial only count
+    bool has_make = false;                 ///< any RHS make action
+    bool has_modify = false;
+    bool tested = false;                   ///< any CE of this class
+    bool tested_positive = false;
+    ops5::SourceLoc first_make_loc{};
+    std::string first_make_prod;
+    ops5::SourceLoc first_positive_ce_loc{};
+    std::string first_positive_ce_prod;
+};
+
+/** Possible values field @p field of class @p use can be written. */
+struct WriteSet
+{
+    bool unknown = false;
+    std::vector<ops5::Value> values;
+};
+
+WriteSet
+possibleWrites(const ClassUse &use, int field)
+{
+    WriteSet w;
+    for (const auto &rec : use.creations) {
+        auto it = rec.fields.find(field);
+        if (it == rec.fields.end()) {
+            if (!rec.modify)
+                w.values.push_back(ops5::Value{}); // defaulted nil
+            continue;
+        }
+        if (it->second)
+            w.values.push_back(*it->second);
+        else
+            w.unknown = true;
+    }
+    return w;
+}
+
+/** numeric vs symbolic-or-nil — the two OPS5 comparison families. */
+bool
+sameKindFamily(const ops5::Value &a, const ops5::Value &b)
+{
+    return a.isNumeric() == b.isNumeric();
+}
+
+CreationRecord
+recordFromAssigns(const std::vector<ops5::FieldAssign> &assigns,
+                  bool modify)
+{
+    CreationRecord rec;
+    rec.modify = modify;
+    for (const auto &fa : assigns) {
+        rec.fields[fa.field] =
+            fa.term.kind == ops5::RhsTermKind::Constant
+                ? std::optional<ops5::Value>(fa.term.constant)
+                : std::nullopt;
+    }
+    return rec;
+}
+
+std::string
+attrName(const ops5::Program &program, ops5::SymbolId cls, int field)
+{
+    const ops5::ClassSchema *schema = program.types().findSchema(cls);
+    if (schema && field >= 0 && field < schema->fieldCount())
+        return "^" + program.symbols().name(schema->attributeAt(field));
+    return "field " + std::to_string(field);
+}
+
+} // namespace
+
+void
+runSchemaPass(const ops5::Program &program, std::vector<Diagnostic> &out)
+{
+    const ops5::SymbolTable &syms = program.symbols();
+    std::map<ops5::SymbolId, ClassUse> classes;
+
+    for (const auto &wme : program.initialWmes()) {
+        CreationRecord rec;
+        for (std::size_t f = 0; f < wme.fields.size(); ++f)
+            rec.fields[static_cast<int>(f)] = wme.fields[f];
+        classes[wme.cls].creations.push_back(std::move(rec));
+    }
+
+    for (const auto &prod : program.productions()) {
+        for (const auto &ce : prod->lhs()) {
+            ClassUse &use = classes[ce.cls];
+            use.tested = true;
+            if (!ce.negated && !use.tested_positive) {
+                use.tested_positive = true;
+                use.first_positive_ce_loc = ce.loc;
+                use.first_positive_ce_prod = prod->name();
+            }
+        }
+        for (const ops5::Action &a : prod->rhs()) {
+            if (a.kind == ops5::ActionKind::Make) {
+                ClassUse &use = classes[a.cls];
+                use.creations.push_back(
+                    recordFromAssigns(a.assigns, false));
+                if (!use.has_make) {
+                    use.has_make = true;
+                    use.first_make_loc = a.loc;
+                    use.first_make_prod = prod->name();
+                }
+            } else if (a.kind == ops5::ActionKind::Modify) {
+                int idx = a.ce - 1;
+                if (idx < 0 ||
+                    idx >= static_cast<int>(prod->lhs().size()))
+                    continue;
+                ClassUse &use = classes[prod->lhs()[idx].cls];
+                use.creations.push_back(
+                    recordFromAssigns(a.assigns, true));
+                use.has_modify = true;
+            }
+        }
+    }
+
+    // L201 / L202: tests against the write sets.
+    for (const auto &prod : program.productions()) {
+        for (const auto &ce : prod->lhs()) {
+            auto cit = classes.find(ce.cls);
+            if (cit == classes.end())
+                continue;
+            const ClassUse &use = cit->second;
+            if (use.creations.empty())
+                continue; // L204 territory
+            for (const auto &ft : ce.fields) {
+                std::vector<const ops5::AtomicTest *> consts;
+                for (const auto &t : ft.tests) {
+                    if (t.operand != ops5::OperandKind::Variable)
+                        consts.push_back(&t);
+                }
+                if (consts.empty())
+                    continue;
+                WriteSet w = possibleWrites(use, ft.field);
+                if (w.unknown || w.values.empty())
+                    continue;
+                // Satisfiable iff some written value passes the whole
+                // field conjunction.
+                bool sat = false;
+                for (const auto &v : w.values) {
+                    bool ok = true;
+                    for (const auto *t : consts) {
+                        FieldFact fact = FieldFact::known(v);
+                        if (testDefinitelyFails(*t, fact, syms)) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if (ok) {
+                        sat = true;
+                        break;
+                    }
+                }
+                if (sat)
+                    continue;
+                // Type conflict when some constant test compares
+                // against a different value family than every write.
+                const ops5::AtomicTest *kind_clash = nullptr;
+                for (const auto *t : consts) {
+                    if (t->operand != ops5::OperandKind::Constant)
+                        continue;
+                    bool all_differ = true;
+                    for (const auto &v : w.values) {
+                        if (sameKindFamily(v, t->constant)) {
+                            all_differ = false;
+                            break;
+                        }
+                    }
+                    if (all_differ) {
+                        kind_clash = t;
+                        break;
+                    }
+                }
+                const std::string attr =
+                    attrName(program, ce.cls, ft.field);
+                const std::string cls_name = syms.name(ce.cls);
+                if (kind_clash) {
+                    out.push_back(
+                        {"L202", Severity::Warning, "schema",
+                         prod->name(), kind_clash->loc,
+                         "literal type conflict in '" + prod->name() +
+                             "': every write to " + cls_name + " " +
+                             attr + " is " +
+                             (kind_clash->constant.isNumeric()
+                                  ? "symbolic"
+                                  : "numeric") +
+                             " but the test compares against " +
+                             kind_clash->constant.toString(syms)});
+                } else if (!ce.negated) {
+                    out.push_back(
+                        {"L201", Severity::Warning, "schema",
+                         prod->name(), consts.front()->loc,
+                         "dead condition in '" + prod->name() +
+                             "': no write to " + cls_name + " " + attr +
+                             " can satisfy this test"});
+                } else {
+                    out.push_back(
+                        {"L201", Severity::Note, "schema",
+                         prod->name(), consts.front()->loc,
+                         "negated condition in '" + prod->name() +
+                             "' is always satisfied: no write to " +
+                             cls_name + " " + attr +
+                             " can match this test"});
+                }
+            }
+        }
+    }
+
+    // L203 / L204: write-only and read-only classes.
+    for (const auto &[cls, use] : classes) {
+        if (use.has_make && !use.tested) {
+            out.push_back(
+                {"L203", Severity::Note, "schema", use.first_make_prod,
+                 use.first_make_loc,
+                 "class '" + syms.name(cls) + "' is created by '" +
+                     use.first_make_prod +
+                     "' but never matched by any rule"});
+        }
+        // Modify records don't count as creation: a modify can only
+        // run on an element something else created.
+        const bool ever_created =
+            std::any_of(use.creations.begin(), use.creations.end(),
+                        [](const CreationRecord &r) { return !r.modify; });
+        if (use.tested_positive && !ever_created) {
+            out.push_back(
+                {"L204", Severity::Warning, "schema",
+                 use.first_positive_ce_prod, use.first_positive_ce_loc,
+                 "class '" + syms.name(cls) +
+                     "' is matched by '" + use.first_positive_ce_prod +
+                     "' but no initial element or rule creates it; the "
+                     "condition can only match externally inserted "
+                     "elements"});
+        }
+    }
+}
+
+} // namespace psm::analysis::detail

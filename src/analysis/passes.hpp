@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Internal pass entry points of the lint driver. Each pass appends
+ * Diagnostics; lint.cpp filters, sorts, and reports. Not part of the
+ * library's public surface — include lint.hpp instead.
+ */
+
+#ifndef PSM_ANALYSIS_PASSES_HPP
+#define PSM_ANALYSIS_PASSES_HPP
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/interference.hpp"
+#include "analysis/lint.hpp"
+
+namespace psm::analysis::detail {
+
+void runBindingsPass(const ops5::Program &program,
+                     std::vector<Diagnostic> &out);
+
+void runSchemaPass(const ops5::Program &program,
+                   std::vector<Diagnostic> &out);
+
+void runRulesPass(const ops5::Program &program,
+                  std::vector<Diagnostic> &out);
+
+void runJoinCostPass(const ops5::Program &program,
+                     const LintOptions &options,
+                     std::vector<Diagnostic> &out);
+
+void runInterferencePass(const ops5::Program &program,
+                         const InterferenceGraph &graph,
+                         std::vector<Diagnostic> &out);
+
+} // namespace psm::analysis::detail
+
+#endif // PSM_ANALYSIS_PASSES_HPP

@@ -217,6 +217,22 @@ Registry::total(Counter c) const
     return t;
 }
 
+std::vector<int>
+Registry::affectedSince(std::uint64_t mark) const
+{
+    std::vector<int> out;
+    for (std::size_t p = 0; p < n_productions_; ++p) {
+        for (const Shard &s : shards_) {
+            if (s.prod_epoch[p].load(std::memory_order_relaxed) >
+                mark) {
+                out.push_back(static_cast<int>(p));
+                break;
+            }
+        }
+    }
+    return out;
+}
+
 HistogramData
 Registry::merged(Histogram h) const
 {

@@ -244,6 +244,27 @@ class Registry
 
     std::uint64_t epochs() const { return epochs_closed_; }
 
+    /**
+     * Monotonic epoch cursor for affectedSince(). Take a mark before
+     * submitting a batch of WM changes; every epoch the matcher opens
+     * afterwards has a larger value.
+     */
+    std::uint64_t
+    epochMark() const
+    {
+        return epoch_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Production ordinals whose nodes were activated in any epoch
+     * after @p mark (sorted ascending). Cold path; call from the
+     * submitting thread at a barrier, like endEpoch(). This is the
+     * paper's *dynamic* affect set of a change batch — the static
+     * analyzer's interference graph must cover it (asserted by
+     * test_lint's superset cross-check).
+     */
+    std::vector<int> affectedSince(std::uint64_t mark) const;
+
     /** Resets every counter, histogram, node slot, and epoch. */
     void reset();
 

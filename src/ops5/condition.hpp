@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "source_loc.hpp"
 #include "value.hpp"
 #include "wme.hpp"
 
@@ -43,6 +44,7 @@ struct AtomicTest
     Value constant{};               ///< valid when operand == Constant
     std::vector<Value> set;         ///< valid when operand == ConstantSet
     SymbolId var = kNilSymbol;      ///< valid when operand == Variable
+    SourceLoc loc{};                ///< not part of operator==
 
     static AtomicTest
     constant_eq(Value v)
@@ -84,6 +86,7 @@ struct ConditionElement
     SymbolId cls = kNilSymbol;
     bool negated = false;
     std::vector<FieldTests> fields;
+    SourceLoc loc{};                ///< position of the CE's '('
 
     /** Adds @p test to the list for @p field (kept sorted). */
     void addTest(int field, AtomicTest test);

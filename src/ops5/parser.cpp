@@ -187,10 +187,13 @@ class Parser
     void
     parseProduction()
     {
-        std::string name = expectAtom("production name");
+        const Token &name_tok = expect(TokenKind::Atom, "production name");
+        std::string name = name_tok.text;
+        SourceLoc name_loc{name_tok.line, name_tok.col};
         if (prog().findProduction(name))
             fail("duplicate production '" + name + "'");
         Production &p = prog().addProduction(name);
+        p.setLoc(name_loc);
 
         while (!check(TokenKind::Arrow)) {
             bool negated = match(TokenKind::Minus);
@@ -208,8 +211,10 @@ class Parser
     ConditionElement
     parseConditionElement(bool negated)
     {
-        expect(TokenKind::LParen, "'(' of condition element");
+        const Token &lp = expect(TokenKind::LParen,
+                                 "'(' of condition element");
         ConditionElement ce;
+        ce.loc = SourceLoc{lp.line, lp.col};
         ce.negated = negated;
         ce.cls = syms().intern(expectAtom("class name"));
         ClassSchema &schema = prog().types().schema(ce.cls);
@@ -256,6 +261,7 @@ class Parser
     AtomicTest
     parseSingleTest()
     {
+        SourceLoc loc{peek().line, peek().col};
         Predicate pred = Predicate::Eq;
         if (check(TokenKind::Pred))
             pred = advance().pred;
@@ -266,6 +272,7 @@ class Parser
             AtomicTest t;
             t.pred = pred;
             t.operand = OperandKind::ConstantSet;
+            t.loc = loc;
             while (!check(TokenKind::RDisj))
                 t.set.push_back(parseLiteralValue());
             expect(TokenKind::RDisj, "'>>'");
@@ -278,7 +285,10 @@ class Parser
         switch (t.kind) {
           case TokenKind::Var: {
             advance();
-            return AtomicTest::variable(syms().intern(t.text), pred);
+            AtomicTest test =
+                AtomicTest::variable(syms().intern(t.text), pred);
+            test.loc = loc;
+            return test;
           }
           case TokenKind::Atom:
           case TokenKind::Int:
@@ -286,6 +296,7 @@ class Parser
             AtomicTest test;
             test.pred = pred;
             test.constant = parseLiteralValue();
+            test.loc = loc;
             return test;
           }
           default:
@@ -375,9 +386,10 @@ class Parser
     Action
     parseAction(Production &p)
     {
-        expect(TokenKind::LParen, "'(' of action");
-        std::string head = expectAtom("action name");
+        const Token &lp = expect(TokenKind::LParen, "'(' of action");
         Action a;
+        a.loc = SourceLoc{lp.line, lp.col};
+        std::string head = expectAtom("action name");
 
         auto parse_assigns = [&](SymbolId cls) {
             ClassSchema &schema = prog().types().schema(cls);

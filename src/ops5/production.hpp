@@ -101,6 +101,7 @@ struct Action
     SymbolId var = kNilSymbol;        ///< Bind: variable to set
     std::vector<FieldAssign> assigns; ///< Make/Modify field values
     std::vector<RhsTerm> terms;       ///< Write/Bind operands
+    SourceLoc loc{};                  ///< position of the action's '('
 };
 
 /**
@@ -126,6 +127,10 @@ class Production
     const VariableBindings &bindings() const { return bindings_; }
     VariableBindings &bindings() { return bindings_; }
 
+    /** Position of the production's name in the source (if parsed). */
+    const SourceLoc &loc() const { return loc_; }
+    void setLoc(SourceLoc loc) { loc_ = loc; }
+
     /** Number of non-negated condition elements. */
     int positiveCeCount() const;
 
@@ -135,6 +140,7 @@ class Production
   private:
     std::string name_;
     int id_;
+    SourceLoc loc_{};
     std::vector<ConditionElement> lhs_;
     std::vector<Action> rhs_;
     VariableBindings bindings_;

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Source positions carried from the lexer through the parser into the
+ * compiled program, so downstream consumers (parse errors, the static
+ * analyzer's diagnostics) can point at `file:line:col` instead of at
+ * a production name alone.
+ */
+
+#ifndef PSM_OPS5_SOURCE_LOC_HPP
+#define PSM_OPS5_SOURCE_LOC_HPP
+
+namespace psm::ops5 {
+
+/**
+ * A line:column position in the OPS5 source text (1-based; {0,0}
+ * means "unknown", e.g. for programmatically built programs).
+ *
+ * Deliberately excluded from every structural operator== so that two
+ * textually distinct but structurally identical tests still compare
+ * equal — the Rete compiler's node sharing depends on that.
+ */
+struct SourceLoc
+{
+    int line = 0;
+    int col = 0;
+
+    bool known() const { return line > 0; }
+};
+
+} // namespace psm::ops5
+
+#endif // PSM_OPS5_SOURCE_LOC_HPP

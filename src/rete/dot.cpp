@@ -6,11 +6,8 @@
 
 namespace psm::rete {
 
-namespace {
-
-/** Escapes a label for DOT. */
 std::string
-escape(const std::string &s)
+dotEscape(const std::string &s)
 {
     std::string out;
     for (char c : s) {
@@ -19,6 +16,15 @@ escape(const std::string &s)
         out.push_back(c);
     }
     return out;
+}
+
+namespace {
+
+/** Escapes a label for DOT. */
+std::string
+escape(const std::string &s)
+{
+    return dotEscape(s);
 }
 
 class DotWriter

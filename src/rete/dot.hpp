@@ -25,6 +25,10 @@ struct DotOptions
     int production = -1;
 };
 
+/** Escapes a node/edge label for DOT output (quotes, backslashes).
+ *  Shared with the analysis layer's interference-graph export. */
+std::string dotEscape(const std::string &s);
+
 /** Writes the network as a DOT digraph to @p out. */
 void writeDot(const Network &network, std::ostream &out,
               const DotOptions &options = {});

@@ -56,6 +56,7 @@ runLoad(std::shared_ptr<const ops5::Program> program,
     pool_opts.matcher = config.matcher;
     pool_opts.durability = config.durability;
     pool_opts.restore = config.restore;
+    pool_opts.lint = config.lint;
     SessionPool pool(program, pool_opts);
 
     const std::size_t n_clients =

@@ -54,6 +54,10 @@ struct LoadConfig
      *  directory's existing state. */
     durable::DurableOptions durability{};
     bool restore = false;
+
+    /** Lint the program at pool construction and refuse to serve on
+     *  error-severity findings (see PoolOptions::lint). */
+    bool lint = false;
 };
 
 /** Aggregated outcome of one load run. */

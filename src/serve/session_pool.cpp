@@ -1,7 +1,10 @@
 #include "serve/session_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_set>
+
+#include "analysis/lint.hpp"
 
 namespace psm::serve {
 
@@ -40,6 +43,21 @@ SessionPool::SessionPool(std::shared_ptr<const ops5::Program> program,
     : program_(std::move(program)), options_(normalized(options)),
       metrics_(options_.n_threads + 1)
 {
+    if (options_.lint) {
+        analysis::LintResult lint =
+            analysis::lintProgram(*program_);
+        if (lint.count(analysis::Severity::Error) > 0) {
+            std::string detail;
+            for (const auto &d : lint.diagnostics) {
+                if (d.severity != analysis::Severity::Error)
+                    continue;
+                detail = d.message + " [" + d.id + "]";
+                break;
+            }
+            throw std::invalid_argument(
+                "program rejected by lint: " + detail);
+        }
+    }
     sessions_.reserve(options_.n_sessions);
     for (std::size_t i = 0; i < options_.n_sessions; ++i) {
         durable::DurableOptions d = options_.durability;

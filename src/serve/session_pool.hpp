@@ -92,6 +92,16 @@ struct PoolOptions
      */
     durable::DurableOptions durability{};
     bool restore = false;
+
+    /**
+     * Run the static analyzer (analysis/lint.hpp) over the program at
+     * pool construction and throw std::invalid_argument when it finds
+     * error-severity defects (e.g. an unsatisfiable LHS). Warnings
+     * and notes never reject: served programs legitimately receive
+     * their working memory from external submits, which is exactly
+     * the closed-world assumption the warning-level checks lean on.
+     */
+    bool lint = false;
 };
 
 /**

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Golden tests for the static rule-program analyzer (src/analysis/):
+ * one seeded defect per rule ID, absence checks against near-miss
+ * programs, the shipped example programs linting clean, and the
+ * soundness cross-check the interference pass is built around — on
+ * every shipped program, the *static* interference graph must cover
+ * the *dynamic* affected-production sets the telemetry layer records
+ * while the program actually runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/interference.hpp"
+#include "analysis/lint.hpp"
+#include "core/engine.hpp"
+#include "ops5/parser.hpp"
+#include "rete/matcher.hpp"
+#include "rete/network.hpp"
+#include "serve/session_pool.hpp"
+
+#ifndef PSM_PROGRAMS_DIR
+#define PSM_PROGRAMS_DIR "examples/programs"
+#endif
+
+using namespace psm;
+using analysis::Diagnostic;
+using analysis::LintResult;
+using analysis::Severity;
+
+namespace {
+
+LintResult
+lintSource(const std::string &src)
+{
+    auto parsed = ops5::parseProgram(src);
+    return analysis::lintProgram(*parsed.program);
+}
+
+/** Diagnostics with the given rule ID. */
+std::vector<const Diagnostic *>
+withId(const LintResult &r, const std::string &id)
+{
+    std::vector<const Diagnostic *> out;
+    for (const auto &d : r.diagnostics)
+        if (d.id == id)
+            out.push_back(&d);
+    return out;
+}
+
+bool
+hasId(const LintResult &r, const std::string &id)
+{
+    return !withId(r, id).empty();
+}
+
+/** Does any diagnostic with @p id name @p production? */
+bool
+hasIdOn(const LintResult &r, const std::string &id,
+        const std::string &production)
+{
+    for (const auto *d : withId(r, id))
+        if (d->production == production)
+            return true;
+    return false;
+}
+
+std::string
+dumpText(const LintResult &r)
+{
+    std::ostringstream os;
+    analysis::writeLintText(os, r, "<test>", Severity::Note);
+    return os.str();
+}
+
+std::string
+readProgramFile(const std::string &name)
+{
+    std::ifstream f(std::string(PSM_PROGRAMS_DIR) + "/" + name);
+    EXPECT_TRUE(f.good()) << "missing program file " << name;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+const char *const kShippedPrograms[] = {
+    "ancestors.ops", "bagger.ops", "fibonacci.ops", "r1-mini.ops",
+    "towers.ops",
+};
+
+} // namespace
+
+// --- bindings pass (L101-L104) --------------------------------------
+
+TEST(LintBindings, UnusedBindingIsReportedOncePerDeadVariable)
+{
+    LintResult r = lintSource(R"((literalize a x)
+(p uses (a ^x <w>) --> (write <w>))
+(p drops (a ^x <v>) --> (halt))
+)");
+    ASSERT_EQ(withId(r, "L101").size(), 1u) << dumpText(r);
+    EXPECT_TRUE(hasIdOn(r, "L101", "drops"));
+    EXPECT_FALSE(hasIdOn(r, "L101", "uses"));
+}
+
+TEST(LintBindings, RhsBindShadowingLhsVariable)
+{
+    LintResult r = lintSource(R"((literalize a x)
+(p rebind (a ^x <v>) --> (bind <v> 2) (write <v>))
+)");
+    EXPECT_TRUE(hasIdOn(r, "L102", "rebind")) << dumpText(r);
+}
+
+TEST(LintBindings, UnconstrainedVariableInNegatedCondition)
+{
+    LintResult r = lintSource(R"((literalize a x)
+(literalize b y)
+(p neg (a ^x 1) -(b ^y <w>) --> (halt))
+)");
+    EXPECT_TRUE(hasIdOn(r, "L103", "neg")) << dumpText(r);
+}
+
+TEST(LintBindings, VariableSharedAcrossNegationsJoinsNothing)
+{
+    LintResult r = lintSource(R"((literalize a x)
+(literalize b y)
+(literalize c z)
+(p twoneg (a ^x 1) -(b ^y <q>) -(c ^z <q>) --> (halt))
+)");
+    EXPECT_TRUE(hasIdOn(r, "L104", "twoneg")) << dumpText(r);
+    // Two occurrences, so the single-occurrence L103 must not fire.
+    EXPECT_FALSE(hasId(r, "L103")) << dumpText(r);
+}
+
+// --- schema pass (L201-L204) ----------------------------------------
+
+TEST(LintSchema, DeadConditionAgainstWriteSet)
+{
+    LintResult r = lintSource(R"((literalize ctl go)
+(literalize item status)
+(p mk (ctl ^go yes) --> (make item ^status open))
+(p live (item ^status open) --> (halt))
+(p dead (item ^status closed) --> (halt))
+(make ctl ^go yes)
+)");
+    ASSERT_EQ(withId(r, "L201").size(), 1u) << dumpText(r);
+    EXPECT_TRUE(hasIdOn(r, "L201", "dead"));
+    EXPECT_EQ(withId(r, "L201").front()->severity, Severity::Warning);
+    EXPECT_FALSE(hasIdOn(r, "L201", "live"));
+}
+
+TEST(LintSchema, DeadNegatedConditionIsOnlyANote)
+{
+    LintResult r = lintSource(R"((literalize ctl go)
+(literalize item status)
+(p mk (ctl ^go yes) --> (make item ^status open))
+(p shut (ctl ^go yes) -(item ^status shut) --> (halt))
+(make ctl ^go yes)
+)");
+    ASSERT_TRUE(hasIdOn(r, "L201", "shut")) << dumpText(r);
+    for (const auto *d : withId(r, "L201"))
+        EXPECT_EQ(d->severity, Severity::Note);
+}
+
+TEST(LintSchema, LiteralTypeConflict)
+{
+    LintResult r = lintSource(R"((literalize ctl go)
+(literalize item n)
+(p mk (ctl ^go yes) --> (make item ^n val))
+(p deadnum (item ^n 3) --> (halt))
+(make ctl ^go yes)
+)");
+    EXPECT_TRUE(hasIdOn(r, "L202", "deadnum")) << dumpText(r);
+    EXPECT_FALSE(hasId(r, "L201")) << "type conflict must refine the "
+                                      "plain dead-condition report";
+}
+
+TEST(LintSchema, WriteOnlyClass)
+{
+    LintResult r = lintSource(R"((literalize ctl go)
+(literalize log msg)
+(p emit (ctl ^go yes) --> (make log ^msg done))
+(make ctl ^go yes)
+)");
+    ASSERT_TRUE(hasIdOn(r, "L203", "emit")) << dumpText(r);
+    EXPECT_EQ(withId(r, "L203").front()->severity, Severity::Note);
+}
+
+TEST(LintSchema, ReadOnlyClassNothingCreates)
+{
+    LintResult r = lintSource(R"((literalize ghost id)
+(p orphan (ghost ^id 1) --> (halt))
+)");
+    ASSERT_TRUE(hasIdOn(r, "L204", "orphan")) << dumpText(r);
+    EXPECT_EQ(withId(r, "L204").front()->severity, Severity::Warning);
+}
+
+TEST(LintSchema, ModifyAloneDoesNotCountAsCreation)
+{
+    // A modify can only run on an element something else created, so
+    // the class is still read-only from the program's point of view.
+    LintResult r = lintSource(R"((literalize ghost id)
+(p bump (ghost ^id <i>) --> (modify 1 ^id (compute <i> + 1)))
+)");
+    EXPECT_TRUE(hasIdOn(r, "L204", "bump")) << dumpText(r);
+}
+
+// --- rules pass (L301-L304) -----------------------------------------
+
+TEST(LintRules, UnsatisfiableFieldConjunctionIsAnError)
+{
+    LintResult r = lintSource(R"((literalize a x)
+(p never (a ^x { 1 2 }) --> (halt))
+)");
+    ASSERT_TRUE(hasIdOn(r, "L301", "never")) << dumpText(r);
+    EXPECT_EQ(withId(r, "L301").front()->severity, Severity::Error);
+    EXPECT_TRUE(r.gate(false));
+}
+
+TEST(LintRules, ConflictingVariableEqualitiesAcrossFields)
+{
+    LintResult r = lintSource(R"((literalize a x y)
+(p clash (a ^x { <v> 1 } ^y { <v> 2 }) --> (halt))
+(p fine (a ^x { <w> 1 } ^y <w>) --> (halt))
+)");
+    EXPECT_TRUE(hasIdOn(r, "L301", "clash")) << dumpText(r);
+    EXPECT_FALSE(hasIdOn(r, "L301", "fine"));
+}
+
+TEST(LintRules, DuplicateLhsUpToRenaming)
+{
+    LintResult r = lintSource(R"((literalize a x y)
+(p one (a ^x <v> ^y 1) --> (write <v>))
+(p two (a ^x <w> ^y 1) --> (write <w>))
+(p other (a ^x <u> ^y 2) --> (write <u>))
+)");
+    ASSERT_EQ(withId(r, "L302").size(), 1u) << dumpText(r);
+    EXPECT_TRUE(hasIdOn(r, "L302", "two"));
+    EXPECT_FALSE(hasIdOn(r, "L302", "other"));
+}
+
+TEST(LintRules, VacuousNegation)
+{
+    LintResult r = lintSource(R"((literalize a x)
+(literalize b y)
+(p vac (a ^x 1) -(b ^y { 1 2 }) --> (halt))
+)");
+    ASSERT_TRUE(hasIdOn(r, "L303", "vac")) << dumpText(r);
+    EXPECT_EQ(withId(r, "L303").front()->severity, Severity::Note);
+    EXPECT_FALSE(hasId(r, "L301"))
+        << "a contradiction inside a negation is not an error";
+}
+
+TEST(LintRules, SubsumptionByMoreGeneralRule)
+{
+    LintResult r = lintSource(R"((literalize a x y)
+(p general (a ^x 1) --> (halt))
+(p specific (a ^x 1 ^y 2) --> (halt))
+(p unrelated (a ^x 2 ^y 2) --> (halt))
+)");
+    ASSERT_TRUE(hasIdOn(r, "L304", "specific")) << dumpText(r);
+    EXPECT_FALSE(hasIdOn(r, "L304", "unrelated"));
+    EXPECT_FALSE(hasIdOn(r, "L304", "general"));
+}
+
+// --- join-cost pass (L401-L402) -------------------------------------
+
+TEST(LintJoinCost, CrossProductJoin)
+{
+    LintResult r = lintSource(R"((literalize u id)
+(literalize v id)
+(p cross (u ^id <a>) (v ^id <b>) --> (write <a> <b>))
+(p joined (u ^id <a>) (v ^id <a>) --> (write <a>))
+(make u ^id 1)
+(make u ^id 2)
+(make u ^id 3)
+(make v ^id 1)
+(make v ^id 2)
+(make v ^id 3)
+)");
+    EXPECT_TRUE(hasIdOn(r, "L401", "cross")) << dumpText(r);
+    EXPECT_FALSE(hasIdOn(r, "L401", "joined"))
+        << "a shared variable makes it a real join, not a product";
+}
+
+TEST(LintJoinCost, ReorderSuggestionPutsSelectiveConditionFirst)
+{
+    // 12 big elements against 1 small one: starting from `small`
+    // shrinks every later join, so the greedy plan beats the source
+    // order by more than the 2x reporting threshold.
+    LintResult r = lintSource(R"((literalize big id)
+(literalize small id)
+(p slow (big ^id <i>) (small ^id <i>) --> (write <i>))
+(make small ^id 1)
+(make big ^id 1)
+(make big ^id 2)
+(make big ^id 3)
+(make big ^id 4)
+(make big ^id 5)
+(make big ^id 6)
+(make big ^id 7)
+(make big ^id 8)
+(make big ^id 9)
+(make big ^id 10)
+(make big ^id 11)
+(make big ^id 12)
+)");
+    ASSERT_TRUE(hasIdOn(r, "L402", "slow")) << dumpText(r);
+    EXPECT_NE(withId(r, "L402").front()->message.find("order 2 1"),
+              std::string::npos)
+        << withId(r, "L402").front()->message;
+}
+
+// --- interference pass (L501 + graph shape) -------------------------
+
+TEST(LintInterference, GraphEdgesFollowAbstractEffects)
+{
+    LintResult r = lintSource(R"((literalize ctl go)
+(literalize item status)
+(p writer (ctl ^go yes) --> (make item ^status open))
+(p reader (item ^status open) --> (halt))
+(p misser (item ^status closed) --> (halt))
+(make ctl ^go yes)
+)");
+    const analysis::InterferenceGraph &g = r.interference;
+    ASSERT_EQ(g.names.size(), 3u);
+    // writer=0, reader=1, misser=2 in declaration order.
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(0, 2))
+        << "the constant assign ^status open provably fails the "
+           "^status closed test, so the edge must be pruned";
+    EXPECT_FALSE(g.hasEdge(1, 0)) << "halt has no WM effects";
+    // writer and reader interfere; misser is its own component.
+    std::vector<int> comp = g.components();
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(LintInterference, SelfActivationNeedsAnInsertOrUnblockedNegation)
+{
+    LintResult r = lintSource(R"((literalize cnt n)
+(literalize item status)
+(p loop (cnt ^n <n>) --> (modify 1 ^n (compute <n> + 1)))
+(p consume (item ^status open) --> (remove 1))
+(make cnt ^n 1)
+(make item ^status open)
+)");
+    // `loop` re-inserts a cnt element with a statically unknown ^n,
+    // which its own positive CE can match again.
+    EXPECT_TRUE(hasIdOn(r, "L501", "loop")) << dumpText(r);
+    // `consume` only retracts: the retraction hits its own alpha
+    // memory (so the graph self-edge exists) but can only deactivate.
+    EXPECT_TRUE(r.interference.hasEdge(1, 1));
+    EXPECT_FALSE(hasIdOn(r, "L501", "consume")) << dumpText(r);
+}
+
+TEST(LintInterference, RemoveCanReactivateThroughANegation)
+{
+    LintResult r = lintSource(R"((literalize gate open)
+(literalize job id)
+(p run (job ^id <i>) -(gate ^open no) --> (remove 1))
+(p clear (gate ^open no) --> (remove 1))
+(make gate ^open no)
+(make job ^id 1)
+)");
+    // Removing the blocking gate element can newly satisfy `run`'s
+    // negation — that is a re-activation edge even without inserts.
+    EXPECT_TRUE(hasIdOn(r, "L501", "clear") ||
+                r.interference.hasEdge(1, 0))
+        << dumpText(r);
+    EXPECT_TRUE(r.interference.hasEdge(1, 0))
+        << "clear's retraction must reach run's negated condition";
+}
+
+// --- gating and the serving layer -----------------------------------
+
+TEST(LintGate, WarningsGateOnlyUnderWerror)
+{
+    LintResult warn = lintSource(R"((literalize ghost id)
+(p orphan (ghost ^id 1) --> (halt))
+)");
+    ASSERT_GT(warn.count(Severity::Warning), 0u);
+    EXPECT_EQ(warn.count(Severity::Error), 0u);
+    EXPECT_FALSE(warn.gate(false));
+    EXPECT_TRUE(warn.gate(true));
+
+    LintResult clean = lintSource(R"((literalize a x)
+(p ok (a ^x <v>) --> (write <v>))
+(make a ^x 1)
+)");
+    EXPECT_EQ(clean.diagnostics.size(), 0u) << dumpText(clean);
+    EXPECT_FALSE(clean.gate(true));
+}
+
+TEST(LintServe, PoolRejectsErrorSeverityPrograms)
+{
+    auto broken = ops5::parseProgram(R"((literalize a x)
+(p never (a ^x { 1 2 }) --> (halt))
+)");
+    serve::PoolOptions opts;
+    opts.lint = true;
+    opts.autostart = false;
+    EXPECT_THROW(serve::SessionPool(broken.program, opts),
+                 std::invalid_argument);
+
+    // Warning-severity findings must not reject: served programs get
+    // their working memory from outside the program text.
+    auto warn = ops5::parseProgram(R"((literalize ghost id)
+(p orphan (ghost ^id 1) --> (halt))
+)");
+    EXPECT_NO_THROW(serve::SessionPool(warn.program, opts));
+
+    // Without the flag even broken programs load (status quo).
+    opts.lint = false;
+    EXPECT_NO_THROW(serve::SessionPool(broken.program, opts));
+}
+
+// --- shipped example programs ---------------------------------------
+
+TEST(LintExamples, ShippedProgramsLintClean)
+{
+    for (const char *file : kShippedPrograms) {
+        LintResult r = lintSource(readProgramFile(file));
+        EXPECT_EQ(r.count(Severity::Error), 0u)
+            << file << ":\n"
+            << dumpText(r);
+        EXPECT_EQ(r.count(Severity::Warning), 0u)
+            << file << ":\n"
+            << dumpText(r);
+        EXPECT_FALSE(r.gate(true)) << file;
+    }
+}
+
+// --- static >= dynamic interference cross-check ---------------------
+//
+// The paper's production-parallel decomposition is only sound if the
+// static interference graph covers every dynamic affect: whenever
+// rule A fires and the resulting WM changes touch state owned by rule
+// B, the graph must contain edge A -> B. The telemetry layer records
+// exactly those dynamic touches (per-production node attribution with
+// a private-state network), so we run every shipped program to
+// quiescence and check containment at every firing.
+
+#if PSM_TELEMETRY
+#define REQUIRE_TELEMETRY() (void)0
+#else
+#define REQUIRE_TELEMETRY() \
+    GTEST_SKIP() << "PSM_TELEMETRY=OFF: recording compiled out"
+#endif
+
+TEST(LintInterference, StaticGraphCoversDynamicAffectSets)
+{
+    REQUIRE_TELEMETRY();
+    for (const char *file : kShippedPrograms) {
+        auto parsed = ops5::parseProgram(readProgramFile(file));
+        auto program = parsed.program;
+
+        analysis::InterferenceGraph graph =
+            analysis::buildInterferenceGraph(*program);
+        std::vector<std::vector<int>> succ = graph.successors();
+
+        // Private state: no sharing, so every stateful node belongs
+        // to exactly one production and attribution is exact.
+        auto network = std::make_shared<rete::Network>(
+            program, rete::NetworkOptions::privateState());
+        rete::ReteMatcher matcher(network);
+        telemetry::Registry *reg = matcher.enableTelemetry();
+        ASSERT_NE(reg, nullptr);
+
+        core::Engine engine(program, matcher,
+                            parsed.strategy == ops5::StrategyKind::Mea
+                                ? ops5::Strategy::Mea
+                                : ops5::Strategy::Lex);
+        std::ostringstream sink;
+        engine.setOutput(&sink);
+
+        std::vector<int> fired;
+        engine.setFiringObserver(
+            [&](const ops5::Instantiation &inst,
+                const ops5::FiringResult &) {
+                fired.push_back(inst.production->id());
+            });
+
+        engine.loadInitialWorkingMemory();
+        std::size_t steps = 0;
+        for (; steps < 1000; ++steps) {
+            std::uint64_t mark = reg->epochMark();
+            fired.clear();
+            if (!engine.step())
+                break;
+            ASSERT_FALSE(fired.empty()) << file;
+            for (int affected : reg->affectedSince(mark)) {
+                bool covered = false;
+                for (int f : fired) {
+                    if (std::binary_search(succ[f].begin(),
+                                           succ[f].end(), affected)) {
+                        covered = true;
+                        break;
+                    }
+                }
+                EXPECT_TRUE(covered)
+                    << file << ": firing '" << graph.names[fired[0]]
+                    << "' dynamically affected '"
+                    << graph.names[affected]
+                    << "' but the static graph has no such edge";
+            }
+        }
+        EXPECT_GT(steps, 0u) << file << " never fired";
+    }
+}
