@@ -28,6 +28,17 @@
  *                          (see the ops5_lint tool for the full
  *                          reporting surface)
  *
+ * Observability (see docs/ARCHITECTURE.md §12):
+ *     --stats-port N       serve GET /metrics and GET /stats.json on
+ *                          127.0.0.1:N while the run executes (0
+ *                          picks an ephemeral port; needs a telemetry
+ *                          matcher, i.e. rete or parallel)
+ *     --metrics-interval S dump a one-line JSON metrics summary to
+ *                          stderr every S seconds (rete/parallel)
+ *     --flight-recorder F  record engine-cycle and durability events;
+ *                          dump them to F on a crash signal,
+ *                          periodically, and at clean exit
+ *
  * Durability (see docs/ARCHITECTURE.md §10):
  *     --snapshot-dir DIR   persist a WAL + snapshots under DIR; a
  *                          final snapshot is cut when the run ends
@@ -44,10 +55,14 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "analysis/lint.hpp"
 #include "cli_util.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/hub.hpp"
+#include "obs/stats_server.hpp"
 #include "core/engine.hpp"
 #include "durable/durable.hpp"
 #include "core/parallel_matcher.hpp"
@@ -77,7 +92,9 @@ usage(const char *argv0)
                  "       [--snapshot-dir DIR] [--wal none|batch|always] "
                  "[--restore]\n"
                  "       [--checkpoint-every N] [--checkpoint-ms N] "
-                 "[--lint]\n";
+                 "[--lint]\n"
+                 "       [--stats-port N] [--metrics-interval SEC] "
+                 "[--flight-recorder FILE]\n";
     return 1;
 }
 
@@ -97,6 +114,10 @@ main(int argc, char **argv)
     psm::core::SchedulerKind scheduler =
         psm::core::SchedulerKind::Central;
     bool stats = false, quiet = false, validate = false, lint = false;
+    bool stats_port_set = false;
+    std::uint64_t stats_port = 0;
+    std::uint64_t metrics_interval_s = 0;
+    std::string flight_path;
     psm::cli::DurableFlags durable_flags;
 
     psm::cli::ArgReader args(argc, argv, 2);
@@ -146,6 +167,19 @@ main(int argc, char **argv)
             quiet = true;
         } else if (args.is("--lint")) {
             lint = true;
+        } else if (args.is("--stats-port")) {
+            if (!args.valueUint(stats_port) || stats_port > 65535)
+                return usage(argv[0]);
+            stats_port_set = true;
+        } else if (args.is("--metrics-interval")) {
+            if (!args.valueUint(metrics_interval_s) ||
+                metrics_interval_s == 0)
+                return usage(argv[0]);
+        } else if (args.is("--flight-recorder")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            flight_path = v;
         } else {
             return usage(argv[0]);
         }
@@ -227,11 +261,15 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
         psm::telemetry::Registry *metrics = nullptr;
-        if (!metrics_path.empty()) {
+        const bool want_live_metrics =
+            stats_port_set || metrics_interval_s > 0;
+        if (!metrics_path.empty() || want_live_metrics) {
             metrics = matcher->enableTelemetry();
             if (!metrics) {
-                std::cerr << "error: --metrics is only supported by "
-                             "--matcher rete or parallel (got --matcher "
+                std::cerr << "error: --metrics, --stats-port and "
+                             "--metrics-interval are only supported "
+                             "by --matcher rete or parallel (got "
+                             "--matcher "
                           << matcher_name << ")\n";
                 return 1;
             }
@@ -250,9 +288,21 @@ main(int argc, char **argv)
         if (!quiet)
             engine.setOutput(&std::cout);
 
+        const bool flight_on = !flight_path.empty();
+        if (flight_on)
+            psm::obs::FlightRecorder::instance().installCrashDump(
+                flight_path.c_str());
+
         std::uint64_t validated = 0;
-        if (validate) {
+        std::uint64_t fixpoints = 0;
+        if (validate || flight_on) {
             engine.setCycleCheck([&] {
+                if (flight_on)
+                    psm::obs::flightRecord(
+                        psm::obs::FlightEvent::EngineCycle, 0,
+                        fixpoints++);
+                if (!validate)
+                    return;
                 psm::rete::ValidationResult r =
                     psm::rete::validateMatcherState(
                         *net, engine.workingMemory().liveElements(),
@@ -289,10 +339,49 @@ main(int argc, char **argv)
         } else {
             engine.loadInitialWorkingMemory();
         }
+        std::unique_ptr<psm::obs::MetricsHub> hub;
+        std::unique_ptr<psm::obs::StatsServer> stats_server;
+        if (metrics && (want_live_metrics || flight_on)) {
+            psm::obs::HubOptions hopts;
+            if (metrics_interval_s > 0) {
+                hopts.dump_to = &std::cerr;
+                hopts.dump_every_ticks = metrics_interval_s;
+            }
+            hopts.flight_path = flight_path;
+            hub = std::make_unique<psm::obs::MetricsHub>(*metrics,
+                                                         hopts);
+            hub->start();
+            if (stats_port_set) {
+                psm::obs::StatsServerOptions sopts;
+                sopts.port = static_cast<std::uint16_t>(stats_port);
+                stats_server = std::make_unique<psm::obs::StatsServer>(
+                    *hub, sopts);
+                if (stats_server->start()) {
+                    std::cout << "stats server: http://127.0.0.1:"
+                              << stats_server->port()
+                              << "  (/metrics, /stats.json)\n"
+                              << std::flush;
+                } else {
+                    std::cerr << "warning: stats server: "
+                              << stats_server->error() << "\n";
+                    stats_server.reset();
+                }
+            }
+        }
+
         psm::core::RunResult result = engine.run(max_cycles);
         if (durable) {
             durable->sync();
             durable->checkpoint();
+        }
+        stats_server.reset();
+        hub.reset();
+        if (flight_on) {
+            psm::obs::flightRecord(
+                psm::obs::FlightEvent::CleanShutdown);
+            psm::obs::FlightRecorder::instance().dumpToFile(
+                flight_path.c_str(), "clean_shutdown");
+            std::cout << "flight recorder: " << flight_path << "\n";
         }
 
         std::cout << "---\n"

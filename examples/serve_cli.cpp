@@ -37,6 +37,18 @@
  *                          if the static analyzer (src/analysis)
  *                          finds error-severity defects
  *
+ * Observability (docs/ARCHITECTURE.md §12):
+ *     --stats-port N       serve GET /metrics (Prometheus text),
+ *                          GET /stats.json and GET /healthz on
+ *                          127.0.0.1:N while the load runs (0 picks
+ *                          an ephemeral port, printed at startup)
+ *     --metrics-interval S dump a one-line JSON metrics summary to
+ *                          stderr every S seconds during the run
+ *     --flight-recorder F  record serve/durable events in the crash
+ *                          flight recorder; dump them to F on
+ *                          SIGSEGV/SIGABRT, periodically (survives
+ *                          SIGKILL), and at clean shutdown
+ *
  * Durability (per-session state under DIR/session-<id>; see
  * docs/ARCHITECTURE.md §10):
  *     --snapshot-dir DIR   enable the WAL + drain-time checkpoints
@@ -55,9 +67,11 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -65,6 +79,9 @@
 #include "bench_util.hpp"
 #include "cli_util.hpp"
 #include "durable/durable.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/hub.hpp"
+#include "obs/stats_server.hpp"
 #include "ops5/parser.hpp"
 #include "rete/matcher.hpp"
 #include "serve/serve.hpp"
@@ -90,7 +107,9 @@ usage(const char *argv0)
            "       [--snapshot-dir DIR] [--wal none|batch|always] "
            "[--restore]\n"
            "       [--checkpoint-every N] [--checkpoint-ms N] "
-           "[--recover-check] [--lint]\n";
+           "[--recover-check] [--lint]\n"
+           "       [--stats-port N] [--metrics-interval SEC] "
+           "[--flight-recorder FILE]\n";
     return 2;
 }
 
@@ -245,6 +264,10 @@ main(int argc, char **argv)
     std::uint64_t deadline_us = 0;
     psm::cli::DurableFlags durable_flags;
     bool recover_check = false;
+    bool stats_port_set = false;
+    std::uint64_t stats_port = 0;
+    std::uint64_t metrics_interval_s = 0;
+    std::string flight_path;
 
     int first = 1;
     if (argc > 1 && argv[1][0] != '-') {
@@ -328,6 +351,19 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             metrics_path = v;
+        } else if (args.is("--stats-port")) {
+            if (!args.valueUint(stats_port) || stats_port > 65535)
+                return usage(argv[0]);
+            stats_port_set = true;
+        } else if (args.is("--metrics-interval")) {
+            if (!args.valueUint(metrics_interval_s) ||
+                metrics_interval_s == 0)
+                return usage(argv[0]);
+        } else if (args.is("--flight-recorder")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            flight_path = v;
         } else {
             return usage(argv[0]);
         }
@@ -365,10 +401,66 @@ main(int argc, char **argv)
             !recoverCheck(program, cfg.durability.dir, cfg.sessions))
             return 1;
 
+        // Observability plane: the crash flight recorder is armed
+        // before the pool exists (recovery already records events);
+        // the hub + stats server attach to the pool's registry in
+        // on_start and detach in inspect, while the pool is alive.
+        if (!flight_path.empty())
+            psm::obs::FlightRecorder::instance().installCrashDump(
+                flight_path.c_str());
+        std::unique_ptr<psm::obs::MetricsHub> hub;
+        std::unique_ptr<psm::obs::StatsServer> stats_server;
+        const bool want_hub = stats_port_set ||
+                              metrics_interval_s > 0 ||
+                              !flight_path.empty();
+
+        auto on_start = [&](psm::serve::SessionPool &pool) {
+            if (!want_hub)
+                return;
+            psm::obs::HubOptions hopts;
+            if (metrics_interval_s > 0) {
+                hopts.dump_to = &std::cerr;
+                hopts.dump_every_ticks = metrics_interval_s;
+            }
+            hopts.flight_path = flight_path;
+            hub = std::make_unique<psm::obs::MetricsHub>(
+                pool.metrics(), hopts);
+            hub->setExtraJson([&pool] {
+                std::ostringstream os;
+                pool.writeSessionStatsJson(os);
+                return os.str();
+            });
+            hub->setExtraExposition([&pool](std::ostream &os) {
+                pool.writeSessionExposition(os, "psm");
+            });
+            hub->start();
+            if (stats_port_set) {
+                psm::obs::StatsServerOptions sopts;
+                sopts.port = static_cast<std::uint16_t>(stats_port);
+                stats_server = std::make_unique<psm::obs::StatsServer>(
+                    *hub, sopts);
+                if (stats_server->start()) {
+                    std::printf("stats server:    http://127.0.0.1:%u"
+                                "  (/metrics, /stats.json)\n",
+                                stats_server->port());
+                    std::fflush(stdout);
+                } else {
+                    std::cerr << "warning: stats server: "
+                              << stats_server->error() << "\n";
+                    stats_server.reset();
+                }
+            }
+        };
+
         std::size_t recovered_sessions = 0;
         std::uint64_t wal_replayed = 0;
         psm::serve::LoadResult r = psm::serve::runLoad(
-            program, cfg, [&](psm::serve::SessionPool &pool) {
+            program, cfg,
+            [&](psm::serve::SessionPool &pool) {
+                // Last scrapeable moment: drain is done, pool still
+                // alive. Stop the server before the hub it reads.
+                stats_server.reset();
+                hub.reset();
                 for (std::size_t i = 0; i < pool.sessionCount(); ++i) {
                     const auto &rs = pool.recoveryStats(i);
                     if (rs.recovered)
@@ -382,7 +474,16 @@ main(int argc, char **argv)
                     throw std::runtime_error("cannot write " +
                                              metrics_path);
                 pool.metrics().writeJson(out);
-            });
+            },
+            on_start);
+
+        if (!flight_path.empty()) {
+            psm::obs::flightRecord(
+                psm::obs::FlightEvent::CleanShutdown);
+            psm::obs::FlightRecorder::instance().dumpToFile(
+                flight_path.c_str(), "clean_shutdown");
+            std::printf("flight recorder: %s\n", flight_path.c_str());
+        }
 
         std::printf("workload:        %s\n", workload_name.c_str());
         std::printf("matcher:         %s\n",

@@ -24,6 +24,17 @@ Two modes:
         snapshots_written, and recovery_ms.count must equal
         recoveries.
 
+    check_bench_json.py --exposition scrape1.txt [scrape2.txt ...]
+        Each file must be Prometheus text exposition (what the stats
+        server's GET /metrics returns): metric names restricted to
+        [a-zA-Z_:][a-zA-Z0-9_:]*, every sample preceded by # HELP and
+        # TYPE lines for its family, counter families named *_total,
+        and sample values that parse as floats. When several files
+        are given they are treated as consecutive scrapes of the same
+        process: every counter sample present in adjacent scrapes
+        must be non-decreasing (a shrinking counter means the
+        snapshot/delta layer double-counted or a writer reset state).
+
 With --require-rows SUBSTR[,SUBSTR...] (bench mode only), every
 listed substring must appear in at least one row's "name" in each
 file — used by CI to prove every scheduler backend produced a row.
@@ -166,9 +177,109 @@ def check_durable_block(path, doc):
                        f"{counter}={want} but {histogram}.count={got}")
 
 
+NAME_FIRST = set("abcdefghijklmnopqrstuvwxyz"
+                 "ABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+NAME_REST = NAME_FIRST | set("0123456789")
+EXPOSITION_TYPES = {"counter", "gauge", "summary", "histogram",
+                    "untyped"}
+
+
+def valid_metric_name(name):
+    return (name and name[0] in NAME_FIRST
+            and all(c in NAME_REST for c in name))
+
+
+def split_sample(line):
+    """'name{labels} value' -> (name, labels-or-'', value-text)."""
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            return None
+        return (line[:brace], line[brace:close + 1],
+                line[close + 1:].strip())
+    parts = line.split(None, 1)
+    if len(parts) != 2:
+        return None
+    return parts[0], "", parts[1].strip()
+
+
+def check_exposition(path, text):
+    """Validates one scrape; returns {(name, labels): value} for
+    every sample belonging to a counter family."""
+    helped, typed = set(), {}
+    counters = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(None, 1)
+            if not parts or not valid_metric_name(parts[0]):
+                fail(path, f"{where}: malformed HELP line: {line!r}")
+            helped.add(parts[0])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2 or not valid_metric_name(parts[0]):
+                fail(path, f"{where}: malformed TYPE line: {line!r}")
+            if parts[1] not in EXPOSITION_TYPES:
+                fail(path, f"{where}: unknown metric type "
+                           f"{parts[1]!r}")
+            if parts[1] == "counter" and \
+                    not parts[0].endswith("_total"):
+                fail(path, f"{where}: counter {parts[0]!r} must be "
+                           f"named *_total")
+            typed[parts[0]] = parts[1]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        sample = split_sample(line)
+        if sample is None:
+            fail(path, f"{where}: unparseable sample: {line!r}")
+        name, labels, value_text = sample
+        if not valid_metric_name(name):
+            fail(path, f"{where}: invalid metric name {name!r}")
+        if labels and (not labels.endswith("}") or "=\"" not in labels):
+            fail(path, f"{where}: malformed labels {labels!r}")
+        try:
+            value = float(value_text)
+        except ValueError:
+            fail(path, f"{where}: non-numeric value {value_text!r} "
+                       f"for {name!r}")
+        # A summary's quantile/_sum/_count samples belong to the base
+        # family; everything else must carry its own TYPE.
+        family = name
+        for suffix in ("_sum", "_count"):
+            if family not in typed and family.endswith(suffix):
+                family = family[:-len(suffix)]
+        if family not in typed:
+            fail(path, f"{where}: sample {name!r} has no # TYPE")
+        if family not in helped:
+            fail(path, f"{where}: sample {name!r} has no # HELP")
+        if typed[family] == "counter":
+            counters[(name, labels)] = value
+        samples += 1
+    if samples == 0:
+        fail(path, "no samples found")
+    print(f"{path}: ok (exposition, {samples} samples, "
+          f"{len(typed)} families, {len(counters)} counter series)")
+    return counters
+
+
+def check_monotonic(prev_path, prev, path, cur):
+    for key, value in cur.items():
+        if key in prev and value < prev[key]:
+            name, labels = key
+            fail(path, f"counter {name}{labels} went backwards: "
+                       f"{prev[key]:g} ({prev_path}) -> {value:g}")
+
+
 def main(argv):
     chrome = False
     telemetry = False
+    exposition = False
     require_rows = []
     paths = []
     args = argv[1:]
@@ -178,6 +289,8 @@ def main(argv):
             chrome = True
         elif arg == "--telemetry":
             telemetry = True
+        elif arg == "--exposition":
+            exposition = True
         elif arg == "--require-rows":
             if not args:
                 fail("usage", "--require-rows needs a comma-separated "
@@ -186,12 +299,27 @@ def main(argv):
         else:
             paths.append(arg)
     if not paths:
-        fail("usage", "check_bench_json.py [--chrome | --telemetry] "
-                      "[--require-rows A,B,...] <file.json> ...")
-    if chrome and telemetry:
-        fail("usage", "--chrome and --telemetry are mutually exclusive")
-    if (chrome or telemetry) and require_rows:
+        fail("usage", "check_bench_json.py [--chrome | --telemetry | "
+                      "--exposition] [--require-rows A,B,...] "
+                      "<file> ...")
+    if sum((chrome, telemetry, exposition)) > 1:
+        fail("usage", "--chrome, --telemetry, and --exposition are "
+                      "mutually exclusive")
+    if (chrome or telemetry or exposition) and require_rows:
         fail("usage", "--require-rows only applies to bench mode")
+    if exposition:
+        prev_path, prev = None, None
+        for path in paths:
+            try:
+                with open(path) as f:
+                    text = f.read()
+            except OSError as e:
+                fail(path, str(e))
+            counters = check_exposition(path, text)
+            if prev is not None:
+                check_monotonic(prev_path, prev, path, counters)
+            prev_path, prev = path, counters
+        return
     for path in paths:
         try:
             with open(path) as f:

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench-results JSON against a committed baseline.
+
+    check_bench_regress.py --baseline bench/baselines/BENCH_serve.json \
+        serve-results/bench_serve.json [--tolerance 1.5]
+
+Both files must follow the bench-results schema that
+check_bench_json.py validates ({"bench", "config", "rows", "metrics"}).
+The check is deliberately coarse — CI runners are shared, slower, and
+differently shaped than the machine that recorded the baseline — so it
+exists to catch *egregious* regressions (an accidental O(n^2), a lock
+on the hot path, a dropped fast path), not single-digit percentages:
+
+  - Coverage: every baseline row name must still exist. A vanished row
+    means a configuration silently stopped being measured, which is
+    how real regressions hide.
+  - Lower-is-better metrics (``*_us``, ``*_ms``, ``*_ns``): fail when
+    current > baseline * (1 + tolerance).
+  - Higher-is-better metrics (``*_per_sec``, ``*speedup*``): fail
+    when current < baseline / (1 + tolerance).
+  - Everything else is ignored. Counts and iteration totals scale
+    with --batches (which CI reduces); raw ``*_time_sec`` wall times
+    shift with --benchmark_min_time (fewer iterations amortize
+    worker-pool spin-up less), so only normalized rates and latency
+    quantiles are compared.
+
+Tolerance is a fraction: the default 1.5 allows current to be up to
+2.5x worse than baseline before failing. Tiny baseline values (under
+--min-useful, default 5 microseconds / 5e-6 seconds) are skipped
+entirely — at that scale the comparison measures the allocator and
+the scheduler, not the code under test.
+
+Exits non-zero after printing every violation (not just the first),
+so one CI run shows the whole blast radius.
+"""
+
+import json
+import sys
+
+LOWER_SUFFIXES = ("_us", "_ms", "_ns")
+LOWER_CONTAINS = ()
+HIGHER_SUFFIXES = ("_per_sec",)
+HIGHER_CONTAINS = ("speedup",)
+
+# Baseline values below these are noise-dominated; skip them.
+MIN_USEFUL = {"_us": 5.0, "_ms": 0.005, "_ns": 5000.0}
+
+
+def direction(name):
+    """'lower', 'higher', or None (not a performance metric)."""
+    if name.endswith(LOWER_SUFFIXES) or \
+            any(s in name for s in LOWER_CONTAINS):
+        return "lower"
+    if name.endswith(HIGHER_SUFFIXES) or \
+            any(s in name for s in HIGHER_CONTAINS):
+        return "higher"
+    return None
+
+
+def useful(name, value):
+    for suffix, floor in MIN_USEFUL.items():
+        if name.endswith(suffix) or suffix in name:
+            return value >= floor
+    return True
+
+
+def numeric(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def compare_fields(where, base, cur, tolerance, min_scale, problems):
+    for name, bval in base.items():
+        d = direction(name)
+        if d is None or not numeric(bval):
+            continue
+        if name not in cur or not numeric(cur[name]):
+            problems.append(f"{where}: metric {name!r} disappeared")
+            continue
+        cval = cur[name]
+        if bval <= 0 or not useful(name, bval * min_scale):
+            continue
+        if d == "lower" and cval > bval * (1.0 + tolerance):
+            problems.append(
+                f"{where}: {name} regressed {bval:g} -> {cval:g} "
+                f"({cval / bval:.2f}x, allowed {1.0 + tolerance:.2f}x)")
+        elif d == "higher" and cval < bval / (1.0 + tolerance):
+            problems.append(
+                f"{where}: {name} regressed {bval:g} -> {cval:g} "
+                f"({bval / cval:.2f}x slower, allowed "
+                f"{1.0 + tolerance:.2f}x)")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    for key in ("bench", "rows", "metrics"):
+        if key not in doc:
+            print(f"{path}: missing top-level key {key!r}",
+                  file=sys.stderr)
+            sys.exit(1)
+    return doc
+
+
+def main(argv):
+    baseline_path = None
+    tolerance = 1.5
+    min_scale = 1.0
+    paths = []
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--baseline":
+            baseline_path = args.pop(0) if args else None
+        elif arg == "--tolerance":
+            tolerance = float(args.pop(0))
+        elif arg == "--min-useful-scale":
+            min_scale = float(args.pop(0))
+        else:
+            paths.append(arg)
+    if baseline_path is None or len(paths) != 1:
+        print("usage: check_bench_regress.py --baseline BASE.json "
+              "CURRENT.json [--tolerance FRAC]", file=sys.stderr)
+        sys.exit(1)
+
+    base = load(baseline_path)
+    cur = load(paths[0])
+    problems = []
+    if base["bench"] != cur["bench"]:
+        problems.append(
+            f"bench name mismatch: baseline {base['bench']!r} vs "
+            f"current {cur['bench']!r}")
+
+    cur_rows = {r.get("name"): r for r in cur.get("rows", [])
+                if isinstance(r, dict)}
+    compared = 0
+    for brow in base.get("rows", []):
+        name = brow.get("name")
+        if name not in cur_rows:
+            problems.append(f"row {name!r} missing from current run")
+            continue
+        compare_fields(f"row {name!r}", brow, cur_rows[name],
+                       tolerance, min_scale, problems)
+        compared += 1
+    compare_fields("metrics", base.get("metrics", {}),
+                   cur.get("metrics", {}), tolerance, min_scale,
+                   problems)
+
+    if problems:
+        for p in problems:
+            print(f"{paths[0]}: {p}", file=sys.stderr)
+        print(f"{paths[0]}: {len(problems)} regression(s) vs "
+              f"{baseline_path}", file=sys.stderr)
+        sys.exit(1)
+    print(f"{paths[0]}: ok ({compared} rows within "
+          f"{1.0 + tolerance:.2f}x of {baseline_path})")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

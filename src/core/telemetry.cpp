@@ -111,6 +111,30 @@ HistogramData::percentile(double p) const
     return static_cast<double>(max);
 }
 
+HistogramData
+HistogramData::since(const HistogramData &earlier) const
+{
+    HistogramData out;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+        out.buckets[b] = buckets[b] - earlier.buckets[b];
+    out.count = count - earlier.count;
+    out.sum = sum - earlier.sum;
+    out.max = max; // cumulative upper bound; see header
+    return out;
+}
+
+RegistrySnapshot
+RegistrySnapshot::since(const RegistrySnapshot &earlier) const
+{
+    RegistrySnapshot out;
+    for (std::size_t c = 0; c < kCounterCount; ++c)
+        out.counters[c] = counters[c] - earlier.counters[c];
+    for (std::size_t h = 0; h < kHistogramCount; ++h)
+        out.histograms[h] = histograms[h].since(earlier.histograms[h]);
+    out.epochs = epochs - earlier.epochs;
+    return out;
+}
+
 Registry::Registry(std::size_t n_shards)
     : shards_(n_shards ? n_shards : 1)
 {}
@@ -248,6 +272,18 @@ Registry::merged(Histogram h) const
         out.max = std::max(out.max,
                            hist.max.load(std::memory_order_relaxed));
     }
+    return out;
+}
+
+RegistrySnapshot
+Registry::snapshot() const
+{
+    RegistrySnapshot out;
+    for (std::size_t c = 0; c < kCounterCount; ++c)
+        out.counters[c] = total(static_cast<Counter>(c));
+    for (std::size_t h = 0; h < kHistogramCount; ++h)
+        out.histograms[h] = merged(static_cast<Histogram>(h));
+    out.epochs = epochs_closed_;
     return out;
 }
 

@@ -141,6 +141,46 @@ struct HistogramData
     /** Lower bound of the bucket @p value falls into. */
     static std::uint64_t bucketFloor(std::size_t bucket);
     static std::size_t bucketOf(std::uint64_t value);
+
+    /**
+     * Bucket-wise difference against an @p earlier snapshot of the
+     * same cumulative histogram: the observations recorded between
+     * the two snapshots. `max` cannot be recovered from cumulative
+     * state, so the delta keeps the newer cumulative max — an upper
+     * bound the percentile clamp stays correct against.
+     */
+    HistogramData since(const HistogramData &earlier) const;
+};
+
+/**
+ * Point-in-time copy of every cross-shard total: the unit the
+ * observability plane (src/obs) diffs to turn cumulative counters
+ * into live rates and windowed percentiles. Plain data — capture one
+ * with Registry::snapshot(), subtract two with since().
+ */
+struct RegistrySnapshot
+{
+    std::array<std::uint64_t, kCounterCount> counters{};
+    std::array<HistogramData, kHistogramCount> histograms{};
+    std::uint64_t epochs = 0;
+
+    std::uint64_t
+    counter(Counter c) const
+    {
+        return counters[static_cast<std::size_t>(c)];
+    }
+
+    const HistogramData &
+    histogram(Histogram h) const
+    {
+        return histograms[static_cast<std::size_t>(h)];
+    }
+
+    /** Member-wise delta against an @p earlier snapshot: counter
+     *  differences and HistogramData::since per histogram. Counters
+     *  are monotonic, so every delta is well-defined (a reset()
+     *  between the two snapshots is the caller's bug). */
+    RegistrySnapshot since(const RegistrySnapshot &earlier) const;
 };
 
 /** Merged per-node totals. */
@@ -234,6 +274,10 @@ class Registry
 
     std::uint64_t total(Counter c) const;
     HistogramData merged(Histogram h) const;
+
+    /** Captures every counter and histogram total in one pass. Safe
+     *  concurrently with recording (best-effort, like total()). */
+    RegistrySnapshot snapshot() const;
 
     std::size_t nodeCount() const { return n_nodes_; }
     NodeTotals nodeTotals(int node_id) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/flight_recorder.hpp"
+
 namespace psm::durable {
 
 namespace fs = std::filesystem;
@@ -151,6 +153,11 @@ Manager::recover()
     }
 
     stats.recovery_ms = msSince(t0);
+    if (stats.recovered)
+        obs::flightRecord(
+            obs::FlightEvent::Recovery, 0,
+            stats.wal_records_replayed,
+            static_cast<std::uint64_t>(stats.recovery_ms));
     if (metrics_ && stats.recovered) {
         metrics_->count(0, telemetry::Counter::DurableRecoveries);
         metrics_->observe(
@@ -230,6 +237,8 @@ Manager::onBatch(const core::BatchCommit &commit)
 
     std::uint64_t bytes_before = wal_->payloadBytes();
     wal_->append(record);
+    obs::flightRecord(obs::FlightEvent::WalAppend, 0, record.seq,
+                      wal_->payloadBytes() - bytes_before);
     if (metrics_) {
         metrics_->count(0, telemetry::Counter::DurableWalRecords);
         metrics_->count(0, telemetry::Counter::DurableWalBytes,
@@ -282,6 +291,8 @@ Manager::checkpoint()
     ++snapshots_written_;
     batches_since_checkpoint_ = 0;
     last_checkpoint_ = std::chrono::steady_clock::now();
+    obs::flightRecord(obs::FlightEvent::Checkpoint, 0,
+                      snap.batch_seq, bytes.size());
     if (metrics_) {
         metrics_->count(0, telemetry::Counter::DurableSnapshots);
         metrics_->observe(0, telemetry::Histogram::DurableSnapshotBytes,
@@ -294,8 +305,10 @@ Manager::checkpoint()
 void
 Manager::sync()
 {
-    if (wal_)
+    if (wal_) {
         wal_->sync();
+        obs::flightRecord(obs::FlightEvent::WalSync);
+    }
 }
 
 } // namespace psm::durable

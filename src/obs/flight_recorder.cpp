@@ -1,0 +1,306 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace psm::obs {
+
+const char *
+flightEventName(FlightEvent e)
+{
+    switch (e) {
+      case FlightEvent::AdmissionAdmit: return "admission_admit";
+      case FlightEvent::AdmissionReject: return "admission_reject";
+      case FlightEvent::BatchCommit: return "batch_commit";
+      case FlightEvent::RunStart: return "run_start";
+      case FlightEvent::RunEnd: return "run_end";
+      case FlightEvent::EngineCycle: return "engine_cycle";
+      case FlightEvent::WalAppend: return "wal_append";
+      case FlightEvent::WalSync: return "wal_sync";
+      case FlightEvent::Checkpoint: return "checkpoint";
+      case FlightEvent::Recovery: return "recovery";
+      case FlightEvent::Drain: return "drain";
+      case FlightEvent::CleanShutdown: return "clean_shutdown";
+      case FlightEvent::kCount: break;
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::uint64_t
+monotonicNanos()
+{
+    // clock_gettime is async-signal-safe (POSIX.1-2008).
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// ---- async-signal-safe output helpers --------------------------------
+
+void
+fdWrite(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return; // disk full / bad fd: nothing safe left to do
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+fdStr(int fd, const char *s)
+{
+    fdWrite(fd, s, std::strlen(s));
+}
+
+void
+fdU64(int fd, std::uint64_t v)
+{
+    char buf[24];
+    char *p = buf + sizeof buf;
+    *--p = '\0';
+    do {
+        *--p = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    fdStr(fd, p);
+}
+
+// ---- crash-dump handler ----------------------------------------------
+
+// Set once by installCrashDump; read by the handler. The path is a
+// fixed buffer because a signal handler cannot touch std::string.
+char g_dump_path[1024];
+std::atomic<bool> g_dump_installed{false};
+std::atomic<bool> g_dump_running{false};
+
+void
+crashHandler(int sig)
+{
+    // One dump per process: a fault inside the dump (or a second
+    // faulting thread) must not recurse.
+    if (!g_dump_running.exchange(true))
+    {
+        char reason[32];
+        std::memcpy(reason, "signal:", 7);
+        char *p = reason + 7;
+        if (sig >= 100)
+            *p++ = static_cast<char>('0' + sig / 100 % 10);
+        if (sig >= 10)
+            *p++ = static_cast<char>('0' + sig / 10 % 10);
+        *p++ = static_cast<char>('0' + sig % 10);
+        *p = '\0';
+        FlightRecorder::instance().dumpToFile(g_dump_path, reason);
+    }
+    // SA_RESETHAND restored the default disposition on handler
+    // entry; re-raising now produces the normal fatal exit status.
+    ::raise(sig);
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    // Never destroyed: signal handlers and late hooks may fire during
+    // static destruction, so the ring must outlive everything.
+    static FlightRecorder *recorder = new FlightRecorder();
+    return *recorder;
+}
+
+void
+FlightRecorder::enable(std::size_t capacity)
+{
+    if (enabled())
+        return;
+    std::size_t cap = 64;
+    while (cap < capacity && cap < (std::size_t{1} << 30))
+        cap <<= 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    capacity_ = cap;
+    mask_ = cap - 1;
+    // Release: a thread that sees enabled_ == true must also see the
+    // ring pointers.
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+FlightRecorder::record(FlightEvent type, std::uint32_t session,
+                       std::uint64_t a, std::uint64_t b)
+{
+    if (!enabled_.load(std::memory_order_acquire))
+        return;
+    const std::uint64_t seq =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    Slot &s = slots_[seq & mask_];
+    // Claim the slot exclusively before touching its fields: when a
+    // writer laps a slower writer onto the same slot (seq and
+    // seq - capacity), interleaved field stores could otherwise
+    // publish a frankenrecord under a valid stamp. The claim also
+    // invalidates the old generation for concurrent readers. On a
+    // busy slot we drop this event rather than spin — record() must
+    // stay wait-free and callable from a signal handler.
+    std::uint64_t cur = s.stamp.load(std::memory_order_relaxed);
+    if (cur == kWriting ||
+        !s.stamp.compare_exchange_strong(cur, kWriting,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed))
+        return;
+    s.t_ns.store(monotonicNanos(), std::memory_order_relaxed);
+    s.type.store(static_cast<std::uint64_t>(type),
+                 std::memory_order_relaxed);
+    s.session.store(session, std::memory_order_relaxed);
+    s.a.store(a, std::memory_order_relaxed);
+    s.b.store(b, std::memory_order_relaxed);
+    // stamp = seq + 1 distinguishes "slot never written" (0) from
+    // event 0, and publishes the fields above.
+    s.stamp.store(seq + 1, std::memory_order_release);
+}
+
+std::size_t
+FlightRecorder::read(FlightRecord *out, std::size_t max) const
+{
+    if (!enabled())
+        return 0;
+    const std::uint64_t end = next_.load(std::memory_order_acquire);
+    const std::uint64_t begin =
+        end > capacity_ ? end - capacity_ : 0;
+    std::size_t n = 0;
+    for (std::uint64_t seq = begin; seq < end && n < max; ++seq) {
+        const Slot &s = slots_[seq & mask_];
+        if (s.stamp.load(std::memory_order_acquire) != seq + 1)
+            continue; // torn or already overwritten
+        FlightRecord r;
+        r.seq = seq;
+        r.t_ns = s.t_ns.load(std::memory_order_relaxed);
+        r.type = static_cast<FlightEvent>(
+            s.type.load(std::memory_order_relaxed));
+        r.session = static_cast<std::uint32_t>(
+            s.session.load(std::memory_order_relaxed));
+        r.a = s.a.load(std::memory_order_relaxed);
+        r.b = s.b.load(std::memory_order_relaxed);
+        // A writer may have claimed the slot while we copied; the
+        // re-check drops the torn copy.
+        if (s.stamp.load(std::memory_order_acquire) != seq + 1)
+            continue;
+        out[n++] = r;
+    }
+    return n;
+}
+
+void
+FlightRecorder::dumpTo(int fd, const char *reason) const
+{
+    const std::uint64_t end = next_.load(std::memory_order_acquire);
+    const std::uint64_t begin =
+        end > capacity_ ? end - capacity_ : 0;
+
+    fdStr(fd, "{\n  \"flight_recorder\": true,\n  \"reason\": \"");
+    fdStr(fd, reason);
+    fdStr(fd, "\",\n  \"capacity\": ");
+    fdU64(fd, capacity_);
+    fdStr(fd, ",\n  \"recorded\": ");
+    fdU64(fd, end);
+    fdStr(fd, ",\n  \"dropped\": ");
+    fdU64(fd, begin);
+    fdStr(fd, ",\n  \"events\": [");
+
+    bool first = true;
+    for (std::uint64_t seq = begin; seq < end; ++seq) {
+        const Slot &s = slots_[seq & mask_];
+        if (s.stamp.load(std::memory_order_acquire) != seq + 1)
+            continue;
+        const std::uint64_t t = s.t_ns.load(std::memory_order_relaxed);
+        const std::uint64_t ty = s.type.load(std::memory_order_relaxed);
+        const std::uint64_t se =
+            s.session.load(std::memory_order_relaxed);
+        const std::uint64_t a = s.a.load(std::memory_order_relaxed);
+        const std::uint64_t b = s.b.load(std::memory_order_relaxed);
+        if (s.stamp.load(std::memory_order_acquire) != seq + 1)
+            continue;
+        fdStr(fd, first ? "\n    " : ",\n    ");
+        first = false;
+        fdStr(fd, "{\"seq\": ");
+        fdU64(fd, seq);
+        fdStr(fd, ", \"t_ns\": ");
+        fdU64(fd, t);
+        fdStr(fd, ", \"type\": \"");
+        fdStr(fd, ty < static_cast<std::uint64_t>(FlightEvent::kCount)
+                      ? flightEventName(static_cast<FlightEvent>(ty))
+                      : "unknown");
+        fdStr(fd, "\", \"session\": ");
+        fdU64(fd, se);
+        fdStr(fd, ", \"a\": ");
+        fdU64(fd, a);
+        fdStr(fd, ", \"b\": ");
+        fdU64(fd, b);
+        fdStr(fd, "}");
+    }
+    fdStr(fd, "\n  ]\n}\n");
+}
+
+bool
+FlightRecorder::dumpToFile(const char *path, const char *reason) const
+{
+    if (!enabled())
+        return false;
+    // tmp-then-rename keeps the visible file parseable even when the
+    // process dies mid-dump (or a scraper reads concurrently). Both
+    // syscalls are async-signal-safe; the tmp name is path + ".tmp"
+    // composed without allocation.
+    char tmp[1024 + 8];
+    std::size_t len = std::strlen(path);
+    if (len == 0 || len >= 1024)
+        return false;
+    std::memcpy(tmp, path, len);
+    std::memcpy(tmp + len, ".tmp", 5);
+    int fd = ::open(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    dumpTo(fd, reason);
+    ::close(fd);
+    return ::rename(tmp, path) == 0;
+}
+
+void
+FlightRecorder::installCrashDump(const char *path,
+                                 std::size_t capacity)
+{
+    enable(capacity);
+    std::size_t len = std::strlen(path);
+    if (len >= sizeof g_dump_path)
+        len = sizeof g_dump_path - 1;
+    std::memcpy(g_dump_path, path, len);
+    g_dump_path[len] = '\0';
+    if (g_dump_installed.exchange(true))
+        return;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = crashHandler;
+    sigemptyset(&sa.sa_mask);
+    // RESETHAND: the re-raise in the handler takes the default fatal
+    // path. NODEFER is implied by RESETHAND on Linux for the same
+    // signal; other signals stay unblocked so a crash inside the
+    // handler still terminates.
+    sa.sa_flags = SA_RESETHAND;
+    ::sigaction(SIGSEGV, &sa, nullptr);
+    ::sigaction(SIGABRT, &sa, nullptr);
+    ::sigaction(SIGBUS, &sa, nullptr);
+    ::sigaction(SIGFPE, &sa, nullptr);
+}
+
+} // namespace psm::obs

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Crash flight recorder: a fixed-size lock-free ring of recent
+ * structured events, dumpable as JSON from a signal handler.
+ *
+ * The serving and durability hot paths record what they just decided
+ * (admission verdicts, batch commits, WAL appends, checkpoints,
+ * engine cycle marks) into a process-global ring. When the process
+ * dies on SIGSEGV/SIGABRT/SIGBUS/SIGFPE, the installed handler dumps
+ * the ring to `flight.json` — the last few thousand decisions leading
+ * up to the crash, the artifact the recovery story was missing
+ * (a WAL says *what* was committed; the flight recorder says what the
+ * process was *doing*). The hub (hub.hpp) additionally dumps the ring
+ * periodically, so even an uncatchable SIGKILL leaves a recent file.
+ *
+ * Design rules:
+ *  - record() is wait-free: one relaxed fetch_add for a sequence
+ *    number, one CAS to claim the slot (losing the claim — possible
+ *    only when a writer is lapped a full ring — drops the event
+ *    instead of spinning), relaxed stores of the fields, one release
+ *    store of the slot stamp. Disabled (the default) it is a single
+ *    relaxed load and a predicted-not-taken branch, so hooks can
+ *    stay compiled in.
+ *  - Readers never block writers. A dump walks the ring and uses the
+ *    per-slot stamp (sequence-validated, acquire/release) to skip
+ *    slots that were mid-overwrite — a torn slot is dropped, never
+ *    misreported.
+ *  - dumpTo(fd) is async-signal-safe: no allocation, no stdio, no
+ *    locks — hand-rolled integer formatting into stack buffers and
+ *    plain write(2). The crash handler composes open/dumpTo/rename.
+ *
+ * The recorder is a process singleton on purpose: signal handlers
+ * have no context argument, and one ring for the whole process is
+ * exactly what a post-mortem wants (events from every session and
+ * the durability layer interleaved on one timeline).
+ */
+
+#ifndef PSM_OBS_FLIGHT_RECORDER_HPP
+#define PSM_OBS_FLIGHT_RECORDER_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace psm::obs {
+
+/** What happened. Keep names in sync with flightEventName(). */
+enum class FlightEvent : std::uint16_t {
+    AdmissionAdmit,  ///< serve: request admitted (a=kind, b=depth)
+    AdmissionReject, ///< serve: request rejected (a=kind, b=reason)
+    BatchCommit,     ///< serve: ExternalBatch committed (a=size)
+    RunStart,        ///< serve: engine run begins (a=cycle budget)
+    RunEnd,          ///< serve: engine run ended (a=firings, b=stopped)
+    EngineCycle,     ///< engine match fixpoint reached (a=fixpoint #)
+    WalAppend,       ///< durable: batch logged (a=seq, b=bytes)
+    WalSync,         ///< durable: WAL fsync
+    Checkpoint,      ///< durable: snapshot cut (a=seq, b=bytes)
+    Recovery,        ///< durable: recover() done (a=wal records, b=ms)
+    Drain,           ///< serve: pool drain reached zero pending
+    CleanShutdown,   ///< process exiting normally
+    kCount,
+};
+
+const char *flightEventName(FlightEvent e);
+
+/** One recorded event, as a dump reads it back. */
+struct FlightRecord
+{
+    std::uint64_t seq = 0;  ///< global event ordinal (0-based)
+    std::uint64_t t_ns = 0; ///< CLOCK_MONOTONIC nanos at record time
+    FlightEvent type = FlightEvent::kCount;
+    std::uint32_t session = 0; ///< owning session id (0 if none)
+    std::uint64_t a = 0;       ///< event-specific payload
+    std::uint64_t b = 0;
+};
+
+class FlightRecorder
+{
+  public:
+    /** The process-wide recorder. Construction is cheap; the ring is
+     *  only allocated by enable(). */
+    static FlightRecorder &instance();
+
+    /**
+     * Allocates the ring (capacity rounded up to a power of two,
+     * min 64) and starts accepting events. Idempotent; a second call
+     * with a different capacity keeps the first ring. Not
+     * async-signal-safe (allocates) — call it at startup.
+     */
+    void enable(std::size_t capacity = 4096);
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Total events ever recorded (recorded - capacity have been
+     *  overwritten when that is positive). */
+    std::uint64_t
+    recorded() const
+    {
+        return next_.load(std::memory_order_relaxed);
+    }
+
+    /** Records one event. Wait-free; safe from any thread, including
+     *  a signal handler. No-op until enable(). */
+    void record(FlightEvent type, std::uint32_t session = 0,
+                std::uint64_t a = 0, std::uint64_t b = 0);
+
+    /**
+     * Writes the ring as one JSON object to @p fd, oldest surviving
+     * event first. Async-signal-safe. @p reason tags the dump
+     * ("clean_shutdown", "signal:11", "periodic"); pass a short
+     * literal, it is emitted verbatim inside a JSON string.
+     */
+    void dumpTo(int fd, const char *reason) const;
+
+    /**
+     * dumpTo() through a temp file + rename, so a reader (or a crash
+     * mid-dump) never sees a partial file. Async-signal-safe. Returns
+     * false when the file cannot be written.
+     */
+    bool dumpToFile(const char *path, const char *reason) const;
+
+    /**
+     * Installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that dump the
+     * ring to @p path and then re-raise with the default disposition
+     * (SA_RESETHAND), preserving the fatal exit status. @p path is
+     * copied into static storage (signal handlers get no arguments).
+     * Calls enable() if it has not run yet.
+     */
+    void installCrashDump(const char *path,
+                          std::size_t capacity = 4096);
+
+    /** Reads back up to @p max surviving events, oldest first,
+     *  skipping torn slots. Cold path (tests, reporters). */
+    std::size_t read(FlightRecord *out, std::size_t max) const;
+
+  private:
+    FlightRecorder() = default;
+
+    /** One ring slot. A writer claims the slot by CASing `stamp` to
+     *  kWriting (dropping the event if another writer holds it — only
+     *  possible when a writer gets lapped), fills the fields, then
+     *  publishes stamp = claim-ordinal + 1 with release ordering. A
+     *  reader that sees a different stamp after copying the fields
+     *  drops the slot. All-atomic so concurrent overwrite + read is
+     *  race-free (and TSan-clean), not just benign. */
+    static constexpr std::uint64_t kWriting = ~std::uint64_t{0};
+
+    struct Slot
+    {
+        std::atomic<std::uint64_t> stamp{0};
+        std::atomic<std::uint64_t> t_ns{0};
+        std::atomic<std::uint64_t> type{0};
+        std::atomic<std::uint64_t> session{0};
+        std::atomic<std::uint64_t> a{0};
+        std::atomic<std::uint64_t> b{0};
+    };
+
+    std::unique_ptr<Slot[]> slots_;
+    std::size_t capacity_ = 0; ///< power of two
+    std::size_t mask_ = 0;
+    std::atomic<std::uint64_t> next_{0};
+    std::atomic<bool> enabled_{false};
+};
+
+/** Convenience veneer the hook sites use: one call, no singleton
+ *  boilerplate at the call site. */
+inline void
+flightRecord(FlightEvent type, std::uint32_t session = 0,
+             std::uint64_t a = 0, std::uint64_t b = 0)
+{
+    FlightRecorder::instance().record(type, session, a, b);
+}
+
+} // namespace psm::obs
+
+#endif // PSM_OBS_FLIGHT_RECORDER_HPP

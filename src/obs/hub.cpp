@@ -1,0 +1,367 @@
+#include "obs/hub.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/flight_recorder.hpp"
+
+namespace psm::obs {
+
+namespace {
+
+using telemetry::Counter;
+using telemetry::Histogram;
+using telemetry::HistogramData;
+using telemetry::kCounterCount;
+using telemetry::kHistogramCount;
+
+/** Shortest round-trippable double, valid in JSON and exposition. */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+MetricsHub::MetricsHub(const telemetry::Registry &registry,
+                       HubOptions options)
+    : registry_(registry), options_(std::move(options)),
+      ring_(options_.ring_slots),
+      epoch_(std::chrono::steady_clock::now())
+{
+    if (options_.tick.count() <= 0)
+        options_.tick = std::chrono::milliseconds(1000);
+}
+
+MetricsHub::~MetricsHub() { stop(); }
+
+void
+MetricsHub::setExtraJson(std::function<std::string()> fn)
+{
+    std::lock_guard<std::mutex> lk(extra_mu_);
+    extra_json_ = std::move(fn);
+}
+
+void
+MetricsHub::setExtraExposition(std::function<void(std::ostream &)> fn)
+{
+    std::lock_guard<std::mutex> lk(extra_mu_);
+    extra_exposition_ = std::move(fn);
+}
+
+void
+MetricsHub::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (started_)
+        return;
+    started_ = true;
+    stop_ = false;
+    sampler_ = std::thread(&MetricsHub::samplerLoop, this);
+}
+
+void
+MetricsHub::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!started_)
+            return;
+        stop_ = true;
+        cv_.notify_all();
+    }
+    if (sampler_.joinable())
+        sampler_.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    started_ = false;
+}
+
+void
+MetricsHub::samplerLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            if (cv_.wait_for(lk, options_.tick,
+                             [this] { return stop_; }))
+                return;
+        }
+        tickOnce();
+    }
+}
+
+void
+MetricsHub::tickOnce()
+{
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t t_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - epoch_)
+            .count());
+    ring_.push(registry_.snapshot(), t_ms);
+
+    const std::uint64_t tick = ring_.pushed();
+    if (options_.dump_to && options_.dump_every_ticks > 0 &&
+        tick % options_.dump_every_ticks == 0) {
+        writeDumpLine(*options_.dump_to);
+        *options_.dump_to << std::endl; // line-buffered consumers
+    }
+    if (!options_.flight_path.empty() &&
+        FlightRecorder::instance().enabled())
+        FlightRecorder::instance().dumpToFile(
+            options_.flight_path.c_str(), "periodic");
+}
+
+WindowStats
+MetricsHub::window(std::size_t ticks) const
+{
+    WindowStats out;
+    WindowSample newest;
+    if (ticks == 0 || !ring_.back(0, newest))
+        return out;
+    // Walk back to the oldest still-reachable sample within the
+    // requested span: a young process reports the window it has.
+    WindowSample oldest;
+    std::size_t got = 0;
+    for (std::size_t k = ticks; k >= 1; --k) {
+        if (ring_.back(k, oldest)) {
+            got = k;
+            break;
+        }
+    }
+    if (got == 0)
+        return out;
+    out.valid = true;
+    out.ticks = got;
+    out.seconds =
+        static_cast<double>(newest.t_ms - oldest.t_ms) / 1000.0;
+    out.delta = newest.snap.since(oldest.snap);
+    return out;
+}
+
+namespace {
+
+/** Window label: seconds with 1 s ticks (the production shape),
+ *  ticks otherwise (tests). */
+std::string
+windowLabel(std::size_t ticks, std::chrono::milliseconds tick)
+{
+    return std::to_string(ticks) +
+           (tick == std::chrono::milliseconds(1000) ? "s" : "t");
+}
+
+} // namespace
+
+void
+MetricsHub::writeExposition(std::ostream &os) const
+{
+    const std::string &p = options_.prefix;
+    const telemetry::RegistrySnapshot snap = registry_.snapshot();
+
+    os << "# HELP " << p << "_obs_ticks_total Observability sampler "
+       << "ticks taken.\n"
+       << "# TYPE " << p << "_obs_ticks_total counter\n"
+       << p << "_obs_ticks_total " << ring_.pushed() << "\n";
+
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+        const char *name =
+            telemetry::counterName(static_cast<Counter>(c));
+        os << "# HELP " << p << "_" << name
+           << "_total Cumulative " << name << " events.\n"
+           << "# TYPE " << p << "_" << name << "_total counter\n"
+           << p << "_" << name << "_total " << snap.counters[c]
+           << "\n";
+    }
+
+    for (std::size_t h = 0; h < kHistogramCount; ++h) {
+        const char *name =
+            telemetry::histogramName(static_cast<Histogram>(h));
+        const HistogramData &d = snap.histograms[h];
+        os << "# HELP " << p << "_" << name << " Distribution of "
+           << name << " (power-of-two buckets).\n"
+           << "# TYPE " << p << "_" << name << " summary\n"
+           << p << "_" << name << "{quantile=\"0.5\"} "
+           << num(d.percentile(50)) << "\n"
+           << p << "_" << name << "{quantile=\"0.95\"} "
+           << num(d.percentile(95)) << "\n"
+           << p << "_" << name << "{quantile=\"0.99\"} "
+           << num(d.percentile(99)) << "\n"
+           << p << "_" << name << "_sum " << d.sum << "\n"
+           << p << "_" << name << "_count " << d.count << "\n";
+    }
+
+    for (std::size_t w : options_.windows) {
+        WindowStats ws = window(w);
+        if (!ws.valid)
+            continue;
+        const std::string label = windowLabel(w, options_.tick);
+        os << "# HELP " << p << "_window_seconds_" << label
+           << " Measured span of the " << label << " window.\n"
+           << "# TYPE " << p << "_window_seconds_" << label
+           << " gauge\n"
+           << p << "_window_seconds_" << label << " "
+           << num(ws.seconds) << "\n";
+        for (std::size_t c = 0; c < kCounterCount; ++c) {
+            const char *name =
+                telemetry::counterName(static_cast<Counter>(c));
+            os << "# HELP " << p << "_" << name << "_rate_" << label
+               << " " << name << " per second over the last " << label
+               << ".\n"
+               << "# TYPE " << p << "_" << name << "_rate_" << label
+               << " gauge\n"
+               << p << "_" << name << "_rate_" << label << " "
+               << num(ws.rate(static_cast<Counter>(c))) << "\n";
+        }
+        for (std::size_t h = 0; h < kHistogramCount; ++h) {
+            const char *name = telemetry::histogramName(
+                static_cast<Histogram>(h));
+            const HistogramData &d = ws.delta.histograms[h];
+            for (double q : {50.0, 95.0, 99.0}) {
+                os << "# HELP " << p << "_" << name << "_p"
+                   << static_cast<int>(q) << "_" << label << " p"
+                   << static_cast<int>(q) << " of " << name
+                   << " over the last " << label << ".\n"
+                   << "# TYPE " << p << "_" << name << "_p"
+                   << static_cast<int>(q) << "_" << label
+                   << " gauge\n"
+                   << p << "_" << name << "_p"
+                   << static_cast<int>(q) << "_" << label << " "
+                   << num(d.percentile(q)) << "\n";
+            }
+        }
+    }
+
+    std::function<void(std::ostream &)> extra;
+    {
+        std::lock_guard<std::mutex> lk(extra_mu_);
+        extra = extra_exposition_;
+    }
+    if (extra)
+        extra(os);
+}
+
+std::string
+MetricsHub::windowsJson() const
+{
+    std::ostringstream os;
+    os << "\"windows\": {";
+    bool first_w = true;
+    for (std::size_t w : options_.windows) {
+        WindowStats ws = window(w);
+        const std::string label = windowLabel(w, options_.tick);
+        os << (first_w ? "\n" : ",\n") << "    \"" << label
+           << "\": {";
+        first_w = false;
+        if (!ws.valid) {
+            os << "\"valid\": false}";
+            continue;
+        }
+        os << "\"valid\": true, \"seconds\": " << num(ws.seconds)
+           << ", \"ticks\": " << ws.ticks << ",\n      \"rates\": {";
+        bool first = true;
+        for (std::size_t c = 0; c < kCounterCount; ++c) {
+            os << (first ? "" : ", ") << "\""
+               << telemetry::counterName(static_cast<Counter>(c))
+               << "\": " << num(ws.rate(static_cast<Counter>(c)));
+            first = false;
+        }
+        os << "},\n      \"histograms\": {";
+        first = true;
+        for (std::size_t h = 0; h < kHistogramCount; ++h) {
+            const HistogramData &d = ws.delta.histograms[h];
+            os << (first ? "" : ", ") << "\""
+               << telemetry::histogramName(static_cast<Histogram>(h))
+               << "\": {\"count\": " << d.count << ", \"sum\": "
+               << d.sum << ", \"p50\": " << num(d.percentile(50))
+               << ", \"p95\": " << num(d.percentile(95))
+               << ", \"p99\": " << num(d.percentile(99)) << "}";
+            first = false;
+        }
+        os << "}}";
+    }
+    os << "\n  }";
+    return os.str();
+}
+
+void
+MetricsHub::writeStatsJson(std::ostream &os) const
+{
+    std::string extra = windowsJson();
+    const FlightRecorder &fr = FlightRecorder::instance();
+    if (fr.enabled()) {
+        extra += ",\n  \"flight\": {\"recorded\": " +
+                 std::to_string(fr.recorded()) +
+                 ", \"capacity\": " + std::to_string(fr.capacity()) +
+                 "}";
+    }
+    std::function<std::string()> extra_fn;
+    {
+        std::lock_guard<std::mutex> lk(extra_mu_);
+        extra_fn = extra_json_;
+    }
+    if (extra_fn) {
+        std::string s = extra_fn();
+        if (!s.empty())
+            extra += ",\n  " + s;
+    }
+    registry_.writeJson(os, extra);
+}
+
+void
+MetricsHub::writeDumpLine(std::ostream &os) const
+{
+    const telemetry::RegistrySnapshot snap = registry_.snapshot();
+    const auto now = std::chrono::steady_clock::now();
+    os << "{\"t_ms\": "
+       << std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - epoch_)
+              .count()
+       << ", \"ticks\": " << ring_.pushed() << ", \"counters\": {";
+    bool first = true;
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+        if (snap.counters[c] == 0)
+            continue;
+        os << (first ? "" : ", ") << "\""
+           << telemetry::counterName(static_cast<Counter>(c))
+           << "\": " << snap.counters[c];
+        first = false;
+    }
+    os << "}, \"p99\": {";
+    first = true;
+    for (std::size_t h = 0; h < kHistogramCount; ++h) {
+        const HistogramData &d = snap.histograms[h];
+        if (d.count == 0)
+            continue;
+        os << (first ? "" : ", ") << "\""
+           << telemetry::histogramName(static_cast<Histogram>(h))
+           << "\": " << num(d.percentile(99));
+        first = false;
+    }
+    os << "}";
+    if (!options_.windows.empty()) {
+        WindowStats ws = window(options_.windows.front());
+        if (ws.valid) {
+            const std::string label =
+                windowLabel(options_.windows.front(), options_.tick);
+            os << ", \"rates_" << label << "\": {";
+            first = true;
+            for (std::size_t c = 0; c < kCounterCount; ++c) {
+                double r = ws.rate(static_cast<Counter>(c));
+                if (r == 0.0)
+                    continue;
+                os << (first ? "" : ", ") << "\""
+                   << telemetry::counterName(static_cast<Counter>(c))
+                   << "\": " << num(r);
+                first = false;
+            }
+            os << "}";
+        }
+    }
+    os << "}";
+}
+
+} // namespace psm::obs

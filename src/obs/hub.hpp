@@ -1,0 +1,166 @@
+/**
+ * @file
+ * MetricsHub: the live observability plane over one telemetry
+ * Registry.
+ *
+ * One background sampler thread ticks on a fixed interval (1 s by
+ * default), pushing a RegistrySnapshot into a lock-free WindowRing.
+ * From that single stream the hub derives everything the serving
+ * layer wants to expose mid-run:
+ *
+ *  - rolling windows (10 s / 60 s by default): per-counter rates and
+ *    windowed histogram percentiles (e.g. ServeRequestLatencyUs p99
+ *    over the last 10 s), computed by subtracting ring snapshots —
+ *    the recording hot path is never touched;
+ *  - `writeExposition()`: Prometheus-style text (`# HELP`/`# TYPE`,
+ *    `_total` counters, summary quantiles, windowed gauges) for
+ *    `GET /metrics`;
+ *  - `writeStatsJson()`: the Registry's writeJson schema with a
+ *    `windows` block (and any caller-provided extras, e.g. the
+ *    serving pool's per-session stats) spliced in, for
+ *    `GET /stats.json`;
+ *  - `--metrics-interval`: a compact one-line JSON dump to a stream
+ *    every N ticks, for headless runs without the stats port;
+ *  - optional periodic FlightRecorder dumps, so even an uncatchable
+ *    SIGKILL leaves a recent `flight.json` behind.
+ *
+ * Threading: tick() runs on the sampler thread (or the caller's, for
+ * tests, via tickOnce()); the write* methods are safe from any
+ * thread and run concurrently with sampling — ring reads are
+ * stamp-validated, registry reads are the documented best-effort
+ * cold path. Extra-content callbacks must themselves be thread-safe
+ * (SessionPool's stats writers are).
+ */
+
+#ifndef PSM_OBS_HUB_HPP
+#define PSM_OBS_HUB_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/telemetry.hpp"
+#include "obs/window.hpp"
+
+namespace psm::obs {
+
+struct HubOptions
+{
+    /** Sampling period. Production 1 s; tests use milliseconds. */
+    std::chrono::milliseconds tick{1000};
+
+    /** Ring capacity; bounds the largest reachable window. */
+    std::size_t ring_slots = 72;
+
+    /** Window lengths in ticks (with 1 s ticks: seconds). */
+    std::vector<std::size_t> windows{10, 60};
+
+    /** When set, a one-line JSON summary is written here every
+     *  dump_every_ticks ticks (the --metrics-interval sink). */
+    std::ostream *dump_to = nullptr;
+    std::size_t dump_every_ticks = 0;
+
+    /** When set, the process FlightRecorder is dumped here (reason
+     *  "periodic") every tick — the SIGKILL survivor. */
+    std::string flight_path;
+
+    /** Metric-name prefix for the exposition format. */
+    std::string prefix = "psm";
+};
+
+/** One window's worth of activity, derived from two ring samples. */
+struct WindowStats
+{
+    bool valid = false;   ///< enough history existed
+    double seconds = 0.0; ///< actual measured span (not ticks * tick)
+    std::size_t ticks = 0;
+    telemetry::RegistrySnapshot delta;
+
+    double
+    rate(telemetry::Counter c) const
+    {
+        return valid && seconds > 0.0
+                   ? static_cast<double>(delta.counter(c)) / seconds
+                   : 0.0;
+    }
+};
+
+class MetricsHub
+{
+  public:
+    explicit MetricsHub(const telemetry::Registry &registry,
+                        HubOptions options = {});
+
+    /** Stops the sampler. */
+    ~MetricsHub();
+
+    MetricsHub(const MetricsHub &) = delete;
+    MetricsHub &operator=(const MetricsHub &) = delete;
+
+    const HubOptions &options() const { return options_; }
+
+    /** Splices extra top-level JSON members into writeStatsJson()
+     *  (must be valid `"key": value[, ...]` text, no trailing
+     *  comma — the Registry::writeJson extra_fields contract). */
+    void setExtraJson(std::function<std::string()> fn);
+
+    /** Appends extra exposition lines to writeExposition() (e.g. the
+     *  pool's per-session gauges). */
+    void setExtraExposition(std::function<void(std::ostream &)> fn);
+
+    /** Spawns the sampler thread (idempotent). */
+    void start();
+
+    /** Stops and joins the sampler (idempotent; destructor calls). */
+    void stop();
+
+    /** Takes one sample now, on the caller's thread — the manual
+     *  clock tests drive instead of sleeping. Not concurrent with a
+     *  started sampler. */
+    void tickOnce();
+
+    std::uint64_t ticks() const { return ring_.pushed(); }
+
+    /** Activity of the last @p ticks ticks (shorter when less
+     *  history exists; invalid with fewer than 2 samples). */
+    WindowStats window(std::size_t ticks) const;
+
+    /** Prometheus-style text exposition (GET /metrics). */
+    void writeExposition(std::ostream &os) const;
+
+    /** Registry writeJson schema + windows + extras
+     *  (GET /stats.json). */
+    void writeStatsJson(std::ostream &os) const;
+
+    /** The one-line summary --metrics-interval emits. */
+    void writeDumpLine(std::ostream &os) const;
+
+  private:
+    void samplerLoop();
+    std::string windowsJson() const;
+
+    const telemetry::Registry &registry_;
+    HubOptions options_;
+    WindowRing ring_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    std::function<std::string()> extra_json_;
+    std::function<void(std::ostream &)> extra_exposition_;
+    mutable std::mutex extra_mu_; ///< guards the two callbacks
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    bool started_ = false;
+    std::thread sampler_;
+};
+
+} // namespace psm::obs
+
+#endif // PSM_OBS_HUB_HPP

@@ -1,0 +1,213 @@
+#include "obs/stats_server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/hub.hpp"
+
+namespace psm::obs {
+
+namespace {
+
+void
+sendAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        // MSG_NOSIGNAL: a scraper that hung up must not SIGPIPE the
+        // whole process.
+        ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+sendHttp(int fd, int code, const char *status,
+         const char *content_type, const std::string &body)
+{
+    std::ostringstream head;
+    head << "HTTP/1.0 " << code << " " << status << "\r\n"
+         << "Content-Type: " << content_type << "\r\n"
+         << "Content-Length: " << body.size() << "\r\n"
+         << "Connection: close\r\n\r\n";
+    const std::string h = head.str();
+    sendAll(fd, h.data(), h.size());
+    sendAll(fd, body.data(), body.size());
+}
+
+/** Reads up to the first CR/LF (one request line is all we parse). */
+std::string
+readRequestLine(int fd)
+{
+    std::string line;
+    char buf[512];
+    for (;;) {
+        pollfd p{fd, POLLIN, 0};
+        // A client that connects and never writes gets 5 s, not a
+        // wedged stats thread.
+        int pr = ::poll(&p, 1, 5000);
+        if (pr <= 0)
+            return line;
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return line;
+        }
+        for (ssize_t i = 0; i < n; ++i) {
+            if (buf[i] == '\r' || buf[i] == '\n')
+                return line;
+            line.push_back(buf[i]);
+            if (line.size() > 4096)
+                return line; // absurd request line: stop reading
+        }
+    }
+}
+
+} // namespace
+
+StatsServer::StatsServer(MetricsHub &hub, StatsServerOptions options)
+    : hub_(hub), options_(std::move(options))
+{}
+
+StatsServer::~StatsServer() { stop(); }
+
+bool
+StatsServer::start()
+{
+    if (running())
+        return true;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        error_ = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bind_addr.c_str(),
+                    &addr.sin_addr) != 1) {
+        error_ = "bad bind address: " + options_.bind_addr;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        error_ = std::string("bind: ") + std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::listen(listen_fd_, 16) != 0) {
+        error_ = std::string("listen: ") + std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    socklen_t alen = sizeof addr;
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<sockaddr *>(&addr),
+                      &alen) == 0)
+        port_ = ntohs(addr.sin_port);
+    stop_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread(&StatsServer::serveLoop, this);
+    return true;
+}
+
+void
+StatsServer::stop()
+{
+    if (!running())
+        return;
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    running_.store(false, std::memory_order_release);
+}
+
+void
+StatsServer::serveLoop()
+{
+    // poll-then-accept so stop() only needs to flip a flag: the loop
+    // notices within one poll timeout instead of relying on
+    // close()-interrupts-accept semantics.
+    while (!stop_.load(std::memory_order_acquire)) {
+        pollfd p{listen_fd_, POLLIN, 0};
+        int pr = ::poll(&p, 1, 200);
+        if (pr <= 0)
+            continue;
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+StatsServer::handleConnection(int fd)
+{
+    const std::string line = readRequestLine(fd);
+    const bool http = line.rfind("GET ", 0) == 0;
+    std::string target = http ? line.substr(4) : line;
+    if (std::size_t sp = target.find(' '); sp != std::string::npos)
+        target = target.substr(0, sp);
+
+    if (target == "/metrics" || target == "metrics") {
+        std::ostringstream body;
+        hub_.writeExposition(body);
+        if (http)
+            sendHttp(fd, 200, "OK",
+                     "text/plain; version=0.0.4; charset=utf-8",
+                     body.str());
+        else {
+            const std::string b = body.str();
+            sendAll(fd, b.data(), b.size());
+        }
+    } else if (target == "/stats.json" || target == "stats") {
+        std::ostringstream body;
+        hub_.writeStatsJson(body);
+        if (http)
+            sendHttp(fd, 200, "OK", "application/json", body.str());
+        else {
+            const std::string b = body.str();
+            sendAll(fd, b.data(), b.size());
+        }
+    } else if (target == "/healthz" || target == "health") {
+        if (http)
+            sendHttp(fd, 200, "OK", "text/plain", "ok\n");
+        else
+            sendAll(fd, "ok\n", 3);
+    } else {
+        const std::string body = "unknown endpoint; try /metrics, "
+                                 "/stats.json, /healthz\n";
+        if (http)
+            sendHttp(fd, 404, "Not Found", "text/plain", body);
+        else
+            sendAll(fd, body.data(), body.size());
+    }
+}
+
+} // namespace psm::obs

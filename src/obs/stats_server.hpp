@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal blocking stats server: one thread, one connection at a
+ * time, two read-only endpoints over the MetricsHub.
+ *
+ * This is deliberately not a web server. The serving layer needs a
+ * way to ask a live process "what are your rates and percentiles
+ * right now" from curl, a Prometheus scraper, or a shell one-liner —
+ * nothing more. So: a blocking accept loop on one background thread,
+ * loopback bind by default, a single request line parsed per
+ * connection, and the connection closed after one response.
+ *
+ * Accepted request lines:
+ *   GET /metrics     -> HTTP 200, Prometheus-style text exposition
+ *   GET /stats.json  -> HTTP 200, the Registry writeJson schema +
+ *                       windows + per-session extras
+ *   GET /healthz     -> HTTP 200, "ok"
+ *   metrics | stats | health
+ *                    -> the same bodies raw, no HTTP framing (the
+ *                       line protocol: echo metrics | nc host port)
+ *
+ * Everything it serves is computed read-only from the hub (which is
+ * itself lock-free over the telemetry shards), so a slow or stuck
+ * scraper can delay at most *other scrapers*, never the engine,
+ * admission, or the sampler.
+ */
+
+#ifndef PSM_OBS_STATS_SERVER_HPP
+#define PSM_OBS_STATS_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace psm::obs {
+
+class MetricsHub;
+
+struct StatsServerOptions
+{
+    /** Port to listen on; 0 picks an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+
+    /** Bind address. Loopback by default: the stats plane is an
+     *  operator tool, not a public surface. */
+    std::string bind_addr = "127.0.0.1";
+};
+
+class StatsServer
+{
+  public:
+    StatsServer(MetricsHub &hub, StatsServerOptions options = {});
+
+    /** Stops and joins. */
+    ~StatsServer();
+
+    StatsServer(const StatsServer &) = delete;
+    StatsServer &operator=(const StatsServer &) = delete;
+
+    /** Binds, listens, and spawns the server thread. False (with the
+     *  reason in error()) when the socket cannot be set up. */
+    bool start();
+
+    /** Closes the listening socket and joins the thread. */
+    void stop();
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** The bound port (resolves port 0 after start()). */
+    std::uint16_t port() const { return port_; }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    MetricsHub &hub_;
+    StatsServerOptions options_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::string error_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+} // namespace psm::obs
+
+#endif // PSM_OBS_STATS_SERVER_HPP

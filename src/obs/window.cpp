@@ -1,0 +1,87 @@
+#include "obs/window.hpp"
+
+namespace psm::obs {
+
+namespace {
+
+using telemetry::kCounterCount;
+using telemetry::kHistogramBuckets;
+using telemetry::kHistogramCount;
+
+} // namespace
+
+WindowRing::WindowRing(std::size_t slots)
+    : ring_(std::make_unique<Slot[]>(slots ? slots : 1)),
+      slots_(slots ? slots : 1)
+{}
+
+void
+WindowRing::push(const telemetry::RegistrySnapshot &snap,
+                 std::uint64_t t_ms)
+{
+    const std::uint64_t index =
+        count_.load(std::memory_order_relaxed);
+    Slot &s = ring_[index % slots_];
+    // Invalidate before overwriting so a reader lapped mid-copy fails
+    // its stamp re-check instead of mixing generations.
+    s.stamp.store(0, std::memory_order_relaxed);
+    std::size_t w = 0;
+    for (std::size_t c = 0; c < kCounterCount; ++c)
+        s.words[w++].store(snap.counters[c],
+                           std::memory_order_relaxed);
+    for (std::size_t h = 0; h < kHistogramCount; ++h) {
+        const telemetry::HistogramData &d = snap.histograms[h];
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+            s.words[w++].store(d.buckets[b],
+                               std::memory_order_relaxed);
+        s.words[w++].store(d.count, std::memory_order_relaxed);
+        s.words[w++].store(d.sum, std::memory_order_relaxed);
+        s.words[w++].store(d.max, std::memory_order_relaxed);
+    }
+    s.words[w++].store(snap.epochs, std::memory_order_relaxed);
+    s.words[w++].store(t_ms, std::memory_order_relaxed);
+    s.stamp.store(index + 1, std::memory_order_release);
+    count_.store(index + 1, std::memory_order_release);
+}
+
+bool
+WindowRing::readSlot(std::uint64_t index, WindowSample &out) const
+{
+    const Slot &s = ring_[index % slots_];
+    if (s.stamp.load(std::memory_order_acquire) != index + 1)
+        return false;
+    std::size_t w = 0;
+    for (std::size_t c = 0; c < kCounterCount; ++c)
+        out.snap.counters[c] =
+            s.words[w++].load(std::memory_order_relaxed);
+    for (std::size_t h = 0; h < kHistogramCount; ++h) {
+        telemetry::HistogramData &d = out.snap.histograms[h];
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+            d.buckets[b] =
+                s.words[w++].load(std::memory_order_relaxed);
+        d.count = s.words[w++].load(std::memory_order_relaxed);
+        d.sum = s.words[w++].load(std::memory_order_relaxed);
+        d.max = s.words[w++].load(std::memory_order_relaxed);
+    }
+    out.snap.epochs = s.words[w++].load(std::memory_order_relaxed);
+    out.t_ms = s.words[w++].load(std::memory_order_relaxed);
+    // The writer may have lapped us mid-copy; only an unchanged stamp
+    // proves the copy is one consistent generation.
+    return s.stamp.load(std::memory_order_acquire) == index + 1;
+}
+
+bool
+WindowRing::back(std::size_t ticks_back, WindowSample &out) const
+{
+    const std::uint64_t n = count_.load(std::memory_order_acquire);
+    if (ticks_back >= n)
+        return false;
+    const std::uint64_t index = n - 1 - ticks_back;
+    // Overwritten by newer pushes? (Can also race a concurrent push;
+    // readSlot's stamp check catches that.)
+    if (n - index > slots_)
+        return false;
+    return readSlot(index, out);
+}
+
+} // namespace psm::obs

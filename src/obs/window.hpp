@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lock-free rolling time windows over telemetry snapshots.
+ *
+ * The Registry's counters and histograms are cumulative — perfect for
+ * end-of-run reports, useless for "what is the p99 *right now*". The
+ * WindowRing turns them live: a sampler pushes one RegistrySnapshot
+ * per tick (1 s in production, milliseconds in tests) into a ring;
+ * subtracting the snapshot k ticks back from the newest one yields
+ * exactly the activity of the last k ticks — windowed rates from
+ * counter deltas, windowed p50/p95/p99 from bucket deltas — without
+ * ever touching the recording hot path.
+ *
+ * Concurrency: one writer (the sampler thread), any number of
+ * readers (stats-server scrapes), no locks. Each slot is an array of
+ * relaxed atomics published by a per-slot stamp (the absolute push
+ * index + 1, store-release). A reader copies the slot and re-checks
+ * the stamp; a mismatch means the sampler lapped it mid-copy and the
+ * read retries against newer history. Readers therefore never block
+ * the sampler, the sampler never blocks readers, and every value a
+ * reader returns is a consistent snapshot — the same protocol the
+ * flight recorder uses, and TSan-clean because every shared word is
+ * an atomic.
+ */
+
+#ifndef PSM_OBS_WINDOW_HPP
+#define PSM_OBS_WINDOW_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/telemetry.hpp"
+
+namespace psm::obs {
+
+/** One ring entry as a reader receives it. */
+struct WindowSample
+{
+    telemetry::RegistrySnapshot snap;
+    std::uint64_t t_ms = 0; ///< capture time, steady-clock millis
+};
+
+class WindowRing
+{
+  public:
+    /** @p slots bounds the reachable history; the default covers a
+     *  60-tick window with headroom against lapping readers. */
+    explicit WindowRing(std::size_t slots = 72);
+
+    std::size_t slots() const { return slots_; }
+
+    /** Total snapshots ever pushed. */
+    std::uint64_t
+    pushed() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+
+    /** Appends one snapshot. Single writer (the sampler thread). */
+    void push(const telemetry::RegistrySnapshot &snap,
+              std::uint64_t t_ms);
+
+    /**
+     * Reads the sample @p ticks_back behind the newest (0 = newest).
+     * False when that much history does not exist yet or was already
+     * overwritten. Safe from any thread.
+     */
+    bool back(std::size_t ticks_back, WindowSample &out) const;
+
+  private:
+    // Flattened RegistrySnapshot + timestamp, one word per atomic.
+    static constexpr std::size_t kHistWords =
+        telemetry::kHistogramBuckets + 3; // buckets, count, sum, max
+    static constexpr std::size_t kWords =
+        telemetry::kCounterCount +
+        telemetry::kHistogramCount * kHistWords + 2; // epochs, t_ms
+
+    struct Slot
+    {
+        std::atomic<std::uint64_t> stamp{0};
+        std::array<std::atomic<std::uint64_t>, kWords> words{};
+    };
+
+    bool readSlot(std::uint64_t index, WindowSample &out) const;
+
+    std::unique_ptr<Slot[]> ring_;
+    std::size_t slots_;
+    std::atomic<std::uint64_t> count_{0};
+};
+
+} // namespace psm::obs
+
+#endif // PSM_OBS_WINDOW_HPP

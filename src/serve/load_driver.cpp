@@ -36,7 +36,8 @@ struct ClientTally
 LoadResult
 runLoad(std::shared_ptr<const ops5::Program> program,
         const LoadConfig &config,
-        const std::function<void(SessionPool &)> &inspect)
+        const std::function<void(SessionPool &)> &inspect,
+        const std::function<void(SessionPool &)> &on_start)
 {
     // Request vocabulary: the program's own initial WMEs are the
     // per-class field templates, so asserted elements look like the
@@ -58,6 +59,8 @@ runLoad(std::shared_ptr<const ops5::Program> program,
     pool_opts.restore = config.restore;
     pool_opts.lint = config.lint;
     SessionPool pool(program, pool_opts);
+    if (on_start)
+        on_start(pool);
 
     const std::size_t n_clients =
         config.sessions * std::max<std::size_t>(

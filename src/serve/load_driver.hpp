@@ -83,12 +83,16 @@ struct LoadResult
  * Runs one closed-loop load against a fresh SessionPool over
  * @p program. @p inspect, when set, is called after the drain while
  * the pool (and its telemetry registry) is still alive — the hook
- * serve_cli uses to export --metrics.
+ * serve_cli uses to export --metrics. @p on_start is called once the
+ * pool exists but before any client submits — the hook serve_cli
+ * uses to attach the observability plane (stats server, periodic
+ * metrics dumps) to the pool's registry for the duration of the run.
  */
 LoadResult
 runLoad(std::shared_ptr<const ops5::Program> program,
         const LoadConfig &config,
-        const std::function<void(SessionPool &)> &inspect = {});
+        const std::function<void(SessionPool &)> &inspect = {},
+        const std::function<void(SessionPool &)> &on_start = {});
 
 } // namespace psm::serve
 

@@ -15,6 +15,8 @@
 #ifndef PSM_SERVE_SESSION_HPP
 #define PSM_SERVE_SESSION_HPP
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -108,6 +110,20 @@ class Session
         std::promise<Response> promise;
         ServeClock::time_point enqueued;
     };
+
+    /** Per-session admission/completion tallies, written from the
+     *  admission path and server threads, read live by the
+     *  observability plane (all relaxed atomics). */
+    struct LiveStats
+    {
+        std::atomic<std::uint64_t> admitted{0};
+        std::atomic<std::uint64_t> completed{0};
+        std::atomic<std::uint64_t> expired{0};
+        std::atomic<std::uint64_t> rejected_full{0};
+        std::atomic<std::uint64_t> batches{0};
+    };
+
+    LiveStats live;
 
     // Queue state, guarded by mu (client threads + server threads).
     std::mutex mu;

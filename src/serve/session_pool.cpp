@@ -1,10 +1,13 @@
 #include "serve/session_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <ostream>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "analysis/lint.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace psm::serve {
 
@@ -106,6 +109,11 @@ SessionPool::submit(std::size_t session, Request req)
 {
     Submit out;
     if (session >= sessions_.size()) {
+        obs::flightRecord(
+            obs::FlightEvent::AdmissionReject,
+            static_cast<std::uint32_t>(session),
+            static_cast<std::uint64_t>(req.kind),
+            static_cast<std::uint64_t>(RejectReason::BadSession));
         out.rejected = RejectReason::BadSession;
         return out;
     }
@@ -128,6 +136,10 @@ SessionPool::submit(std::size_t session, Request req)
         release_pending();
         slot.fetch_add(1, std::memory_order_relaxed);
         metrics_.count(0, telemetry::Counter::ServeRejected);
+        obs::flightRecord(obs::FlightEvent::AdmissionReject,
+                          static_cast<std::uint32_t>(session),
+                          static_cast<std::uint64_t>(req.kind),
+                          static_cast<std::uint64_t>(why));
         out.rejected = why;
     };
 
@@ -143,6 +155,7 @@ SessionPool::submit(std::size_t session, Request req)
     }
 
     Session &s = *sessions_[session];
+    const RequestKind kind = req.kind;
     bool need_schedule = false;
     std::size_t depth = 0;
     {
@@ -163,13 +176,18 @@ SessionPool::submit(std::size_t session, Request req)
         }
     }
     if (depth == 0) {
+        s.live.rejected_full.fetch_add(1, std::memory_order_relaxed);
         reject(RejectReason::QueueFull, n_rej_full_);
         return out;
     }
 
     n_admitted_.fetch_add(1, std::memory_order_relaxed);
+    s.live.admitted.fetch_add(1, std::memory_order_relaxed);
     metrics_.count(0, telemetry::Counter::ServeAdmitted);
     metrics_.observe(0, telemetry::Histogram::ServeQueueDepth, depth);
+    obs::flightRecord(obs::FlightEvent::AdmissionAdmit,
+                      static_cast<std::uint32_t>(session),
+                      static_cast<std::uint64_t>(kind), depth);
 
     if (need_schedule) {
         std::lock_guard<std::mutex> lk(ready_mu_);
@@ -204,6 +222,7 @@ SessionPool::drain()
             return pending_.load(std::memory_order_seq_cst) == 0;
         });
     }
+    obs::flightRecord(obs::FlightEvent::Drain);
     // Quiesced now: server threads finish all Manager work (append +
     // sync) before the completion that releases the last pending_.
     if (options_.durability.enabled() &&
@@ -286,14 +305,15 @@ SessionPool::serverLoop(std::size_t worker)
 }
 
 void
-SessionPool::completeOne(Session::Pending &p, Response &&resp,
-                         std::size_t shard)
+SessionPool::completeOne(Session &s, Session::Pending &p,
+                         Response &&resp, std::size_t shard)
 {
     resp.latency =
         std::chrono::duration_cast<std::chrono::microseconds>(
             ServeClock::now() - p.enqueued);
     if (resp.deadline_expired) {
         n_expired_.fetch_add(1, std::memory_order_relaxed);
+        s.live.expired.fetch_add(1, std::memory_order_relaxed);
         metrics_.count(shard, telemetry::Counter::ServeExpired);
     }
     metrics_.observe(
@@ -302,6 +322,7 @@ SessionPool::completeOne(Session::Pending &p, Response &&resp,
             std::max<std::int64_t>(resp.latency.count(), 0)));
     metrics_.count(shard, telemetry::Counter::ServeCompleted);
     n_completed_.fetch_add(1, std::memory_order_relaxed);
+    s.live.completed.fetch_add(1, std::memory_order_relaxed);
     p.promise.set_value(std::move(resp));
 
     if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
@@ -343,9 +364,14 @@ SessionPool::drainSession(Session &s, std::size_t shard)
 
     auto flush = [&] {
         if (!wm_batch.empty()) {
+            const std::size_t committed = deferred.size();
             wm_batch.commit();
             n_batches_.fetch_add(1, std::memory_order_relaxed);
+            s.live.batches.fetch_add(1, std::memory_order_relaxed);
             metrics_.count(shard, telemetry::Counter::ServeBatches);
+            obs::flightRecord(
+                obs::FlightEvent::BatchCommit,
+                static_cast<std::uint32_t>(s.id()), committed);
             // FsyncPolicy::Batch flush point. Must precede the
             // completions below: once the last pending_ releases, a
             // drain may checkpoint this session's Manager.
@@ -354,7 +380,7 @@ SessionPool::drainSession(Session &s, std::size_t shard)
         }
         staged.clear();
         for (auto &[p, resp] : deferred)
-            completeOne(*p, std::move(resp), shard);
+            completeOne(s, *p, std::move(resp), shard);
         deferred.clear();
     };
 
@@ -365,7 +391,7 @@ SessionPool::drainSession(Session &s, std::size_t shard)
             Response resp;
             resp.kind = p.req.kind;
             resp.deadline_expired = true;
-            completeOne(p, std::move(resp), shard);
+            completeOne(s, p, std::move(resp), shard);
             continue;
         }
         switch (p.req.kind) {
@@ -394,7 +420,7 @@ SessionPool::drainSession(Session &s, std::size_t shard)
                 if (it != s.handles.end())
                     s.handles.erase(it);
                 resp.retracted = false;
-                completeOne(p, std::move(resp), shard);
+                completeOne(s, p, std::move(resp), shard);
                 break;
             }
             if (staged.count(p.req.wme) != 0)
@@ -409,6 +435,9 @@ SessionPool::drainSession(Session &s, std::size_t shard)
             std::uint64_t cycles = p.req.max_cycles != 0
                                        ? p.req.max_cycles
                                        : options_.default_run_cycles;
+            obs::flightRecord(obs::FlightEvent::RunStart,
+                              static_cast<std::uint32_t>(s.id()),
+                              cycles);
             core::RunResult r;
             if (p.req.hasDeadline()) {
                 const ServeClock::time_point deadline =
@@ -421,16 +450,138 @@ SessionPool::drainSession(Session &s, std::size_t shard)
             }
             if (s.durable())
                 s.durable()->sync();
+            obs::flightRecord(obs::FlightEvent::RunEnd,
+                              static_cast<std::uint32_t>(s.id()),
+                              r.firings, r.stopped ? 1 : 0);
             Response resp;
             resp.kind = RequestKind::Run;
             resp.run = r;
             resp.deadline_expired = r.stopped;
-            completeOne(p, std::move(resp), shard);
+            completeOne(s, p, std::move(resp), shard);
             break;
           }
         }
     }
     flush();
+}
+
+void
+SessionPool::writeSessionStatsJson(std::ostream &os) const
+{
+    os << "\"sessions\": [";
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        Session &s = *sessions_[i];
+        std::size_t depth;
+        {
+            std::lock_guard<std::mutex> lk(s.mu);
+            depth = s.queue.size();
+        }
+        const std::uint64_t admitted =
+            s.live.admitted.load(std::memory_order_relaxed);
+        const std::uint64_t completed =
+            s.live.completed.load(std::memory_order_relaxed);
+        const std::uint64_t expired =
+            s.live.expired.load(std::memory_order_relaxed);
+        const std::uint64_t rejected =
+            s.live.rejected_full.load(std::memory_order_relaxed);
+        const std::uint64_t batches =
+            s.live.batches.load(std::memory_order_relaxed);
+        // SLO attainment: fraction of completions that met their
+        // deadline (1.0 when nothing has completed yet).
+        const double slo =
+            completed > 0
+                ? 1.0 - static_cast<double>(expired) /
+                            static_cast<double>(completed)
+                : 1.0;
+        char slo_buf[32];
+        std::snprintf(slo_buf, sizeof slo_buf, "%.6g", slo);
+        os << (i == 0 ? "\n" : ",\n") << "    {\"session\": " << i
+           << ", \"queue_depth\": " << depth
+           << ", \"admitted\": " << admitted
+           << ", \"completed\": " << completed
+           << ", \"expired\": " << expired
+           << ", \"rejected_full\": " << rejected
+           << ", \"batches\": " << batches
+           << ", \"slo_attainment\": " << slo_buf << "}";
+    }
+    os << "\n  ]";
+}
+
+void
+SessionPool::writeSessionExposition(std::ostream &os,
+                                    const std::string &prefix) const
+{
+    os << "# HELP " << prefix << "_session_queue_depth Requests "
+       << "queued per session right now.\n"
+       << "# TYPE " << prefix << "_session_queue_depth gauge\n";
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        Session &s = *sessions_[i];
+        std::size_t depth;
+        {
+            std::lock_guard<std::mutex> lk(s.mu);
+            depth = s.queue.size();
+        }
+        os << prefix << "_session_queue_depth{session=\"" << i
+           << "\"} " << depth << "\n";
+    }
+    struct Col
+    {
+        const char *name;
+        const char *help;
+        std::uint64_t (*get)(const Session::LiveStats &);
+    };
+    static const Col cols[] = {
+        {"session_admitted_total", "Requests admitted per session.",
+         [](const Session::LiveStats &l) {
+             return l.admitted.load(std::memory_order_relaxed);
+         }},
+        {"session_completed_total", "Responses delivered per session.",
+         [](const Session::LiveStats &l) {
+             return l.completed.load(std::memory_order_relaxed);
+         }},
+        {"session_expired_total",
+         "Deadline-expired completions per session.",
+         [](const Session::LiveStats &l) {
+             return l.expired.load(std::memory_order_relaxed);
+         }},
+        {"session_rejected_full_total",
+         "Queue-full rejections per session.",
+         [](const Session::LiveStats &l) {
+             return l.rejected_full.load(std::memory_order_relaxed);
+         }},
+        {"session_batches_total",
+         "ExternalBatch commits per session.",
+         [](const Session::LiveStats &l) {
+             return l.batches.load(std::memory_order_relaxed);
+         }},
+    };
+    for (const Col &col : cols) {
+        os << "# HELP " << prefix << "_" << col.name << " "
+           << col.help << "\n"
+           << "# TYPE " << prefix << "_" << col.name << " counter\n";
+        for (std::size_t i = 0; i < sessions_.size(); ++i)
+            os << prefix << "_" << col.name << "{session=\"" << i
+               << "\"} " << col.get(sessions_[i]->live) << "\n";
+    }
+    os << "# HELP " << prefix << "_session_slo_attainment Fraction "
+       << "of completions that met their deadline.\n"
+       << "# TYPE " << prefix << "_session_slo_attainment gauge\n";
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        const Session::LiveStats &l = sessions_[i]->live;
+        const std::uint64_t completed =
+            l.completed.load(std::memory_order_relaxed);
+        const std::uint64_t expired =
+            l.expired.load(std::memory_order_relaxed);
+        const double slo =
+            completed > 0
+                ? 1.0 - static_cast<double>(expired) /
+                            static_cast<double>(completed)
+                : 1.0;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", slo);
+        os << prefix << "_session_slo_attainment{session=\"" << i
+           << "\"} " << buf << "\n";
+    }
 }
 
 } // namespace psm::serve

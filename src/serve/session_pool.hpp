@@ -39,8 +39,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -197,6 +199,20 @@ class SessionPool
 
     Stats stats() const;
 
+    /**
+     * Writes per-session live stats as one JSON extra-field fragment
+     * (`"sessions": [{...}, ...]`, no trailing comma) — the shape the
+     * observability hub splices into /stats.json. Safe from any
+     * thread; queue depths are read under each session's own mutex,
+     * tallies are relaxed atomics.
+     */
+    void writeSessionStatsJson(std::ostream &os) const;
+
+    /** The same per-session stats as Prometheus-style gauge lines
+     *  labelled {session="N"}, for the /metrics exposition. */
+    void writeSessionExposition(std::ostream &os,
+                                const std::string &prefix) const;
+
   private:
     void serverLoop(std::size_t worker);
 
@@ -204,8 +220,8 @@ class SessionPool
      *  count. @p shard is the caller's telemetry shard. */
     void drainSession(Session &s, std::size_t shard);
 
-    void completeOne(Session::Pending &p, Response &&resp,
-                     std::size_t shard);
+    void completeOne(Session &s, Session::Pending &p,
+                     Response &&resp, std::size_t shard);
 
     std::shared_ptr<const ops5::Program> program_;
     PoolOptions options_;

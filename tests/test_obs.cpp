@@ -1,0 +1,627 @@
+/**
+ * @file
+ * Observability-plane tests: registry snapshot deltas, window-ring
+ * rotation and overwrite detection, hub windows over a manual clock,
+ * Prometheus exposition format, /stats.json shape, the crash flight
+ * recorder (wraparound, file dump, signal dump), the stats server's
+ * endpoints over a real socket, and per-session serve stats.
+ *
+ * The hub tests drive tickOnce() by hand instead of sleeping on the
+ * sampler thread, so window contents are exact; only the measured
+ * span (wall-clock seconds) is asserted loosely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/hub.hpp"
+#include "obs/stats_server.hpp"
+#include "obs/window.hpp"
+#include "ops5/parser.hpp"
+#include "serve/serve.hpp"
+
+using namespace psm;
+using namespace psm::obs;
+using namespace psm::serve;
+using telemetry::Counter;
+using telemetry::Histogram;
+
+namespace {
+
+/** Structural JSON sanity: balanced braces/brackets outside strings
+ *  and at least one key. Not a parser — the Python schema checkers in
+ *  CI do that; this catches truncation and comma bugs. */
+bool
+looksLikeJson(const std::string &s)
+{
+    int depth = 0;
+    bool in_str = false, esc = false, any = false;
+    for (char c : s) {
+        if (esc) {
+            esc = false;
+            continue;
+        }
+        if (in_str) {
+            if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        switch (c) {
+          case '"': in_str = true; break;
+          case '{':
+          case '[': ++depth; any = true; break;
+          case '}':
+          case ']':
+            if (--depth < 0)
+                return false;
+            break;
+          default: break;
+        }
+    }
+    return any && depth == 0 && !in_str;
+}
+
+/** One full read of a line-protocol or HTTP exchange. */
+std::string
+fetch(std::uint16_t port, const std::string &request)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+}
+
+constexpr const char *kJobs = R"(
+(literalize job id)
+(literalize done id)
+(p work (job ^id <i>) --> (make done ^id <i>) (remove 1))
+)";
+
+} // namespace
+
+// ---- snapshot deltas -------------------------------------------------
+
+TEST(ObsSnapshot, CounterAndHistogramDeltas)
+{
+    telemetry::Registry reg(2);
+    reg.count(0, Counter::TasksExecuted, 5);
+    reg.observe(1, Histogram::TaskCostInstr, 100);
+    reg.observe(1, Histogram::TaskCostInstr, 200);
+
+    telemetry::RegistrySnapshot a = reg.snapshot();
+    EXPECT_EQ(a.counter(Counter::TasksExecuted), 5u);
+    EXPECT_EQ(a.histogram(Histogram::TaskCostInstr).count, 2u);
+    EXPECT_EQ(a.histogram(Histogram::TaskCostInstr).sum, 300u);
+
+    reg.count(0, Counter::TasksExecuted, 3);
+    reg.count(1, Counter::TasksExecuted, 4);
+    reg.observe(0, Histogram::TaskCostInstr, 50);
+
+    telemetry::RegistrySnapshot b = reg.snapshot();
+    telemetry::RegistrySnapshot d = b.since(a);
+    EXPECT_EQ(d.counter(Counter::TasksExecuted), 7u);
+    EXPECT_EQ(d.counter(Counter::Steals), 0u);
+    EXPECT_EQ(d.histogram(Histogram::TaskCostInstr).count, 1u);
+    EXPECT_EQ(d.histogram(Histogram::TaskCostInstr).sum, 50u);
+    // Window max is the newer cumulative max — a documented upper
+    // bound (the true windowed max is unrecoverable from buckets).
+    EXPECT_EQ(d.histogram(Histogram::TaskCostInstr).max, 200u);
+}
+
+TEST(ObsSnapshot, DeltaPercentileUsesOnlyWindowMass)
+{
+    telemetry::Registry reg(1);
+    for (int i = 0; i < 1000; ++i)
+        reg.observe(0, Histogram::ParkNanos, 1);
+    telemetry::RegistrySnapshot a = reg.snapshot();
+    for (int i = 0; i < 10; ++i)
+        reg.observe(0, Histogram::ParkNanos, 1 << 20);
+    telemetry::HistogramData d =
+        reg.snapshot().since(a).histogram(Histogram::ParkNanos);
+    EXPECT_EQ(d.count, 10u);
+    // All the delta's mass sits in the 2^20 bucket: the cumulative
+    // p50 (~1) must not leak into the window.
+    EXPECT_GE(d.percentile(50), static_cast<double>(1 << 20));
+}
+
+// ---- window ring -----------------------------------------------------
+
+TEST(ObsWindow, RotationAndOverwriteDetection)
+{
+    WindowRing ring(4);
+    telemetry::RegistrySnapshot snap;
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        snap.counters[0] = i;
+        ring.push(snap, i * 100);
+    }
+    EXPECT_EQ(ring.pushed(), 10u);
+
+    WindowSample s;
+    ASSERT_TRUE(ring.back(0, s));
+    EXPECT_EQ(s.snap.counters[0], 10u);
+    EXPECT_EQ(s.t_ms, 1000u);
+    ASSERT_TRUE(ring.back(3, s));
+    EXPECT_EQ(s.snap.counters[0], 7u);
+    // Older than the ring holds: overwritten, not misread.
+    EXPECT_FALSE(ring.back(4, s));
+    EXPECT_FALSE(ring.back(9, s));
+    EXPECT_FALSE(ring.back(10, s)); // never existed
+}
+
+TEST(ObsWindow, EmptyRingHasNoHistory)
+{
+    WindowRing ring(8);
+    WindowSample s;
+    EXPECT_FALSE(ring.back(0, s));
+}
+
+// ---- hub windows -----------------------------------------------------
+
+TEST(ObsHub, WindowDeltaOverManualTicks)
+{
+    telemetry::Registry reg(1);
+    HubOptions opt;
+    opt.tick = std::chrono::milliseconds(5);
+    opt.windows = {2};
+    MetricsHub hub(reg, opt);
+
+    EXPECT_FALSE(hub.window(2).valid); // no samples yet
+    hub.tickOnce();
+    EXPECT_FALSE(hub.window(2).valid); // one sample: no span
+
+    reg.count(0, Counter::ServeCompleted, 40);
+    reg.observe(0, Histogram::ServeRequestLatencyUs, 250);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    hub.tickOnce();
+
+    WindowStats w = hub.window(2);
+    ASSERT_TRUE(w.valid);
+    EXPECT_EQ(w.ticks, 1u); // only 1 tick of history exists
+    EXPECT_EQ(w.delta.counter(Counter::ServeCompleted), 40u);
+    EXPECT_GT(w.seconds, 0.0);
+    EXPECT_GT(w.rate(Counter::ServeCompleted), 0.0);
+    EXPECT_EQ(w.delta.histogram(Histogram::ServeRequestLatencyUs)
+                  .count,
+              1u);
+
+    // A third tick with no traffic: the 1-tick-back window is empty,
+    // the 2-ticks-back window still sees the burst.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    hub.tickOnce();
+    WindowStats w2 = hub.window(2);
+    ASSERT_TRUE(w2.valid);
+    EXPECT_EQ(w2.ticks, 2u);
+    EXPECT_EQ(w2.delta.counter(Counter::ServeCompleted), 40u);
+}
+
+TEST(ObsHub, SamplerThreadTicksOnItsOwn)
+{
+    telemetry::Registry reg(1);
+    HubOptions opt;
+    opt.tick = std::chrono::milliseconds(2);
+    MetricsHub hub(reg, opt);
+    hub.start();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (hub.ticks() < 3 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    hub.stop();
+    EXPECT_GE(hub.ticks(), 3u);
+}
+
+// ---- exposition format -----------------------------------------------
+
+TEST(ObsHub, ExpositionFormatIsWellFormed)
+{
+    telemetry::Registry reg(1);
+    reg.count(0, Counter::TasksExecuted, 42);
+    reg.observe(0, Histogram::TaskCostInstr, 7);
+    HubOptions opt;
+    opt.tick = std::chrono::milliseconds(5);
+    opt.windows = {2};
+    MetricsHub hub(reg, opt);
+    hub.tickOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    hub.tickOnce();
+
+    std::ostringstream os;
+    hub.writeExposition(os);
+    const std::string text = os.str();
+
+    EXPECT_NE(text.find("# HELP psm_tasks_executed_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE psm_tasks_executed_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("psm_tasks_executed_total 42"),
+              std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+    // Windowed gauges appear once two samples exist (label "2t"
+    // because the test tick is not 1 s).
+    EXPECT_NE(text.find("_rate_2t"), std::string::npos);
+    EXPECT_NE(text.find("_p99_2t"), std::string::npos);
+
+    // Every sample line: <name>[{labels}] <value>, name from the
+    // Prometheus charset; every value parses as a double.
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t samples = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        if (line.rfind("# HELP ", 0) == 0 ||
+            line.rfind("# TYPE ", 0) == 0)
+            continue;
+        ASSERT_NE(line[0], '#') << line;
+        std::size_t name_end = line.find_first_of("{ ");
+        ASSERT_NE(name_end, std::string::npos) << line;
+        const std::string name = line.substr(0, name_end);
+        for (char c : name)
+            ASSERT_TRUE(std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_' || c == ':')
+                << name;
+        ASSERT_FALSE(std::isdigit(
+            static_cast<unsigned char>(name[0])))
+            << name;
+        const std::size_t val_at = line.rfind(' ');
+        ASSERT_NE(val_at, std::string::npos) << line;
+        EXPECT_NO_THROW(
+            (void)std::stod(line.substr(val_at + 1)))
+            << line;
+        ++samples;
+    }
+    EXPECT_GT(samples, telemetry::kCounterCount);
+}
+
+TEST(ObsHub, StatsJsonAndDumpLineShape)
+{
+    telemetry::Registry reg(1);
+    reg.count(0, Counter::Batches, 3);
+    HubOptions opt;
+    opt.tick = std::chrono::milliseconds(5);
+    opt.windows = {2};
+    MetricsHub hub(reg, opt);
+    hub.tickOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    hub.tickOnce();
+
+    std::ostringstream json;
+    hub.writeStatsJson(json);
+    EXPECT_TRUE(looksLikeJson(json.str())) << json.str();
+    EXPECT_NE(json.str().find("\"windows\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"valid\": true"), std::string::npos);
+
+    std::ostringstream extra_json;
+    hub.setExtraJson([] { return std::string("\"custom\": 7"); });
+    hub.writeStatsJson(extra_json);
+    EXPECT_NE(extra_json.str().find("\"custom\": 7"),
+              std::string::npos);
+    EXPECT_TRUE(looksLikeJson(extra_json.str())) << extra_json.str();
+
+    std::ostringstream line;
+    hub.writeDumpLine(line);
+    EXPECT_TRUE(looksLikeJson(line.str())) << line.str();
+    EXPECT_NE(line.str().find("\"t_ms\""), std::string::npos);
+    EXPECT_EQ(line.str().find('\n'), std::string::npos);
+}
+
+// ---- flight recorder -------------------------------------------------
+
+TEST(ObsFlight, RingWraparoundKeepsNewest)
+{
+    FlightRecorder &fr = FlightRecorder::instance();
+    fr.enable(64); // idempotent: the whole binary shares capacity 64
+    ASSERT_TRUE(fr.enabled());
+    ASSERT_EQ(fr.capacity(), 64u);
+
+    const std::uint64_t base = fr.recorded();
+    for (std::uint64_t i = 0; i < 200; ++i)
+        fr.record(FlightEvent::EngineCycle, 1, i, i * 2);
+
+    std::vector<FlightRecord> got(256);
+    std::size_t n = fr.read(got.data(), got.size());
+    ASSERT_EQ(n, 64u); // exactly one ring of survivors
+    // Oldest-first, contiguous, and all from the newest 64 records.
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i].seq, base + 200 - 64 + i);
+        EXPECT_EQ(got[i].type, FlightEvent::EngineCycle);
+        EXPECT_EQ(got[i].a, got[i].seq - base);
+        EXPECT_EQ(got[i].b, 2 * (got[i].seq - base));
+        EXPECT_EQ(got[i].session, 1u);
+        if (i > 0)
+            EXPECT_GE(got[i].t_ns, got[i - 1].t_ns);
+    }
+}
+
+TEST(ObsFlight, DumpToFileIsParseable)
+{
+    FlightRecorder &fr = FlightRecorder::instance();
+    fr.enable(64);
+    fr.record(FlightEvent::Checkpoint, 2, 11, 22);
+
+    const std::string path = "obs_flight_test.json";
+    ASSERT_TRUE(fr.dumpToFile(path.c_str(), "test"));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string body = ss.str();
+    EXPECT_TRUE(looksLikeJson(body)) << body;
+    EXPECT_NE(body.find("\"flight_recorder\": true"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"reason\": \"test\""), std::string::npos);
+    EXPECT_NE(body.find("\"checkpoint\""), std::string::npos);
+    ::unlink(path.c_str());
+    ::unlink((path + ".tmp").c_str());
+}
+
+TEST(ObsFlight, SignalHandlerDumpsOnFatalSignal)
+{
+    const std::string path = "obs_flight_signal.json";
+    ::unlink(path.c_str());
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: arm the handler, record context, die on SIGABRT.
+        FlightRecorder &fr = FlightRecorder::instance();
+        fr.installCrashDump(path.c_str(), 64);
+        fr.record(FlightEvent::WalAppend, 3, 99, 0);
+        ::raise(SIGABRT);
+        _exit(0); // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    // The re-raise must preserve the fatal exit, not exit(0).
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "handler wrote no dump";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_TRUE(looksLikeJson(ss.str())) << ss.str();
+    EXPECT_NE(ss.str().find("\"reason\": \"signal:6\""),
+              std::string::npos)
+        << ss.str();
+    EXPECT_NE(ss.str().find("\"wal_append\""), std::string::npos);
+    ::unlink(path.c_str());
+}
+
+TEST(ObsFlight, ConcurrentRecordersAndReaderStayConsistent)
+{
+    FlightRecorder &fr = FlightRecorder::instance();
+    fr.enable(64);
+    std::atomic<bool> stop{false};
+    std::thread writers[2];
+    for (auto &w : writers)
+        w = std::thread([&] {
+            std::uint64_t i = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const std::uint64_t v = ++i;
+                fr.record(FlightEvent::BatchCommit, 7, v, 3 * v);
+            }
+        });
+    std::vector<FlightRecord> buf(128);
+    std::size_t torn = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::size_t n = fr.read(buf.data(), buf.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            // A torn read would violate the a/b invariant.
+            if (buf[i].type == FlightEvent::BatchCommit &&
+                buf[i].session == 7 && buf[i].b != 3 * buf[i].a)
+                ++torn;
+        }
+    }
+    stop.store(true);
+    for (auto &w : writers)
+        w.join();
+    EXPECT_EQ(torn, 0u);
+}
+
+// ---- stats server ----------------------------------------------------
+
+TEST(ObsServer, ServesMetricsStatsAndHealth)
+{
+    telemetry::Registry reg(1);
+    reg.count(0, Counter::TasksExecuted, 9);
+    HubOptions opt;
+    opt.tick = std::chrono::milliseconds(5);
+    MetricsHub hub(reg, opt);
+    hub.tickOnce();
+
+    StatsServer server(hub, {});
+    ASSERT_TRUE(server.start()) << server.error();
+    ASSERT_NE(server.port(), 0);
+
+    const std::string metrics =
+        fetch(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("psm_tasks_executed_total 9"),
+              std::string::npos);
+
+    const std::string stats =
+        fetch(server.port(), "GET /stats.json HTTP/1.0\r\n\r\n");
+    EXPECT_NE(stats.find("200 OK"), std::string::npos);
+    EXPECT_NE(stats.find("application/json"), std::string::npos);
+    const std::size_t body_at = stats.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    EXPECT_TRUE(looksLikeJson(stats.substr(body_at + 4)));
+
+    // Line protocol: no HTTP framing, same bodies.
+    const std::string raw = fetch(server.port(), "metrics\n");
+    EXPECT_EQ(raw.find("HTTP/"), std::string::npos);
+    EXPECT_NE(raw.find("psm_tasks_executed_total"),
+              std::string::npos);
+    const std::string health = fetch(server.port(), "health\n");
+    EXPECT_EQ(health, "ok\n");
+
+    const std::string missing =
+        fetch(server.port(), "GET /nope HTTP/1.0\r\n\r\n");
+    EXPECT_NE(missing.find("404"), std::string::npos);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(ObsServer, ConcurrentScrapesUnderRecordingLoad)
+{
+    telemetry::Registry reg(2);
+    HubOptions opt;
+    opt.tick = std::chrono::milliseconds(1);
+    MetricsHub hub(reg, opt);
+    hub.start();
+    StatsServer server(hub, {});
+    ASSERT_TRUE(server.start()) << server.error();
+
+    std::atomic<bool> stop{false};
+    std::thread load([&] {
+        std::uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            reg.count(1, Counter::ServeCompleted);
+            reg.observe(1, Histogram::ServeRequestLatencyUs,
+                        ++i % 1000);
+        }
+    });
+    std::thread scrapers[3];
+    for (auto &t : scrapers)
+        t = std::thread([&] {
+            for (int i = 0; i < 10; ++i) {
+                const std::string m = fetch(
+                    server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+                EXPECT_NE(m.find("200 OK"), std::string::npos);
+            }
+        });
+    for (auto &t : scrapers)
+        t.join();
+    stop.store(true);
+    load.join();
+    server.stop();
+    hub.stop();
+}
+
+// ---- per-session serve stats ----------------------------------------
+
+TEST(ObsServe, PerSessionStatsJsonAndExposition)
+{
+    auto prog = ops5::parse(kJobs);
+    PoolOptions opt;
+    opt.n_sessions = 2;
+    opt.autostart = false;
+    SessionPool pool(prog, opt);
+
+    auto job = [&](int id) {
+        return Request::makeAssert(prog->symbols().find("job"),
+                                   {ops5::Value::integer(id)});
+    };
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(pool.submit(0, job(i)).accepted());
+    ASSERT_TRUE(pool.submit(1, job(99)).accepted());
+
+    std::ostringstream queued;
+    pool.writeSessionStatsJson(queued);
+    EXPECT_NE(queued.str().find("\"queue_depth\": 3"),
+              std::string::npos)
+        << queued.str();
+    EXPECT_NE(queued.str().find("\"queue_depth\": 1"),
+              std::string::npos);
+    EXPECT_TRUE(looksLikeJson("{" + queued.str() + "}"));
+
+    pool.start();
+    pool.drain();
+
+    std::ostringstream done;
+    pool.writeSessionStatsJson(done);
+    EXPECT_NE(done.str().find("\"completed\": 3"),
+              std::string::npos)
+        << done.str();
+    EXPECT_NE(done.str().find("\"slo_attainment\": 1"),
+              std::string::npos);
+
+    std::ostringstream expo;
+    pool.writeSessionExposition(expo, "psm");
+    EXPECT_NE(
+        expo.str().find("psm_session_completed_total{session=\"0\"} 3"),
+        std::string::npos)
+        << expo.str();
+    EXPECT_NE(
+        expo.str().find("psm_session_completed_total{session=\"1\"} 1"),
+        std::string::npos);
+    EXPECT_NE(expo.str().find("psm_session_queue_depth{session=\"0\"} 0"),
+              std::string::npos);
+}
+
+TEST(ObsServe, FlightEventsFlowFromServePaths)
+{
+    FlightRecorder &fr = FlightRecorder::instance();
+    fr.enable(64);
+    const std::uint64_t before = fr.recorded();
+
+    auto prog = ops5::parse(kJobs);
+    PoolOptions opt;
+    opt.queue_capacity = 2;
+    opt.autostart = false;
+    SessionPool pool(prog, opt);
+    auto job = [&](int id) {
+        return Request::makeAssert(prog->symbols().find("job"),
+                                   {ops5::Value::integer(id)});
+    };
+    for (int i = 0; i < 3; ++i)
+        pool.submit(0, job(i)); // third one rejects: queue_capacity 2
+    pool.start();
+    pool.drain();
+
+    EXPECT_GT(fr.recorded(), before);
+    std::vector<FlightRecord> buf(64);
+    std::size_t n = fr.read(buf.data(), buf.size());
+    bool saw_admit = false, saw_reject = false, saw_commit = false,
+         saw_drain = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (buf[i].seq < before)
+            continue;
+        switch (buf[i].type) {
+          case FlightEvent::AdmissionAdmit: saw_admit = true; break;
+          case FlightEvent::AdmissionReject: saw_reject = true; break;
+          case FlightEvent::BatchCommit: saw_commit = true; break;
+          case FlightEvent::Drain: saw_drain = true; break;
+          default: break;
+        }
+    }
+    EXPECT_TRUE(saw_admit);
+    EXPECT_TRUE(saw_reject);
+    EXPECT_TRUE(saw_commit);
+    EXPECT_TRUE(saw_drain);
+}

@@ -193,8 +193,12 @@ TEST(ServeTest, DeadlineStopsRunMidway)
     auto prog = ops5::parse(kFlipFlop);
     SessionPool pool(prog, {});
 
+    // Generous deadline: under a loaded CI runner a few-ms deadline
+    // can expire while the request is still queued, and then the run
+    // never starts (stopped stays false). 50 ms is still ~6 orders
+    // of magnitude short of 100M cycles of flip-flop.
     Request run = Request::makeRun(100000000);
-    run.deadline = ServeClock::now() + std::chrono::milliseconds(5);
+    run.deadline = ServeClock::now() + std::chrono::milliseconds(50);
     Submit s = pool.submit(0, run);
     ASSERT_TRUE(s.accepted());
     Response r = s.response.get();

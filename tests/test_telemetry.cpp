@@ -128,6 +128,56 @@ TEST(Telemetry, PercentilesFromBuckets)
     EXPECT_LE(hs.percentile(99), 7.0);
 }
 
+TEST(Telemetry, PercentileEdgeCases)
+{
+    REQUIRE_TELEMETRY();
+
+    // All mass in bucket 0 (observed zeros): every percentile must be
+    // 0 — the in-bucket interpolation toward the [0,1) ceiling has to
+    // clamp against max = 0.
+    Registry zeros(1);
+    for (int i = 0; i < 10; ++i)
+        zeros.observe(0, Histogram::TaskCostInstr, 0);
+    HistogramData hz = zeros.merged(Histogram::TaskCostInstr);
+    EXPECT_EQ(hz.count, 10u);
+    EXPECT_DOUBLE_EQ(hz.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(hz.percentile(100), 0.0);
+
+    // Values past the last bucket boundary collapse into the top
+    // bucket, whose upper edge is the recorded max: estimates stay in
+    // [bucket floor, max] and p100 is exactly max.
+    Registry top(1);
+    const std::uint64_t huge = std::uint64_t{1} << 40;
+    top.observe(0, Histogram::TaskCostInstr, huge);
+    top.observe(0, Histogram::TaskCostInstr, huge + 5);
+    HistogramData ht = top.merged(Histogram::TaskCostInstr);
+    EXPECT_EQ(ht.max, huge + 5);
+    EXPECT_GE(ht.percentile(50),
+              static_cast<double>(HistogramData::bucketFloor(
+                  telemetry::kHistogramBuckets - 1)));
+    EXPECT_LE(ht.percentile(50), static_cast<double>(ht.max));
+    EXPECT_DOUBLE_EQ(ht.percentile(100),
+                     static_cast<double>(ht.max));
+
+    // Out-of-range p clamps instead of reading junk ranks.
+    Registry r(1);
+    r.observe(0, Histogram::TaskCostInstr, 8);
+    HistogramData hr = r.merged(Histogram::TaskCostInstr);
+    EXPECT_DOUBLE_EQ(hr.percentile(-5.0), hr.percentile(0.0));
+    EXPECT_DOUBLE_EQ(hr.percentile(200.0), hr.percentile(100.0));
+
+    // A bimodal split across distant buckets: p below the split reads
+    // the low bucket, p above reads the high one (no smearing).
+    Registry bi(1);
+    for (int i = 0; i < 90; ++i)
+        bi.observe(0, Histogram::TaskCostInstr, 1);
+    for (int i = 0; i < 10; ++i)
+        bi.observe(0, Histogram::TaskCostInstr, 1 << 16);
+    HistogramData hb = bi.merged(Histogram::TaskCostInstr);
+    EXPECT_LE(hb.percentile(50), 2.0);
+    EXPECT_GE(hb.percentile(95), static_cast<double>(1 << 15));
+}
+
 TEST(Telemetry, WriteJsonEmitsPercentiles)
 {
     REQUIRE_TELEMETRY();
