@@ -35,7 +35,7 @@ reteStateSize(rete::Network &net)
             break;
           case rete::NodeKind::BetaMemory:
             n += static_cast<rete::BetaMemoryNode *>(node.get())
-                     ->tokens.size();
+                     ->size();
             break;
           case rete::NodeKind::Not:
             n += static_cast<rete::NotNode *>(node.get())

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace psm::core {
 
@@ -261,21 +262,17 @@ ParallelReteMatcher::processChanges(
     // would let the remove overtake the insert at an alpha memory.
     // All other inversions are between *derived* tokens, which the
     // beta-memory/conflict-set tombstones absorb.
-    std::vector<const ops5::Wme *> cancelled;
-    for (const ops5::WmeChange &change : changes) {
-        if (change.kind != ops5::ChangeKind::Remove)
-            continue;
-        for (const ops5::WmeChange &other : changes) {
-            if (other.kind == ops5::ChangeKind::Insert &&
-                other.wme == change.wme) {
-                cancelled.push_back(change.wme);
-                break;
-            }
-        }
-    }
+    std::unordered_set<const ops5::Wme *> inserted;
+    for (const ops5::WmeChange &change : changes)
+        if (change.kind == ops5::ChangeKind::Insert)
+            inserted.insert(change.wme);
+    std::unordered_set<const ops5::Wme *> cancelled;
+    for (const ops5::WmeChange &change : changes)
+        if (change.kind == ops5::ChangeKind::Remove &&
+            inserted.count(change.wme) != 0)
+            cancelled.insert(change.wme);
     auto is_cancelled = [&](const ops5::Wme *wme) {
-        return std::find(cancelled.begin(), cancelled.end(), wme) !=
-               cancelled.end();
+        return cancelled.count(wme) != 0;
     };
 
     ++cycle_;
@@ -344,14 +341,19 @@ ParallelReteMatcher::processChanges(
     // network is quiescent here, so the same walk doubles as the
     // beta-memory occupancy sample.
     std::uint64_t absorbed = 0;
+    std::uint64_t tombstone_peak = 0;
     for (const auto &node : network_->nodes()) {
         if (node->kind == NodeKind::BetaMemory) {
             auto *bm = static_cast<BetaMemoryNode *>(node.get());
             if (t)
                 t->observe(0, telemetry::Histogram::BetaMemorySize,
-                           bm->tokens.size());
-            if (!bm->tombstones.empty()) {
-                absorbed += bm->tombstones.size();
+                           bm->size());
+            // Quiescent reads: no tasks are in flight at the barrier.
+            if (bm->tombstone_high_water > tombstone_peak)
+                tombstone_peak = bm->tombstone_high_water;
+            if (bm->tombstoneCount() != 0 ||
+                bm->tombstone_high_water != 0) {
+                absorbed += bm->tombstoneCount();
                 bm->clearTombstones();
             }
         }
@@ -363,6 +365,9 @@ ParallelReteMatcher::processChanges(
         if (absorbed)
             t->count(0, telemetry::Counter::TombstonesAbsorbed,
                      absorbed);
+        if (tombstone_peak)
+            t->observe(0, telemetry::Histogram::TombstoneHighWater,
+                       tombstone_peak);
         t->endEpoch();
     }
     if (spans_)
@@ -465,22 +470,33 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
                 t->count(worker,
                          telemetry::Counter::JoinLockContended);
         }
-        // Composite activation: update the memory, then scan the
+        // Composite activation: update the memory, then probe the
         // (quiescent) opposite memory — atomically w.r.t. the left
-        // side thanks to the directional lock.
+        // side thanks to the directional lock. Cost stays modeled as
+        // the classic full scan (candidates = opposite size).
         if (task.insert)
             am->insertWme(task.wme);
-        else
-            am->removeWme(task.wme);
+        else if (!am->removeWme(task.wme) && t)
+            t->count(worker, telemetry::Counter::AlphaRemoveMisses);
         st.instructions += task.insert ? cost_.alpha_insert
                                        : cost_.alpha_remove_base;
-        std::uint64_t candidates = 0, outputs = 0;
-        for (const Token &token : join->left->tokens) {
-            ++candidates;
-            if (rete::evalJoinTests(join->tests, token, *task.wme, syms)) {
+        std::uint64_t candidates = join->left->size(), outputs = 0;
+        auto tryPair = [&](const Token &token) {
+            if (rete::evalFlatTests(join->flat, token, *task.wme,
+                                    syms)) {
                 ++outputs;
                 emit(token, task.wme, join->output, task.insert);
             }
+        };
+        if (join->left_probe >= 0 && join->left->indexed()) {
+            const rete::BetaProbe &probe =
+                join->left->probes[join->left_probe];
+            auto range = probe.buckets.equal_range(
+                rete::probeHashFromWme(join->flat, *task.wme));
+            for (auto it = range.first; it != range.second; ++it)
+                tryPair(join->left->store.at(it->second));
+        } else {
+            join->left->store.forEach(tryPair);
         }
         st.comparisons += candidates;
         st.tokens_built += outputs;
@@ -513,14 +529,16 @@ ParallelReteMatcher::processAlphaArrive(const PTask &task,
                                              not_node->id, worker);
     if (task.insert)
         am->insertWme(task.wme);
-    else
-        am->removeWme(task.wme);
+    else if (!am->removeWme(task.wme) && t)
+        t->count(worker, telemetry::Counter::AlphaRemoveMisses);
     st.instructions += task.insert ? cost_.alpha_insert
                                    : cost_.alpha_remove_base;
     std::uint64_t candidates = 0;
+    // Every entry's count can change on a right arrival, so this scan
+    // is inherently linear in the entry count (no identity key).
     for (NotNode::Entry &entry : not_node->entries) {
         ++candidates;
-        if (!rete::evalJoinTests(not_node->tests, entry.token, *task.wme,
+        if (!rete::evalFlatTests(not_node->flat, entry.token, *task.wme,
                                  syms)) {
             continue;
         }
@@ -564,6 +582,8 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
     if (!succ || succ->kind == NodeKind::Terminal) {
         bool forward = task.insert ? bm->insertToken(task.token)
                                    : bm->removeToken(task.token);
+        if (!task.insert && !forward && t)
+            t->count(worker, telemetry::Counter::TombstoneParks);
         st.instructions += task.insert ? cost_.beta_insert
                                        : cost_.beta_remove_base;
         if (!forward || !succ)
@@ -572,7 +592,7 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
         auto *term = static_cast<TerminalNode *>(succ);
         ops5::Instantiation inst;
         inst.production = term->production;
-        inst.wmes = task.token.wmes;
+        inst.wmes = task.token.toVector();
         if (task.insert)
             conflict_set_.insert(std::move(inst));
         else
@@ -593,14 +613,19 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
         }
         bool forward = task.insert ? bm->insertToken(task.token)
                                    : bm->removeToken(task.token);
+        if (!task.insert && !forward && t)
+            t->count(worker, telemetry::Counter::TombstoneParks);
         st.instructions += task.insert ? cost_.beta_insert
                                        : cost_.beta_remove_base;
         if (!forward)
             return;
-        std::uint64_t candidates = 0, outputs = 0;
-        for (const ops5::Wme *wme : join->right->items) {
-            ++candidates;
-            if (rete::evalJoinTests(join->tests, task.token, *wme, syms)) {
+        // Probe the right memory's bucket; charge the modeled full
+        // scan (candidates = opposite size) like the serial matcher.
+        std::uint64_t candidates = join->right->items.size();
+        std::uint64_t outputs = 0;
+        auto tryPair = [&](const ops5::Wme *wme) {
+            if (rete::evalFlatTests(join->flat, task.token, *wme,
+                                    syms)) {
                 ++outputs;
                 PTask next;
                 next.node = join->output;
@@ -608,6 +633,17 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
                 next.token = task.token.extend(wme);
                 spawn(std::move(next), worker, t);
             }
+        };
+        if (join->right_probe >= 0 && join->right->indexed()) {
+            const rete::AlphaProbe &probe =
+                join->right->probes[join->right_probe];
+            auto range = probe.buckets.equal_range(
+                rete::probeHashFromToken(join->flat, task.token));
+            for (auto it = range.first; it != range.second; ++it)
+                tryPair(it->second);
+        } else {
+            for (const ops5::Wme *wme : join->right->items)
+                tryPair(wme);
         }
         st.comparisons += candidates;
         st.tokens_built += outputs;
@@ -638,19 +674,32 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
                                              not_node->id, worker);
     bool forward = task.insert ? bm->insertToken(task.token)
                                : bm->removeToken(task.token);
+    if (!task.insert && !forward && t)
+        t->count(worker, telemetry::Counter::TombstoneParks);
     st.instructions += task.insert ? cost_.beta_insert
                                    : cost_.beta_remove_base;
     if (!forward)
         return;
     if (task.insert) {
+        // Count matches via the right memory's probe bucket; the
+        // modeled cost still charges the full scan.
+        std::uint64_t candidates = not_node->right->items.size();
         int count = 0;
-        std::uint64_t candidates = 0;
-        for (const ops5::Wme *wme : not_node->right->items) {
-            ++candidates;
-            if (rete::evalJoinTests(not_node->tests, task.token, *wme,
-                                    syms)) {
-                ++count;
-            }
+        if (not_node->right_probe >= 0 &&
+            not_node->right->indexed()) {
+            const rete::AlphaProbe &probe =
+                not_node->right->probes[not_node->right_probe];
+            auto range = probe.buckets.equal_range(
+                rete::probeHashFromToken(not_node->flat, task.token));
+            for (auto it = range.first; it != range.second; ++it)
+                if (rete::evalFlatTests(not_node->flat, task.token,
+                                        *it->second, syms))
+                    ++count;
+        } else {
+            for (const ops5::Wme *wme : not_node->right->items)
+                if (rete::evalFlatTests(not_node->flat, task.token,
+                                        *wme, syms))
+                    ++count;
         }
         st.comparisons += candidates;
         st.instructions += cost_.not_base + candidates *
@@ -659,7 +708,7 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
         if (t)
             t->observe(worker, telemetry::Histogram::JoinCandidates,
                        candidates);
-        not_node->entries.push_back({task.token, count});
+        not_node->addEntry(task.token, count);
         if (count == 0) {
             PTask next;
             next.node = not_node->output;
@@ -668,24 +717,15 @@ ParallelReteMatcher::processBetaArrive(const PTask &task,
             spawn(std::move(next), worker, t);
         }
     } else {
-        auto it = std::find_if(not_node->entries.begin(),
-                               not_node->entries.end(),
-                               [&](const NotNode::Entry &e) {
-                                   return e.token == task.token;
-                               });
         st.instructions += cost_.not_base +
             not_node->entries.size() * cost_.not_per_entry;
-        if (it != not_node->entries.end()) {
-            bool was_clear = it->count == 0;
-            *it = std::move(not_node->entries.back());
-            not_node->entries.pop_back();
-            if (was_clear) {
-                PTask next;
-                next.node = not_node->output;
-                next.insert = false;
-                next.token = task.token;
-                spawn(std::move(next), worker, t);
-            }
+        int count = not_node->removeEntry(task.token);
+        if (count == 0) {
+            PTask next;
+            next.node = not_node->output;
+            next.insert = false;
+            next.token = task.token;
+            spawn(std::move(next), worker, t);
         }
     }
 }

@@ -238,10 +238,8 @@ ProductionParallelMatcher::handleInsert(ProdState &ps,
             conflict_set_.removeIf([&](const ops5::Instantiation &inst) {
                 if (inst.production != ps.lhs.production)
                     return false;
-                rete::Token tok;
-                tok.wmes = inst.wmes;
-                return rete::evalJoinTests(cce.join_tests, tok, *wme,
-                                           syms);
+                return rete::evalJoinTests(cce.join_tests, inst.wmes,
+                                           *wme, syms);
             });
             continue;
         }
@@ -268,6 +266,9 @@ ProductionParallelMatcher::handleRemove(ProdState &ps,
     bool positive_hit = false, negated_hit = false;
     for (std::size_t ce = 0; ce < ps.lhs.ces.size(); ++ce) {
         auto &mem = ps.alpha[ce];
+        // Linear on purpose: per-production state is partitioned so
+        // each memory holds only one production's candidates, and the
+        // scan length is the modeled instruction charge below.
         auto it = std::find(mem.begin(), mem.end(), wme);
         st.instructions += mem.size();
         if (it == mem.end())

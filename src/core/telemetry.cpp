@@ -39,6 +39,8 @@ counterName(Counter c)
       case Counter::DurableWalBytes: return "wal_bytes";
       case Counter::DurableSnapshots: return "snapshots_written";
       case Counter::DurableRecoveries: return "recoveries";
+      case Counter::AlphaRemoveMisses: return "alpha_remove_misses";
+      case Counter::TombstoneParks: return "tombstone_parks";
       case Counter::kCount: break;
     }
     return "unknown";
@@ -62,6 +64,7 @@ histogramName(Histogram h)
       case Histogram::DurableWalAppendUs: return "wal_append_us";
       case Histogram::DurableCheckpointMs: return "checkpoint_ms";
       case Histogram::DurableRecoveryMs: return "recovery_ms";
+      case Histogram::TombstoneHighWater: return "tombstone_high_water";
       case Histogram::kCount: break;
     }
     return "unknown";

@@ -80,6 +80,8 @@ enum class Counter : std::uint16_t {
     DurableWalBytes,     ///< durable: WAL payload bytes appended
     DurableSnapshots,    ///< durable: snapshots written
     DurableRecoveries,   ///< durable: successful recoveries
+    AlphaRemoveMisses,   ///< alpha removeWme found nothing (WM desync)
+    TombstoneParks,      ///< beta removes that parked an anti-token
     kCount,
 };
 
@@ -98,6 +100,7 @@ enum class Histogram : std::uint8_t {
     DurableWalAppendUs,    ///< durable: microseconds per WAL append
     DurableCheckpointMs,   ///< durable: milliseconds per checkpoint
     DurableRecoveryMs,     ///< durable: milliseconds per recovery
+    TombstoneHighWater,    ///< peak pending tombstones per beta memory
     kCount,
 };
 

@@ -63,7 +63,7 @@ tokenTags(const rete::Token &token)
 {
     std::vector<ops5::TimeTag> tags;
     tags.reserve(token.size());
-    for (const ops5::Wme *wme : token.wmes)
+    for (const ops5::Wme *wme : token)
         tags.push_back(wme->timeTag());
     return tags;
 }
@@ -93,8 +93,9 @@ captureReteState(rete::ReteMatcher &matcher)
           case rete::NodeKind::BetaMemory: {
             auto *bm = static_cast<rete::BetaMemoryNode *>(node.get());
             ns.kind = kNodeBeta;
-            for (const rete::Token &token : bm->tokens)
+            bm->store.forEach([&](const rete::Token &token) {
                 ns.tokens.push_back(tokenTags(token));
+            });
             break;
           }
           case rete::NodeKind::Not: {
@@ -436,11 +437,11 @@ stateRestore(core::Engine &engine, rete::ReteMatcher &matcher,
         return wme;
     };
     auto buildToken = [&](const std::vector<ops5::TimeTag> &tags) {
-        rete::Token token;
-        token.wmes.reserve(tags.size());
+        std::vector<const ops5::Wme *> wmes;
+        wmes.reserve(tags.size());
         for (ops5::TimeTag t : tags)
-            token.wmes.push_back(wmeByTag(t));
-        return token;
+            wmes.push_back(wmeByTag(t));
+        return rete::Token(wmes);
     };
 
     rete::Network &net = matcher.network();
@@ -448,7 +449,7 @@ stateRestore(core::Engine &engine, rete::ReteMatcher &matcher,
     net.resetState();
     // resetState re-seeds the dummy top token, but the snapshot image
     // carries it too; restore strictly from the image.
-    net.top()->tokens.clear();
+    net.top()->clearState();
 
     for (const ReteNodeState &ns : snap.rete.nodes) {
         if (ns.node_id < 0 ||
@@ -470,8 +471,10 @@ stateRestore(core::Engine &engine, rete::ReteMatcher &matcher,
                 throw DurableError("node kind mismatch at id " +
                                    std::to_string(ns.node_id));
             auto *bm = static_cast<rete::BetaMemoryNode *>(node);
+            // Raw slab fill; rebuildIndexes below reconstructs the
+            // identity index and probe buckets over these slots.
             for (const auto &tags : ns.tokens)
-                bm->tokens.push_back(buildToken(tags));
+                bm->store.insert(buildToken(tags));
         } else {
             if (node->kind != rete::NodeKind::Not)
                 throw DurableError("node kind mismatch at id " +

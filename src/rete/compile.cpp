@@ -124,4 +124,43 @@ compileLhs(const ops5::Production &production)
     return out;
 }
 
+FlatTests
+flattenJoinTests(const std::vector<JoinTest> &tests)
+{
+    FlatTests flat;
+    flat.n = static_cast<std::uint32_t>(tests.size());
+    flat.preds.reserve(tests.size());
+    flat.wme_fields.reserve(tests.size());
+    flat.token_ces.reserve(tests.size());
+    flat.token_fields.reserve(tests.size());
+    for (const JoinTest &t : tests) {
+        flat.all_eq &= t.pred == ops5::Predicate::Eq;
+        flat.preds.push_back(static_cast<std::uint8_t>(t.pred));
+        flat.wme_fields.push_back(t.wme_field);
+        flat.token_ces.push_back(t.token_ce);
+        flat.token_fields.push_back(t.token_field);
+    }
+    return flat;
+}
+
+WmeKeySpec
+wmeKeySpecOf(const std::vector<JoinTest> &tests)
+{
+    WmeKeySpec spec;
+    spec.reserve(tests.size());
+    for (const JoinTest &t : tests)
+        spec.push_back(t.wme_field);
+    return spec;
+}
+
+TokenKeySpec
+tokenKeySpecOf(const std::vector<JoinTest> &tests)
+{
+    TokenKeySpec spec;
+    spec.reserve(tests.size());
+    for (const JoinTest &t : tests)
+        spec.push_back({t.token_ce, t.token_field});
+    return spec;
+}
+
 } // namespace psm::rete

@@ -46,6 +46,19 @@ struct CompiledLhs
  */
 CompiledLhs compileLhs(const ops5::Production &production);
 
+/**
+ * Flattens @p tests into the branch-light SoA form two-input nodes
+ * evaluate per probe (Network::finalizeIndexes calls this once per
+ * node at build time).
+ */
+FlatTests flattenJoinTests(const std::vector<JoinTest> &tests);
+
+/** The WME-side probe key an all-eq test vector implies. */
+WmeKeySpec wmeKeySpecOf(const std::vector<JoinTest> &tests);
+
+/** The token-side probe key an all-eq test vector implies. */
+TokenKeySpec tokenKeySpecOf(const std::vector<JoinTest> &tests);
+
 } // namespace psm::rete
 
 #endif // PSM_RETE_COMPILE_HPP

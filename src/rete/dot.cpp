@@ -105,7 +105,7 @@ class DotWriter
             if (opt_.show_counts) {
                 label << " ("
                       << static_cast<const BetaMemoryNode *>(node)
-                             ->tokens.size()
+                             ->size()
                       << ")";
             }
             style = "filled";

@@ -9,25 +9,10 @@ ReteMatcher::ReteMatcher(std::shared_ptr<Network> network,
     : network_(std::move(network)), cost_(cost_model),
       hash_joins_(hash_joins)
 {
-    if (!hash_joins_)
-        return;
-    // Pre-create an index for every equality-only join with at least
-    // one test (a test-free join has a single bucket anyway).
-    for (const auto &node : network_->nodes()) {
-        if (node->kind != NodeKind::Join)
-            continue;
-        auto *join = static_cast<JoinNode *>(node.get());
-        if (join->tests.empty())
-            continue;
-        bool all_eq = std::all_of(join->tests.begin(),
-                                  join->tests.end(),
-                                  [](const JoinTest &t) {
-                                      return t.pred ==
-                                             ops5::Predicate::Eq;
-                                  });
-        if (all_eq)
-            indexes_.emplace(join->id, JoinIndex{});
-    }
+    for (const auto &node : network_->nodes())
+        if (node->kind == NodeKind::BetaMemory)
+            beta_memories_.push_back(
+                static_cast<BetaMemoryNode *>(node.get()));
 }
 
 ReteMatcher::ReteMatcher(std::shared_ptr<const ops5::Program> program,
@@ -36,114 +21,10 @@ ReteMatcher::ReteMatcher(std::shared_ptr<const ops5::Program> program,
                   cost_model, hash_joins)
 {}
 
-namespace {
-
-/** FNV-style value-hash combiner shared by both key directions. */
-std::uint64_t
-combineHash(std::uint64_t h, const ops5::Value &v)
-{
-    return (h ^ v.hash()) * 0x100000001b3ULL;
-}
-
-} // namespace
-
-std::uint64_t
-ReteMatcher::keyOfWme(const JoinNode &join, const ops5::Wme &wme)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const JoinTest &t : join.tests)
-        h = combineHash(h, wme.field(t.wme_field));
-    return h;
-}
-
-std::uint64_t
-ReteMatcher::keyOfToken(const JoinNode &join, const Token &token)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const JoinTest &t : join.tests)
-        h = combineHash(h, token.wmes[t.token_ce]->field(t.token_field));
-    return h;
-}
-
-ReteMatcher::JoinIndex *
-ReteMatcher::indexOf(const JoinNode *join)
-{
-    if (!hash_joins_)
-        return nullptr;
-    auto it = indexes_.find(join->id);
-    return it == indexes_.end() ? nullptr : &it->second;
-}
-
-void
-ReteMatcher::indexInsertWme(const AlphaMemoryNode *am,
-                            const ops5::Wme *wme, bool insert)
-{
-    for (Node *succ : am->successors) {
-        if (succ->kind != NodeKind::Join)
-            continue;
-        auto *join = static_cast<JoinNode *>(succ);
-        JoinIndex *index = indexOf(join);
-        if (!index)
-            continue;
-        auto &bucket = index->right[keyOfWme(*join, *wme)];
-        if (insert) {
-            bucket.push_back(wme);
-        } else {
-            auto it = std::find(bucket.begin(), bucket.end(), wme);
-            if (it != bucket.end()) {
-                *it = bucket.back();
-                bucket.pop_back();
-            }
-        }
-        stats_.instructions += 6; // hash + bucket maintenance
-    }
-}
-
-void
-ReteMatcher::indexInsertToken(const BetaMemoryNode *bm,
-                              const Token &token, bool insert)
-{
-    for (Node *succ : bm->successors) {
-        if (succ->kind != NodeKind::Join)
-            continue;
-        auto *join = static_cast<JoinNode *>(succ);
-        JoinIndex *index = indexOf(join);
-        if (!index)
-            continue;
-        auto &bucket = index->left[keyOfToken(*join, token)];
-        if (insert) {
-            bucket.push_back(token);
-        } else {
-            auto it = std::find(bucket.begin(), bucket.end(), token);
-            if (it != bucket.end()) {
-                *it = std::move(bucket.back());
-                bucket.pop_back();
-            }
-        }
-        stats_.instructions += 6;
-    }
-}
-
 void
 ReteMatcher::rebuildIndexes()
 {
-    if (!hash_joins_)
-        return;
-    for (auto &[id, index] : indexes_) {
-        index.right.clear();
-        index.left.clear();
-    }
-    for (const auto &node : network_->nodes()) {
-        if (node->kind == NodeKind::AlphaMemory) {
-            auto *am = static_cast<AlphaMemoryNode *>(node.get());
-            for (const ops5::Wme *wme : am->items)
-                indexInsertWme(am, wme, true);
-        } else if (node->kind == NodeKind::BetaMemory) {
-            auto *bm = static_cast<BetaMemoryNode *>(node.get());
-            for (const Token &token : bm->tokens)
-                indexInsertToken(bm, token, true);
-        }
-    }
+    network_->rebuildIndexes();
 }
 
 telemetry::Registry *
@@ -267,10 +148,8 @@ ReteMatcher::processChanges(std::span<const ops5::WmeChange> changes)
     }
 
     // Cycle barrier: no tombstone may survive into the next cycle.
-    for (const auto &node : network_->nodes()) {
-        if (node->kind == NodeKind::BetaMemory)
-            static_cast<BetaMemoryNode *>(node.get())->clearTombstones();
-    }
+    for (BetaMemoryNode *bm : beta_memories_)
+        bm->clearTombstones();
     conflict_set_.clearTombstones();
     if (spans_)
         spans_->endCycle();
@@ -328,14 +207,19 @@ ReteMatcher::processAlphaMemory(const WorkItem &item)
         node->insertWme(item.wme);
         cost = cost_.alpha_insert;
     } else {
+        // The removal is an O(1) keyed erase, but the plain matcher
+        // still *charges* the classic linear-scan cost so simulator
+        // traces match the paper's machine model.
         std::size_t scanned = node->size();
-        node->removeWme(item.wme);
+        if (!node->removeWme(item.wme) && tel_)
+            tel_->count(0, telemetry::Counter::AlphaRemoveMisses);
         cost = cost_.alpha_remove_base +
                static_cast<std::uint32_t>(scanned *
                                           cost_.alpha_scan_per_item);
     }
     if (hash_joins_)
-        indexInsertWme(node, item.wme, item.insert);
+        stats_.instructions += // hash + bucket maintenance per index
+            6u * static_cast<std::uint32_t>(node->indexed_join_successors);
     std::uint64_t id = recordActivation(item, NodeKind::AlphaMemory, cost);
     for (Node *succ : node->successors) {
         WorkItem next = item;
@@ -357,12 +241,15 @@ ReteMatcher::processBetaMemory(const WorkItem &item)
     } else {
         std::size_t scanned = node->size();
         forward = node->removeToken(item.token);
+        if (!forward && tel_)
+            tel_->count(0, telemetry::Counter::TombstoneParks);
         cost = cost_.beta_remove_base +
                static_cast<std::uint32_t>(scanned *
                                           cost_.beta_scan_per_item);
     }
     if (hash_joins_ && forward)
-        indexInsertToken(node, item.token, item.insert);
+        stats_.instructions += // hash + bucket maintenance per index
+            6u * static_cast<std::uint32_t>(node->indexed_join_successors);
     if (tel_)
         tel_->observe(0, telemetry::Histogram::BetaMemorySize,
                       node->size());
@@ -382,23 +269,15 @@ ReteMatcher::processJoin(const WorkItem &item)
 {
     auto *node = static_cast<JoinNode *>(item.node);
     const ops5::SymbolTable &syms = network_->program().symbols();
-    std::uint64_t candidates = 0, outputs = 0;
+    std::uint64_t probed = 0, outputs = 0;
+    std::uint64_t full = 0; // opposite-memory size: the modeled scan
     std::vector<WorkItem> produced;
 
-    JoinIndex *index = indexOf(node);
-    static const std::vector<const ops5::Wme *> kNoWmes;
-    static const std::vector<Token> kNoTokens;
-
     if (item.side == Side::Left) {
-        const std::vector<const ops5::Wme *> *cands =
-            &node->right->items;
-        if (index) {
-            auto it = index->right.find(keyOfToken(*node, item.token));
-            cands = it == index->right.end() ? &kNoWmes : &it->second;
-        }
-        for (const ops5::Wme *wme : *cands) {
-            ++candidates;
-            if (evalJoinTests(node->tests, item.token, *wme, syms)) {
+        full = node->right->items.size();
+        auto tryPair = [&](const ops5::Wme *wme) {
+            ++probed;
+            if (evalFlatTests(node->flat, item.token, *wme, syms)) {
                 ++outputs;
                 WorkItem next;
                 next.node = node->output;
@@ -407,16 +286,23 @@ ReteMatcher::processJoin(const WorkItem &item)
                 next.token = item.token.extend(wme);
                 produced.push_back(std::move(next));
             }
+        };
+        if (node->right_probe >= 0 && node->right->indexed()) {
+            const AlphaProbe &probe =
+                node->right->probes[node->right_probe];
+            auto range = probe.buckets.equal_range(
+                probeHashFromToken(node->flat, item.token));
+            for (auto it = range.first; it != range.second; ++it)
+                tryPair(it->second);
+        } else {
+            for (const ops5::Wme *wme : node->right->items)
+                tryPair(wme);
         }
     } else {
-        const std::vector<Token> *cands = &node->left->tokens;
-        if (index) {
-            auto it = index->left.find(keyOfWme(*node, *item.wme));
-            cands = it == index->left.end() ? &kNoTokens : &it->second;
-        }
-        for (const Token &token : *cands) {
-            ++candidates;
-            if (evalJoinTests(node->tests, token, *item.wme, syms)) {
+        full = node->left->size();
+        auto tryPair = [&](const Token &token) {
+            ++probed;
+            if (evalFlatTests(node->flat, token, *item.wme, syms)) {
                 ++outputs;
                 WorkItem next;
                 next.node = node->output;
@@ -425,9 +311,24 @@ ReteMatcher::processJoin(const WorkItem &item)
                 next.token = token.extend(item.wme);
                 produced.push_back(std::move(next));
             }
+        };
+        if (node->left_probe >= 0 && node->left->indexed()) {
+            const BetaProbe &probe =
+                node->left->probes[node->left_probe];
+            auto range = probe.buckets.equal_range(
+                probeHashFromWme(node->flat, *item.wme));
+            for (auto it = range.first; it != range.second; ++it)
+                tryPair(node->left->store.at(it->second));
+        } else {
+            node->left->store.forEach(
+                [&](const Token &token) { tryPair(token); });
         }
     }
 
+    // The activation always probed a bucket, but the plain matcher
+    // charges the classic full-scan candidate count (the paper's
+    // machine model); only the hashed config charges what it probed.
+    std::uint64_t candidates = hash_joins_ ? probed : full;
     std::uint32_t cost = cost_.joinActivation(
         candidates, candidates * node->tests.size(), outputs);
     if (tel_)
@@ -459,34 +360,39 @@ ReteMatcher::processNot(const WorkItem &item)
 
     if (item.side == Side::Left) {
         if (item.insert) {
+            // Count matches via the right memory's probe bucket when
+            // one exists; charge the modeled full-scan count either
+            // way (not nodes were never hashed in the cost model).
+            candidates = node->right->items.size();
             int count = 0;
-            for (const ops5::Wme *wme : node->right->items) {
-                ++candidates;
-                if (evalJoinTests(node->tests, item.token, *wme, syms))
-                    ++count;
+            if (node->right_probe >= 0 && node->right->indexed()) {
+                const AlphaProbe &probe =
+                    node->right->probes[node->right_probe];
+                auto range = probe.buckets.equal_range(
+                    probeHashFromToken(node->flat, item.token));
+                for (auto it = range.first; it != range.second; ++it)
+                    if (evalFlatTests(node->flat, item.token,
+                                      *it->second, syms))
+                        ++count;
+            } else {
+                for (const ops5::Wme *wme : node->right->items)
+                    if (evalFlatTests(node->flat, item.token, *wme,
+                                      syms))
+                        ++count;
             }
-            node->entries.push_back({item.token, count});
+            node->addEntry(item.token, count);
             if (count == 0)
                 forward(item.token, true);
         } else {
-            auto it = std::find_if(node->entries.begin(),
-                                   node->entries.end(),
-                                   [&](const NotNode::Entry &e) {
-                                       return e.token == item.token;
-                                   });
             candidates = node->entries.size();
-            if (it != node->entries.end()) {
-                bool was_clear = it->count == 0;
-                *it = std::move(node->entries.back());
-                node->entries.pop_back();
-                if (was_clear)
-                    forward(item.token, false);
-            }
+            int count = node->removeEntry(item.token);
+            if (count == 0)
+                forward(item.token, false);
         }
     } else {
         for (NotNode::Entry &entry : node->entries) {
             ++candidates;
-            if (!evalJoinTests(node->tests, entry.token, *item.wme, syms))
+            if (!evalFlatTests(node->flat, entry.token, *item.wme, syms))
                 continue;
             if (item.insert) {
                 if (++entry.count == 1)
@@ -515,7 +421,7 @@ ReteMatcher::processTerminal(const WorkItem &item)
     recordActivation(item, NodeKind::Terminal, cost_.terminal);
     ops5::Instantiation inst;
     inst.production = node->production;
-    inst.wmes = item.token.wmes;
+    inst.wmes = item.token.toVector();
     if (item.insert)
         conflict_set_.insert(std::move(inst));
     else
@@ -529,7 +435,7 @@ ReteMatcher::pendingTombstones() const
     for (const auto &node : network_->nodes()) {
         if (node->kind == NodeKind::BetaMemory)
             n += static_cast<const BetaMemoryNode *>(node.get())
-                     ->tombstones.size();
+                     ->tombstoneCount();
     }
     return n;
 }

@@ -46,11 +46,14 @@ struct WorkItem
  * cost-model instruction counts — the input format of the PSM
  * simulator.
  *
- * With `hash_joins` enabled, every join whose tests are all
- * equalities gets matcher-local hash indexes over both input
- * memories, so an activation probes one bucket instead of scanning
- * the whole opposite memory — the style of "further optimization to
- * the OPS compiler" behind the paper's 400-800 wme-changes/sec serial
+ * Join activations always *probe* the memory-node hash indexes
+ * (every all-equality join gets probe buckets registered at network
+ * build; see nodes.hpp), but the *modeled* cost they report follows
+ * the configuration: the plain matcher charges the classic full-scan
+ * instruction counts (so PSM simulator traces are unchanged), while
+ * `hash_joins` charges the actually probed bucket sizes plus index
+ * maintenance — the style of "further optimization to the OPS
+ * compiler" behind the paper's 400-800 wme-changes/sec serial
  * projection (Section 2.2). Indexing never changes results, only the
  * work done (asserted by the equivalence suite).
  */
@@ -110,11 +113,11 @@ class ReteMatcher : public core::Matcher
     std::size_t pendingTombstones() const;
 
     /**
-     * Rebuilds the matcher-local hash-join indexes from the current
-     * memory-node contents. The durable layer's state-restore path
-     * fills alpha/beta memories directly (bypassing processChanges),
-     * so the indexes must be reconstructed afterwards. No-op when
-     * hash joins are disabled.
+     * Rebuilds the memory-node hash indexes from the current memory
+     * contents (delegates to Network::rebuildIndexes). The durable
+     * layer's state-restore path fills alpha/beta memories and
+     * not-node entries directly (bypassing processChanges), so the
+     * indexes must be reconstructed afterwards.
      */
     void rebuildIndexes();
 
@@ -133,40 +136,16 @@ class ReteMatcher : public core::Matcher
     void processNot(const WorkItem &item);
     void processTerminal(const WorkItem &item);
 
-    /** Matcher-local hash indexes for an equality-only join. */
-    struct JoinIndex
-    {
-        std::unordered_map<std::uint64_t,
-                           std::vector<const ops5::Wme *>> right;
-        std::unordered_map<std::uint64_t, std::vector<Token>> left;
-    };
-
-    /** Combined hash of the join-key values on the WME side. */
-    static std::uint64_t keyOfWme(const JoinNode &join,
-                                  const ops5::Wme &wme);
-
-    /** Combined hash of the join-key values on the token side. */
-    static std::uint64_t keyOfToken(const JoinNode &join,
-                                    const Token &token);
-
-    /** Index for @p join, or nullptr when it is not equality-only
-     *  (or hashing is disabled). */
-    JoinIndex *indexOf(const JoinNode *join);
-
-    void indexInsertWme(const AlphaMemoryNode *am, const ops5::Wme *wme,
-                        bool insert);
-    void indexInsertToken(const BetaMemoryNode *bm, const Token &token,
-                          bool insert);
-
     std::shared_ptr<Network> network_;
     CostModel cost_;
     bool hash_joins_;
+    /** Beta memories cached for the per-cycle tombstone barrier. */
+    std::vector<BetaMemoryNode *> beta_memories_;
     ops5::ConflictSet conflict_set_;
     core::MatchStats stats_;
     TraceSink *sink_ = nullptr;
     SpanRecorder *spans_ = nullptr;
     std::unique_ptr<telemetry::Registry> tel_;
-    std::unordered_map<int, JoinIndex> indexes_;
 
     std::deque<WorkItem> queue_;
     std::uint64_t next_activation_id_ = 1;

@@ -23,7 +23,7 @@ class NetworkBuilder
     run()
     {
         net_.top_ = create<BetaMemoryNode>();
-        net_.top_->tokens.push_back(Token{});
+        net_.top_->insertToken(Token{});
         for (const auto &p : program_.productions())
             addProduction(*p);
     }
@@ -204,6 +204,56 @@ Network::Network(std::shared_ptr<const ops5::Program> program,
     : program_(std::move(program)), options_(options)
 {
     NetworkBuilder(*this, *program_).run();
+    finalizeIndexes();
+}
+
+namespace {
+
+int
+registerAlphaProbe(AlphaMemoryNode &am, WmeKeySpec spec)
+{
+    for (std::size_t i = 0; i < am.probes.size(); ++i)
+        if (am.probes[i].spec == spec)
+            return static_cast<int>(i);
+    am.probes.push_back({std::move(spec), {}});
+    return static_cast<int>(am.probes.size() - 1);
+}
+
+int
+registerBetaProbe(BetaMemoryNode &bm, TokenKeySpec spec)
+{
+    for (std::size_t i = 0; i < bm.probes.size(); ++i)
+        if (bm.probes[i].spec == spec)
+            return static_cast<int>(i);
+    bm.probes.push_back({std::move(spec), {}});
+    return static_cast<int>(bm.probes.size() - 1);
+}
+
+} // namespace
+
+void
+Network::finalizeIndexes()
+{
+    for (const auto &node : nodes_) {
+        if (node->kind == NodeKind::Join) {
+            auto *jn = static_cast<JoinNode *>(node.get());
+            jn->flat = flattenJoinTests(jn->tests);
+            if (jn->flat.n > 0 && jn->flat.all_eq) {
+                jn->right_probe = registerAlphaProbe(
+                    *jn->right, wmeKeySpecOf(jn->tests));
+                jn->left_probe = registerBetaProbe(
+                    *jn->left, tokenKeySpecOf(jn->tests));
+                ++jn->right->indexed_join_successors;
+                ++jn->left->indexed_join_successors;
+            }
+        } else if (node->kind == NodeKind::Not) {
+            auto *nn = static_cast<NotNode *>(node.get());
+            nn->flat = flattenJoinTests(nn->tests);
+            if (nn->flat.n > 0 && nn->flat.all_eq)
+                nn->right_probe = registerAlphaProbe(
+                    *nn->right, wmeKeySpecOf(nn->tests));
+        }
+    }
 }
 
 const std::vector<Node *> &
@@ -220,22 +270,39 @@ Network::resetState()
     for (const auto &node : nodes_) {
         switch (node->kind) {
           case NodeKind::AlphaMemory:
-            static_cast<AlphaMemoryNode *>(node.get())->items.clear();
+            static_cast<AlphaMemoryNode *>(node.get())->clearState();
             break;
-          case NodeKind::BetaMemory: {
-            auto *bm = static_cast<BetaMemoryNode *>(node.get());
-            bm->tokens.clear();
-            bm->tombstones.clear();
+          case NodeKind::BetaMemory:
+            static_cast<BetaMemoryNode *>(node.get())->clearState();
             break;
-          }
           case NodeKind::Not:
-            static_cast<NotNode *>(node.get())->entries.clear();
+            static_cast<NotNode *>(node.get())->clearState();
             break;
           default:
             break;
         }
     }
-    top_->tokens.push_back(Token{});
+    top_->insertToken(Token{});
+}
+
+void
+Network::rebuildIndexes()
+{
+    for (const auto &node : nodes_) {
+        switch (node->kind) {
+          case NodeKind::AlphaMemory:
+            static_cast<AlphaMemoryNode *>(node.get())->rebuildIndexes();
+            break;
+          case NodeKind::BetaMemory:
+            static_cast<BetaMemoryNode *>(node.get())->rebuildIndexes();
+            break;
+          case NodeKind::Not:
+            static_cast<NotNode *>(node.get())->rebuildIndexes();
+            break;
+          default:
+            break;
+        }
+    }
 }
 
 void

@@ -125,7 +125,22 @@ class Network
     /** Drops all match state (memories, counts, tombstones). */
     void resetState();
 
+    /**
+     * Rebuilds every memory-node hash index from the raw contents
+     * (items / token store / not entries). State restore fills the
+     * raw containers directly and then calls this.
+     */
+    void rebuildIndexes();
+
   private:
+    /**
+     * Build-time index compilation: flattens each two-input node's
+     * join tests into FlatTests and, for all-equality tests,
+     * registers probe indexes (deduplicated by key spec) on the
+     * node's input memories.
+     */
+    void finalizeIndexes();
+
     friend class NetworkBuilder;
 
     std::shared_ptr<const ops5::Program> program_;

@@ -1,20 +1,33 @@
 /**
  * @file
- * Match tokens: ordered tuples of WME pointers.
+ * Match tokens and the slab store that owns them.
  *
  * A token records the WMEs matching a prefix of a production's
- * positive condition elements. Tokens here are flat pointer vectors
- * rather than parent-linked chains: joins copy a handful of pointers,
- * and deletion matches tokens by value, so memory-node state is
+ * positive condition elements. Tokens are flat pointer tuples rather
+ * than parent-linked chains: joins copy a handful of pointers, and
+ * deletion matches tokens by value, so memory-node state is
  * self-contained and safe to mutate from fine-grain parallel tasks
  * without cross-token lifetime coupling.
+ *
+ * Layout: up to kInline WME pointers live inside the Token itself
+ * (small-buffer optimization) — deeper tokens spill to the heap. The
+ * tuple hash is maintained incrementally on every extend/push, so
+ * hashing a token for the memory-node indexes is a field read, not a
+ * walk. TokenStore is a slot-stable slab: a token keeps its slot index
+ * for its whole life, so hash indexes can reference tokens by a
+ * 32-bit slot instead of copying the tuple, and erase never moves
+ * other tokens.
  */
 
 #ifndef PSM_RETE_TOKEN_HPP
 #define PSM_RETE_TOKEN_HPP
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "ops5/wme.hpp"
@@ -22,41 +35,313 @@
 namespace psm::rete {
 
 /** An ordered tuple of WMEs matching a CE prefix. */
-struct Token
+class Token
 {
-    std::vector<const ops5::Wme *> wmes;
+  public:
+    /** Inline capacity; covers every calibrated preset's CE depth. */
+    static constexpr std::size_t kInline = 4;
 
     Token() = default;
 
-    explicit Token(const ops5::Wme *wme) : wmes{wme} {}
+    explicit Token(const ops5::Wme *wme)
+    {
+        inline_[0] = wme;
+        size_ = 1;
+        hash_ = mix(kSeed, wme);
+    }
+
+    explicit Token(const std::vector<const ops5::Wme *> &wmes)
+    {
+        reserve(wmes.size());
+        for (const ops5::Wme *w : wmes)
+            push_back(w);
+    }
+
+    Token(const Token &o) { copyFrom(o); }
+
+    Token(Token &&o) noexcept { moveFrom(o); }
+
+    Token &
+    operator=(const Token &o)
+    {
+        if (this != &o) {
+            release();
+            copyFrom(o);
+        }
+        return *this;
+    }
+
+    Token &
+    operator=(Token &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    ~Token() { release(); }
 
     /** Token extended by one WME (the join operation). */
     Token
     extend(const ops5::Wme *wme) const
     {
         Token t;
-        t.wmes.reserve(wmes.size() + 1);
-        t.wmes = wmes;
-        t.wmes.push_back(wme);
+        t.size_ = size_ + 1;
+        if (t.size_ > kInline) {
+            t.heap_ = new const ops5::Wme *[t.size_];
+            t.cap_ = t.size_;
+        }
+        std::memcpy(t.data(), data(), size_ * sizeof(const ops5::Wme *));
+        t.data()[size_] = wme;
+        t.hash_ = mix(hash_, wme);
         return t;
     }
 
-    std::size_t size() const { return wmes.size(); }
-    bool operator==(const Token &o) const { return wmes == o.wmes; }
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    void
+    push_back(const ops5::Wme *wme)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        data()[size_++] = wme;
+        hash_ = mix(hash_, wme);
+    }
+
+    /** Drops the last WME; recomputes the hash (O(size)). */
+    void
+    pop_back()
+    {
+        assert(size_ > 0);
+        --size_;
+        hash_ = kSeed;
+        for (std::size_t i = 0; i < size_; ++i)
+            hash_ = mix(hash_, data()[i]);
+    }
+
+    const ops5::Wme *operator[](std::size_t i) const { return data()[i]; }
+    const ops5::Wme *back() const { return data()[size_ - 1]; }
+
+    const ops5::Wme *const *begin() const { return data(); }
+    const ops5::Wme *const *end() const { return data() + size_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Incrementally maintained tuple hash. */
+    std::uint64_t hash() const { return hash_; }
+
+    std::vector<const ops5::Wme *>
+    toVector() const
+    {
+        return {begin(), end()};
+    }
+
+    bool
+    operator==(const Token &o) const
+    {
+        // Hash is a pure function of the tuple, so it acts as a
+        // cheap reject before the pointer comparison.
+        return size_ == o.size_ && hash_ == o.hash_ &&
+               std::memcmp(data(), o.data(),
+                           size_ * sizeof(const ops5::Wme *)) == 0;
+    }
+
+  private:
+    static constexpr std::uint64_t kSeed = 0x51ed270b;
+
+    static std::uint64_t
+    mix(std::uint64_t h, const ops5::Wme *w)
+    {
+        return h * 0x9e3779b97f4a7c15ULL +
+               std::hash<const void *>()(w);
+    }
+
+    const ops5::Wme **data() { return heap_ ? heap_ : inline_; }
+    const ops5::Wme *const *data() const
+    {
+        return heap_ ? heap_ : inline_;
+    }
+
+    void
+    grow(std::size_t n)
+    {
+        if (n < kInline * 2)
+            n = kInline * 2;
+        auto **next = new const ops5::Wme *[n];
+        std::memcpy(next, data(), size_ * sizeof(const ops5::Wme *));
+        delete[] heap_;
+        heap_ = next;
+        cap_ = n;
+    }
+
+    void
+    copyFrom(const Token &o)
+    {
+        size_ = o.size_;
+        hash_ = o.hash_;
+        if (size_ > kInline) {
+            heap_ = new const ops5::Wme *[size_];
+            cap_ = size_;
+        }
+        std::memcpy(data(), o.data(), size_ * sizeof(const ops5::Wme *));
+    }
+
+    void
+    moveFrom(Token &o) noexcept
+    {
+        size_ = o.size_;
+        hash_ = o.hash_;
+        if (o.heap_) {
+            heap_ = o.heap_;
+            cap_ = o.cap_;
+            o.heap_ = nullptr;
+        } else {
+            std::memcpy(inline_, o.inline_,
+                        size_ * sizeof(const ops5::Wme *));
+        }
+        o.size_ = 0;
+        o.cap_ = kInline;
+        o.hash_ = kSeed;
+    }
+
+    void
+    release()
+    {
+        delete[] heap_;
+        heap_ = nullptr;
+        cap_ = kInline;
+    }
+
+    const ops5::Wme *inline_[kInline] = {};
+    const ops5::Wme **heap_ = nullptr;
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = kInline;
+    std::uint64_t hash_ = kSeed;
 };
 
-/** Hash over the WME pointer tuple. */
+/** Hash over the WME pointer tuple (reads the cached hash). */
 struct TokenHash
 {
     std::size_t
     operator()(const Token &t) const
     {
-        std::size_t h = 0x51ed270b;
-        for (const ops5::Wme *w : t.wmes)
-            h = h * 0x9e3779b97f4a7c15ULL +
-                std::hash<const void *>()(w);
-        return h;
+        return static_cast<std::size_t>(t.hash());
     }
+};
+
+/**
+ * Slot-stable token slab. insert() returns a slot id that stays valid
+ * until erase(slot); freed slots are recycled LIFO. Memory-node
+ * indexes store these 32-bit slots instead of token copies, and the
+ * slab keeps live tokens dense enough to walk cache-friendly.
+ */
+class TokenStore
+{
+  public:
+    static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+
+    std::uint32_t
+    insert(Token token)
+    {
+        std::uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+            slots_[slot] = std::move(token);
+            live_[slot] = 1;
+        } else {
+            slot = static_cast<std::uint32_t>(slots_.size());
+            slots_.push_back(std::move(token));
+            live_.push_back(1);
+        }
+        ++live_count_;
+        return slot;
+    }
+
+    void
+    erase(std::uint32_t slot)
+    {
+        assert(slot < slots_.size() && live_[slot]);
+        slots_[slot] = Token{}; // releases any heap spill now
+        live_[slot] = 0;
+        free_.push_back(slot);
+        --live_count_;
+    }
+
+    const Token &
+    at(std::uint32_t slot) const
+    {
+        assert(slot < slots_.size() && live_[slot]);
+        return slots_[slot];
+    }
+
+    bool
+    liveAt(std::uint32_t slot) const
+    {
+        return slot < slots_.size() && live_[slot] != 0;
+    }
+
+    /**
+     * First live slot holding a token equal to @p t, or -1. Linear
+     * over the slab — the fallback lookup for memories below the
+     * adaptive-index threshold, where the scan is a handful of
+     * hash-rejected compares.
+     */
+    std::int32_t
+    findSlot(const Token &t) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (live_[i] && slots_[i] == t)
+                return static_cast<std::int32_t>(i);
+        return -1;
+    }
+
+    std::size_t size() const { return live_count_; }
+    bool empty() const { return live_count_ == 0; }
+
+    /** Slots ever allocated (live + freed); the walk bound. */
+    std::size_t slotCount() const { return slots_.size(); }
+
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (live_[i])
+                f(slots_[i]);
+    }
+
+    template <typename F>
+    void
+    forEachSlot(F &&f) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (live_[i])
+                f(static_cast<std::uint32_t>(i), slots_[i]);
+    }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        live_.clear();
+        free_.clear();
+        live_count_ = 0;
+    }
+
+  private:
+    std::vector<Token> slots_;
+    std::vector<std::uint8_t> live_;
+    std::vector<std::uint32_t> free_;
+    std::size_t live_count_ = 0;
 };
 
 } // namespace psm::rete

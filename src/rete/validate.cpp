@@ -203,7 +203,10 @@ class StructureValidator
         ++producers_[output->id];
         // The node must be registered as successor of both inputs:
         // the matchers dispatch through those successor lists, so a
-        // missing edge silently drops activations.
+        // missing edge silently drops activations. Linear std::find is
+        // fine here — successor lists are bounded by per-memory node
+        // fan-out (a compile-time property, typically < 10), and this
+        // runs once per validation pass, not on the match hot path.
         if (std::find(left->successors.begin(), left->successors.end(),
                       node) == left->successors.end())
             nodeError(result_, node,
@@ -428,12 +431,12 @@ class Validator
     checkBetaMemory(const BetaMemoryNode *mem)
     {
         std::vector<std::string> actual, expect;
-        for (const Token &t : mem->tokens)
-            actual.push_back(tokenKey(t));
+        mem->store.forEach(
+            [&](const Token &t) { actual.push_back(tokenKey(t)); });
         for (const Token &t : expectedTokens(mem))
             expect.push_back(tokenKey(t));
         compareSets(mem, std::move(actual), std::move(expect), "beta");
-        if (!mem->tombstones.empty())
+        if (mem->tombstoneCount() != 0)
             error(mem, "tombstones present outside a match phase");
     }
 
@@ -450,14 +453,14 @@ class Validator
     {
         const ops5::SymbolTable &syms = net_.program().symbols();
         std::vector<std::string> actual, expect;
-        for (const Token &t : join->output->tokens)
-            actual.push_back(tokenKey(t));
-        for (const Token &left : join->left->tokens) {
+        join->output->store.forEach(
+            [&](const Token &t) { actual.push_back(tokenKey(t)); });
+        join->left->store.forEach([&](const Token &left) {
             for (const ops5::Wme *wme : join->right->items) {
                 if (evalJoinTests(join->tests, left, *wme, syms))
                     expect.push_back(tokenKey(left.extend(wme)));
             }
-        }
+        });
         compareSets(join, std::move(actual), std::move(expect),
                     "left/right join-output");
     }
@@ -508,7 +511,7 @@ class Validator
                 auto *term = static_cast<const TerminalNode *>(succ);
                 for (const Token &t : expectedTokens(bm)) {
                     expect.push_back(instKey(term->production->id(),
-                                             t.wmes));
+                                             t.toVector()));
                 }
             }
         }
@@ -569,7 +572,7 @@ class Validator
     tokenKey(const Token &t)
     {
         std::ostringstream os;
-        for (const ops5::Wme *w : t.wmes)
+        for (const ops5::Wme *w : t)
             os << w->timeTag() << ",";
         return os.str();
     }
@@ -583,6 +586,187 @@ class Validator
     std::set<int> checked_alpha_;
 };
 
+// --- index <-> memory agreement ----------------------------------------
+
+void
+checkAlphaIndexes(ValidationResult &result, const AlphaMemoryNode *am)
+{
+    if (am->remove_misses != 0) {
+        nodeError(result, am,
+                  std::to_string(am->remove_misses) +
+                      " removeWme miss(es): working memory and alpha "
+                      "memory have desynced");
+    }
+    if (!am->indexed()) {
+        // Below the adaptive threshold: index maps must be empty, or
+        // a stale entry could serve a wrong probe after reactivation.
+        if (!am->pos.empty()) {
+            nodeError(result, am,
+                      "inactive position index still holds " +
+                          std::to_string(am->pos.size()) + " entries");
+        }
+        for (std::size_t p = 0; p < am->probes.size(); ++p) {
+            if (!am->probes[p].buckets.empty())
+                nodeError(result, am,
+                          "inactive probe " + std::to_string(p) +
+                              " still holds entries");
+        }
+        return;
+    }
+    if (am->pos.size() != am->items.size()) {
+        nodeError(result, am,
+                  "position index holds " +
+                      std::to_string(am->pos.size()) + " entries for " +
+                      std::to_string(am->items.size()) + " items");
+    }
+    for (std::size_t i = 0; i < am->items.size(); ++i) {
+        auto it = am->pos.find(am->items[i]);
+        if (it == am->pos.end()) {
+            nodeError(result, am,
+                      "item at slot " + std::to_string(i) +
+                          " missing from position index");
+        } else if (it->second != i) {
+            nodeError(result, am,
+                      "position index points item at slot " +
+                          std::to_string(i) + " to slot " +
+                          std::to_string(it->second));
+        }
+    }
+    for (std::size_t p = 0; p < am->probes.size(); ++p) {
+        const AlphaProbe &probe = am->probes[p];
+        if (probe.buckets.size() != am->items.size()) {
+            nodeError(result, am,
+                      "probe " + std::to_string(p) + " indexes " +
+                          std::to_string(probe.buckets.size()) +
+                          " wmes but memory holds " +
+                          std::to_string(am->items.size()));
+            continue;
+        }
+        for (const ops5::Wme *wme : am->items) {
+            auto range = probe.buckets.equal_range(
+                wmeKeyHash(probe.spec, *wme));
+            bool found = false;
+            for (auto b = range.first; b != range.second; ++b) {
+                if (b->second == wme) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                nodeError(result, am,
+                          "probe " + std::to_string(p) +
+                              " bucket missing a stored wme");
+            }
+        }
+    }
+}
+
+void
+checkBetaIndexes(ValidationResult &result, const BetaMemoryNode *bm)
+{
+    if (!bm->indexed()) {
+        if (!bm->by_token.empty()) {
+            nodeError(result, bm,
+                      "inactive identity index still holds " +
+                          std::to_string(bm->by_token.size()) +
+                          " entries");
+        }
+        for (std::size_t p = 0; p < bm->probes.size(); ++p) {
+            if (!bm->probes[p].buckets.empty())
+                nodeError(result, bm,
+                          "inactive probe " + std::to_string(p) +
+                              " still holds entries");
+        }
+        return;
+    }
+    if (bm->by_token.size() != bm->store.size()) {
+        nodeError(result, bm,
+                  "identity index holds " +
+                      std::to_string(bm->by_token.size()) +
+                      " entries for " + std::to_string(bm->store.size()) +
+                      " live tokens");
+    }
+    for (std::size_t p = 0; p < bm->probes.size(); ++p) {
+        if (bm->probes[p].buckets.size() != bm->store.size()) {
+            nodeError(result, bm,
+                      "probe " + std::to_string(p) + " indexes " +
+                          std::to_string(bm->probes[p].buckets.size()) +
+                          " tokens but memory holds " +
+                          std::to_string(bm->store.size()));
+        }
+    }
+    bm->store.forEachSlot([&](std::uint32_t slot, const Token &token) {
+        auto range = bm->by_token.equal_range(token.hash());
+        bool found = false;
+        for (auto it = range.first; it != range.second; ++it) {
+            if (it->second == slot) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            nodeError(result, bm,
+                      "live token at slot " + std::to_string(slot) +
+                          " missing from identity index");
+        }
+        for (std::size_t p = 0; p < bm->probes.size(); ++p) {
+            const BetaProbe &probe = bm->probes[p];
+            auto pr = probe.buckets.equal_range(
+                tokenKeyHash(probe.spec, token));
+            bool in_probe = false;
+            for (auto b = pr.first; b != pr.second; ++b) {
+                if (b->second == slot) {
+                    in_probe = true;
+                    break;
+                }
+            }
+            if (!in_probe) {
+                nodeError(result, bm,
+                          "probe " + std::to_string(p) +
+                              " bucket missing live token at slot " +
+                              std::to_string(slot));
+            }
+        }
+    });
+}
+
+void
+checkNotIndexes(ValidationResult &result, const NotNode *nn)
+{
+    if (!nn->indexed()) {
+        if (!nn->entry_index.empty()) {
+            nodeError(result, nn,
+                      "inactive entry index still holds " +
+                          std::to_string(nn->entry_index.size()) +
+                          " entries");
+        }
+        return;
+    }
+    if (nn->entry_index.size() != nn->entries.size()) {
+        nodeError(result, nn,
+                  "entry index holds " +
+                      std::to_string(nn->entry_index.size()) +
+                      " entries for " + std::to_string(nn->entries.size()) +
+                      " left-match entries");
+    }
+    for (std::size_t i = 0; i < nn->entries.size(); ++i) {
+        auto range =
+            nn->entry_index.equal_range(nn->entries[i].token.hash());
+        bool found = false;
+        for (auto it = range.first; it != range.second; ++it) {
+            if (it->second == i) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            nodeError(result, nn,
+                      "entry at slot " + std::to_string(i) +
+                          " missing from entry index");
+        }
+    }
+}
+
 } // namespace
 
 ValidationResult
@@ -592,10 +776,37 @@ validateStructure(const Network &network)
 }
 
 ValidationResult
+validateIndexes(const Network &network)
+{
+    ValidationResult result;
+    for (const auto &node : network.nodes()) {
+        switch (node->kind) {
+          case NodeKind::AlphaMemory:
+            checkAlphaIndexes(
+                result, static_cast<const AlphaMemoryNode *>(node.get()));
+            break;
+          case NodeKind::BetaMemory:
+            checkBetaIndexes(
+                result, static_cast<const BetaMemoryNode *>(node.get()));
+            break;
+          case NodeKind::Not:
+            checkNotIndexes(result,
+                            static_cast<const NotNode *>(node.get()));
+            break;
+          default:
+            break;
+        }
+    }
+    return result;
+}
+
+ValidationResult
 validateNetworkState(const Network &network,
                      const std::vector<const ops5::Wme *> &live_wmes)
 {
-    return Validator(network, live_wmes, nullptr).run();
+    ValidationResult result = Validator(network, live_wmes, nullptr).run();
+    result.merge(validateIndexes(network));
+    return result;
 }
 
 ValidationResult
@@ -605,6 +816,7 @@ validateMatcherState(const Network &network,
 {
     ValidationResult result = validateStructure(network);
     result.merge(Validator(network, live_wmes, &conflict_set).run());
+    result.merge(validateIndexes(network));
     return result;
 }
 

@@ -80,6 +80,17 @@ ValidationResult validateNetworkState(
     const std::vector<const ops5::Wme *> &live_wmes);
 
 /**
+ * Index ↔ memory agreement: every memory-node hash index (alpha
+ * position map and probe buckets, beta identity index and probe
+ * buckets, not-node entry index) must describe exactly the raw memory
+ * contents, and alpha memories must have recorded zero removeWme
+ * misses (a miss is a WM/alpha-memory desync that the caller could
+ * not stop to report). Runs as part of validateNetworkState /
+ * validateMatcherState; exposed separately so tests can target it.
+ */
+ValidationResult validateIndexes(const Network &network);
+
+/**
  * Full matcher-state validation: validateStructure +
  * validateNetworkState + agreement between @p conflict_set and the
  * instantiations implied by the terminal-feeding beta memories

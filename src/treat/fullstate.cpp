@@ -95,14 +95,12 @@ bool
 FullStateMatcher::blocked(const ProdState &ps, const Tuple &t)
 {
     const ops5::SymbolTable &syms = program_->symbols();
-    rete::Token token;
-    token.wmes = t;
     for (std::size_t n = 0; n < ps.negated.size(); ++n) {
         const rete::CompiledCe &ce = ps.lhs.ces[ps.negated[n]];
         for (const ops5::Wme *b : ps.neg_mems[n]) {
             ++stats_.comparisons;
             stats_.instructions += kPerComparison;
-            if (rete::evalJoinTests(ce.join_tests, token, *b, syms))
+            if (rete::evalJoinTests(ce.join_tests, t, *b, syms))
                 return true;
         }
     }
@@ -205,10 +203,8 @@ FullStateMatcher::handleInsert(const ops5::Wme *wme)
             conflict_set_.removeIf([&](const ops5::Instantiation &inst) {
                 if (inst.production != ps.lhs.production)
                     return false;
-                rete::Token token;
-                token.wmes = inst.wmes;
-                return rete::evalJoinTests(ce.join_tests, token, *wme,
-                                           syms);
+                return rete::evalJoinTests(ce.join_tests, inst.wmes,
+                                           *wme, syms);
             });
         }
     }
@@ -257,10 +253,7 @@ FullStateMatcher::handleRemove(const ops5::Wme *wme)
             if (k == 0)
                 continue;
             for (const Tuple &t : ps.mems[full]) {
-                rete::Token token;
-                token.wmes = t;
-                if (rete::evalJoinTests(ce.join_tests, token, *wme,
-                                        syms) &&
+                if (rete::evalJoinTests(ce.join_tests, t, *wme, syms) &&
                     !blocked(ps, t)) {
                     insertInstantiation(ps, t);
                 }

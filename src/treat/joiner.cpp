@@ -16,7 +16,10 @@ struct JoinContext
     const std::function<void(const std::vector<const ops5::Wme *> &)>
         &emit;
     JoinStats stats;
-    rete::Token token;
+    // DFS scratch tuple; a plain vector, not a rete::Token — tokens
+    // carry an incrementally maintained hash that backtracking would
+    // churn for nothing.
+    std::vector<const ops5::Wme *> token;
 };
 
 void
@@ -24,7 +27,7 @@ recurse(JoinContext &ctx, std::size_t ce_idx)
 {
     if (ce_idx == ctx.lhs.ces.size()) {
         ++ctx.stats.tuples;
-        ctx.emit(ctx.token.wmes);
+        ctx.emit(ctx.token);
         return;
     }
     const rete::CompiledCe &ce = ctx.lhs.ces[ce_idx];
@@ -45,9 +48,9 @@ recurse(JoinContext &ctx, std::size_t ce_idx)
         ++ctx.stats.comparisons;
         if (!rete::evalJoinTests(ce.join_tests, ctx.token, *wme, ctx.syms))
             return;
-        ctx.token.wmes.push_back(wme);
+        ctx.token.push_back(wme);
         recurse(ctx, ce_idx + 1);
-        ctx.token.wmes.pop_back();
+        ctx.token.pop_back();
     };
 
     if (static_cast<int>(ce_idx) == ctx.pinned_ce) {

@@ -22,6 +22,9 @@ NaiveMatcher::processChanges(std::span<const ops5::WmeChange> changes)
             list.push_back(change.wme);
             ++live_count_;
         } else {
+            // Linear by design: the naive matcher realises the
+            // paper's non-state-saving cost side, so it keeps no
+            // auxiliary structures beyond the WM mirror itself.
             auto it = std::find(list.begin(), list.end(), change.wme);
             if (it != list.end()) {
                 *it = list.back();

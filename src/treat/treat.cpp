@@ -98,10 +98,8 @@ TreatMatcher::handleInsert(const ops5::Wme *wme)
                     [&](const ops5::Instantiation &inst) {
                         if (inst.production != info.lhs.production)
                             return false;
-                        rete::Token tok;
-                        tok.wmes = inst.wmes;
-                        return rete::evalJoinTests(cce.join_tests, tok,
-                                                   *wme, syms);
+                        return rete::evalJoinTests(cce.join_tests,
+                                                   inst.wmes, *wme, syms);
                     });
                 stats_.instructions += scanned * cost_.per_cs_scan;
                 continue;
@@ -132,6 +130,9 @@ TreatMatcher::handleRemove(const ops5::Wme *wme)
     if (it == by_class_.end())
         return;
     for (AlphaMem *mem : it->second) {
+        // Linear on purpose: TREAT's cost model charges the removal
+        // scan (the instruction count below IS the modeled work), so
+        // indexing here would falsify the state-saving comparison.
         auto pos = std::find(mem->items.begin(), mem->items.end(), wme);
         stats_.instructions += mem->items.size(); // removal scan
         if (pos != mem->items.end()) {

@@ -1,6 +1,8 @@
 #include "workloads/generator.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "ops5/parser.hpp"
@@ -119,6 +121,8 @@ class ProductionWriter
 
         std::vector<BoundVar> new_binds;
         bool has_join = false;
+        std::vector<bool> attr_used(
+            static_cast<std::size_t>(cfg_.attrs_per_class), false);
 
         for (int a = 0; a < cfg_.attrs_per_class; ++a) {
             // Expensive productions test fewer constants, so their
@@ -129,6 +133,7 @@ class ProductionWriter
                 os << " ^" << attrName(a) << " "
                    << poolSymbol(a, dice_.range(
                           0, cfg_.symbols_per_attr - 1));
+                attr_used[static_cast<std::size_t>(a)] = true;
                 continue;
             }
             if (!bound_.empty() && dice_.chance(cfg_.join_var_prob)) {
@@ -138,6 +143,7 @@ class ProductionWriter
                 if (pick) {
                     os << " ^" << attrName(a) << " <" << pick->name
                        << ">";
+                    attr_used[static_cast<std::size_t>(a)] = true;
                     has_join = true;
                     continue;
                 }
@@ -145,6 +151,7 @@ class ProductionWriter
             if (!negated && dice_.chance(0.4)) {
                 BoundVar bv{"v" + std::to_string(next_var_++), a, false};
                 os << " ^" << attrName(a) << " <" << bv.name << ">";
+                attr_used[static_cast<std::size_t>(a)] = true;
                 new_binds.push_back(std::move(bv));
             }
         }
@@ -164,6 +171,22 @@ class ProductionWriter
             BoundVar bv{"v" + std::to_string(next_var_++), -1, true};
             os << " ^num <" << bv.name << ">";
             new_binds.push_back(std::move(bv));
+        }
+
+        // A first CE with no exported binding leaves later CEs nothing
+        // to join on; when the config demands connectivity, bind a
+        // throwaway variable on a free attribute (matches anything, so
+        // the CE's match set is unchanged).
+        if (ce_index == 0 && !negated && cfg_.force_first_ce_binding &&
+            new_binds.empty()) {
+            for (int a = 0; a < cfg_.attrs_per_class; ++a) {
+                if (attr_used[static_cast<std::size_t>(a)])
+                    continue;
+                BoundVar bv{"v" + std::to_string(next_var_++), a, false};
+                os << " ^" << attrName(a) << " <" << bv.name << ">";
+                new_binds.push_back(std::move(bv));
+                break;
+            }
         }
 
         // Keep the production connected: force one join if none
@@ -290,7 +313,7 @@ generateProgram(const GeneratorConfig &cfg)
             src << "(make " << className(c) << " ^type "
                 << typeSymbol(c, dice.range(0, cfg.types_per_class - 1));
             for (int a = 0; a < cfg.attrs_per_class; ++a) {
-                if (dice.chance(0.8)) {
+                if (dice.chance(cfg.attr_fill_prob)) {
                     src << " ^" << attrName(a) << " "
                         << poolSymbol(a, dice.range(
                                0, cfg.symbols_per_attr - 1));
@@ -301,7 +324,24 @@ generateProgram(const GeneratorConfig &cfg)
         }
     }
 
-    return ops5::parse(src.str());
+    // Debug hook: dump the generated OPS5 source for workload tuning.
+    if (std::getenv("PSM_DUMP_GENERATED") != nullptr)
+        std::fputs(src.str().c_str(), stderr);
+
+    auto program = ops5::parse(src.str());
+
+    // Pre-intern the full per-attribute symbol pools. The change
+    // stream looks values up in the (const) program symbol table, so
+    // a pool symbol that never happened to appear in the generated
+    // source would silently degrade to nil — and nil==nil satisfies
+    // eq joins, destroying the selectivity the pool size is supposed
+    // to control. Interning appends ids, so programs whose source
+    // already covers the pool are unaffected.
+    for (int a = 0; a < cfg.attrs_per_class; ++a)
+        for (int k = 0; k < cfg.symbols_per_attr; ++k)
+            program->symbols().intern(poolSymbol(a, k));
+
+    return program;
 }
 
 ChangeStream::ChangeStream(const ops5::Program &program,
@@ -333,9 +373,13 @@ ChangeStream::randomFields(int cls_index)
             syms.find(typeSymbol(cls_index,
                                  pick(0, cfg_.types_per_class - 1))));
     }
+    // Tenths granularity so the draw (and thus the whole stream) is
+    // bit-identical to historical runs at the 0.8 default.
+    int fill_tenths =
+        static_cast<int>(cfg_.attr_fill_prob * 10.0 + 0.5);
     for (int a = 0; a < cfg_.attrs_per_class &&
                     a + 1 < static_cast<int>(fields.size()); ++a) {
-        if (pick(0, 9) < 8) {
+        if (pick(0, 9) < fill_tenths) {
             fields[a + 1] = ops5::Value::symbol(syms.find(
                 poolSymbol(a, pick(0, cfg_.symbols_per_attr - 1))));
         }

@@ -66,6 +66,19 @@ struct GeneratorConfig
 
     // Numeric attribute value range [0, numeric_range).
     int numeric_range = 10;
+
+    // Chance a WME attribute field gets a value (vs staying nil), in
+    // tenths (granularity 0.1 keeps the RNG stream bit-identical to
+    // historical runs at the 0.8 default). Raise to 1.0 for
+    // selectivity-controlled workloads: nil-nil pairs satisfy eq
+    // joins, so sparse fields make every join quadratically leaky.
+    double attr_fill_prob = 0.8;
+
+    // Guarantee the first CE exports at least one variable binding.
+    // Adding an otherwise-unused variable never changes what the CE
+    // matches; it only ensures later CEs have something to join on,
+    // so no production degenerates into a cross product.
+    bool force_first_ce_binding = false;
 };
 
 /** Generates a complete, runnable OPS5 Program. */

@@ -98,4 +98,41 @@ tinyPreset(std::uint64_t seed)
     return p;
 }
 
+SystemPreset
+growthPreset(std::uint64_t seed)
+{
+    SystemPreset p;
+    p.name = "wm-growth";
+    GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.n_productions = 48;
+    cfg.n_classes = 6;
+    cfg.attrs_per_class = 6;
+    cfg.min_ces = 2;
+    cfg.max_ces = 3;
+    // No negations or numeric predicates: every join is an equality
+    // test, the shape the memory-node probe indexes accelerate.
+    cfg.negated_fraction = 0.0;
+    cfg.numeric_pred_prob = 0.0;
+    cfg.types_per_class = 1;
+    // Selectivity comes entirely from the pool size: no constant
+    // tests, so alpha memories hold every WME of their class and
+    // grow with WM, while 8192 symbols per attribute keep each eq
+    // join's hit rate near 1/8192.
+    cfg.constant_test_prob = 0.0;
+    cfg.symbols_per_attr = 8192;
+    cfg.join_var_prob = 0.35;
+    cfg.expensive_fraction = 0.0;
+    cfg.initial_wmes_per_class = 50;
+    cfg.numeric_range = 100000;
+    // Fully populated attributes and a guaranteed first-CE binding:
+    // nil fields and binding-free first CEs both destroy selectivity
+    // (nil==nil joins, cross products).
+    cfg.attr_fill_prob = 1.0;
+    cfg.force_first_ce_binding = true;
+    p.config = cfg;
+    p.changes_per_firing = 8;
+    return p;
+}
+
 } // namespace psm::workloads

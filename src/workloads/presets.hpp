@@ -53,6 +53,17 @@ const SystemPreset &presetByName(const std::string &name);
 /** A small fast preset for unit tests and examples. */
 SystemPreset tinyPreset(std::uint64_t seed = 7);
 
+/**
+ * A WM-growth preset: few removals, so working memory (and thus the
+ * alpha/beta memory nodes) accumulates thousands of elements, while
+ * large per-attribute symbol pools keep joins selective enough that
+ * the conflict set stays sane. This is the regime where indexed
+ * memories beat linear scans by orders of magnitude — the paper's
+ * per-node state-access costs (Section 4) assume hashed memories for
+ * exactly this reason. Use a low remove fraction (~0.04) with it.
+ */
+SystemPreset growthPreset(std::uint64_t seed = 11);
+
 } // namespace psm::workloads
 
 #endif // PSM_WORKLOADS_PRESETS_HPP

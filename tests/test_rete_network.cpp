@@ -137,11 +137,15 @@ TEST_F(SharingTest, ResetStateClearsMemoriesAndKeepsTopToken)
 {
     auto prog = twinProgram();
     Network net(prog, NetworkOptions::fullSharing());
-    // Stuff something into an alpha memory, then reset.
+    // Stuff something into an alpha memory, then reset. A real WME is
+    // required: probe maintenance hashes the keyed fields on insert.
+    ops5::Wme filler(0, 1,
+                     {ops5::Value::integer(1), ops5::Value::integer(2),
+                      ops5::Value::integer(3), ops5::Value::integer(4)});
     for (const auto &node : net.nodes()) {
         if (node->kind == NodeKind::AlphaMemory)
             static_cast<AlphaMemoryNode *>(node.get())
-                ->insertWme(nullptr);
+                ->insertWme(&filler);
     }
     net.resetState();
     for (const auto &node : net.nodes()) {
@@ -150,8 +154,11 @@ TEST_F(SharingTest, ResetStateClearsMemoriesAndKeepsTopToken)
         EXPECT_EQ(static_cast<AlphaMemoryNode *>(node.get())->size(),
                   0u);
     }
-    EXPECT_EQ(net.top()->tokens.size(), 1u);
-    EXPECT_TRUE(net.top()->tokens[0].wmes.empty());
+    EXPECT_EQ(net.top()->size(), 1u);
+    bool top_token_empty = false;
+    net.top()->store.forEach(
+        [&](const rete::Token &t) { top_token_empty = t.empty(); });
+    EXPECT_TRUE(top_token_empty);
 }
 
 TEST(NetworkTest, ClassRootsIsEmptyForUnknownClass)

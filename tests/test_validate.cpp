@@ -187,7 +187,7 @@ class CorruptionTest : public ::testing::Test
             if (node->kind != rete::NodeKind::BetaMemory)
                 continue;
             auto *bm = static_cast<rete::BetaMemoryNode *>(node.get());
-            if (bm != net_->top() && !bm->tokens.empty())
+            if (bm != net_->top() && bm->size() > 0)
                 return bm;
         }
         return nullptr;
@@ -214,7 +214,9 @@ TEST_F(CorruptionTest, DanglingTokenInBetaMemory)
     ASSERT_NE(bm, nullptr);
     // A token nothing in working memory justifies: duplicate an
     // existing one (a lost remove / double insert).
-    bm->tokens.push_back(bm->tokens.front());
+    rete::Token dup;
+    bm->store.forEach([&](const rete::Token &t) { dup = t; });
+    bm->insertToken(dup);
     auto r = cleanCheck();
     EXPECT_FALSE(r.ok());
     EXPECT_TRUE(mentions(r, "beta mismatch")) << r.summary();
@@ -304,10 +306,59 @@ TEST_F(CorruptionTest, TombstoneLeakInBetaMemory)
 {
     rete::BetaMemoryNode *bm = filledBeta();
     ASSERT_NE(bm, nullptr);
-    bm->tombstones.push_back(bm->tokens.front());
+    // Park an anti-token nothing will ever annihilate: extend a live
+    // token by one of its own WMEs — no insert produces that shape.
+    rete::Token live;
+    bm->store.forEach([&](const rete::Token &t) { live = t; });
+    ASSERT_FALSE(live.empty());
+    EXPECT_FALSE(bm->removeToken(live.extend(live[0])));
     auto r = cleanCheck();
     EXPECT_FALSE(r.ok());
     EXPECT_TRUE(mentions(r, "tombstone")) << r.summary();
+}
+
+TEST_F(CorruptionTest, BetaIdentityIndexDesync)
+{
+    rete::BetaMemoryNode *bm = filledBeta();
+    ASSERT_NE(bm, nullptr);
+    // Indexes are size-gated: grow the memory past the adaptive
+    // threshold (distinct extended variants of a live token) so the
+    // identity index is actually live before we corrupt it.
+    rete::Token seed;
+    bm->store.forEach([&](const rete::Token &t) {
+        if (seed.empty())
+            seed = t;
+    });
+    ASSERT_FALSE(seed.empty());
+    rete::Token grown = seed;
+    for (int i = 0; !bm->indexed(); ++i) {
+        ASSERT_LT(i, 64) << "index never activated";
+        grown = grown.extend(seed[0]);
+        bm->insertToken(grown);
+    }
+    // Drop one identity-index record behind the store's back — the
+    // shape of a lost index update under concurrent mutation.
+    ASSERT_FALSE(bm->by_token.empty());
+    bm->by_token.erase(bm->by_token.begin());
+    auto r = rete::validateIndexes(*net_);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(mentions(r, "identity index")) << r.summary();
+    // And the full state validator must surface it too.
+    EXPECT_FALSE(cleanCheck().ok());
+}
+
+TEST_F(CorruptionTest, AlphaRemoveMissFlagged)
+{
+    auto *am = firstNode<rete::AlphaMemoryNode>(
+        rete::NodeKind::AlphaMemory);
+    ASSERT_NE(am, nullptr);
+    // A removeWme for a WME the memory never held is a WM/alpha
+    // desync; the false return is recorded and validation reports it.
+    ops5::Wme ghost(0, 9999, {});
+    EXPECT_FALSE(am->removeWme(&ghost));
+    auto r = rete::validateIndexes(*net_);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(mentions(r, "removeWme miss")) << r.summary();
 }
 
 /** Conflict-set agreement must also hold through a real run with
