@@ -30,9 +30,13 @@
  *
  * Observability (see docs/ARCHITECTURE.md §12):
  *     --stats-port N       serve GET /metrics and GET /stats.json on
- *                          127.0.0.1:N while the run executes (0
+ *                          --stats-host:N while the run executes (0
  *                          picks an ephemeral port; needs a telemetry
  *                          matcher, i.e. rete or parallel)
+ *     --stats-host A       stats server bind address (default
+ *                          127.0.0.1; 0.0.0.0 exposes the stats
+ *                          plane beyond loopback — scrape-through
+ *                          setups like the cluster router need it)
  *     --metrics-interval S dump a one-line JSON metrics summary to
  *                          stderr every S seconds (rete/parallel)
  *     --flight-recorder F  record engine-cycle and durability events;
@@ -93,7 +97,7 @@ usage(const char *argv0)
                  "[--restore]\n"
                  "       [--checkpoint-every N] [--checkpoint-ms N] "
                  "[--lint]\n"
-                 "       [--stats-port N] [--metrics-interval SEC] "
+                 "       [--stats-port N] [--stats-host A] [--metrics-interval SEC] "
                  "[--flight-recorder FILE]\n";
     return 1;
 }
@@ -116,6 +120,7 @@ main(int argc, char **argv)
     bool stats = false, quiet = false, validate = false, lint = false;
     bool stats_port_set = false;
     std::uint64_t stats_port = 0;
+    std::string stats_host = "127.0.0.1";
     std::uint64_t metrics_interval_s = 0;
     std::string flight_path;
     psm::cli::DurableFlags durable_flags;
@@ -167,6 +172,11 @@ main(int argc, char **argv)
             quiet = true;
         } else if (args.is("--lint")) {
             lint = true;
+        } else if (args.is("--stats-host")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            stats_host = v;
         } else if (args.is("--stats-port")) {
             if (!args.valueUint(stats_port) || stats_port > 65535)
                 return usage(argv[0]);
@@ -354,11 +364,12 @@ main(int argc, char **argv)
             if (stats_port_set) {
                 psm::obs::StatsServerOptions sopts;
                 sopts.port = static_cast<std::uint16_t>(stats_port);
+                sopts.bind_addr = stats_host;
                 stats_server = std::make_unique<psm::obs::StatsServer>(
                     *hub, sopts);
                 if (stats_server->start()) {
-                    std::cout << "stats server: http://127.0.0.1:"
-                              << stats_server->port()
+                    std::cout << "stats server: http://" << stats_host
+                              << ":" << stats_server->port()
                               << "  (/metrics, /stats.json)\n"
                               << std::flush;
                 } else {
@@ -415,7 +426,7 @@ main(int argc, char **argv)
                 std::cerr << "error: failed writing " << trace_path
                           << "\n";
         }
-        if (metrics) {
+        if (metrics && !metrics_path.empty()) {
             std::ofstream out(metrics_path);
             if (out) {
                 metrics->writeJson(

@@ -40,8 +40,12 @@
  * Observability (docs/ARCHITECTURE.md §12):
  *     --stats-port N       serve GET /metrics (Prometheus text),
  *                          GET /stats.json and GET /healthz on
- *                          127.0.0.1:N while the load runs (0 picks
- *                          an ephemeral port, printed at startup)
+ *                          --stats-host:N while the load runs (0
+ *                          picks an ephemeral port, printed at
+ *                          startup)
+ *     --stats-host A       stats server bind address (default
+ *                          127.0.0.1; 0.0.0.0 exposes the stats
+ *                          plane beyond loopback)
  *     --metrics-interval S dump a one-line JSON metrics summary to
  *                          stderr every S seconds during the run
  *     --flight-recorder F  record serve/durable events in the crash
@@ -108,7 +112,7 @@ usage(const char *argv0)
            "[--restore]\n"
            "       [--checkpoint-every N] [--checkpoint-ms N] "
            "[--recover-check] [--lint]\n"
-           "       [--stats-port N] [--metrics-interval SEC] "
+           "       [--stats-port N] [--stats-host A] [--metrics-interval SEC] "
            "[--flight-recorder FILE]\n";
     return 2;
 }
@@ -266,6 +270,7 @@ main(int argc, char **argv)
     bool recover_check = false;
     bool stats_port_set = false;
     std::uint64_t stats_port = 0;
+    std::string stats_host = "127.0.0.1";
     std::uint64_t metrics_interval_s = 0;
     std::string flight_path;
 
@@ -351,6 +356,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             metrics_path = v;
+        } else if (args.is("--stats-host")) {
+            const char *v = args.value();
+            if (!v)
+                return usage(argv[0]);
+            stats_host = v;
         } else if (args.is("--stats-port")) {
             if (!args.valueUint(stats_port) || stats_port > 65535)
                 return usage(argv[0]);
@@ -437,11 +447,13 @@ main(int argc, char **argv)
             if (stats_port_set) {
                 psm::obs::StatsServerOptions sopts;
                 sopts.port = static_cast<std::uint16_t>(stats_port);
+                sopts.bind_addr = stats_host;
                 stats_server = std::make_unique<psm::obs::StatsServer>(
                     *hub, sopts);
                 if (stats_server->start()) {
-                    std::printf("stats server:    http://127.0.0.1:%u"
+                    std::printf("stats server:    http://%s:%u"
                                 "  (/metrics, /stats.json)\n",
+                                stats_host.c_str(),
                                 stats_server->port());
                     std::fflush(stdout);
                 } else {

@@ -1,0 +1,103 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psm::cluster {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+HashRing::HashRing(std::size_t vnodes)
+    : vnodes_(std::max<std::size_t>(vnodes, 1))
+{}
+
+void
+HashRing::addSlot(std::uint32_t slot)
+{
+    if (!slots_.insert(slot).second)
+        return;
+    points_.reserve(points_.size() + vnodes_);
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+        // Distinct point per (slot, vnode), salted so the point
+        // domain never coincides with the key domain: slot 0's
+        // unsalted points would be mix64(0..vnodes), the exact
+        // hashes of small gsids, and every such session would land
+        // on its own point — all on slot 0.
+        std::uint64_t h =
+            mix64(0xcb5af53ae3aaac31ULL ^
+                  ((static_cast<std::uint64_t>(slot) << 20) | v));
+        points_.emplace_back(h, slot);
+    }
+    std::sort(points_.begin(), points_.end());
+}
+
+void
+HashRing::removeSlot(std::uint32_t slot)
+{
+    if (slots_.erase(slot) == 0)
+        return;
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [slot](const auto &p) {
+                                     return p.second == slot;
+                                 }),
+                  points_.end());
+    for (auto it = pins_.begin(); it != pins_.end();) {
+        if (it->second == slot)
+            it = pins_.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+HashRing::hasSlot(std::uint32_t slot) const
+{
+    return slots_.count(slot) != 0;
+}
+
+void
+HashRing::pin(std::uint64_t gsid, std::uint32_t slot)
+{
+    if (!hasSlot(slot))
+        throw std::logic_error("pin to unknown slot " +
+                               std::to_string(slot));
+    pins_[gsid] = slot;
+}
+
+void
+HashRing::unpin(std::uint64_t gsid)
+{
+    pins_.erase(gsid);
+}
+
+bool
+HashRing::pinned(std::uint64_t gsid) const
+{
+    return pins_.count(gsid) != 0;
+}
+
+std::uint32_t
+HashRing::slotFor(std::uint64_t gsid) const
+{
+    auto pin = pins_.find(gsid);
+    if (pin != pins_.end())
+        return pin->second;
+    if (points_.empty())
+        throw std::logic_error("hash ring has no slots");
+    const std::uint64_t h = mix64(gsid);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const auto &p, std::uint64_t v) { return p.first < v; });
+    if (it == points_.end())
+        it = points_.begin(); // wrap: the ring is circular
+    return it->second;
+}
+
+} // namespace psm::cluster

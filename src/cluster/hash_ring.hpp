@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Consistent-hash ring mapping global session ids onto worker slots.
+ *
+ * Each slot contributes `vnodes` points on a 64-bit ring; a session
+ * id hashes to a point and walks clockwise to the next slot point.
+ * Adding or removing one slot therefore moves only ~1/N of the
+ * sessions — the property that makes incremental cluster resizing
+ * and failover cheap.
+ *
+ * Live migration needs one more degree of freedom: a session can be
+ * *pinned* to a slot, overriding the ring (the "flipped hash-ring
+ * entry" after a migration). Pins survive slot removal only if the
+ * pinned slot itself survives.
+ *
+ * Not thread safe; the router guards its ring with its placement
+ * lock.
+ */
+
+#ifndef PSM_CLUSTER_HASH_RING_HPP
+#define PSM_CLUSTER_HASH_RING_HPP
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace psm::cluster {
+
+/** 64-bit mix (splitmix64 finalizer) — the ring's hash function. */
+std::uint64_t mix64(std::uint64_t x);
+
+class HashRing
+{
+  public:
+    explicit HashRing(std::size_t vnodes = 64);
+
+    /** Adds a slot's vnode points; re-adding is a no-op. */
+    void addSlot(std::uint32_t slot);
+
+    /** Removes a slot (its sessions re-hash to survivors) along with
+     *  any pins that pointed at it. */
+    void removeSlot(std::uint32_t slot);
+
+    bool hasSlot(std::uint32_t slot) const;
+    std::size_t slotCount() const { return slots_.size(); }
+    const std::set<std::uint32_t> &slots() const { return slots_; }
+
+    /** Pins @p gsid to @p slot regardless of ring position — the
+     *  post-migration override. The slot must exist. */
+    void pin(std::uint64_t gsid, std::uint32_t slot);
+    void unpin(std::uint64_t gsid);
+    bool pinned(std::uint64_t gsid) const;
+
+    /** The slot owning @p gsid (pin first, ring walk otherwise).
+     *  Throws std::logic_error on an empty ring. */
+    std::uint32_t slotFor(std::uint64_t gsid) const;
+
+  private:
+    std::size_t vnodes_;
+    /** Ring points sorted by hash; ties broken by slot id so the
+     *  walk is deterministic across processes. */
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+    std::set<std::uint32_t> slots_;
+    std::unordered_map<std::uint64_t, std::uint32_t> pins_;
+};
+
+} // namespace psm::cluster
+
+#endif // PSM_CLUSTER_HASH_RING_HPP

@@ -1,0 +1,341 @@
+#include "cluster/load_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace psm::cluster {
+
+using Clock = std::chrono::steady_clock;
+
+Client::Client(const std::string &host, std::uint16_t port)
+    : fd_(connectTcp(host, port))
+{}
+
+Frame
+Client::rpc(Frame frame)
+{
+    frame.req_id = next_req_id_++;
+    if (!sendFrame(fd_.get(), frame))
+        throw ClusterError("peer closed connection on send");
+    Frame reply;
+    if (!recvFrame(fd_.get(), reply))
+        throw ClusterError("peer closed connection awaiting reply");
+    if (reply.msg == Msg::Error)
+        throw ClusterError(reply.bodyText());
+    return reply;
+}
+
+std::uint64_t
+Client::sendSubmit(std::uint64_t gsid, const serve::WireRequest &req)
+{
+    Frame frame;
+    frame.msg = Msg::Submit;
+    frame.req_id = next_req_id_++;
+    frame.gsid = gsid;
+    frame.body = serve::encodeRequest(req);
+    if (!sendFrame(fd_.get(), frame))
+        throw ClusterError("peer closed connection on send");
+    return frame.req_id;
+}
+
+Client::Reply
+Client::readReply()
+{
+    Frame frame;
+    if (!recvFrame(fd_.get(), frame))
+        throw ClusterError("peer closed connection awaiting reply");
+    Reply r;
+    r.req_id = frame.req_id;
+    if (frame.msg == Msg::Error) {
+        r.error = true;
+        r.error_text = frame.bodyText();
+        return r;
+    }
+    r.resp = serve::decodeResponse(frame.body);
+    return r;
+}
+
+Client::Reply
+Client::submit(std::uint64_t gsid, const serve::WireRequest &req)
+{
+    sendSubmit(gsid, req);
+    return readReply();
+}
+
+std::string
+Client::openShard(std::uint64_t gsid, bool restore)
+{
+    Frame frame;
+    frame.msg = Msg::OpenShard;
+    frame.gsid = gsid;
+    frame.body.push_back(restore ? 1 : 0);
+    return rpc(std::move(frame)).bodyText();
+}
+
+std::string
+Client::migrate(std::uint64_t gsid, std::uint32_t target_slot)
+{
+    Frame frame;
+    frame.msg = Msg::Migrate;
+    frame.gsid = gsid;
+    for (int i = 0; i < 4; ++i)
+        frame.body.push_back(
+            static_cast<std::uint8_t>(target_slot >> (8 * i)));
+    return rpc(std::move(frame)).bodyText();
+}
+
+std::string
+Client::scrape(std::uint64_t slot, ScrapeKind kind)
+{
+    Frame frame;
+    frame.msg = Msg::Scrape;
+    frame.gsid = slot;
+    frame.body.push_back(static_cast<std::uint8_t>(kind));
+    return rpc(std::move(frame)).bodyText();
+}
+
+void
+Client::ping()
+{
+    Frame frame;
+    frame.msg = Msg::Ping;
+    rpc(std::move(frame));
+}
+
+namespace {
+
+double
+percentileOf(std::vector<double> &lat, double pct)
+{
+    if (lat.empty())
+        return 0.0;
+    std::sort(lat.begin(), lat.end());
+    // Nearest-rank, like the serve driver's samplePercentile.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(lat.size())));
+    if (rank == 0)
+        rank = 1;
+    return lat[std::min(rank, lat.size()) - 1];
+}
+
+/** Per-client accumulator, merged under a mutex at thread exit. */
+struct ClientTally
+{
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t errors = 0;
+    std::vector<ClusterSample> samples;
+};
+
+} // namespace
+
+double
+windowPercentile(const std::vector<ClusterSample> &samples,
+                 double from_ms, double to_ms, double pct,
+                 const std::function<bool(std::uint64_t)> &gsid_filter)
+{
+    std::vector<double> lat;
+    for (const ClusterSample &s : samples) {
+        if (s.t_ms < from_ms || s.t_ms >= to_ms)
+            continue;
+        if (gsid_filter && !gsid_filter(s.gsid))
+            continue;
+        lat.push_back(s.latency_us);
+    }
+    return percentileOf(lat, pct);
+}
+
+ClusterLoadResult
+runClusterLoad(const std::shared_ptr<const ops5::Program> &program,
+               const ClusterLoadConfig &config)
+{
+    const ops5::SymbolTable &syms = program->symbols();
+    const auto &initial = program->initialWmes();
+    if (initial.empty())
+        throw ClusterError(
+            "cluster load needs a program with initial WMEs "
+            "(they are the assert templates)");
+
+    // Lift the templates to wire form once; every client shares them.
+    std::vector<serve::WireRequest> templates;
+    templates.reserve(initial.size());
+    for (const auto &tmpl : initial) {
+        serve::WireRequest w;
+        w.kind = serve::RequestKind::Assert;
+        w.cls = std::string(syms.name(tmpl.cls));
+        for (const ops5::Value &v : tmpl.fields)
+            w.fields.push_back(serve::WireValue::of(v, syms));
+        templates.push_back(std::move(w));
+    }
+    const auto deadline_us =
+        static_cast<std::uint64_t>(config.deadline.count());
+
+    std::mutex merge_mu;
+    ClusterLoadResult result;
+    const Clock::time_point start = Clock::now();
+
+    auto client_body = [&](std::uint64_t gsid, std::size_t client_ix) {
+        ClientTally tally;
+        std::unique_ptr<Client> cli;
+        auto connect = [&]() -> bool {
+            try {
+                cli = std::make_unique<Client>(config.host,
+                                               config.port);
+                return true;
+            } catch (const ClusterError &) {
+                return false;
+            }
+        };
+        if (!connect()) {
+            ++tally.errors;
+            std::lock_guard<std::mutex> lk(merge_mu);
+            result.errors += tally.errors;
+            return;
+        }
+
+        // One submit round-trip with sampling; returns false when the
+        // router itself is gone (after one reconnect attempt).
+        auto roundtrip = [&](const serve::WireRequest &w,
+                             serve::WireResponse *out) -> bool {
+            for (int attempt = 0; attempt < 2; ++attempt) {
+                const Clock::time_point t0 = Clock::now();
+                try {
+                    Client::Reply r = cli->submit(gsid, w);
+                    if (r.error) {
+                        // Routed error: a shard died under us. The
+                        // next request re-resolves placement, so just
+                        // count it and move on.
+                        ++tally.errors;
+                        return true;
+                    }
+                    const Clock::time_point t1 = Clock::now();
+                    if (!r.resp.accepted()) {
+                        ++tally.rejected;
+                        return true;
+                    }
+                    ++tally.completed;
+                    if (r.resp.deadline_expired)
+                        ++tally.expired;
+                    ClusterSample s;
+                    s.t_ms = std::chrono::duration<double,
+                                                   std::milli>(
+                                 t1 - start)
+                                 .count();
+                    s.latency_us =
+                        std::chrono::duration<double, std::micro>(
+                            t1 - t0)
+                            .count();
+                    s.gsid = gsid;
+                    tally.samples.push_back(s);
+                    if (out)
+                        *out = r.resp;
+                    return true;
+                } catch (const ClusterError &) {
+                    ++tally.errors;
+                    if (!connect())
+                        return false;
+                }
+            }
+            return false;
+        };
+
+        // Paced arrivals: each client ticks at its own rate, offset
+        // by client index so clients don't stampede in phase.
+        Clock::time_point next_tick = start;
+        std::chrono::nanoseconds interval{0};
+        if (config.arrival_rate_hz > 0.0) {
+            interval = std::chrono::nanoseconds(static_cast<long long>(
+                1e9 / config.arrival_rate_hz));
+            next_tick = start + interval * static_cast<long>(
+                                    client_ix % 16);
+        }
+        auto pace = [&]() {
+            if (interval.count() == 0)
+                return;
+            std::this_thread::sleep_until(next_tick);
+            next_tick += interval;
+            if (next_tick < Clock::now()) // too far behind: resync
+                next_tick = Clock::now();
+        };
+
+        std::vector<ops5::TimeTag> handles;
+        for (std::size_t it = 0; it < config.iterations; ++it) {
+            handles.clear();
+            for (std::size_t a = 0; a < config.asserts_per_iteration;
+                 ++a) {
+                pace();
+                serve::WireRequest w =
+                    templates[(it + a) % templates.size()];
+                w.deadline_us = deadline_us;
+                serve::WireResponse resp;
+                if (!roundtrip(w, &resp))
+                    return; // router unreachable: give up
+                if (resp.kind == serve::RequestKind::Assert &&
+                    resp.accepted() && !resp.deadline_expired &&
+                    resp.tag != 0)
+                    handles.push_back(resp.tag);
+            }
+            if (config.run_cycles > 0) {
+                pace();
+                serve::WireRequest w;
+                w.kind = serve::RequestKind::Run;
+                w.max_cycles = config.run_cycles;
+                w.deadline_us = deadline_us;
+                if (!roundtrip(w, nullptr))
+                    return;
+            }
+            for (ops5::TimeTag tag : handles) {
+                pace();
+                serve::WireRequest w;
+                w.kind = serve::RequestKind::Retract;
+                w.tag = tag;
+                w.deadline_us = deadline_us;
+                if (!roundtrip(w, nullptr))
+                    return;
+            }
+        }
+        std::lock_guard<std::mutex> lk(merge_mu);
+        result.completed += tally.completed;
+        result.rejected += tally.rejected;
+        result.expired += tally.expired;
+        result.errors += tally.errors;
+        result.samples.insert(result.samples.end(),
+                              tally.samples.begin(),
+                              tally.samples.end());
+    };
+
+    std::vector<std::thread> clients;
+    clients.reserve(config.sessions * config.clients_per_session);
+    std::size_t client_ix = 0;
+    for (std::size_t s = 0; s < config.sessions; ++s)
+        for (std::size_t c = 0; c < config.clients_per_session; ++c)
+            clients.emplace_back(client_body, config.first_gsid + s,
+                                 client_ix++);
+    for (std::thread &t : clients)
+        t.join();
+
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.elapsed_seconds = elapsed;
+    result.requests_per_sec =
+        elapsed > 0.0
+            ? static_cast<double>(result.completed + result.rejected) /
+                  elapsed
+            : 0.0;
+
+    std::vector<double> lat;
+    lat.reserve(result.samples.size());
+    for (const ClusterSample &s : result.samples)
+        lat.push_back(s.latency_us);
+    if (!lat.empty()) {
+        result.max_us = *std::max_element(lat.begin(), lat.end());
+        result.p50_us = percentileOf(lat, 50.0);
+        result.p95_us = percentileOf(lat, 95.0);
+        result.p99_us = percentileOf(lat, 99.0);
+    }
+    return result;
+}
+
+} // namespace psm::cluster

@@ -1,0 +1,123 @@
+#include "cluster/protocol.hpp"
+
+#include <cstring>
+
+#include "durable/format.hpp"
+
+namespace psm::cluster {
+
+const char *
+msgName(Msg m)
+{
+    switch (m) {
+      case Msg::Submit: return "submit";
+      case Msg::Reply: return "reply";
+      case Msg::OpenShard: return "open_shard";
+      case Msg::ShardInfo: return "shard_info";
+      case Msg::DropShard: return "drop_shard";
+      case Msg::Scrape: return "scrape";
+      case Msg::ScrapeText: return "scrape_text";
+      case Msg::Ping: return "ping";
+      case Msg::Pong: return "pong";
+      case Msg::Error: return "error";
+      case Msg::Migrate: return "migrate";
+      case Msg::ShipHello: return "ship_hello";
+      case Msg::WalFrame: return "wal_frame";
+      case Msg::WalSnapshot: return "wal_snapshot";
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr std::size_t kPrefixBytes = 1 + 8 + 8; // msg | req_id | gsid
+
+void
+putU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+bool
+sendFrame(int fd, const Frame &frame, std::mutex *write_mu)
+{
+    const std::size_t payload_len = kPrefixBytes + frame.body.size();
+    std::vector<std::uint8_t> buf(8 + payload_len);
+    std::uint8_t *payload = buf.data() + 8;
+    payload[0] = static_cast<std::uint8_t>(frame.msg);
+    putU64(payload + 1, frame.req_id);
+    putU64(payload + 9, frame.gsid);
+    if (!frame.body.empty())
+        std::memcpy(payload + kPrefixBytes, frame.body.data(),
+                    frame.body.size());
+    putU32(buf.data(), static_cast<std::uint32_t>(payload_len));
+    putU32(buf.data() + 4,
+           durable::crc32({payload, payload_len}));
+
+    if (write_mu) {
+        std::lock_guard<std::mutex> lk(*write_mu);
+        return sendAll(fd, buf.data(), buf.size());
+    }
+    return sendAll(fd, buf.data(), buf.size());
+}
+
+bool
+recvFrame(int fd, Frame &out)
+{
+    std::uint8_t head[8];
+    if (!recvAll(fd, head, sizeof head))
+        return false;
+    const std::uint32_t len = getU32(head);
+    const std::uint32_t crc = getU32(head + 4);
+    if (len < kPrefixBytes || len > kMaxFrameBytes)
+        throw ClusterError("frame length " + std::to_string(len) +
+                           " out of range");
+    std::vector<std::uint8_t> payload(len);
+    if (!recvAll(fd, payload.data(), len))
+        return false;
+    if (durable::crc32({payload.data(), payload.size()}) != crc)
+        throw ClusterError("frame CRC mismatch");
+
+    const std::uint8_t msg = payload[0];
+    if (msg < static_cast<std::uint8_t>(Msg::Submit) ||
+        msg > static_cast<std::uint8_t>(Msg::WalSnapshot))
+        throw ClusterError("unknown message type " +
+                           std::to_string(msg));
+    out.msg = static_cast<Msg>(msg);
+    out.req_id = getU64(payload.data() + 1);
+    out.gsid = getU64(payload.data() + 9);
+    out.body.assign(payload.begin() +
+                        static_cast<std::ptrdiff_t>(kPrefixBytes),
+                    payload.end());
+    return true;
+}
+
+} // namespace psm::cluster

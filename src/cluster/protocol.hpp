@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The cluster wire protocol: length-prefixed, CRC-framed messages.
+ *
+ * Every message travels as
+ *
+ *     u32 payload_length | u32 crc32(payload) | payload
+ *
+ * (the same frame shape as the durable WAL, so torn and corrupt
+ * frames are detected identically) where the payload is
+ *
+ *     u8 msg_type | u64 req_id | u64 gsid | body
+ *
+ * The fixed prefix is deliberate: the router switches Submit traffic
+ * on `gsid` without decoding the body, so the router stays
+ * program-agnostic — only workers parse request payloads. `req_id`
+ * correlates a reply with its request over a multiplexed connection
+ * (one router↔worker connection carries every shard's traffic);
+ * one-way messages (WAL shipping) carry req_id 0.
+ *
+ * Message inventory and who sends what:
+ *
+ *     client → router → worker : Submit          (body: WireRequest)
+ *     worker → router → client : Reply           (body: WireResponse)
+ *     router → worker          : OpenShard       (body: u8 restore)
+ *     worker → router          : ShardInfo       (body: JSON text)
+ *     router → worker          : DropShard       (body: u8 checkpoint)
+ *     router → worker          : Scrape          (body: u8 kind)
+ *     worker → router          : ScrapeText      (body: text)
+ *     any    → any             : Ping / Pong
+ *     any    → any             : Error           (body: message)
+ *     client → router          : Migrate         (body: u32 target)
+ *     worker → standby         : ShipHello       (body: u32 slot)
+ *     worker → standby         : WalFrame        (body: u64 seq | frame)
+ *     worker → standby         : WalSnapshot     (body: u64 seq | snap)
+ */
+
+#ifndef PSM_CLUSTER_PROTOCOL_HPP
+#define PSM_CLUSTER_PROTOCOL_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/socket.hpp"
+
+namespace psm::cluster {
+
+enum class Msg : std::uint8_t {
+    Submit = 1,
+    Reply = 2,
+    OpenShard = 3,
+    ShardInfo = 4,
+    DropShard = 5,
+    Scrape = 6,
+    ScrapeText = 7,
+    Ping = 8,
+    Pong = 9,
+    Error = 10,
+    Migrate = 11,
+    ShipHello = 12,
+    WalFrame = 13,
+    WalSnapshot = 14,
+};
+
+const char *msgName(Msg m);
+
+/** Scrape body kinds. */
+enum class ScrapeKind : std::uint8_t { StatsJson = 0, Metrics = 1 };
+
+/** One protocol message. */
+struct Frame
+{
+    Msg msg = Msg::Ping;
+    std::uint64_t req_id = 0;
+    std::uint64_t gsid = 0;
+    std::vector<std::uint8_t> body;
+
+    std::string
+    bodyText() const
+    {
+        return std::string(body.begin(), body.end());
+    }
+
+    static Frame
+    text(Msg msg, std::uint64_t req_id, std::uint64_t gsid,
+         const std::string &s)
+    {
+        Frame f;
+        f.msg = msg;
+        f.req_id = req_id;
+        f.gsid = gsid;
+        f.body.assign(s.begin(), s.end());
+        return f;
+    }
+};
+
+/** Frames larger than this are rejected as corrupt (a garbage length
+ *  prefix must not trigger a multi-GB allocation). */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Sends one frame; @p write_mu serializes multiplexed writers.
+ *  False when the peer is gone. */
+bool sendFrame(int fd, const Frame &frame,
+               std::mutex *write_mu = nullptr);
+
+/** Receives one frame. False on clean connection close; ClusterError
+ *  on a corrupt frame (bad length or CRC) — a byte-stream transport
+ *  never legitimately corrupts, so corruption means the peer is not
+ *  speaking this protocol. */
+bool recvFrame(int fd, Frame &out);
+
+} // namespace psm::cluster
+
+#endif // PSM_CLUSTER_PROTOCOL_HPP

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Thin TCP plumbing for the cluster layer: listen/connect/accept and
+ * full-length send/recv. Everything is blocking; the cluster layer
+ * spends a thread per connection (connection counts here are small —
+ * one router, a handful of workers — so thread-per-connection beats
+ * an event loop on simplicity with no measurable cost).
+ */
+
+#ifndef PSM_CLUSTER_SOCKET_HPP
+#define PSM_CLUSTER_SOCKET_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace psm::cluster {
+
+/** Any cluster-layer failure: socket I/O, protocol corruption, or a
+ *  peer speaking the wrong protocol. */
+class ClusterError : public std::runtime_error
+{
+  public:
+    explicit ClusterError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Move-only owning file descriptor. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    Fd(Fd &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    Fd &
+    operator=(Fd &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            fd_ = o.fd_;
+            o.fd_ = -1;
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void reset(int fd = -1);
+
+    /** shutdown(2) both directions — unblocks a reader in another
+     *  thread without closing the descriptor under it. */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Opens a listening TCP socket (SO_REUSEADDR). Port 0 binds an
+ *  ephemeral port — read it back with localPort. ClusterError on
+ *  failure. */
+Fd listenTcp(const std::string &host, std::uint16_t port,
+             int backlog = 64);
+
+/** The port a socket is actually bound to. */
+std::uint16_t localPort(int fd);
+
+/** Accepts one connection; -1 when the listener was shut down. */
+int acceptTcp(int listen_fd);
+
+/** Connects with a bounded wait. ClusterError on failure/timeout. */
+Fd connectTcp(const std::string &host, std::uint16_t port,
+              int timeout_ms = 5000);
+
+/** Writes all @p n bytes; false when the peer is gone. */
+bool sendAll(int fd, const void *data, std::size_t n);
+
+/** Reads exactly @p n bytes; false on EOF or error (a torn read is
+ *  just a dead peer — framing CRCs guard integrity, not length). */
+bool recvAll(int fd, void *data, std::size_t n);
+
+} // namespace psm::cluster
+
+#endif // PSM_CLUSTER_SOCKET_HPP

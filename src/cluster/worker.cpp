@@ -1,0 +1,613 @@
+#include "cluster/worker.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <sstream>
+
+#include "durable/format.hpp"
+#include "serve/wire.hpp"
+
+namespace psm::cluster {
+
+namespace {
+
+void
+appendU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+} // namespace
+
+/** One standby connection shared by every shard's sink. */
+struct Worker::ShipChannel
+{
+    std::string host;
+    std::uint16_t port;
+    std::uint32_t slot;
+
+    std::mutex mu;
+    Fd fd;
+    bool connected = false;
+    std::uint64_t frames = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t reconnects = 0;
+
+    ShipChannel(std::string h, std::uint16_t p, std::uint32_t s)
+        : host(std::move(h)), port(p), slot(s)
+    {}
+
+    /** Connects and says hello; caller holds mu. */
+    bool
+    ensureConnected()
+    {
+        if (connected)
+            return true;
+        try {
+            fd = connectTcp(host, port);
+        } catch (const ClusterError &) {
+            return false;
+        }
+        Frame hello;
+        hello.msg = Msg::ShipHello;
+        hello.gsid = 0;
+        appendU64(hello.body, slot);
+        if (!sendFrame(fd.get(), hello)) {
+            fd.reset();
+            return false;
+        }
+        connected = true;
+        ++reconnects;
+        return true;
+    }
+
+    /** Best-effort send; a failure marks the channel down. Caller
+     *  holds mu. */
+    bool
+    sendLocked(const Frame &frame)
+    {
+        if (!connected)
+            return false;
+        if (!sendFrame(fd.get(), frame)) {
+            connected = false;
+            fd.reset();
+            return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Per-shard WalShipSink: forwards frames over the shared channel.
+ * Frames are dropped while the channel is down (asynchronous
+ * replication never fails the primary); checkpoints reconnect,
+ * because a fresh snapshot supersedes everything dropped before it.
+ */
+class Worker::ShipSink : public durable::WalShipSink
+{
+  public:
+    ShipSink(ShipChannel &chan, std::uint64_t gsid)
+        : chan_(chan), gsid_(gsid)
+    {}
+
+    void
+    onWalFrame(std::uint64_t seq,
+               std::span<const std::uint8_t> frame) override
+    {
+        Frame f;
+        f.msg = Msg::WalFrame;
+        f.gsid = gsid_;
+        f.body.reserve(8 + frame.size());
+        appendU64(f.body, seq);
+        f.body.insert(f.body.end(), frame.begin(), frame.end());
+        std::lock_guard<std::mutex> lk(chan_.mu);
+        if (chan_.sendLocked(f))
+            ++chan_.frames;
+        else
+            ++chan_.dropped;
+    }
+
+    void
+    onCheckpoint(std::uint64_t seq,
+                 const std::string &snapshot_path) override
+    {
+        std::vector<std::uint8_t> snap;
+        try {
+            snap = durable::readFileAll(snapshot_path);
+        } catch (const durable::DurableError &) {
+            return; // pruned already? nothing to ship
+        }
+        Frame f;
+        f.msg = Msg::WalSnapshot;
+        f.gsid = gsid_;
+        f.body.reserve(8 + snap.size());
+        appendU64(f.body, seq);
+        f.body.insert(f.body.end(), snap.begin(), snap.end());
+        std::lock_guard<std::mutex> lk(chan_.mu);
+        // The checkpoint boundary is the resync point: right after a
+        // local checkpoint the WAL is empty, so a reconnect here
+        // leaves the standby exactly one snapshot behind nothing.
+        if (!chan_.connected)
+            chan_.ensureConnected();
+        if (chan_.sendLocked(f))
+            ++chan_.snapshots;
+        else
+            ++chan_.dropped;
+    }
+
+  private:
+    ShipChannel &chan_;
+    std::uint64_t gsid_;
+};
+
+struct Worker::Shard
+{
+    std::unique_ptr<ShipSink> ship; ///< must outlive the pool
+    std::unique_ptr<serve::SessionPool> pool;
+    durable::RecoveryStats recovery;
+    bool restored = false;
+};
+
+/** One gsid's FIFO lane within a connection. */
+struct Worker::Lane
+{
+    std::deque<Frame> q;
+    std::condition_variable cv;
+    bool stop = false;
+    std::thread thread;
+};
+
+struct Worker::Conn
+{
+    Fd fd;
+    std::mutex write_mu;
+    std::mutex lanes_mu;
+    std::map<std::uint64_t, std::unique_ptr<Lane>> lanes;
+};
+
+Worker::Worker(std::shared_ptr<const ops5::Program> program,
+               WorkerOptions options)
+    : program_(std::move(program)), options_(std::move(options))
+{
+    listen_fd_ = listenTcp(options_.host, options_.port);
+    port_ = localPort(listen_fd_.get());
+    if (!options_.ship_host.empty() && !options_.dir.empty())
+        ship_ = std::make_unique<ShipChannel>(
+            options_.ship_host, options_.ship_port, options_.slot);
+}
+
+Worker::~Worker() { stop(); }
+
+std::string
+Worker::shardDir(const std::string &root, std::uint64_t gsid)
+{
+    return root + "/shard-" + std::to_string(gsid);
+}
+
+void
+Worker::start()
+{
+    accept_thread_ = std::thread(&Worker::acceptLoop, this);
+}
+
+void
+Worker::run()
+{
+    acceptLoop();
+}
+
+void
+Worker::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    listen_fd_.shutdownBoth();
+    {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        for (const auto &c : conns_)
+            c->fd.shutdownBoth();
+    }
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    for (std::thread &t : conn_threads_)
+        if (t.joinable())
+            t.join();
+    // Pools drain (and, per policy, checkpoint) in their destructors.
+    std::lock_guard<std::mutex> lk(shards_mu_);
+    shards_.clear();
+}
+
+void
+Worker::acceptLoop()
+{
+    for (;;) {
+        int fd = acceptTcp(listen_fd_.get());
+        if (fd < 0)
+            return; // listener shut down
+        auto conn = std::make_shared<Conn>();
+        conn->fd = Fd(fd);
+        {
+            std::lock_guard<std::mutex> lk(conns_mu_);
+            if (stopping_.load()) {
+                return;
+            }
+            conns_.insert(conn);
+            conn_threads_.emplace_back(&Worker::serveConn, this,
+                                       conn);
+        }
+    }
+}
+
+void
+Worker::serveConn(std::shared_ptr<Conn> conn)
+{
+    Frame frame;
+    for (;;) {
+        bool ok;
+        try {
+            ok = recvFrame(conn->fd.get(), frame);
+        } catch (const ClusterError &e) {
+            sendFrame(conn->fd.get(),
+                      Frame::text(Msg::Error, 0, 0, e.what()),
+                      &conn->write_mu);
+            break;
+        }
+        if (!ok)
+            break;
+        switch (frame.msg) {
+          case Msg::Submit:
+          case Msg::OpenShard:
+          case Msg::DropShard: {
+            // Lane dispatch: per-gsid FIFO, cross-gsid parallel.
+            std::lock_guard<std::mutex> lk(conn->lanes_mu);
+            auto [it, fresh] =
+                conn->lanes.try_emplace(frame.gsid, nullptr);
+            if (fresh) {
+                it->second = std::make_unique<Lane>();
+                it->second->thread =
+                    std::thread(&Worker::laneLoop, this, conn,
+                                frame.gsid, it->second.get());
+            }
+            it->second->q.push_back(frame);
+            it->second->cv.notify_one();
+            break;
+          }
+          case Msg::Scrape: {
+            const ScrapeKind kind =
+                !frame.body.empty() &&
+                        frame.body[0] ==
+                            static_cast<std::uint8_t>(
+                                ScrapeKind::Metrics)
+                    ? ScrapeKind::Metrics
+                    : ScrapeKind::StatsJson;
+            std::string text = kind == ScrapeKind::Metrics
+                                   ? metricsText()
+                                   : statsJson();
+            sendFrame(conn->fd.get(),
+                      Frame::text(Msg::ScrapeText, frame.req_id, 0,
+                                  text),
+                      &conn->write_mu);
+            break;
+          }
+          case Msg::Ping: {
+            Frame pong;
+            pong.msg = Msg::Pong;
+            pong.req_id = frame.req_id;
+            sendFrame(conn->fd.get(), pong, &conn->write_mu);
+            break;
+          }
+          default:
+            sendFrame(conn->fd.get(),
+                      Frame::text(Msg::Error, frame.req_id,
+                                  frame.gsid,
+                                  std::string("unexpected ") +
+                                      msgName(frame.msg)),
+                      &conn->write_mu);
+            break;
+        }
+    }
+
+    // Stop and join every lane before dropping the connection.
+    std::map<std::uint64_t, std::unique_ptr<Lane>> lanes;
+    {
+        std::lock_guard<std::mutex> lk(conn->lanes_mu);
+        lanes.swap(conn->lanes);
+        for (auto &[gsid, lane] : lanes) {
+            lane->stop = true;
+            lane->cv.notify_all();
+        }
+    }
+    for (auto &[gsid, lane] : lanes)
+        if (lane->thread.joinable())
+            lane->thread.join();
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.erase(conn);
+}
+
+void
+Worker::laneLoop(std::shared_ptr<Conn> conn, std::uint64_t gsid,
+                 Lane *lane)
+{
+    (void)gsid;
+    for (;;) {
+        Frame frame;
+        {
+            std::unique_lock<std::mutex> lk(conn->lanes_mu);
+            lane->cv.wait(lk, [lane] {
+                return lane->stop || !lane->q.empty();
+            });
+            if (lane->q.empty())
+                return; // stop and nothing left
+            frame = std::move(lane->q.front());
+            lane->q.pop_front();
+        }
+        handleLaneFrame(*conn, frame);
+    }
+}
+
+void
+Worker::handleLaneFrame(Conn &conn, const Frame &frame)
+{
+    auto sendError = [&](const std::string &what) {
+        sendFrame(conn.fd.get(),
+                  Frame::text(Msg::Error, frame.req_id, frame.gsid,
+                              what),
+                  &conn.write_mu);
+    };
+    try {
+        switch (frame.msg) {
+          case Msg::OpenShard: {
+            const bool restore =
+                !frame.body.empty() && frame.body[0] != 0;
+            Shard *shard = openShard(frame.gsid, restore);
+            sendFrame(conn.fd.get(),
+                      Frame::text(Msg::ShardInfo, frame.req_id,
+                                  frame.gsid,
+                                  shardInfoJson(frame.gsid, *shard)),
+                      &conn.write_mu);
+            break;
+          }
+          case Msg::DropShard:
+            dropShard(frame.gsid, conn, frame);
+            break;
+          case Msg::Submit: {
+            serve::WireRequest wreq =
+                serve::decodeRequest(frame.body);
+            serve::Request req =
+                serve::fromWire(wreq, program_->symbols());
+            // Auto-open: a submit to a shard this worker has never
+            // seen warm-starts it when state exists (failover) and
+            // creates it fresh otherwise.
+            Shard *shard = openShard(frame.gsid, true);
+            serve::WireResponse wresp;
+            serve::Submit sub =
+                shard->pool->submit(0, std::move(req));
+            if (!sub.accepted()) {
+                wresp = serve::rejectionResponse(wreq.kind,
+                                                 sub.rejected);
+            } else {
+                serve::Response resp = sub.response.get();
+                wresp = serve::toWire(resp);
+            }
+            Frame reply;
+            reply.msg = Msg::Reply;
+            reply.req_id = frame.req_id;
+            reply.gsid = frame.gsid;
+            reply.body = serve::encodeResponse(wresp);
+            sendFrame(conn.fd.get(), reply, &conn.write_mu);
+            break;
+          }
+          default: break; // unreachable: lane receives only these
+        }
+    } catch (const std::exception &e) {
+        sendError(e.what());
+    }
+}
+
+Worker::Shard *
+Worker::openShard(std::uint64_t gsid, bool restore)
+{
+    std::lock_guard<std::mutex> lk(shards_mu_);
+    auto it = shards_.find(gsid);
+    if (it != shards_.end())
+        return it->second.get();
+
+    if (on_open_shard)
+        on_open_shard(gsid);
+
+    auto shard = std::make_unique<Shard>();
+    serve::PoolOptions po;
+    po.n_sessions = 1;
+    po.n_threads = 1;
+    po.queue_capacity = options_.queue_capacity;
+    po.shed_watermark = options_.shed_watermark;
+    po.max_batch = options_.max_batch;
+    po.default_run_cycles = options_.default_run_cycles;
+    po.matcher = options_.matcher;
+    po.strategy = options_.strategy;
+    if (!options_.dir.empty()) {
+        po.durability.dir = shardDir(options_.dir, gsid);
+        po.durability.fsync = options_.fsync;
+        po.durability.checkpoint = options_.checkpoint;
+        if (ship_) {
+            shard->ship =
+                std::make_unique<ShipSink>(*ship_, gsid);
+            po.durability.ship = shard->ship.get();
+        }
+        po.restore = restore;
+    }
+    shard->pool =
+        std::make_unique<serve::SessionPool>(program_, po);
+    if (!options_.dir.empty()) {
+        shard->recovery = shard->pool->recoveryStats(0);
+        shard->restored = shard->recovery.recovered;
+        // Baseline ship: a checkpoint right after open puts a full
+        // snapshot on the standby before any live frame refers to it.
+        if (ship_)
+            shard->pool->checkpointAll();
+    }
+    Shard *raw = shard.get();
+    shards_.emplace(gsid, std::move(shard));
+    return raw;
+}
+
+void
+Worker::dropShard(std::uint64_t gsid, Conn &conn, const Frame &frame)
+{
+    std::unique_ptr<Shard> shard;
+    {
+        std::lock_guard<std::mutex> lk(shards_mu_);
+        auto it = shards_.find(gsid);
+        if (it != shards_.end()) {
+            shard = std::move(it->second);
+            shards_.erase(it);
+        }
+    }
+    std::ostringstream info;
+    if (shard) {
+        // drain() completes everything admitted and, with the
+        // default on_drain policy, checkpoints — the migration
+        // source's handoff snapshot.
+        shard->pool->drain();
+        serve::SessionPool::Stats st = shard->pool->stats();
+        shard->pool.reset();
+        info << "{\"gsid\": " << gsid << ", \"dropped\": true"
+             << ", \"completed\": " << st.completed << "}";
+    } else {
+        info << "{\"gsid\": " << gsid << ", \"dropped\": false}";
+    }
+    sendFrame(conn.fd.get(),
+              Frame::text(Msg::ShardInfo, frame.req_id, gsid,
+                          info.str()),
+              &conn.write_mu);
+}
+
+std::string
+Worker::shardInfoJson(std::uint64_t gsid, const Shard &shard)
+{
+    std::ostringstream os;
+    os << "{\"gsid\": " << gsid
+       << ", \"restored\": " << (shard.restored ? "true" : "false")
+       << ", \"snapshot_seq\": " << shard.recovery.snapshot_seq
+       << ", \"wal_records_replayed\": "
+       << shard.recovery.wal_records_replayed
+       << ", \"wal_truncated\": "
+       << (shard.recovery.wal_truncated ? "true" : "false") << "}";
+    return os.str();
+}
+
+ShipStats
+Worker::shipStats() const
+{
+    ShipStats out;
+    if (!ship_)
+        return out;
+    std::lock_guard<std::mutex> lk(ship_->mu);
+    out.frames = ship_->frames;
+    out.snapshots = ship_->snapshots;
+    out.dropped = ship_->dropped;
+    out.reconnects = ship_->reconnects;
+    out.connected = ship_->connected;
+    return out;
+}
+
+std::string
+Worker::statsJson()
+{
+    std::ostringstream os;
+    os << "{\"worker_slot\": " << options_.slot << ", \"shards\": [";
+    {
+        std::lock_guard<std::mutex> lk(shards_mu_);
+        bool first = true;
+        for (const auto &[gsid, shard] : shards_) {
+            serve::SessionPool::Stats st = shard->pool->stats();
+            os << (first ? "" : ", ") << "{\"gsid\": " << gsid
+               << ", \"admitted\": " << st.admitted
+               << ", \"completed\": " << st.completed
+               << ", \"expired\": " << st.expired
+               << ", \"rejected_full\": " << st.rejected_full
+               << ", \"rejected_overload\": " << st.rejected_overload
+               << ", \"rejected_shutdown\": " << st.rejected_shutdown
+               << ", \"batches\": " << st.batches
+               << ", \"restored\": "
+               << (shard->restored ? "true" : "false")
+               << ", \"wal_records_replayed\": "
+               << shard->recovery.wal_records_replayed << "}";
+            first = false;
+        }
+    }
+    ShipStats ship = shipStats();
+    os << "], \"ship\": {\"connected\": "
+       << (ship.connected ? "true" : "false")
+       << ", \"frames\": " << ship.frames
+       << ", \"snapshots\": " << ship.snapshots
+       << ", \"dropped\": " << ship.dropped
+       << ", \"reconnects\": " << ship.reconnects << "}";
+    if (extra_stats_json)
+        os << ", \"standby\": " << extra_stats_json();
+    os << "}";
+    return os.str();
+}
+
+std::string
+Worker::metricsText()
+{
+    std::ostringstream os;
+    os << "# HELP psm_worker_shards Shards open on this worker.\n"
+       << "# TYPE psm_worker_shards gauge\n"
+       << "psm_worker_shards{slot=\"" << options_.slot << "\"} ";
+    {
+        std::lock_guard<std::mutex> lk(shards_mu_);
+        os << shards_.size() << "\n";
+        struct Col
+        {
+            const char *name;
+            const char *help;
+            std::uint64_t serve::SessionPool::Stats::*field;
+        };
+        static const Col cols[] = {
+            {"psm_worker_shard_admitted_total",
+             "Requests admitted per shard.",
+             &serve::SessionPool::Stats::admitted},
+            {"psm_worker_shard_completed_total",
+             "Responses delivered per shard.",
+             &serve::SessionPool::Stats::completed},
+            {"psm_worker_shard_expired_total",
+             "Deadline-expired completions per shard.",
+             &serve::SessionPool::Stats::expired},
+            {"psm_worker_shard_batches_total",
+             "Match batches committed per shard.",
+             &serve::SessionPool::Stats::batches},
+        };
+        for (const Col &col : cols) {
+            os << "# HELP " << col.name << " " << col.help << "\n"
+               << "# TYPE " << col.name << " counter\n";
+            for (const auto &[gsid, shard] : shards_) {
+                serve::SessionPool::Stats st = shard->pool->stats();
+                os << col.name << "{slot=\"" << options_.slot
+                   << "\",gsid=\"" << gsid << "\"} " << st.*(col.field)
+                   << "\n";
+            }
+        }
+    }
+    ShipStats ship = shipStats();
+    os << "# HELP psm_worker_ship_frames_total WAL frames shipped.\n"
+       << "# TYPE psm_worker_ship_frames_total counter\n"
+       << "psm_worker_ship_frames_total " << ship.frames << "\n"
+       << "# HELP psm_worker_ship_snapshots_total Snapshots shipped.\n"
+       << "# TYPE psm_worker_ship_snapshots_total counter\n"
+       << "psm_worker_ship_snapshots_total " << ship.snapshots << "\n"
+       << "# HELP psm_worker_ship_dropped_total Frames dropped while "
+          "the ship channel was down.\n"
+       << "# TYPE psm_worker_ship_dropped_total counter\n"
+       << "psm_worker_ship_dropped_total " << ship.dropped << "\n"
+       << "# HELP psm_worker_ship_connected Ship channel liveness.\n"
+       << "# TYPE psm_worker_ship_connected gauge\n"
+       << "psm_worker_ship_connected " << (ship.connected ? 1 : 0)
+       << "\n";
+    return os.str();
+}
+
+} // namespace psm::cluster

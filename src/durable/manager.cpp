@@ -99,6 +99,12 @@ Manager::hasState(const std::string &dir)
     return !listSnapshots(dir).empty();
 }
 
+std::vector<std::pair<std::uint64_t, std::string>>
+Manager::snapshots(const std::string &dir)
+{
+    return listSnapshots(dir);
+}
+
 RecoveryStats
 Manager::recover()
 {
@@ -236,9 +242,12 @@ Manager::onBatch(const core::BatchCommit &commit)
     }
 
     std::uint64_t bytes_before = wal_->payloadBytes();
-    wal_->append(record);
+    std::vector<std::uint8_t> frame = frameRecord(record);
+    wal_->appendRawFrame(frame);
     obs::flightRecord(obs::FlightEvent::WalAppend, 0, record.seq,
                       wal_->payloadBytes() - bytes_before);
+    if (options_.ship)
+        options_.ship->onWalFrame(record.seq, frame);
     if (metrics_) {
         metrics_->count(0, telemetry::Counter::DurableWalRecords);
         metrics_->count(0, telemetry::Counter::DurableWalBytes,
@@ -291,6 +300,9 @@ Manager::checkpoint()
     ++snapshots_written_;
     batches_since_checkpoint_ = 0;
     last_checkpoint_ = std::chrono::steady_clock::now();
+    if (options_.ship)
+        options_.ship->onCheckpoint(snap.batch_seq,
+                                    snapshotPath(snap.batch_seq));
     obs::flightRecord(obs::FlightEvent::Checkpoint, 0,
                       snap.batch_seq, bytes.size());
     if (metrics_) {

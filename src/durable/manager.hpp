@@ -25,7 +25,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/telemetry.hpp"
@@ -33,6 +36,32 @@
 #include "durable/wal.hpp"
 
 namespace psm::durable {
+
+/**
+ * Receiver of the durable byte stream, for WAL shipping: every
+ * committed WAL frame and every checkpoint is offered to the sink
+ * right after it is locally durable, in commit order. Callbacks run
+ * on the thread that committed the batch (the session's server
+ * thread), so implementations should hand off or keep the work
+ * bounded. A throwing sink would poison the commit path; sinks must
+ * swallow their own transport errors (a lagging or dead standby
+ * never makes the primary fail).
+ */
+class WalShipSink
+{
+  public:
+    virtual ~WalShipSink() = default;
+
+    /** One committed WAL frame (frameRecord() bytes, CRC intact). */
+    virtual void onWalFrame(std::uint64_t seq,
+                            std::span<const std::uint8_t> frame) = 0;
+
+    /** A checkpoint completed: @p snapshot_path is durable on disk
+     *  and the local WAL was reset — the replica should install the
+     *  snapshot and reset its log the same way. */
+    virtual void onCheckpoint(std::uint64_t seq,
+                              const std::string &snapshot_path) = 0;
+};
 
 /** When to cut a snapshot (and truncate the WAL behind it). */
 struct CheckpointPolicy
@@ -57,6 +86,9 @@ struct DurableOptions
      *  checkpoint (the newest is the restore source, the rest are
      *  fallbacks against a corrupt newest). */
     std::size_t keep_snapshots = 2;
+
+    /** WAL-shipping sink (not owned; may be null). See WalShipSink. */
+    WalShipSink *ship = nullptr;
 
     bool enabled() const { return !dir.empty(); }
 };
@@ -107,6 +139,11 @@ class Manager
 
     /** True when @p dir holds restorable state (a WAL or snapshot). */
     static bool hasState(const std::string &dir);
+
+    /** All snapshot files in @p dir as (seq, path), newest first —
+     *  the shipping resync path reads the head of this list. */
+    static std::vector<std::pair<std::uint64_t, std::string>>
+    snapshots(const std::string &dir);
 
     /**
      * Restores the engine from the directory. Must run before begin()

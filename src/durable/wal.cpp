@@ -142,6 +142,18 @@ decodeBatch(std::span<const std::uint8_t> payload)
     return batch;
 }
 
+std::vector<std::uint8_t>
+frameRecord(const core::LoggedBatch &batch)
+{
+    std::vector<std::uint8_t> payload = encodeBatch(batch);
+    ByteWriter frame;
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    frame.u32(crc32(payload));
+    std::vector<std::uint8_t> out = frame.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
 WalWriter::WalWriter(std::string path, FsyncPolicy policy,
                      std::uint64_t fingerprint)
     : path_(std::move(path)), policy_(policy), fingerprint_(fingerprint)
@@ -193,14 +205,25 @@ WalWriter::writeHeader()
 void
 WalWriter::append(const core::LoggedBatch &batch)
 {
-    std::vector<std::uint8_t> payload = encodeBatch(batch);
-    ByteWriter frame;
-    frame.u32(static_cast<std::uint32_t>(payload.size()));
-    frame.u32(crc32(payload));
-    writeRaw(frame.bytes().data(), frame.size());
-    writeRaw(payload.data(), payload.size());
+    appendRawFrame(frameRecord(batch));
+}
+
+void
+WalWriter::appendRawFrame(std::span<const std::uint8_t> frame)
+{
+    if (frame.size() < 8)
+        throw DurableError(path_ + ": raw frame shorter than its header");
+    ByteReader header(frame.subspan(0, 8));
+    std::uint32_t length = header.u32();
+    std::uint32_t stored_crc = header.u32();
+    if (length > kMaxRecordBytes || frame.size() - 8 != length)
+        throw DurableError(path_ + ": raw frame length field disagrees "
+                                   "with the frame size");
+    if (crc32(frame.subspan(8)) != stored_crc)
+        throw DurableError(path_ + ": raw frame CRC mismatch");
+    writeRaw(frame.data(), frame.size());
     ++records_;
-    payload_bytes_ += payload.size();
+    payload_bytes_ += length;
     if (policy_ == FsyncPolicy::Always)
         sync();
 }
@@ -295,6 +318,68 @@ readWal(const std::string &path, std::uint64_t expect_fingerprint)
         result.valid_bytes = pos;
     }
     return result;
+}
+
+std::vector<WalFrame>
+readWalFramesSince(const std::string &path,
+                   std::uint64_t expect_fingerprint,
+                   std::uint64_t after_seq)
+{
+    std::vector<WalFrame> out;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+        if (errno == ENOENT)
+            return out;
+        ioError(path, "stat");
+    }
+    std::vector<std::uint8_t> bytes = readFileAll(path);
+    if (bytes.empty())
+        return out;
+    if (bytes.size() < kHeaderBytes)
+        throw DurableError(path + ": WAL shorter than its header");
+    ByteReader header(
+        std::span<const std::uint8_t>(bytes.data(), kHeaderBytes));
+    if (header.u64() != kWalMagic)
+        throw DurableError(path + ": not a WAL file (bad magic)");
+    if (header.u32() != kWalVersion)
+        throw DurableError(path + ": unsupported WAL version");
+    header.u32(); // reserved
+    if (header.u64() != expect_fingerprint)
+        throw DurableError(path + ": WAL belongs to a different program "
+                                  "(fingerprint mismatch)");
+
+    std::size_t pos = kHeaderBytes;
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < 8)
+            break; // torn frame header: the growing/cut tail
+        ByteReader frame(
+            std::span<const std::uint8_t>(bytes.data() + pos, 8));
+        std::uint32_t length = frame.u32();
+        std::uint32_t stored_crc = frame.u32();
+        if (length > kMaxRecordBytes ||
+            bytes.size() - pos - 8 < length)
+            break;
+        std::span<const std::uint8_t> payload(bytes.data() + pos + 8,
+                                              length);
+        if (crc32(payload) != stored_crc)
+            break;
+        core::LoggedBatch batch;
+        try {
+            batch = decodeBatch(payload);
+        } catch (const DurableError &) {
+            break;
+        }
+        if (batch.seq > after_seq) {
+            WalFrame f;
+            f.seq = batch.seq;
+            f.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                           bytes.begin() +
+                               static_cast<std::ptrdiff_t>(pos + 8 + length));
+            out.push_back(std::move(f));
+        }
+        pos += 8 + length;
+    }
+    return out;
 }
 
 void

@@ -47,6 +47,11 @@ std::vector<std::uint8_t> encodeBatch(const core::LoggedBatch &batch);
 /** Decodes one WAL record payload. DurableError on corruption. */
 core::LoggedBatch decodeBatch(std::span<const std::uint8_t> payload);
 
+/** Serializes one logged batch into a complete WAL frame
+ *  (`u32 length | u32 crc | payload`) — the exact bytes append()
+ *  writes, and the unit WAL shipping moves between processes. */
+std::vector<std::uint8_t> frameRecord(const core::LoggedBatch &batch);
+
 /**
  * Append-side handle on one WAL file. Creates the file (with header)
  * when absent or empty; when opening an existing WAL the caller must
@@ -65,6 +70,14 @@ class WalWriter
 
     /** Appends one record; fsyncs when the policy is Always. */
     void append(const core::LoggedBatch &batch);
+
+    /**
+     * Appends one pre-framed record (the frameRecord() shape) after
+     * re-validating its length field and CRC — the WAL-shipping
+     * receive path, which must never let a corrupt network frame
+     * poison the replica log. DurableError on a malformed frame.
+     */
+    void appendRawFrame(std::span<const std::uint8_t> frame);
 
     /** Forces an fsync now (no-op when the policy is None). */
     void sync();
@@ -112,6 +125,26 @@ WalReadResult readWal(const std::string &path,
 /** Truncates @p path to @p valid_bytes (crash recovery's torn-tail
  *  cut) and fsyncs. DurableError on I/O failure. */
 void truncateWal(const std::string &path, std::uint64_t valid_bytes);
+
+/** One raw WAL frame plus the sequence number decoded from it. */
+struct WalFrame
+{
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> bytes; ///< full frame: len | crc | payload
+};
+
+/**
+ * Read-only "frames since seq" iterator for WAL shipping: every intact
+ * frame whose batch sequence is greater than @p after_seq, as raw
+ * frame bytes ready to append to a replica log. Stops at the first
+ * torn or corrupt frame exactly like readWal — safe to run against a
+ * log that is concurrently being appended to, because frames become
+ * visible atomically in file order and the scan simply stops at the
+ * growing tail. A missing file reads as no frames.
+ */
+std::vector<WalFrame> readWalFramesSince(const std::string &path,
+                                         std::uint64_t expect_fingerprint,
+                                         std::uint64_t after_seq);
 
 } // namespace psm::durable
 

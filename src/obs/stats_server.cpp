@@ -201,8 +201,31 @@ StatsServer::handleConnection(int fd)
         else
             sendAll(fd, "ok\n", 3);
     } else {
-        const std::string body = "unknown endpoint; try /metrics, "
-                                 "/stats.json, /healthz\n";
+        std::string body, content_type = "text/plain";
+        bool handled = false;
+        if (extra_route_) {
+            try {
+                handled = extra_route_(target, body, content_type);
+            } catch (const std::exception &e) {
+                // A failed proxy (e.g. the scraped worker is down)
+                // is a gateway error, not a dead stats plane.
+                if (http)
+                    sendHttp(fd, 502, "Bad Gateway", "text/plain",
+                             std::string(e.what()) + "\n");
+                else
+                    sendAll(fd, e.what(), std::strlen(e.what()));
+                return;
+            }
+        }
+        if (handled) {
+            if (http)
+                sendHttp(fd, 200, "OK", content_type.c_str(), body);
+            else
+                sendAll(fd, body.data(), body.size());
+            return;
+        }
+        body = "unknown endpoint; try /metrics, "
+               "/stats.json, /healthz\n";
         if (http)
             sendHttp(fd, 404, "Not Found", "text/plain", body);
         else

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -75,12 +76,27 @@ class StatsServer
 
     const std::string &error() const { return error_; }
 
+    /**
+     * Handler for request targets the built-in endpoints don't
+     * cover, tried before the 404 fallback. Returns true when it
+     * handled @p target, filling @p body and @p content_type. Runs
+     * on the server thread — it may block a scraper, never the
+     * engine. The cluster router uses this to proxy
+     * `/workers/<slot>/metrics` and `/workers/<slot>/stats.json`
+     * through to its workers. Set before start().
+     */
+    using ExtraRoute = std::function<bool(
+        const std::string &target, std::string &body,
+        std::string &content_type)>;
+    void setExtraRoute(ExtraRoute fn) { extra_route_ = std::move(fn); }
+
   private:
     void serveLoop();
     void handleConnection(int fd);
 
     MetricsHub &hub_;
     StatsServerOptions options_;
+    ExtraRoute extra_route_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
     std::string error_;

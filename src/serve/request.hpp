@@ -50,8 +50,12 @@ struct Request
     ops5::SymbolId cls{};
     std::vector<ops5::Value> fields;
 
-    // Retract payload: a handle from a previous Assert Response.
+    // Retract payload: a handle from a previous Assert Response —
+    // either the pointer form (in-process callers) or the time-tag
+    // form (remote callers; resolved on the session's server thread,
+    // the only thread that may touch working memory).
     const ops5::Wme *wme = nullptr;
+    ops5::TimeTag tag = 0;
 
     // Run payload: firing budget (0 = pool default).
     std::uint64_t max_cycles = 0;
@@ -86,6 +90,17 @@ struct Request
         return r;
     }
 
+    /** Retract by time tag — the only safe handle form for callers
+     *  in another process (pointers do not travel; tags do). */
+    static Request
+    makeRetractTag(ops5::TimeTag tag)
+    {
+        Request r;
+        r.kind = RequestKind::Retract;
+        r.tag = tag;
+        return r;
+    }
+
     static Request
     makeRun(std::uint64_t max_cycles = 0)
     {
@@ -104,6 +119,11 @@ struct Response
     /** Assert: the element handle (retract it with makeRetract).
      *  Valid until successfully retracted or removed by a firing. */
     const ops5::Wme *wme = nullptr;
+
+    /** Assert: the element's time tag — the process-independent form
+     *  of the handle, used by remote clients (the cluster wire
+     *  protocol retracts by tag, never by pointer). */
+    ops5::TimeTag tag = 0;
 
     /** Retract: true when the element was live and is now gone;
      *  false for a stale/repeated/foreign handle (a safe no-op). */

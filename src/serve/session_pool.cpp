@@ -403,12 +403,19 @@ SessionPool::drainSession(Session &s, std::size_t shard)
             Response resp;
             resp.kind = RequestKind::Assert;
             resp.wme = w;
+            resp.tag = w->timeTag();
             deferred.emplace_back(&p, std::move(resp));
             break;
           }
           case RequestKind::Retract: {
             Response resp;
             resp.kind = RequestKind::Retract;
+            // Tag-form handles (remote callers) resolve here, on the
+            // server thread — the only thread that may read working
+            // memory while batches commit.
+            if (p.req.wme == nullptr && p.req.tag != 0)
+                p.req.wme =
+                    eng.workingMemory().findByTag(p.req.tag);
             auto it = s.handles.find(p.req.wme);
             // Validate through the recorded time tag, never through
             // the caller's pointer: a stale handle (repeated retract,
@@ -425,6 +432,7 @@ SessionPool::drainSession(Session &s, std::size_t shard)
             }
             if (staged.count(p.req.wme) != 0)
                 flush();
+            resp.tag = it->second;
             resp.retracted = wm_batch.remove(p.req.wme);
             s.handles.erase(p.req.wme);
             deferred.emplace_back(&p, std::move(resp));
